@@ -1,0 +1,103 @@
+"""The linear-time claim (Section 7).
+
+"The average execution times and variance values can be computed in a
+single, linear time, bottom-up traversal of the forward control
+dependence graph."  This benchmark grows generated programs by an
+order of magnitude and checks that analysis latency grows roughly
+linearly with FCDG size (within a generous constant for Python-level
+noise and the small super-linear pieces: postdominators, closures).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import SCALAR_MACHINE, compile_source, oracle_program_profile
+from repro.analysis import (
+    compute_frequencies,
+    compute_times,
+    compute_variances,
+)
+from repro.costs.estimate import CostEstimator
+from repro.report import format_table
+from repro.workloads.generators import ProgramGenerator
+
+from conftest import publish
+
+
+def _concatenate_program(n_copies: int) -> str:
+    """A MAIN of ``n_copies`` structurally distinct chunks."""
+    body: list[str] = []
+    for i in range(n_copies):
+        gen = ProgramGenerator(1000 + i, allow_calls=False, max_depth=2)
+        gen._label = i * 1000  # keep statement labels globally unique
+        gen._loop_var = (i * 37) % 5000
+        body.extend(gen._block(0, []))
+    return (
+        "      PROGRAM BIG\n      REAL ARR(20)\n"
+        + "\n".join("      " + line for line in body)
+        + "\n      END\n"
+    )
+
+
+def _analysis_passes(program, profile, estimator):
+    """Time only the three per-FCDG passes the paper calls linear."""
+    name = program.main_name
+    fcdg = program.fcdgs[name]
+    costs = {
+        nid: nc.local
+        for nid, nc in estimator.cfg_costs(program.cfgs[name], name).items()
+    }
+    start = time.perf_counter()
+    freqs = compute_frequencies(fcdg, profile.proc(name))
+    times = compute_times(fcdg, freqs, costs)
+    compute_variances(fcdg, freqs, times)
+    return time.perf_counter() - start
+
+
+def test_analysis_scales_linearly(benchmark):
+    sizes = [4, 16, 64]
+    rows = []
+    points = []
+    for n_copies in sizes:
+        source = _concatenate_program(n_copies)
+        program = compile_source(source)
+        profile = oracle_program_profile(
+            program, runs=[{"seed": 0}], max_steps=20_000_000
+        )
+        estimator = CostEstimator(program.checked, SCALAR_MACHINE)
+        fcdg_nodes = len(program.fcdgs[program.main_name].nodes)
+        # median of repeated measurements for stability
+        elapsed = min(
+            _analysis_passes(program, profile, estimator) for _ in range(5)
+        )
+        points.append((fcdg_nodes, elapsed))
+        rows.append(
+            [n_copies, fcdg_nodes, elapsed * 1e3, 1e6 * elapsed / fcdg_nodes]
+        )
+
+    publish(
+        "analysis_scaling",
+        format_table(
+            ["chunks", "FCDG nodes", "analysis ms", "us per node"],
+            rows,
+            title="FREQ+TIME+VAR pass latency vs program size",
+        ),
+    )
+
+    # per-node cost must stay roughly flat: within 4x from the
+    # smallest to the largest program (linear-time claim).
+    smallest = points[0][1] / points[0][0]
+    largest = points[-1][1] / points[-1][0]
+    assert largest < 4.0 * smallest, (smallest, largest)
+
+    # benchmark the largest program's analysis for the timing table.
+    source = _concatenate_program(sizes[-1])
+    program = compile_source(source)
+    profile = oracle_program_profile(
+        program, runs=[{"seed": 0}], max_steps=20_000_000
+    )
+    estimator = CostEstimator(program.checked, SCALAR_MACHINE)
+    benchmark(lambda: _analysis_passes(program, profile, estimator))

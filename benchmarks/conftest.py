@@ -1,0 +1,46 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables/figures
+(see DESIGN.md's per-experiment index).  Reproduced tables are printed
+AND written to ``benchmarks/results/*.txt`` so they survive pytest's
+output capture; shape assertions live inside the benchmark tests so
+``--benchmark-only`` still validates the reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+@pytest.fixture(scope="session")
+def loops_program():
+    from repro import compile_source
+    from repro.workloads.livermore import livermore_source
+
+    return compile_source(livermore_source(n=60, n2=8))
+
+
+@pytest.fixture(scope="session")
+def simple_program():
+    from repro import compile_source
+    from repro.workloads.simple_cfd import simple_source
+
+    return compile_source(simple_source(n=10, ncycles=3))
+
+
+@pytest.fixture(scope="session")
+def paper_program():
+    from repro.workloads.paper_example import paper_program as build
+
+    return build()

@@ -1,0 +1,124 @@
+"""PTRAN-style automatic task partitioning from TIME/VAR estimates.
+
+"Currently, the primary use of execution time information in PTRAN is
+in automatically partitioning the input program into tasks for
+parallel execution."  This example profiles a small numeric program
+and lets the partitioner decide which loops to run as chunked parallel
+tasks and which calls are worth spawning asynchronously.
+
+Usage:  python examples/task_partitioning.py
+"""
+
+from repro import SCALAR_MACHINE, analyze, compile_source, profile_program
+from repro.apps.partitioning import partition_program
+from repro.report import format_table
+
+SOURCE = """\
+      PROGRAM PIPELINE
+      REAL GRID(40), OUT(40)
+      INTEGER STEP
+      CALL SETUP(GRID, 40)
+      DO 10 STEP = 1, 5
+        CALL RELAX(GRID, OUT, 40)
+        CALL SWAP(GRID, OUT, 40)
+10    CONTINUE
+      CALL REDUCE(GRID, 40)
+      END
+
+      SUBROUTINE SETUP(G, N)
+      REAL G(1)
+      INTEGER N, I
+      DO 10 I = 1, N
+        G(I) = RAND()
+10    CONTINUE
+      END
+
+      SUBROUTINE RELAX(G, O, N)
+      REAL G(1), O(1)
+      INTEGER N, I
+      DO 10 I = 2, N - 1
+        O(I) = 0.25 * G(I - 1) + 0.5 * G(I) + 0.25 * G(I + 1)
+        O(I) = O(I) + SQRT(ABS(G(I))) * 0.001
+10    CONTINUE
+      END
+
+      SUBROUTINE SWAP(G, O, N)
+      REAL G(1), O(1)
+      INTEGER N, I
+      DO 10 I = 2, N - 1
+        G(I) = O(I)
+10    CONTINUE
+      END
+
+      SUBROUTINE REDUCE(G, N)
+      REAL G(1), S
+      INTEGER N, I
+      S = 0.0
+      DO 10 I = 1, N
+        S = S + G(I)
+10    CONTINUE
+      PRINT *, S
+      END
+"""
+
+PROCESSORS = 4
+OVERHEAD = 60.0
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    profile, _ = profile_program(program, runs=3, record_loop_moments=True)
+    analysis = analyze(
+        program, profile, SCALAR_MACHINE, loop_variance="profiled"
+    )
+    partition = partition_program(
+        analysis, n_processors=PROCESSORS, spawn_overhead=OVERHEAD
+    )
+
+    rows = [
+        [
+            task.proc,
+            task.text,
+            task.iterations,
+            task.iter_mean,
+            task.chunk,
+            task.sequential_time,
+            task.parallel_time,
+            task.profitable,
+        ]
+        for task in partition.loops
+    ]
+    print(
+        format_table(
+            ["proc", "loop", "iters", "mean/iter", "chunk", "seq", "par",
+             "spawn?"],
+            rows,
+            title=(
+                f"Loop task decisions (P={PROCESSORS}, spawn overhead "
+                f"{OVERHEAD:g} cycles)"
+            ),
+        )
+    )
+
+    call_rows = [
+        [c.proc, c.text, c.calls_per_run, c.callee_time, c.profitable]
+        for c in partition.calls
+    ]
+    print()
+    print(
+        format_table(
+            ["proc", "call site", "calls/run", "callee TIME", "async?"],
+            call_rows,
+            title="Call-site task decisions",
+        )
+    )
+    print(
+        f"\nsequential TIME = {partition.sequential_time:.0f} cycles; "
+        f"partitioned estimate = {partition.parallel_time:.0f} cycles "
+        f"(speedup ~{partition.estimated_speedup:.2f}x on "
+        f"{PROCESSORS} processors)"
+    )
+
+
+if __name__ == "__main__":
+    main()

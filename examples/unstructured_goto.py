@@ -1,0 +1,70 @@
+"""Unstructured control flow: the framework's raison d'être.
+
+The paper generalizes earlier SISAL (structured-programs-only) work to
+arbitrary reducible control flow via control dependence.  This example
+pushes GOTO-heavy programs through the pipeline: a two-exit search
+loop, a computed-GOTO state machine, and an *irreducible* program that
+node splitting makes tractable.
+
+Usage:  python examples/unstructured_goto.py
+"""
+
+from repro import SCALAR_MACHINE, analyze, compile_source, profile_program
+from repro.report import format_table
+from repro.workloads.unstructured import (
+    IRREDUCIBLE,
+    STATE_MACHINE,
+    TWO_EXIT_LOOP,
+)
+
+
+def analyze_source(name, source, runs):
+    program = compile_source(source)
+    profile, stats = profile_program(program, runs=runs)
+    analysis = analyze(program, profile, SCALAR_MACHINE)
+    splits = sum(program.splits.values())
+    return [
+        name,
+        len(program.cfgs[program.main_name]),
+        stats.counters,
+        splits,
+        analysis.total_time,
+        analysis.total_std_dev,
+    ]
+
+
+def main() -> None:
+    rows = [
+        analyze_source(
+            "two-exit loop",
+            TWO_EXIT_LOOP,
+            [{"seed": s} for s in range(5)],
+        ),
+        analyze_source(
+            "computed-GOTO machine",
+            STATE_MACHINE,
+            [{"seed": s} for s in range(5)],
+        ),
+        analyze_source(
+            "irreducible (split)",
+            IRREDUCIBLE,
+            [{"inputs": (k,)} for k in (3.0, 9.0, 17.0)],
+        ),
+    ]
+    print(
+        format_table(
+            ["program", "CFG nodes", "counters", "nodes split",
+             "TIME", "STD_DEV"],
+            rows,
+            title="Unstructured programs through the full pipeline",
+        )
+    )
+    print(
+        "\nNode splitting made the irreducible program reducible; all "
+        "frequencies were\nrecovered from the optimized counter set, and "
+        "TIME/STD_DEV computed as usual."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of Sarkar, "Determining Average Program
+Execution Times and their Variance" (PLDI 1989).
+
+The package implements the paper's full framework over a
+Fortran-77-style mini language:
+
+* interval structure and extended control flow graphs (Section 2);
+* the forward control dependence graph;
+* optimized counter-based execution profiling (Section 3);
+* average execution time computation (Section 4);
+* execution-time variance computation (Section 5);
+* the Kruskal-Weiss chunk-size application the paper motivates.
+
+Quick start::
+
+    from repro import pipeline
+    from repro.costs import SCALAR_MACHINE
+
+    analysis = pipeline.estimate(SOURCE, runs=5, model=SCALAR_MACHINE)
+    print(analysis.total_time, analysis.total_std_dev)
+"""
+
+from repro import pipeline
+from repro.costs import OPTIMIZING_MACHINE, SCALAR_MACHINE, MachineModel
+from repro.pipeline import (
+    CompiledProgram,
+    analyze,
+    compile_source,
+    estimate,
+    naive_program_plan,
+    oracle_program_profile,
+    profile_program,
+    run_program,
+    smart_program_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "pipeline",
+    "CompiledProgram",
+    "compile_source",
+    "run_program",
+    "profile_program",
+    "oracle_program_profile",
+    "smart_program_plan",
+    "naive_program_plan",
+    "analyze",
+    "estimate",
+    "MachineModel",
+    "SCALAR_MACHINE",
+    "OPTIMIZING_MACHINE",
+    "__version__",
+]

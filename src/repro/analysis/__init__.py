@@ -1,0 +1,51 @@
+"""Average execution times and variance (Sections 3-5 of the paper).
+
+* :mod:`repro.analysis.freq` — the top-down FREQ / NODE_FREQ pass
+  (Definition 3 and recurrence equations 1-3);
+* :mod:`repro.analysis.time` — the bottom-up TIME pass (Section 4);
+* :mod:`repro.analysis.variance` — the bottom-up VAR / STD_DEV pass
+  (Section 5, both the preheader and branch-node cases);
+* :mod:`repro.analysis.distributions` — models for the loop-frequency
+  variance term VAR(FREQ(u,l));
+* :mod:`repro.analysis.interprocedural` — the call-graph-bottom-up
+  driver implementing rule 2, with a geometric-closure extension for
+  recursive procedures.
+"""
+
+from repro.analysis.freq import FrequencyAnalysis, compute_frequencies
+from repro.analysis.time import compute_times
+from repro.analysis.variance import VarianceResult, compute_variances
+from repro.analysis.distributions import (
+    LoopDistribution,
+    distribution_loop_variance,
+    profiled_loop_variance,
+    zero_loop_variance,
+)
+from repro.analysis.interprocedural import (
+    ProcedureAnalysis,
+    ProgramAnalysis,
+    analyze_program,
+)
+from repro.analysis.static_freq import (
+    StaticOptions,
+    hybrid_profile,
+    static_profile,
+)
+
+__all__ = [
+    "FrequencyAnalysis",
+    "compute_frequencies",
+    "compute_times",
+    "VarianceResult",
+    "compute_variances",
+    "LoopDistribution",
+    "zero_loop_variance",
+    "distribution_loop_variance",
+    "profiled_loop_variance",
+    "ProcedureAnalysis",
+    "ProgramAnalysis",
+    "analyze_program",
+    "StaticOptions",
+    "static_profile",
+    "hybrid_profile",
+]

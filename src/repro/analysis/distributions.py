@@ -1,0 +1,85 @@
+"""Models for the loop-frequency variance term VAR(FREQ(u, l)).
+
+Section 5 Case 1 offers three routes for a loop's iteration-count
+variance:
+
+1. ignore it (``VAR(FREQ) = 0`` — the paper's Figure-3 choice);
+2. assume a distribution for the number of iterations and derive the
+   variance from its mean;
+3. obtain ``E[FREQ²]`` from the execution profile.
+
+All three are provided here as *loop-variance callables* with the
+signature ``(preheader_node, mean_frequency) -> variance`` consumed by
+:func:`repro.analysis.variance.compute_variances`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.cdg.fcdg import FCDG
+from repro.profiling.database import ProcedureProfile
+
+LoopVariance = Callable[[int, float], float]
+
+
+class LoopDistribution(enum.Enum):
+    """Assumed distributions for a loop's iteration count.
+
+    The variance is derived from the observed mean ``m``:
+
+    * CONSTANT   — every entry iterates exactly m times: VAR = 0;
+    * POISSON    — VAR = m;
+    * GEOMETRIC  — iterate-again probability p with mean m = 1/(1-p):
+      VAR = p/(1-p)² = m(m-1);
+    * UNIFORM    — uniform over {0, ..., 2m}: VAR = m(m+1)/3.
+    """
+
+    CONSTANT = "constant"
+    POISSON = "poisson"
+    GEOMETRIC = "geometric"
+    UNIFORM = "uniform"
+
+    def variance(self, mean: float) -> float:
+        if self is LoopDistribution.CONSTANT:
+            return 0.0
+        if self is LoopDistribution.POISSON:
+            return max(0.0, mean)
+        if self is LoopDistribution.GEOMETRIC:
+            return max(0.0, mean * (mean - 1.0))
+        return max(0.0, mean * (mean + 1.0) / 3.0)
+
+
+def zero_loop_variance(preheader: int, mean: float) -> float:
+    """The paper's simple default: VAR(FREQ(u, l)) = 0."""
+    return 0.0
+
+
+def distribution_loop_variance(kind: LoopDistribution) -> LoopVariance:
+    """A loop-variance callable assuming ``kind`` for every loop."""
+
+    def variance(preheader: int, mean: float) -> float:
+        return kind.variance(mean)
+
+    return variance
+
+
+def profiled_loop_variance(fcdg: FCDG, profile: ProcedureProfile) -> LoopVariance:
+    """VAR(FREQ) from profiled second moments: E[F²] − E[F]².
+
+    Loops whose second moment was not recorded fall back to zero
+    variance (the paper's default).
+    """
+    ecfg = fcdg.ecfg
+
+    def variance(preheader: int, mean: float) -> float:
+        header = ecfg.header_of.get(preheader)
+        if header is None:
+            return 0.0
+        second = profile.loop_freq_second_moment(header)
+        if second is None:
+            return 0.0
+        return max(0.0, second - mean * mean)
+
+    return variance

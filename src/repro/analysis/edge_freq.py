@@ -1,0 +1,84 @@
+"""CFG edge frequencies derived from an analyzed procedure.
+
+The FCDG frequency pass yields NODE_FREQ for every node and FREQ for
+every control condition.  Optimizations that consume frequencies —
+trace scheduling [FERN84], branch layout [MH86], register allocation
+[Wal86] — want *CFG edge* frequencies instead.  These follow from flow
+conservation: per procedure invocation,
+
+    Σ out-edge counts of u = NODE_FREQ(u)        (u ≠ exit)
+    Σ in-edge counts of v  = NODE_FREQ(v)        (v ≠ entry)
+
+Condition edges are known directly (``NODE_FREQ(u) × FREQ(u, l)``);
+single-successor edges equal their source's frequency; the remaining
+unknowns (e.g. the untested label of a single-exit loop's trip test)
+are resolved by propagating the conservation equations to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.interprocedural import ProcedureAnalysis
+from repro.cfg.graph import CFGEdge
+
+#: Frequencies below this are treated as zero when checking residuals.
+_EPS = 1e-12
+
+
+def edge_frequencies(proc: ProcedureAnalysis) -> dict[CFGEdge, float]:
+    """Expected executions of every CFG edge, per procedure invocation."""
+    cfg = proc.cfg
+    freqs = proc.freqs
+    node_freq = freqs.node_freq
+
+    counts: dict[CFGEdge, float] = {}
+    for node in cfg.nodes:
+        out_edges = cfg.out_edges(node)
+        if not out_edges:
+            continue
+        nf = node_freq.get(node, 0.0)
+        if len(out_edges) == 1:
+            counts[out_edges[0]] = nf
+            continue
+        for edge in out_edges:
+            frequency = freqs.freq.get((node, edge.label))
+            if frequency is not None:
+                counts[edge] = nf * frequency
+
+    # Fixpoint: a node with exactly one unknown incident edge on one
+    # side determines it by conservation.
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            nf = node_freq.get(node, 0.0)
+            for edges in (cfg.out_edges(node), cfg.in_edges(node)):
+                if not edges:
+                    continue
+                unknown = [e for e in edges if e not in counts]
+                if len(unknown) != 1:
+                    continue
+                known_sum = sum(counts[e] for e in edges if e in counts)
+                counts[unknown[0]] = max(0.0, nf - known_sum)
+                changed = True
+
+    # Anything still unknown (disconnected corners of never-executed
+    # code): zero frequency.
+    for edge in cfg.edges:
+        counts.setdefault(edge, 0.0)
+    return counts
+
+
+def conservation_residual(proc: ProcedureAnalysis, counts=None) -> float:
+    """Max violation of flow conservation — a quality diagnostic."""
+    cfg = proc.cfg
+    counts = counts if counts is not None else edge_frequencies(proc)
+    worst = 0.0
+    for node in cfg.nodes:
+        nf = proc.freqs.node_freq.get(node, 0.0)
+        outs = cfg.out_edges(node)
+        if outs:
+            worst = max(worst, abs(sum(counts[e] for e in outs) - nf))
+        ins = cfg.in_edges(node)
+        if ins and node != cfg.entry:
+            worst = max(worst, abs(sum(counts[e] for e in ins) - nf))
+    return worst

@@ -1,0 +1,102 @@
+"""The top-down frequency pass (Section 3).
+
+Converts raw ``TOTAL_FREQ`` counts into relative frequencies using the
+paper's recurrences:
+
+1. ``NODE_FREQ(START) = 1``
+2. ``FREQ(u, l) = TOTAL_FREQ(u, l) / (TOTAL_FREQ(START, U) × NODE_FREQ(u))``
+3. ``NODE_FREQ(v) = Σ_{(u,v,l)} NODE_FREQ(u) × FREQ(u, l)``
+
+with the footnote's 0/0 → 0 convention.  A single pass in topological
+order of the FCDG computes everything (the graph is acyclic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.cdg.fcdg import FCDG
+from repro.cfg.graph import is_pseudo_label
+from repro.profiling.database import ProcedureProfile
+
+#: Tolerance for branch probabilities slightly exceeding 1 due to
+#: floating point accumulation across merged profiles.
+_PROBABILITY_SLACK = 1e-9
+
+
+def condition_total(fcdg: FCDG, profile: ProcedureProfile, u: int, label: str) -> float:
+    """TOTAL_FREQ(u, l) for one FCDG control condition.
+
+    Profiles are keyed by original-CFG artifacts, so the three node
+    categories of the ECFG map as follows: START → procedure
+    invocations, preheader → loop-header execution count, anything
+    else → branch-take count.  Pseudo (Z) conditions are never taken.
+    """
+    if is_pseudo_label(label):
+        return 0.0
+    ecfg = fcdg.ecfg
+    if u == ecfg.start:
+        return profile.invocations
+    if ecfg.is_preheader(u):
+        return profile.header_counts.get(ecfg.header_of[u], 0.0)
+    return profile.branch_counts.get((u, label), 0.0)
+
+
+@dataclass
+class FrequencyAnalysis:
+    """FREQ / NODE_FREQ / TOTAL_FREQ values for one procedure."""
+
+    fcdg: FCDG
+    invocations: float
+    freq: dict[tuple[int, str], float] = field(default_factory=dict)
+    node_freq: dict[int, float] = field(default_factory=dict)
+    total_freq: dict[tuple[int, str], float] = field(default_factory=dict)
+
+    def loop_frequency(self, preheader: int) -> float:
+        """FREQ of the preheader's loop condition (avg iterations/entry)."""
+        label = self.fcdg.ecfg.loop_label(preheader)
+        return self.freq[(preheader, label)]
+
+
+def compute_frequencies(
+    fcdg: FCDG, profile: ProcedureProfile, *, strict: bool = True
+) -> FrequencyAnalysis:
+    """Run the top-down pass; see module docstring.
+
+    With ``strict`` (the default), branch probabilities must lie in
+    [0, 1] and any nonzero count over a zero-frequency node raises
+    :class:`AnalysisError` — exact profiles always satisfy both.
+    """
+    ecfg = fcdg.ecfg
+    runs = profile.invocations
+    analysis = FrequencyAnalysis(fcdg=fcdg, invocations=runs)
+    node_freq = {node: 0.0 for node in fcdg.nodes}
+    node_freq[ecfg.start] = 1.0
+
+    for u in fcdg.topological_order():
+        nf = node_freq[u]
+        for label in fcdg.labels(u):
+            total = condition_total(fcdg, profile, u, label)
+            denominator = runs * nf
+            if denominator > 0:
+                freq = total / denominator
+            elif total == 0:
+                freq = 0.0  # the paper's 0/0 convention
+            else:
+                raise AnalysisError(
+                    f"inconsistent profile: TOTAL_FREQ({u}, {label}) = {total} "
+                    "but the node never executes"
+                )
+            if strict and not ecfg.is_preheader(u) and u != ecfg.start:
+                if freq > 1.0 + _PROBABILITY_SLACK:
+                    raise AnalysisError(
+                        f"branch probability FREQ({u}, {label}) = {freq} > 1"
+                    )
+                freq = min(freq, 1.0)
+            analysis.freq[(u, label)] = freq
+            analysis.total_freq[(u, label)] = total
+            for child in fcdg.children(u, label):
+                node_freq[child] += nf * freq
+    analysis.node_freq = node_freq
+    return analysis

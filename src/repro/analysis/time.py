@@ -1,0 +1,42 @@
+"""The bottom-up average-execution-time pass (Section 4).
+
+``TIME(u) = COST(u) + Σ_{(u,v,l)} FREQ(u,l) × TIME(v)``
+
+computed in one bottom-up (reverse topological) traversal of the FCDG.
+``COST`` maps ECFG node ids to local costs; nodes absent from the
+mapping (synthetic START/STOP/PREHEADER/POSTEXIT nodes) cost zero.
+Interprocedural costs (rule 2) are folded into ``COST`` by the caller
+— see :mod:`repro.analysis.interprocedural`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.freq import FrequencyAnalysis
+from repro.cdg.fcdg import FCDG
+
+
+def compute_times(
+    fcdg: FCDG,
+    freqs: FrequencyAnalysis,
+    costs: Mapping[int, float],
+) -> dict[int, float]:
+    """TIME(u) for every FCDG node; TIME(START) is the procedure total."""
+    times: dict[int, float] = {}
+    for u in fcdg.bottom_up_order():
+        total = costs.get(u, 0.0)
+        for label in fcdg.labels(u):
+            frequency = freqs.freq[(u, label)]
+            if frequency == 0.0:
+                continue
+            total += frequency * sum(
+                times[child] for child in fcdg.children(u, label)
+            )
+        times[u] = total
+    return times
+
+
+def total_time(fcdg: FCDG, times: Mapping[int, float]) -> float:
+    """TIME(START): the average execution time of the whole procedure."""
+    return times[fcdg.ecfg.start]

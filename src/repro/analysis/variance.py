@@ -1,0 +1,126 @@
+"""The bottom-up variance pass (Section 5).
+
+Two cases, mirroring the paper exactly:
+
+**Case 1 — u is a preheader.**  With loop frequency ``F = FREQ(u, l)``
+over the loop-body children ``C(u, l)``::
+
+    VAR(u) = F² · ΣVAR(v) + VAR(F) · (ΣTIME(v))² + VAR(F) · ΣVAR(v)
+
+``VAR(F)`` comes from a pluggable loop-variance model (zero by
+default; see :mod:`repro.analysis.distributions`).
+
+**Case 2 — u is a branch (or any other) node.**  With mutually
+exclusive labels ``l`` of probabilities ``FREQ(u, l)``::
+
+    E[T_C(u)²] = Σ_l FREQ(u,l) · ( ΣVAR(v) + (ΣTIME(v))² )
+    VAR(u)     = VAR(COST(u)) + E[T_C(u)²] − E[T_C(u)]²
+
+``VAR(COST(u))`` is zero unless the caller supplies per-node cost
+variance — the interprocedural driver uses it to propagate callee
+variance through call nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.distributions import LoopVariance, zero_loop_variance
+from repro.analysis.freq import FrequencyAnalysis
+from repro.cdg.fcdg import FCDG
+from repro.cfg.graph import is_pseudo_label
+
+
+@dataclass
+class VarianceResult:
+    """VAR / E[T²] / STD_DEV for every FCDG node of one procedure."""
+
+    fcdg: FCDG
+    var: dict[int, float] = field(default_factory=dict)
+    second_moment: dict[int, float] = field(default_factory=dict)
+
+    def std_dev(self, node: int) -> float:
+        return math.sqrt(max(0.0, self.var[node]))
+
+    @property
+    def total_var(self) -> float:
+        return self.var[self.fcdg.ecfg.start]
+
+    @property
+    def total_std_dev(self) -> float:
+        return self.std_dev(self.fcdg.ecfg.start)
+
+
+def compute_variances(
+    fcdg: FCDG,
+    freqs: FrequencyAnalysis,
+    times: Mapping[int, float],
+    *,
+    cost_variance: Mapping[int, float] | None = None,
+    loop_variance: LoopVariance = zero_loop_variance,
+) -> VarianceResult:
+    """Run the bottom-up variance pass; see the module docstring."""
+    ecfg = fcdg.ecfg
+    cost_var = cost_variance or {}
+    result = VarianceResult(fcdg=fcdg)
+
+    for u in fcdg.bottom_up_order():
+        if ecfg.is_preheader(u):
+            variance = _preheader_variance(
+                fcdg, freqs, times, result.var, u, loop_variance
+            )
+        else:
+            variance = _branch_variance(
+                fcdg, freqs, times, result.var, u, cost_var.get(u, 0.0)
+            )
+        # Tiny negative values arise from floating point cancellation.
+        result.var[u] = max(0.0, variance)
+        result.second_moment[u] = result.var[u] + times[u] ** 2
+    return result
+
+
+def _preheader_variance(
+    fcdg: FCDG,
+    freqs: FrequencyAnalysis,
+    times: Mapping[int, float],
+    var: Mapping[int, float],
+    u: int,
+    loop_variance: LoopVariance,
+) -> float:
+    label = fcdg.ecfg.loop_label(u)
+    frequency = freqs.freq.get((u, label), 0.0)
+    children = fcdg.children(u, label)
+    sum_time = sum(times[v] for v in children)
+    sum_var = sum(var[v] for v in children)
+    freq_var = loop_variance(u, frequency)
+    return (
+        frequency * frequency * sum_var
+        + freq_var * sum_time * sum_time
+        + freq_var * sum_var
+    )
+
+
+def _branch_variance(
+    fcdg: FCDG,
+    freqs: FrequencyAnalysis,
+    times: Mapping[int, float],
+    var: Mapping[int, float],
+    u: int,
+    local_cost_var: float,
+) -> float:
+    expected = 0.0
+    expected_sq = 0.0
+    for label in fcdg.labels(u):
+        if is_pseudo_label(label):
+            continue  # frequency 0: contributes nothing
+        frequency = freqs.freq[(u, label)]
+        if frequency == 0.0:
+            continue
+        children = fcdg.children(u, label)
+        sum_time = sum(times[v] for v in children)
+        sum_var = sum(var[v] for v in children)
+        expected += frequency * sum_time
+        expected_sq += frequency * (sum_var + sum_time * sum_time)
+    return local_cost_var + expected_sq - expected * expected

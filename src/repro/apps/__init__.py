@@ -1,0 +1,1 @@
+"""Applications of the execution-time/variance estimates."""

@@ -1,0 +1,203 @@
+"""Task partitioning from TIME/VAR estimates (PTRAN's primary use).
+
+"Currently, the primary use of execution time information in PTRAN is
+in automatically partitioning the input program into tasks for
+parallel execution."  This module implements a simplified
+macro-dataflow partitioner in that spirit [Sar87, Sar89]:
+
+* every loop is a candidate parallel task set — profitable when the
+  Kruskal-Weiss makespan estimate (with the variance-aware chunk
+  size) beats the sequential time plus spawn overheads;
+* every call site is a candidate asynchronous task — profitable when
+  the callee's average TIME dwarfs the spawn overhead;
+* nested candidates are resolved outermost-first (a loop already
+  executed inside a parallel loop is not spawned again);
+* the result carries an Amdahl-style whole-program speedup estimate.
+
+The numbers come straight from the paper's framework: per-iteration
+means and variances via :func:`repro.apps.chunking.loop_iteration_stats`
+and callee TIMEs via rule 2.  This is a planning heuristic, not a
+scheduler — its value here is demonstrating the decision procedure the
+paper says the estimates enable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.interprocedural import ProgramAnalysis
+from repro.apps.chunking import (
+    estimate_makespan,
+    loop_iteration_stats,
+    optimal_chunk_size,
+)
+from repro.cfg.graph import StmtKind
+from repro.errors import AnalysisError
+
+
+@dataclass
+class LoopTask:
+    """One loop considered for chunked parallel execution."""
+
+    proc: str
+    header: int
+    text: str
+    entries: float  # loop entries per program run
+    iterations: float  # average iterations per entry
+    iter_mean: float
+    iter_std: float
+    chunk: int
+    sequential_time: float  # per entry
+    parallel_time: float  # per entry, estimated makespan
+    profitable: bool
+
+    @property
+    def saving_per_run(self) -> float:
+        if not self.profitable:
+            return 0.0
+        return self.entries * (self.sequential_time - self.parallel_time)
+
+
+@dataclass
+class CallTask:
+    """One call site considered for asynchronous spawning."""
+
+    proc: str
+    node: int
+    text: str
+    callee: str
+    calls_per_run: float
+    callee_time: float
+    profitable: bool
+
+
+@dataclass
+class Partition:
+    """The partitioner's full decision record."""
+
+    n_processors: int
+    spawn_overhead: float
+    loops: list[LoopTask] = field(default_factory=list)
+    calls: list[CallTask] = field(default_factory=list)
+    sequential_time: float = 0.0
+    parallel_time: float = 0.0
+
+    @property
+    def chosen_loops(self) -> list[LoopTask]:
+        return [t for t in self.loops if t.profitable]
+
+    @property
+    def estimated_speedup(self) -> float:
+        if self.parallel_time <= 0:
+            return 1.0
+        return self.sequential_time / self.parallel_time
+
+
+def partition_program(
+    analysis: ProgramAnalysis,
+    *,
+    n_processors: int = 4,
+    spawn_overhead: float = 200.0,
+    call_spawn_factor: float = 10.0,
+) -> Partition:
+    """Decide which loops/calls to parallelize; see module docstring.
+
+    ``spawn_overhead`` is the per-chunk scheduling cost (cycles);
+    a call is marked task-worthy when the callee's TIME exceeds
+    ``call_spawn_factor × spawn_overhead``.
+    """
+    result = Partition(
+        n_processors=n_processors, spawn_overhead=spawn_overhead
+    )
+    runs = max(
+        1.0,
+        analysis.procedures[
+            analysis.checked.unit.main.name
+        ].freqs.invocations,
+    )
+
+    for name, proc in sorted(analysis.procedures.items()):
+        invocations = proc.freqs.invocations / runs
+        # -- loops, outermost-first within the procedure ---------------
+        claimed: set[int] = set()
+        for header in proc.ecfg.intervals.loop_headers:  # by depth
+            preheader = proc.ecfg.preheader_of[header]
+            entries = (
+                proc.freqs.node_freq.get(preheader, 0.0) * invocations
+            )
+            if entries <= 0:
+                continue
+            iterations = proc.freqs.loop_frequency(preheader)
+            if iterations <= 1:
+                continue
+            try:
+                mean, var = loop_iteration_stats(proc, header)
+            except AnalysisError:
+                continue
+            n_iter = max(1, round(iterations))
+            chunk = optimal_chunk_size(
+                n_iter, n_processors, mean, math.sqrt(var), spawn_overhead
+            )
+            sequential = proc.times[preheader]
+            parallel = estimate_makespan(
+                n_iter,
+                n_processors,
+                mean,
+                math.sqrt(var),
+                spawn_overhead,
+                chunk,
+            )
+            enclosing_chosen = any(
+                header in proc.ecfg.intervals.members.get(outer, set())
+                for outer in claimed
+            )
+            profitable = parallel < sequential and not enclosing_chosen
+            if profitable:
+                claimed.add(header)
+            result.loops.append(
+                LoopTask(
+                    proc=name,
+                    header=header,
+                    text=proc.cfg.nodes[header].text,
+                    entries=entries,
+                    iterations=iterations,
+                    iter_mean=mean,
+                    iter_std=math.sqrt(var),
+                    chunk=chunk,
+                    sequential_time=sequential,
+                    parallel_time=parallel,
+                    profitable=profitable,
+                )
+            )
+        # -- call sites -----------------------------------------------------
+        for node in proc.cfg:
+            if node.kind is not StmtKind.CALL:
+                continue
+            callee = node.stmt.name
+            callee_time = analysis.procedures[callee].time
+            calls_per_run = (
+                proc.freqs.node_freq.get(node.id, 0.0) * invocations
+            )
+            if calls_per_run <= 0:
+                continue
+            result.calls.append(
+                CallTask(
+                    proc=name,
+                    node=node.id,
+                    text=node.text,
+                    callee=callee,
+                    calls_per_run=calls_per_run,
+                    callee_time=callee_time,
+                    profitable=callee_time
+                    > call_spawn_factor * spawn_overhead,
+                )
+            )
+
+    result.sequential_time = analysis.total_time
+    saving = sum(t.saving_per_run for t in result.loops)
+    result.parallel_time = max(
+        result.sequential_time - saving,
+        result.sequential_time / n_processors,
+    )
+    return result

@@ -1,0 +1,142 @@
+"""Frequency-weighted spill costs for register allocation [Wal86].
+
+The third consumer the paper's introduction names: "register
+allocation [Wal86]" used link-time profile estimates to decide which
+variables deserve registers.  Given an analyzed program, this module
+computes, for every scalar variable of a procedure,
+
+    spill_cost(v) = Σ over nodes u:  NODE_FREQ(u) × (reads_u(v) × load
+                                     + writes_u(v) × store)
+
+— the memory traffic avoided per invocation by keeping ``v`` in a
+register — and ranks variables accordingly.  Loop nesting falls out of
+NODE_FREQ automatically: a variable touched inside a hot loop outranks
+one touched more often in the source but executed rarely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interprocedural import ProgramAnalysis
+from repro.cfg.graph import StmtKind
+from repro.costs.model import MachineModel
+from repro.lang import ast
+
+
+@dataclass
+class SpillCost:
+    """Register-worthiness of one scalar variable."""
+
+    name: str
+    reads: float  # expected dynamic reads per invocation
+    writes: float  # expected dynamic writes per invocation
+    cost: float  # cycles of memory traffic saved by a register
+
+    @property
+    def accesses(self) -> float:
+        return self.reads + self.writes
+
+
+class _AccessCounter:
+    """Static per-node scalar read/write counts for one procedure."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def _is_scalar(self, name: str) -> bool:
+        if name in self.table.constants:
+            return False  # constants are immediates, not memory
+        info = self.table.lookup(name)
+        return info is None or not info.is_array
+
+    def _expr_reads(self, expr: ast.Expr | None, reads: dict[str, int]):
+        if expr is None:
+            return
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.VarRef) and self._is_scalar(node.name):
+                reads[node.name] = reads.get(node.name, 0) + 1
+
+    def node_accesses(
+        self, cfg_node
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        reads: dict[str, int] = {}
+        writes: dict[str, int] = {}
+        stmt = cfg_node.stmt
+        kind = cfg_node.kind
+        if kind is StmtKind.ASSIGN:
+            assert isinstance(stmt, ast.Assign)
+            self._expr_reads(stmt.value, reads)
+            if isinstance(stmt.target, ast.VarRef):
+                writes[stmt.target.name] = writes.get(stmt.target.name, 0) + 1
+            else:
+                for index in stmt.target.indices:
+                    self._expr_reads(index, reads)
+        elif kind in (
+            StmtKind.IF,
+            StmtKind.WHILE_TEST,
+            StmtKind.CGOTO,
+            StmtKind.AIF,
+        ):
+            self._expr_reads(cfg_node.cond, reads)
+        elif kind is StmtKind.DO_INIT:
+            assert isinstance(stmt, ast.DoLoop)
+            self._expr_reads(stmt.start, reads)
+            self._expr_reads(stmt.stop, reads)
+            self._expr_reads(stmt.step, reads)
+            writes[stmt.var] = writes.get(stmt.var, 0) + 1
+        elif kind is StmtKind.DO_INCR:
+            assert isinstance(stmt, ast.DoLoop)
+            reads[stmt.var] = reads.get(stmt.var, 0) + 1
+            writes[stmt.var] = writes.get(stmt.var, 0) + 1
+        elif kind is StmtKind.CALL:
+            assert isinstance(stmt, ast.CallStmt)
+            for arg in stmt.args:
+                if isinstance(arg, ast.VarRef) and self._is_scalar(arg.name):
+                    # by-reference scalar: read now, possibly written.
+                    reads[arg.name] = reads.get(arg.name, 0) + 1
+                    writes[arg.name] = writes.get(arg.name, 0) + 1
+                else:
+                    self._expr_reads(arg, reads)
+        elif kind is StmtKind.PRINT:
+            assert isinstance(stmt, ast.PrintStmt)
+            for item in stmt.items:
+                self._expr_reads(item, reads)
+        return reads, writes
+
+
+def spill_costs(
+    analysis: ProgramAnalysis, proc_name: str, model: MachineModel
+) -> list[SpillCost]:
+    """Scalar variables of ``proc_name`` ranked by frequency-weighted
+    memory-traffic cost, hottest first."""
+    proc = analysis.procedures[proc_name]
+    counter = _AccessCounter(analysis.checked.tables[proc_name])
+    totals: dict[str, SpillCost] = {}
+    for node in proc.cfg:
+        frequency = proc.freqs.node_freq.get(node.id, 0.0)
+        if frequency <= 0:
+            continue
+        reads, writes = counter.node_accesses(node)
+        for name, count in reads.items():
+            entry = totals.setdefault(name, SpillCost(name, 0.0, 0.0, 0.0))
+            entry.reads += frequency * count
+        for name, count in writes.items():
+            entry = totals.setdefault(name, SpillCost(name, 0.0, 0.0, 0.0))
+            entry.writes += frequency * count
+    for entry in totals.values():
+        entry.cost = entry.reads * model.load + entry.writes * model.store
+    return sorted(totals.values(), key=lambda e: (-e.cost, e.name))
+
+
+def register_allocation_advice(
+    analysis: ProgramAnalysis,
+    proc_name: str,
+    model: MachineModel,
+    n_registers: int,
+) -> tuple[list[str], float]:
+    """Greedy allocation: the top-``n_registers`` variables by spill
+    cost, and the cycles saved per invocation by that choice."""
+    ranked = spill_costs(analysis, proc_name, model)
+    chosen = ranked[:n_registers]
+    return [c.name for c in chosen], sum(c.cost for c in chosen)

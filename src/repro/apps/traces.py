@@ -1,0 +1,194 @@
+"""Frequency-driven trace selection and branch layout.
+
+Two of the optimizations the paper's introduction cites as consumers
+of execution-frequency information:
+
+* **Trace scheduling** [FERN84] — pick *traces* (likely acyclic paths)
+  by Fisher's mutual-most-likely heuristic, seeded at the
+  highest-frequency unvisited node and grown along the most frequent
+  CFG edges, never crossing a loop back edge;
+* **Branch layout** [MH86] — for every two-way branch, make the more
+  frequent arm the fall-through and estimate the cycles saved given a
+  taken-branch penalty.
+
+Both consume the edge frequencies derived in
+:mod:`repro.analysis.edge_freq` — the same numbers the paper's
+framework produces, exercised the way a compiler back end would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.edge_freq import edge_frequencies
+from repro.analysis.interprocedural import ProcedureAnalysis
+from repro.cfg.graph import CFGEdge, StmtKind
+
+#: Node kinds excluded from traces (no machine code of their own).
+_SYNTHETIC = frozenset({StmtKind.ENTRY, StmtKind.EXIT, StmtKind.NOOP})
+
+
+@dataclass
+class Trace:
+    """One selected trace: a loop-free path of CFG nodes."""
+
+    nodes: list[int]
+    #: expected executions of the seed node, per invocation.
+    seed_frequency: float
+    #: Σ NODE_FREQ over trace members (a share-of-work measure).
+    weight: float
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def select_traces(
+    proc: ProcedureAnalysis, *, min_frequency: float = 1e-9
+) -> list[Trace]:
+    """Fisher-style trace selection over the analyzed CFG.
+
+    Returns traces in selection order (hottest first); every
+    non-synthetic node with frequency above ``min_frequency`` belongs
+    to exactly one trace.
+    """
+    cfg = proc.cfg
+    node_freq = proc.freqs.node_freq
+    counts = edge_frequencies(proc)
+    back_edges = {
+        (edge.src, edge.dst)
+        for header, edges in proc.ecfg.intervals.loop_back_edges.items()
+        for edge in edges
+    }
+
+    def crosses_back_edge(edge: CFGEdge) -> bool:
+        return (edge.src, edge.dst) in back_edges
+
+    candidates = [
+        node
+        for node in cfg.nodes
+        if cfg.nodes[node].kind not in _SYNTHETIC
+        and node_freq.get(node, 0.0) > min_frequency
+    ]
+    unvisited = set(candidates)
+    traces: list[Trace] = []
+
+    def best_successor(node: int) -> int | None:
+        viable = [
+            e
+            for e in cfg.out_edges(node)
+            if e.dst in unvisited
+            and not crosses_back_edge(e)
+            and counts[e] > min_frequency
+        ]
+        if not viable:
+            return None
+        best = max(viable, key=lambda e: counts[e])
+        # mutual-most-likely: the target's hottest incoming edge must
+        # be this one, or the trace would tear another hot path apart.
+        incoming = max(
+            cfg.in_edges(best.dst), key=lambda e: counts[e]
+        )
+        if incoming.src != node:
+            return None
+        return best.dst
+
+    def best_predecessor(node: int) -> int | None:
+        viable = [
+            e
+            for e in cfg.in_edges(node)
+            if e.src in unvisited
+            and not crosses_back_edge(e)
+            and counts[e] > min_frequency
+        ]
+        if not viable:
+            return None
+        best = max(viable, key=lambda e: counts[e])
+        outgoing = max(cfg.out_edges(best.src), key=lambda e: counts[e])
+        if outgoing.dst != node:
+            return None
+        return best.src
+
+    for seed in sorted(
+        candidates, key=lambda n: (-node_freq.get(n, 0.0), n)
+    ):
+        if seed not in unvisited:
+            continue
+        unvisited.discard(seed)
+        trace_nodes = [seed]
+        cursor = seed
+        while True:
+            nxt = best_successor(cursor)
+            if nxt is None:
+                break
+            trace_nodes.append(nxt)
+            unvisited.discard(nxt)
+            cursor = nxt
+        cursor = seed
+        while True:
+            prev = best_predecessor(cursor)
+            if prev is None:
+                break
+            trace_nodes.insert(0, prev)
+            unvisited.discard(prev)
+            cursor = prev
+        traces.append(
+            Trace(
+                nodes=trace_nodes,
+                seed_frequency=node_freq.get(seed, 0.0),
+                weight=sum(node_freq.get(n, 0.0) for n in trace_nodes),
+            )
+        )
+    return traces
+
+
+@dataclass
+class BranchAdvice:
+    """Layout recommendation for one two-way branch."""
+
+    node: int
+    text: str
+    fallthrough_label: str
+    taken_count: float
+    not_taken_count: float
+    #: cycles saved per invocation vs the worse layout.
+    saving: float
+
+    @property
+    def flipped(self) -> bool:
+        """True when the recommended fall-through is the F arm's
+        opposite — i.e. the source order should be inverted."""
+        return self.fallthrough_label == "T"
+
+
+def branch_layout_advice(
+    proc: ProcedureAnalysis, *, taken_penalty: float = 2.0
+) -> list[BranchAdvice]:
+    """Per-branch fall-through recommendations, hottest saving first.
+
+    A taken branch costs ``taken_penalty`` extra cycles; laying out
+    the more frequent arm as the fall-through saves
+    ``penalty × |count(T) − count(F)|`` versus the worse layout.
+    """
+    cfg = proc.cfg
+    counts = edge_frequencies(proc)
+    advice: list[BranchAdvice] = []
+    for node in cfg.nodes:
+        if cfg.nodes[node].kind is not StmtKind.IF:
+            continue
+        by_label = {e.label: counts[e] for e in cfg.out_edges(node)}
+        if set(by_label) != {"T", "F"}:
+            continue
+        hot = "T" if by_label["T"] >= by_label["F"] else "F"
+        cold = "F" if hot == "T" else "T"
+        advice.append(
+            BranchAdvice(
+                node=node,
+                text=cfg.nodes[node].text,
+                fallthrough_label=hot,
+                taken_count=by_label[cold],
+                not_taken_count=by_label[hot],
+                saving=taken_penalty * (by_label[hot] - by_label[cold]),
+            )
+        )
+    advice.sort(key=lambda a: -a.saving)
+    return advice

@@ -1,0 +1,5 @@
+"""Call graphs: construction, SCC condensation, bottom-up ordering."""
+
+from repro.callgraph.build import CallGraph, build_call_graph
+
+__all__ = ["CallGraph", "build_call_graph"]

@@ -1,0 +1,133 @@
+"""Call graph construction and bottom-up ordering.
+
+The paper's rule 2 (``COST(call) = TIME(START_callee)``) requires
+visiting procedures bottom-up in the call graph.  Recursive procedures
+form strongly connected components; the interprocedural driver applies
+the geometric-closure extension to those (the paper defers recursion to
+[Sar87, Sar89]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.symbols import INTRINSICS, CheckedProgram
+
+
+@dataclass
+class CallGraph:
+    """Static call graph over a program's procedures."""
+
+    #: caller -> {callee -> number of textual call sites}.
+    calls: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Strongly connected components in *bottom-up* order: every
+    #: component is listed after all components it calls into.
+    sccs: list[list[str]] = field(default_factory=list)
+
+    def callees(self, name: str) -> list[str]:
+        return sorted(self.calls.get(name, {}))
+
+    def callers(self, name: str) -> list[str]:
+        return sorted(
+            caller for caller, callees in self.calls.items() if name in callees
+        )
+
+    def is_recursive(self, name: str) -> bool:
+        """True when ``name`` is in a cycle (including self-recursion)."""
+        for scc in self.sccs:
+            if name in scc:
+                return len(scc) > 1 or name in self.calls.get(name, {})
+        return False
+
+    def bottom_up(self) -> list[str]:
+        """All procedures, callees before callers."""
+        return [name for scc in self.sccs for name in scc]
+
+
+def _call_sites(proc: ast.Procedure, checked: CheckedProgram) -> dict[str, int]:
+    """Callee -> number of textual call sites in ``proc``."""
+    table = checked.tables[proc.name]
+    sites: dict[str, int] = {}
+
+    def visit_expr(expr: ast.Expr) -> None:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.FuncCall):
+                info = table.lookup(node.name)
+                if info is not None and info.is_array:
+                    continue
+                if node.name in INTRINSICS:
+                    continue
+                sites[node.name] = sites.get(node.name, 0) + 1
+
+    for stmt in proc.walk_statements():
+        if isinstance(stmt, ast.CallStmt):
+            sites[stmt.name] = sites.get(stmt.name, 0) + 1
+        for expr in ast.stmt_expressions(stmt):
+            visit_expr(expr)
+    return sites
+
+
+def _tarjan_sccs(
+    nodes: list[str], succ: dict[str, dict[str, int]]
+) -> list[list[str]]:
+    """Tarjan's SCC algorithm (iterative); emits SCCs bottom-up."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (root, sorted(succ.get(root, {})), 0)
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, targets, i = work.pop()
+            advanced = False
+            while i < len(targets):
+                target = targets[i]
+                i += 1
+                if target not in index:
+                    index[target] = lowlink[target] = counter[0]
+                    counter[0] += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((node, targets, i))
+                    work.append((target, sorted(succ.get(target, {})), 0))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def build_call_graph(checked: CheckedProgram) -> CallGraph:
+    """Build the call graph of a checked program."""
+    graph = CallGraph()
+    names = sorted(checked.unit.procedures)
+    for name in names:
+        graph.calls[name] = _call_sites(checked.unit.procedures[name], checked)
+    graph.sccs = _tarjan_sccs(names, graph.calls)
+    return graph

@@ -1,0 +1,6 @@
+"""Control dependence (FOW87) and the forward control dependence graph."""
+
+from repro.cdg.control_deps import CDEdge, compute_control_dependence
+from repro.cdg.fcdg import FCDG, build_fcdg
+
+__all__ = ["CDEdge", "compute_control_dependence", "FCDG", "build_fcdg"]

@@ -1,0 +1,51 @@
+"""Control dependence per Ferrante, Ottenstein and Warren (1987).
+
+``y`` is control dependent on ``(x, l)`` iff ``y`` does not postdominate
+``x``, and some path from ``x`` starting with the ``l``-labelled edge
+reaches ``y`` with every intermediate node postdominated by ``y``.
+
+The classic postdominator-tree formulation is used: for every CFG edge
+``(u, v, l)``, each node on the postdominator-tree path from ``v`` up to
+(but excluding) ``ipdom(u)`` is control dependent on ``(u, l)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.dominance import postdominator_tree
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class CDEdge:
+    """One control dependence: ``dst`` is control dependent on
+    ``(src, label)``."""
+
+    src: int
+    dst: int
+    label: str
+
+
+def compute_control_dependence(
+    cfg: ControlFlowGraph, ipdom: dict[int, int] | None = None
+) -> list[CDEdge]:
+    """All control dependence edges of ``cfg`` (back edges included).
+
+    ``ipdom`` may be supplied to reuse a postdominator tree; otherwise
+    it is computed here.
+    """
+    if ipdom is None:
+        ipdom = postdominator_tree(cfg)
+    deps: list[CDEdge] = []
+    seen: set[tuple[int, int, str]] = set()
+    for edge in cfg.edges:
+        stop_at = ipdom[edge.src]
+        runner = edge.dst
+        while runner != stop_at:
+            key = (edge.src, runner, edge.label)
+            if key not in seen:
+                seen.add(key)
+                deps.append(CDEdge(edge.src, runner, edge.label))
+            runner = ipdom[runner]
+    return deps

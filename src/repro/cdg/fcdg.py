@@ -1,0 +1,196 @@
+"""The forward control dependence graph (FCDG).
+
+The FCDG is the control dependence graph of an *acyclified* extended
+CFG.  Cutting cycles the right way matters:
+
+* every back edge ``(u, h, l)`` is redirected to a per-loop ITER_END
+  node — taking a back edge ends the *iteration*, the unit whose
+  control structure the FCDG describes, so nothing in the next
+  iteration may become dependent on this iteration's branches;
+* each ITER_END gets *pseudo* edges to its loop's postexits: after
+  the last iteration, control really does leave through one of them.
+  This keeps postdominance faithful (code after the loop still
+  postdominates the loop body) without introducing taken-at-runtime
+  edges;
+* control dependence (FOW87) is then computed globally on the acyclic
+  graph, and edges incident to ITER_END nodes are discarded.
+
+The result — together with the PREHEADER/POSTEXIT/START/STOP pseudo
+structure of the ECFG — is rooted at START, connected and acyclic,
+with every node except STOP present, exactly as Section 2 claims.
+Cross-interval dependences (a node after an inner loop depending on
+the inner loop's normal-exit branch) are preserved, which the
+frequency equations of Section 3 rely on.
+
+The FCDG also exposes the vocabulary of Sections 3-5: *control
+conditions* ``(u, l)``, the ``L(u)`` / ``C(u, l)`` notation of
+Section 5, and topological orders for the frequency/TIME/VAR passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.cdg.control_deps import CDEdge, compute_control_dependence
+from repro.cfg.dominance import postdominator_tree
+from repro.cfg.graph import ControlFlowGraph, StmtKind
+from repro.ecfg import ExtendedCFG
+
+
+@dataclass
+class FCDG:
+    """Forward control dependence graph over an extended CFG."""
+
+    ecfg: ExtendedCFG
+    edges: list[CDEdge] = field(default_factory=list)
+    #: node -> outgoing CD edges, grouped: label -> children.
+    _children: dict[int, dict[str, list[int]]] = field(default_factory=dict)
+    _parents: dict[int, list[CDEdge]] = field(default_factory=dict)
+    _topo: list[int] = field(default_factory=list)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return self.ecfg.start
+
+    @property
+    def nodes(self) -> list[int]:
+        """All FCDG nodes in topological order (root first)."""
+        return list(self._topo)
+
+    def labels(self, node: int) -> list[str]:
+        """L(u): the labels on u's outgoing FCDG edges."""
+        return list(self._children.get(node, {}))
+
+    def children(self, node: int, label: str) -> list[int]:
+        """C(u, l): u's FCDG children under label l."""
+        return list(self._children.get(node, {}).get(label, []))
+
+    def all_children(self, node: int) -> list[tuple[str, int]]:
+        return [
+            (label, child)
+            for label, kids in self._children.get(node, {}).items()
+            for child in kids
+        ]
+
+    def parents(self, node: int) -> list[CDEdge]:
+        """The CD edges targeting ``node``."""
+        return list(self._parents.get(node, []))
+
+    def conditions(self) -> list[tuple[int, str]]:
+        """All control conditions (u, l), in topological node order."""
+        return [
+            (node, label)
+            for node in self._topo
+            for label in self._children.get(node, {})
+        ]
+
+    def topological_order(self) -> list[int]:
+        return list(self._topo)
+
+    def bottom_up_order(self) -> list[int]:
+        return list(reversed(self._topo))
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the Section-2 structural claims; raises AnalysisError."""
+        graph_nodes = set(self.ecfg.graph.nodes)
+        expected = graph_nodes - {self.ecfg.stop}
+        present = set(self._topo)
+        if present != expected:
+            missing = expected - present
+            extra = present - expected
+            raise AnalysisError(
+                f"FCDG node set mismatch (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        for node in expected:
+            if node != self.root and not self._parents.get(node):
+                raise AnalysisError(f"FCDG node {node} has no parents")
+
+
+def acyclic_ecfg(ecfg: ExtendedCFG) -> tuple[ControlFlowGraph, set[int]]:
+    """The acyclified copy of the ECFG used for CD computation.
+
+    Returns the graph and the set of ITER_END node ids added to it.
+    """
+    graph = ecfg.graph.copy()
+    iter_ends: set[int] = set()
+    for header in ecfg.intervals.loop_headers:
+        preheader = ecfg.preheader_of[header]
+        # Every ECFG in-edge of a header other than the preheader's is
+        # the tail of a back-edge chain (interval entries were all
+        # redirected through the preheader; a back edge that doubles
+        # as an inner-loop exit arrives via that loop's postexit).
+        back_edges = [
+            edge for edge in graph.in_edges(header) if edge.src != preheader
+        ]
+        if not back_edges:
+            continue
+        iter_end = graph.add_node(
+            StmtKind.ITER_END, text=f"ITER_END({header})"
+        )
+        iter_ends.add(iter_end.id)
+        for current in back_edges:
+            graph.remove_edge(current)
+            graph.add_edge(current.src, iter_end.id, current.label)
+        postexits = ecfg.postexits_of(header)
+        if not postexits:
+            raise AnalysisError(
+                f"{graph.name}: loop at node {header} has no exits "
+                "(nonterminating control flow)"
+            )
+        for i, postexit in enumerate(postexits, start=1):
+            # Pseudo edges: never taken, but after the final iteration
+            # control really leaves through one of these postexits.
+            graph.add_edge(iter_end.id, postexit, f"Z{i}")
+    return graph, iter_ends
+
+
+def build_fcdg(ecfg: ExtendedCFG) -> FCDG:
+    """Compute the FCDG of an extended CFG and validate its structure."""
+    graph, iter_ends = acyclic_ecfg(ecfg)
+    ipdom = postdominator_tree(graph)
+    cd_edges = compute_control_dependence(graph, ipdom)
+    forward = [
+        e for e in cd_edges if e.src not in iter_ends and e.dst not in iter_ends
+    ]
+
+    fcdg = FCDG(ecfg=ecfg, edges=forward)
+    for edge in forward:
+        fcdg._children.setdefault(edge.src, {}).setdefault(
+            edge.label, []
+        ).append(edge.dst)
+        fcdg._parents.setdefault(edge.dst, []).append(edge)
+
+    fcdg._topo = _topological_sort(fcdg)
+    fcdg.validate()
+    return fcdg
+
+
+def _topological_sort(fcdg: FCDG) -> list[int]:
+    """Topological order of FCDG nodes from the root (Kahn's algorithm).
+
+    Raises AnalysisError when a cycle survives acyclification — which
+    would mean the construction is broken for this input.
+    """
+    indegree: dict[int, int] = {fcdg.root: 0}
+    for edge in fcdg.edges:
+        indegree.setdefault(edge.src, 0)
+        indegree[edge.dst] = indegree.get(edge.dst, 0) + 1
+    ready = sorted(node for node, deg in indegree.items() if deg == 0)
+    order: list[int] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for label, child in fcdg.all_children(node):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+    if len(order) != len(indegree):
+        leftover = sorted(n for n, d in indegree.items() if d > 0)
+        raise AnalysisError(f"FCDG contains a cycle through {leftover}")
+    return order

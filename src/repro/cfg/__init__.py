@@ -1,0 +1,35 @@
+"""Control flow graphs: data structure, builder, and graph analyses.
+
+This package implements Definition 1 of the paper — a labelled
+control-flow multigraph with a node-type mapping — plus the standard
+analyses the framework needs: depth-first search, dominators and
+postdominators, reducibility testing and node splitting.
+"""
+
+from repro.cfg.graph import (
+    CFGEdge,
+    CFGNode,
+    ControlFlowGraph,
+    NodeType,
+    StmtKind,
+)
+from repro.cfg.builder import build_cfg, build_program_cfgs
+from repro.cfg.dfs import DFSResult, depth_first_search
+from repro.cfg.dominance import dominator_tree, postdominator_tree
+from repro.cfg.reducibility import is_reducible, split_nodes
+
+__all__ = [
+    "CFGEdge",
+    "CFGNode",
+    "ControlFlowGraph",
+    "NodeType",
+    "StmtKind",
+    "build_cfg",
+    "build_program_cfgs",
+    "DFSResult",
+    "depth_first_search",
+    "dominator_tree",
+    "postdominator_tree",
+    "is_reducible",
+    "split_nodes",
+]

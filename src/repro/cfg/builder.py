@@ -1,0 +1,284 @@
+"""Lowering minifort procedures to statement-level control flow graphs.
+
+One CFG node is created per executable statement, matching the paper's
+Figure 1.  Plain ``GOTO`` and ``RETURN`` statements compile to edges
+rather than nodes; a labelled GOTO/RETURN gets a NOOP placeholder node
+so the label has a target.  DO loops lower to three nodes (DO_INIT,
+DO_TEST — the loop header — and DO_INCR), following the Fortran-77
+trip-count semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CFGError
+from repro.lang import ast
+from repro.lang.symbols import CheckedProgram
+from repro.lang.unparse import stmt_text, unparse_expr
+from repro.cfg.graph import (
+    LABEL_FALSE,
+    LABEL_TRUE,
+    LABEL_UNCOND,
+    ControlFlowGraph,
+    StmtKind,
+)
+
+#: A dangling out-edge waiting for its destination: (src node id, label).
+_Pending = tuple[int, str]
+
+
+class _Builder:
+    """Single-procedure CFG construction state."""
+
+    def __init__(self, proc: ast.Procedure):
+        self.proc = proc
+        self.cfg = ControlFlowGraph(name=proc.name)
+        self.pending: list[_Pending] = []
+        self.label_nodes: dict[int, int] = {}
+        self.deferred: list[tuple[int, str, int]] = []
+        self.exit_pending: list[_Pending] = []
+        self._trip_counter = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh_trip_var(self) -> str:
+        self._trip_counter += 1
+        return f"__TRIP{self._trip_counter}"
+
+    def _place(self, kind: StmtKind, **fields) -> int:
+        """Create a node and wire all pending edges into it."""
+        node = self.cfg.add_node(kind, **fields)
+        for src, label in self.pending:
+            self.cfg.add_edge(src, node.id, label)
+        self.pending = []
+        return node.id
+
+    def _register_label(self, stmt: ast.Stmt, node_id: int) -> None:
+        if stmt.label is not None:
+            self.label_nodes[stmt.label] = node_id
+
+    # -- driver --------------------------------------------------------------
+
+    def build(self) -> ControlFlowGraph:
+        entry = self.cfg.add_node(StmtKind.ENTRY, text="ENTRY")
+        self.cfg.entry = entry.id
+        self.pending = [(entry.id, LABEL_UNCOND)]
+        self._build_body(self.proc.body)
+        exit_node = self.cfg.add_node(StmtKind.EXIT, text="EXIT")
+        self.cfg.exit = exit_node.id
+        for src, label in self.pending + self.exit_pending:
+            self.cfg.add_edge(src, exit_node.id, label)
+        self.pending = []
+        self._resolve_deferred()
+        self.cfg.prune_unreachable()
+        return self.cfg
+
+    def _resolve_deferred(self) -> None:
+        for src, label, target in self.deferred:
+            dest = self.label_nodes.get(target)
+            if dest is None:
+                raise CFGError(
+                    f"{self.proc.name}: GOTO target label {target} has no node"
+                )
+            if src in self.cfg.nodes:
+                self.cfg.add_edge(src, dest, label)
+
+    def _build_body(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._build_stmt(stmt)
+
+    # -- statement lowering ----------------------------------------------
+
+    def _build_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, (ast.Declaration, ast.ParameterStmt)):
+            if stmt.label is not None:
+                node = self._place(StmtKind.NOOP, line=stmt.line, text="CONTINUE")
+                self._register_label(stmt, node)
+                self.pending = [(node, LABEL_UNCOND)]
+            return
+        if isinstance(stmt, ast.Assign):
+            self._simple_node(stmt, StmtKind.ASSIGN)
+        elif isinstance(stmt, ast.CallStmt):
+            self._simple_node(stmt, StmtKind.CALL)
+        elif isinstance(stmt, ast.PrintStmt):
+            self._simple_node(stmt, StmtKind.PRINT)
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._simple_node(stmt, StmtKind.NOOP)
+        elif isinstance(stmt, ast.StopStmt):
+            node = self._place(StmtKind.STOP, stmt=stmt, line=stmt.line, text="STOP")
+            self._register_label(stmt, node)
+            self.exit_pending.append((node, LABEL_UNCOND))
+        elif isinstance(stmt, ast.Goto):
+            self._build_goto(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._build_return(stmt)
+        elif isinstance(stmt, ast.ComputedGoto):
+            self._build_computed_goto(stmt)
+        elif isinstance(stmt, ast.ArithmeticIf):
+            self._build_arithmetic_if(stmt)
+        elif isinstance(stmt, ast.LogicalIf):
+            self._build_logical_if(stmt)
+        elif isinstance(stmt, ast.IfBlock):
+            self._build_if_block(stmt)
+        elif isinstance(stmt, ast.DoLoop):
+            self._build_do_loop(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._build_do_while(stmt)
+        else:  # pragma: no cover - new statement kinds must be handled
+            raise CFGError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _simple_node(self, stmt: ast.Stmt, kind: StmtKind) -> None:
+        node = self._place(kind, stmt=stmt, line=stmt.line, text=stmt_text(stmt))
+        self._register_label(stmt, node)
+        self.pending = [(node, LABEL_UNCOND)]
+
+    def _build_goto(self, stmt: ast.Goto) -> None:
+        if stmt.label is not None:
+            node = self._place(StmtKind.NOOP, line=stmt.line, text="CONTINUE")
+            self._register_label(stmt, node)
+            self.deferred.append((node, LABEL_UNCOND, stmt.target))
+        else:
+            for src, label in self.pending:
+                self.deferred.append((src, label, stmt.target))
+        self.pending = []
+
+    def _build_return(self, stmt: ast.ReturnStmt) -> None:
+        if stmt.label is not None:
+            node = self._place(StmtKind.NOOP, line=stmt.line, text="CONTINUE")
+            self._register_label(stmt, node)
+            self.exit_pending.append((node, LABEL_UNCOND))
+        else:
+            self.exit_pending.extend(self.pending)
+        self.pending = []
+
+    def _build_computed_goto(self, stmt: ast.ComputedGoto) -> None:
+        node = self._place(
+            StmtKind.CGOTO,
+            stmt=stmt,
+            cond=stmt.selector,
+            line=stmt.line,
+            text=stmt_text(stmt),
+        )
+        self._register_label(stmt, node)
+        for i, target in enumerate(stmt.targets, start=1):
+            self.deferred.append((node, f"C{i}", target))
+        # Selector out of 1..n falls through to the next statement.
+        self.pending = [(node, LABEL_UNCOND)]
+
+    def _build_arithmetic_if(self, stmt: ast.ArithmeticIf) -> None:
+        node = self._place(
+            StmtKind.AIF,
+            stmt=stmt,
+            cond=stmt.expr,
+            line=stmt.line,
+            text=stmt_text(stmt),
+        )
+        self._register_label(stmt, node)
+        # Three-way branch on sign; duplicate targets share a node but
+        # keep distinct labels (the CFG is a multigraph).
+        for label, target in zip(("LT", "EQ", "GT"), stmt.targets):
+            self.deferred.append((node, label, target))
+        self.pending = []
+
+    def _build_logical_if(self, stmt: ast.LogicalIf) -> None:
+        node = self._place(
+            StmtKind.IF,
+            stmt=stmt,
+            cond=stmt.cond,
+            line=stmt.line,
+            text=f"IF ({unparse_expr(stmt.cond)})",
+        )
+        self._register_label(stmt, node)
+        inner = stmt.stmt
+        join: list[_Pending] = [(node, LABEL_FALSE)]
+        if isinstance(inner, ast.Goto):
+            self.deferred.append((node, LABEL_TRUE, inner.target))
+        elif isinstance(inner, ast.ReturnStmt):
+            self.exit_pending.append((node, LABEL_TRUE))
+        else:
+            self.pending = [(node, LABEL_TRUE)]
+            self._build_stmt(inner)
+            join.extend(self.pending)
+        self.pending = join
+
+    def _build_if_block(self, stmt: ast.IfBlock) -> None:
+        join: list[_Pending] = []
+        first = True
+        arm_node = 0
+        for cond, body in stmt.arms:
+            arm_node = self._place(
+                StmtKind.IF,
+                stmt=stmt,
+                cond=cond,
+                line=cond.line,
+                text=f"IF ({unparse_expr(cond)})",
+            )
+            if first:
+                self._register_label(stmt, arm_node)
+                first = False
+            self.pending = [(arm_node, LABEL_TRUE)]
+            self._build_body(body)
+            join.extend(self.pending)
+            self.pending = [(arm_node, LABEL_FALSE)]
+        if stmt.else_body:
+            self._build_body(stmt.else_body)
+        join.extend(self.pending)
+        self.pending = join
+
+    def _build_do_loop(self, stmt: ast.DoLoop) -> None:
+        trip_var = self._fresh_trip_var()
+        init = self._place(
+            StmtKind.DO_INIT,
+            stmt=stmt,
+            trip_var=trip_var,
+            line=stmt.line,
+            text=stmt_text(stmt),
+        )
+        self._register_label(stmt, init)
+        test = self.cfg.add_node(
+            StmtKind.DO_TEST,
+            stmt=stmt,
+            trip_var=trip_var,
+            line=stmt.line,
+            text=f"DO-TEST {stmt.var}",
+        )
+        self.cfg.add_edge(init, test.id, LABEL_UNCOND)
+        self.pending = [(test.id, LABEL_TRUE)]
+        self._build_body(stmt.body)
+        if self.pending:
+            incr = self._place(
+                StmtKind.DO_INCR,
+                stmt=stmt,
+                trip_var=trip_var,
+                line=stmt.line,
+                text=f"DO-INCR {stmt.var}",
+            )
+            self.cfg.add_edge(incr, test.id, LABEL_UNCOND)
+        self.pending = [(test.id, LABEL_FALSE)]
+
+    def _build_do_while(self, stmt: ast.DoWhile) -> None:
+        test = self._place(
+            StmtKind.WHILE_TEST,
+            stmt=stmt,
+            cond=stmt.cond,
+            line=stmt.line,
+            text=f"DO WHILE ({unparse_expr(stmt.cond)})",
+        )
+        self._register_label(stmt, test)
+        self.pending = [(test, LABEL_TRUE)]
+        self._build_body(stmt.body)
+        for src, label in self.pending:
+            self.cfg.add_edge(src, test, label)
+        self.pending = [(test, LABEL_FALSE)]
+
+
+def build_cfg(proc: ast.Procedure) -> ControlFlowGraph:
+    """Build the statement-level CFG of one procedure."""
+    return _Builder(proc).build()
+
+
+def build_program_cfgs(checked: CheckedProgram) -> dict[str, ControlFlowGraph]:
+    """Build CFGs for every procedure of a checked program."""
+    return {
+        name: build_cfg(proc)
+        for name, proc in checked.unit.procedures.items()
+    }

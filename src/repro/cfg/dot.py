@@ -1,0 +1,73 @@
+"""Graphviz (DOT) export for CFGs, ECFGs and FCDGs."""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph, NodeType
+
+_TYPE_SHAPES = {
+    NodeType.START: "doubleoctagon",
+    NodeType.STOP: "doubleoctagon",
+    NodeType.HEADER: "house",
+    NodeType.PREHEADER: "invhouse",
+    NodeType.POSTEXIT: "invtriangle",
+    NodeType.OTHER: "box",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(cfg: ControlFlowGraph, name: str | None = None) -> str:
+    """The CFG as a DOT digraph; pseudo edges are dashed."""
+    lines = [f'digraph "{_escape(name or cfg.name or "cfg")}" {{']
+    lines.append("  node [fontsize=10];")
+    for node in cfg:
+        label = f"{node.id}: {node.text}" if node.text else str(node.id)
+        shape = _TYPE_SHAPES[node.type]
+        lines.append(
+            f'  n{node.id} [label="{_escape(label)}", shape={shape}];'
+        )
+    for edge in cfg.edges:
+        style = ", style=dashed" if edge.is_pseudo else ""
+        lines.append(
+            f'  n{edge.src} -> n{edge.dst} [label="{_escape(edge.label)}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fcdg_to_dot(fcdg, name: str | None = None, analysis=None) -> str:
+    """The forward control dependence graph as a DOT digraph.
+
+    With ``analysis`` (a :class:`ProcedureAnalysis` for the same
+    procedure), nodes carry their Figure-3 ``TIME/VAR`` annotations and
+    edges their ``FREQ`` values — a graphical rendering of the paper's
+    Figure 3.
+    """
+    graph = fcdg.ecfg.graph
+    lines = [f'digraph "{_escape(name or graph.name or "fcdg")}" {{']
+    lines.append("  node [fontsize=10];")
+    for node_id in fcdg.topological_order():
+        node = graph.nodes[node_id]
+        label = _escape(
+            f"{node.id}: {node.text}" if node.text else str(node.id)
+        )
+        if analysis is not None:
+            time = analysis.times.get(node_id, 0.0)
+            var = analysis.variances.var.get(node_id, 0.0)
+            label += f"\\nTIME={time:g} VAR={var:g}"
+        shape = _TYPE_SHAPES[node.type]
+        lines.append(f'  n{node.id} [label="{label}", shape={shape}];')
+    for edge in fcdg.edges:
+        style = ", style=dashed" if edge.label.startswith("Z") else ""
+        text = edge.label
+        if analysis is not None:
+            frequency = analysis.freqs.freq.get((edge.src, edge.label))
+            if frequency is not None:
+                text += f" ({frequency:g})"
+        lines.append(
+            f'  n{edge.src} -> n{edge.dst} [label="{_escape(text)}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""The control-flow-graph data structure (Definition 1 of the paper).
+
+A :class:`ControlFlowGraph` is a labelled multigraph: between one pair
+of nodes there may be several edges with different labels (e.g. an IF
+whose two branches reach the same join).  Each node carries a *type*
+used by the interval/ECFG machinery (START, STOP, HEADER, PREHEADER,
+POSTEXIT, OTHER) and a *kind* describing the statement it executes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CFGError
+from repro.lang import ast
+
+#: Conventional edge labels.  T/F are branch outcomes, U is an
+#: unconditional edge, Cn are computed-GOTO ways, Z* are the pseudo
+#: edges inserted by the ECFG construction (never taken at run time).
+LABEL_TRUE = "T"
+LABEL_FALSE = "F"
+LABEL_UNCOND = "U"
+PSEUDO_PREFIX = "Z"
+
+
+def is_pseudo_label(label: str) -> bool:
+    """True for the Z-labelled pseudo edges of the ECFG construction."""
+    return label.startswith(PSEUDO_PREFIX)
+
+
+class NodeType(enum.Enum):
+    """The node-type mapping T_c of Definition 1."""
+
+    START = "START"
+    STOP = "STOP"
+    HEADER = "HEADER"
+    PREHEADER = "PREHEADER"
+    POSTEXIT = "POSTEXIT"
+    OTHER = "OTHER"
+
+
+class StmtKind(enum.Enum):
+    """What a CFG node does when executed (interpreter dispatch key)."""
+
+    ENTRY = "entry"  # procedure entry marker (n_first when body empty)
+    EXIT = "exit"  # unique synthetic last node of a procedure
+    ASSIGN = "assign"
+    IF = "if"  # two-way branch on a condition
+    AIF = "aif"  # arithmetic IF: three-way branch on sign
+    CGOTO = "cgoto"  # computed GOTO, n-way branch + fallthrough
+    CALL = "call"
+    PRINT = "print"
+    NOOP = "noop"  # CONTINUE and labelled GOTO placeholders
+    STOP = "stop"  # program halt
+    DO_INIT = "do_init"  # var := start; trip := iteration count
+    DO_TEST = "do_test"  # loop header: trip > 0 ?
+    DO_INCR = "do_incr"  # var += step; trip -= 1
+    WHILE_TEST = "while_test"  # DO WHILE header
+    # Synthetic node types used by the ECFG construction.
+    START = "start"
+    STOP_NODE = "stop_node"
+    PREHEADER = "preheader"
+    POSTEXIT = "postexit"
+    # Synthetic per-loop node used only while acyclifying the ECFG for
+    # control dependence computation (never part of the FCDG).
+    ITER_END = "iter_end"
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """One labelled control flow edge (u, v, l)."""
+
+    src: int
+    dst: int
+    label: str
+
+    @property
+    def is_pseudo(self) -> bool:
+        return is_pseudo_label(self.label)
+
+
+@dataclass
+class CFGNode:
+    """One node of the control flow graph.
+
+    ``stmt`` points back at the originating AST statement (shared by
+    the three nodes a DO loop lowers to); ``cond`` holds the branch
+    condition for IF/WHILE nodes; ``trip_var`` names the hidden
+    iteration counter for DO nodes.
+    """
+
+    id: int
+    kind: StmtKind
+    type: NodeType = NodeType.OTHER
+    stmt: ast.Stmt | None = None
+    cond: ast.Expr | None = None
+    trip_var: str | None = None
+    line: int | None = None
+    text: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CFGNode({self.id}, {self.kind.value}, {self.text!r})"
+
+
+@dataclass
+class ControlFlowGraph:
+    """A labelled control-flow multigraph for one procedure.
+
+    Nodes are keyed by small integers (1..N, matching the paper's
+    convention that nodes are numbered from 1).  ``entry`` is n_first
+    and ``exit`` the unique synthetic last node.
+    """
+
+    name: str = ""
+    nodes: dict[int, CFGNode] = field(default_factory=dict)
+    edges: list[CFGEdge] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+    _succ: dict[int, list[CFGEdge]] = field(default_factory=dict, repr=False)
+    _pred: dict[int, list[CFGEdge]] = field(default_factory=dict, repr=False)
+    _next_id: int = 1
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(
+        self,
+        kind: StmtKind,
+        *,
+        type: NodeType = NodeType.OTHER,
+        stmt: ast.Stmt | None = None,
+        cond: ast.Expr | None = None,
+        trip_var: str | None = None,
+        line: int | None = None,
+        text: str = "",
+    ) -> CFGNode:
+        """Create and register a new node with the next free id."""
+        node = CFGNode(
+            id=self._next_id,
+            kind=kind,
+            type=type,
+            stmt=stmt,
+            cond=cond,
+            trip_var=trip_var,
+            line=line,
+            text=text,
+        )
+        self._next_id += 1
+        self.nodes[node.id] = node
+        self._succ[node.id] = []
+        self._pred[node.id] = []
+        return node
+
+    def add_edge(self, src: int, dst: int, label: str) -> CFGEdge:
+        """Add a labelled edge; parallel edges must differ in label."""
+        if src not in self.nodes or dst not in self.nodes:
+            raise CFGError(f"edge ({src}, {dst}, {label}) references unknown node")
+        for existing in self._succ[src]:
+            if existing.label == label:
+                raise CFGError(
+                    f"node {src} already has an out-edge labelled {label!r}"
+                )
+        edge = CFGEdge(src, dst, label)
+        self.edges.append(edge)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        return edge
+
+    def remove_edge(self, edge: CFGEdge) -> None:
+        self.edges.remove(edge)
+        self._succ[edge.src].remove(edge)
+        self._pred[edge.dst].remove(edge)
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and all incident edges."""
+        for edge in list(self._succ[node_id]) + list(self._pred[node_id]):
+            if edge in self.edges:
+                self.remove_edge(edge)
+        del self._succ[node_id]
+        del self._pred[node_id]
+        del self.nodes[node_id]
+
+    # -- queries -------------------------------------------------------------
+
+    def out_edges(self, node_id: int) -> list[CFGEdge]:
+        return list(self._succ[node_id])
+
+    def in_edges(self, node_id: int) -> list[CFGEdge]:
+        return list(self._pred[node_id])
+
+    def successors(self, node_id: int) -> list[int]:
+        return [e.dst for e in self._succ[node_id]]
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return [e.src for e in self._pred[node_id]]
+
+    def out_labels(self, node_id: int) -> list[str]:
+        """All labels on real (non-pseudo) out-edges of a node."""
+        return [e.label for e in self._succ[node_id] if not e.is_pseudo]
+
+    def edge_to(self, src: int, label: str) -> CFGEdge:
+        """The unique out-edge of ``src`` with the given label."""
+        for edge in self._succ[src]:
+            if edge.label == label:
+                return edge
+        raise CFGError(f"node {src} has no out-edge labelled {label!r}")
+
+    def node_ids(self) -> list[int]:
+        return list(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[CFGNode]:
+        return iter(self.nodes.values())
+
+    # -- structure maintenance ----------------------------------------------
+
+    def reachable_from_entry(self) -> set[int]:
+        """Node ids reachable from the entry node."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(
+                e.dst for e in self._succ[node] if e.dst not in seen
+            )
+        return seen
+
+    def prune_unreachable(self) -> list[int]:
+        """Drop nodes unreachable from entry; returns removed ids.
+
+        The exit node is always kept (it is the target of RETURN edges
+        and the ECFG STOP attachment point).
+        """
+        reachable = self.reachable_from_entry()
+        removed = [
+            node_id
+            for node_id in list(self.nodes)
+            if node_id not in reachable and node_id != self.exit
+        ]
+        for node_id in removed:
+            self.remove_node(node_id)
+        return removed
+
+    def validate(self) -> None:
+        """Check well-formedness; raises CFGError on violations."""
+        if self.entry not in self.nodes:
+            raise CFGError("entry node missing")
+        if self.exit not in self.nodes:
+            raise CFGError("exit node missing")
+        if self._succ[self.exit]:
+            raise CFGError("exit node must have no successors")
+        for node_id in self.nodes:
+            if node_id != self.exit and not self._succ[node_id]:
+                raise CFGError(f"non-exit node {node_id} has no successors")
+        reachable = self.reachable_from_entry()
+        missing = set(self.nodes) - reachable
+        if missing:
+            raise CFGError(f"unreachable nodes present: {sorted(missing)}")
+
+    def copy(self) -> "ControlFlowGraph":
+        """A structural copy sharing node payloads (stmt/cond refs)."""
+        clone = ControlFlowGraph(name=self.name, entry=self.entry, exit=self.exit)
+        clone._next_id = self._next_id
+        for node_id, node in self.nodes.items():
+            clone.nodes[node_id] = CFGNode(
+                id=node.id,
+                kind=node.kind,
+                type=node.type,
+                stmt=node.stmt,
+                cond=node.cond,
+                trip_var=node.trip_var,
+                line=node.line,
+                text=node.text,
+            )
+            clone._succ[node_id] = []
+            clone._pred[node_id] = []
+        for edge in self.edges:
+            new_edge = CFGEdge(edge.src, edge.dst, edge.label)
+            clone.edges.append(new_edge)
+            clone._succ[edge.src].append(new_edge)
+            clone._pred[edge.dst].append(new_edge)
+        return clone

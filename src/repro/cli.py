@@ -1,0 +1,450 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the library pipeline:
+
+* ``compile``  — parse and build the graphs; print CFG/ECFG/FCDG or DOT;
+* ``run``      — execute a program, print its output and cost;
+* ``profile``  — execute under the optimized counter plan; print stats
+  and optionally accumulate into a profile database (PTRAN style);
+* ``analyze``  — profile (or load a database entry) and print TIME /
+  VAR / STD_DEV per procedure, optionally the annotated Figure-3 FCDG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import (
+    OPTIMIZING_MACHINE,
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    naive_program_plan,
+    profile_program,
+    run_program,
+    smart_program_plan,
+)
+from repro.analysis.distributions import LoopDistribution
+from repro.cfg.dot import cfg_to_dot, fcdg_to_dot
+from repro.errors import ReproError
+from repro.profiling.database import ProfileDatabase
+from repro.report import (
+    format_table,
+    render_cfg,
+    render_fcdg,
+    render_profile_report,
+)
+
+_MODELS = {
+    "scalar": SCALAR_MACHINE,
+    "optimizing": OPTIMIZING_MACHINE,
+}
+
+_LOOP_VARIANCE = {
+    "zero": "zero",
+    "profiled": "profiled",
+    "poisson": LoopDistribution.POISSON,
+    "geometric": LoopDistribution.GEOMETRIC,
+    "uniform": LoopDistribution.UNIFORM,
+}
+
+
+def _parse_inputs(text: str | None) -> tuple[float, ...]:
+    if not text:
+        return ()
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def _load(path: str):
+    return compile_source(Path(path).read_text())
+
+
+def _cmd_compile(args) -> int:
+    program = _load(args.file)
+    names = [args.proc] if args.proc else sorted(program.cfgs)
+    for name in names:
+        if name not in program.cfgs:
+            raise ReproError(f"no procedure named {name}")
+        if args.show == "cfg":
+            print(render_cfg(program.cfgs[name]))
+        elif args.show == "ecfg":
+            print(render_cfg(program.ecfgs[name].graph, title=f"ECFG of {name}"))
+        elif args.show == "fcdg":
+            fcdg = program.fcdgs[name]
+            print(f"FCDG of {name} ({len(fcdg.nodes)} nodes):")
+            for node in fcdg.topological_order():
+                text = program.ecfgs[name].graph.nodes[node].text
+                print(f"{node:>4} {text}")
+                for label, child in fcdg.all_children(node):
+                    print(f"       --{label}--> {child}")
+        elif args.show == "dot-cfg":
+            print(cfg_to_dot(program.cfgs[name]))
+        elif args.show == "dot-fcdg":
+            print(fcdg_to_dot(program.fcdgs[name]))
+        print()
+    if program.splits:
+        print(f"node splitting applied: {program.splits}", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = _load(args.file)
+    result = run_program(
+        program,
+        inputs=_parse_inputs(args.inputs),
+        seed=args.seed,
+        model=_MODELS[args.model],
+        max_steps=args.max_steps,
+    )
+    for line in result.outputs:
+        print(line)
+    print(
+        f"[{result.steps} statements, {result.total_cost:.0f} cycles "
+        f"on the {_MODELS[args.model].name} machine]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_specs(args) -> list[dict]:
+    inputs = _parse_inputs(args.inputs)
+    return [
+        {"seed": args.seed + i, "inputs": inputs} for i in range(args.runs)
+    ]
+
+
+def _cmd_profile(args) -> int:
+    program = _load(args.file)
+    plan = (
+        naive_program_plan(program)
+        if args.plan == "naive"
+        else smart_program_plan(program)
+    )
+    profile, stats = profile_program(
+        program,
+        runs=_run_specs(args),
+        plan=plan,
+        model=_MODELS[args.model],
+        record_loop_moments=args.loop_moments,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["plan", args.plan],
+                ["runs", stats.runs],
+                ["counters", stats.counters],
+                ["counter updates", stats.counter_updates],
+                ["program cycles", stats.base_cost],
+                ["profiling cycles", stats.counter_cost],
+                [
+                    "overhead",
+                    f"{100 * stats.counter_cost / stats.base_cost:.2f}%"
+                    if stats.base_cost
+                    else "n/a",
+                ],
+            ],
+            title=f"profile of {args.file}",
+        )
+    )
+    if args.db:
+        database = ProfileDatabase(args.db)
+        database.record(args.key or Path(args.file).name, profile)
+        database.save()
+        print(f"[accumulated into {args.db}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    program = _load(args.file)
+    if args.db:
+        database = ProfileDatabase(args.db)
+        profile = database.lookup(args.key or Path(args.file).name)
+        if profile is None:
+            raise ReproError(
+                f"no profile for key {args.key or Path(args.file).name!r} "
+                f"in {args.db}"
+            )
+    else:
+        profile, _ = profile_program(
+            program,
+            runs=_run_specs(args),
+            record_loop_moments=args.loop_variance == "profiled",
+        )
+    analysis = analyze(
+        program,
+        profile,
+        _MODELS[args.model],
+        loop_variance=_LOOP_VARIANCE[args.loop_variance],
+    )
+    rows = [
+        [
+            name,
+            proc.freqs.invocations,
+            proc.time,
+            proc.var,
+            proc.std_dev,
+        ]
+        for name, proc in sorted(analysis.procedures.items())
+    ]
+    print(
+        format_table(
+            ["procedure", "invocations", "TIME", "VAR", "STD_DEV"],
+            rows,
+            title=(
+                f"analysis of {args.file} on the "
+                f"{_MODELS[args.model].name} machine"
+            ),
+        )
+    )
+    print(
+        f"\nprogram: TIME = {analysis.total_time:.2f}, "
+        f"STD_DEV = {analysis.total_std_dev:.2f}"
+    )
+    if args.figure3:
+        print()
+        print(render_fcdg(analysis.main))
+    if args.gprof:
+        print()
+        print(render_profile_report(analysis))
+    return 0
+
+
+def _analyzed_for_apps(args):
+    program = _load(args.file)
+    profile, _ = profile_program(
+        program, runs=_run_specs(args), record_loop_moments=True
+    )
+    return program, analyze(
+        program, profile, _MODELS[args.model], loop_variance="profiled"
+    )
+
+
+def _cmd_traces(args) -> int:
+    from repro.apps.traces import branch_layout_advice, select_traces
+
+    program, analysis = _analyzed_for_apps(args)
+    for name in sorted(analysis.procedures):
+        proc = analysis.procedures[name]
+        if proc.freqs.invocations == 0:
+            continue
+        print(f"== {name} ==")
+        cfg = program.cfgs[name]
+        for i, trace in enumerate(select_traces(proc)):
+            path = " -> ".join(cfg.nodes[n].text or str(n) for n in trace.nodes)
+            print(f"  trace {i} (weight {trace.weight:.1f}): {path}")
+        advice = branch_layout_advice(proc, taken_penalty=args.penalty)
+        for item in advice:
+            print(
+                f"  layout: {item.text}: fall through on "
+                f"{item.fallthrough_label} "
+                f"(saves {item.saving:.1f} cycles/invocation)"
+            )
+        print()
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.apps.partitioning import partition_program
+
+    program, analysis = _analyzed_for_apps(args)
+    partition = partition_program(
+        analysis,
+        n_processors=args.processors,
+        spawn_overhead=args.overhead,
+    )
+    rows = [
+        [
+            task.proc,
+            task.text,
+            task.iterations,
+            task.chunk,
+            task.sequential_time,
+            task.parallel_time,
+            task.profitable,
+        ]
+        for task in partition.loops
+    ]
+    print(
+        format_table(
+            ["proc", "loop", "iters", "chunk", "seq", "par", "spawn?"],
+            rows,
+            title=f"loop tasks (P={args.processors})",
+        )
+    )
+    print(
+        f"\nestimated speedup: {partition.estimated_speedup:.2f}x "
+        f"({partition.sequential_time:.0f} -> "
+        f"{partition.parallel_time:.0f} cycles)"
+    )
+    return 0
+
+
+def _cmd_spill(args) -> int:
+    from repro.apps.spill_costs import spill_costs
+
+    program, analysis = _analyzed_for_apps(args)
+    proc = args.proc or program.main_name
+    if proc not in analysis.procedures:
+        raise ReproError(f"no procedure named {proc}")
+    ranked = spill_costs(analysis, proc, _MODELS[args.model])
+    print(
+        format_table(
+            ["variable", "reads", "writes", "register saving"],
+            [[r.name, r.reads, r.writes, r.cost] for r in ranked],
+            title=f"spill costs of {proc} (per invocation)",
+        )
+    )
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.profiling.describe import describe_plan
+
+    program = _load(args.file)
+    plan = (
+        naive_program_plan(program)
+        if args.naive
+        else smart_program_plan(program)
+    )
+    names = [args.proc] if args.proc else sorted(program.cfgs)
+    for name in names:
+        if name not in plan.plans:
+            raise ReproError(f"no procedure named {name}")
+        print(describe_plan(plan.plans[name], program.cfgs[name]))
+        print()
+    print(f"total counters: {plan.n_counters}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Average program execution times and their variance "
+            "(Sarkar, PLDI 1989)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="build and print the graphs")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--proc", help="only this procedure")
+    p_compile.add_argument(
+        "--show",
+        choices=["cfg", "ecfg", "fcdg", "dot-cfg", "dot-fcdg"],
+        default="cfg",
+    )
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_run = sub.add_parser("run", help="execute a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--inputs", help="comma-separated INPUT() vector")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_run.add_argument("--max-steps", type=int, default=10_000_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile", help="run under a counter plan; optionally store counts"
+    )
+    p_profile.add_argument("file")
+    p_profile.add_argument("--runs", type=int, default=1)
+    p_profile.add_argument("--inputs")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument(
+        "--plan", choices=["smart", "naive"], default="smart"
+    )
+    p_profile.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_profile.add_argument("--db", help="profile database path (JSON)")
+    p_profile.add_argument("--key", help="database key (default: file name)")
+    p_profile.add_argument(
+        "--loop-moments", action="store_true",
+        help="record E[FREQ^2] per loop",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="compute TIME / VAR / STD_DEV per procedure"
+    )
+    p_analyze.add_argument("file")
+    p_analyze.add_argument("--runs", type=int, default=1)
+    p_analyze.add_argument("--inputs")
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_analyze.add_argument(
+        "--loop-variance",
+        choices=sorted(_LOOP_VARIANCE),
+        default="zero",
+    )
+    p_analyze.add_argument("--db", help="read the profile from this database")
+    p_analyze.add_argument("--key")
+    p_analyze.add_argument(
+        "--figure3", action="store_true", help="print the annotated FCDG"
+    )
+    p_analyze.add_argument(
+        "--gprof",
+        action="store_true",
+        help="print a gprof-style flat/call-graph/hot-spot report",
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    def app_parser(name: str, help_text: str):
+        sub_parser = sub.add_parser(name, help=help_text)
+        sub_parser.add_argument("file")
+        sub_parser.add_argument("--runs", type=int, default=3)
+        sub_parser.add_argument("--inputs")
+        sub_parser.add_argument("--seed", type=int, default=0)
+        sub_parser.add_argument(
+            "--model", choices=sorted(_MODELS), default="scalar"
+        )
+        return sub_parser
+
+    p_traces = app_parser(
+        "traces", "select scheduling traces and branch layouts"
+    )
+    p_traces.add_argument("--penalty", type=float, default=2.0)
+    p_traces.set_defaults(func=_cmd_traces)
+
+    p_partition = app_parser(
+        "partition", "decide parallel loop/call tasks (PTRAN style)"
+    )
+    p_partition.add_argument("--processors", type=int, default=4)
+    p_partition.add_argument("--overhead", type=float, default=200.0)
+    p_partition.set_defaults(func=_cmd_partition)
+
+    p_spill = app_parser(
+        "spill", "rank variables by register-allocation benefit"
+    )
+    p_spill.add_argument("--proc", help="procedure (default: MAIN)")
+    p_spill.set_defaults(func=_cmd_spill)
+
+    p_plan = sub.add_parser(
+        "plan", help="show counter placement plans (smart vs naive)"
+    )
+    p_plan.add_argument("file")
+    p_plan.add_argument("--proc", help="only this procedure")
+    p_plan.add_argument(
+        "--naive", action="store_true", help="show the naive plan instead"
+    )
+    p_plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

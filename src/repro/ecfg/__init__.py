@@ -1,0 +1,5 @@
+"""Extended control flow graph construction (Section 2 of the paper)."""
+
+from repro.ecfg.build import ExtendedCFG, build_ecfg
+
+__all__ = ["ExtendedCFG", "build_ecfg"]

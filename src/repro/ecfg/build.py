@@ -1,0 +1,181 @@
+"""The six-step extended-CFG construction of Section 2.
+
+Starting from a reducible CFG and its interval structure, we insert:
+
+* one PREHEADER node per loop header, redirecting interval-entry edges
+  through it (steps 2a-2c);
+* one POSTEXIT node per interval-exit edge, splitting the edge and
+  adding a *pseudo* control flow edge from the exiting interval's
+  preheader to the postexit (steps 3a-3c);
+* START and STOP nodes and the pseudo START→STOP edge (steps 4-6).
+
+Pseudo edges carry labels ``Z1``, ``Z2``, ... (one numbering per source
+node) and can never be taken at run time; they exist so that the
+forward control dependence graph acquires the nested interval
+structure the rest of the framework relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.cfg.graph import (
+    LABEL_UNCOND,
+    CFGEdge,
+    ControlFlowGraph,
+    NodeType,
+    StmtKind,
+)
+from repro.intervals import IntervalStructure, compute_intervals
+
+
+@dataclass
+class ExtendedCFG:
+    """The ECFG plus the bookkeeping the later passes need."""
+
+    graph: ControlFlowGraph
+    intervals: IntervalStructure
+    start: int
+    stop: int
+    #: loop header -> its preheader node (and the inverse).
+    preheader_of: dict[int, int] = field(default_factory=dict)
+    header_of: dict[int, int] = field(default_factory=dict)
+    #: postexit node -> the original interval-exit edge it splits.
+    postexit_source: dict[int, CFGEdge] = field(default_factory=dict)
+    #: ECFG-level innermost interval header for every node (extends the
+    #: original HDR mapping to the synthetic nodes).
+    ehdr: dict[int, int] = field(default_factory=dict)
+
+    def interval_members(self, header: int) -> set[int]:
+        """All ECFG nodes inside the interval headed by ``header``."""
+
+        def inside(node: int) -> bool:
+            cursor = self.ehdr[node]
+            while cursor != 0:
+                if cursor == header:
+                    return True
+                cursor = self.intervals.hdr_parent.get(cursor, 0)
+            return False
+
+        return {node for node in self.graph.nodes if inside(node)}
+
+    def loop_label(self, preheader: int) -> str:
+        """The label of the preheader's edge to its header node.
+
+        This is the edge whose FREQ is the loop frequency
+        (Definition 3, case 1).
+        """
+        header = self.header_of[preheader]
+        for edge in self.graph.out_edges(preheader):
+            if edge.dst == header and not edge.is_pseudo:
+                return edge.label
+        raise AnalysisError(f"preheader {preheader} lost its header edge")
+
+    def is_preheader(self, node: int) -> bool:
+        return node in self.header_of
+
+    def postexits_of(self, header: int) -> list[int]:
+        """POSTEXIT nodes attached to the interval headed by ``header``."""
+        preheader = self.preheader_of[header]
+        return [
+            edge.dst
+            for edge in self.graph.out_edges(preheader)
+            if edge.is_pseudo
+        ]
+
+
+class _PseudoLabels:
+    """Per-source fresh Z labels (labels must be unique per source)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[int, int] = {}
+
+    def fresh(self, source: int) -> str:
+        self._counters[source] = self._counters.get(source, 0) + 1
+        return f"Z{self._counters[source]}"
+
+
+def build_ecfg(cfg: ControlFlowGraph) -> ExtendedCFG:
+    """Run the Section-2 construction on a reducible CFG.
+
+    The input CFG is not modified; the ECFG is built on a copy.
+    """
+    intervals = compute_intervals(cfg)
+    graph = cfg.copy()
+    pseudo = _PseudoLabels()
+
+    preheader_of: dict[int, int] = {}
+    header_of: dict[int, int] = {}
+    ehdr: dict[int, int] = dict(intervals.hdr)
+
+    # Steps 2a-2c: preheaders for every real loop header.
+    for header in intervals.loop_headers:
+        graph.nodes[header].type = NodeType.HEADER
+        preheader = graph.add_node(
+            StmtKind.PREHEADER,
+            type=NodeType.PREHEADER,
+            text=f"PREHEADER({header})",
+        )
+        preheader_of[header] = preheader.id
+        header_of[preheader.id] = header
+        parent = intervals.hdr_parent[header]
+        ehdr[preheader.id] = parent if parent != 0 else intervals.root
+        for edge in graph.in_edges(header):
+            source_hdr = intervals.hdr[edge.src]
+            if intervals.lca(source_hdr, header) != header:
+                graph.remove_edge(edge)
+                graph.add_edge(edge.src, preheader.id, edge.label)
+        graph.add_edge(preheader.id, header, LABEL_UNCOND)
+
+    # Steps 3a-3c: postexits for every interval-exit edge.  We iterate
+    # over the *original* edges; the current ECFG edge with the same
+    # (source, label) may already have been redirected to a preheader.
+    postexit_source: dict[int, CFGEdge] = {}
+    for edge in list(cfg.edges):
+        src_hdr = intervals.hdr[edge.src]
+        dst_hdr = intervals.hdr[edge.dst]
+        if intervals.lca(src_hdr, dst_hdr) == src_hdr:
+            continue  # not an interval exit
+        current = graph.edge_to(edge.src, edge.label)
+        postexit = graph.add_node(
+            StmtKind.POSTEXIT,
+            type=NodeType.POSTEXIT,
+            text=f"POSTEXIT({edge.src}->{edge.dst})",
+        )
+        postexit_source[postexit.id] = edge
+        ehdr[postexit.id] = intervals.lca(src_hdr, dst_hdr)
+        graph.remove_edge(current)
+        graph.add_edge(edge.src, postexit.id, edge.label)
+        graph.add_edge(postexit.id, current.dst, LABEL_UNCOND)
+        exiting_preheader = preheader_of[src_hdr]
+        graph.add_edge(
+            exiting_preheader, postexit.id, pseudo.fresh(exiting_preheader)
+        )
+
+    # Steps 4-6: START, STOP and the pseudo START→STOP edge.
+    start = graph.add_node(StmtKind.START, type=NodeType.START, text="START")
+    stop = graph.add_node(StmtKind.STOP_NODE, type=NodeType.STOP, text="STOP")
+    ehdr[start.id] = intervals.root
+    ehdr[stop.id] = intervals.root
+    graph.add_edge(start.id, graph.entry, LABEL_UNCOND)
+    if not graph.in_edges(graph.exit):
+        raise AnalysisError(
+            f"{cfg.name or 'cfg'}: exit node is unreachable "
+            "(nonterminating program)"
+        )
+    graph.add_edge(graph.exit, stop.id, LABEL_UNCOND)
+    graph.add_edge(start.id, stop.id, pseudo.fresh(start.id))
+    graph.entry = start.id
+    graph.exit = stop.id
+
+    return ExtendedCFG(
+        graph=graph,
+        intervals=intervals,
+        start=start.id,
+        stop=stop.id,
+        preheader_of=preheader_of,
+        header_of=header_of,
+        postexit_source=postexit_source,
+        ehdr=ehdr,
+    )

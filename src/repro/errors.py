@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Frontend errors carry a
+source line number whenever one is available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in minifort source code."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters an invalid token."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser encounters a malformed construct."""
+
+
+class SemanticError(SourceError):
+    """Raised on symbol/type errors (undeclared variable, bad arity, ...)."""
+
+
+class CFGError(ReproError):
+    """Raised for malformed control flow graphs (e.g. unknown labels)."""
+
+
+class IrreducibleError(CFGError):
+    """Raised when a CFG is irreducible and node splitting is disabled."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an interval / control-dependence analysis invariant fails."""
+
+
+class ProfilingError(ReproError):
+    """Raised for invalid counter plans or unreconstructible profiles."""
+
+
+class InterpreterError(ReproError):
+    """Raised for runtime errors during interpretation."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class InterpreterLimitError(InterpreterError):
+    """Raised when an execution exceeds its step budget (runaway loop)."""

@@ -1,0 +1,20 @@
+"""A CFG-level interpreter for minifort.
+
+The interpreter executes the statement-level control flow graphs that
+:mod:`repro.cfg` builds, with Fortran semantics (by-reference argument
+passing, trip-count DO loops, implicit typing).  It serves three roles
+in the reproduction:
+
+1. the *execution vehicle* for counter-based profiling — profiling
+   plans hook edge/node events and maintain counters;
+2. the *cost oracle* — each executed node is charged its static
+   COST(u), so analytical TIME estimates can be validated exactly;
+3. the *ground-truth frequency oracle* — exact per-edge and per-node
+   execution counts are recorded, against which optimized-profile
+   reconstruction is checked.
+"""
+
+from repro.interp.machine import ExecutionHooks, Interpreter, RunResult
+from repro.interp.values import FortranArray
+
+__all__ = ["Interpreter", "RunResult", "ExecutionHooks", "FortranArray"]

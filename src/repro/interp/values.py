@@ -1,0 +1,117 @@
+"""Runtime values: Fortran arrays, scalar cells and type coercion."""
+
+from __future__ import annotations
+
+from repro.errors import InterpreterError
+from repro.lang import ast
+
+
+class FortranArray:
+    """A 1-based, bounds-checked, row-agnostic Fortran array.
+
+    Storage is a flat Python list; the element order is column-major
+    like Fortran's, though nothing in this project depends on it.
+    """
+
+    __slots__ = ("name", "type", "dims", "data")
+
+    def __init__(self, name: str, type_: ast.Type, dims: tuple[int, ...]):
+        self.name = name
+        self.type = type_
+        self.dims = dims
+        size = 1
+        for d in dims:
+            size *= d
+        zero: int | float | bool
+        if type_ is ast.Type.INTEGER:
+            zero = 0
+        elif type_ is ast.Type.LOGICAL:
+            zero = False
+        else:
+            zero = 0.0
+        self.data = [zero] * size
+
+    def _offset(self, indices: tuple[int, ...], line: int | None) -> int:
+        if len(indices) != len(self.dims):
+            raise InterpreterError(
+                f"{self.name}: expected {len(self.dims)} subscripts", line
+            )
+        offset = 0
+        stride = 1
+        for index, dim in zip(indices, self.dims):
+            if not 1 <= index <= dim:
+                raise InterpreterError(
+                    f"{self.name}: subscript {index} out of bounds 1..{dim}",
+                    line,
+                )
+            offset += (index - 1) * stride
+            stride *= dim
+        return offset
+
+    def get(self, indices: tuple[int, ...], line: int | None = None):
+        return self.data[self._offset(indices, line)]
+
+    def set(self, indices: tuple[int, ...], value, line: int | None = None):
+        self.data[self._offset(indices, line)] = coerce(value, self.type, line)
+
+    def fill(self, value) -> None:
+        coerced = coerce(value, self.type, None)
+        self.data = [coerced] * len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Cell:
+    """A mutable box for a scalar, enabling by-reference parameters."""
+
+    __slots__ = ("type", "value")
+
+    def __init__(self, type_: ast.Type, value=None):
+        self.type = type_
+        if value is None:
+            value = 0 if type_ is ast.Type.INTEGER else (
+                False if type_ is ast.Type.LOGICAL else 0.0
+            )
+        self.value = value
+
+    def set(self, value, line: int | None = None) -> None:
+        self.value = coerce(value, self.type, line)
+
+
+class ElementRef:
+    """A reference to one array element (by-reference actual arg)."""
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, array: FortranArray, indices: tuple[int, ...]):
+        self.array = array
+        self.indices = indices
+
+    @property
+    def type(self) -> ast.Type:
+        return self.array.type
+
+    @property
+    def value(self):
+        return self.array.get(self.indices)
+
+    def set(self, value, line: int | None = None) -> None:
+        self.array.set(self.indices, value, line)
+
+
+def coerce(value, target: ast.Type, line: int | None):
+    """Convert a runtime value to the target type, Fortran style."""
+    if target is ast.Type.INTEGER:
+        if isinstance(value, bool):
+            raise InterpreterError("cannot store LOGICAL in INTEGER", line)
+        return int(value)  # truncation toward zero
+    if target is ast.Type.REAL:
+        if isinstance(value, bool):
+            raise InterpreterError("cannot store LOGICAL in REAL", line)
+        return float(value)
+    if target is ast.Type.LOGICAL:
+        if not isinstance(value, bool):
+            raise InterpreterError("cannot store number in LOGICAL", line)
+        return value
+    raise InterpreterError(f"unknown target type {target}", line)

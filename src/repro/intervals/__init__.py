@@ -1,0 +1,11 @@
+"""Interval structure (loop nesting) of a reducible CFG.
+
+Implements the ``HDR`` / ``HDR_PARENT`` / ``HDR_LCA`` mappings of
+Section 2 of the paper: intervals are the natural loops of the
+reducible control flow graph, plus one outermost interval containing
+the whole procedure, headed by the entry node.
+"""
+
+from repro.intervals.analysis import IntervalStructure, compute_intervals
+
+__all__ = ["IntervalStructure", "compute_intervals"]

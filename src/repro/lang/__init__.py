@@ -1,0 +1,30 @@
+"""minifort: a Fortran-77-style mini language.
+
+This package is the frontend substrate for the reproduction: a lexer,
+recursive-descent parser, AST, and symbol/type checker for a small
+Fortran-like language rich enough to express the paper's examples, the
+Livermore-loop kernels and a SIMPLE-like CFD code — including the
+unstructured control flow (labels, GOTO, computed GOTO) that motivates
+the control-dependence-based framework.
+
+Typical use::
+
+    from repro.lang import parse_program
+    unit = parse_program(source_text)
+    main = unit.procedures["MAIN"]
+"""
+
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang import ast
+from repro.lang.symbols import check_program, SymbolTable
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "ast",
+    "check_program",
+    "SymbolTable",
+]

@@ -1,0 +1,374 @@
+"""Abstract syntax tree for minifort.
+
+The AST is a plain dataclass hierarchy.  Expressions and statements
+carry the source line they came from; statements additionally carry an
+optional numeric statement label (the GOTO target namespace).
+
+Only constructs that the paper's framework exercises are modelled:
+assignments, logical and block IFs, DO loops (counted and WHILE),
+GOTO / computed GOTO, CALL / RETURN / STOP / CONTINUE / PRINT, and
+declarations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Type(enum.Enum):
+    """Static types of the language."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    LOGICAL = "LOGICAL"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class RealLit(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class LogicalLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A bare scalar variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An array element reference ``A(I)`` or ``A(I, J)``."""
+
+    name: str
+    indices: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A call to an intrinsic or user FUNCTION inside an expression.
+
+    The parser cannot always distinguish ``F(I)`` (call) from an array
+    reference; the symbol checker rewrites ambiguous ``FuncCall`` nodes
+    into ``ArrayRef`` when the name is a declared array.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+class BinOp(enum.Enum):
+    """Binary operators, grouped by family for cost estimation."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    POW = "**"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "/="
+    AND = ".AND."
+    OR = ".OR."
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in _COMPARISONS
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinOp.AND, BinOp.OR)
+
+
+_COMPARISONS = frozenset(
+    {BinOp.LT, BinOp.LE, BinOp.GT, BinOp.GE, BinOp.EQ, BinOp.NE}
+)
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: BinOp
+    left: Expr
+    right: Expr
+
+
+class UnOp(enum.Enum):
+    NEG = "-"
+    POS = "+"
+    NOT = ".NOT."
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: UnOp
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statement nodes."""
+
+    line: int
+    label: int | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class Declaration(Stmt):
+    """``INTEGER I, J, A(10)`` — one entry per declared name."""
+
+    type: Type = Type.INTEGER
+    names: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class ParameterStmt(Stmt):
+    """``PARAMETER (N = 100)`` — compile-time named constants."""
+
+    bindings: list[tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a scalar or array element."""
+
+    target: VarRef | ArrayRef = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IfBlock(Stmt):
+    """Block IF with optional ELSEIF arms and ELSE body.
+
+    ``arms`` is a list of (condition, body) pairs — the IF arm followed
+    by any ELSEIF arms; ``else_body`` may be empty.
+    """
+
+    arms: list[tuple[Expr, list[Stmt]]] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LogicalIf(Stmt):
+    """One-armed logical IF: ``IF (cond) stmt`` where stmt is simple."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    stmt: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoLoop(Stmt):
+    """Counted DO loop.
+
+    Either a labelled form ``DO 10 I = 1, N`` terminated by the
+    statement labelled 10 (inclusive), or the ``DO I = 1, N ... ENDDO``
+    form; both parse into the same node with the body inlined.
+    """
+
+    var: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``DO WHILE (cond) ... ENDDO``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Goto(Stmt):
+    target: int = 0
+
+
+@dataclass
+class ArithmeticIf(Stmt):
+    """``IF (expr) l1, l2, l3`` — branch on sign: negative/zero/positive."""
+
+    expr: Expr = None  # type: ignore[assignment]
+    negative: int = 0
+    zero: int = 0
+    positive: int = 0
+
+    @property
+    def targets(self) -> tuple[int, int, int]:
+        return (self.negative, self.zero, self.positive)
+
+
+@dataclass
+class ComputedGoto(Stmt):
+    """``GOTO (10, 20, 30), I`` — falls through when I out of range."""
+
+    targets: list[int] = field(default_factory=list)
+    selector: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallStmt(Stmt):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    pass
+
+
+@dataclass
+class StopStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    """``CONTINUE`` — a labelled no-op, frequent GOTO target."""
+
+
+@dataclass
+class PrintStmt(Stmt):
+    """``PRINT *, items`` — output is collected by the interpreter."""
+
+    items: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Procedures and program units
+# ---------------------------------------------------------------------------
+
+
+class ProcKind(enum.Enum):
+    PROGRAM = "PROGRAM"
+    SUBROUTINE = "SUBROUTINE"
+    FUNCTION = "FUNCTION"
+
+
+@dataclass
+class Procedure:
+    """One program unit: the main PROGRAM, a SUBROUTINE or a FUNCTION.
+
+    For FUNCTIONs, the return value is assigned to the function's own
+    name inside the body, Fortran style; ``return_type`` records the
+    declared type.
+    """
+
+    kind: ProcKind
+    name: str
+    params: list[str]
+    body: list[Stmt]
+    line: int
+    return_type: Type | None = None
+
+    def walk_statements(self):
+        """Yield every statement in the body, recursively (pre-order)."""
+        yield from _walk(self.body)
+
+
+def _walk(stmts: list[Stmt]):
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, IfBlock):
+            for _, body in stmt.arms:
+                yield from _walk(body)
+            yield from _walk(stmt.else_body)
+        elif isinstance(stmt, (DoLoop, DoWhile)):
+            yield from _walk(stmt.body)
+        elif isinstance(stmt, LogicalIf):
+            yield from _walk([stmt.stmt])
+
+
+@dataclass
+class ProgramUnit:
+    """A whole source file: a set of procedures keyed by name."""
+
+    procedures: dict[str, Procedure]
+
+    @property
+    def main(self) -> Procedure:
+        """The entry procedure (the PROGRAM unit)."""
+        for proc in self.procedures.values():
+            if proc.kind is ProcKind.PROGRAM:
+                return proc
+        raise KeyError("program has no PROGRAM unit")
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, Binary):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, (FuncCall, ArrayRef)):
+        for arg in (expr.args if isinstance(expr, FuncCall) else expr.indices):
+            yield from walk_expr(arg)
+
+
+def stmt_expressions(stmt: Stmt):
+    """Yield the top-level expressions appearing directly in ``stmt``.
+
+    Nested statements (IF bodies etc.) are not descended into; use
+    :meth:`Procedure.walk_statements` for that.
+    """
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, ArrayRef):
+            yield from stmt.target.indices
+        yield stmt.value
+    elif isinstance(stmt, IfBlock):
+        for cond, _ in stmt.arms:
+            yield cond
+    elif isinstance(stmt, LogicalIf):
+        yield stmt.cond
+    elif isinstance(stmt, DoLoop):
+        yield stmt.start
+        yield stmt.stop
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, DoWhile):
+        yield stmt.cond
+    elif isinstance(stmt, ComputedGoto):
+        yield stmt.selector
+    elif isinstance(stmt, ArithmeticIf):
+        yield stmt.expr
+    elif isinstance(stmt, CallStmt):
+        yield from stmt.args
+    elif isinstance(stmt, PrintStmt):
+        yield from stmt.items

@@ -1,0 +1,342 @@
+"""Symbol tables and semantic checking for minifort.
+
+The checker performs:
+
+* construction of a per-procedure :class:`SymbolTable` (parameters,
+  declarations, PARAMETER constants, Fortran implicit typing for
+  undeclared names: I..N are INTEGER, everything else REAL);
+* disambiguation of ``NAME(args)`` expressions into array references,
+  intrinsic calls or user-function calls (rewriting the AST in place is
+  avoided — a rewritten statement list is produced);
+* arity/usage checks for arrays, intrinsics, CALL targets and GOTO
+  labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang import ast
+
+#: Intrinsic functions: name -> (min_arity, max_arity, result kind).
+#: Result kind "match" means "same as the (promoted) argument type".
+INTRINSICS: dict[str, tuple[int, int, str]] = {
+    "MOD": (2, 2, "match"),
+    "MIN": (2, 8, "match"),
+    "MAX": (2, 8, "match"),
+    "ABS": (1, 1, "match"),
+    "SIGN": (2, 2, "match"),
+    "SQRT": (1, 1, "real"),
+    "EXP": (1, 1, "real"),
+    "LOG": (1, 1, "real"),
+    "SIN": (1, 1, "real"),
+    "COS": (1, 1, "real"),
+    "ATAN": (1, 1, "real"),
+    "INT": (1, 1, "integer"),
+    "NINT": (1, 1, "integer"),
+    "REAL": (1, 1, "real"),
+    "FLOAT": (1, 1, "real"),
+    # Deterministic pseudo-random sources provided by the interpreter;
+    # these stand in for data-dependent branch behaviour.
+    "IRAND": (2, 2, "integer"),
+    "RAND": (0, 0, "real"),
+    # Reads element i of the run's input vector (1-based).
+    "INPUT": (1, 1, "real"),
+}
+
+
+@dataclass
+class VarInfo:
+    """Static information about one variable in a procedure."""
+
+    name: str
+    type: ast.Type
+    dims: tuple[int, ...] = ()
+    is_param: bool = False
+    declared_line: int | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+@dataclass
+class SymbolTable:
+    """All names visible inside one procedure."""
+
+    proc_name: str
+    variables: dict[str, VarInfo] = field(default_factory=dict)
+    constants: dict[str, int | float] = field(default_factory=dict)
+    labels: set[int] = field(default_factory=set)
+
+    def lookup(self, name: str) -> VarInfo | None:
+        return self.variables.get(name)
+
+    def ensure_scalar(self, name: str, line: int | None = None) -> VarInfo:
+        """Return the VarInfo for ``name``, implicitly declaring scalars."""
+        info = self.variables.get(name)
+        if info is None:
+            info = VarInfo(name, implicit_type(name), declared_line=line)
+            self.variables[name] = info
+        return info
+
+
+def implicit_type(name: str) -> ast.Type:
+    """Fortran implicit typing: names starting I..N are INTEGER."""
+    return ast.Type.INTEGER if name[:1] in "IJKLMN" else ast.Type.REAL
+
+
+@dataclass
+class CheckedProgram:
+    """A parsed program plus its per-procedure symbol tables."""
+
+    unit: ast.ProgramUnit
+    tables: dict[str, SymbolTable]
+
+    @property
+    def main(self) -> ast.Procedure:
+        return self.unit.main
+
+
+class _ProcedureChecker:
+    def __init__(self, proc: ast.Procedure, unit: ast.ProgramUnit):
+        self.proc = proc
+        self.unit = unit
+        self.table = SymbolTable(proc_name=proc.name)
+
+    def check(self) -> SymbolTable:
+        self._collect_declarations()
+        self._collect_labels()
+        for stmt in self.proc.walk_statements():
+            self._check_statement(stmt)
+        return self.table
+
+    # -- declaration pass --------------------------------------------------
+
+    def _collect_declarations(self) -> None:
+        proc = self.proc
+        for param in proc.params:
+            self.table.variables[param] = VarInfo(
+                param, implicit_type(param), is_param=True
+            )
+        if proc.kind is ast.ProcKind.FUNCTION:
+            # The function name acts as the return-value variable.
+            self.table.variables[proc.name] = VarInfo(
+                proc.name, proc.return_type or ast.Type.REAL
+            )
+        for stmt in proc.walk_statements():
+            if isinstance(stmt, ast.Declaration):
+                self._apply_declaration(stmt)
+            elif isinstance(stmt, ast.ParameterStmt):
+                self._apply_parameter(stmt)
+
+    def _apply_declaration(self, stmt: ast.Declaration) -> None:
+        for name, dims in stmt.names:
+            existing = self.table.variables.get(name)
+            if existing is not None and existing.declared_line is not None:
+                raise SemanticError(f"{name} declared twice", stmt.line)
+            if existing is not None and existing.is_param:
+                # Re-typing / dimensioning a parameter is allowed.
+                existing.type = stmt.type
+                existing.dims = dims
+                existing.declared_line = stmt.line
+                continue
+            if name == self.proc.name and self.proc.kind is ast.ProcKind.FUNCTION:
+                self.table.variables[name].type = stmt.type
+                continue
+            self.table.variables[name] = VarInfo(
+                name, stmt.type, dims=dims, declared_line=stmt.line
+            )
+
+    def _apply_parameter(self, stmt: ast.ParameterStmt) -> None:
+        for name, expr in stmt.bindings:
+            if name in self.table.constants:
+                raise SemanticError(f"constant {name} bound twice", stmt.line)
+            self.table.constants[name] = self._const_eval(expr)
+
+    def _const_eval(self, expr: ast.Expr) -> int | float:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.RealLit):
+            return expr.value
+        if isinstance(expr, ast.VarRef) and expr.name in self.table.constants:
+            return self.table.constants[expr.name]
+        if isinstance(expr, ast.Unary) and expr.op is ast.UnOp.NEG:
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, ast.Binary):
+            left = self._const_eval(expr.left)
+            right = self._const_eval(expr.right)
+            ops = {
+                ast.BinOp.ADD: lambda a, b: a + b,
+                ast.BinOp.SUB: lambda a, b: a - b,
+                ast.BinOp.MUL: lambda a, b: a * b,
+                ast.BinOp.DIV: _const_div,
+                ast.BinOp.POW: lambda a, b: a**b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+        raise SemanticError("PARAMETER value is not a constant expression", expr.line)
+
+    def _collect_labels(self) -> None:
+        for stmt in self.proc.walk_statements():
+            if stmt.label is not None:
+                if stmt.label in self.table.labels:
+                    raise SemanticError(
+                        f"duplicate statement label {stmt.label}", stmt.line
+                    )
+                self.table.labels.add(stmt.label)
+
+    # -- usage pass ---------------------------------------------------------
+
+    def _check_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Goto):
+            self._check_label(stmt.target, stmt.line)
+        elif isinstance(stmt, ast.ComputedGoto):
+            for target in stmt.targets:
+                self._check_label(target, stmt.line)
+        elif isinstance(stmt, ast.ArithmeticIf):
+            for target in stmt.targets:
+                self._check_label(target, stmt.line)
+        elif isinstance(stmt, ast.CallStmt):
+            self._check_call(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign_target(stmt.target)
+        elif isinstance(stmt, ast.DoLoop):
+            info = self.table.ensure_scalar(stmt.var, stmt.line)
+            if info.is_array:
+                raise SemanticError(
+                    f"DO variable {stmt.var} is an array", stmt.line
+                )
+        if isinstance(stmt, ast.CallStmt):
+            # Whole arrays may be passed (by reference) as call args.
+            for arg in stmt.args:
+                self._check_expr(arg, array_ok=True)
+        else:
+            for expr in ast.stmt_expressions(stmt):
+                self._check_expr(expr)
+
+    def _check_label(self, label: int, line: int) -> None:
+        if label not in self.table.labels:
+            raise SemanticError(f"GOTO target label {label} not defined", line)
+
+    def _check_call(self, stmt: ast.CallStmt) -> None:
+        callee = self.unit.procedures.get(stmt.name)
+        if callee is None:
+            raise SemanticError(f"CALL to unknown subroutine {stmt.name}", stmt.line)
+        if callee.kind is not ast.ProcKind.SUBROUTINE:
+            raise SemanticError(f"{stmt.name} is not a SUBROUTINE", stmt.line)
+        if len(stmt.args) != len(callee.params):
+            raise SemanticError(
+                f"CALL {stmt.name}: expected {len(callee.params)} args, "
+                f"got {len(stmt.args)}",
+                stmt.line,
+            )
+
+    def _check_assign_target(self, target: ast.VarRef | ast.ArrayRef) -> None:
+        if isinstance(target, ast.VarRef):
+            info = self.table.ensure_scalar(target.name, target.line)
+            if info.is_array:
+                raise SemanticError(
+                    f"cannot assign whole array {target.name}", target.line
+                )
+            if target.name in self.table.constants:
+                raise SemanticError(
+                    f"cannot assign to constant {target.name}", target.line
+                )
+        else:
+            info = self.table.lookup(target.name)
+            if info is None or not info.is_array:
+                raise SemanticError(
+                    f"{target.name} is not a declared array", target.line
+                )
+            if len(target.indices) != len(info.dims):
+                raise SemanticError(
+                    f"{target.name}: {len(info.dims)} subscripts required",
+                    target.line,
+                )
+
+    def _check_expr(self, expr: ast.Expr, array_ok: bool = False) -> None:
+        if isinstance(expr, ast.VarRef):
+            if expr.name in self.table.constants:
+                return
+            info = self.table.lookup(expr.name)
+            if info is not None and info.is_array:
+                if not array_ok:
+                    raise SemanticError(
+                        f"array {expr.name} used without subscripts", expr.line
+                    )
+                return
+            self.table.ensure_scalar(expr.name, expr.line)
+        elif isinstance(expr, ast.ArrayRef):
+            self._check_arrayref(expr)
+            for index in expr.indices:
+                self._check_expr(index)
+        elif isinstance(expr, ast.FuncCall):
+            self._check_funccall(expr)
+            info = self.table.lookup(expr.name)
+            is_user_call = (
+                (info is None or not info.is_array)
+                and expr.name not in INTRINSICS
+            )
+            for arg in expr.args:
+                self._check_expr(arg, array_ok=is_user_call)
+        elif isinstance(expr, ast.Binary):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+        elif isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand)
+
+    def _check_funccall(self, node: ast.FuncCall) -> None:
+        info = self.table.lookup(node.name)
+        if info is not None and info.is_array:
+            if len(node.args) != len(info.dims):
+                raise SemanticError(
+                    f"{node.name}: {len(info.dims)} subscripts required", node.line
+                )
+            return  # It is really an array reference; interpreter resolves.
+        if node.name in INTRINSICS:
+            lo, hi, _ = INTRINSICS[node.name]
+            if not lo <= len(node.args) <= hi:
+                raise SemanticError(
+                    f"intrinsic {node.name} takes {lo}..{hi} args, "
+                    f"got {len(node.args)}",
+                    node.line,
+                )
+            return
+        callee = self.unit.procedures.get(node.name)
+        if callee is not None and callee.kind is ast.ProcKind.FUNCTION:
+            if len(node.args) != len(callee.params):
+                raise SemanticError(
+                    f"{node.name}: expected {len(callee.params)} args, "
+                    f"got {len(node.args)}",
+                    node.line,
+                )
+            return
+        raise SemanticError(
+            f"{node.name} is not an array, intrinsic or FUNCTION", node.line
+        )
+
+    def _check_arrayref(self, node: ast.ArrayRef) -> None:
+        info = self.table.lookup(node.name)
+        if info is None or not info.is_array:
+            raise SemanticError(f"{node.name} is not a declared array", node.line)
+        if len(node.indices) != len(info.dims):
+            raise SemanticError(
+                f"{node.name}: {len(info.dims)} subscripts required", node.line
+            )
+
+
+def _const_div(a: int | float, b: int | float):
+    if isinstance(a, int) and isinstance(b, int):
+        return int(a / b) if b != 0 else 0
+    return a / b
+
+
+def check_program(unit: ast.ProgramUnit) -> CheckedProgram:
+    """Run semantic checks; returns the program with its symbol tables."""
+    tables = {
+        name: _ProcedureChecker(proc, unit).check()
+        for name, proc in unit.procedures.items()
+    }
+    return CheckedProgram(unit=unit, tables=tables)

@@ -1,0 +1,126 @@
+"""Render AST expressions and statements back to compact source text.
+
+Used for CFG node labels, Figure-3-style reports and error messages.
+The output is canonicalized (upper case, minimal spacing), not a
+round-trippable pretty printer.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_BINOP_TEXT = {
+    ast.BinOp.ADD: "+",
+    ast.BinOp.SUB: "-",
+    ast.BinOp.MUL: "*",
+    ast.BinOp.DIV: "/",
+    ast.BinOp.POW: "**",
+    ast.BinOp.LT: ".LT.",
+    ast.BinOp.LE: ".LE.",
+    ast.BinOp.GT: ".GT.",
+    ast.BinOp.GE: ".GE.",
+    ast.BinOp.EQ: ".EQ.",
+    ast.BinOp.NE: ".NE.",
+    ast.BinOp.AND: ".AND.",
+    ast.BinOp.OR: ".OR.",
+}
+
+_PRECEDENCE = {
+    ast.BinOp.OR: 1,
+    ast.BinOp.AND: 2,
+    ast.BinOp.LT: 4,
+    ast.BinOp.LE: 4,
+    ast.BinOp.GT: 4,
+    ast.BinOp.GE: 4,
+    ast.BinOp.EQ: 4,
+    ast.BinOp.NE: 4,
+    ast.BinOp.ADD: 5,
+    ast.BinOp.SUB: 5,
+    ast.BinOp.MUL: 6,
+    ast.BinOp.DIV: 6,
+    ast.BinOp.POW: 8,
+}
+
+
+def unparse_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parenthesization."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.RealLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.LogicalLit):
+        return ".TRUE." if expr.value else ".FALSE."
+    if isinstance(expr, ast.StringLit):
+        return f"'{expr.value}'"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        args = ", ".join(unparse_expr(i) for i in expr.indices)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.FuncCall):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Unary):
+        op = {"-": "-", "+": "+", ".NOT.": ".NOT. "}[expr.op.value]
+        inner = unparse_expr(expr.operand, 7)
+        text = f"{op}{inner}"
+        return f"({text})" if parent_prec > 7 else text
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        if expr.op is ast.BinOp.POW:
+            # ** is right-associative: parenthesize a POW on the left.
+            left = unparse_expr(expr.left, prec + 1)
+            right = unparse_expr(expr.right, prec)
+        else:
+            left = unparse_expr(expr.left, prec)
+            right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {_BINOP_TEXT[expr.op]} {right}"
+        return f"({text})" if parent_prec > prec else text
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def stmt_text(stmt: ast.Stmt) -> str:
+    """A one-line summary of a statement for display purposes."""
+    if isinstance(stmt, ast.Assign):
+        return f"{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)}"
+    if isinstance(stmt, ast.LogicalIf):
+        return f"IF ({unparse_expr(stmt.cond)}) {stmt_text(stmt.stmt)}"
+    if isinstance(stmt, ast.IfBlock):
+        return f"IF ({unparse_expr(stmt.arms[0][0])}) THEN"
+    if isinstance(stmt, ast.DoLoop):
+        step = f", {unparse_expr(stmt.step)}" if stmt.step is not None else ""
+        return (
+            f"DO {stmt.var} = {unparse_expr(stmt.start)}, "
+            f"{unparse_expr(stmt.stop)}{step}"
+        )
+    if isinstance(stmt, ast.DoWhile):
+        return f"DO WHILE ({unparse_expr(stmt.cond)})"
+    if isinstance(stmt, ast.Goto):
+        return f"GOTO {stmt.target}"
+    if isinstance(stmt, ast.ArithmeticIf):
+        return (
+            f"IF ({unparse_expr(stmt.expr)}) "
+            f"{stmt.negative}, {stmt.zero}, {stmt.positive}"
+        )
+    if isinstance(stmt, ast.ComputedGoto):
+        targets = ", ".join(str(t) for t in stmt.targets)
+        return f"GOTO ({targets}), {unparse_expr(stmt.selector)}"
+    if isinstance(stmt, ast.CallStmt):
+        if stmt.args:
+            args = ", ".join(unparse_expr(a) for a in stmt.args)
+            return f"CALL {stmt.name}({args})"
+        return f"CALL {stmt.name}"
+    if isinstance(stmt, ast.ReturnStmt):
+        return "RETURN"
+    if isinstance(stmt, ast.StopStmt):
+        return "STOP"
+    if isinstance(stmt, ast.ContinueStmt):
+        return "CONTINUE"
+    if isinstance(stmt, ast.PrintStmt):
+        return "PRINT *"
+    if isinstance(stmt, ast.Declaration):
+        names = ", ".join(name for name, _ in stmt.names)
+        return f"{stmt.type.value} {names}"
+    if isinstance(stmt, ast.ParameterStmt):
+        return "PARAMETER"
+    return type(stmt).__name__

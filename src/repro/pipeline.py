@@ -1,0 +1,259 @@
+"""High-level façade over the whole framework.
+
+Typical use::
+
+    from repro import pipeline
+
+    program = pipeline.compile_source(SOURCE)
+    profile, stats = pipeline.profile_program(program, runs=[{}, {}])
+    analysis = pipeline.analyze(program, profile, SCALAR_MACHINE)
+    print(analysis.total_time, analysis.total_std_dev)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import ProgramAnalysis, analyze_program
+from repro.analysis.interprocedural import LoopVarianceSpec
+from repro.callgraph import CallGraph, build_call_graph
+from repro.cdg import FCDG, build_fcdg
+from repro.cfg.builder import build_program_cfgs
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.reducibility import is_reducible, split_nodes
+from repro.costs.model import MachineModel, SCALAR_MACHINE
+from repro.ecfg import ExtendedCFG, build_ecfg
+from repro.interp import ExecutionHooks, Interpreter, RunResult
+from repro.lang.parser import parse_program
+from repro.lang.symbols import CheckedProgram, check_program
+from repro.profiling import (
+    PlanExecutor,
+    ProgramPlan,
+    ProgramProfile,
+    naive_plan,
+    oracle_profile,
+    reconstruct_profile,
+    smart_plan,
+)
+from repro.profiling.runtime import HookChain, LoopMomentRecorder
+
+
+@dataclass
+class CompiledProgram:
+    """Everything derived statically from one source file."""
+
+    source: str
+    checked: CheckedProgram
+    cfgs: dict[str, ControlFlowGraph]
+    ecfgs: dict[str, ExtendedCFG]
+    fcdgs: dict[str, FCDG]
+    call_graph: CallGraph
+    #: Nodes cloned per procedure to make irreducible CFGs reducible.
+    splits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def main_name(self) -> str:
+        return self.checked.unit.main.name
+
+    def artifacts(self) -> dict[str, tuple[ExtendedCFG, FCDG]]:
+        return {name: (self.ecfgs[name], self.fcdgs[name]) for name in self.cfgs}
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Parse, check and build all graphs for a minifort program.
+
+    Irreducible CFGs (the paper assumes reducibility) are made
+    reducible by node splitting, as the paper prescribes.
+    """
+    checked = check_program(parse_program(source))
+    cfgs = build_program_cfgs(checked)
+    splits: dict[str, int] = {}
+    for name, cfg in cfgs.items():
+        if not is_reducible(cfg):
+            splits[name] = split_nodes(cfg)
+    ecfgs = {name: build_ecfg(cfg) for name, cfg in cfgs.items()}
+    fcdgs = {name: build_fcdg(ecfg) for name, ecfg in ecfgs.items()}
+    return CompiledProgram(
+        source=source,
+        checked=checked,
+        cfgs=cfgs,
+        ecfgs=ecfgs,
+        fcdgs=fcdgs,
+        call_graph=build_call_graph(checked),
+        splits=splits,
+    )
+
+
+def run_program(
+    program: CompiledProgram,
+    *,
+    inputs: tuple[float, ...] = (),
+    seed: int = 0,
+    model: MachineModel | None = None,
+    hooks: ExecutionHooks | None = None,
+    max_steps: int = 10_000_000,
+) -> RunResult:
+    """Execute the program once."""
+    interpreter = Interpreter(
+        program.checked,
+        program.cfgs,
+        model=model,
+        hooks=hooks,
+        seed=seed,
+        inputs=inputs,
+        max_steps=max_steps,
+    )
+    return interpreter.run()
+
+
+def smart_program_plan(
+    program: CompiledProgram,
+    *,
+    enable_drops: bool = True,
+    enable_do_batch: bool = True,
+) -> ProgramPlan:
+    """The optimized counter plan for every procedure."""
+    return ProgramPlan(
+        kind="smart",
+        plans={
+            name: smart_plan(
+                program.checked,
+                program.cfgs[name],
+                program.fcdgs[name],
+                enable_drops=enable_drops,
+                enable_do_batch=enable_do_batch,
+            )
+            for name in program.cfgs
+        },
+    )
+
+
+def naive_program_plan(
+    program: CompiledProgram, *, straightline_do_opt: bool = True
+) -> ProgramPlan:
+    """The naive per-basic-block counter plan for every procedure."""
+    return ProgramPlan(
+        kind="naive",
+        plans={
+            name: naive_plan(
+                program.checked,
+                program.cfgs[name],
+                straightline_do_opt=straightline_do_opt,
+            )
+            for name in program.cfgs
+        },
+    )
+
+
+@dataclass
+class ProfileStats:
+    """What profiling cost, summed over the profiled runs."""
+
+    runs: int = 0
+    counters: int = 0
+    counter_updates: int = 0
+    base_cost: float = 0.0
+    counter_cost: float = 0.0
+
+
+def profile_program(
+    program: CompiledProgram,
+    runs: list[dict] | int = 1,
+    *,
+    plan: ProgramPlan | None = None,
+    model: MachineModel | None = None,
+    record_loop_moments: bool = False,
+    max_steps: int = 10_000_000,
+) -> tuple[ProgramProfile, ProfileStats]:
+    """Profile the program over one or more runs.
+
+    ``runs`` is either a run count or a list of per-run keyword dicts
+    (``inputs=...``, ``seed=...``).  With the default ``plan=None``
+    the optimized plan is built and executed; the returned profile is
+    *reconstructed from its counters* — exactly what a production
+    deployment of the paper's scheme would see.
+    """
+    if isinstance(runs, int):
+        run_specs = [{"seed": i} for i in range(runs)]
+    else:
+        run_specs = runs
+    if plan is None:
+        plan = smart_program_plan(program)
+    executor = PlanExecutor(plan)
+    recorder = (
+        LoopMomentRecorder(program.ecfgs) if record_loop_moments else None
+    )
+    hooks: ExecutionHooks = executor
+    if recorder is not None:
+        hooks = HookChain(executor, recorder)
+
+    stats = ProfileStats(runs=len(run_specs), counters=plan.n_counters)
+    for spec in run_specs:
+        result = run_program(
+            program, model=model, hooks=hooks, max_steps=max_steps, **spec
+        )
+        stats.base_cost += result.total_cost
+        stats.counter_cost += result.counter_cost
+    stats.counter_updates = executor.updates
+
+    profile = reconstruct_profile(plan, executor, runs=len(run_specs))
+    if recorder is not None:
+        for name in program.cfgs:
+            proc = profile.proc(name)
+            proc.loop_sumsq = dict(recorder.sumsq.get(name, {}))
+            proc.loop_entries = dict(recorder.entries.get(name, {}))
+    return profile, stats
+
+
+def oracle_program_profile(
+    program: CompiledProgram,
+    runs: list[dict] | int = 1,
+    *,
+    max_steps: int = 10_000_000,
+) -> ProgramProfile:
+    """Exact accumulated profile from interpreter ground truth."""
+    if isinstance(runs, int):
+        run_specs = [{"seed": i} for i in range(runs)]
+    else:
+        run_specs = runs
+    total = ProgramProfile()
+    for spec in run_specs:
+        result = run_program(program, max_steps=max_steps, **spec)
+        total.merge(oracle_profile(result, program.ecfgs))
+    return total
+
+
+def analyze(
+    program: CompiledProgram,
+    profile: ProgramProfile,
+    model: MachineModel = SCALAR_MACHINE,
+    *,
+    loop_variance: LoopVarianceSpec = "zero",
+    estimator=None,
+) -> ProgramAnalysis:
+    """Run the TIME/VAR analysis against a profile."""
+    return analyze_program(
+        program.checked,
+        program.cfgs,
+        profile,
+        model,
+        loop_variance=loop_variance,
+        artifacts=program.artifacts(),
+        estimator=estimator,
+    )
+
+
+def estimate(
+    source: str,
+    runs: list[dict] | int = 1,
+    model: MachineModel = SCALAR_MACHINE,
+    *,
+    loop_variance: LoopVarianceSpec = "zero",
+) -> ProgramAnalysis:
+    """One-shot convenience: compile, profile (smart plan), analyze."""
+    program = compile_source(source)
+    record = loop_variance == "profiled"
+    profile, _ = profile_program(
+        program, runs, record_loop_moments=record
+    )
+    return analyze(program, profile, model, loop_variance=loop_variance)

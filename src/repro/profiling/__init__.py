@@ -1,0 +1,45 @@
+"""Counter-based execution profiling (Section 3 of the paper).
+
+The package provides:
+
+* :mod:`repro.profiling.database` — the profile data model and the
+  PTRAN-style program database that accumulates ``TOTAL_FREQ`` counts
+  over multiple runs;
+* :mod:`repro.profiling.placement` — counter *placement plans*: the
+  naive one-counter-per-basic-block scheme and the optimized scheme
+  built from the paper's three optimizations;
+* :mod:`repro.profiling.runtime` — interpreter hooks that execute a
+  plan's counter updates during a run;
+* :mod:`repro.profiling.reconstruct` — recovery of every control
+  condition's ``TOTAL_FREQ`` from the reduced counter set;
+* :mod:`repro.profiling.oracle` — exact profiles derived from the
+  interpreter's ground-truth counts (for validation).
+"""
+
+from repro.profiling.database import (
+    ProcedureProfile,
+    ProfileDatabase,
+    ProgramProfile,
+)
+from repro.profiling.placement import (
+    CounterPlan,
+    ProgramPlan,
+    naive_plan,
+    smart_plan,
+)
+from repro.profiling.runtime import PlanExecutor
+from repro.profiling.reconstruct import reconstruct_profile
+from repro.profiling.oracle import oracle_profile
+
+__all__ = [
+    "ProcedureProfile",
+    "ProgramProfile",
+    "ProfileDatabase",
+    "CounterPlan",
+    "ProgramPlan",
+    "naive_plan",
+    "smart_plan",
+    "PlanExecutor",
+    "reconstruct_profile",
+    "oracle_profile",
+]

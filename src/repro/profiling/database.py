@@ -1,0 +1,161 @@
+"""Profile data model and the PTRAN-style program database.
+
+A :class:`ProcedureProfile` stores raw ``TOTAL_FREQ`` material keyed by
+*original CFG* artifacts, so it is independent of how the extended CFG
+numbered its synthetic nodes:
+
+* ``branch_counts[(u, l)]`` — times node ``u`` took its branch ``l``;
+* ``header_counts[h]``     — executions of loop header node ``h``
+  (the counter behind Definition 3's loop frequency);
+* ``invocations``          — executions of the procedure
+  (``TOTAL_FREQ(START, U)``);
+* ``loop_sumsq[h]`` / ``loop_entries[h]`` — optional Σ(iterations²)
+  and entry counts per loop, enabling the profile-based
+  ``VAR(FREQ(u,l))`` of Section 5 Case 1.
+
+Profiles accumulate: the paper recommends summing ``TOTAL_FREQ`` over
+several program runs, since only ratios matter.  The
+:class:`ProfileDatabase` persists accumulated profiles as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ProfilingError
+
+
+@dataclass
+class ProcedureProfile:
+    """Accumulated raw counts for one procedure."""
+
+    name: str
+    branch_counts: dict[tuple[int, str], float] = field(default_factory=dict)
+    header_counts: dict[int, float] = field(default_factory=dict)
+    invocations: float = 0.0
+    loop_sumsq: dict[int, float] = field(default_factory=dict)
+    loop_entries: dict[int, float] = field(default_factory=dict)
+
+    def merge(self, other: "ProcedureProfile") -> None:
+        """Accumulate another profile of the same procedure into this one."""
+        if other.name != self.name:
+            raise ProfilingError(
+                f"cannot merge profile of {other.name} into {self.name}"
+            )
+        for key, value in other.branch_counts.items():
+            self.branch_counts[key] = self.branch_counts.get(key, 0.0) + value
+        for key, value in other.header_counts.items():
+            self.header_counts[key] = self.header_counts.get(key, 0.0) + value
+        self.invocations += other.invocations
+        for key, value in other.loop_sumsq.items():
+            self.loop_sumsq[key] = self.loop_sumsq.get(key, 0.0) + value
+        for key, value in other.loop_entries.items():
+            self.loop_entries[key] = self.loop_entries.get(key, 0.0) + value
+
+    def loop_freq_second_moment(self, header: int) -> float | None:
+        """E[F²] for the loop headed by ``header``, if recorded."""
+        entries = self.loop_entries.get(header)
+        if not entries:
+            return None
+        return self.loop_sumsq.get(header, 0.0) / entries
+
+
+@dataclass
+class ProgramProfile:
+    """Raw counts for a whole program, over ``runs`` accumulated runs."""
+
+    runs: int = 0
+    procedures: dict[str, ProcedureProfile] = field(default_factory=dict)
+
+    def proc(self, name: str) -> ProcedureProfile:
+        if name not in self.procedures:
+            self.procedures[name] = ProcedureProfile(name)
+        return self.procedures[name]
+
+    def merge(self, other: "ProgramProfile") -> None:
+        self.runs += other.runs
+        for name, profile in other.procedures.items():
+            self.proc(name).merge(profile)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "procedures": {
+                name: {
+                    "branch_counts": [
+                        [node, label, value]
+                        for (node, label), value in sorted(
+                            profile.branch_counts.items()
+                        )
+                    ],
+                    "header_counts": sorted(profile.header_counts.items()),
+                    "invocations": profile.invocations,
+                    "loop_sumsq": sorted(profile.loop_sumsq.items()),
+                    "loop_entries": sorted(profile.loop_entries.items()),
+                }
+                for name, profile in sorted(self.procedures.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgramProfile":
+        profile = cls(runs=int(data["runs"]))
+        for name, raw in data["procedures"].items():
+            proc = profile.proc(name)
+            proc.branch_counts = {
+                (int(node), label): float(value)
+                for node, label, value in raw["branch_counts"]
+            }
+            proc.header_counts = {
+                int(node): float(value) for node, value in raw["header_counts"]
+            }
+            proc.invocations = float(raw["invocations"])
+            proc.loop_sumsq = {
+                int(node): float(value) for node, value in raw["loop_sumsq"]
+            }
+            proc.loop_entries = {
+                int(node): float(value) for node, value in raw["loop_entries"]
+            }
+        return profile
+
+
+class ProfileDatabase:
+    """A tiny on-disk program database for accumulated profiles.
+
+    Mirrors the role of PTRAN's program database: frequency counts are
+    recorded at the end of each execution and summed across runs, per
+    program key.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._data: dict[str, ProgramProfile] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        raw = json.loads(self.path.read_text())
+        self._data = {
+            key: ProgramProfile.from_dict(value) for key, value in raw.items()
+        }
+
+    def save(self) -> None:
+        payload = {key: prof.to_dict() for key, prof in self._data.items()}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    def record(self, program_key: str, profile: ProgramProfile) -> None:
+        """Accumulate one (or more) runs' worth of counts."""
+        if program_key not in self._data:
+            self._data[program_key] = ProgramProfile()
+        self._data[program_key].merge(profile)
+
+    def lookup(self, program_key: str) -> ProgramProfile | None:
+        return self._data.get(program_key)
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)

@@ -1,0 +1,90 @@
+"""Human-readable rendering of counter placement plans.
+
+Shows exactly what the Section-3 optimizations did to a procedure:
+which counters remain (and where they sit), which were dropped, and
+the derivation rule that recovers each dropped measure.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.profiling.measures import DerivedRule, Measure
+from repro.profiling.placement import CounterPlan
+
+
+def _measure_text(measure: Measure) -> str:
+    kind = measure[0]
+    if kind == "invoc":
+        return "invocations"
+    if kind == "cond":
+        return f"branch({measure[1]}, {measure[2]})"
+    if kind == "header":
+        return f"loopfreq(header {measure[1]})"
+    if kind == "exec":
+        return f"exec({measure[1]})"
+    if kind == "block":
+        return f"block({measure[1]})"
+    return repr(measure)
+
+
+def _rule_text(rule: DerivedRule) -> str:
+    parts: list[str] = []
+    if rule.bias:
+        parts.append(f"{rule.bias:g}")
+    for coefficient, term in rule.terms:
+        text = (
+            _measure_text(term) if isinstance(term, tuple) else f"{term:g}"
+        )
+        if coefficient == 1.0:
+            parts.append(f"+ {text}")
+        elif coefficient == -1.0:
+            parts.append(f"- {text}")
+        else:
+            parts.append(f"+ {coefficient:g}*{text}")
+    body = " ".join(parts).lstrip("+ ")
+    return f"{_measure_text(rule.target)} = {body}   [{rule.kind}]"
+
+
+def describe_plan(plan: CounterPlan, cfg: ControlFlowGraph) -> str:
+    """A multi-line description of one procedure's plan."""
+    lines = [
+        f"plan for {plan.proc} ({plan.kind}): {plan.n_counters} counters"
+    ]
+    for node_id, cid in sorted(plan.node_counters.items()):
+        what = _measure_text(plan.counter_measures[cid])
+        text = cfg.nodes[node_id].text if node_id in cfg.nodes else "?"
+        lines.append(
+            f"  counter {cid}: ++ at node {node_id} ({text}) -> {what}"
+        )
+    for (node_id, label), cid in sorted(plan.edge_counters.items()):
+        what = _measure_text(plan.counter_measures[cid])
+        lines.append(
+            f"  counter {cid}: ++ on edge ({node_id}, {label}) -> {what}"
+        )
+    for node_id, entries in sorted(plan.batch_counters.items()):
+        for cid, offset in entries:
+            what = _measure_text(plan.counter_measures[cid])
+            extra = f"trip+{offset}" if offset else "trip"
+            lines.append(
+                f"  counter {cid}: += {extra} at DO entry node "
+                f"{node_id} -> {what}"
+            )
+    derived = [
+        target
+        for target in plan.targets
+        if target not in plan.measured()
+    ]
+    if derived:
+        lines.append(f"  derived measures ({len(derived)}):")
+        useful_rules = {
+            rule.target: rule
+            for rule in plan.rules.rules
+            if rule.kind != "exec"
+        }
+        for target in derived:
+            rule = useful_rules.get(target)
+            if rule is not None:
+                lines.append(f"    {_rule_text(rule)}")
+            else:
+                lines.append(f"    {_measure_text(target)} (via exec sums)")
+    return "\n".join(lines)

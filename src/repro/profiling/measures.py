@@ -1,0 +1,129 @@
+"""Measure keys and derivation rules shared by placement/reconstruction.
+
+A *measure* is one quantity a profile needs.  Measures are plain
+tuples so they serialize and hash naturally:
+
+* ``("invoc",)``          — invocations of the procedure
+  (``TOTAL_FREQ(START, U)``);
+* ``("cond", u, l)``      — times node ``u`` took branch ``l``;
+* ``("header", h)``       — executions of loop header ``h``
+  (the loop-frequency condition of ``h``'s preheader);
+* ``("exec", n)``         — executions of ECFG node ``n``; always
+  derived as the sum of the node's firing control conditions;
+* ``("block", n)``        — executions of the basic block led by ``n``
+  (naive plans only).
+
+A :class:`DerivedRule` states how a dropped measure is recovered from
+others; the reconstruction engine evaluates rules to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Measure = tuple  # ("invoc",) | ("cond", u, l) | ("header", h) | ...
+
+
+def invoc_measure() -> Measure:
+    return ("invoc",)
+
+
+def cond_measure(node: int, label: str) -> Measure:
+    return ("cond", node, label)
+
+
+def header_measure(header: int) -> Measure:
+    return ("header", header)
+
+
+def exec_measure(node: int) -> Measure:
+    return ("exec", node)
+
+
+def block_measure(leader: int) -> Measure:
+    return ("block", leader)
+
+
+#: A dependency term: either a measure key or a literal constant.
+Term = Union[Measure, float]
+
+
+@dataclass(frozen=True)
+class DerivedRule:
+    """target = bias + Σ (coefficient × term).
+
+    All four of the paper's derivations are linear, so one rule shape
+    suffices:
+
+    * complement (Opt 2, branches):
+      ``cond(u, l*) = exec(u) − Σ_{l≠l*} cond(u, l)``
+    * back-edge sum (Opt 2, loops):
+      ``header(h) = exec(preheader) + Σ back-edge takings``
+    * exit sum (Opt 2, loops):
+      ``cond(u, l*) = exec(preheader) − Σ other exit takings``
+    * constant trip count (Opt 3):
+      ``header(h) = (trip + 1) × exec(preheader)``
+
+    ``exec`` measures themselves are generated for every FCDG node as
+    the sum of its parents' condition measures.
+    """
+
+    target: Measure
+    kind: str
+    terms: tuple[tuple[float, Term], ...]
+    bias: float = 0.0
+
+    def dependencies(self) -> list[Measure]:
+        return [term for _, term in self.terms if isinstance(term, tuple)]
+
+    def evaluate(self, values: dict[Measure, float]) -> float | None:
+        """The rule's value, or None if a dependency is unresolved."""
+        total = self.bias
+        for coefficient, term in self.terms:
+            if isinstance(term, tuple):
+                if term not in values:
+                    return None
+                total += coefficient * values[term]
+            else:
+                total += coefficient * term
+        return total
+
+
+@dataclass
+class RuleSet:
+    """All rules of one plan, indexed for fixpoint evaluation."""
+
+    rules: list[DerivedRule] = field(default_factory=list)
+
+    def add(self, rule: DerivedRule) -> None:
+        self.rules.append(rule)
+
+    def closure(self, known: set[Measure]) -> set[Measure]:
+        """All measures derivable from ``known`` via the rules."""
+        resolved = set(known)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                if rule.target in resolved:
+                    continue
+                if all(dep in resolved for dep in rule.dependencies()):
+                    resolved.add(rule.target)
+                    changed = True
+        return resolved
+
+    def solve(self, values: dict[Measure, float]) -> dict[Measure, float]:
+        """Numerically resolve every derivable measure (fixpoint)."""
+        resolved = dict(values)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                if rule.target in resolved:
+                    continue
+                value = rule.evaluate(resolved)
+                if value is not None:
+                    resolved[rule.target] = value
+                    changed = True
+        return resolved

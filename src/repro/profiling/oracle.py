@@ -1,0 +1,39 @@
+"""Exact profiles from the interpreter's ground-truth counts.
+
+The interpreter records every node and edge execution regardless of
+any counter plan.  ``oracle_profile`` turns one run's counts into a
+:class:`ProgramProfile` — the reference against which optimized
+counter plans are validated (their reconstructed profiles must be
+*identical*).
+"""
+
+from __future__ import annotations
+
+from repro.ecfg import ExtendedCFG
+from repro.interp.machine import RunResult
+from repro.profiling.database import ProgramProfile
+
+
+def oracle_profile(
+    run: RunResult,
+    ecfgs: dict[str, ExtendedCFG],
+) -> ProgramProfile:
+    """Build the exact profile of one run from interpreter counts.
+
+    ``ecfgs`` supplies each procedure's loop headers, so header
+    execution counts can be extracted for the loop-frequency
+    conditions.  Loop second moments are *not* recorded here (they
+    need per-entry granularity); use the LoopMomentRecorder hooks for
+    that.
+    """
+    profile = ProgramProfile(runs=1)
+    for name, ecfg in ecfgs.items():
+        proc = profile.proc(name)
+        proc.invocations = float(run.call_counts.get(name, 0))
+        edge_counts = run.edge_counts.get(name, {})
+        node_counts = run.node_counts.get(name, {})
+        for (src, label), count in edge_counts.items():
+            proc.branch_counts[(src, label)] = float(count)
+        for header in ecfg.preheader_of:
+            proc.header_counts[header] = float(node_counts.get(header, 0))
+    return profile

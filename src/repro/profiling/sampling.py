@@ -1,0 +1,132 @@
+"""A simulated PC-sampling profiler (Section 3's foil).
+
+The paper argues that sampling-based profilers — "Procedure P was found
+executing x% of the time" — are too coarse for statement-level
+execution frequencies, motivating the counter-based scheme.  This
+module simulates such a profiler so the claim can be quantified: the
+interpreter's virtual clock advances by each node's cost, and every
+``interval`` cycles a sample attributes the currently-executing node
+(and its procedure) with one hit, exactly like a timer interrupt
+reading the program counter.
+
+What a sampling profile can and cannot do:
+
+* procedure-level *time shares* converge to the truth as samples
+  accumulate (:meth:`SamplingProfiler.procedure_shares`);
+* per-node *frequencies* are fundamentally unavailable — a sample
+  sees where time is spent, not how often a statement ran; the
+  :meth:`SamplingProfiler.estimate_node_frequencies` heuristic
+  (hits × interval / cost, the best one can do) carries large errors
+  for cheap or rarely-hit statements, which
+  ``benchmarks/bench_sampling_vs_counters.py`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs.estimate import CostEstimator
+from repro.costs.model import MachineModel
+from repro.interp.machine import ExecutionHooks
+from repro.lang.symbols import CheckedProgram
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclass
+class SamplingReport:
+    """Aggregated samples of one or more runs."""
+
+    interval: float
+    total_samples: int = 0
+    #: procedure -> samples landing in it.
+    per_procedure: dict[str, int] = field(default_factory=dict)
+    #: (procedure, node) -> samples landing on that node.
+    per_node: dict[tuple[str, int], int] = field(default_factory=dict)
+
+
+class SamplingProfiler(ExecutionHooks):
+    """Interpreter hooks implementing virtual-time PC sampling.
+
+    ``interval`` is the sampling period in model cycles (the paper's
+    complaint is precisely that OS timer periods dwarf statement
+    costs).  The profiler keeps its own virtual clock from the same
+    static COST(u) table the interpreter charges, so samples land
+    exactly where a hardware timer would.
+    """
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        cfgs: dict[str, ControlFlowGraph],
+        model: MachineModel,
+        interval: float,
+        phase: float = 0.0,
+    ):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        estimator = CostEstimator(checked, model)
+        self._costs = {
+            name: {
+                nid: nc.local
+                for nid, nc in estimator.cfg_costs(cfg, name).items()
+            }
+            for name, cfg in cfgs.items()
+        }
+        self.report = SamplingReport(interval=interval)
+        self._clock = phase
+        self._next_sample = interval
+
+    def on_node(self, proc: str, node_id: int, trip: int | None = None) -> int:
+        cost = self._costs[proc][node_id]
+        if cost <= 0:
+            return 0
+        end = self._clock + cost
+        while self._next_sample <= end:
+            # The timer fires while this node is executing.
+            self.report.total_samples += 1
+            self.report.per_procedure[proc] = (
+                self.report.per_procedure.get(proc, 0) + 1
+            )
+            key = (proc, node_id)
+            self.report.per_node[key] = self.report.per_node.get(key, 0) + 1
+            self._next_sample += self.report.interval
+        self._clock = end
+        return 0  # sampling performs no counter updates in the program
+
+    # -- estimates ---------------------------------------------------------
+
+    def procedure_shares(self) -> dict[str, float]:
+        """Estimated fraction of execution time per procedure."""
+        total = self.report.total_samples
+        if total == 0:
+            return {}
+        return {
+            name: hits / total
+            for name, hits in sorted(self.report.per_procedure.items())
+        }
+
+    def estimate_node_frequencies(self) -> dict[tuple[str, int], float]:
+        """The best statement-frequency guess a sampler can make:
+        ``hits × interval / COST(node)`` (time attributed to the node
+        divided by its unit cost).  Zero-hit nodes estimate zero even
+        if they executed — the coarse-granularity failure the paper
+        describes."""
+        estimates: dict[tuple[str, int], float] = {}
+        for (proc, node), hits in self.report.per_node.items():
+            cost = self._costs[proc][node]
+            estimates[(proc, node)] = hits * self.report.interval / cost
+        return estimates
+
+
+def true_procedure_shares(run_result, costs_by_proc) -> dict[str, float]:
+    """Exact per-procedure time shares from ground-truth counts."""
+    totals: dict[str, float] = {}
+    for name, counts in run_result.node_counts.items():
+        table = costs_by_proc[name]
+        totals[name] = sum(
+            count * table[node] for node, count in counts.items()
+        )
+    grand = sum(totals.values())
+    if grand == 0:
+        return {}
+    return {name: value / grand for name, value in sorted(totals.items())}

@@ -1,0 +1,18 @@
+"""Human-readable reports: annotated FCDGs and benchmark tables."""
+
+from repro.report.figure3 import render_fcdg, render_cfg
+from repro.report.tables import format_table
+from repro.report.profile_report import (
+    flat_profile,
+    hot_spots,
+    render_profile_report,
+)
+
+__all__ = [
+    "render_fcdg",
+    "render_cfg",
+    "format_table",
+    "flat_profile",
+    "hot_spots",
+    "render_profile_report",
+]

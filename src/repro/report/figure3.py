@@ -1,0 +1,70 @@
+"""Figure-3-style rendering of an analyzed forward control dependence
+graph.
+
+Each node line carries the paper's ``[COST, TIME, E[TIME²], VAR,
+STD_DEV]`` tuple; each edge line carries ``<FREQ, TOTAL_FREQ>``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.interprocedural import ProcedureAnalysis
+from repro.cfg.graph import ControlFlowGraph
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_fcdg(proc: ProcedureAnalysis) -> str:
+    """Render the annotated FCDG of one analyzed procedure."""
+    fcdg = proc.fcdg
+    graph = proc.ecfg.graph
+    times = proc.times
+    variances = proc.variances
+    lines = [
+        f"FCDG of {proc.name}: "
+        f"TIME(START) = {_fmt(proc.time)}, "
+        f"STD_DEV(START) = {_fmt(proc.std_dev)}",
+        "node tuples are [COST, TIME, E[TIME^2], VAR, STD_DEV]; "
+        "edge tuples are <FREQ, TOTAL_FREQ>",
+        "",
+    ]
+    for node_id in fcdg.topological_order():
+        node = graph.nodes[node_id]
+        cost = proc.effective_costs.get(node_id, 0.0)
+        var = variances.var[node_id]
+        second = variances.second_moment[node_id]
+        lines.append(
+            f"{node_id:>4} {node.text or node.kind.value:<28} "
+            f"[{_fmt(cost)}, {_fmt(times[node_id])}, {_fmt(second)}, "
+            f"{_fmt(var)}, {_fmt(math.sqrt(max(0.0, var)))}]"
+        )
+        for label in fcdg.labels(node_id):
+            freq = proc.freqs.freq[(node_id, label)]
+            total = proc.freqs.total_freq[(node_id, label)]
+            for child in fcdg.children(node_id, label):
+                child_text = graph.nodes[child].text or str(child)
+                lines.append(
+                    f"       --{label}--> {child:>3} {child_text:<24} "
+                    f"<{_fmt(freq)}, {_fmt(total)}>"
+                )
+    return "\n".join(lines)
+
+
+def render_cfg(cfg: ControlFlowGraph, title: str = "") -> str:
+    """A compact textual rendering of a CFG (Figure-1/2 style)."""
+    lines = [title or f"CFG of {cfg.name}"]
+    for node in cfg:
+        marker = ""
+        if node.id == cfg.entry:
+            marker = "  <- entry"
+        elif node.id == cfg.exit:
+            marker = "  <- exit"
+        lines.append(f"{node.id:>4} [{node.type.value:<9}] {node.text}{marker}")
+        for edge in cfg.out_edges(node.id):
+            lines.append(f"       --{edge.label}--> {edge.dst}")
+    return "\n".join(lines)

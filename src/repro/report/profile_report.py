@@ -1,0 +1,193 @@
+"""gprof-style reports from the framework's analysis results.
+
+The paper cites the Unix profiler gprof [GKM82] as the precedent for
+its procedure-call cost treatment (rule 2 assumes the same average per
+call site, "commonly made in execution profilers e.g. the Unix
+profiler").  This module produces the familiar gprof artifacts from
+the *analytical* results — no sampling required:
+
+* a **flat profile**: self time per procedure (frequency-weighted local
+  COST, excluding callees), calls, and time per call;
+* a **call-graph profile**: for every procedure, its callers with call
+  counts and the total time attributed through each edge;
+* a **hot-spot listing**: the statements with the highest
+  self-time × frequency product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interprocedural import ProgramAnalysis
+from repro.report.tables import format_table
+
+
+@dataclass
+class FlatEntry:
+    name: str
+    self_time: float
+    cumulative_time: float
+    calls: float
+    self_per_call: float
+    share: float
+
+
+def _self_time_per_invocation(proc) -> float:
+    """Frequency-weighted local COST of one invocation (no callees)."""
+    total = 0.0
+    for node_id, node_cost in proc.node_costs.items():
+        total += proc.freqs.node_freq.get(node_id, 0.0) * node_cost.local
+    return total
+
+
+def _call_counts(analysis: ProgramAnalysis) -> dict[tuple[str, str], float]:
+    """(caller, callee) -> expected calls per program run."""
+    invocations = {
+        name: proc.freqs.invocations
+        for name, proc in analysis.procedures.items()
+    }
+    runs = max(1.0, invocations.get(analysis.checked.unit.main.name, 1.0))
+    counts: dict[tuple[str, str], float] = {}
+    for name, proc in analysis.procedures.items():
+        caller_invocations = invocations.get(name, 0.0) / runs
+        for node_id, node_cost in proc.node_costs.items():
+            if not node_cost.calls:
+                continue
+            node_frequency = proc.freqs.node_freq.get(node_id, 0.0)
+            for callee in node_cost.calls:
+                key = (name, callee)
+                counts[key] = counts.get(key, 0.0) + (
+                    caller_invocations * node_frequency
+                )
+    return counts
+
+
+def flat_profile(analysis: ProgramAnalysis) -> list[FlatEntry]:
+    """Per-procedure flat profile, heaviest self time first.
+
+    Times are per program run: self time = invocations × per-invocation
+    frequency-weighted local COST; cumulative = invocations × TIME.
+    """
+    runs = max(
+        1.0,
+        analysis.procedures[
+            analysis.checked.unit.main.name
+        ].freqs.invocations,
+    )
+    entries: list[FlatEntry] = []
+    total_self = 0.0
+    raw: list[tuple[str, float, float, float]] = []
+    for name, proc in sorted(analysis.procedures.items()):
+        calls = proc.freqs.invocations / runs
+        self_time = calls * _self_time_per_invocation(proc)
+        cumulative = calls * proc.time
+        raw.append((name, self_time, cumulative, calls))
+        total_self += self_time
+    for name, self_time, cumulative, calls in raw:
+        entries.append(
+            FlatEntry(
+                name=name,
+                self_time=self_time,
+                cumulative_time=cumulative,
+                calls=calls,
+                self_per_call=(self_time / calls) if calls else 0.0,
+                share=(self_time / total_self) if total_self else 0.0,
+            )
+        )
+    entries.sort(key=lambda e: -e.self_time)
+    return entries
+
+
+@dataclass
+class HotSpot:
+    procedure: str
+    node: int
+    text: str
+    executions: float
+    self_time: float
+
+
+def hot_spots(analysis: ProgramAnalysis, top: int = 10) -> list[HotSpot]:
+    """The statements consuming the most self time per program run."""
+    runs = max(
+        1.0,
+        analysis.procedures[
+            analysis.checked.unit.main.name
+        ].freqs.invocations,
+    )
+    spots: list[HotSpot] = []
+    for name, proc in analysis.procedures.items():
+        calls = proc.freqs.invocations / runs
+        for node_id, node_cost in proc.node_costs.items():
+            executions = calls * proc.freqs.node_freq.get(node_id, 0.0)
+            self_time = executions * node_cost.local
+            if self_time <= 0:
+                continue
+            spots.append(
+                HotSpot(
+                    procedure=name,
+                    node=node_id,
+                    text=proc.cfg.nodes[node_id].text,
+                    executions=executions,
+                    self_time=self_time,
+                )
+            )
+    spots.sort(key=lambda s: -s.self_time)
+    return spots[:top]
+
+
+def render_profile_report(analysis: ProgramAnalysis, top: int = 10) -> str:
+    """The full gprof-style text report."""
+    sections: list[str] = []
+
+    entries = flat_profile(analysis)
+    sections.append(
+        format_table(
+            ["%self", "self", "cumulative", "calls", "self/call",
+             "procedure"],
+            [
+                [
+                    f"{100 * e.share:.1f}%",
+                    e.self_time,
+                    e.cumulative_time,
+                    e.calls,
+                    e.self_per_call,
+                    e.name,
+                ]
+                for e in entries
+            ],
+            title="Flat profile (per program run)",
+        )
+    )
+
+    counts = _call_counts(analysis)
+    if counts:
+        rows = [
+            [
+                caller,
+                callee,
+                count,
+                count * analysis.procedures[callee].time,
+            ]
+            for (caller, callee), count in sorted(counts.items())
+        ]
+        sections.append(
+            format_table(
+                ["caller", "callee", "calls", "time through edge"],
+                rows,
+                title="Call graph (per program run)",
+            )
+        )
+
+    spots = hot_spots(analysis, top=top)
+    sections.append(
+        format_table(
+            ["procedure", "node", "statement", "executions", "self time"],
+            [
+                [s.procedure, s.node, s.text, s.executions, s.self_time]
+                for s in spots
+            ],
+            title=f"Hottest {len(spots)} statements",
+        )
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,55 @@
+"""Monospace table formatting for benchmark output."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned table.
+
+    Numeric cells are right-aligned and formatted compactly; text is
+    left-aligned.
+    """
+    rendered: list[list[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str], row_values: list[object] | None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            value = row_values[i] if row_values is not None else None
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers, None))
+    lines.append("  ".join("-" * w for w in widths))
+    for row, raw in zip(rendered, rows):
+        lines.append(fmt_row(row, raw))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return "n/a" if value != value else (
+                "inf" if value > 0 else "-inf"
+            )
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

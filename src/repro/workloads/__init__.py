@@ -1,0 +1,34 @@
+"""Workload programs used by the tests, examples and benchmarks.
+
+* :mod:`repro.workloads.paper_example` — the Figure-1 fragment with
+  the exact profile and COST assignment of the paper's Figure 3;
+* :mod:`repro.workloads.livermore` — 24 Livermore-loop-style kernels
+  (the paper's LOOPS benchmark);
+* :mod:`repro.workloads.simple_cfd` — a SIMPLE-like 2-D
+  hydrodynamics/heat-flow code (the paper's SIMPLE benchmark);
+* :mod:`repro.workloads.unstructured` — GOTO-heavy programs
+  exercising the unstructured-control-flow generality;
+* :mod:`repro.workloads.generators` — a seeded random program
+  generator for property-based testing.
+"""
+
+from repro.workloads.paper_example import (
+    PAPER_SOURCE,
+    FigureCostEstimator,
+    paper_program,
+)
+from repro.workloads.livermore import livermore_source
+from repro.workloads.simple_cfd import simple_source
+from repro.workloads import classic, unstructured
+from repro.workloads.generators import ProgramGenerator
+
+__all__ = [
+    "PAPER_SOURCE",
+    "FigureCostEstimator",
+    "paper_program",
+    "livermore_source",
+    "simple_source",
+    "classic",
+    "unstructured",
+    "ProgramGenerator",
+]

@@ -1,0 +1,173 @@
+"""Classic Fortran-style algorithm workloads.
+
+Programs with verifiable outputs, used to exercise the pipeline on
+realistic algorithmic control flow beyond the paper's two benchmarks:
+
+* ``SHELLSORT``  — Shell sort written with the traditional GOTO inner
+  loop (data-dependent iteration counts, nested unstructured loops);
+* ``GAUSS``      — Gaussian elimination with partial pivoting
+  (triangular nested loops, data-dependent pivot swaps);
+* ``NEWTON``     — Newton iteration with a convergence test (a
+  DO WHILE whose trip count depends on the input);
+* ``BINSEARCH``  — repeated binary search (logarithmic loops, three-way
+  comparisons via arithmetic IF).
+"""
+
+from __future__ import annotations
+
+
+def shellsort_source(n: int = 50) -> str:
+    """Shell sort of a pseudo-random array; prints a sortedness check."""
+    return f"""\
+      PROGRAM SHELLSORT
+      PARAMETER (N = {n})
+      REAL A({n}), T
+      INTEGER I, J, GAP, NBAD
+      DO 10 I = 1, N
+        A(I) = RAND()
+10    CONTINUE
+      GAP = N / 2
+20    IF (GAP .LT. 1) GOTO 60
+      I = GAP + 1
+30    IF (I .GT. N) GOTO 50
+      T = A(I)
+      J = I
+40    IF (J .LE. GAP) GOTO 45
+      IF (A(J - GAP) .LE. T) GOTO 45
+      A(J) = A(J - GAP)
+      J = J - GAP
+      GOTO 40
+45    A(J) = T
+      I = I + 1
+      GOTO 30
+50    GAP = GAP / 2
+      GOTO 20
+60    CONTINUE
+      NBAD = 0
+      DO 70 I = 2, N
+        IF (A(I - 1) .GT. A(I)) NBAD = NBAD + 1
+70    CONTINUE
+      PRINT *, NBAD
+      END
+"""
+
+
+def gauss_source(n: int = 8) -> str:
+    """Gaussian elimination with partial pivoting; prints the max
+    residual of A·x − b (should be ~0)."""
+    return f"""\
+      PROGRAM GAUSS
+      PARAMETER (N = {n})
+      REAL A({n}, {n}), B({n}), X({n}), SAVE({n}, {n}), BS({n})
+      REAL PIV, FAC, T, RES, RMAX
+      INTEGER I, J, K, IP
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          A(I, J) = RAND() + 0.1
+          SAVE(I, J) = A(I, J)
+10      CONTINUE
+        A(I, I) = A(I, I) + REAL(N)
+        SAVE(I, I) = A(I, I)
+        B(I) = RAND() * 10.0
+        BS(I) = B(I)
+20    CONTINUE
+C     forward elimination with partial pivoting
+      DO 60 K = 1, N - 1
+        IP = K
+        PIV = ABS(A(K, K))
+        DO 30 I = K + 1, N
+          IF (ABS(A(I, K)) .GT. PIV) THEN
+            PIV = ABS(A(I, K))
+            IP = I
+          ENDIF
+30      CONTINUE
+        IF (IP .NE. K) THEN
+          DO 40 J = 1, N
+            T = A(K, J)
+            A(K, J) = A(IP, J)
+            A(IP, J) = T
+40        CONTINUE
+          T = B(K)
+          B(K) = B(IP)
+          B(IP) = T
+        ENDIF
+        DO 55 I = K + 1, N
+          FAC = A(I, K) / A(K, K)
+          DO 50 J = K, N
+            A(I, J) = A(I, J) - FAC * A(K, J)
+50        CONTINUE
+          B(I) = B(I) - FAC * B(K)
+55      CONTINUE
+60    CONTINUE
+C     back substitution
+      DO 80 I = N, 1, -1
+        T = B(I)
+        DO 70 J = I + 1, N
+          T = T - A(I, J) * X(J)
+70      CONTINUE
+        X(I) = T / A(I, I)
+80    CONTINUE
+C     residual against the saved system
+      RMAX = 0.0
+      DO 100 I = 1, N
+        RES = BS(I)
+        DO 90 J = 1, N
+          RES = RES - SAVE(I, J) * X(J)
+90      CONTINUE
+        IF (ABS(RES) .GT. RMAX) RMAX = ABS(RES)
+100   CONTINUE
+      PRINT *, RMAX
+      END
+"""
+
+
+def newton_source() -> str:
+    """Newton's method for sqrt(INPUT(1)); prints iterations and error."""
+    return """\
+      PROGRAM NEWTON
+      REAL C, X, XNEW, ERR
+      INTEGER ITERS
+      C = INPUT(1)
+      X = C
+      IF (X .LT. 1.0) X = 1.0
+      ITERS = 0
+      ERR = 1.0
+      DO WHILE (ERR .GT. 1.0E-8)
+        XNEW = 0.5 * (X + C / X)
+        ERR = ABS(XNEW - X)
+        X = XNEW
+        ITERS = ITERS + 1
+        IF (ITERS .GT. 100) ERR = 0.0
+      ENDDO
+      PRINT *, ITERS, ABS(X * X - C)
+      END
+"""
+
+
+def binsearch_source(n: int = 64, queries: int = 40) -> str:
+    """Binary searches over a sorted table, using arithmetic IF for
+    the three-way comparison; prints hit count."""
+    return f"""\
+      PROGRAM BINSEARCH
+      PARAMETER (N = {n}, NQ = {queries})
+      INTEGER TAB({n}), KEY, LO, HI, MID, HITS, Q
+      DO 10 I = 1, N
+        TAB(I) = I * 3
+10    CONTINUE
+      HITS = 0
+      DO 50 Q = 1, NQ
+        KEY = IRAND(1, N * 3)
+        LO = 1
+        HI = N
+20      IF (LO .GT. HI) GOTO 50
+        MID = (LO + HI) / 2
+        IF (TAB(MID) - KEY) 30, 40, 35
+30      LO = MID + 1
+        GOTO 20
+35      HI = MID - 1
+        GOTO 20
+40      HITS = HITS + 1
+50    CONTINUE
+      PRINT *, HITS
+      END
+"""

@@ -1,0 +1,274 @@
+"""Seeded random minifort program generator.
+
+Produces syntactically valid, *always terminating* programs with rich
+control flow: nested DO / DO WHILE loops, IF/ELSEIF blocks, logical
+IFs, conditional loop exits via forward GOTO, computed GOTOs and
+subroutine/function calls.  Termination is guaranteed by construction
+(counted loops, forward-only GOTOs apart from the loops' own back
+edges), which the property-based tests rely on.
+
+Branch outcomes are driven by ``RAND()``/``IRAND`` so different seeds
+explore different paths of the same program.
+"""
+
+from __future__ import annotations
+
+import random
+
+_REAL_VARS = ["A", "B", "S", "T", "W"]
+_INT_VARS = ["K", "L", "M", "N"]
+
+
+class ProgramGenerator:
+    """Generates one random program per (seed, shape parameters)."""
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        max_depth: int = 3,
+        max_stmts: int = 5,
+        allow_calls: bool = True,
+        allow_gotos: bool = True,
+        allow_loops: bool = True,
+    ):
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+        self.max_stmts = max_stmts
+        self.allow_calls = allow_calls
+        self.allow_gotos = allow_gotos
+        self.allow_loops = allow_loops
+        self._label = 0
+        self._loop_var = 0
+        self.sub_names: list[str] = []
+        self.fn_names: list[str] = []
+
+    # -- public ----------------------------------------------------------
+
+    def source(self) -> str:
+        """Generate a full program (MAIN plus 0-2 subroutines)."""
+        n_subs = self.rng.randint(0, 2) if self.allow_calls else 0
+        self.sub_names = [f"SUB{i + 1}" for i in range(n_subs)]
+        self.fn_names = []
+        if self.allow_calls and self.rng.random() < 0.5:
+            self.fn_names = ["FN1"]
+        units = [self._procedure("MAIN", kind="PROGRAM")]
+        for name in self.sub_names:
+            units.append(self._procedure(name, kind="SUBROUTINE"))
+        for name in self.fn_names:
+            units.append(self._function(name))
+        return "\n".join(units)
+
+    # -- labels and names --------------------------------------------------
+
+    def _fresh_label(self) -> int:
+        self._label += 10
+        return self._label
+
+    def _fresh_loop_var(self) -> str:
+        self._loop_var += 1
+        return f"I{self._loop_var}"
+
+    def _real_var(self) -> str:
+        return self.rng.choice(_REAL_VARS)
+
+    def _int_var(self) -> str:
+        return self.rng.choice(_INT_VARS)
+
+    # -- expressions -----------------------------------------------------
+
+    def _real_expr(self, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.3:
+            return f"{self.rng.uniform(0.1, 2.0):.3f}"
+        if roll < 0.5:
+            return self._real_var()
+        if roll < 0.6:
+            return "RAND()"
+        if roll < 0.68:
+            return f"ARR({self._index_expr()})"
+        if roll < 0.73 and self.fn_names:
+            return f"{self.fn_names[0]}({self._real_expr(depth + 1)})"
+        op = self.rng.choice(["+", "-", "*"])
+        return f"({self._real_expr(depth + 1)} {op} {self._real_expr(depth + 1)})"
+
+    def _int_expr(self, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.4:
+            return str(self.rng.randint(0, 9))
+        if roll < 0.7:
+            return self._int_var()
+        op = self.rng.choice(["+", "-", "*"])
+        return f"({self._int_expr(depth + 1)} {op} {self._int_expr(depth + 1)})"
+
+    def _index_expr(self) -> str:
+        # ABS keeps Fortran MOD (sign of dividend) inside array bounds.
+        return f"MOD(ABS({self._int_expr(1)}), 20) + 1"
+
+    def _condition(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.45:
+            return f"RAND() .LT. {self.rng.uniform(0.1, 0.9):.2f}"
+        if roll < 0.7:
+            op = self.rng.choice([".LT.", ".GE.", ".GT.", ".LE."])
+            return f"{self._real_var()} {op} {self._real_expr(1)}"
+        op = self.rng.choice([".EQ.", ".NE.", ".LT."])
+        return f"MOD({self._int_var()}, {self.rng.randint(2, 5)}) {op} 0"
+
+    # -- statements ----------------------------------------------------------
+
+    def _assign(self) -> str:
+        if self.rng.random() < 0.2:
+            return f"ARR({self._index_expr()}) = {self._real_expr()}"
+        if self.rng.random() < 0.35:
+            return f"{self._int_var()} = {self._int_expr()}"
+        return f"{self._real_var()} = {self._real_expr()}"
+
+    def _block(self, depth: int, exit_labels: list[int]) -> list[str]:
+        lines: list[str] = []
+        for _ in range(self.rng.randint(1, self.max_stmts)):
+            lines.extend(self._statement(depth, exit_labels))
+        return lines
+
+    def _statement(self, depth: int, exit_labels: list[int]) -> list[str]:
+        roll = self.rng.random()
+        if depth >= self.max_depth or roll < 0.40:
+            return [self._assign()]
+        if roll < 0.5:
+            inner = self._assign()
+            return [f"IF ({self._condition()}) {inner}"]
+        if roll < 0.62:
+            return self._if_block(depth, exit_labels)
+        if roll < 0.74:
+            if not self.allow_loops:
+                return self._if_block(depth, exit_labels)
+            return self._do_loop(depth)
+        if roll < 0.80:
+            if not self.allow_loops:
+                return [self._assign()]
+            return self._do_while(depth)
+        if roll < 0.84 and self.allow_gotos:
+            return self._computed_goto()
+        if roll < 0.88 and self.allow_gotos:
+            return self._arithmetic_if()
+        if roll < 0.92 and exit_labels and self.allow_gotos:
+            target = self.rng.choice(exit_labels)
+            return [f"IF ({self._condition()}) GOTO {target}"]
+        if self.allow_calls and self.sub_names:
+            name = self.rng.choice(self.sub_names)
+            return [f"CALL {name}({self._real_expr(1)}, ARR)"]
+        return [self._assign()]
+
+    def _if_block(self, depth: int, exit_labels: list[int]) -> list[str]:
+        lines = [f"IF ({self._condition()}) THEN"]
+        lines += self._indent(self._block(depth + 1, exit_labels))
+        n_arms = self.rng.randint(0, 2)
+        for _ in range(n_arms):
+            lines.append(f"ELSEIF ({self._condition()}) THEN")
+            lines += self._indent(self._block(depth + 1, exit_labels))
+        if self.rng.random() < 0.6:
+            lines.append("ELSE")
+            lines += self._indent(self._block(depth + 1, exit_labels))
+        lines.append("ENDIF")
+        return lines
+
+    def _do_loop(self, depth: int) -> list[str]:
+        var = self._fresh_loop_var()
+        end_label = self._fresh_label()
+        after_label = self._fresh_label()
+        bound = self.rng.randint(2, 8)
+        step = "" if self.rng.random() < 0.8 else ", 2"
+        lines = [f"DO {end_label} {var} = 1, {bound}{step}"]
+        # Conditional exits target the label *after* the loop.
+        exits = [after_label] if self.rng.random() < 0.5 else []
+        lines += self._indent(self._block(depth + 1, exits))
+        lines.append(f"{end_label} CONTINUE")
+        lines.append(f"{after_label} CONTINUE")
+        return lines
+
+    def _do_while(self, depth: int) -> list[str]:
+        var = self._fresh_loop_var()
+        bound = self.rng.randint(2, 6)
+        lines = [
+            f"{var} = {bound}",
+            f"DO WHILE ({var} .GT. 0)",
+            f"  {var} = {var} - 1",
+        ]
+        lines += self._indent(self._block(depth + 1, []))
+        lines.append("ENDDO")
+        return lines
+
+    def _computed_goto(self) -> list[str]:
+        n_ways = self.rng.randint(2, 3)
+        labels = [self._fresh_label() for _ in range(n_ways)]
+        join = self._fresh_label()
+        lines = [f"GOTO ({', '.join(map(str, labels))}), IRAND(1, {n_ways + 1})"]
+        lines.append(self._assign())  # fall-through section
+        lines.append(f"GOTO {join}")
+        for i, label in enumerate(labels):
+            lines.append(f"{label} {self._assign()}")
+            if i != len(labels) - 1:
+                lines.append(f"GOTO {join}")
+        lines.append(f"{join} CONTINUE")
+        return lines
+
+    def _arithmetic_if(self) -> list[str]:
+        labels = [self._fresh_label() for _ in range(3)]
+        join = self._fresh_label()
+        selector = f"({self._int_expr(1)} - {self.rng.randint(0, 9)})"
+        lines = [f"IF {selector} {labels[0]}, {labels[1]}, {labels[2]}"]
+        for i, label in enumerate(labels):
+            lines.append(f"{label} {self._assign()}")
+            if i != len(labels) - 1:
+                lines.append(f"GOTO {join}")
+        lines.append(f"{join} CONTINUE")
+        return lines
+
+    @staticmethod
+    def _indent(lines: list[str]) -> list[str]:
+        out = []
+        for line in lines:
+            # Keep statement labels at line start.
+            head = line.split(" ", 1)[0]
+            if head.isdigit():
+                out.append(line)
+            else:
+                out.append("  " + line)
+        return out
+
+    # -- program units -----------------------------------------------------
+
+    def _procedure(self, name: str, kind: str) -> str:
+        header = f"      {kind} {name}"
+        if kind == "SUBROUTINE":
+            header += "(X, ARR)"
+        body: list[str] = ["REAL ARR(20)"] if kind == "PROGRAM" else [
+            "REAL X, ARR(20)"
+        ]
+        body += [f"{v} = {self.rng.uniform(0.0, 2.0):.3f}" for v in _REAL_VARS[:3]]
+        body += [f"{v} = {self.rng.randint(0, 9)}" for v in _INT_VARS[:2]]
+        saved = (self.sub_names, self.fn_names)
+        if kind == "SUBROUTINE":
+            # Subroutines never call other generated procedures
+            # (keeps the call graph acyclic).
+            self.sub_names, self.fn_names = [], []
+        body += self._block(0, [])
+        if kind == "SUBROUTINE":
+            self.sub_names, self.fn_names = saved
+        body.append(f"PRINT *, {self._real_var()}")
+        lines = [header] + ["      " + line for line in body] + ["      END", ""]
+        return "\n".join(lines)
+
+    def _function(self, name: str) -> str:
+        lines = [
+            f"      FUNCTION {name}(Y)",
+            "      REAL Y",
+            f"      IF (Y .GT. {self.rng.uniform(0.2, 1.5):.3f}) THEN",
+            f"        {name} = Y * {self.rng.uniform(0.1, 0.9):.3f}",
+            "      ELSE",
+            f"        {name} = Y + {self.rng.uniform(0.1, 0.9):.3f}",
+            "      ENDIF",
+            "      END",
+            "",
+        ]
+        return "\n".join(lines)

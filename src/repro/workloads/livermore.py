@@ -1,0 +1,435 @@
+"""The 24 Livermore Loops in minifort (the paper's LOOPS benchmark).
+
+These are faithful-structure renditions of McMahon's Livermore Fortran
+Kernels [McM86]: each kernel keeps the original's loop shape, data
+dependences and branch structure (kernels 15, 16, 17 and 24 are the
+branchy/GOTO ones), at a laptop-friendly problem size.  MAIN
+initializes the shared arrays and calls all 24 kernels, mirroring the
+LOOPS driver the paper profiled on the IBM 3090.
+
+The problem size is parameterized: ``livermore_source(n, n2, ncycles)``
+with loop length ``n``, 2-D extent ``n2`` and an outer repetition
+count.
+"""
+
+from __future__ import annotations
+
+
+def livermore_source(n: int = 100, n2: int = 10, ncycles: int = 1) -> str:
+    """Build the LOOPS program; arrays are sized from ``n`` and ``n2``."""
+    if n < 20 or n2 < 4:
+        raise ValueError("livermore_source: need n >= 20 and n2 >= 4")
+    size = 2 * n + 20  # kernel 2 walks to ~2n; slack for k+10 offsets
+    return f"""\
+      PROGRAM LOOPS
+      PARAMETER (N = {n}, M = {n2}, NC = {ncycles})
+      REAL X({size}), Y({size}), Z({size}), U({size}), V({size})
+      REAL W({size}), B({size}), C({size}), D({size})
+      REAL ZA({n2}, {n2}), ZB({n2}, {n2}), ZP({n2}, {n2}), ZQ({n2}, {n2})
+      REAL ZR({n2}, {n2}), ZM({n2}, {n2}), ZU({n2}, {n2}), ZV({n2}, {n2})
+      INTEGER IC, IX({size})
+      DO 90 IC = 1, NC
+      CALL SETUP(X, Y, Z, U, V, W, B, C, D, IX, {size})
+      CALL SETUP2(ZA, ZB, ZP, ZQ, ZR, ZM, ZU, ZV, M)
+      CALL KERN01(X, Y, Z, N)
+      CALL KERN02(X, V, N)
+      CALL KERN03(Z, X, N)
+      CALL KERN04(X, Y, N)
+      CALL KERN05(X, Y, Z, N)
+      CALL KERN06(W, B, N)
+      CALL KERN07(X, Y, Z, U, N)
+      CALL KERN08(ZA, ZB, ZP, ZQ, M)
+      CALL KERN09(X, Y, Z, U, V, N)
+      CALL KERN10(X, Y, Z, N)
+      CALL KERN11(X, Y, N)
+      CALL KERN12(X, Y, N)
+      CALL KERN13(ZP, ZQ, IX, Y, M, N)
+      CALL KERN14(X, Y, Z, IX, N)
+      CALL KERN15(ZA, ZB, ZR, M)
+      CALL KERN16(X, Z, N)
+      CALL KERN17(X, Y, Z, N)
+      CALL KERN18(ZA, ZB, ZP, ZQ, ZR, ZM, M)
+      CALL KERN19(X, Y, Z, N)
+      CALL KERN20(X, Y, Z, U, V, W, N)
+      CALL KERN21(ZA, ZB, ZR, M)
+      CALL KERN22(X, Y, Z, U, N)
+      CALL KERN23(ZA, ZB, ZP, ZQ, ZR, M)
+      CALL KERN24(X, N)
+90    CONTINUE
+      PRINT *, X(1), Z(1), ZA(1, 1)
+      END
+
+      SUBROUTINE SETUP(X, Y, Z, U, V, W, B, C, D, IX, LEN)
+      REAL X(1), Y(1), Z(1), U(1), V(1), W(1), B(1), C(1), D(1)
+      INTEGER IX(1), LEN, K
+      DO 10 K = 1, LEN
+        X(K) = 0.01 * REAL(K)
+        Y(K) = 0.02 * REAL(K) + 1.0
+        Z(K) = 0.5 + 0.001 * REAL(K)
+        U(K) = 1.0 / (0.1 * REAL(K) + 1.0)
+        V(K) = 0.3
+        W(K) = 0.7 + 0.002 * REAL(K)
+        B(K) = 0.9
+        C(K) = 1.1
+        D(K) = 0.4
+        IX(K) = MOD(K * 7, LEN) + 1
+10    CONTINUE
+      END
+
+      SUBROUTINE SETUP2(ZA, ZB, ZP, ZQ, ZR, ZM, ZU, ZV, M)
+      INTEGER M, I, J
+      REAL ZA(1, 1), ZB(1, 1), ZP(1, 1), ZQ(1, 1)
+      REAL ZR(1, 1), ZM(1, 1), ZU(1, 1), ZV(1, 1)
+      DO 20 J = 1, M
+        DO 10 I = 1, M
+          ZA(I, J) = 0.001 * REAL(I + J)
+          ZB(I, J) = 1.0 + 0.01 * REAL(I - J)
+          ZP(I, J) = 0.5
+          ZQ(I, J) = 0.25
+          ZR(I, J) = 0.125 * REAL(I) + 0.1
+          ZM(I, J) = 0.75
+          ZU(I, J) = 1.0
+          ZV(I, J) = 2.0
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Kernel 1 -- hydro fragment
+      SUBROUTINE KERN01(X, Y, Z, N)
+      REAL X(1), Y(1), Z(1), Q, R, T
+      INTEGER N, K
+      Q = 0.5
+      R = 0.2
+      T = 0.1
+      DO 10 K = 1, N
+        X(K) = Q + Y(K) * (R * Z(K + 10) + T * Z(K + 11))
+10    CONTINUE
+      END
+
+C     Kernel 2 -- ICCG excerpt: stride-halving reduction
+      SUBROUTINE KERN02(X, V, N)
+      REAL X(1), V(1)
+      INTEGER N, IPNTP, IPNT, II, I, K
+      II = N
+      IPNTP = 0
+10    IPNT = IPNTP
+      IPNTP = IPNTP + II
+      II = II / 2
+      I = IPNTP
+      DO 20 K = IPNT + 2, IPNTP, 2
+        I = I + 1
+        X(I) = X(K) - V(K) * X(K - 1) - V(K + 1) * X(K + 1)
+20    CONTINUE
+      IF (II .GT. 1) GOTO 10
+      END
+
+C     Kernel 3 -- inner product
+      SUBROUTINE KERN03(Z, X, N)
+      REAL Z(1), X(1), Q
+      INTEGER N, K
+      Q = 0.0
+      DO 10 K = 1, N
+        Q = Q + Z(K) * X(K)
+10    CONTINUE
+      Z(1) = Q
+      END
+
+C     Kernel 4 -- banded linear equations
+      SUBROUTINE KERN04(X, Y, N)
+      REAL X(1), Y(1), XI
+      INTEGER N, J, K, LW
+      DO 20 K = 7, N, 5
+        LW = K - 6
+        XI = Y(K)
+        DO 10 J = 5, N, 5
+          XI = XI - X(LW) * Y(J)
+          LW = LW + 1
+10      CONTINUE
+        X(K - 1) = Y(5) * XI
+20    CONTINUE
+      END
+
+C     Kernel 5 -- tridiagonal elimination, below diagonal
+      SUBROUTINE KERN05(X, Y, Z, N)
+      REAL X(1), Y(1), Z(1)
+      INTEGER N, I
+      DO 10 I = 2, N
+        X(I) = Z(I) * (Y(I) - X(I - 1))
+10    CONTINUE
+      END
+
+C     Kernel 6 -- general linear recurrence equations
+      SUBROUTINE KERN06(W, B, N)
+      REAL W(1), B(1)
+      INTEGER N, I, K
+      DO 20 I = 2, N / 2
+        W(I) = 0.0100
+        DO 10 K = 1, I - 1
+          W(I) = W(I) + B(K) * W(I - K) * 0.01
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Kernel 7 -- equation of state fragment
+      SUBROUTINE KERN07(X, Y, Z, U, N)
+      REAL X(1), Y(1), Z(1), U(1), Q, R, T
+      INTEGER N, K
+      Q = 0.5
+      R = 0.2
+      T = 0.1
+      DO 10 K = 1, N
+        X(K) = U(K) + R * (Z(K) + R * Y(K)) + &
+          T * (U(K + 3) + R * (U(K + 2) + R * U(K + 1)) + &
+          T * (U(K + 6) + Q * (U(K + 5) + Q * U(K + 4))))
+10    CONTINUE
+      END
+
+C     Kernel 8 -- ADI integration (two-sweep fragment)
+      SUBROUTINE KERN08(ZA, ZB, ZP, ZQ, M)
+      REAL ZA(1, 1), ZB(1, 1), ZP(1, 1), ZQ(1, 1), QA
+      INTEGER M, I, J
+      DO 20 J = 2, M - 1
+        DO 10 I = 2, M - 1
+          QA = ZA(I, J + 1) * ZP(I, J) + ZA(I, J - 1) * ZQ(I, J) + &
+            ZA(I + 1, J) * ZP(I, J) + ZA(I - 1, J) * ZQ(I, J)
+          ZB(I, J) = ZA(I, J) + 0.175 * (QA - 4.0 * ZA(I, J))
+10      CONTINUE
+20    CONTINUE
+      DO 40 J = 2, M - 1
+        DO 30 I = 2, M - 1
+          ZA(I, J) = ZB(I, J)
+30      CONTINUE
+40    CONTINUE
+      END
+
+C     Kernel 9 -- integrate predictors
+      SUBROUTINE KERN09(X, Y, Z, U, V, N)
+      REAL X(1), Y(1), Z(1), U(1), V(1)
+      INTEGER N, I
+      DO 10 I = 1, N
+        X(I) = Y(I) + 0.5 * (Z(I) + U(I)) + &
+          0.25 * (V(I) + Z(I)) + 0.125 * (U(I) + Y(I))
+10    CONTINUE
+      END
+
+C     Kernel 10 -- difference predictors
+      SUBROUTINE KERN10(X, Y, Z, N)
+      REAL X(1), Y(1), Z(1), AR, BR, CR
+      INTEGER N, I
+      DO 10 I = 1, N
+        AR = Z(I)
+        BR = AR - X(I)
+        X(I) = AR
+        CR = BR - Y(I)
+        Y(I) = BR
+        Z(I) = CR
+10    CONTINUE
+      END
+
+C     Kernel 11 -- first sum (prefix sum)
+      SUBROUTINE KERN11(X, Y, N)
+      REAL X(1), Y(1)
+      INTEGER N, K
+      X(1) = Y(1)
+      DO 10 K = 2, N
+        X(K) = X(K - 1) + Y(K)
+10    CONTINUE
+      END
+
+C     Kernel 12 -- first difference
+      SUBROUTINE KERN12(X, Y, N)
+      REAL X(1), Y(1)
+      INTEGER N, K
+      DO 10 K = 1, N - 1
+        X(K) = Y(K + 1) - Y(K)
+10    CONTINUE
+      END
+
+C     Kernel 13 -- 2-D particle in cell
+      SUBROUTINE KERN13(ZP, ZQ, IX, Y, M, N)
+      REAL ZP(1, 1), ZQ(1, 1), Y(1)
+      INTEGER IX(1), M, N, IP, I1, J1
+      DO 10 IP = 1, N
+        I1 = MOD(IX(IP), M - 1) + 1
+        J1 = MOD(IX(IP) * 3, M - 1) + 1
+        ZP(I1, J1) = ZP(I1, J1) + Y(IP)
+        ZQ(I1, J1) = ZQ(I1, J1) + ZP(I1 + 1, J1)
+10    CONTINUE
+      END
+
+C     Kernel 14 -- 1-D particle in cell
+      SUBROUTINE KERN14(X, Y, Z, IX, N)
+      REAL X(1), Y(1), Z(1), DEX
+      INTEGER IX(1), N, K, IXK
+      DO 10 K = 1, N
+        DEX = ABS(Z(K)) * 10.0
+        IXK = MOD(INT(DEX), N) + 1
+        X(K) = Y(IXK + 1) + DEX - REAL(IXK)
+        IX(K) = MOD(IXK + K, N) + 1
+10    CONTINUE
+      END
+
+C     Kernel 15 -- casual Fortran: branchy 2-D stencil
+      SUBROUTINE KERN15(ZA, ZB, ZR, M)
+      REAL ZA(1, 1), ZB(1, 1), ZR(1, 1), T
+      INTEGER M, I, J
+      DO 20 J = 2, M - 1
+        DO 10 I = 2, M - 1
+          IF (ZB(I, J) .LT. ZR(I, J)) THEN
+            T = ZR(I, J) - ZB(I, J)
+          ELSE
+            T = ZB(I, J) - ZR(I, J)
+          ENDIF
+          IF (T .GT. 0.5) THEN
+            ZA(I, J) = ZA(I, J) + T * 0.5
+          ELSE
+            IF (ZA(I, J) .GT. 1.0) ZA(I, J) = 1.0
+          ENDIF
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Kernel 16 -- Monte Carlo search loop (GOTO state machine)
+      SUBROUTINE KERN16(X, Z, N)
+      REAL X(1), Z(1)
+      INTEGER N, K, J, M2, NZ
+      M2 = N / 2
+      K = 0
+      J = 1
+10    K = K + 1
+      IF (K .GT. M2) GOTO 70
+      NZ = MOD(ABS(K + INT(Z(K) * 10.0)), 3) + 1
+      GOTO (20, 30, 40), NZ
+20    X(J) = X(J) + 0.5
+      J = J + 1
+      GOTO 10
+30    X(J) = X(J) * 0.9
+      GOTO 10
+40    IF (X(J) .GT. 2.0) GOTO 50
+      X(J) = X(J) + 0.1
+      GOTO 10
+50    J = J + 2
+      IF (J .GE. M2) GOTO 70
+      GOTO 10
+70    CONTINUE
+      END
+
+C     Kernel 17 -- implicit, conditional computation (GOTO loop)
+      SUBROUTINE KERN17(X, Y, Z, N)
+      REAL X(1), Y(1), Z(1), SCALE, XNM, E6
+      INTEGER N, K, I
+      SCALE = 0.625
+      E6 = 0.1
+      XNM = 0.0125
+      K = N
+      I = 1
+10    IF (K .LE. 1) GOTO 30
+      E6 = X(K) * SCALE + E6 * 0.5
+      IF (E6 .GT. Y(K)) GOTO 20
+      Y(K) = E6 + XNM
+      K = K - 1
+      GOTO 10
+20    X(K) = E6 * 0.9
+      K = K - 2
+      GOTO 10
+30    Z(I) = E6
+      END
+
+C     Kernel 18 -- 2-D explicit hydrodynamics fragment
+      SUBROUTINE KERN18(ZA, ZB, ZP, ZQ, ZR, ZM, M)
+      REAL ZA(1, 1), ZB(1, 1), ZP(1, 1), ZQ(1, 1), ZR(1, 1), ZM(1, 1)
+      REAL S, T
+      INTEGER M, J, K
+      S = 0.01
+      T = 0.0037
+      DO 20 J = 2, M - 1
+        DO 10 K = 2, M - 1
+          ZA(J, K) = (ZP(J, K + 1) - ZP(J, K - 1)) * T + ZQ(J, K)
+          ZB(J, K) = (ZR(J + 1, K) - ZR(J - 1, K)) * S + ZM(J, K)
+10      CONTINUE
+20    CONTINUE
+      DO 40 J = 2, M - 1
+        DO 30 K = 2, M - 1
+          ZR(J, K) = ZR(J, K) + T * ZA(J, K)
+          ZM(J, K) = ZM(J, K) + T * ZB(J, K)
+30      CONTINUE
+40    CONTINUE
+      END
+
+C     Kernel 19 -- general linear recurrence (forward and back)
+      SUBROUTINE KERN19(X, Y, Z, N)
+      REAL X(1), Y(1), Z(1), STB
+      INTEGER N, K
+      STB = 0.01
+      DO 10 K = 1, N
+        X(K) = X(K) + STB * Y(K) * Z(K)
+10    CONTINUE
+      DO 20 K = N, 1, -1
+        Y(K) = Y(K) - STB * X(K)
+20    CONTINUE
+      END
+
+C     Kernel 20 -- discrete ordinates transport
+      SUBROUTINE KERN20(X, Y, Z, U, V, W, N)
+      REAL X(1), Y(1), Z(1), U(1), V(1), W(1), DI, DN
+      INTEGER N, K
+      DO 10 K = 2, N
+        DI = Y(K) - V(K) / (X(K - 1) + Z(K))
+        DN = 0.2
+        IF (DI .GT. 0.01) DN = MIN(V(K) / DI, 1.0)
+        X(K) = ((W(K) + U(K) * DN) * X(K - 1) + Y(K)) / (U(K) * DN + 1.0)
+10    CONTINUE
+      END
+
+C     Kernel 21 -- matrix * matrix product
+      SUBROUTINE KERN21(ZA, ZB, ZR, M)
+      REAL ZA(1, 1), ZB(1, 1), ZR(1, 1)
+      INTEGER M, I, J, K
+      DO 30 J = 1, M
+        DO 20 I = 1, M
+          DO 10 K = 1, M
+            ZR(I, J) = ZR(I, J) + ZA(I, K) * ZB(K, J) * 0.001
+10        CONTINUE
+20      CONTINUE
+30    CONTINUE
+      END
+
+C     Kernel 22 -- Planckian distribution
+      SUBROUTINE KERN22(X, Y, Z, U, N)
+      REAL X(1), Y(1), Z(1), U(1), EXPMAX
+      INTEGER N, K
+      EXPMAX = 20.0
+      DO 10 K = 1, N
+        Y(K) = MIN(U(K) / Z(K), EXPMAX)
+        X(K) = Y(K) / (EXP(Y(K)) + 1.0E-6)
+10    CONTINUE
+      END
+
+C     Kernel 23 -- 2-D implicit hydrodynamics fragment
+      SUBROUTINE KERN23(ZA, ZB, ZP, ZQ, ZR, M)
+      REAL ZA(1, 1), ZB(1, 1), ZP(1, 1), ZQ(1, 1), ZR(1, 1), QA
+      INTEGER M, J, K
+      DO 20 J = 2, M - 1
+        DO 10 K = 2, M - 1
+          QA = ZA(K, J + 1) * ZR(K, J) + ZA(K, J - 1) * ZB(K, J) + &
+            ZA(K + 1, J) * ZP(K, J) + ZA(K - 1, J) * ZQ(K, J)
+          ZA(K, J) = ZA(K, J) + 0.175 * (QA - ZA(K, J))
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Kernel 24 -- location of first minimum of an array
+      SUBROUTINE KERN24(X, N)
+      REAL X(1), XMIN
+      INTEGER N, K, LOC
+      LOC = 1
+      XMIN = X(1)
+      DO 10 K = 2, N
+        IF (X(K) .LT. XMIN) THEN
+          LOC = K
+          XMIN = X(K)
+        ENDIF
+10    CONTINUE
+      X(N) = REAL(LOC)
+      END
+"""

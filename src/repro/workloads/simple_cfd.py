@@ -1,0 +1,163 @@
+"""A SIMPLE-like 2-D hydrodynamics / heat-flow benchmark.
+
+Models the structure of the Lawrence Livermore SIMPLE code [CHR78]
+that the paper profiled: an ``NCYCLES`` time-step loop over a 2-D
+grid, each cycle performing a Lagrangian velocity/position update,
+an artificial-viscosity computation with data-dependent branches, an
+equation-of-state evaluation, a heat-conduction sweep, and an energy
+sum with a convergence test.  The paper ran 100×100 with NCYCLES=10;
+any grid size works here (the interpreter is the bottleneck, and
+relative profiling overheads are size-independent).
+"""
+
+from __future__ import annotations
+
+
+def simple_source(n: int = 12, ncycles: int = 3) -> str:
+    """The SIMPLE-like program on an ``n`` × ``n`` grid."""
+    if n < 6:
+        raise ValueError("simple_source: need n >= 6")
+    return f"""\
+      PROGRAM SIMPLE
+      PARAMETER (N = {n}, NCYC = {ncycles})
+      REAL R({n}, {n}), Z({n}, {n}), U({n}, {n}), V({n}, {n})
+      REAL P({n}, {n}), Q({n}, {n}), E({n}, {n}), RHO({n}, {n})
+      REAL TK({n}, {n})
+      REAL DT, TIME, ESUM
+      INTEGER IC
+      CALL GENMSH(R, Z, N)
+      CALL INITLZ(U, V, P, Q, E, RHO, TK, N)
+      DT = 0.002
+      TIME = 0.0
+      DO 100 IC = 1, NCYC
+        CALL LAGRAN(R, Z, U, V, P, Q, RHO, DT, N)
+        CALL VISCOS(U, V, Q, RHO, N)
+        CALL EQSTAT(P, E, RHO, N)
+        CALL CONDUC(TK, E, DT, N)
+        CALL ENERGY(E, P, Q, RHO, ESUM, N)
+        CALL TSTEP(U, V, DT, N)
+        TIME = TIME + DT
+100   CONTINUE
+      PRINT *, TIME, ESUM
+      END
+
+C     Mesh generation: logically rectangular grid.
+      SUBROUTINE GENMSH(R, Z, N)
+      REAL R(1, 1), Z(1, 1)
+      INTEGER N, I, J
+      DO 20 J = 1, N
+        DO 10 I = 1, N
+          R(I, J) = 1.0 + 0.1 * REAL(I)
+          Z(I, J) = 0.1 * REAL(J)
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Initial thermodynamic state.
+      SUBROUTINE INITLZ(U, V, P, Q, E, RHO, TK, N)
+      REAL U(1, 1), V(1, 1), P(1, 1), Q(1, 1), E(1, 1)
+      REAL RHO(1, 1), TK(1, 1)
+      INTEGER N, I, J
+      DO 20 J = 1, N
+        DO 10 I = 1, N
+          U(I, J) = 0.0
+          V(I, J) = 0.0
+          P(I, J) = 1.0 + 0.01 * REAL(I + J)
+          Q(I, J) = 0.0
+          E(I, J) = 2.5 + 0.02 * REAL(I)
+          RHO(I, J) = 1.0 + 0.005 * REAL(J)
+          TK(I, J) = 0.3
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Lagrangian phase: accelerate and move the mesh.
+      SUBROUTINE LAGRAN(R, Z, U, V, P, Q, RHO, DT, N)
+      REAL R(1, 1), Z(1, 1), U(1, 1), V(1, 1)
+      REAL P(1, 1), Q(1, 1), RHO(1, 1), DT, GRADP, GRADZ
+      INTEGER N, I, J
+      DO 20 J = 2, N - 1
+        DO 10 I = 2, N - 1
+          GRADP = (P(I + 1, J) - P(I - 1, J) + Q(I + 1, J) - Q(I - 1, J)) &
+            * 0.5
+          GRADZ = (P(I, J + 1) - P(I, J - 1)) * 0.5
+          U(I, J) = U(I, J) - DT * GRADP / RHO(I, J)
+          V(I, J) = V(I, J) - DT * GRADZ / RHO(I, J)
+          R(I, J) = R(I, J) + DT * U(I, J)
+          Z(I, J) = Z(I, J) + DT * V(I, J)
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Artificial viscosity: only in compressing zones (branchy).
+      SUBROUTINE VISCOS(U, V, Q, RHO, N)
+      REAL U(1, 1), V(1, 1), Q(1, 1), RHO(1, 1), DIV, C0
+      INTEGER N, I, J
+      C0 = 1.5
+      DO 20 J = 2, N - 1
+        DO 10 I = 2, N - 1
+          DIV = U(I + 1, J) - U(I - 1, J) + V(I, J + 1) - V(I, J - 1)
+          IF (DIV .LT. 0.0) THEN
+            Q(I, J) = C0 * RHO(I, J) * DIV * DIV
+          ELSE
+            Q(I, J) = 0.0
+          ENDIF
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Equation of state: gamma-law gas.
+      SUBROUTINE EQSTAT(P, E, RHO, N)
+      REAL P(1, 1), E(1, 1), RHO(1, 1), GAMMA
+      INTEGER N, I, J
+      GAMMA = 1.4
+      DO 20 J = 1, N
+        DO 10 I = 1, N
+          P(I, J) = (GAMMA - 1.0) * RHO(I, J) * E(I, J)
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Heat conduction: explicit 5-point sweep with flux limiting.
+      SUBROUTINE CONDUC(TK, E, DT, N)
+      REAL TK(1, 1), E(1, 1), DT, FLUX
+      INTEGER N, I, J
+      DO 20 J = 2, N - 1
+        DO 10 I = 2, N - 1
+          FLUX = TK(I, J) * (E(I + 1, J) + E(I - 1, J) + &
+            E(I, J + 1) + E(I, J - 1) - 4.0 * E(I, J))
+          IF (FLUX .GT. 1.0) FLUX = 1.0
+          IF (FLUX .LT. -1.0) FLUX = -1.0
+          E(I, J) = E(I, J) + DT * FLUX
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     Total energy, with a positivity fixup loop.
+      SUBROUTINE ENERGY(E, P, Q, RHO, ESUM, N)
+      REAL E(1, 1), P(1, 1), Q(1, 1), RHO(1, 1), ESUM
+      INTEGER N, I, J
+      ESUM = 0.0
+      DO 20 J = 1, N
+        DO 10 I = 1, N
+          IF (E(I, J) .LT. 0.0) E(I, J) = 0.0
+          ESUM = ESUM + RHO(I, J) * E(I, J) + &
+            0.5 * (P(I, J) + Q(I, J))
+10      CONTINUE
+20    CONTINUE
+      END
+
+C     New stable time step from the velocity field (reduction + IFs).
+      SUBROUTINE TSTEP(U, V, DT, N)
+      REAL U(1, 1), V(1, 1), DT, VMAX, S
+      INTEGER N, I, J
+      VMAX = 0.0001
+      DO 20 J = 2, N - 1
+        DO 10 I = 2, N - 1
+          S = ABS(U(I, J)) + ABS(V(I, J))
+          IF (S .GT. VMAX) VMAX = S
+10      CONTINUE
+20    CONTINUE
+      DT = MIN(0.1 / VMAX, 0.01)
+      END
+"""

@@ -1,0 +1,119 @@
+"""GOTO-heavy workloads exercising the unstructured generality.
+
+The paper's motivation for basing the framework on control dependence
+(rather than lexical nesting) is exactly these programs: loops built
+from IF/GOTO, multi-exit loops, computed-GOTO state machines, and
+premature RETURNs.
+"""
+
+from __future__ import annotations
+
+#: A GOTO-built loop with two conditional exits (the paper's shape).
+TWO_EXIT_LOOP = """\
+      PROGRAM TWOEXIT
+      INTEGER K
+      REAL ACC
+      K = 0
+      ACC = 0.0
+10    K = K + 1
+      ACC = ACC + RAND()
+      IF (ACC .GT. 12.5) GOTO 20
+      IF (K .GE. 100) GOTO 30
+      GOTO 10
+20    ACC = ACC + 1000.0
+30    PRINT *, K, ACC
+      END
+"""
+
+#: A computed-GOTO token-machine: four states, data-driven hops.
+STATE_MACHINE = """\
+      PROGRAM STATES
+      INTEGER S, STEPS, NHOPS
+      S = 1
+      STEPS = 0
+      NHOPS = 0
+10    STEPS = STEPS + 1
+      IF (STEPS .GT. 200) GOTO 90
+      GOTO (20, 30, 40, 50), S
+      GOTO 90
+20    S = IRAND(2, 3)
+      NHOPS = NHOPS + 1
+      GOTO 10
+30    IF (RAND() .LT. 0.3) GOTO 60
+      S = 4
+      GOTO 10
+40    S = IRAND(1, 4)
+      GOTO 10
+50    S = 2
+      NHOPS = NHOPS + 2
+      GOTO 10
+60    S = 1
+      GOTO 10
+90    PRINT *, STEPS, NHOPS
+      END
+"""
+
+#: Nested loops with a GOTO that exits both levels at once.
+MULTI_LEVEL_EXIT = """\
+      PROGRAM MLEXIT
+      INTEGER I, J, HITS
+      HITS = 0
+      DO 20 I = 1, 30
+        DO 10 J = 1, 30
+          IF (RAND() .LT. 0.002) GOTO 99
+          IF (MOD(I + J, 7) .EQ. 0) HITS = HITS + 1
+10      CONTINUE
+20    CONTINUE
+99    PRINT *, HITS
+      END
+"""
+
+#: Premature RETURNs from a subroutine (multiple "last" nodes).
+EARLY_RETURNS = """\
+      PROGRAM EARLYR
+      INTEGER I, NPOS
+      REAL X
+      NPOS = 0
+      DO 10 I = 1, 50
+        X = RAND() - 0.5
+        CALL CLASSIFY(X, NPOS)
+10    CONTINUE
+      PRINT *, NPOS
+      END
+
+      SUBROUTINE CLASSIFY(X, NPOS)
+      REAL X
+      INTEGER NPOS
+      IF (X .LT. 0.0) RETURN
+      IF (X .LT. 0.1) THEN
+        NPOS = NPOS + 1
+        RETURN
+      ENDIF
+      NPOS = NPOS + 2
+      END
+"""
+
+#: An irreducible region: two GOTO entries into the same loop body.
+#: (The paper assumes reducible graphs; node splitting handles this.)
+IRREDUCIBLE = """\
+      PROGRAM IRRED
+      INTEGER K
+      K = INT(INPUT(1))
+      IF (K .GT. 5) GOTO 20
+10    K = K - 1
+      GOTO 30
+20    K = K - 2
+30    IF (K .LT. 0) GOTO 40
+      IF (MOD(K, 3) .EQ. 0) GOTO 10
+      GOTO 20
+40    PRINT *, K
+      END
+"""
+
+ALL_SOURCES = {
+    "TWO_EXIT_LOOP": TWO_EXIT_LOOP,
+    "STATE_MACHINE": STATE_MACHINE,
+    "MULTI_LEVEL_EXIT": MULTI_LEVEL_EXIT,
+    "EARLY_RETURNS": EARLY_RETURNS,
+    "IRREDUCIBLE": IRREDUCIBLE,
+}

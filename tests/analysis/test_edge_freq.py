@@ -1,0 +1,87 @@
+"""Tests for CFG edge frequency derivation."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+)
+from repro.analysis.edge_freq import conservation_residual, edge_frequencies
+
+
+def analyzed_main(source, run_specs=({},)):
+    program = compile_source(source)
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    analysis = analyze(program, profile, SCALAR_MACHINE)
+    return program, analysis.main
+
+
+class TestEdgeFrequencies:
+    def test_matches_observed_edge_counts(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 12\n"
+            "IF (MOD(I, 3) .EQ. 0) X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        program, main = analyzed_main(source)
+        result = run_program(program)
+        counts = edge_frequencies(main)
+        observed = result.edge_counts["MAIN"]
+        for edge, value in counts.items():
+            assert value == pytest.approx(
+                observed.get((edge.src, edge.label), 0)
+            ), edge
+
+    def test_single_exit_loop_test_edges_resolved(self):
+        # (test, T) is not an FCDG condition here; conservation must
+        # still recover its count.
+        source = (
+            "PROGRAM MAIN\nN = INT(INPUT(1))\nDO 10 I = 1, N\n"
+            "X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        program, main = analyzed_main(
+            source, run_specs=({"inputs": (7.0,)},)
+        )
+        result = run_program(program, inputs=(7.0,))
+        counts = edge_frequencies(main)
+        observed = result.edge_counts["MAIN"]
+        for edge, value in counts.items():
+            assert value == pytest.approx(
+                observed.get((edge.src, edge.label), 0)
+            ), edge
+
+    def test_conservation_residual_zero(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 6\n"
+            "IF (RAND() .LT. 0.4) GOTO 20\nX = X + 1.0\n10 CONTINUE\n"
+            "20 CONTINUE\nEND\n"
+        )
+        program, main = analyzed_main(source, run_specs=({"seed": 2},))
+        assert conservation_residual(main) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unexecuted_code_zero_frequency(self):
+        source = (
+            "PROGRAM MAIN\nX = 1.0\nIF (X .LT. 0.0) THEN\nY = 1.0\n"
+            "ENDIF\nEND\n"
+        )
+        program, main = analyzed_main(source)
+        counts = edge_frequencies(main)
+        y_node = next(
+            n.id for n in program.cfgs["MAIN"] if "Y = 1.0" in n.text
+        )
+        for edge, value in counts.items():
+            if edge.dst == y_node or edge.src == y_node:
+                assert value == 0.0
+
+    def test_livermore_conservation(self):
+        from repro.workloads.livermore import livermore_source
+
+        program = compile_source(livermore_source(n=24, n2=4))
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        for proc in analysis.procedures.values():
+            assert conservation_residual(proc) == pytest.approx(
+                0.0, abs=1e-6
+            ), proc.name

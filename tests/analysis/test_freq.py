@@ -1,0 +1,152 @@
+"""Unit tests for the top-down frequency pass (Section 3)."""
+
+import pytest
+
+from repro import compile_source, oracle_program_profile, run_program
+from repro.analysis.freq import compute_frequencies
+from repro.errors import AnalysisError
+from repro.profiling.database import ProcedureProfile
+
+
+def analyzed_frequencies(source, run_specs=({},)):
+    program = compile_source(source)
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    freqs = {
+        name: compute_frequencies(program.fcdgs[name], profile.proc(name))
+        for name in program.cfgs
+    }
+    return program, profile, freqs
+
+
+def node_by_text(program, proc, fragment):
+    return next(
+        n.id for n in program.ecfgs[proc].graph if fragment in n.text
+    )
+
+
+class TestBranchProbabilities:
+    SOURCE = (
+        "PROGRAM MAIN\nDO 10 I = 1, 10\n"
+        "IF (MOD(I, 4) .EQ. 0) X = X + 1.0\n10 CONTINUE\nEND\n"
+    )
+
+    def test_branch_probability(self):
+        program, profile, freqs = analyzed_frequencies(self.SOURCE)
+        if_node = node_by_text(program, "MAIN", "IF (MOD")
+        main = freqs["MAIN"]
+        # I in 1..10, divisible by 4: 2 of 10.
+        assert main.freq[(if_node, "T")] == pytest.approx(0.2)
+
+    def test_branch_probabilities_within_unit_interval(self):
+        program, profile, freqs = analyzed_frequencies(self.SOURCE)
+        ecfg = program.ecfgs["MAIN"]
+        for (u, label), value in freqs["MAIN"].freq.items():
+            if u != ecfg.start and not ecfg.is_preheader(u):
+                assert 0.0 <= value <= 1.0
+
+    def test_node_freq_of_start_is_one(self):
+        program, profile, freqs = analyzed_frequencies(self.SOURCE)
+        assert freqs["MAIN"].node_freq[program.ecfgs["MAIN"].start] == 1.0
+
+    def test_loop_frequency_counts_header_executions(self):
+        program, profile, freqs = analyzed_frequencies(self.SOURCE)
+        ecfg = program.ecfgs["MAIN"]
+        (preheader,) = ecfg.header_of
+        assert freqs["MAIN"].loop_frequency(preheader) == pytest.approx(11.0)
+
+    def test_pseudo_conditions_zero(self):
+        program, profile, freqs = analyzed_frequencies(self.SOURCE)
+        for (u, label), value in freqs["MAIN"].freq.items():
+            if label.startswith("Z"):
+                assert value == 0.0
+
+    def test_node_freq_matches_observed_counts(self):
+        program = compile_source(self.SOURCE)
+        result = run_program(program)
+        profile = oracle_program_profile(program, runs=[{}])
+        freqs = compute_frequencies(
+            program.fcdgs["MAIN"], profile.proc("MAIN")
+        )
+        observed = result.node_counts["MAIN"]
+        for node, counted in observed.items():
+            assert freqs.node_freq[node] == pytest.approx(counted), node
+
+
+class TestEdgeCases:
+    def test_never_executed_branch_zero(self):
+        source = (
+            "PROGRAM MAIN\nX = 1.0\nIF (X .LT. 0.0) THEN\nY = 1.0\n"
+            "ENDIF\nEND\n"
+        )
+        program, profile, freqs = analyzed_frequencies(source)
+        if_node = node_by_text(program, "MAIN", "IF (X")
+        assert freqs["MAIN"].freq[(if_node, "T")] == 0.0
+
+    def test_zero_over_zero_convention(self):
+        # dead code behind a never-taken branch: NODE_FREQ = 0,
+        # TOTAL_FREQ = 0; FREQ must be 0, not a division error.
+        source = (
+            "PROGRAM MAIN\nX = 1.0\n"
+            "IF (X .LT. 0.0) THEN\n"
+            "IF (X .GT. 0.5) Y = 1.0\n"
+            "ENDIF\nEND\n"
+        )
+        program, profile, freqs = analyzed_frequencies(source)
+        inner = node_by_text(program, "MAIN", "IF (X .GT. 0.5)")
+        assert freqs["MAIN"].freq[(inner, "T")] == 0.0
+        assert freqs["MAIN"].node_freq[inner] == 0.0
+
+    def test_uncalled_procedure_all_zero(self):
+        source = (
+            "PROGRAM MAIN\nX = 1.0\nEND\n"
+            "SUBROUTINE NEVER(A)\nA = A + 1.0\nEND\n"
+        )
+        program, profile, freqs = analyzed_frequencies(source)
+        never = freqs["NEVER"]
+        assert never.invocations == 0.0
+        assert all(v == 0.0 for k, v in never.node_freq.items()
+                   if k != program.ecfgs["NEVER"].start)
+
+    def test_inconsistent_profile_rejected(self):
+        source = "PROGRAM MAIN\nIF (X .GT. 0.0) Y = 1.0\nEND\n"
+        program = compile_source(source)
+        bad = ProcedureProfile("MAIN")
+        bad.invocations = 0.0
+        if_node = node_by_text(program, "MAIN", "IF (X")
+        bad.branch_counts[(if_node, "T")] = 5.0
+        with pytest.raises(AnalysisError):
+            compute_frequencies(program.fcdgs["MAIN"], bad)
+
+    def test_probability_above_one_rejected(self):
+        source = "PROGRAM MAIN\nIF (X .GT. 0.0) Y = 1.0\nEND\n"
+        program = compile_source(source)
+        bad = ProcedureProfile("MAIN")
+        bad.invocations = 1.0
+        if_node = node_by_text(program, "MAIN", "IF (X")
+        bad.branch_counts[(if_node, "T")] = 5.0
+        with pytest.raises(AnalysisError):
+            compute_frequencies(program.fcdgs["MAIN"], bad)
+
+    def test_accumulated_runs_average(self):
+        # 3 runs, branch taken in 2: probability 2/3.
+        source = (
+            "PROGRAM MAIN\nIF (INPUT(1) .GT. 0.0) Y = 1.0\nEND\n"
+        )
+        program, profile, freqs = analyzed_frequencies(
+            source,
+            run_specs=({"inputs": (1.0,)}, {"inputs": (1.0,)},
+                       {"inputs": (-1.0,)}),
+        )
+        if_node = node_by_text(program, "MAIN", "IF (INPUT")
+        assert freqs["MAIN"].freq[(if_node, "T")] == pytest.approx(2 / 3)
+
+    def test_multi_parent_node_frequency(self, paper_program):
+        # CALL FOO executes once per iteration except the last:
+        # NODE_FREQ = 9 with 10 header executions.
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        freqs = compute_frequencies(
+            paper_program.fcdgs["MAIN"], profile.proc("MAIN")
+        )
+        graph = paper_program.ecfgs["MAIN"].graph
+        call = next(n.id for n in graph if "CALL FOO" in n.text)
+        assert freqs.node_freq[call] == pytest.approx(9.0)

@@ -1,0 +1,189 @@
+"""Tests for compile-time frequency estimation (static + hybrid)."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+)
+from repro.analysis.freq import compute_frequencies
+from repro.analysis.static_freq import (
+    StaticOptions,
+    hybrid_profile,
+    static_profile,
+)
+
+
+def static_freqs(source, **options):
+    program = compile_source(source)
+    profile = static_profile(
+        program, StaticOptions(**options) if options else StaticOptions()
+    )
+    name = program.main_name
+    return program, compute_frequencies(
+        program.fcdgs[name], profile.proc(name)
+    )
+
+
+def node_id(program, fragment, proc=None):
+    proc = proc or program.main_name
+    return next(
+        n.id for n in program.ecfgs[proc].graph if fragment in n.text
+    )
+
+
+class TestExactCases:
+    """The paper's 'feasible' cases must be exact, not heuristic."""
+
+    def test_constant_trip_do_loop(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nDO 10 I = 1, 8\nX = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        (preheader,) = program.ecfgs["MAIN"].header_of
+        assert freqs.loop_frequency(preheader) == pytest.approx(9.0)
+
+    def test_parameter_trip_do_loop(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nPARAMETER (N = 12)\nDO 10 I = 1, N\n"
+            "X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        (preheader,) = program.ecfgs["MAIN"].header_of
+        assert freqs.loop_frequency(preheader) == pytest.approx(13.0)
+
+    def test_compile_time_true_condition(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nPARAMETER (N = 5)\n"
+            "IF (N .GT. 3) THEN\nX = 1.0\nELSE\nX = 2.0\nENDIF\nEND\n"
+        )
+        if_node = node_id(program, "IF (N .GT. 3)")
+        assert freqs.freq[(if_node, "T")] == 1.0
+        assert freqs.freq[(if_node, "F")] == 0.0
+
+    def test_compile_time_false_condition(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nIF (1 .GT. 3) THEN\nX = 1.0\nENDIF\nY = 2.0\nEND\n"
+        )
+        if_node = node_id(program, "IF (1 .GT. 3)")
+        assert freqs.freq[(if_node, "T")] == 0.0
+
+    def test_static_time_matches_measurement_for_static_program(self):
+        # A program whose control flow is fully compile-time: the
+        # static estimate must equal the measured cost exactly.
+        source = (
+            "PROGRAM MAIN\nPARAMETER (N = 6)\n"
+            "DO 10 I = 1, N\nX = X + SQRT(2.0)\n10 CONTINUE\n"
+            "IF (N .GT. 3) Y = 1.0\nEND\n"
+        )
+        program = compile_source(source)
+        measured = run_program(program, model=SCALAR_MACHINE).total_cost
+        analysis = analyze(
+            program, static_profile(program), SCALAR_MACHINE
+        )
+        assert analysis.total_time == pytest.approx(measured, rel=1e-9)
+
+
+class TestHeuristicCases:
+    def test_data_branch_gets_default_split(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nIF (RAND() .GT. 0.5) X = 1.0\nEND\n"
+        )
+        if_node = node_id(program, "IF (RAND()")
+        assert freqs.freq[(if_node, "T")] == pytest.approx(0.5)
+
+    def test_branch_taken_option(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nIF (RAND() .GT. 0.5) X = 1.0\nEND\n",
+            branch_taken=0.25,
+        )
+        if_node = node_id(program, "IF (RAND()")
+        assert freqs.freq[(if_node, "T")] == pytest.approx(0.25)
+
+    def test_data_driven_do_uses_default_frequency(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nN = INT(INPUT(1))\nDO 10 I = 1, N\n"
+            "X = X + 1.0\n10 CONTINUE\nEND\n",
+            default_loop_frequency=25.0,
+        )
+        (preheader,) = program.ecfgs["MAIN"].header_of
+        # exit prob 1/(L+1) with L=25 -> frequency 26.
+        assert freqs.loop_frequency(preheader) == pytest.approx(26.0)
+
+    def test_goto_loop_geometric_model(self):
+        # exit taken with the default 0.5 -> two header executions.
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\n10 X = X + RAND()\n"
+            "IF (X .GT. 5.0) GOTO 20\nGOTO 10\n20 CONTINUE\nEND\n"
+        )
+        (preheader,) = program.ecfgs["MAIN"].header_of
+        assert freqs.loop_frequency(preheader) == pytest.approx(2.0)
+
+    def test_computed_goto_uniform(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nGOTO (10, 20), K\nX = 0.0\nGOTO 30\n"
+            "10 X = 1.0\nGOTO 30\n20 X = 2.0\n30 CONTINUE\nEND\n"
+        )
+        cg = node_id(program, "GOTO (10, 20), K")
+        assert freqs.freq[(cg, "C1")] == pytest.approx(1 / 3)
+
+    def test_probabilities_form_distribution(self):
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nIF (RAND() .GT. 0.5) THEN\nX = 1.0\n"
+            "ELSE\nX = 2.0\nENDIF\nEND\n"
+        )
+        ecfg = program.ecfgs["MAIN"]
+        for (u, label), value in freqs.freq.items():
+            if u != ecfg.start and not ecfg.is_preheader(u):
+                assert 0.0 <= value <= 1.0
+
+    def test_infinite_static_loop_clamped(self):
+        # Exit probability folds to zero: frequency falls back to the
+        # default instead of diverging.
+        program, freqs = static_freqs(
+            "PROGRAM MAIN\nPARAMETER (Z = 0)\n"
+            "10 X = X + 1.0\nIF (Z .GT. 1) GOTO 20\n"
+            "IF (RAND() .LT. 0.0001) GOTO 20\nGOTO 10\n20 CONTINUE\nEND\n",
+        )
+        (preheader,) = program.ecfgs["MAIN"].header_of
+        options = StaticOptions()
+        assert (
+            freqs.loop_frequency(preheader) <= options.max_loop_frequency
+        )
+
+
+class TestHybrid:
+    SOURCE = (
+        "PROGRAM MAIN\nIF (INPUT(1) .GT. 0.0) THEN\nCALL HOT(X)\n"
+        "ELSE\nCALL COLD(X)\nENDIF\nEND\n"
+        "SUBROUTINE HOT(X)\nDO 10 I = 1, 4\nX = X + 1.0\n10 CONTINUE\nEND\n"
+        "SUBROUTINE COLD(X)\nDO 10 I = 1, 9\nX = X * 2.0\n10 CONTINUE\nEND\n"
+    )
+
+    def test_unexecuted_procedure_gets_static_estimate(self):
+        program = compile_source(self.SOURCE)
+        # only the HOT path was profiled; COLD never ran.
+        measured = oracle_program_profile(
+            program, runs=[{"inputs": (1.0,)}]
+        )
+        assert measured.proc("COLD").invocations == 0
+        hybrid = hybrid_profile(program, measured)
+        assert hybrid.proc("COLD").invocations == 1.0
+        analysis = analyze(program, hybrid, SCALAR_MACHINE)
+        assert analysis.procedures["COLD"].time > 0
+
+    def test_measured_procedures_kept_exact(self):
+        program = compile_source(self.SOURCE)
+        measured = oracle_program_profile(
+            program, runs=[{"inputs": (1.0,)}]
+        )
+        hybrid = hybrid_profile(program, measured)
+        assert hybrid.proc("HOT") is measured.proc("HOT")
+
+    def test_pure_static_covers_all_procedures(self):
+        program = compile_source(self.SOURCE)
+        profile = static_profile(program)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        for proc in analysis.procedures.values():
+            assert proc.time > 0

@@ -1,0 +1,148 @@
+"""Unit tests for the bottom-up TIME pass (Section 4).
+
+The central invariant: the analytical TIME(START) computed from an
+exact profile equals the measured interpreted cost exactly.
+"""
+
+import pytest
+
+from repro import (
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+)
+from repro.costs import OPTIMIZING_MACHINE, SCALAR_MACHINE
+
+
+def time_matches_measurement(source, run_specs=({},), model=SCALAR_MACHINE):
+    program = compile_source(source)
+    total_cost = 0.0
+    for spec in run_specs:
+        total_cost += run_program(program, model=model, **spec).total_cost
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    analysis = analyze(program, profile, model)
+    expected_avg = total_cost / len(run_specs)
+    assert analysis.total_time == pytest.approx(expected_avg, rel=1e-9), (
+        f"TIME(START)={analysis.total_time} measured avg={expected_avg}"
+    )
+    return analysis
+
+
+class TestExactIdentity:
+    def test_straight_line(self):
+        time_matches_measurement("PROGRAM MAIN\nX = 1.0\nY = X * 2.0\nEND\n")
+
+    def test_branches(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nDO 10 I = 1, 9\n"
+            "IF (MOD(I, 2) .EQ. 0) THEN\nX = X + 1.0\nELSE\nX = X - 1.0\n"
+            "ENDIF\n10 CONTINUE\nEND\n"
+        )
+
+    def test_nested_loops(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nDO 20 I = 1, 4\nDO 10 J = 1, I\nX = X + 1.0\n"
+            "10 CONTINUE\n20 CONTINUE\nEND\n"
+        )
+
+    def test_goto_loop(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nK = 0\n10 K = K + 1\nIF (K .LT. 7) GOTO 10\nEND\n"
+        )
+
+    def test_subroutine_calls(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nDO 10 I = 1, 5\nCALL WORK(X)\n10 CONTINUE\nEND\n"
+            "SUBROUTINE WORK(X)\nX = X + SQRT(2.0)\nEND\n"
+        )
+
+    def test_function_calls_in_expressions(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nDO 10 I = 1, 5\nX = F(X) + F(1.0)\n10 CONTINUE\n"
+            "END\nFUNCTION F(Y)\nF = Y * 0.5 + 1.0\nEND\n"
+        )
+
+    def test_conditional_call(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nDO 10 I = 1, 10\n"
+            "IF (MOD(I, 3) .EQ. 0) CALL WORK(X)\n10 CONTINUE\nEND\n"
+            "SUBROUTINE WORK(X)\nX = X + 1.0\nEND\n",
+        )
+
+    def test_multiple_runs_average(self):
+        specs = [{"inputs": (float(n),)} for n in (3, 6, 12)]
+        time_matches_measurement(
+            "PROGRAM MAIN\nN = INT(INPUT(1))\nDO 10 I = 1, N\nX = X + 1.0\n"
+            "10 CONTINUE\nEND\n",
+            run_specs=specs,
+        )
+
+    def test_optimizing_machine(self):
+        time_matches_measurement(
+            "PROGRAM MAIN\nDO 10 I = 1, 6\nX = X * 1.5 + 2.0\n10 CONTINUE\nEND\n",
+            model=OPTIMIZING_MACHINE,
+        )
+
+    def test_unstructured_programs(self):
+        from repro.workloads.unstructured import ALL_SOURCES
+
+        for name, source in sorted(ALL_SOURCES.items()):
+            program = compile_source(source)
+            specs = [{"inputs": (8.0,), "seed": s} for s in range(2)]
+            total = sum(
+                run_program(program, model=SCALAR_MACHINE, **spec).total_cost
+                for spec in specs
+            )
+            profile = oracle_program_profile(program, runs=specs)
+            analysis = analyze(program, profile, SCALAR_MACHINE)
+            assert analysis.total_time == pytest.approx(total / 2, rel=1e-9), name
+
+    def test_livermore_loops(self):
+        from repro.workloads.livermore import livermore_source
+
+        time_matches_measurement(livermore_source(n=24, n2=4))
+
+    def test_simple_cfd(self):
+        from repro.workloads.simple_cfd import simple_source
+
+        time_matches_measurement(simple_source(n=8, ncycles=2))
+
+
+class TestPerNodeTimes:
+    def test_time_includes_descendants(self, paper_program):
+        from repro.workloads.paper_example import FigureCostEstimator
+
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        main = analysis.main
+        graph = main.ecfg.graph
+        n2 = next(n.id for n in graph if "IF (N .LT. 0)" in n.text)
+        # TIME(n2) = 1 + 0.9 * 100 = 91 (Figure 3).
+        assert main.times[n2] == pytest.approx(91.0)
+
+    def test_time_of_leaf_is_cost(self, paper_program):
+        from repro.workloads.paper_example import FigureCostEstimator
+
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        main = analysis.main
+        graph = main.ecfg.graph
+        call = next(n.id for n in graph if "CALL FOO" in n.text)
+        assert main.times[call] == pytest.approx(100.0)
+
+    def test_preheader_time_is_frequency_weighted(self, paper_program):
+        from repro.workloads.paper_example import FigureCostEstimator
+
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        main = analysis.main
+        (preheader,) = main.ecfg.header_of
+        # TIME(PH) = 10 * 92 = 920 (Figure 3).
+        assert main.times[preheader] == pytest.approx(920.0)

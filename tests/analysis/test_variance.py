@@ -1,0 +1,230 @@
+"""Unit tests for the bottom-up variance pass (Section 5)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro import (
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+)
+from repro.analysis.distributions import LoopDistribution
+from repro.costs import SCALAR_MACHINE
+
+
+def analyzed(source, run_specs=({},), **kwargs):
+    program = compile_source(source)
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    return program, analyze(program, profile, SCALAR_MACHINE, **kwargs)
+
+
+class TestZeroVariance:
+    def test_straight_line_has_zero_variance(self):
+        _, analysis = analyzed("PROGRAM MAIN\nX = 1.0\nY = 2.0\nEND\n")
+        assert analysis.total_var == 0.0
+        assert analysis.total_std_dev == 0.0
+
+    def test_always_taken_branch_zero_variance(self):
+        _, analysis = analyzed(
+            "PROGRAM MAIN\nX = 1.0\nIF (X .GT. 0.0) Y = 2.0\nEND\n"
+        )
+        assert analysis.total_var == 0.0
+
+    def test_second_moment_consistent(self):
+        _, analysis = analyzed(
+            "PROGRAM MAIN\nIF (INPUT(1) .GT. 0.0) Y = 2.0\nEND\n",
+            run_specs=({"inputs": (1.0,)}, {"inputs": (-1.0,)}),
+        )
+        main = analysis.main
+        for node in main.fcdg.nodes:
+            expected = main.variances.var[node] + main.times[node] ** 2
+            assert main.variances.second_moment[node] == pytest.approx(expected)
+
+
+class TestBernoulliBranch:
+    def source(self):
+        # one coin-flip branch guarding a fixed-cost statement.
+        return (
+            "PROGRAM MAIN\nIF (INPUT(1) .GT. 0.0) X = 1.0\nEND\n"
+        )
+
+    def test_variance_is_p_one_minus_p_tsquared(self):
+        # p = 1/2 from two runs; the guarded statement costs c:
+        # VAR = p(1-p) c^2.
+        program = compile_source(self.source())
+        profile = oracle_program_profile(
+            program, runs=[{"inputs": (1.0,)}, {"inputs": (-1.0,)}]
+        )
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        c = SCALAR_MACHINE.const + SCALAR_MACHINE.store
+        assert analysis.total_var == pytest.approx(0.25 * c * c)
+
+    def test_matches_sample_variance_of_costs(self):
+        # the model's variance for a single independent branch equals
+        # the population variance of the per-run costs.
+        program = compile_source(self.source())
+        specs = [{"inputs": (1.0,)}, {"inputs": (1.0,)}, {"inputs": (-1.0,)},
+                 {"inputs": (1.0,)}]
+        costs = [
+            run_program(program, model=SCALAR_MACHINE, **spec).total_cost
+            for spec in specs
+        ]
+        profile = oracle_program_profile(program, runs=specs)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_var == pytest.approx(
+            statistics.pvariance(costs)
+        )
+
+    def test_independent_branches_variances_add(self):
+        source = (
+            "PROGRAM MAIN\n"
+            "IF (INPUT(1) .GT. 0.0) X = 1.0\n"
+            "IF (INPUT(2) .GT. 0.0) Y = 1.0\n"
+            "END\n"
+        )
+        program = compile_source(source)
+        specs = [
+            {"inputs": (1.0, -1.0)},
+            {"inputs": (-1.0, 1.0)},
+        ]
+        profile = oracle_program_profile(program, runs=specs)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        c = SCALAR_MACHINE.const + SCALAR_MACHINE.store
+        assert analysis.total_var == pytest.approx(2 * 0.25 * c * c)
+
+
+class TestPaperFigure3:
+    def test_time_920_std_300(self, paper_program):
+        from repro.workloads.paper_example import (
+            EXPECTED_STD_DEV,
+            EXPECTED_TIME,
+            EXPECTED_VAR,
+            FigureCostEstimator,
+        )
+
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        assert analysis.total_time == pytest.approx(EXPECTED_TIME)
+        assert analysis.total_var == pytest.approx(EXPECTED_VAR)
+        assert analysis.total_std_dev == pytest.approx(EXPECTED_STD_DEV)
+
+    def test_intermediate_values(self, paper_program):
+        from repro.workloads.paper_example import FigureCostEstimator
+
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        main = analysis.main
+        graph = main.ecfg.graph
+        n2 = next(n.id for n in graph if "IF (N .LT. 0)" in n.text)
+        header = next(n.id for n in graph if "IF (M .GE. 0)" in n.text)
+        # VAR(n2) = 0.9*(100^2) - 90^2 = 900; VAR(header) = 900 too.
+        assert main.variances.var[n2] == pytest.approx(900.0)
+        assert main.variances.var[header] == pytest.approx(900.0)
+
+    def test_case1_f_squared_scaling(self, paper_program):
+        from repro.workloads.paper_example import FigureCostEstimator
+
+        profile = oracle_program_profile(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        main = analysis.main
+        (preheader,) = main.ecfg.header_of
+        # VAR(PH) = F^2 * VAR(header) = 100 * 900.
+        assert main.variances.var[preheader] == pytest.approx(90000.0)
+
+
+class TestLoopFrequencyVariance:
+    LOOP = (
+        "PROGRAM MAIN\nN = INT(INPUT(1))\nDO 10 I = 1, N\nX = X + 1.0\n"
+        "10 CONTINUE\nEND\n"
+    )
+
+    def test_zero_model_is_default(self):
+        _, a1 = analyzed(self.LOOP, run_specs=({"inputs": (5.0,)},))
+        _, a2 = analyzed(
+            self.LOOP, run_specs=({"inputs": (5.0,)},), loop_variance="zero"
+        )
+        assert a1.total_var == a2.total_var
+
+    def test_distribution_model_increases_variance(self):
+        specs = ({"inputs": (5.0,)},)
+        _, zero = analyzed(self.LOOP, run_specs=specs)
+        _, poisson = analyzed(
+            self.LOOP, run_specs=specs,
+            loop_variance=LoopDistribution.POISSON,
+        )
+        assert poisson.total_var > zero.total_var
+
+    def test_geometric_exceeds_poisson(self):
+        specs = ({"inputs": (20.0,)},)
+        _, poisson = analyzed(
+            self.LOOP, run_specs=specs, loop_variance=LoopDistribution.POISSON
+        )
+        _, geometric = analyzed(
+            self.LOOP, run_specs=specs,
+            loop_variance=LoopDistribution.GEOMETRIC,
+        )
+        assert geometric.total_var > poisson.total_var
+
+    def test_constant_distribution_matches_zero(self):
+        specs = ({"inputs": (5.0,)},)
+        _, zero = analyzed(self.LOOP, run_specs=specs)
+        _, const = analyzed(
+            self.LOOP, run_specs=specs,
+            loop_variance=LoopDistribution.CONSTANT,
+        )
+        assert const.total_var == zero.total_var
+
+    def test_profiled_moments(self):
+        # trip counts 4 and 8 across runs: header execs 5 and 9,
+        # mean 7, VAR(F) = (25+81)/2 - 49 = 4.
+        from repro import profile_program
+
+        program = compile_source(self.LOOP)
+        profile, _ = profile_program(
+            program,
+            runs=[{"inputs": (4.0,)}, {"inputs": (8.0,)}],
+            record_loop_moments=True,
+        )
+        zero = analyze(program, profile, SCALAR_MACHINE)
+        profiled = analyze(
+            program, profile, SCALAR_MACHINE, loop_variance="profiled"
+        )
+        assert profiled.total_var > zero.total_var
+
+    def test_custom_callable(self):
+        specs = ({"inputs": (5.0,)},)
+        calls = []
+
+        def model(preheader, mean):
+            calls.append((preheader, mean))
+            return 0.0
+
+        _, analysis = analyzed(self.LOOP, run_specs=specs, loop_variance=model)
+        assert len(calls) == 1
+        assert calls[0][1] == pytest.approx(6.0)
+
+
+class TestDistributions:
+    def test_constant(self):
+        assert LoopDistribution.CONSTANT.variance(10.0) == 0.0
+
+    def test_poisson(self):
+        assert LoopDistribution.POISSON.variance(10.0) == 10.0
+
+    def test_geometric(self):
+        assert LoopDistribution.GEOMETRIC.variance(10.0) == 90.0
+
+    def test_uniform(self):
+        assert LoopDistribution.UNIFORM.variance(3.0) == 4.0
+
+    def test_no_negative_variance(self):
+        assert LoopDistribution.GEOMETRIC.variance(0.5) == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for variance-driven chunk sizing (Kruskal-Weiss)."""
+
+import math
+
+import pytest
+
+from repro import (
+    analyze,
+    compile_source,
+    oracle_program_profile,
+)
+from repro.apps.chunking import (
+    estimate_makespan,
+    loop_iteration_stats,
+    optimal_chunk_size,
+    simulate_chunked_loop,
+)
+from repro.costs import SCALAR_MACHINE
+from repro.errors import AnalysisError
+
+
+class TestMakespanEstimate:
+    def test_zero_variance_prefers_biggest_chunks(self):
+        k = optimal_chunk_size(1000, 10, mean=1.0, std_dev=0.0, overhead=5.0)
+        assert k == 100  # one chunk per processor
+
+    def test_high_variance_prefers_smaller_chunks(self):
+        k_low = optimal_chunk_size(1000, 10, 1.0, std_dev=0.1, overhead=5.0)
+        k_high = optimal_chunk_size(1000, 10, 1.0, std_dev=3.0, overhead=5.0)
+        assert k_high < k_low
+
+    def test_higher_overhead_pushes_chunks_up(self):
+        k_cheap = optimal_chunk_size(1000, 10, 1.0, 1.0, overhead=0.5)
+        k_costly = optimal_chunk_size(1000, 10, 1.0, 1.0, overhead=50.0)
+        assert k_costly >= k_cheap
+
+    def test_makespan_components(self):
+        # k = N, P = 1: pure work + one overhead, no imbalance term.
+        t = estimate_makespan(100, 1, 2.0, 5.0, overhead=3.0, chunk=100)
+        assert t == pytest.approx(100 * 2.0 + 3.0)
+
+    def test_imbalance_term_grows_with_chunk(self):
+        t_small = estimate_makespan(1000, 10, 1.0, 2.0, 1.0, chunk=2)
+        t_small_work = (1000 * 1.0 + 500 * 1.0) / 10
+        assert t_small - t_small_work == pytest.approx(
+            2.0 * math.sqrt(2 * 2 * math.log(10))
+        )
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_makespan(10, 2, 1.0, 0.0, 1.0, chunk=0)
+
+
+class TestSimulation:
+    def test_deterministic_iterations_balance_perfectly(self):
+        sim = simulate_chunked_loop(100, 4, 1.0, 0.0, overhead=0.0, chunk=25)
+        assert sim.makespan == pytest.approx(25.0)
+        assert sim.imbalance == pytest.approx(0.0)
+
+    def test_overhead_counted_per_chunk(self):
+        sim = simulate_chunked_loop(100, 1, 1.0, 0.0, overhead=2.0, chunk=10)
+        assert sim.n_chunks == 10
+        assert sim.makespan == pytest.approx(100 + 10 * 2.0)
+
+    def test_seeded_reproducibility(self):
+        a = simulate_chunked_loop(200, 4, 1.0, 1.0, 0.5, 10, seed=3)
+        b = simulate_chunked_loop(200, 4, 1.0, 1.0, 0.5, 10, seed=3)
+        assert a.makespan == b.makespan
+
+    def test_variance_aware_choice_beats_static_when_variance_high(self):
+        n, p, mean, std, overhead = 600, 8, 1.0, 3.0, 0.05
+        k_static = n // p
+        k_opt = optimal_chunk_size(n, p, mean, std, overhead)
+        assert k_opt < k_static
+        static = [
+            simulate_chunked_loop(n, p, mean, std, overhead, k_static, seed=s)
+            for s in range(30)
+        ]
+        tuned = [
+            simulate_chunked_loop(n, p, mean, std, overhead, k_opt, seed=s)
+            for s in range(30)
+        ]
+        avg_static = sum(s.makespan for s in static) / len(static)
+        avg_tuned = sum(s.makespan for s in tuned) / len(tuned)
+        assert avg_tuned < avg_static
+
+    def test_static_wins_when_variance_zero(self):
+        n, p, mean, overhead = 600, 8, 1.0, 2.0
+        k_opt = optimal_chunk_size(n, p, mean, 0.0, overhead)
+        small = simulate_chunked_loop(n, p, mean, 0.0, overhead, 1, seed=0)
+        tuned = simulate_chunked_loop(n, p, mean, 0.0, overhead, k_opt, seed=0)
+        assert tuned.makespan < small.makespan
+
+
+class TestLoopIterationStats:
+    def test_extracts_mean_and_variance(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 40\n"
+            "IF (MOD(I, 2) .EQ. 0) X = X + SQRT(2.0)\n10 CONTINUE\nEND\n"
+        )
+        program = compile_source(source)
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        main = analysis.main
+        (header,) = main.ecfg.preheader_of
+        mean, var = loop_iteration_stats(main, header)
+        assert mean > 0
+        assert var > 0  # the conditional body varies per iteration
+
+    def test_deterministic_body_var_reflects_test_branch_model(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 40\nX = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        program = compile_source(source)
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        main = analysis.main
+        (header,) = main.ecfg.preheader_of
+        mean, var = loop_iteration_stats(main, header)
+        assert mean > 0
+        assert var >= 0
+
+    def test_non_header_rejected(self):
+        program = compile_source("PROGRAM MAIN\nX = 1.0\nEND\n")
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        with pytest.raises(AnalysisError):
+            loop_iteration_stats(analysis.main, 1)

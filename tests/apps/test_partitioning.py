@@ -1,0 +1,157 @@
+"""Tests for the TIME/VAR-driven task partitioner."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+)
+from repro.apps.partitioning import partition_program
+
+
+def analyzed(source, run_specs=({},)):
+    program = compile_source(source)
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    return analyze(program, profile, SCALAR_MACHINE)
+
+
+HOT_LOOP = (
+    "PROGRAM MAIN\n"
+    "DO 10 I = 1, 400\n"
+    "X = X + SQRT(REAL(I)) * EXP(0.01)\n"
+    "10 CONTINUE\n"
+    "Y = 1.0\n"
+    "END\n"
+)
+
+TINY_LOOP = (
+    "PROGRAM MAIN\nDO 10 I = 1, 3\nX = X + 1.0\n10 CONTINUE\nEND\n"
+)
+
+
+class TestLoopDecisions:
+    def test_hot_loop_chosen(self):
+        analysis = analyzed(HOT_LOOP)
+        partition = partition_program(
+            analysis, n_processors=8, spawn_overhead=50.0
+        )
+        assert len(partition.chosen_loops) == 1
+        task = partition.chosen_loops[0]
+        assert task.parallel_time < task.sequential_time
+        assert task.chunk >= 1
+
+    def test_tiny_loop_rejected(self):
+        analysis = analyzed(TINY_LOOP)
+        partition = partition_program(
+            analysis, n_processors=8, spawn_overhead=500.0
+        )
+        assert partition.chosen_loops == []
+        assert partition.estimated_speedup == pytest.approx(1.0)
+
+    def test_higher_overhead_fewer_tasks(self):
+        analysis = analyzed(HOT_LOOP)
+        cheap = partition_program(analysis, spawn_overhead=10.0)
+        expensive = partition_program(analysis, spawn_overhead=1e9)
+        assert len(expensive.chosen_loops) <= len(cheap.chosen_loops)
+        assert expensive.chosen_loops == []
+
+    def test_nested_loops_outer_preferred(self):
+        source = (
+            "PROGRAM MAIN\n"
+            "DO 20 I = 1, 50\n"
+            "DO 10 J = 1, 50\n"
+            "X = X + SQRT(REAL(J))\n"
+            "10 CONTINUE\n"
+            "20 CONTINUE\n"
+            "END\n"
+        )
+        analysis = analyzed(source)
+        partition = partition_program(
+            analysis, n_processors=4, spawn_overhead=20.0
+        )
+        chosen = partition.chosen_loops
+        assert len(chosen) == 1
+        # the chosen loop is the outer one (shallower depth).
+        main = analysis.main
+        depths = {
+            h: main.ecfg.intervals.depth_of(h)
+            for h in main.ecfg.preheader_of
+        }
+        assert depths[chosen[0].header] == min(depths.values())
+
+    def test_speedup_bounded_by_processors(self):
+        analysis = analyzed(HOT_LOOP)
+        partition = partition_program(
+            analysis, n_processors=4, spawn_overhead=1.0
+        )
+        assert 1.0 <= partition.estimated_speedup <= 4.0 + 1e-9
+
+
+class TestCallDecisions:
+    SOURCE = (
+        "PROGRAM MAIN\n"
+        "CALL BIG(X)\n"
+        "CALL SMALL(Y)\n"
+        "END\n"
+        "SUBROUTINE BIG(X)\n"
+        "DO 10 I = 1, 500\nX = X + SQRT(REAL(I))\n10 CONTINUE\n"
+        "END\n"
+        "SUBROUTINE SMALL(Y)\nY = Y + 1.0\nEND\n"
+    )
+
+    def test_heavy_callee_task_worthy(self):
+        analysis = analyzed(self.SOURCE)
+        partition = partition_program(
+            analysis, spawn_overhead=50.0, call_spawn_factor=2.0
+        )
+        by_callee = {c.callee: c for c in partition.calls}
+        assert by_callee["BIG"].profitable
+        assert not by_callee["SMALL"].profitable
+
+    def test_call_counts_per_run(self):
+        analysis = analyzed(self.SOURCE)
+        partition = partition_program(analysis)
+        by_callee = {c.callee: c for c in partition.calls}
+        assert by_callee["BIG"].calls_per_run == pytest.approx(1.0)
+
+    def test_unexecuted_calls_excluded(self):
+        source = (
+            "PROGRAM MAIN\nX = 1.0\nIF (X .LT. 0.0) CALL NEVER(X)\nEND\n"
+            "SUBROUTINE NEVER(X)\nX = 2.0\nEND\n"
+        )
+        analysis = analyzed(source)
+        partition = partition_program(analysis)
+        assert partition.calls == []
+
+
+class TestVarianceInfluence:
+    def test_bursty_loop_gets_smaller_chunks(self):
+        steady = analyzed(HOT_LOOP)
+        bursty = analyzed(
+            "PROGRAM MAIN\n"
+            "DO 20 I = 1, 400\n"
+            "M = IRAND(0, 30)\n"
+            "DO 10 J = 1, M\n"
+            "X = X + SQRT(REAL(J))\n"
+            "10 CONTINUE\n"
+            "20 CONTINUE\n"
+            "END\n",
+            run_specs=({"seed": 1},),
+        )
+        steady_part = partition_program(
+            steady, n_processors=8, spawn_overhead=50.0
+        )
+        bursty_part = partition_program(
+            bursty, n_processors=8, spawn_overhead=50.0
+        )
+        steady_outer = steady_part.loops[0]
+        bursty_outer = next(
+            t for t in bursty_part.loops if t.iterations > 100
+        )
+        # relative chunk size (chunk / iterations) shrinks as the
+        # per-iteration variability grows.
+        assert (bursty_outer.chunk / bursty_outer.iterations) < (
+            steady_outer.chunk / steady_outer.iterations
+        )

@@ -1,0 +1,124 @@
+"""Tests for frequency-weighted spill costs."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+)
+from repro.apps.spill_costs import register_allocation_advice, spill_costs
+
+
+def analyzed(source, run_specs=({},)):
+    program = compile_source(source)
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    return analyze(program, profile, SCALAR_MACHINE)
+
+
+class TestSpillCosts:
+    HOT_COLD = (
+        "PROGRAM MAIN\n"
+        "COLD = 1.0\n"
+        "DO 10 I = 1, 100\n"
+        "HOT = HOT + 1.0\n"
+        "10 CONTINUE\n"
+        "COLD = COLD + 2.0\n"
+        "END\n"
+    )
+
+    def test_loop_variable_outranks_cold_one(self):
+        analysis = analyzed(self.HOT_COLD)
+        ranked = spill_costs(analysis, "MAIN", SCALAR_MACHINE)
+        names = [r.name for r in ranked]
+        assert names.index("HOT") < names.index("COLD")
+
+    def test_do_index_counted(self):
+        analysis = analyzed(self.HOT_COLD)
+        by_name = {r.name: r for r in spill_costs(analysis, "MAIN",
+                                                  SCALAR_MACHINE)}
+        # DO_INIT writes I once; DO_INCR reads+writes it 100 times.
+        assert by_name["I"].writes == pytest.approx(101.0)
+        assert by_name["I"].reads == pytest.approx(100.0)
+
+    def test_access_counts_weighted_by_frequency(self):
+        analysis = analyzed(self.HOT_COLD)
+        by_name = {r.name: r for r in spill_costs(analysis, "MAIN",
+                                                  SCALAR_MACHINE)}
+        # HOT: one read + one write per iteration.
+        assert by_name["HOT"].reads == pytest.approx(100.0)
+        assert by_name["HOT"].writes == pytest.approx(100.0)
+        assert by_name["COLD"].accesses == pytest.approx(3.0)
+
+    def test_cost_formula(self):
+        analysis = analyzed(self.HOT_COLD)
+        by_name = {r.name: r for r in spill_costs(analysis, "MAIN",
+                                                  SCALAR_MACHINE)}
+        hot = by_name["HOT"]
+        assert hot.cost == pytest.approx(
+            hot.reads * SCALAR_MACHINE.load + hot.writes * SCALAR_MACHINE.store
+        )
+
+    def test_arrays_excluded(self):
+        source = (
+            "PROGRAM MAIN\nREAL A(10)\nDO 10 I = 1, 10\nA(I) = REAL(I)\n"
+            "10 CONTINUE\nEND\n"
+        )
+        analysis = analyzed(source)
+        names = {r.name for r in spill_costs(analysis, "MAIN",
+                                             SCALAR_MACHINE)}
+        assert "A" not in names
+        assert "I" in names
+
+    def test_constants_excluded(self):
+        source = (
+            "PROGRAM MAIN\nPARAMETER (N = 5)\nDO 10 I = 1, N\nX = X + N\n"
+            "10 CONTINUE\nEND\n"
+        )
+        analysis = analyzed(source)
+        names = {r.name for r in spill_costs(analysis, "MAIN",
+                                             SCALAR_MACHINE)}
+        assert "N" not in names
+
+    def test_branch_condition_reads_counted(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 50\n"
+            "IF (FLAGVAL .GT. 0.5) X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        analysis = analyzed(source)
+        by_name = {r.name: r for r in spill_costs(analysis, "MAIN",
+                                                  SCALAR_MACHINE)}
+        assert by_name["FLAGVAL"].reads == pytest.approx(50.0)
+        assert by_name["FLAGVAL"].writes == 0.0
+
+    def test_by_reference_call_args_read_and_write(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 7\nCALL BUMP(V)\n10 CONTINUE\nEND\n"
+            "SUBROUTINE BUMP(V)\nV = V + 1.0\nEND\n"
+        )
+        analysis = analyzed(source)
+        by_name = {r.name: r for r in spill_costs(analysis, "MAIN",
+                                                  SCALAR_MACHINE)}
+        assert by_name["V"].reads == pytest.approx(7.0)
+        assert by_name["V"].writes == pytest.approx(7.0)
+
+
+class TestAllocationAdvice:
+    def test_top_k_selected(self):
+        analysis = analyzed(TestSpillCosts.HOT_COLD)
+        chosen, saving = register_allocation_advice(
+            analysis, "MAIN", SCALAR_MACHINE, 2
+        )
+        assert len(chosen) == 2
+        assert "HOT" in chosen and "I" in chosen
+        assert saving > 0
+
+    def test_enough_registers_covers_everything(self):
+        analysis = analyzed(TestSpillCosts.HOT_COLD)
+        all_costs = spill_costs(analysis, "MAIN", SCALAR_MACHINE)
+        chosen, saving = register_allocation_advice(
+            analysis, "MAIN", SCALAR_MACHINE, 100
+        )
+        assert len(chosen) == len(all_costs)
+        assert saving == pytest.approx(sum(c.cost for c in all_costs))

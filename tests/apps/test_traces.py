@@ -1,0 +1,140 @@
+"""Tests for trace selection and branch-layout advice."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+)
+from repro.apps.traces import branch_layout_advice, select_traces
+from repro.cfg.graph import StmtKind
+
+
+def analyzed_main(source, run_specs=({},)):
+    program = compile_source(source)
+    profile = oracle_program_profile(program, runs=list(run_specs))
+    analysis = analyze(program, profile, SCALAR_MACHINE)
+    return program, analysis.main
+
+
+BIASED_BRANCH = (
+    "PROGRAM MAIN\nDO 10 I = 1, 20\n"
+    "IF (MOD(I, 10) .EQ. 0) THEN\nX = X + SQRT(2.0)\n"
+    "ELSE\nY = Y + 1.0\nENDIF\n10 CONTINUE\nEND\n"
+)
+
+
+class TestTraceSelection:
+    def test_every_hot_node_in_exactly_one_trace(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        traces = select_traces(main)
+        seen: dict[int, int] = {}
+        for i, trace in enumerate(traces):
+            for node in trace.nodes:
+                assert node not in seen, "node in two traces"
+                seen[node] = i
+        hot = {
+            n.id
+            for n in program.cfgs["MAIN"]
+            if n.kind not in (StmtKind.ENTRY, StmtKind.EXIT, StmtKind.NOOP)
+            and main.freqs.node_freq.get(n.id, 0.0) > 1e-9
+        }
+        assert set(seen) == hot
+
+    def test_hottest_trace_first(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        traces = select_traces(main)
+        assert traces[0].seed_frequency == max(
+            t.seed_frequency for t in traces
+        )
+
+    def test_hot_trace_follows_likely_arm(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        traces = select_traces(main)
+        else_node = next(
+            n.id for n in program.cfgs["MAIN"] if "Y = Y + 1.0" in n.text
+        )
+        then_node = next(
+            n.id for n in program.cfgs["MAIN"] if "X = X + SQRT" in n.text
+        )
+        hot_nodes = traces[0].nodes
+        assert else_node in hot_nodes  # the 90% arm
+        assert then_node not in hot_nodes  # the 10% arm gets its own trace
+
+    def test_traces_are_paths(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        cfg = program.cfgs["MAIN"]
+        for trace in select_traces(main):
+            for a, b in zip(trace.nodes, trace.nodes[1:]):
+                assert b in cfg.successors(a)
+
+    def test_traces_never_cross_back_edges(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        back = {
+            (e.src, e.dst)
+            for h, edges in main.ecfg.intervals.loop_back_edges.items()
+            for e in edges
+        }
+        for trace in select_traces(main):
+            for a, b in zip(trace.nodes, trace.nodes[1:]):
+                assert (a, b) not in back
+
+    def test_straight_line_single_trace(self):
+        program, main = analyzed_main(
+            "PROGRAM MAIN\nX = 1.0\nY = 2.0\nZ = 3.0\nEND\n"
+        )
+        traces = select_traces(main)
+        assert len(traces) == 1
+        assert len(traces[0]) == 3
+
+    def test_dead_code_excluded(self):
+        program, main = analyzed_main(
+            "PROGRAM MAIN\nX = 1.0\nIF (X .LT. 0.0) THEN\nY = 9.9\n"
+            "ENDIF\nEND\n"
+        )
+        dead = next(
+            n.id for n in program.cfgs["MAIN"] if "Y = 9.9" in n.text
+        )
+        for trace in select_traces(main):
+            assert dead not in trace.nodes
+
+
+class TestBranchLayout:
+    def test_recommends_hot_arm_as_fallthrough(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        (advice,) = branch_layout_advice(main)
+        # MOD(I,10).EQ.0 is true 2/20: the F arm is hot.
+        assert advice.fallthrough_label == "F"
+        assert not advice.flipped
+        assert advice.not_taken_count == pytest.approx(18.0)
+        assert advice.taken_count == pytest.approx(2.0)
+
+    def test_saving_formula(self):
+        program, main = analyzed_main(BIASED_BRANCH)
+        (advice,) = branch_layout_advice(main, taken_penalty=3.0)
+        assert advice.saving == pytest.approx(3.0 * (18.0 - 2.0))
+
+    def test_sorted_by_saving(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 30\n"
+            "IF (MOD(I, 2) .EQ. 0) X = X + 1.0\n"
+            "IF (MOD(I, 30) .EQ. 0) Y = Y + 1.0\n"
+            "10 CONTINUE\nEND\n"
+        )
+        program, main = analyzed_main(source)
+        advice = branch_layout_advice(main)
+        assert len(advice) == 2
+        assert advice[0].saving >= advice[1].saving
+        # the heavily biased branch (29 vs 1) saves the most.
+        assert "MOD(I, 30)" in advice[0].text
+
+    def test_balanced_branch_near_zero_saving(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 30\n"
+            "IF (MOD(I, 2) .EQ. 0) X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        program, main = analyzed_main(source)
+        (advice,) = branch_layout_advice(main)
+        assert advice.saving == pytest.approx(0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for call graph construction and ordering."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.symbols import check_program
+from repro.callgraph import build_call_graph
+
+
+def graph_of(source):
+    return build_call_graph(check_program(parse_program(source)))
+
+
+CHAIN = (
+    "PROGRAM MAIN\nCALL A(X)\nEND\n"
+    "SUBROUTINE A(X)\nCALL B(X)\nX = F(X)\nEND\n"
+    "SUBROUTINE B(X)\nX = X + 1.0\nEND\n"
+    "FUNCTION F(Y)\nF = Y\nEND\n"
+)
+
+
+class TestConstruction:
+    def test_call_sites_counted(self):
+        graph = graph_of(
+            "PROGRAM MAIN\nCALL A(X)\nCALL A(Y)\nEND\n"
+            "SUBROUTINE A(X)\nX = 1.0\nEND\n"
+        )
+        assert graph.calls["MAIN"]["A"] == 2
+
+    def test_function_calls_in_expressions_found(self):
+        graph = graph_of(CHAIN)
+        assert "F" in graph.calls["A"]
+        assert "B" in graph.calls["A"]
+
+    def test_intrinsics_excluded(self):
+        graph = graph_of("PROGRAM MAIN\nX = SQRT(MOD(7.0, 2.0))\nEND\n")
+        assert graph.calls["MAIN"] == {}
+
+    def test_array_refs_not_calls(self):
+        graph = graph_of("PROGRAM MAIN\nREAL A(5)\nX = A(2)\nEND\n")
+        assert graph.calls["MAIN"] == {}
+
+    def test_callers_and_callees(self):
+        graph = graph_of(CHAIN)
+        assert graph.callees("A") == ["B", "F"]
+        assert graph.callers("B") == ["A"]
+
+    def test_nested_call_in_if_found(self):
+        graph = graph_of(
+            "PROGRAM MAIN\nIF (X .GT. 0.0) THEN\nCALL A(X)\nENDIF\nEND\n"
+            "SUBROUTINE A(X)\nX = 1.0\nEND\n"
+        )
+        assert "A" in graph.calls["MAIN"]
+
+
+class TestOrdering:
+    def test_bottom_up_callees_first(self):
+        graph = graph_of(CHAIN)
+        order = graph.bottom_up()
+        assert order.index("B") < order.index("A")
+        assert order.index("F") < order.index("A")
+        assert order.index("A") < order.index("MAIN")
+
+    def test_sccs_singletons_without_recursion(self):
+        graph = graph_of(CHAIN)
+        assert all(len(scc) == 1 for scc in graph.sccs)
+
+    def test_self_recursion_detected(self):
+        graph = graph_of(
+            "PROGRAM MAIN\nPRINT *, F(3)\nEND\n"
+            "INTEGER FUNCTION F(N)\nINTEGER N\n"
+            "IF (N .LE. 0) THEN\nF = 1\nELSE\nF = F(N - 1)\nENDIF\nEND\n"
+        )
+        assert graph.is_recursive("F")
+        assert not graph.is_recursive("MAIN")
+
+    def test_mutual_recursion_one_scc(self):
+        graph = graph_of(
+            "PROGRAM MAIN\nPRINT *, A(3)\nEND\n"
+            "INTEGER FUNCTION A(N)\nINTEGER N\n"
+            "IF (N .LE. 0) THEN\nA = 0\nELSE\nA = B(N - 1)\nENDIF\nEND\n"
+            "INTEGER FUNCTION B(N)\nINTEGER N\n"
+            "IF (N .LE. 0) THEN\nB = 1\nELSE\nB = A(N - 1)\nENDIF\nEND\n"
+        )
+        sccs_with_both = [s for s in graph.sccs if set(s) == {"A", "B"}]
+        assert len(sccs_with_both) == 1
+        assert graph.is_recursive("A")
+        assert graph.is_recursive("B")
+
+    def test_unreachable_procedure_still_ordered(self):
+        graph = graph_of(
+            "PROGRAM MAIN\nX = 1.0\nEND\n"
+            "SUBROUTINE ORPHAN(X)\nX = 1.0\nEND\n"
+        )
+        assert set(graph.bottom_up()) == {"MAIN", "ORPHAN"}

@@ -1,0 +1,211 @@
+"""Unit tests for control dependence and the FCDG."""
+
+import pytest
+
+from repro import compile_source
+from repro.cfg.graph import StmtKind, is_pseudo_label
+from repro.workloads.unstructured import ALL_SOURCES
+
+
+def fcdg_of(body_lines):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n"
+    program = compile_source(source)
+    return program.cfgs["MAIN"], program.fcdgs["MAIN"]
+
+
+def node_by_text(graph, fragment):
+    return next(n.id for n in graph if fragment in n.text)
+
+
+class TestStructuralClaims:
+    """Section 2's claims: rooted, connected, acyclic, all nodes but STOP."""
+
+    SOURCES = [
+        ["X = 1"],
+        ["IF (X .GT. 0) THEN", "Y = 1", "ELSE", "Y = 2", "ENDIF"],
+        ["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"],
+        [
+            "DO 20 I = 1, 4",
+            "IF (RAND() .LT. 0.5) GOTO 30",
+            "DO 10 J = 1, 3",
+            "X = X + 1.0",
+            "10 CONTINUE",
+            "20 CONTINUE",
+            "30 CONTINUE",
+        ],
+        ["10 X = X + 1.0", "IF (X .LT. 5.0) GOTO 10"],
+    ]
+
+    @pytest.mark.parametrize("body", SOURCES, ids=lambda b: b[0][:18])
+    def test_rooted_and_complete(self, body):
+        cfg, fcdg = fcdg_of(body)
+        fcdg.validate()  # checks node set and parent existence
+        assert fcdg.topological_order()[0] == fcdg.root
+
+    @pytest.mark.parametrize("body", SOURCES, ids=lambda b: b[0][:18])
+    def test_acyclic(self, body):
+        cfg, fcdg = fcdg_of(body)
+        position = {n: i for i, n in enumerate(fcdg.topological_order())}
+        for edge in fcdg.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_stop_excluded(self):
+        cfg, fcdg = fcdg_of(["X = 1"])
+        assert fcdg.ecfg.stop not in fcdg.nodes
+
+
+class TestBranchDependences:
+    def test_then_arm_depends_on_true(self):
+        cfg, fcdg = fcdg_of(
+            ["IF (X .GT. 0) THEN", "Y = 1.0", "ELSE", "Y = 2.0", "ENDIF"]
+        )
+        if_node = node_by_text(fcdg.ecfg.graph, "IF (")
+        then_node = node_by_text(fcdg.ecfg.graph, "Y = 1.0")
+        else_node = node_by_text(fcdg.ecfg.graph, "Y = 2.0")
+        assert then_node in fcdg.children(if_node, "T")
+        assert else_node in fcdg.children(if_node, "F")
+
+    def test_join_not_dependent_on_branch(self):
+        cfg, fcdg = fcdg_of(
+            ["IF (X .GT. 0) THEN", "Y = 1.0", "ENDIF", "Z = 3.0"]
+        )
+        if_node = node_by_text(fcdg.ecfg.graph, "IF (")
+        join = node_by_text(fcdg.ecfg.graph, "Z = 3.0")
+        children = [c for _, c in fcdg.all_children(if_node)]
+        assert join not in children
+
+    def test_identically_control_dependent_statements_share_condition(self):
+        cfg, fcdg = fcdg_of(
+            ["IF (X .GT. 0) THEN", "Y = 1.0", "Z = 2.0", "ENDIF"]
+        )
+        if_node = node_by_text(fcdg.ecfg.graph, "IF (")
+        t_children = fcdg.children(if_node, "T")
+        y_node = node_by_text(fcdg.ecfg.graph, "Y = 1.0")
+        z_node = node_by_text(fcdg.ecfg.graph, "Z = 2.0")
+        assert {y_node, z_node} <= set(t_children)
+
+    def test_straight_line_all_on_start(self):
+        cfg, fcdg = fcdg_of(["X = 1.0", "Y = 2.0"])
+        for node in fcdg.nodes:
+            if node == fcdg.root:
+                continue
+            parents = {e.src for e in fcdg.parents(node)}
+            assert parents == {fcdg.root}
+
+
+class TestLoopDependences:
+    def test_header_depends_on_preheader(self):
+        cfg, fcdg = fcdg_of(["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"])
+        ecfg = fcdg.ecfg
+        (header,) = ecfg.preheader_of
+        preheader = ecfg.preheader_of[header]
+        assert header in fcdg.children(preheader, ecfg.loop_label(preheader))
+
+    def test_loop_frequency_condition_present(self):
+        cfg, fcdg = fcdg_of(["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"])
+        ecfg = fcdg.ecfg
+        (preheader,) = ecfg.header_of
+        assert (preheader, "U") in fcdg.conditions()
+
+    def test_no_loop_carried_dependences(self):
+        # Statements after the header in a GOTO loop must depend on
+        # the *preheader* (same-iteration), not on last iteration's
+        # branches — the KERN16 regression.
+        cfg, fcdg = fcdg_of(
+            [
+                "K = 0",
+                "10 K = K + 1",
+                "IF (K .GT. 5) GOTO 90",
+                "IF (RAND() .LT. 0.3) GOTO 10",
+                "X = X + 1.0",
+                "GOTO 10",
+                "90 CONTINUE",
+            ]
+        )
+        ecfg = fcdg.ecfg
+        (header,) = ecfg.preheader_of
+        preheader = ecfg.preheader_of[header]
+        first_if = node_by_text(ecfg.graph, "IF (K .GT. 5)")
+        # `IF (K .GT. 5)` executes once per iteration, exactly like
+        # the header: identically control dependent on the preheader.
+        assert first_if in fcdg.children(preheader, "U")
+
+    def test_pseudo_conditions_on_postexits(self):
+        # With two exits, neither postexit postdominates the loop, so
+        # each hangs off its preheader pseudo edge (Figure-3 shape).
+        cfg, fcdg = fcdg_of(
+            [
+                "DO 10 I = 1, 5",
+                "IF (RAND() .LT. 0.5) GOTO 20",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        ecfg = fcdg.ecfg
+        for postexit in ecfg.postexit_source:
+            parent_labels = {e.label for e in fcdg.parents(postexit)}
+            assert any(is_pseudo_label(l) for l in parent_labels)
+
+    def test_single_exit_postexit_depends_on_outer_context(self):
+        # A single-exit loop's postexit postdominates the whole loop,
+        # so it is control dependent on the same condition as the
+        # loop entry (here START) — executing once per entry.
+        cfg, fcdg = fcdg_of(["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"])
+        ecfg = fcdg.ecfg
+        (postexit,) = ecfg.postexit_source
+        parents = {e.src for e in fcdg.parents(postexit)}
+        assert parents == {fcdg.root}
+
+    def test_multi_exit_postexits_depend_on_exit_branches(self):
+        cfg, fcdg = fcdg_of(
+            [
+                "DO 10 I = 1, 5",
+                "IF (X .GT. 2.0) GOTO 20",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        ecfg = fcdg.ecfg
+        for postexit, origin in ecfg.postexit_source.items():
+            parents = {(e.src, e.label) for e in fcdg.parents(postexit)}
+            assert (origin.src, origin.label) in parents
+
+
+class TestPaperExample:
+    def test_figure3_structure(self, paper_program):
+        fcdg = paper_program.fcdgs["MAIN"]
+        ecfg = fcdg.ecfg
+        graph = ecfg.graph
+        header = node_by_text(graph, "IF (M .GE. 0)")
+        n2 = node_by_text(graph, "IF (N .LT. 0)")
+        n3 = node_by_text(graph, "IF (N .GE. 0)")
+        call = node_by_text(graph, "CALL FOO")
+        preheader = ecfg.preheader_of[header]
+
+        assert header in fcdg.children(preheader, "U")
+        assert n2 in fcdg.children(header, "T")
+        assert n3 in fcdg.children(header, "F")
+        assert call in fcdg.children(n2, "F")
+        assert call in fcdg.children(n3, "F")
+
+    def test_everything_reachable_from_start(self, paper_program):
+        fcdg = paper_program.fcdgs["MAIN"]
+        seen = {fcdg.root}
+        stack = [fcdg.root]
+        while stack:
+            node = stack.pop()
+            for _, child in fcdg.all_children(node):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        assert seen == set(fcdg.nodes)
+
+
+class TestUnstructuredPrograms:
+    @pytest.mark.parametrize("name", sorted(ALL_SOURCES))
+    def test_fcdg_builds_and_validates(self, name):
+        program = compile_source(ALL_SOURCES[name])
+        for fcdg in program.fcdgs.values():
+            fcdg.validate()

@@ -1,0 +1,232 @@
+"""Unit tests for AST -> CFG lowering."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import StmtKind
+
+
+def cfg_of(body_lines, extra_units=""):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n" + extra_units
+    unit = parse_program(source)
+    return build_cfg(unit.main)
+
+
+def kinds(cfg):
+    return [n.kind for n in cfg]
+
+
+class TestLinearCode:
+    def test_entry_and_exit_present(self):
+        cfg = cfg_of(["X = 1"])
+        assert cfg.nodes[cfg.entry].kind is StmtKind.ENTRY
+        assert cfg.nodes[cfg.exit].kind is StmtKind.EXIT
+
+    def test_straight_line_chain(self):
+        cfg = cfg_of(["X = 1", "Y = 2", "Z = 3"])
+        assert len(cfg) == 5  # entry + 3 + exit
+        cfg.validate()
+
+    def test_declarations_produce_no_nodes(self):
+        cfg = cfg_of(["REAL X", "PARAMETER (N = 3)", "X = N"])
+        assert len(cfg) == 3
+
+    def test_print_and_continue_nodes(self):
+        cfg = cfg_of(["PRINT *, 1", "CONTINUE"])
+        assert StmtKind.PRINT in kinds(cfg)
+        assert StmtKind.NOOP in kinds(cfg)
+
+    def test_empty_body(self):
+        cfg = cfg_of(["CONTINUE"])
+        cfg.validate()
+
+
+class TestGoto:
+    def test_plain_goto_is_edge_not_node(self):
+        cfg = cfg_of(["10 X = 1", "GOTO 10"])
+        assert StmtKind.NOOP not in kinds(cfg)
+        # the X=1 node has a self-cycle via the goto edge
+        assign = next(n for n in cfg if n.kind is StmtKind.ASSIGN)
+        assert assign.id in cfg.successors(assign.id)
+
+    def test_labelled_goto_gets_noop_node(self):
+        cfg = cfg_of(["X = 1", "GOTO 20", "20 GOTO 30", "30 CONTINUE"])
+        cfg.validate()
+
+    def test_goto_skips_dead_code(self):
+        cfg = cfg_of(["GOTO 20", "X = 1", "20 CONTINUE"])
+        # the X=1 node is unreachable and pruned
+        assert StmtKind.ASSIGN not in kinds(cfg)
+
+    def test_forward_goto_edge_target(self):
+        cfg = cfg_of(["GOTO 20", "20 CONTINUE"])
+        cont = next(n for n in cfg if n.kind is StmtKind.NOOP)
+        assert cont.id in cfg.successors(cfg.entry)
+
+
+class TestIfLowering:
+    def test_logical_if_true_false_edges(self):
+        cfg = cfg_of(["IF (X .GT. 0) Y = 1", "Z = 2"])
+        if_node = next(n for n in cfg if n.kind is StmtKind.IF)
+        labels = sorted(e.label for e in cfg.out_edges(if_node.id))
+        assert labels == ["F", "T"]
+
+    def test_logical_if_goto(self):
+        cfg = cfg_of(["IF (X .GT. 0) GOTO 20", "Y = 1", "20 CONTINUE"])
+        if_node = next(n for n in cfg if n.kind is StmtKind.IF)
+        t_edge = cfg.edge_to(if_node.id, "T")
+        assert cfg.nodes[t_edge.dst].kind is StmtKind.NOOP
+
+    def test_if_else_join(self):
+        cfg = cfg_of(
+            ["IF (X .GT. 0) THEN", "Y = 1", "ELSE", "Y = 2", "ENDIF", "Z = 3"]
+        )
+        join = next(
+            n for n in cfg if n.kind is StmtKind.ASSIGN and "Z" in n.text
+        )
+        assert len(cfg.in_edges(join.id)) == 2
+
+    def test_elseif_chain_nodes(self):
+        cfg = cfg_of(
+            [
+                "IF (X .GT. 0) THEN",
+                "Y = 1",
+                "ELSEIF (X .LT. 0) THEN",
+                "Y = 2",
+                "ENDIF",
+            ]
+        )
+        if_nodes = [n for n in cfg if n.kind is StmtKind.IF]
+        assert len(if_nodes) == 2
+        # second arm is reached via the first arm's F edge
+        first, second = if_nodes
+        assert cfg.edge_to(first.id, "F").dst == second.id
+
+    def test_empty_else_falls_through(self):
+        cfg = cfg_of(["IF (X .GT. 0) THEN", "Y = 1", "ENDIF", "Z = 2"])
+        if_node = next(n for n in cfg if n.kind is StmtKind.IF)
+        join = next(
+            n for n in cfg if n.kind is StmtKind.ASSIGN and "Z" in n.text
+        )
+        assert cfg.edge_to(if_node.id, "F").dst == join.id
+
+
+class TestDoLowering:
+    def test_do_loop_three_nodes(self):
+        cfg = cfg_of(["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"])
+        assert StmtKind.DO_INIT in kinds(cfg)
+        assert StmtKind.DO_TEST in kinds(cfg)
+        assert StmtKind.DO_INCR in kinds(cfg)
+
+    def test_do_back_edge(self):
+        cfg = cfg_of(["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"])
+        test = next(n for n in cfg if n.kind is StmtKind.DO_TEST)
+        incr = next(n for n in cfg if n.kind is StmtKind.DO_INCR)
+        assert test.id in cfg.successors(incr.id)
+
+    def test_shared_trip_var(self):
+        cfg = cfg_of(["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"])
+        trip_vars = {
+            n.trip_var
+            for n in cfg
+            if n.kind in (StmtKind.DO_INIT, StmtKind.DO_TEST, StmtKind.DO_INCR)
+        }
+        assert len(trip_vars) == 1
+
+    def test_nested_loops_distinct_trip_vars(self):
+        cfg = cfg_of(
+            [
+                "DO 20 I = 1, 5",
+                "DO 10 J = 1, 5",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        inits = [n for n in cfg if n.kind is StmtKind.DO_INIT]
+        assert len({n.trip_var for n in inits}) == 2
+
+    def test_do_while_lowering(self):
+        cfg = cfg_of(["DO WHILE (X .GT. 0)", "X = X - 1.0", "ENDDO"])
+        test = next(n for n in cfg if n.kind is StmtKind.WHILE_TEST)
+        body = next(n for n in cfg if n.kind is StmtKind.ASSIGN)
+        assert cfg.edge_to(test.id, "T").dst == body.id
+        assert cfg.edge_to(body.id, "U").dst == test.id
+
+    def test_goto_into_loop_label_targets_init(self):
+        cfg = cfg_of(
+            [
+                "IF (X .GT. 0.0) GOTO 5",
+                "X = 1.0",
+                "5 DO 10 I = 1, 3",
+                "X = X + 1.0",
+                "10 CONTINUE",
+            ]
+        )
+        if_node = next(n for n in cfg if n.kind is StmtKind.IF)
+        target = cfg.edge_to(if_node.id, "T").dst
+        assert cfg.nodes[target].kind is StmtKind.DO_INIT
+
+    def test_loop_exit_goto(self):
+        cfg = cfg_of(
+            [
+                "DO 10 I = 1, 5",
+                "IF (X .GT. 3.0) GOTO 20",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        cfg.validate()
+
+
+class TestOtherStatements:
+    def test_computed_goto_edges(self):
+        cfg = cfg_of(
+            [
+                "GOTO (10, 20), K",
+                "X = 0.0",
+                "GOTO 30",
+                "10 X = 1.0",
+                "GOTO 30",
+                "20 X = 2.0",
+                "30 CONTINUE",
+            ]
+        )
+        cg = next(n for n in cfg if n.kind is StmtKind.CGOTO)
+        labels = sorted(e.label for e in cfg.out_edges(cg.id))
+        assert labels == ["C1", "C2", "U"]
+
+    def test_stop_node_edges_to_exit(self):
+        cfg = cfg_of(["IF (X .GT. 0) STOP", "Y = 1"])
+        stop = next(n for n in cfg if n.kind is StmtKind.STOP)
+        assert cfg.edge_to(stop.id, "U").dst == cfg.exit
+
+    def test_return_is_edge_to_exit(self):
+        source = (
+            "PROGRAM MAIN\nCALL S(1.0)\nEND\n"
+            "SUBROUTINE S(A)\nIF (A .GT. 0.0) RETURN\nA = 1.0\nEND\n"
+        )
+        unit = parse_program(source)
+        cfg = build_cfg(unit.procedures["S"])
+        if_node = next(n for n in cfg if n.kind is StmtKind.IF)
+        assert cfg.edge_to(if_node.id, "T").dst == cfg.exit
+
+    def test_call_node(self):
+        cfg = cfg_of(
+            ["CALL FOO(X)"],
+            extra_units="SUBROUTINE FOO(A)\nA = 1.0\nEND\n",
+        )
+        assert StmtKind.CALL in kinds(cfg)
+
+    def test_paper_example_shape(self):
+        from repro.workloads.paper_example import PAPER_SOURCE
+
+        unit = parse_program(PAPER_SOURCE)
+        cfg = build_cfg(unit.procedures["MAIN"])
+        if_nodes = [n for n in cfg if n.kind is StmtKind.IF]
+        assert len(if_nodes) == 3
+        call = next(n for n in cfg if n.kind is StmtKind.CALL)
+        header = if_nodes[0]
+        assert header.id in cfg.successors(call.id)  # GOTO 10 back edge

@@ -1,0 +1,161 @@
+"""Unit tests for DFS, dominators and postdominators."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.cfg.dfs import depth_first_search
+from repro.cfg.dominance import (
+    dominance_frontier,
+    dominates,
+    dominator_depths,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.cfg.graph import ControlFlowGraph, StmtKind
+
+
+def diamond():
+    """entry -> a -> (b|c) -> d -> exit."""
+    cfg = ControlFlowGraph(name="diamond")
+    ids = {}
+    for name in ["entry", "a", "b", "c", "d", "exit"]:
+        ids[name] = cfg.add_node(StmtKind.NOOP, text=name).id
+    cfg.entry = ids["entry"]
+    cfg.exit = ids["exit"]
+    cfg.add_edge(ids["entry"], ids["a"], "U")
+    cfg.add_edge(ids["a"], ids["b"], "T")
+    cfg.add_edge(ids["a"], ids["c"], "F")
+    cfg.add_edge(ids["b"], ids["d"], "U")
+    cfg.add_edge(ids["c"], ids["d"], "U")
+    cfg.add_edge(ids["d"], ids["exit"], "U")
+    return cfg, ids
+
+
+def looped():
+    """entry -> h -> b -> h (back), h -> exit."""
+    cfg = ControlFlowGraph(name="loop")
+    ids = {}
+    for name in ["entry", "h", "b", "exit"]:
+        ids[name] = cfg.add_node(StmtKind.NOOP, text=name).id
+    cfg.entry = ids["entry"]
+    cfg.exit = ids["exit"]
+    cfg.add_edge(ids["entry"], ids["h"], "U")
+    cfg.add_edge(ids["h"], ids["b"], "T")
+    cfg.add_edge(ids["b"], ids["h"], "U")
+    cfg.add_edge(ids["h"], ids["exit"], "F")
+    return cfg, ids
+
+
+class TestDFS:
+    def test_preorder_starts_at_entry(self):
+        cfg, ids = diamond()
+        dfs = depth_first_search(cfg)
+        assert dfs.preorder[ids["entry"]] == 0
+
+    def test_all_nodes_visited(self):
+        cfg, ids = diamond()
+        dfs = depth_first_search(cfg)
+        assert set(dfs.preorder) == set(cfg.nodes)
+        assert set(dfs.postorder) == set(cfg.nodes)
+
+    def test_tree_edges_form_spanning_tree(self):
+        cfg, ids = diamond()
+        dfs = depth_first_search(cfg)
+        assert len(dfs.tree_edges) == len(cfg) - 1
+
+    def test_back_edge_detected(self):
+        cfg, ids = looped()
+        dfs = depth_first_search(cfg)
+        assert [(e.src, e.dst) for e in dfs.back_edges] == [
+            (ids["b"], ids["h"])
+        ]
+
+    def test_cross_or_forward_edge_in_diamond(self):
+        cfg, ids = diamond()
+        dfs = depth_first_search(cfg)
+        assert not dfs.back_edges
+        # one of b->d / c->d is a tree edge, the other cross.
+        assert len(dfs.cross_edges) + len(dfs.forward_edges) == 1
+
+    def test_reverse_postorder_topological_on_dag(self):
+        cfg, ids = diamond()
+        dfs = depth_first_search(cfg)
+        order = dfs.reverse_postorder()
+        position = {n: i for i, n in enumerate(order)}
+        for edge in cfg.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_is_ancestor(self):
+        cfg, ids = diamond()
+        dfs = depth_first_search(cfg)
+        assert dfs.is_ancestor(ids["entry"], ids["d"])
+        assert not dfs.is_ancestor(ids["b"], ids["c"])
+
+    def test_deterministic(self):
+        cfg, _ = diamond()
+        a = depth_first_search(cfg)
+        b = depth_first_search(cfg)
+        assert a.preorder == b.preorder
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        cfg, ids = diamond()
+        idom = dominator_tree(cfg)
+        assert idom[ids["d"]] == ids["a"]
+        assert idom[ids["b"]] == ids["a"]
+        assert idom[ids["entry"]] == ids["entry"]
+
+    def test_loop_header_dominates_body(self):
+        cfg, ids = looped()
+        idom = dominator_tree(cfg)
+        assert dominates(idom, ids["h"], ids["b"], cfg.entry)
+
+    def test_dominates_reflexive(self):
+        cfg, ids = diamond()
+        idom = dominator_tree(cfg)
+        assert dominates(idom, ids["b"], ids["b"], cfg.entry)
+
+    def test_branch_does_not_dominate_join_sides(self):
+        cfg, ids = diamond()
+        idom = dominator_tree(cfg)
+        assert not dominates(idom, ids["b"], ids["d"], cfg.entry)
+
+    def test_depths(self):
+        cfg, ids = diamond()
+        idom = dominator_tree(cfg)
+        depths = dominator_depths(idom, cfg.entry)
+        assert depths[ids["entry"]] == 0
+        assert depths[ids["a"]] == 1
+        assert depths[ids["d"]] == 2
+
+    def test_dominance_frontier_of_branch_arms(self):
+        cfg, ids = diamond()
+        idom = dominator_tree(cfg)
+        frontier = dominance_frontier(cfg, idom)
+        assert frontier[ids["b"]] == {ids["d"]}
+        assert frontier[ids["c"]] == {ids["d"]}
+
+
+class TestPostdominators:
+    def test_diamond_ipdoms(self):
+        cfg, ids = diamond()
+        ipdom = postdominator_tree(cfg)
+        assert ipdom[ids["a"]] == ids["d"]
+        assert ipdom[ids["b"]] == ids["d"]
+
+    def test_loop_postdominators(self):
+        cfg, ids = looped()
+        ipdom = postdominator_tree(cfg)
+        assert ipdom[ids["b"]] == ids["h"]
+        assert ipdom[ids["h"]] == ids["exit"]
+
+    def test_unreachable_exit_raises(self):
+        cfg = ControlFlowGraph()
+        a = cfg.add_node(StmtKind.NOOP)
+        b = cfg.add_node(StmtKind.NOOP)
+        cfg.entry = a.id
+        cfg.exit = b.id
+        cfg.add_edge(a.id, a.id, "U")
+        with pytest.raises(AnalysisError):
+            postdominator_tree(cfg)

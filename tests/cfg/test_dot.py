@@ -1,0 +1,62 @@
+"""Tests for DOT export, including analysis-annotated FCDGs."""
+
+import pytest
+
+from repro import analyze, compile_source, oracle_program_profile
+from repro.cfg.dot import cfg_to_dot, fcdg_to_dot
+from repro.cfg.graph import NodeType
+from repro.workloads.paper_example import FigureCostEstimator
+
+
+@pytest.fixture
+def analyzed_paper(paper_program):
+    profile = oracle_program_profile(paper_program, runs=[{}])
+    analysis = analyze(
+        paper_program, profile, model=None, estimator=FigureCostEstimator()
+    )
+    return paper_program, analysis
+
+
+class TestShapes:
+    def test_node_type_shapes(self, paper_program):
+        dot = cfg_to_dot(paper_program.ecfgs["MAIN"].graph)
+        assert "doubleoctagon" in dot  # START/STOP
+        assert "invhouse" in dot  # preheader
+        assert "invtriangle" in dot  # postexit
+        assert "house" in dot  # header
+
+    def test_every_node_and_edge_emitted(self, paper_program):
+        graph = paper_program.cfgs["MAIN"]
+        dot = cfg_to_dot(graph)
+        for node in graph:
+            assert f"n{node.id} [" in dot
+        assert dot.count("->") == len(graph.edges)
+
+
+class TestAnnotatedFCDG:
+    def test_time_var_annotations(self, analyzed_paper):
+        program, analysis = analyzed_paper
+        dot = fcdg_to_dot(
+            program.fcdgs["MAIN"], analysis=analysis.main
+        )
+        assert "TIME=920" in dot
+        assert "VAR=90000" in dot
+
+    def test_frequency_on_edges(self, analyzed_paper):
+        program, analysis = analyzed_paper
+        dot = fcdg_to_dot(program.fcdgs["MAIN"], analysis=analysis.main)
+        assert "(0.9)" in dot  # FREQ of the call branch
+        assert "(10)" in dot  # loop frequency
+
+    def test_unannotated_still_works(self, paper_program):
+        dot = fcdg_to_dot(paper_program.fcdgs["MAIN"])
+        assert "TIME=" not in dot
+        assert "digraph" in dot
+
+    def test_newline_escape_correct(self, analyzed_paper):
+        program, analysis = analyzed_paper
+        dot = fcdg_to_dot(program.fcdgs["MAIN"], analysis=analysis.main)
+        # a single backslash-n separator inside labels, not an escaped
+        # double backslash.
+        assert "\\nTIME=" in dot
+        assert "\\\\nTIME=" not in dot

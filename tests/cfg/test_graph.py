@@ -1,0 +1,155 @@
+"""Unit tests for the CFG data structure."""
+
+import pytest
+
+from repro.errors import CFGError
+from repro.cfg.graph import (
+    CFGEdge,
+    ControlFlowGraph,
+    NodeType,
+    StmtKind,
+    is_pseudo_label,
+)
+
+
+def chain_cfg(n_nodes=3):
+    """entry -> noop* -> exit linear graph."""
+    cfg = ControlFlowGraph(name="chain")
+    nodes = [cfg.add_node(StmtKind.NOOP, text=f"n{i}") for i in range(n_nodes)]
+    cfg.entry = nodes[0].id
+    cfg.exit = nodes[-1].id
+    for a, b in zip(nodes, nodes[1:]):
+        cfg.add_edge(a.id, b.id, "U")
+    return cfg, nodes
+
+
+class TestConstruction:
+    def test_node_ids_start_at_one(self):
+        cfg = ControlFlowGraph()
+        node = cfg.add_node(StmtKind.NOOP)
+        assert node.id == 1
+
+    def test_sequential_ids(self):
+        cfg = ControlFlowGraph()
+        ids = [cfg.add_node(StmtKind.NOOP).id for _ in range(4)]
+        assert ids == [1, 2, 3, 4]
+
+    def test_add_edge_unknown_node_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.add_node(StmtKind.NOOP)
+        with pytest.raises(CFGError):
+            cfg.add_edge(1, 99, "U")
+
+    def test_duplicate_label_same_source_rejected(self):
+        cfg, nodes = chain_cfg(2)
+        with pytest.raises(CFGError):
+            cfg.add_edge(nodes[0].id, nodes[1].id, "U")
+
+    def test_parallel_edges_with_distinct_labels(self):
+        cfg, nodes = chain_cfg(2)
+        cfg.add_edge(nodes[0].id, nodes[1].id, "T")
+        assert len(cfg.out_edges(nodes[0].id)) == 2
+
+    def test_multigraph_between_same_pair(self):
+        cfg = ControlFlowGraph()
+        a = cfg.add_node(StmtKind.IF)
+        b = cfg.add_node(StmtKind.NOOP)
+        cfg.add_edge(a.id, b.id, "T")
+        cfg.add_edge(a.id, b.id, "F")
+        assert sorted(e.label for e in cfg.out_edges(a.id)) == ["F", "T"]
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        cfg, nodes = chain_cfg(3)
+        assert cfg.successors(nodes[0].id) == [nodes[1].id]
+        assert cfg.predecessors(nodes[2].id) == [nodes[1].id]
+
+    def test_out_labels_excludes_pseudo(self):
+        cfg, nodes = chain_cfg(2)
+        cfg.add_edge(nodes[0].id, nodes[1].id, "Z1")
+        assert cfg.out_labels(nodes[0].id) == ["U"]
+
+    def test_edge_to(self):
+        cfg, nodes = chain_cfg(2)
+        edge = cfg.edge_to(nodes[0].id, "U")
+        assert edge.dst == nodes[1].id
+
+    def test_edge_to_missing_label_raises(self):
+        cfg, nodes = chain_cfg(2)
+        with pytest.raises(CFGError):
+            cfg.edge_to(nodes[0].id, "T")
+
+    def test_len_and_iter(self):
+        cfg, nodes = chain_cfg(3)
+        assert len(cfg) == 3
+        assert {n.id for n in cfg} == {n.id for n in nodes}
+
+    def test_is_pseudo_label(self):
+        assert is_pseudo_label("Z1")
+        assert is_pseudo_label("Z12")
+        assert not is_pseudo_label("T")
+        assert not is_pseudo_label("C2")
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        cfg, nodes = chain_cfg(2)
+        edge = cfg.out_edges(nodes[0].id)[0]
+        cfg.remove_edge(edge)
+        assert cfg.out_edges(nodes[0].id) == []
+        assert cfg.in_edges(nodes[1].id) == []
+
+    def test_remove_node_cleans_edges(self):
+        cfg, nodes = chain_cfg(3)
+        cfg.remove_node(nodes[1].id)
+        assert nodes[1].id not in cfg.nodes
+        assert cfg.out_edges(nodes[0].id) == []
+        assert cfg.in_edges(nodes[2].id) == []
+
+    def test_prune_unreachable_keeps_exit(self):
+        cfg, nodes = chain_cfg(2)
+        orphan = cfg.add_node(StmtKind.NOOP)
+        cfg.add_edge(orphan.id, nodes[1].id, "U")
+        removed = cfg.prune_unreachable()
+        assert removed == [orphan.id]
+        assert nodes[1].id in cfg.nodes
+
+    def test_copy_is_independent(self):
+        cfg, nodes = chain_cfg(3)
+        clone = cfg.copy()
+        clone.add_node(StmtKind.NOOP)
+        assert len(clone) == 4
+        assert len(cfg) == 3
+
+    def test_copy_preserves_structure(self):
+        cfg, nodes = chain_cfg(3)
+        clone = cfg.copy()
+        assert clone.entry == cfg.entry
+        assert clone.exit == cfg.exit
+        assert [(e.src, e.dst, e.label) for e in clone.edges] == [
+            (e.src, e.dst, e.label) for e in cfg.edges
+        ]
+
+
+class TestValidation:
+    def test_valid_chain_passes(self):
+        cfg, _ = chain_cfg(3)
+        cfg.validate()
+
+    def test_exit_with_successor_rejected(self):
+        cfg, nodes = chain_cfg(2)
+        cfg.add_edge(nodes[1].id, nodes[0].id, "U")
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+    def test_dangling_node_rejected(self):
+        cfg, nodes = chain_cfg(2)
+        dangling = cfg.add_node(StmtKind.NOOP)
+        cfg.add_edge(nodes[0].id, dangling.id, "T")
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+    def test_node_types_default_other(self):
+        cfg, nodes = chain_cfg(1)
+        assert nodes[0].type is NodeType.OTHER

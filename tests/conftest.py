@@ -1,0 +1,21 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+
+
+def compile_main(body_lines):
+    """Compile a PROGRAM MAIN wrapping the given body lines."""
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n"
+    return compile_source(source)
+
+
+@pytest.fixture
+def paper_program():
+    """The compiled Figure-1 program."""
+    from repro.workloads.paper_example import paper_program as build
+
+    return build()

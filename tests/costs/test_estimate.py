@@ -1,0 +1,166 @@
+"""Unit tests for cost models and static COST estimation."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.symbols import check_program
+from repro.cfg.builder import build_program_cfgs
+from repro.cfg.graph import StmtKind
+from repro.costs import (
+    CostEstimator,
+    MachineModel,
+    OPTIMIZING_MACHINE,
+    SCALAR_MACHINE,
+)
+from repro.costs.estimate import expr_type
+
+
+def setup(body_lines, extra=""):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n" + extra
+    checked = check_program(parse_program(source))
+    cfgs = build_program_cfgs(checked)
+    estimator = CostEstimator(checked, SCALAR_MACHINE)
+    return checked, cfgs, estimator
+
+
+def node_of(cfg, kind):
+    return next(n for n in cfg if n.kind is kind)
+
+
+class TestExprType:
+    def cases(self, expr_text, body_prefix=()):
+        body = list(body_prefix) + [f"QQQ = {expr_text}"]
+        checked, cfgs, _ = setup(body)
+        assign = node_of(cfgs["MAIN"], StmtKind.ASSIGN if not body_prefix else StmtKind.ASSIGN)
+        # find the QQQ assignment
+        for n in cfgs["MAIN"]:
+            if n.kind is StmtKind.ASSIGN and n.text.startswith("QQQ"):
+                return expr_type(n.stmt.value, checked.tables["MAIN"], checked)
+        raise AssertionError
+
+    def test_int_literal(self):
+        assert self.cases("1 + 2") is ast.Type.INTEGER
+
+    def test_real_promotion(self):
+        assert self.cases("1 + 2.0") is ast.Type.REAL
+
+    def test_implicit_variable_types(self):
+        assert self.cases("I + J") is ast.Type.INTEGER
+        assert self.cases("X + Y") is ast.Type.REAL
+
+    def test_comparison_is_logical(self):
+        checked, cfgs, _ = setup(["IF (X .GT. 0.0) Y = 1.0"])
+        if_node = node_of(cfgs["MAIN"], StmtKind.IF)
+        assert (
+            expr_type(if_node.cond, checked.tables["MAIN"], checked)
+            is ast.Type.LOGICAL
+        )
+
+    def test_intrinsic_match_type(self):
+        assert self.cases("MOD(7, 3)") is ast.Type.INTEGER
+        assert self.cases("MOD(7.0, 3.0)") is ast.Type.REAL
+
+    def test_intrinsic_fixed_type(self):
+        assert self.cases("SQRT(2.0)") is ast.Type.REAL
+        assert self.cases("INT(2.5)") is ast.Type.INTEGER
+
+    def test_parameter_constant_type(self):
+        assert self.cases("N + 1", ["PARAMETER (N = 4)"]) is ast.Type.INTEGER
+
+
+class TestNodeCost:
+    def test_assign_cost(self):
+        checked, cfgs, est = setup(["X = 1.0"])
+        node = node_of(cfgs["MAIN"], StmtKind.ASSIGN)
+        cost = est.node_cost(node, "MAIN")
+        assert cost.local == SCALAR_MACHINE.const + SCALAR_MACHINE.store
+        assert cost.calls == []
+
+    def test_int_vs_real_op_costs(self):
+        checked, cfgs, est = setup(["I = J * K", "X = Y * Z"])
+        assigns = [n for n in cfgs["MAIN"] if n.kind is StmtKind.ASSIGN]
+        int_cost = est.node_cost(assigns[0], "MAIN").local
+        real_cost = est.node_cost(assigns[1], "MAIN").local
+        assert real_cost - int_cost == SCALAR_MACHINE.fp_mul - SCALAR_MACHINE.int_mul
+
+    def test_array_access_charges_indexing(self):
+        checked, cfgs, est = setup(["REAL A(10)", "X = A(3)"])
+        node = node_of(cfgs["MAIN"], StmtKind.ASSIGN)
+        cost = est.node_cost(node, "MAIN").local
+        expected = (
+            SCALAR_MACHINE.load
+            + SCALAR_MACHINE.array_index
+            + SCALAR_MACHINE.const  # the index literal
+            + SCALAR_MACHINE.store
+        )
+        assert cost == expected
+
+    def test_if_cost_includes_branch(self):
+        checked, cfgs, est = setup(["IF (X .GT. 0.0) Y = 1.0"])
+        node = node_of(cfgs["MAIN"], StmtKind.IF)
+        cost = est.node_cost(node, "MAIN").local
+        assert cost == (
+            SCALAR_MACHINE.load
+            + SCALAR_MACHINE.const
+            + SCALAR_MACHINE.compare
+            + SCALAR_MACHINE.branch
+        )
+
+    def test_call_reports_callee(self):
+        checked, cfgs, est = setup(
+            ["CALL FOO(X)"], extra="SUBROUTINE FOO(A)\nA = 1.0\nEND\n"
+        )
+        node = node_of(cfgs["MAIN"], StmtKind.CALL)
+        cost = est.node_cost(node, "MAIN")
+        assert cost.calls == ["FOO"]
+        assert cost.local == SCALAR_MACHINE.call_overhead
+
+    def test_function_in_expression_reports_callee(self):
+        checked, cfgs, est = setup(
+            ["X = F(1.0) + F(2.0)"], extra="FUNCTION F(Y)\nF = Y\nEND\n"
+        )
+        node = node_of(cfgs["MAIN"], StmtKind.ASSIGN)
+        cost = est.node_cost(node, "MAIN")
+        assert cost.calls == ["F", "F"]
+
+    def test_intrinsic_cost_table(self):
+        checked, cfgs, est = setup(["X = SQRT(2.0)"])
+        node = node_of(cfgs["MAIN"], StmtKind.ASSIGN)
+        cost = est.node_cost(node, "MAIN").local
+        assert cost == (
+            SCALAR_MACHINE.const
+            + SCALAR_MACHINE.intrinsic("SQRT")
+            + SCALAR_MACHINE.store
+        )
+
+    def test_synthetic_nodes_cost_zero(self):
+        checked, cfgs, est = setup(["CONTINUE"])
+        for node in cfgs["MAIN"]:
+            if node.kind in (StmtKind.ENTRY, StmtKind.EXIT, StmtKind.NOOP):
+                assert est.node_cost(node, "MAIN").local == 0.0
+
+    def test_do_nodes_have_costs(self):
+        checked, cfgs, est = setup(
+            ["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"]
+        )
+        for kind in (StmtKind.DO_INIT, StmtKind.DO_TEST, StmtKind.DO_INCR):
+            node = node_of(cfgs["MAIN"], kind)
+            assert est.node_cost(node, "MAIN").local > 0
+
+
+class TestMachines:
+    def test_optimizing_machine_cheaper_compute(self):
+        assert OPTIMIZING_MACHINE.fp_mul < SCALAR_MACHINE.fp_mul
+        assert OPTIMIZING_MACHINE.load < SCALAR_MACHINE.load
+
+    def test_counter_update_cost_not_optimized(self):
+        assert OPTIMIZING_MACHINE.counter_update == SCALAR_MACHINE.counter_update
+
+    def test_intrinsic_default(self):
+        model = MachineModel(name="m")
+        assert model.intrinsic("UNKNOWN") == model.intrinsic_default
+
+    def test_models_are_frozen(self):
+        with pytest.raises(AttributeError):
+            SCALAR_MACHINE.load = 1.0

@@ -1,0 +1,200 @@
+"""Unit tests for the extended CFG construction (Section 2)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.lang.parser import parse_program
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeType, StmtKind
+from repro.ecfg import build_ecfg
+
+
+def ecfg_of(body_lines):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n"
+    cfg = build_cfg(parse_program(source).main)
+    return cfg, build_ecfg(cfg)
+
+
+LOOP = ["DO 10 I = 1, 5", "X = X + 1.0", "10 CONTINUE"]
+GOTO_LOOP = ["10 X = X + 1.0", "IF (X .LT. 5.0) GOTO 10"]
+
+
+class TestStartStop:
+    def test_start_stop_added(self):
+        cfg, ecfg = ecfg_of(["X = 1"])
+        assert ecfg.graph.nodes[ecfg.start].type is NodeType.START
+        assert ecfg.graph.nodes[ecfg.stop].type is NodeType.STOP
+
+    def test_start_is_new_entry(self):
+        cfg, ecfg = ecfg_of(["X = 1"])
+        assert ecfg.graph.entry == ecfg.start
+        assert ecfg.graph.exit == ecfg.stop
+
+    def test_start_branches_to_first_node(self):
+        cfg, ecfg = ecfg_of(["X = 1"])
+        assert cfg.entry in ecfg.graph.successors(ecfg.start)
+
+    def test_pseudo_start_stop_edge(self):
+        cfg, ecfg = ecfg_of(["X = 1"])
+        pseudo = [
+            e for e in ecfg.graph.out_edges(ecfg.start) if e.is_pseudo
+        ]
+        assert len(pseudo) == 1
+        assert pseudo[0].dst == ecfg.stop
+
+    def test_original_graph_unmodified(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        assert all(n.type is not NodeType.PREHEADER for n in cfg)
+
+    def test_nonterminating_program_rejected(self):
+        source = "PROGRAM MAIN\n10 X = 1.0\nGOTO 10\nEND\n"
+        cfg = build_cfg(parse_program(source).main)
+        with pytest.raises(AnalysisError):
+            build_ecfg(cfg)
+
+
+class TestPreheaders:
+    def test_one_preheader_per_loop(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        assert len(ecfg.preheader_of) == 1
+
+    def test_header_marked(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        (header,) = ecfg.preheader_of
+        assert ecfg.graph.nodes[header].type is NodeType.HEADER
+
+    def test_entry_edges_redirected_through_preheader(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        header, preheader = next(iter(ecfg.preheader_of.items()))
+        # In the ECFG the only non-back in-edge of the header is from
+        # its preheader.
+        in_srcs = {
+            e.src
+            for e in ecfg.graph.in_edges(header)
+            if ecfg.graph.nodes[e.src].kind is not StmtKind.DO_INCR
+        }
+        assert in_srcs == {preheader}
+
+    def test_preheader_unconditional_branch_to_header(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        header, preheader = next(iter(ecfg.preheader_of.items()))
+        assert ecfg.loop_label(preheader) == "U"
+
+    def test_goto_loop_gets_preheader_too(self):
+        cfg, ecfg = ecfg_of(GOTO_LOOP)
+        assert len(ecfg.preheader_of) == 1
+
+    def test_back_edge_not_redirected(self):
+        cfg, ecfg = ecfg_of(GOTO_LOOP)
+        header, preheader = next(iter(ecfg.preheader_of.items()))
+        if_node = next(
+            n for n in ecfg.graph if n.kind is StmtKind.IF
+        )
+        assert ecfg.graph.edge_to(if_node.id, "T").dst == header
+
+    def test_nested_loops_two_preheaders(self):
+        cfg, ecfg = ecfg_of(
+            [
+                "DO 20 I = 1, 4",
+                "DO 10 J = 1, 3",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        assert len(ecfg.preheader_of) == 2
+
+    def test_is_preheader(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        (preheader,) = ecfg.header_of
+        assert ecfg.is_preheader(preheader)
+        assert not ecfg.is_preheader(ecfg.start)
+
+
+class TestPostexits:
+    def test_do_loop_has_one_postexit(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        assert len(ecfg.postexit_source) == 1
+
+    def test_postexit_splits_exit_edge(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        (postexit,) = ecfg.postexit_source
+        original = ecfg.postexit_source[postexit]
+        # the exit edge now goes source --label--> postexit --U--> dest
+        assert ecfg.graph.edge_to(original.src, original.label).dst == postexit
+        assert ecfg.graph.successors(postexit) == [original.dst]
+
+    def test_pseudo_edge_from_preheader_to_postexit(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        (header,) = ecfg.preheader_of
+        assert len(ecfg.postexits_of(header)) == 1
+
+    def test_two_exits_two_postexits(self):
+        cfg, ecfg = ecfg_of(
+            [
+                "DO 10 I = 1, 5",
+                "IF (X .GT. 2.0) GOTO 20",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        assert len(ecfg.postexit_source) == 2
+        (header,) = ecfg.preheader_of
+        assert len(ecfg.postexits_of(header)) == 2
+
+    def test_paper_example_postexits(self, paper_program):
+        ecfg = paper_program.ecfgs["MAIN"]
+        assert len(ecfg.postexit_source) == 2
+
+    def test_pseudo_labels_distinct_per_source(self):
+        cfg, ecfg = ecfg_of(
+            [
+                "DO 10 I = 1, 5",
+                "IF (X .GT. 2.0) GOTO 20",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        (header,) = ecfg.preheader_of
+        preheader = ecfg.preheader_of[header]
+        pseudo_labels = [
+            e.label for e in ecfg.graph.out_edges(preheader) if e.is_pseudo
+        ]
+        assert len(pseudo_labels) == len(set(pseudo_labels)) == 2
+
+
+class TestEhdr:
+    def test_preheader_lives_in_parent_interval(self):
+        cfg, ecfg = ecfg_of(
+            [
+                "DO 20 I = 1, 4",
+                "DO 10 J = 1, 3",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        outer, inner = ecfg.intervals.loop_headers
+        inner_preheader = ecfg.preheader_of[inner]
+        assert ecfg.ehdr[inner_preheader] == outer
+
+    def test_postexit_lives_at_lca(self):
+        cfg, ecfg = ecfg_of(LOOP)
+        (postexit,) = ecfg.postexit_source
+        assert ecfg.ehdr[postexit] == ecfg.intervals.root
+
+    def test_interval_members_includes_synthetics(self):
+        cfg, ecfg = ecfg_of(
+            [
+                "DO 20 I = 1, 4",
+                "DO 10 J = 1, 3",
+                "X = X + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        outer, inner = ecfg.intervals.loop_headers
+        members = ecfg.interval_members(outer)
+        assert ecfg.preheader_of[inner] in members

@@ -1,0 +1,167 @@
+"""Deep structural combinations: nesting, exits, and their analysis.
+
+Table-driven end-to-end checks: each scenario states a program, its
+expected printed output, and is additionally pushed through the full
+exactness pipeline (reconstruction == oracle, TIME == measured).
+"""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.profiling import PlanExecutor, reconstruct_profile
+
+SCENARIOS = {
+    "triple_nested_do": (
+        "PROGRAM MAIN\nK = 0\n"
+        "DO 30 I = 1, 3\nDO 20 J = 1, 4\nDO 10 L = 1, 5\n"
+        "K = K + 1\n10 CONTINUE\n20 CONTINUE\n30 CONTINUE\n"
+        "PRINT *, K\nEND\n",
+        ["60"],
+    ),
+    "if_ladder_in_loop": (
+        "PROGRAM MAIN\nN2 = 0\nN3 = 0\nNR = 0\n"
+        "DO 10 I = 1, 30\n"
+        "IF (MOD(I, 6) .EQ. 0) THEN\nN2 = N2 + 1\n"
+        "ELSEIF (MOD(I, 2) .EQ. 0) THEN\nN3 = N3 + 1\n"
+        "ELSE\nNR = NR + 1\nENDIF\n"
+        "10 CONTINUE\nPRINT *, N2, N3, NR\nEND\n",
+        ["5 10 15"],
+    ),
+    "while_inside_do": (
+        "PROGRAM MAIN\nK = 0\nDO 10 I = 1, 4\nM = I\n"
+        "DO WHILE (M .GT. 0)\nM = M - 1\nK = K + 1\nENDDO\n"
+        "10 CONTINUE\nPRINT *, K\nEND\n",
+        ["10"],
+    ),
+    "goto_loop_inside_do": (
+        "PROGRAM MAIN\nK = 0\nDO 20 I = 1, 3\nM = 0\n"
+        "10 M = M + 1\nK = K + 1\nIF (M .LT. I) GOTO 10\n"
+        "20 CONTINUE\nPRINT *, K\nEND\n",
+        ["6"],
+    ),
+    "exit_two_levels": (
+        "PROGRAM MAIN\nK = 0\nDO 20 I = 1, 10\nDO 10 J = 1, 10\n"
+        "K = K + 1\nIF (K .GE. 25) GOTO 99\n10 CONTINUE\n20 CONTINUE\n"
+        "99 PRINT *, I, J, K\nEND\n",
+        ["3 5 25"],
+    ),
+    "loop_after_loop": (
+        "PROGRAM MAIN\nA = 0.0\nDO 10 I = 1, 5\nA = A + 1.0\n10 CONTINUE\n"
+        "DO 20 J = 1, 7\nA = A + 2.0\n20 CONTINUE\nPRINT *, A\nEND\n",
+        ["19"],
+    ),
+    "conditional_loop_entry": (
+        "PROGRAM MAIN\nK = INT(INPUT(1))\nS = 0.0\n"
+        "IF (K .GT. 0) THEN\nDO 10 I = 1, K\nS = S + 1.0\n10 CONTINUE\n"
+        "ENDIF\nPRINT *, S\nEND\n",
+        None,  # checked separately for both inputs
+    ),
+    "computed_goto_in_loop": (
+        "PROGRAM MAIN\nN1 = 0\nN2 = 0\nNF = 0\n"
+        "DO 40 I = 1, 9\nGOTO (10, 20), MOD(I, 3) + 1\n"
+        "NF = NF + 1\nGOTO 40\n"
+        "10 N1 = N1 + 1\nGOTO 40\n"
+        "20 N2 = N2 + 1\n40 CONTINUE\n"
+        "PRINT *, N1, N2, NF\nEND\n",
+        ["3 3 3"],
+    ),
+    "aif_in_while": (
+        "PROGRAM MAIN\nK = 5\nNN = 0\nNZ = 0\n"
+        "DO WHILE (K .GT. -3)\nK = K - 1\n"
+        "IF (K) 10, 20, 30\n"
+        "10 NN = NN + 1\nGOTO 40\n"
+        "20 NZ = NZ + 1\nGOTO 40\n"
+        "30 CONTINUE\n40 CONTINUE\nENDDO\n"
+        "PRINT *, NN, NZ\nEND\n",
+        ["3 1"],
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_output(name):
+    source, expected = SCENARIOS[name]
+    if expected is None:
+        return
+    program = compile_source(source)
+    assert run_program(program).outputs == expected
+
+
+def test_conditional_loop_entry_both_ways():
+    source, _ = SCENARIOS["conditional_loop_entry"]
+    program = compile_source(source)
+    assert run_program(program, inputs=(4.0,)).outputs == ["4"]
+    assert run_program(program, inputs=(-1.0,)).outputs == ["0"]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_pipeline_exact(name):
+    source, _ = SCENARIOS[name]
+    program = compile_source(source)
+    specs = [{"inputs": (4.0,), "seed": 0}, {"inputs": (-1.0,), "seed": 1}]
+    total = 0.0
+    plan = smart_program_plan(program)
+    executor = PlanExecutor(plan)
+    for spec in specs:
+        total += run_program(program, model=SCALAR_MACHINE, **spec).total_cost
+        run_program(program, hooks=executor, **spec)
+    oracle = oracle_program_profile(program, runs=specs)
+    reconstructed = reconstruct_profile(plan, executor, runs=len(specs))
+    for proc_name in program.cfgs:
+        rec = reconstructed.proc(proc_name)
+        orc = oracle.proc(proc_name)
+        for key, value in rec.branch_counts.items():
+            assert value == orc.branch_counts.get(key, 0.0), (name, key)
+        for header, value in rec.header_counts.items():
+            assert value == orc.header_counts.get(header, 0.0), (
+                name,
+                header,
+            )
+    analysis = analyze(program, oracle, SCALAR_MACHINE)
+    assert analysis.total_time == pytest.approx(
+        total / len(specs), rel=1e-9
+    ), name
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_fcdg_structure(name):
+    source, _ = SCENARIOS[name]
+    program = compile_source(source)
+    for fcdg in program.fcdgs.values():
+        fcdg.validate()
+
+
+class TestMultiLevelExitStructure:
+    def test_postexit_placed_at_lca(self):
+        source, _ = SCENARIOS["exit_two_levels"]
+        program = compile_source(source)
+        ecfg = program.ecfgs["MAIN"]
+        # the GOTO 99 exit leaves both loops: its postexit lives at
+        # the root interval.
+        root_level_postexits = [
+            pe
+            for pe, origin in ecfg.postexit_source.items()
+            if ecfg.ehdr[pe] == ecfg.intervals.root
+            and "K .GE. 25" in ecfg.graph.nodes[origin.src].text
+        ]
+        assert len(root_level_postexits) == 1
+
+    def test_pseudo_edge_from_innermost_preheader(self):
+        source, _ = SCENARIOS["exit_two_levels"]
+        program = compile_source(source)
+        ecfg = program.ecfgs["MAIN"]
+        outer, inner = ecfg.intervals.loop_headers
+        inner_preheader = ecfg.preheader_of[inner]
+        origins = {
+            ecfg.graph.nodes[origin.src].text
+            for pe, origin in ecfg.postexit_source.items()
+            if pe in ecfg.postexits_of(inner)
+        }
+        assert any("K .GE. 25" in text for text in origins)

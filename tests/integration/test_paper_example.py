@@ -1,0 +1,106 @@
+"""The paper's running example, end to end (Figures 1-3).
+
+This is the repo's headline regression: the exact numbers printed in
+the paper's Figure 3 — TIME(START) = 920, STD_DEV(START) = 300 — must
+come out of the full pipeline (parse → CFG → intervals → ECFG → FCDG →
+profile → analyze).
+"""
+
+import pytest
+
+from repro import analyze, oracle_program_profile, run_program
+from repro import profile_program
+from repro.cfg.graph import NodeType
+from repro.workloads.paper_example import (
+    EXPECTED_STD_DEV,
+    EXPECTED_TIME,
+    EXPECTED_VAR,
+    FigureCostEstimator,
+)
+
+
+@pytest.fixture
+def figure3(paper_program):
+    profile = oracle_program_profile(paper_program, runs=[{}])
+    analysis = analyze(
+        paper_program, profile, model=None, estimator=FigureCostEstimator()
+    )
+    return paper_program, profile, analysis
+
+
+class TestFigure1Profile:
+    """'the IF statement with label 10 is executed 10 times, and the
+    loop is exited by taking the IF(N.LT.0) branch'."""
+
+    def test_header_executes_ten_times(self, paper_program):
+        result = run_program(paper_program)
+        graph = paper_program.cfgs["MAIN"]
+        header = next(n.id for n in graph if "IF (M .GE. 0)" in n.text)
+        assert result.node_counts["MAIN"][header] == 10
+
+    def test_exit_via_n_lt_0(self, paper_program):
+        result = run_program(paper_program)
+        graph = paper_program.cfgs["MAIN"]
+        n2 = next(n.id for n in graph if "IF (N .LT. 0)" in n.text)
+        n3 = next(n.id for n in graph if "IF (N .GE. 0)" in n.text)
+        assert result.edge_counts["MAIN"][(n2, "T")] == 1
+        assert (n3, "T") not in result.edge_counts["MAIN"]
+
+    def test_foo_called_nine_times(self, paper_program):
+        result = run_program(paper_program)
+        assert result.call_counts["FOO"] == 9
+
+
+class TestFigure2Structure:
+    def test_node_types_match_figure(self, paper_program):
+        graph = paper_program.ecfgs["MAIN"].graph
+        types = [n.type for n in graph]
+        assert types.count(NodeType.PREHEADER) == 1
+        assert types.count(NodeType.POSTEXIT) == 2
+        assert types.count(NodeType.START) == 1
+        assert types.count(NodeType.STOP) == 1
+        assert types.count(NodeType.HEADER) == 1
+
+
+class TestFigure3Values:
+    def test_headline_numbers(self, figure3):
+        _, _, analysis = figure3
+        assert analysis.total_time == pytest.approx(EXPECTED_TIME)
+        assert analysis.total_var == pytest.approx(EXPECTED_VAR)
+        assert analysis.total_std_dev == pytest.approx(EXPECTED_STD_DEV)
+
+    def test_foo_time_100(self, figure3):
+        _, _, analysis = figure3
+        assert analysis.procedures["FOO"].time == pytest.approx(100.0)
+
+    def test_branch_frequencies(self, figure3):
+        program, _, analysis = figure3
+        main = analysis.main
+        graph = main.ecfg.graph
+        header = next(n.id for n in graph if "IF (M .GE. 0)" in n.text)
+        n2 = next(n.id for n in graph if "IF (N .LT. 0)" in n.text)
+        assert main.freqs.freq[(header, "T")] == pytest.approx(1.0)
+        assert main.freqs.freq[(n2, "T")] == pytest.approx(0.1)
+        assert main.freqs.freq[(n2, "F")] == pytest.approx(0.9)
+
+    def test_loop_frequency_ten(self, figure3):
+        program, _, analysis = figure3
+        main = analysis.main
+        (preheader,) = main.ecfg.header_of
+        assert main.freqs.loop_frequency(preheader) == pytest.approx(10.0)
+
+    def test_smart_profile_reproduces_same_numbers(self, paper_program):
+        profile, _ = profile_program(paper_program, runs=[{}])
+        analysis = analyze(
+            paper_program, profile, model=None, estimator=FigureCostEstimator()
+        )
+        assert analysis.total_time == pytest.approx(EXPECTED_TIME)
+        assert analysis.total_std_dev == pytest.approx(EXPECTED_STD_DEV)
+
+    def test_e_t_squared_consistency(self, figure3):
+        _, _, analysis = figure3
+        main = analysis.main
+        start = main.ecfg.start
+        assert main.variances.second_moment[start] == pytest.approx(
+            EXPECTED_VAR + EXPECTED_TIME**2
+        )

@@ -1,0 +1,140 @@
+"""End-to-end tests of the pipeline façade."""
+
+import pytest
+
+from repro import (
+    OPTIMIZING_MACHINE,
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    estimate,
+    naive_program_plan,
+    profile_program,
+    run_program,
+    smart_program_plan,
+)
+from repro.pipeline import oracle_program_profile
+from repro.profiling.database import ProfileDatabase
+
+
+SOURCE = (
+    "PROGRAM MAIN\n"
+    "N = INT(INPUT(1))\n"
+    "S = 0.0\n"
+    "DO 10 I = 1, N\n"
+    "IF (RAND() .GT. 0.5) S = S + SQRT(REAL(I))\n"
+    "10 CONTINUE\n"
+    "PRINT *, S\n"
+    "END\n"
+)
+
+
+class TestEstimate:
+    def test_one_shot_estimate(self):
+        analysis = estimate(
+            "PROGRAM MAIN\nDO 10 I = 1, 20\nX = X + RAND()\n10 CONTINUE\nEND\n"
+        )
+        assert analysis.total_time > 0
+        assert analysis.total_std_dev >= 0
+
+    def test_profiled_variance_mode(self):
+        analysis = estimate(
+            SOURCE.replace("INT(INPUT(1))", "IRAND(5, 30)"),
+            runs=6,
+            loop_variance="profiled",
+        )
+        assert analysis.total_var > 0
+
+
+class TestProfileProgram:
+    def test_profile_returns_stats(self):
+        program = compile_source(SOURCE)
+        profile, stats = profile_program(
+            program, runs=[{"inputs": (10.0,)}, {"inputs": (20.0,)}]
+        )
+        assert stats.runs == 2
+        assert stats.counters == smart_program_plan(program).n_counters
+        assert stats.counter_updates > 0
+        assert profile.runs == 2
+
+    def test_profile_with_cost_model_reports_overhead(self):
+        program = compile_source(SOURCE)
+        _, stats = profile_program(
+            program, runs=[{"inputs": (10.0,)}], model=SCALAR_MACHINE
+        )
+        assert stats.base_cost > 0
+        assert stats.counter_cost > 0
+
+    def test_naive_plan_costs_more(self):
+        program = compile_source(SOURCE)
+        _, smart_stats = profile_program(
+            program, runs=[{"inputs": (30.0,)}], model=SCALAR_MACHINE
+        )
+        _, naive_stats = profile_program(
+            program,
+            runs=[{"inputs": (30.0,)}],
+            plan=naive_program_plan(program),
+            model=SCALAR_MACHINE,
+        )
+        assert smart_stats.counter_cost < naive_stats.counter_cost
+
+    def test_profile_feeds_analysis(self):
+        program = compile_source(SOURCE)
+        profile, _ = profile_program(program, runs=[{"inputs": (12.0,)}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        measured = run_program(
+            program, inputs=(12.0,), model=SCALAR_MACHINE
+        ).total_cost
+        assert analysis.total_time == pytest.approx(measured, rel=1e-9)
+
+
+class TestMultiArchitecture:
+    def test_same_profile_two_machines(self):
+        # The paper's point: frequencies are architecture-neutral;
+        # the same profile prices differently per machine.
+        program = compile_source(SOURCE)
+        profile, _ = profile_program(program, runs=[{"inputs": (15.0,)}])
+        slow = analyze(program, profile, SCALAR_MACHINE)
+        fast = analyze(program, profile, OPTIMIZING_MACHINE)
+        assert fast.total_time < slow.total_time
+
+    def test_relative_frequencies_identical(self):
+        program = compile_source(SOURCE)
+        profile, _ = profile_program(program, runs=[{"inputs": (15.0,)}])
+        slow = analyze(program, profile, SCALAR_MACHINE)
+        fast = analyze(program, profile, OPTIMIZING_MACHINE)
+        assert slow.main.freqs.freq == fast.main.freqs.freq
+
+
+class TestDatabaseIntegration:
+    def test_accumulate_profiles_through_database(self, tmp_path):
+        program = compile_source(SOURCE)
+        db = ProfileDatabase(tmp_path / "db.json")
+        for inputs in [(5.0,), (10.0,)]:
+            profile, _ = profile_program(program, runs=[{"inputs": inputs}])
+            db.record("demo", profile)
+        db.save()
+
+        reloaded = ProfileDatabase(tmp_path / "db.json")
+        accumulated = reloaded.lookup("demo")
+        assert accumulated.runs == 2
+        analysis = analyze(program, accumulated, SCALAR_MACHINE)
+        costs = [
+            run_program(program, inputs=i, model=SCALAR_MACHINE).total_cost
+            for i in [(5.0,), (10.0,)]
+        ]
+        assert analysis.total_time == pytest.approx(
+            sum(costs) / 2, rel=1e-9
+        )
+
+
+class TestOracleVsSmartProfiles:
+    def test_equivalent_analysis_results(self):
+        program = compile_source(SOURCE)
+        specs = [{"inputs": (8.0,), "seed": 4}]
+        smart_profile, _ = profile_program(program, runs=specs)
+        oracle = oracle_program_profile(program, runs=specs)
+        a = analyze(program, smart_profile, SCALAR_MACHINE)
+        b = analyze(program, oracle, SCALAR_MACHINE)
+        assert a.total_time == pytest.approx(b.total_time)
+        assert a.total_var == pytest.approx(b.total_var)

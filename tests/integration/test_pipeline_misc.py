@@ -1,0 +1,90 @@
+"""Miscellaneous pipeline façade behaviors."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    CompiledProgram,
+    compile_source,
+    estimate,
+    profile_program,
+    run_program,
+)
+from repro.errors import InterpreterLimitError, ReproError
+
+
+SOURCE = (
+    "PROGRAM MAIN\nDO 10 I = 1, 10\nX = X + RAND()\n10 CONTINUE\n"
+    "PRINT *, X\nEND\n"
+)
+
+
+class TestCompiledProgram:
+    def test_artifacts_cover_all_procedures(self):
+        program = compile_source(SOURCE)
+        artifacts = program.artifacts()
+        assert set(artifacts) == set(program.cfgs)
+        for name, (ecfg, fcdg) in artifacts.items():
+            assert ecfg is program.ecfgs[name]
+            assert fcdg is program.fcdgs[name]
+
+    def test_main_name(self):
+        program = compile_source(SOURCE)
+        assert program.main_name == "MAIN"
+
+    def test_source_retained(self):
+        program = compile_source(SOURCE)
+        assert program.source == SOURCE
+
+    def test_no_splits_for_reducible(self):
+        program = compile_source(SOURCE)
+        assert program.splits == {}
+
+
+class TestRunKnobs:
+    def test_max_steps_forwarded(self):
+        program = compile_source(SOURCE)
+        with pytest.raises(InterpreterLimitError):
+            run_program(program, max_steps=5)
+
+    def test_profile_program_run_count_shorthand(self):
+        program = compile_source(SOURCE)
+        profile, stats = profile_program(program, runs=4)
+        assert stats.runs == 4
+        assert profile.proc("MAIN").invocations == 4.0
+
+    def test_profile_program_distinct_seeds(self):
+        # the integer shorthand uses distinct seeds per run, so the
+        # accumulated branch counts are not just N copies of run 0.
+        branchy = (
+            "PROGRAM MAIN\nIF (RAND() .GT. 0.5) X = 1.0\nEND\n"
+        )
+        program = compile_source(branchy)
+        profile, _ = profile_program(program, runs=20)
+        counts = list(profile.proc("MAIN").branch_counts.values())
+        assert any(0.0 < c < 20.0 for c in counts)
+
+    def test_estimate_runs_shorthand(self):
+        analysis = estimate(SOURCE, runs=3)
+        assert analysis.total_time > 0
+
+    def test_estimate_profiled_variance(self):
+        analysis = estimate(SOURCE, runs=3, loop_variance="profiled")
+        assert analysis.total_var >= 0
+
+
+class TestProfileStatsAccounting:
+    def test_counter_updates_match_executor(self):
+        program = compile_source(SOURCE)
+        profile, stats = profile_program(
+            program, runs=2, model=SCALAR_MACHINE
+        )
+        assert stats.counter_cost == pytest.approx(
+            stats.counter_updates * SCALAR_MACHINE.counter_update
+        )
+
+    def test_base_cost_accumulates_over_runs(self):
+        program = compile_source(SOURCE)
+        _, one = profile_program(program, runs=1, model=SCALAR_MACHINE)
+        _, three = profile_program(program, runs=3, model=SCALAR_MACHINE)
+        assert three.base_cost > 2 * one.base_cost

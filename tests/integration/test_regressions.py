@@ -1,0 +1,198 @@
+"""Regression tests for subtle bugs found while building the pipeline.
+
+Each test documents a real failure mode of an earlier implementation;
+keep them even if they look redundant with unit tests elsewhere.
+"""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.analysis.freq import compute_frequencies
+from repro.profiling import PlanExecutor, reconstruct_profile
+
+
+class TestLoopCarriedControlDependence:
+    """A global CDG on the cyclic ECFG makes statements after the
+    header control dependent on the *previous* iteration's branches,
+    creating FCDG cycles (first seen on Livermore kernel 16)."""
+
+    KERN16_SHAPE = (
+        "PROGRAM MAIN\n"
+        "K = 0\n"
+        "J = 1\n"
+        "10 K = K + 1\n"
+        "IF (K .GT. 10) GOTO 70\n"
+        "NZ = MOD(K, 3) + 1\n"
+        "GOTO (20, 30, 40), NZ\n"
+        "20 X = X + 0.5\n"
+        "GOTO 10\n"
+        "30 X = X * 0.9\n"
+        "GOTO 10\n"
+        "40 IF (X .GT. 2.0) GOTO 50\n"
+        "X = X + 0.1\n"
+        "GOTO 10\n"
+        "50 J = J + 2\n"
+        "GOTO 10\n"
+        "70 CONTINUE\n"
+        "END\n"
+    )
+
+    def test_fcdg_builds_acyclically(self):
+        program = compile_source(self.KERN16_SHAPE)
+        fcdg = program.fcdgs["MAIN"]
+        fcdg.validate()
+
+    def test_frequencies_match_ground_truth(self):
+        program = compile_source(self.KERN16_SHAPE)
+        result = run_program(program)
+        profile = oracle_program_profile(program, runs=[{}])
+        freqs = compute_frequencies(
+            program.fcdgs["MAIN"], profile.proc("MAIN")
+        )
+        for node, count in result.node_counts["MAIN"].items():
+            assert freqs.node_freq[node] == pytest.approx(count), node
+
+
+class TestNestedWhileBackEdgeChain:
+    """When an inner loop's exit edge is simultaneously the outer
+    loop's back edge, the ECFG routes it through a postexit; the
+    acyclification must redirect the postexit→header edge, not the
+    original (source, label) edge."""
+
+    SOURCE = (
+        "PROGRAM MAIN\n"
+        "I3 = 3\n"
+        "DO WHILE (I3 .GT. 0)\n"
+        "  I3 = I3 - 1\n"
+        "  I4 = 2\n"
+        "  DO WHILE (I4 .GT. 0)\n"
+        "    I4 = I4 - 1\n"
+        "    K = K + 8\n"
+        "  ENDDO\n"
+        "ENDDO\n"
+        "PRINT *, K\n"
+        "END\n"
+    )
+
+    def test_compiles_and_runs(self):
+        program = compile_source(self.SOURCE)
+        result = run_program(program)
+        assert result.outputs == ["48"]
+
+    def test_time_identity(self):
+        program = compile_source(self.SOURCE)
+        measured = run_program(program, model=SCALAR_MACHINE).total_cost
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_time == pytest.approx(measured, rel=1e-9)
+
+
+class TestInnerLoopFollowedByOuterWork:
+    """Statements after a nested loop were once only *pseudo*-dependent
+    on the inner preheader, making their NODE_FREQ zero and dropping
+    their cost from TIME."""
+
+    SOURCE = (
+        "PROGRAM MAIN\n"
+        "DO 20 I = 1, 5\n"
+        "  DO 10 J = 1, 3\n"
+        "    X = X + 1.0\n"
+        "10 CONTINUE\n"
+        "  Y = Y + SQRT(2.0)\n"
+        "20 CONTINUE\n"
+        "END\n"
+    )
+
+    def test_post_inner_statement_frequency(self):
+        program = compile_source(self.SOURCE)
+        result = run_program(program)
+        profile = oracle_program_profile(program, runs=[{}])
+        freqs = compute_frequencies(
+            program.fcdgs["MAIN"], profile.proc("MAIN")
+        )
+        y_node = next(
+            n.id for n in program.cfgs["MAIN"] if "Y = Y" in n.text
+        )
+        assert freqs.node_freq[y_node] == pytest.approx(5.0)
+        assert result.node_counts["MAIN"][y_node] == 5
+
+    def test_time_includes_post_inner_work(self):
+        program = compile_source(self.SOURCE)
+        measured = run_program(program, model=SCALAR_MACHINE).total_cost
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_time == pytest.approx(measured, rel=1e-9)
+
+
+class TestParameterConstantAsArgument:
+    """PARAMETER constants passed as call arguments once bound as
+    fresh zero-valued cells instead of their values."""
+
+    def test_constant_value_received(self):
+        source = (
+            "PROGRAM MAIN\nPARAMETER (N = 7)\nCALL SHOW(N)\nEND\n"
+            "SUBROUTINE SHOW(K)\nINTEGER K\nPRINT *, K * 2\nEND\n"
+        )
+        program = compile_source(source)
+        assert run_program(program).outputs == ["14"]
+
+    def test_constant_not_writable_through_callee(self):
+        source = (
+            "PROGRAM MAIN\nPARAMETER (N = 7)\nCALL BUMP(N)\nPRINT *, N\nEND\n"
+            "SUBROUTINE BUMP(K)\nINTEGER K\nK = K + 1\nEND\n"
+        )
+        program = compile_source(source)
+        assert run_program(program).outputs == ["7"]
+
+
+class TestContinuationAndComments:
+    """A continuation line starting with '*' was once swallowed as a
+    column-one comment, gluing unrelated statements together."""
+
+    def test_star_continuation_line(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "      X = (1.0 + 2.0) &\n"
+            "            * 3.0\n"
+            "      Y = X + 1.0\n"
+            "      PRINT *, X, Y\n"
+            "      END\n"
+        )
+        program = compile_source(source)
+        assert run_program(program).outputs == ["9 10"]
+
+    def test_column_one_star_still_comment(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "* a star comment in column one\n"
+            "      PRINT *, 1\n"
+            "      END\n"
+        )
+        assert run_program(compile_source(source)).outputs == ["1"]
+
+
+class TestSingleExitLoopConditions:
+    """A single-exit loop's test branch produces no FCDG conditions
+    (its postexit postdominates the loop); the smart plan must still
+    reconstruct the header count and drop the right counters."""
+
+    def test_roundtrip(self):
+        source = (
+            "PROGRAM MAIN\nN = INT(INPUT(1))\nDO 10 I = 1, N\n"
+            "X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        program = compile_source(source)
+        plan = smart_program_plan(program)
+        executor = PlanExecutor(plan)
+        run_program(program, hooks=executor, inputs=(13.0,))
+        reconstructed = reconstruct_profile(plan, executor)
+        assert list(
+            reconstructed.proc("MAIN").header_counts.values()
+        ) == [14.0]

@@ -1,0 +1,105 @@
+"""Unit tests for intrinsic functions."""
+
+import math
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.interp.intrinsics import IntrinsicRuntime
+
+
+@pytest.fixture
+def rt():
+    return IntrinsicRuntime(seed=1, inputs=(1.5, 2.5))
+
+
+class TestNumeric:
+    def test_mod_positive(self, rt):
+        assert rt.call("MOD", [7, 3]) == 1
+
+    def test_mod_sign_of_dividend(self, rt):
+        assert rt.call("MOD", [-7, 3]) == -1
+        assert rt.call("MOD", [7, -3]) == 1
+
+    def test_mod_real(self, rt):
+        assert rt.call("MOD", [7.5, 2.0]) == pytest.approx(1.5)
+
+    def test_mod_zero_divisor_raises(self, rt):
+        with pytest.raises(InterpreterError):
+            rt.call("MOD", [1, 0])
+
+    def test_min_max(self, rt):
+        assert rt.call("MIN", [3, 1, 2]) == 1
+        assert rt.call("MAX", [3, 1, 2]) == 3
+
+    def test_abs(self, rt):
+        assert rt.call("ABS", [-4.5]) == 4.5
+
+    def test_sign(self, rt):
+        assert rt.call("SIGN", [3, -1]) == -3
+        assert rt.call("SIGN", [-3, 2]) == 3
+        assert rt.call("SIGN", [3, 0]) == 3
+
+    def test_sqrt(self, rt):
+        assert rt.call("SQRT", [9.0]) == 3.0
+
+    def test_sqrt_negative_raises(self, rt):
+        with pytest.raises(InterpreterError):
+            rt.call("SQRT", [-1.0])
+
+    def test_exp_log_roundtrip(self, rt):
+        assert rt.call("LOG", [rt.call("EXP", [2.0])]) == pytest.approx(2.0)
+
+    def test_log_nonpositive_raises(self, rt):
+        with pytest.raises(InterpreterError):
+            rt.call("LOG", [0.0])
+
+    def test_trig(self, rt):
+        assert rt.call("SIN", [0.0]) == 0.0
+        assert rt.call("COS", [0.0]) == 1.0
+        assert rt.call("ATAN", [1.0]) == pytest.approx(math.pi / 4)
+
+    def test_int_truncates(self, rt):
+        assert rt.call("INT", [2.9]) == 2
+        assert rt.call("INT", [-2.9]) == -2
+
+    def test_nint_rounds(self, rt):
+        assert rt.call("NINT", [2.6]) == 3
+
+    def test_real_float(self, rt):
+        assert rt.call("REAL", [3]) == 3.0
+        assert rt.call("FLOAT", [3]) == 3.0
+
+
+class TestRuntimeSources:
+    def test_irand_in_range(self, rt):
+        for _ in range(50):
+            value = rt.call("IRAND", [2, 5])
+            assert 2 <= value <= 5
+
+    def test_irand_empty_range_raises(self, rt):
+        with pytest.raises(InterpreterError):
+            rt.call("IRAND", [5, 2])
+
+    def test_rand_in_unit_interval(self, rt):
+        for _ in range(50):
+            assert 0.0 <= rt.call("RAND", []) < 1.0
+
+    def test_seed_determinism(self):
+        a = IntrinsicRuntime(seed=42)
+        b = IntrinsicRuntime(seed=42)
+        assert [a.call("RAND", []) for _ in range(5)] == [
+            b.call("RAND", []) for _ in range(5)
+        ]
+
+    def test_input_one_based(self, rt):
+        assert rt.call("INPUT", [1]) == 1.5
+        assert rt.call("INPUT", [2]) == 2.5
+
+    def test_input_out_of_range_raises(self, rt):
+        with pytest.raises(InterpreterError):
+            rt.call("INPUT", [0])
+
+    def test_unknown_intrinsic_raises(self, rt):
+        with pytest.raises(InterpreterError):
+            rt.call("FROB", [1])

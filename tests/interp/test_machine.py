@@ -1,0 +1,256 @@
+"""Integration-style unit tests for the CFG interpreter."""
+
+import pytest
+
+from repro import compile_source, run_program
+from repro.errors import InterpreterError, InterpreterLimitError
+from repro.costs import SCALAR_MACHINE
+
+
+def outputs_of(body_lines, extra="", **kwargs):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n" + extra
+    return run_program(compile_source(source), **kwargs).outputs
+
+
+class TestArithmetic:
+    def test_integer_arithmetic(self):
+        assert outputs_of(["I = 7 + 3 * 2", "PRINT *, I"]) == ["13"]
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert outputs_of(["I = 7 / 2", "PRINT *, I"]) == ["3"]
+        assert outputs_of(["I = (0 - 7) / 2", "PRINT *, I"]) == ["-3"]
+
+    def test_real_arithmetic(self):
+        assert outputs_of(["X = 1.5 * 4.0", "PRINT *, X"]) == ["6"]
+
+    def test_mixed_promotes_to_real(self):
+        assert outputs_of(["X = 3 / 2.0", "PRINT *, X"]) == ["1.5"]
+
+    def test_power_integer(self):
+        assert outputs_of(["I = 2 ** 10", "PRINT *, I"]) == ["1024"]
+
+    def test_power_negative_integer_exponent_truncates(self):
+        assert outputs_of(["I = 2 ** (-1)", "PRINT *, I"]) == ["0"]
+
+    def test_unary_minus(self):
+        assert outputs_of(["I = -3 + 1", "PRINT *, I"]) == ["-2"]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            outputs_of(["I = 0", "J = 1 / I"])
+
+    def test_comparison_chain(self):
+        assert outputs_of(
+            ["I = 3", "IF (I .GE. 2 .AND. I .LT. 4) PRINT *, 'Y'"]
+        ) == ["Y"]
+
+    def test_logical_short_circuit_and(self):
+        # the second operand would divide by zero if evaluated
+        assert outputs_of(
+            ["I = 0", "IF (I .GT. 0 .AND. 1 / I .GT. 0) PRINT *, 'A'",
+             "PRINT *, 'DONE'"]
+        ) == ["DONE"]
+
+    def test_assignment_coerces_to_target(self):
+        assert outputs_of(["I = 2.9", "PRINT *, I"]) == ["2"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert outputs_of(
+            ["I = 5", "IF (I .GT. 3) THEN", "PRINT *, 'BIG'",
+             "ELSE", "PRINT *, 'SMALL'", "ENDIF"]
+        ) == ["BIG"]
+
+    def test_elseif_selection(self):
+        body = [
+            "I = 2",
+            "IF (I .EQ. 1) THEN",
+            "PRINT *, 'ONE'",
+            "ELSEIF (I .EQ. 2) THEN",
+            "PRINT *, 'TWO'",
+            "ELSE",
+            "PRINT *, 'MANY'",
+            "ENDIF",
+        ]
+        assert outputs_of(body) == ["TWO"]
+
+    def test_do_loop_trip_count(self):
+        assert outputs_of(
+            ["J = 0", "DO 10 I = 1, 5", "J = J + I", "10 CONTINUE",
+             "PRINT *, J, I"]
+        ) == ["15 6"]
+
+    def test_do_loop_with_step(self):
+        assert outputs_of(
+            ["J = 0", "DO 10 I = 1, 10, 3", "J = J + 1", "10 CONTINUE",
+             "PRINT *, J"]
+        ) == ["4"]
+
+    def test_do_loop_negative_step(self):
+        assert outputs_of(
+            ["J = 0", "DO 10 I = 5, 1, -1", "J = J + I", "10 CONTINUE",
+             "PRINT *, J"]
+        ) == ["15"]
+
+    def test_zero_trip_loop_body_skipped(self):
+        assert outputs_of(
+            ["J = 0", "DO 10 I = 5, 1", "J = J + 1", "10 CONTINUE",
+             "PRINT *, J"]
+        ) == ["0"]
+
+    def test_do_bounds_evaluated_once(self):
+        assert outputs_of(
+            ["N = 3", "J = 0", "DO 10 I = 1, N", "N = 100", "J = J + 1",
+             "10 CONTINUE", "PRINT *, J"]
+        ) == ["3"]
+
+    def test_do_while(self):
+        assert outputs_of(
+            ["I = 3", "J = 0", "DO WHILE (I .GT. 0)", "I = I - 1",
+             "J = J + 1", "ENDDO", "PRINT *, J"]
+        ) == ["3"]
+
+    def test_goto_loop(self):
+        assert outputs_of(
+            ["I = 0", "10 I = I + 1", "IF (I .LT. 4) GOTO 10", "PRINT *, I"]
+        ) == ["4"]
+
+    def test_computed_goto_dispatch(self):
+        body = [
+            "K = 2",
+            "GOTO (10, 20, 30), K",
+            "PRINT *, 'FALL'",
+            "GOTO 40",
+            "10 PRINT *, 'ONE'",
+            "GOTO 40",
+            "20 PRINT *, 'TWO'",
+            "GOTO 40",
+            "30 PRINT *, 'THREE'",
+            "40 CONTINUE",
+        ]
+        assert outputs_of(body) == ["TWO"]
+
+    def test_computed_goto_out_of_range_falls_through(self):
+        body = [
+            "K = 9",
+            "GOTO (10, 20), K",
+            "PRINT *, 'FALL'",
+            "GOTO 40",
+            "10 PRINT *, 'ONE'",
+            "GOTO 40",
+            "20 PRINT *, 'TWO'",
+            "40 CONTINUE",
+        ]
+        assert outputs_of(body) == ["FALL"]
+
+    def test_stop_halts_program(self):
+        source = (
+            "PROGRAM MAIN\nPRINT *, 'A'\nSTOP\nPRINT *, 'B'\nEND\n"
+        )
+        result = run_program(compile_source(source))
+        assert result.outputs == ["A"]
+        assert result.halted == "stop"
+
+    def test_step_limit_enforced(self):
+        source = "PROGRAM MAIN\nDO 10 I = 1, 100000\nX = X + 1.0\n10 CONTINUE\nEND\n"
+        with pytest.raises(InterpreterLimitError):
+            run_program(compile_source(source), max_steps=100)
+
+
+class TestProceduresAndArgs:
+    def test_scalar_passed_by_reference(self):
+        extra = "SUBROUTINE BUMP(I)\nINTEGER I\nI = I + 1\nEND\n"
+        assert outputs_of(
+            ["I = 5", "CALL BUMP(I)", "PRINT *, I"], extra=extra
+        ) == ["6"]
+
+    def test_expression_arg_not_aliased(self):
+        extra = "SUBROUTINE BUMP(I)\nINTEGER I\nI = I + 1\nEND\n"
+        assert outputs_of(
+            ["I = 5", "CALL BUMP(I + 0)", "PRINT *, I"], extra=extra
+        ) == ["5"]
+
+    def test_array_element_by_reference(self):
+        extra = "SUBROUTINE BUMP(X)\nX = X + 1.0\nEND\n"
+        assert outputs_of(
+            ["REAL A(3)", "A(2) = 1.0", "CALL BUMP(A(2))", "PRINT *, A(2)"],
+            extra=extra,
+        ) == ["2"]
+
+    def test_whole_array_by_reference(self):
+        extra = (
+            "SUBROUTINE FILL(A, N)\nREAL A(1)\nINTEGER N, I\n"
+            "DO 10 I = 1, N\nA(I) = REAL(I)\n10 CONTINUE\nEND\n"
+        )
+        assert outputs_of(
+            ["REAL A(4)", "CALL FILL(A, 4)", "PRINT *, A(1) + A(4)"],
+            extra=extra,
+        ) == ["5"]
+
+    def test_function_returns_value(self):
+        extra = "INTEGER FUNCTION DBL(I)\nINTEGER I\nDBL = 2 * I\nEND\n"
+        assert outputs_of(["PRINT *, DBL(21)"], extra=extra) == ["42"]
+
+    def test_function_called_in_condition(self):
+        extra = "FUNCTION HALF(X)\nHALF = X / 2.0\nEND\n"
+        assert outputs_of(
+            ["IF (HALF(4.0) .GT. 1.0) PRINT *, 'Y'"], extra=extra
+        ) == ["Y"]
+
+    def test_recursion_works(self):
+        extra = (
+            "INTEGER FUNCTION FACT(N)\nINTEGER N\n"
+            "IF (N .LE. 1) THEN\nFACT = 1\nELSE\nFACT = N * FACT(N - 1)\n"
+            "ENDIF\nEND\n"
+        )
+        assert outputs_of(["PRINT *, FACT(6)"], extra=extra) == ["720"]
+
+    def test_call_counts_recorded(self):
+        extra = "SUBROUTINE NOP(X)\nY = X\nEND\n"
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 7\nCALL NOP(1.0)\n10 CONTINUE\nEND\n"
+            + extra
+        )
+        result = run_program(compile_source(source))
+        assert result.call_counts["NOP"] == 7
+        assert result.call_counts["MAIN"] == 1
+
+    def test_constant_passed_as_argument(self):
+        extra = "SUBROUTINE SHOW(N)\nINTEGER N\nPRINT *, N\nEND\n"
+        assert outputs_of(
+            ["PARAMETER (N = 42)", "CALL SHOW(N)"], extra=extra
+        ) == ["42"]
+
+
+class TestCounts:
+    def test_edge_counts_sum_matches_steps(self):
+        source = (
+            "PROGRAM MAIN\nJ = 0\nDO 10 I = 1, 4\nJ = J + I\n10 CONTINUE\n"
+            "PRINT *, J\nEND\n"
+        )
+        result = run_program(compile_source(source))
+        node_total = sum(result.node_counts["MAIN"].values())
+        assert node_total == result.steps
+
+    def test_cost_charged_per_execution(self):
+        source = "PROGRAM MAIN\nX = 1.0\nX = 2.0\nEND\n"
+        program = compile_source(source)
+        result = run_program(program, model=SCALAR_MACHINE)
+        # two assignments: const + store each
+        expected = 2 * (SCALAR_MACHINE.const + SCALAR_MACHINE.store)
+        assert result.total_cost == expected
+
+    def test_deterministic_seeded_rand(self):
+        body = ["X = RAND()", "PRINT *, X"]
+        assert outputs_of(body, seed=7) == outputs_of(body, seed=7)
+        assert outputs_of(body, seed=7) != outputs_of(body, seed=8)
+
+    def test_inputs_read(self):
+        assert outputs_of(
+            ["PRINT *, INPUT(1) + INPUT(2)"], inputs=(2.0, 3.0)
+        ) == ["5"]
+
+    def test_missing_input_raises(self):
+        with pytest.raises(InterpreterError):
+            outputs_of(["X = INPUT(3)"], inputs=(1.0,))

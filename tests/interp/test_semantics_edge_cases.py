@@ -1,0 +1,138 @@
+"""Edge-case interpreter semantics (coercions, formatting, loops)."""
+
+import pytest
+
+from repro import compile_source, run_program
+from repro.errors import InterpreterError
+
+
+def outputs_of(body_lines, extra="", **kwargs):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n" + extra
+    return run_program(compile_source(source), **kwargs).outputs
+
+
+class TestCoercion:
+    def test_real_to_int_truncates_negative_toward_zero(self):
+        assert outputs_of(["I = -2.9", "PRINT *, I"]) == ["-2"]
+
+    def test_int_stored_in_real_prints_clean(self):
+        assert outputs_of(["X = 7", "PRINT *, X"]) == ["7"]
+
+    def test_array_store_coerces(self):
+        assert outputs_of(
+            ["INTEGER A(2)", "A(1) = 3.7", "PRINT *, A(1)"]
+        ) == ["3"]
+
+    def test_logical_print(self):
+        assert outputs_of(
+            ["LOGICAL L", "L = 1 .GT. 0", "PRINT *, L"]
+        ) == ["T"]
+        assert outputs_of(
+            ["LOGICAL L", "L = 1 .LT. 0", "PRINT *, L"]
+        ) == ["F"]
+
+    def test_float_formatting_six_significant(self):
+        assert outputs_of(["X = 1.0 / 3.0", "PRINT *, X"]) == ["0.333333"]
+
+    def test_string_printed_verbatim(self):
+        assert outputs_of(["PRINT *, 'A B  C'"]) == ["A B  C"]
+
+    def test_multiple_print_items_space_separated(self):
+        assert outputs_of(["PRINT *, 1, 2.5, 'X'"]) == ["1 2.5 X"]
+
+
+class TestLoopSemantics:
+    def test_loop_variable_after_zero_trip(self):
+        # var is set to start even when the body never runs.
+        assert outputs_of(
+            ["DO 10 I = 5, 1", "X = 1.0", "10 CONTINUE", "PRINT *, I"]
+        ) == ["5"]
+
+    def test_real_loop_variable(self):
+        assert outputs_of(
+            ["J = 0", "DO 10 X = 0.5, 2.5, 0.5", "J = J + 1",
+             "10 CONTINUE", "PRINT *, J, X"]
+        ) == ["5 3"]
+
+    def test_loop_var_writable_in_body_without_affecting_trip(self):
+        # trip count is fixed at entry (Fortran), even if the body
+        # scribbles on the index.
+        assert outputs_of(
+            ["J = 0", "DO 10 I = 1, 4", "I = 99", "J = J + 1",
+             "10 CONTINUE", "PRINT *, J"]
+        ) == ["4"]
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(InterpreterError):
+            outputs_of(["DO 10 I = 1, 5, 0", "X = 1.0", "10 CONTINUE"])
+
+    def test_nested_while_counts(self):
+        assert outputs_of(
+            [
+                "K = 0",
+                "I = 3",
+                "DO WHILE (I .GT. 0)",
+                "J = 2",
+                "DO WHILE (J .GT. 0)",
+                "K = K + 1",
+                "J = J - 1",
+                "ENDDO",
+                "I = I - 1",
+                "ENDDO",
+                "PRINT *, K",
+            ]
+        ) == ["6"]
+
+    def test_goto_cycle_to_do_terminator(self):
+        # jumping to the terminator CONTINUE acts like Fortran CYCLE.
+        assert outputs_of(
+            [
+                "K = 0",
+                "DO 10 I = 1, 6",
+                "IF (MOD(I, 2) .EQ. 0) GOTO 10",
+                "K = K + 1",
+                "10 CONTINUE",
+                "PRINT *, K",
+            ]
+        ) == ["3"]
+
+
+class TestProcedureSemantics:
+    def test_function_result_coerced_to_declared_type(self):
+        extra = "INTEGER FUNCTION IHALF(X)\nIHALF = X / 2.0\nEND\n"
+        assert outputs_of(["PRINT *, IHALF(7.0)"], extra=extra) == ["3"]
+
+    def test_two_d_array_through_call(self):
+        extra = (
+            "SUBROUTINE FILL2(M, N)\nREAL M(1, 1)\nINTEGER N, I, J\n"
+            "DO 20 J = 1, N\nDO 10 I = 1, N\nM(I, J) = REAL(I * 10 + J)\n"
+            "10 CONTINUE\n20 CONTINUE\nEND\n"
+        )
+        assert outputs_of(
+            ["REAL M(3, 3)", "CALL FILL2(M, 3)", "PRINT *, M(2, 3)"],
+            extra=extra,
+        ) == ["23"]
+
+    def test_min_max_multi_arg(self):
+        assert outputs_of(["PRINT *, MIN(4, 1, 3), MAX(4, 1, 3)"]) == ["1 4"]
+
+    def test_function_may_call_subroutine(self):
+        extra = (
+            "FUNCTION F(X)\nT = X\nCALL DOUBLE(T)\nF = T\nEND\n"
+            "SUBROUTINE DOUBLE(V)\nV = V * 2.0\nEND\n"
+        )
+        assert outputs_of(["PRINT *, F(5.0)"], extra=extra) == ["10"]
+
+    def test_deep_call_chain(self):
+        extra = "".join(
+            f"FUNCTION F{i}(X)\nF{i} = F{i + 1}(X) + 1.0\nEND\n"
+            for i in range(1, 5)
+        ) + "FUNCTION F5(X)\nF5 = X\nEND\n"
+        assert outputs_of(["PRINT *, F1(0.0)"], extra=extra) == ["4"]
+
+    def test_recursion_depth_limit(self):
+        extra = (
+            "INTEGER FUNCTION R(N)\nINTEGER N\nR = R(N + 1)\nEND\n"
+        )
+        with pytest.raises(InterpreterError, match="depth"):
+            outputs_of(["PRINT *, R(0)"], extra=extra)

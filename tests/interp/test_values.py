@@ -1,0 +1,107 @@
+"""Unit tests for runtime values."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.lang import ast
+from repro.interp.values import Cell, ElementRef, FortranArray, coerce
+
+
+class TestFortranArray:
+    def test_initialized_to_zero(self):
+        arr = FortranArray("A", ast.Type.REAL, (5,))
+        assert arr.get((3,)) == 0.0
+
+    def test_integer_array_zero(self):
+        arr = FortranArray("I", ast.Type.INTEGER, (4,))
+        assert arr.get((1,)) == 0
+
+    def test_one_based_indexing(self):
+        arr = FortranArray("A", ast.Type.REAL, (3,))
+        arr.set((1,), 1.5)
+        arr.set((3,), 3.5)
+        assert arr.data[0] == 1.5
+        assert arr.data[2] == 3.5
+
+    def test_bounds_checked_low(self):
+        arr = FortranArray("A", ast.Type.REAL, (3,))
+        with pytest.raises(InterpreterError):
+            arr.get((0,))
+
+    def test_bounds_checked_high(self):
+        arr = FortranArray("A", ast.Type.REAL, (3,))
+        with pytest.raises(InterpreterError):
+            arr.set((4,), 1.0)
+
+    def test_two_dimensional(self):
+        arr = FortranArray("A", ast.Type.REAL, (3, 4))
+        arr.set((2, 3), 9.0)
+        assert arr.get((2, 3)) == 9.0
+        assert len(arr) == 12
+
+    def test_column_major_layout(self):
+        arr = FortranArray("A", ast.Type.REAL, (2, 2))
+        arr.set((2, 1), 5.0)
+        assert arr.data[1] == 5.0
+
+    def test_wrong_subscript_count(self):
+        arr = FortranArray("A", ast.Type.REAL, (2, 2))
+        with pytest.raises(InterpreterError):
+            arr.get((1,))
+
+    def test_values_coerced_on_store(self):
+        arr = FortranArray("I", ast.Type.INTEGER, (2,))
+        arr.set((1,), 3.9)
+        assert arr.get((1,)) == 3
+
+    def test_fill(self):
+        arr = FortranArray("A", ast.Type.REAL, (3,))
+        arr.fill(2)
+        assert arr.data == [2.0, 2.0, 2.0]
+
+
+class TestCellAndRef:
+    def test_cell_default_values(self):
+        assert Cell(ast.Type.INTEGER).value == 0
+        assert Cell(ast.Type.REAL).value == 0.0
+        assert Cell(ast.Type.LOGICAL).value is False
+
+    def test_cell_coerces(self):
+        cell = Cell(ast.Type.INTEGER)
+        cell.set(7.8)
+        assert cell.value == 7
+
+    def test_element_ref_reads_and_writes_through(self):
+        arr = FortranArray("A", ast.Type.REAL, (3,))
+        ref = ElementRef(arr, (2,))
+        ref.set(4)
+        assert arr.get((2,)) == 4.0
+        assert ref.value == 4.0
+
+    def test_element_ref_type(self):
+        arr = FortranArray("I", ast.Type.INTEGER, (3,))
+        assert ElementRef(arr, (1,)).type is ast.Type.INTEGER
+
+
+class TestCoerce:
+    def test_real_to_integer_truncates_toward_zero(self):
+        assert coerce(2.9, ast.Type.INTEGER, None) == 2
+        assert coerce(-2.9, ast.Type.INTEGER, None) == -2
+
+    def test_integer_to_real(self):
+        value = coerce(3, ast.Type.REAL, None)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_bool_to_number_rejected(self):
+        with pytest.raises(InterpreterError):
+            coerce(True, ast.Type.INTEGER, None)
+        with pytest.raises(InterpreterError):
+            coerce(False, ast.Type.REAL, None)
+
+    def test_number_to_logical_rejected(self):
+        with pytest.raises(InterpreterError):
+            coerce(1, ast.Type.LOGICAL, None)
+
+    def test_logical_roundtrip(self):
+        assert coerce(True, ast.Type.LOGICAL, None) is True

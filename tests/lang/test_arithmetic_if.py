@@ -1,0 +1,161 @@
+"""Tests for the arithmetic IF statement (three-way sign branch)."""
+
+import pytest
+
+from repro import (
+    compile_source,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.errors import InterpreterError, SemanticError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.symbols import check_program
+from repro.cfg.graph import StmtKind
+from repro.profiling import PlanExecutor, reconstruct_profile
+
+SOURCE = """\
+      PROGRAM MAIN
+      K = INT(INPUT(1))
+      IF (K) 10, 20, 30
+10    PRINT *, 'NEG'
+      GOTO 40
+20    PRINT *, 'ZERO'
+      GOTO 40
+30    PRINT *, 'POS'
+40    CONTINUE
+      END
+"""
+
+
+class TestParsing:
+    def test_parses_to_arithmetic_if(self):
+        unit = parse_program(SOURCE)
+        stmt = unit.main.body[1]
+        assert isinstance(stmt, ast.ArithmeticIf)
+        assert stmt.targets == (10, 20, 30)
+
+    def test_labels_validated(self):
+        with pytest.raises(SemanticError):
+            check_program(
+                parse_program("PROGRAM MAIN\nIF (K) 10, 20, 99\n"
+                              "10 CONTINUE\n20 CONTINUE\nEND\n")
+            )
+
+    def test_unparse(self):
+        from repro.lang.unparse import stmt_text
+
+        stmt = parse_program(SOURCE).main.body[1]
+        assert stmt_text(stmt) == "IF (K) 10, 20, 30"
+
+
+class TestCFG:
+    def test_three_labelled_edges(self):
+        program = compile_source(SOURCE)
+        cfg = program.cfgs["MAIN"]
+        aif = next(n for n in cfg if n.kind is StmtKind.AIF)
+        assert sorted(e.label for e in cfg.out_edges(aif.id)) == [
+            "EQ",
+            "GT",
+            "LT",
+        ]
+
+    def test_duplicate_targets_allowed(self):
+        source = (
+            "PROGRAM MAIN\nIF (K) 10, 10, 20\n10 PRINT *, 'NP'\n"
+            "20 CONTINUE\nEND\n"
+        )
+        program = compile_source(source)
+        cfg = program.cfgs["MAIN"]
+        aif = next(n for n in cfg if n.kind is StmtKind.AIF)
+        assert len(cfg.out_edges(aif.id)) == 3
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(-5.0, "NEG"), (0.0, "ZERO"), (7.0, "POS")],
+    )
+    def test_sign_dispatch(self, value, expected):
+        program = compile_source(SOURCE)
+        result = run_program(program, inputs=(value,))
+        assert result.outputs == [expected]
+
+    def test_logical_value_rejected(self):
+        source = "PROGRAM MAIN\nLOGICAL L\nIF (L) 10, 10, 10\n10 CONTINUE\nEND\n"
+        program = compile_source(source)
+        with pytest.raises(InterpreterError):
+            run_program(program)
+
+
+class TestProfiling:
+    def test_three_way_condition_counters(self):
+        # Opt 2 keeps n-1 of the n=3 labels.
+        program = compile_source(SOURCE)
+        plan = smart_program_plan(program).plans["MAIN"]
+        aif_edges = [k for k in plan.edge_counters if k[1] in ("LT", "EQ", "GT")]
+        assert len(aif_edges) == 2
+
+    def test_reconstruction_exact(self):
+        program = compile_source(SOURCE)
+        plan = smart_program_plan(program)
+        executor = PlanExecutor(plan)
+        specs = [{"inputs": (v,)} for v in (-1.0, -2.0, 0.0, 3.0, 4.0, 5.0)]
+        for spec in specs:
+            run_program(program, hooks=executor, **spec)
+        oracle = oracle_program_profile(program, runs=specs)
+        rec = reconstruct_profile(plan, executor, runs=len(specs))
+        cfg = program.cfgs["MAIN"]
+        aif = next(n for n in cfg if n.kind is StmtKind.AIF)
+        for label, want in [("LT", 2.0), ("EQ", 1.0), ("GT", 3.0)]:
+            assert rec.proc("MAIN").branch_counts[(aif.id, label)] == want
+            assert oracle.proc("MAIN").branch_counts.get(
+                (aif.id, label), 0.0
+            ) == want
+
+    def test_time_identity_holds(self):
+        from repro import SCALAR_MACHINE, analyze
+
+        program = compile_source(SOURCE)
+        specs = [{"inputs": (v,)} for v in (-1.0, 0.0, 2.0)]
+        total = sum(
+            run_program(program, model=SCALAR_MACHINE, **s).total_cost
+            for s in specs
+        )
+        profile = oracle_program_profile(program, runs=specs)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_time == pytest.approx(total / 3, rel=1e-9)
+
+    def test_variance_from_three_way_branch(self):
+        from repro import SCALAR_MACHINE, analyze
+
+        # Arms of different cost: the three-way mixture has variance.
+        source = (
+            "PROGRAM MAIN\n"
+            "K = INT(INPUT(1))\n"
+            "IF (K) 10, 20, 30\n"
+            "10 X = 1.0\n"
+            "GOTO 40\n"
+            "20 X = SQRT(2.0) + EXP(1.0)\n"
+            "GOTO 40\n"
+            "30 CONTINUE\n"
+            "40 CONTINUE\n"
+            "END\n"
+        )
+        program = compile_source(source)
+        specs = [{"inputs": (v,)} for v in (-1.0, 0.0, 2.0)]
+        profile = oracle_program_profile(program, runs=specs)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_var > 0
+
+    def test_equal_cost_arms_have_zero_variance(self):
+        from repro import SCALAR_MACHINE, analyze
+
+        # All three arms cost the same: the mixture degenerates and
+        # Case 2 correctly reports zero variance.
+        program = compile_source(SOURCE)
+        specs = [{"inputs": (v,)} for v in (-1.0, 0.0, 2.0)]
+        profile = oracle_program_profile(program, runs=specs)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_var == pytest.approx(0.0)

@@ -1,0 +1,134 @@
+"""Structural corner cases of the language and its lowering."""
+
+import pytest
+
+from repro import compile_source, run_program
+from repro.errors import ParseError
+
+
+def outputs_of(body_lines, extra="", **kwargs):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n" + extra
+    return run_program(compile_source(source), **kwargs).outputs
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_then_arm(self):
+        assert outputs_of(
+            ["IF (1 .GT. 0) THEN", "ENDIF", "PRINT *, 'OK'"]
+        ) == ["OK"]
+
+    def test_empty_else(self):
+        assert outputs_of(
+            ["IF (1 .LT. 0) THEN", "X = 1.0", "ELSE", "ENDIF",
+             "PRINT *, 'OK'"]
+        ) == ["OK"]
+
+    def test_body_is_only_declarations(self):
+        assert outputs_of(
+            ["REAL X", "INTEGER I", "PRINT *, 'OK'"]
+        ) == ["OK"]
+
+    def test_do_terminator_is_executable(self):
+        # the labelled terminator may be a real statement, included in
+        # the body (executed every iteration).
+        assert outputs_of(
+            ["K = 0", "DO 10 I = 1, 4", "10 K = K + I", "PRINT *, K"]
+        ) == ["10"]
+
+    def test_goto_to_last_statement(self):
+        assert outputs_of(
+            ["GOTO 10", "X = 1.0", "10 PRINT *, 'END'"]
+        ) == ["END"]
+
+
+class TestThreeDimensionalArrays:
+    def test_declare_store_load(self):
+        assert outputs_of(
+            [
+                "REAL CUBE(3, 4, 5)",
+                "CUBE(2, 3, 4) = 6.5",
+                "PRINT *, CUBE(2, 3, 4)",
+            ]
+        ) == ["6.5"]
+
+    def test_bounds_checked_per_dimension(self):
+        from repro.errors import InterpreterError
+
+        with pytest.raises(InterpreterError):
+            outputs_of(["REAL CUBE(2, 2, 2)", "CUBE(1, 3, 1) = 0.0"])
+
+    def test_triple_loop_fill(self):
+        body = [
+            "INTEGER C(2, 3, 2)",
+            "K = 0",
+            "DO 30 I = 1, 2",
+            "DO 20 J = 1, 3",
+            "DO 10 L = 1, 2",
+            "K = K + 1",
+            "C(I, J, L) = K",
+            "10 CONTINUE",
+            "20 CONTINUE",
+            "30 CONTINUE",
+            "PRINT *, C(2, 3, 2), K",
+        ]
+        assert outputs_of(body) == ["12 12"]
+
+
+class TestLabelCorners:
+    def test_label_on_if_block(self):
+        assert outputs_of(
+            [
+                "K = 0",
+                "10 IF (K .LT. 3) THEN",
+                "K = K + 1",
+                "GOTO 10",
+                "ENDIF",
+                "PRINT *, K",
+            ]
+        ) == ["3"]
+
+    def test_label_on_do_statement(self):
+        assert outputs_of(
+            [
+                "K = 0",
+                "5 DO 10 I = 1, 2",
+                "K = K + 1",
+                "10 CONTINUE",
+                "IF (K .LT. 6) GOTO 5",
+                "PRINT *, K",
+            ]
+        ) == ["6"]
+
+    def test_shared_do_terminator_rejected(self):
+        with pytest.raises(ParseError):
+            compile_source(
+                "PROGRAM MAIN\nDO 10 I = 1, 2\nDO 10 J = 1, 2\n"
+                "X = 1.0\n10 CONTINUE\nEND\n"
+            )
+
+    def test_label_zero_padding_irrelevant(self):
+        # labels are integers: 010 and 10 are the same label.
+        assert outputs_of(["GOTO 010", "10 PRINT *, 'OK'"]) == ["OK"]
+
+
+class TestExpressionCorners:
+    def test_deeply_nested_parens(self):
+        expr = "1.0" + " + (1.0" * 15 + ")" * 15
+        assert outputs_of([f"X = {expr}", "PRINT *, X"]) == ["16"]
+
+    def test_chained_unary_minus(self):
+        assert outputs_of(["I = - - -3", "PRINT *, I"]) == ["-3"]
+
+    def test_power_tower(self):
+        assert outputs_of(["I = 2 ** 2 ** 3", "PRINT *, I"]) == ["256"]
+
+    def test_mixed_comparisons_spellings(self):
+        assert outputs_of(
+            ["IF (2 >= 2 .AND. 3 .NE. 4) PRINT *, 'OK'"]
+        ) == ["OK"]
+
+    def test_function_call_as_array_index(self):
+        extra = "INTEGER FUNCTION IDX(N)\nINTEGER N\nIDX = N + 1\nEND\n"
+        assert outputs_of(
+            ["REAL A(5)", "A(IDX(2)) = 9.0", "PRINT *, A(3)"], extra=extra
+        ) == ["9"]

@@ -1,0 +1,188 @@
+"""Unit tests for minifort semantic checking."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.symbols import check_program, implicit_type
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+def check_main_body(body_lines):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n"
+    return check(source)
+
+
+class TestImplicitTyping:
+    def test_i_through_n_integer(self):
+        for name in ["I", "J", "K", "L", "M", "N", "INDEX", "NROWS"]:
+            assert implicit_type(name) is ast.Type.INTEGER
+
+    def test_other_names_real(self):
+        for name in ["A", "H", "O", "X", "SUM", "ZETA"]:
+            assert implicit_type(name) is ast.Type.REAL
+
+    def test_undeclared_scalar_gets_implicit_type(self):
+        checked = check_main_body(["X = 1.0", "I = 2"])
+        table = checked.tables["MAIN"]
+        assert table.lookup("X").type is ast.Type.REAL
+        assert table.lookup("I").type is ast.Type.INTEGER
+
+
+class TestDeclarations:
+    def test_explicit_declaration_wins(self):
+        checked = check_main_body(["INTEGER X", "X = 1"])
+        assert checked.tables["MAIN"].lookup("X").type is ast.Type.INTEGER
+
+    def test_array_declaration(self):
+        checked = check_main_body(["REAL A(10, 20)", "A(1, 2) = 0.0"])
+        info = checked.tables["MAIN"].lookup("A")
+        assert info.is_array
+        assert info.dims == (10, 20)
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["INTEGER X", "REAL X", "X = 1"])
+
+    def test_parameter_constants_evaluated(self):
+        checked = check_main_body(["PARAMETER (N = 10 * 10, H = 1.0 / 4.0)", "X = N"])
+        consts = checked.tables["MAIN"].constants
+        assert consts["N"] == 100
+        assert consts["H"] == 0.25
+
+    def test_parameter_referencing_earlier_constant(self):
+        checked = check_main_body(["PARAMETER (N = 4)", "PARAMETER (M = N + 1)", "X = M"])
+        assert checked.tables["MAIN"].constants["M"] == 5
+
+    def test_nonconstant_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["PARAMETER (N = K + 1)", "X = N"])
+
+    def test_assignment_to_constant_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["PARAMETER (N = 4)", "N = 5"])
+
+    def test_param_redeclaration_allowed(self):
+        source = (
+            "PROGRAM MAIN\nCALL S(1)\nEND\n"
+            "SUBROUTINE S(A)\nREAL A\nX = A\nEND\n"
+        )
+        checked = check(source)
+        info = checked.tables["S"].lookup("A")
+        assert info.is_param
+        assert info.type is ast.Type.REAL
+
+
+class TestUsageChecks:
+    def test_goto_unknown_label_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["GOTO 99"])
+
+    def test_computed_goto_unknown_label_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["GOTO (10, 99), K", "10 CONTINUE"])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["10 CONTINUE", "10 X = 1"])
+
+    def test_call_unknown_subroutine_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["CALL NOPE"])
+
+    def test_call_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            check(
+                "PROGRAM MAIN\nCALL FOO(1)\nEND\n"
+                "SUBROUTINE FOO(A, B)\nX = A + B\nEND\n"
+            )
+
+    def test_call_to_function_rejected(self):
+        with pytest.raises(SemanticError):
+            check(
+                "PROGRAM MAIN\nCALL F(1)\nEND\n"
+                "FUNCTION F(X)\nF = X\nEND\n"
+            )
+
+    def test_array_used_without_subscripts_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["REAL A(10)", "X = A + 1.0"])
+
+    def test_wrong_subscript_count_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["REAL A(10)", "A(1, 2) = 0.0"])
+
+    def test_assign_whole_array_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["REAL A(10)", "A = 0.0"])
+
+    def test_undeclared_array_target_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["Q(1) = 0.0"])
+
+    def test_do_variable_must_be_scalar(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["INTEGER I(5)", "DO I = 1, 3", "X = 1", "ENDDO"])
+
+
+class TestCallResolution:
+    def test_intrinsic_ok(self):
+        check_main_body(["X = SQRT(2.0) + MOD(7, 3)"])
+
+    def test_intrinsic_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["X = SQRT(1.0, 2.0)"])
+
+    def test_user_function_in_expression(self):
+        check(
+            "PROGRAM MAIN\nX = F(1.0)\nEND\n"
+            "FUNCTION F(Y)\nF = Y * 2.0\nEND\n"
+        )
+
+    def test_user_function_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            check(
+                "PROGRAM MAIN\nX = F(1.0, 2.0)\nEND\n"
+                "FUNCTION F(Y)\nF = Y\nEND\n"
+            )
+
+    def test_array_reference_disambiguated_from_call(self):
+        # A(I) where A is a declared array is an array ref, not a call.
+        check_main_body(["REAL A(10)", "I = 1", "X = A(I) + 1.0"])
+
+    def test_unknown_callable_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main_body(["X = MYSTERY(1)"])
+
+    def test_function_name_assignable_inside_function(self):
+        checked = check(
+            "PROGRAM MAIN\nX = F(1.0)\nEND\n"
+            "FUNCTION F(Y)\nF = Y\nEND\n"
+        )
+        assert checked.tables["F"].lookup("F") is not None
+
+    def test_paper_example_checks(self):
+        check(
+            """
+      PROGRAM MAIN
+      M = INPUT(1)
+      N = INPUT(2)
+10    IF (M .GE. 0) THEN
+        IF (N .LT. 0) GOTO 20
+      ELSE
+        IF (N .GE. 0) GOTO 20
+      ENDIF
+      CALL FOO(M, N)
+      GOTO 10
+20    CONTINUE
+      END
+
+      SUBROUTINE FOO(M, N)
+      M = M - 1
+      END
+"""
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the unparser (used by CFG node labels and reports)."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.unparse import stmt_text, unparse_expr
+
+
+def expr_of(text):
+    unit = parse_program(f"PROGRAM MAIN\nQ = {text}\nEND\n")
+    return unit.main.body[0].value
+
+
+def roundtrip(text):
+    """unparse(parse(text)) must re-parse to an identical rendering."""
+    first = unparse_expr(expr_of(text))
+    second = unparse_expr(expr_of(first))
+    return first, second
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert unparse_expr(expr_of("42")) == "42"
+        assert unparse_expr(expr_of(".TRUE.")) == ".TRUE."
+        assert unparse_expr(expr_of("'HI'")) == "'HI'"
+
+    def test_operators_normalized_to_dot_form(self):
+        assert unparse_expr(expr_of("A >= B")) == "A .GE. B"
+        assert unparse_expr(expr_of("A == B")) == "A .EQ. B"
+
+    def test_precedence_no_redundant_parens(self):
+        assert unparse_expr(expr_of("A + B * C")) == "A + B * C"
+
+    def test_necessary_parens_kept(self):
+        assert unparse_expr(expr_of("(A + B) * C")) == "(A + B) * C"
+
+    def test_left_associative_subtraction(self):
+        # A - (B - C) must not lose its parentheses.
+        text = unparse_expr(expr_of("A - (B - C)"))
+        assert text == "A - (B - C)"
+
+    def test_power_right_associativity_preserved(self):
+        text = unparse_expr(expr_of("(A ** B) ** C"))
+        assert "(" in text
+
+    def test_function_and_array_forms(self):
+        assert unparse_expr(expr_of("SQRT(X + 1.0)")) == "SQRT(X + 1.0)"
+
+    def test_unary_and_not(self):
+        assert unparse_expr(expr_of("-X")) == "-X"
+        assert unparse_expr(expr_of(".NOT. L .AND. M .GT. 0")) == (
+            ".NOT. L .AND. M .GT. 0"
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A + B * C - D / E",
+            "(A + B) * (C - D)",
+            "A .LT. B .OR. C .GE. D .AND. E .NE. F",
+            "-A ** 2 + ABS(B)",
+            "MOD(I + 1, 7) * 2",
+        ],
+    )
+    def test_roundtrip_stable(self, text):
+        first, second = roundtrip(text)
+        assert first == second
+
+
+class TestStatements:
+    def stmt_of(self, line, prefix=()):
+        src = "PROGRAM MAIN\n" + "\n".join(prefix) + ("\n" if prefix else "")
+        src += line + "\nEND\n"
+        body = parse_program(src).main.body
+        return body[-1]
+
+    def test_assignment(self):
+        assert stmt_text(self.stmt_of("X = Y + 1.0")) == "X = Y + 1.0"
+
+    def test_logical_if(self):
+        text = stmt_text(self.stmt_of("10 CONTINUE", ()))  # target first
+        stmt = self.stmt_of("IF (X .GT. 0) GOTO 10", ["10 CONTINUE"])
+        assert stmt_text(stmt) == "IF (X .GT. 0) GOTO 10"
+
+    def test_do_loop_header(self):
+        stmt = self.stmt_of("DO 10 I = 1, N, 2\nX = 1.0\n10 CONTINUE")
+        assert stmt_text(stmt) == "DO I = 1, N, 2"
+
+    def test_computed_goto(self):
+        body = parse_program(
+            "PROGRAM MAIN\nGOTO (10, 20), K\n10 CONTINUE\n20 CONTINUE\nEND\n"
+        ).main.body
+        assert stmt_text(body[0]) == "GOTO (10, 20), K"
+
+    def test_call_with_and_without_args(self):
+        src = (
+            "PROGRAM MAIN\nCALL A\nCALL B(X, 1)\nEND\n"
+            "SUBROUTINE A\nY = 1.0\nEND\nSUBROUTINE B(P, Q)\nY = P\nEND\n"
+        )
+        body = parse_program(src).main.body
+        assert stmt_text(body[0]) == "CALL A"
+        assert stmt_text(body[1]) == "CALL B(X, 1)"
+
+    def test_declaration(self):
+        stmt = self.stmt_of("REAL X, A(10)\nX = 1.0")
+        body = parse_program(
+            "PROGRAM MAIN\nREAL X, A(10)\nX = 1.0\nEND\n"
+        ).main.body
+        assert stmt_text(body[0]) == "REAL X, A"

@@ -1,0 +1,111 @@
+"""Unit tests for the profile data model and the program database."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling.database import (
+    ProcedureProfile,
+    ProfileDatabase,
+    ProgramProfile,
+)
+
+
+def make_profile(invocations=1.0, branch=((3, "T", 5.0),), headers=((2, 10.0),)):
+    proc = ProcedureProfile("MAIN")
+    proc.invocations = invocations
+    for node, label, value in branch:
+        proc.branch_counts[(node, label)] = value
+    for node, value in headers:
+        proc.header_counts[node] = value
+    profile = ProgramProfile(runs=1)
+    profile.procedures["MAIN"] = proc
+    return profile
+
+
+class TestMerge:
+    def test_merge_accumulates_counts(self):
+        a = make_profile()
+        b = make_profile(invocations=2.0, branch=((3, "T", 7.0),))
+        a.merge(b)
+        main = a.proc("MAIN")
+        assert main.invocations == 3.0
+        assert main.branch_counts[(3, "T")] == 12.0
+        assert a.runs == 2
+
+    def test_merge_new_keys(self):
+        a = make_profile()
+        b = make_profile(branch=((4, "F", 2.0),))
+        a.merge(b)
+        assert a.proc("MAIN").branch_counts[(4, "F")] == 2.0
+
+    def test_merge_wrong_procedure_rejected(self):
+        a = ProcedureProfile("A")
+        b = ProcedureProfile("B")
+        with pytest.raises(ProfilingError):
+            a.merge(b)
+
+    def test_loop_moments_accumulate(self):
+        a = make_profile()
+        a.proc("MAIN").loop_sumsq[2] = 100.0
+        a.proc("MAIN").loop_entries[2] = 1.0
+        b = make_profile()
+        b.proc("MAIN").loop_sumsq[2] = 44.0
+        b.proc("MAIN").loop_entries[2] = 2.0
+        a.merge(b)
+        assert a.proc("MAIN").loop_sumsq[2] == 144.0
+        assert a.proc("MAIN").loop_freq_second_moment(2) == 48.0
+
+    def test_second_moment_missing_returns_none(self):
+        profile = make_profile()
+        assert profile.proc("MAIN").loop_freq_second_moment(99) is None
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        profile = make_profile()
+        profile.proc("MAIN").loop_sumsq[2] = 9.0
+        profile.proc("MAIN").loop_entries[2] = 3.0
+        restored = ProgramProfile.from_dict(profile.to_dict())
+        assert restored.runs == profile.runs
+        assert restored.proc("MAIN").branch_counts == (
+            profile.proc("MAIN").branch_counts
+        )
+        assert restored.proc("MAIN").header_counts == (
+            profile.proc("MAIN").header_counts
+        )
+        assert restored.proc("MAIN").loop_sumsq == {2: 9.0}
+
+    def test_keys_are_rebuilt_as_tuples(self):
+        restored = ProgramProfile.from_dict(make_profile().to_dict())
+        assert (3, "T") in restored.proc("MAIN").branch_counts
+
+
+class TestDatabase:
+    def test_record_and_lookup(self, tmp_path):
+        db = ProfileDatabase(tmp_path / "profiles.json")
+        db.record("prog1", make_profile())
+        assert db.lookup("prog1").proc("MAIN").invocations == 1.0
+        assert db.lookup("other") is None
+
+    def test_record_accumulates(self, tmp_path):
+        db = ProfileDatabase(tmp_path / "profiles.json")
+        db.record("prog1", make_profile())
+        db.record("prog1", make_profile())
+        assert db.lookup("prog1").runs == 2
+        assert db.lookup("prog1").proc("MAIN").branch_counts[(3, "T")] == 10.0
+
+    def test_persistence_across_instances(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        db = ProfileDatabase(path)
+        db.record("prog1", make_profile())
+        db.save()
+        db2 = ProfileDatabase(path)
+        assert db2.keys() == ["prog1"]
+        assert db2.lookup("prog1").proc("MAIN").invocations == 1.0
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "profiles.json"
+        db = ProfileDatabase(path)
+        db.record("p", make_profile())
+        db.save()
+        assert path.exists()

@@ -1,0 +1,74 @@
+"""Tests for the counter-plan describer and the `plan` CLI command."""
+
+import pytest
+
+from repro import compile_source, naive_program_plan, smart_program_plan
+from repro.cli import main
+from repro.profiling.describe import describe_plan
+
+SOURCE = (
+    "PROGRAM MAIN\n"
+    "N = INT(INPUT(1))\n"
+    "DO 10 I = 1, N\n"
+    "IF (RAND() .GT. 0.5) X = X + 1.0\n"
+    "10 CONTINUE\n"
+    "END\n"
+)
+
+
+@pytest.fixture
+def program():
+    return compile_source(SOURCE)
+
+
+class TestDescribePlan:
+    def test_lists_every_counter(self, program):
+        plan = smart_program_plan(program).plans["MAIN"]
+        text = describe_plan(plan, program.cfgs["MAIN"])
+        assert text.count("counter ") >= plan.n_counters
+
+    def test_batched_counter_described(self, program):
+        plan = smart_program_plan(program).plans["MAIN"]
+        text = describe_plan(plan, program.cfgs["MAIN"])
+        assert "+= trip+1 at DO entry" in text
+
+    def test_derived_measures_with_rules(self, program):
+        plan = smart_program_plan(program).plans["MAIN"]
+        text = describe_plan(plan, program.cfgs["MAIN"])
+        assert "derived measures" in text
+        assert "[complement]" in text or "[exit_sum]" in text
+
+    def test_naive_plan_described(self, program):
+        plan = naive_program_plan(program).plans["MAIN"]
+        text = describe_plan(plan, program.cfgs["MAIN"])
+        assert "naive" in text
+        assert "block(" in text
+
+    def test_header_counter_location_text(self, program):
+        plan = smart_program_plan(
+            program, enable_do_batch=False
+        ).plans["MAIN"]
+        text = describe_plan(plan, program.cfgs["MAIN"])
+        assert "loopfreq" in text
+
+
+class TestPlanCommand:
+    @pytest.fixture
+    def source_file(self, tmp_path):
+        path = tmp_path / "p.f"
+        path.write_text(SOURCE)
+        return str(path)
+
+    def test_smart_plan_shown(self, source_file, capsys):
+        assert main(["plan", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "plan for MAIN (smart)" in out
+        assert "total counters" in out
+
+    def test_naive_flag(self, source_file, capsys):
+        assert main(["plan", source_file, "--naive"]) == 0
+        assert "(naive)" in capsys.readouterr().out
+
+    def test_proc_filter(self, source_file, capsys):
+        assert main(["plan", source_file, "--proc", "MAIN"]) == 0
+        assert main(["plan", source_file, "--proc", "NOPE"]) == 1

@@ -1,0 +1,87 @@
+"""Minimality of the optimized counter plan.
+
+Section 3: "If we limit ourselves to syntax-based schemes ... these
+two optimizations will yield the minimum possible number of counter
+variables."  For small programs we can verify our greedy plan against
+brute force: enumerate every subset of the candidate counters and find
+the smallest one from which the rule closure still derives all target
+measures.
+"""
+
+import itertools
+
+import pytest
+
+from repro import compile_source, smart_program_plan
+from repro.profiling.measures import RuleSet
+from repro.profiling.placement import smart_plan
+
+
+def minimal_counter_count(program, proc="MAIN"):
+    """Brute-force minimum counters using the same rule system."""
+    # Build the undropped plan to enumerate the full candidate set.
+    full = smart_plan(
+        program.checked,
+        program.cfgs[proc],
+        program.fcdgs[proc],
+        enable_drops=False,
+    )
+    candidates = sorted(full.counter_measures.items())
+    measures = [measure for _, measure in candidates]
+    targets = full.targets
+    rules = full.rules
+    n = len(measures)
+    assert n <= 14, "brute force would explode"
+    for size in range(0, n + 1):
+        for keep in itertools.combinations(range(n), size):
+            kept = {measures[i] for i in keep}
+            closure = rules.closure(kept)
+            if all(t in closure for t in targets):
+                return size
+    return n
+
+
+PROGRAMS = {
+    "if_else": (
+        "PROGRAM MAIN\nIF (RAND() .GT. 0.5) THEN\nX = 1.0\nELSE\n"
+        "X = 2.0\nENDIF\nEND\n"
+    ),
+    "two_ifs": (
+        "PROGRAM MAIN\n"
+        "IF (RAND() .GT. 0.5) X = 1.0\n"
+        "IF (RAND() .GT. 0.3) Y = 1.0\n"
+        "END\n"
+    ),
+    "constant_do": (
+        "PROGRAM MAIN\nDO 10 I = 1, 8\nX = X + 1.0\n10 CONTINUE\nEND\n"
+    ),
+    "variable_do": (
+        "PROGRAM MAIN\nN = INT(INPUT(1))\nDO 10 I = 1, N\nX = X + 1.0\n"
+        "10 CONTINUE\nEND\n"
+    ),
+    "do_with_branch": (
+        "PROGRAM MAIN\nDO 10 I = 1, 8\n"
+        "IF (RAND() .GT. 0.5) X = X + 1.0\n10 CONTINUE\nEND\n"
+    ),
+    "paper_loop": (
+        "PROGRAM MAIN\nK = 0\n"
+        "10 IF (K .GT. 5) GOTO 20\nK = K + 1\nGOTO 10\n20 CONTINUE\nEND\n"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_greedy_plan_is_minimal(name):
+    program = compile_source(PROGRAMS[name])
+    greedy = smart_program_plan(program).plans["MAIN"]
+    minimum = minimal_counter_count(program)
+    assert greedy.n_counters == minimum, (
+        f"{name}: greedy kept {greedy.n_counters}, brute-force minimum "
+        f"is {minimum}"
+    )
+
+
+def test_paper_example_minimal(paper_program):
+    greedy = smart_program_plan(paper_program).plans["MAIN"]
+    minimum = minimal_counter_count(paper_program)
+    assert greedy.n_counters == minimum

@@ -1,0 +1,68 @@
+"""Direct unit tests for the ground-truth oracle profile."""
+
+import pytest
+
+from repro import compile_source, run_program
+from repro.profiling.oracle import oracle_profile
+
+SOURCE = (
+    "PROGRAM MAIN\n"
+    "DO 10 I = 1, 4\n"
+    "IF (MOD(I, 2) .EQ. 0) CALL TICK(K)\n"
+    "10 CONTINUE\n"
+    "END\n"
+    "SUBROUTINE TICK(K)\n"
+    "INTEGER K\n"
+    "K = K + 1\n"
+    "END\n"
+)
+
+
+@pytest.fixture
+def program():
+    return compile_source(SOURCE)
+
+
+class TestOracleProfile:
+    def test_invocations_from_call_counts(self, program):
+        run = run_program(program)
+        profile = oracle_profile(run, program.ecfgs)
+        assert profile.proc("MAIN").invocations == 1.0
+        assert profile.proc("TICK").invocations == 2.0
+
+    def test_branch_counts_mirror_edges(self, program):
+        run = run_program(program)
+        profile = oracle_profile(run, program.ecfgs)
+        main = profile.proc("MAIN")
+        for (src, label), count in run.edge_counts["MAIN"].items():
+            assert main.branch_counts[(src, label)] == float(count)
+
+    def test_header_counts_from_node_counts(self, program):
+        run = run_program(program)
+        profile = oracle_profile(run, program.ecfgs)
+        main = profile.proc("MAIN")
+        (header,) = program.ecfgs["MAIN"].preheader_of
+        assert main.header_counts[header] == float(
+            run.node_counts["MAIN"][header]
+        )
+        assert main.header_counts[header] == 5.0  # 4 trips + final test
+
+    def test_runs_field(self, program):
+        run = run_program(program)
+        profile = oracle_profile(run, program.ecfgs)
+        assert profile.runs == 1
+
+    def test_no_loop_moments_recorded(self, program):
+        # moments need per-entry granularity; the oracle leaves them
+        # empty (LoopMomentRecorder exists for that).
+        run = run_program(program)
+        profile = oracle_profile(run, program.ecfgs)
+        assert profile.proc("MAIN").loop_sumsq == {}
+
+    def test_uncalled_procedure_zeroed(self):
+        source = SOURCE.replace("CALL TICK(K)", "K = K + 1")
+        program = compile_source(source)
+        run = run_program(program)
+        profile = oracle_profile(run, program.ecfgs)
+        assert profile.proc("TICK").invocations == 0.0
+        assert profile.proc("TICK").branch_counts == {}

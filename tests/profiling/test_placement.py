@@ -1,0 +1,218 @@
+"""Unit tests for counter placement plans (Section 3)."""
+
+import pytest
+
+from repro import compile_source
+from repro.cfg.graph import StmtKind
+from repro.profiling.placement import basic_blocks, naive_plan, smart_plan
+
+
+def plans_for(body_lines, extra="", **smart_kwargs):
+    source = "PROGRAM MAIN\n" + "\n".join(body_lines) + "\nEND\n" + extra
+    program = compile_source(source)
+    smart = smart_plan(
+        program.checked, program.cfgs["MAIN"], program.fcdgs["MAIN"],
+        **smart_kwargs,
+    )
+    naive = naive_plan(program.checked, program.cfgs["MAIN"])
+    return program, smart, naive
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block(self):
+        program, _, _ = plans_for(["X = 1.0", "Y = 2.0"])
+        blocks = basic_blocks(program.cfgs["MAIN"])
+        assert len(blocks) == 1
+
+    def test_if_splits_blocks(self):
+        program, _, _ = plans_for(
+            ["IF (X .GT. 0) THEN", "Y = 1.0", "ELSE", "Y = 2.0", "ENDIF",
+             "Z = 3.0"]
+        )
+        blocks = basic_blocks(program.cfgs["MAIN"])
+        # entry-chain+IF | then | else | join-chain
+        assert len(blocks) == 4
+
+    def test_blocks_partition_nodes(self):
+        program, _, _ = plans_for(
+            ["DO 10 I = 1, 3", "IF (X .GT. 0.0) Y = 1.0", "10 CONTINUE"]
+        )
+        cfg = program.cfgs["MAIN"]
+        blocks = basic_blocks(cfg)
+        members = [n for block in blocks.values() for n in block]
+        assert sorted(members) == sorted(cfg.nodes)
+
+
+class TestOpt1ConditionCounters:
+    def test_straight_line_needs_one_counter(self):
+        # Only the invocation counter: no branches, no loops.
+        _, smart, naive = plans_for(["X = 1.0", "Y = 2.0", "Z = 3.0"])
+        assert smart.n_counters == 1
+
+    def test_identically_dependent_blocks_share(self):
+        # Both assignments under one IF arm: one edge counter serves
+        # both (plus invocation counter); opt 2 then drops nothing
+        # else since only T is a condition.
+        _, smart, _ = plans_for(
+            ["IF (RAND() .GT. 0.5) THEN", "Y = 1.0", "Z = 2.0", "ENDIF"]
+        )
+        edge_keys = list(smart.edge_counters)
+        assert len(edge_keys) <= 2
+
+    def test_counter_measures_recorded(self):
+        _, smart, _ = plans_for(["IF (RAND() .GT. 0.5) Y = 1.0"])
+        measures = set(smart.counter_measures.values())
+        assert ("invoc",) in measures
+
+
+class TestOpt2Drops:
+    def test_two_way_branch_keeps_one_counter(self):
+        _, smart, _ = plans_for(
+            ["IF (RAND() .GT. 0.5) THEN", "Y = 1.0", "ELSE", "Y = 2.0",
+             "ENDIF"]
+        )
+        # invocation + exactly one of the two branch labels.
+        assert smart.n_counters == 2
+
+    def test_drop_disabled(self):
+        _, smart, _ = plans_for(
+            ["IF (RAND() .GT. 0.5) THEN", "Y = 1.0", "ELSE", "Y = 2.0",
+             "ENDIF"],
+            enable_drops=False,
+        )
+        assert smart.n_counters == 3
+
+    def test_dropped_measure_still_a_target(self):
+        _, smart, _ = plans_for(
+            ["IF (RAND() .GT. 0.5) THEN", "Y = 1.0", "ELSE", "Y = 2.0",
+             "ENDIF"]
+        )
+        targets = set(smart.targets)
+        measured = smart.measured()
+        assert measured < targets  # something is derived, nothing lost
+        closure = smart.rules.closure(measured)
+        assert targets <= closure
+
+    def test_goto_loop_with_body_condition(self):
+        # Header is the exit IF; the back-edge source (the body
+        # assignment) has a single successor, so its takings equal
+        # its executions and one of {header counter, F-label counter}
+        # can be dropped — but not both (they determine each other).
+        program, smart, _ = plans_for(
+            [
+                "K = 0",
+                "10 IF (K .GT. 5) GOTO 20",
+                "K = K + 1",
+                "GOTO 10",
+                "20 CONTINUE",
+            ]
+        )
+        # invocation + exactly one more counter for the whole loop.
+        assert smart.n_counters == 2
+
+    def test_underivable_iteration_count_keeps_a_counter(self):
+        # The only branch's F-count IS the unknown iteration count:
+        # no sum rule can recover it, so a counter must survive.
+        program, smart, _ = plans_for(
+            [
+                "K = 0",
+                "10 K = K + 1",
+                "IF (K .GT. 5) GOTO 20",
+                "GOTO 10",
+                "20 CONTINUE",
+            ]
+        )
+        assert smart.n_counters >= 2
+
+
+class TestOpt3DoBatching:
+    def test_exit_free_do_loop_batched(self):
+        program, smart, _ = plans_for(
+            ["S = 0.0", "DO 10 I = 1, K", "S = S + 1.0", "10 CONTINUE"]
+        )
+        assert len(smart.batch_counters) == 1
+
+    def test_constant_trip_no_counter_at_all(self):
+        program, smart, _ = plans_for(
+            ["S = 0.0", "DO 10 I = 1, 8", "S = S + 1.0", "10 CONTINUE"]
+        )
+        assert smart.batch_counters == {}
+        assert smart.n_counters == 1  # invocation only
+
+    def test_parameter_trip_counts_as_constant(self):
+        program, smart, _ = plans_for(
+            ["PARAMETER (N = 8)", "DO 10 I = 1, N", "S = S + 1.0",
+             "10 CONTINUE"]
+        )
+        assert smart.n_counters == 1
+
+    def test_loop_with_exit_not_batched(self):
+        program, smart, _ = plans_for(
+            [
+                "DO 10 I = 1, K",
+                "IF (RAND() .LT. 0.1) GOTO 20",
+                "S = S + 1.0",
+                "10 CONTINUE",
+                "20 CONTINUE",
+            ]
+        )
+        assert smart.batch_counters == {}
+
+    def test_batching_disabled(self):
+        program, smart, _ = plans_for(
+            ["DO 10 I = 1, K", "S = S + 1.0", "10 CONTINUE"],
+            enable_do_batch=False,
+        )
+        assert smart.batch_counters == {}
+
+    def test_while_loop_not_batched(self):
+        program, smart, _ = plans_for(
+            ["K = 5", "DO WHILE (K .GT. 0)", "K = K - 1", "ENDDO"]
+        )
+        assert smart.batch_counters == {}
+
+
+class TestNaivePlan:
+    def test_one_counter_per_block(self):
+        program, _, naive = plans_for(
+            ["IF (RAND() .GT. 0.5) THEN", "Y = 1.0", "ELSE", "Y = 2.0",
+             "ENDIF", "Z = 3.0"]
+        )
+        blocks = basic_blocks(program.cfgs["MAIN"])
+        assert naive.n_counters == len(blocks)
+
+    def test_straightline_do_batched(self):
+        program, _, naive = plans_for(
+            ["DO 10 I = 1, 5", "S = S + 1.0", "10 CONTINUE"]
+        )
+        assert len(naive.batch_counters) == 1
+        # test block and body block are both batched: 2 adds per entry
+        assert len(naive.batch_counters[next(iter(naive.batch_counters))]) == 2
+
+    def test_branchy_do_not_batched(self):
+        program, _, naive = plans_for(
+            ["DO 10 I = 1, 5", "IF (RAND() .GT. 0.5) S = S + 1.0",
+             "10 CONTINUE"]
+        )
+        assert naive.batch_counters == {}
+
+    def test_do_opt_can_be_disabled(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 5\nS = S + 1.0\n10 CONTINUE\nEND\n"
+        )
+        program = compile_source(source)
+        naive = naive_plan(
+            program.checked, program.cfgs["MAIN"], straightline_do_opt=False
+        )
+        assert naive.batch_counters == {}
+
+    def test_smart_never_more_counters_than_naive(self):
+        from repro.workloads.livermore import livermore_source
+
+        program = compile_source(livermore_source(n=24, n2=4))
+        for name in program.cfgs:
+            smart = smart_plan(
+                program.checked, program.cfgs[name], program.fcdgs[name]
+            )
+            naive = naive_plan(program.checked, program.cfgs[name])
+            assert smart.n_counters <= naive.n_counters, name

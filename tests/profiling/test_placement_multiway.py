@@ -1,0 +1,120 @@
+"""Counter placement on multiway branches (computed GOTO, arithmetic IF).
+
+The paper's Opt-2 branch rule generalizes beyond two-way IFs: with n
+labels fully covered by control conditions, n−1 counters suffice.
+"""
+
+import pytest
+
+from repro import (
+    compile_source,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.cfg.graph import StmtKind
+from repro.profiling import PlanExecutor, reconstruct_profile
+
+CGOTO = (
+    "PROGRAM MAIN\n"
+    "DO 50 I = 1, 30\n"
+    "GOTO (10, 20, 30), IRAND(1, 4)\n"
+    "NF = NF + 1\n"
+    "GOTO 50\n"
+    "10 N1 = N1 + 1\n"
+    "GOTO 50\n"
+    "20 N2 = N2 + 1\n"
+    "GOTO 50\n"
+    "30 N3 = N3 + 1\n"
+    "50 CONTINUE\n"
+    "END\n"
+)
+
+
+class TestComputedGotoPlacement:
+    def test_one_label_dropped(self):
+        program = compile_source(CGOTO)
+        plan = smart_program_plan(program).plans["MAIN"]
+        cg = next(
+            n.id for n in program.cfgs["MAIN"] if n.kind is StmtKind.CGOTO
+        )
+        counted = [k for k in plan.edge_counters if k[0] == cg]
+        # 4 ways (C1..C3 + fallthrough U): 3 counters suffice.
+        assert len(counted) == 3
+
+    def test_reconstruction_exact_over_runs(self):
+        program = compile_source(CGOTO)
+        plan = smart_program_plan(program)
+        executor = PlanExecutor(plan)
+        specs = [{"seed": s} for s in range(4)]
+        for spec in specs:
+            run_program(program, hooks=executor, **spec)
+        oracle = oracle_program_profile(program, runs=specs)
+        rec = reconstruct_profile(plan, executor, runs=4)
+        main_rec = rec.proc("MAIN")
+        main_orc = oracle.proc("MAIN")
+        for key, value in main_rec.branch_counts.items():
+            assert value == main_orc.branch_counts.get(key, 0.0), key
+
+    def test_all_ways_exercised(self):
+        program = compile_source(CGOTO)
+        oracle = oracle_program_profile(
+            program, runs=[{"seed": s} for s in range(4)]
+        )
+        cg = next(
+            n.id for n in program.cfgs["MAIN"] if n.kind is StmtKind.CGOTO
+        )
+        counts = oracle.proc("MAIN").branch_counts
+        for label in ("C1", "C2", "C3", "U"):
+            assert counts.get((cg, label), 0.0) > 0, label
+
+
+AIF_LOOP = (
+    "PROGRAM MAIN\n"
+    "DO 50 I = 1, 24\n"
+    "K = IRAND(-2, 2)\n"
+    "IF (K) 10, 20, 30\n"
+    "10 NN = NN + 1\n"
+    "GOTO 50\n"
+    "20 NZ = NZ + 1\n"
+    "GOTO 50\n"
+    "30 NP = NP + 1\n"
+    "50 CONTINUE\n"
+    "END\n"
+)
+
+
+class TestArithmeticIfPlacement:
+    def test_two_of_three_counters(self):
+        program = compile_source(AIF_LOOP)
+        plan = smart_program_plan(program).plans["MAIN"]
+        aif = next(
+            n.id for n in program.cfgs["MAIN"] if n.kind is StmtKind.AIF
+        )
+        counted = [k for k in plan.edge_counters if k[0] == aif]
+        assert len(counted) == 2
+
+    def test_dropped_label_reconstructed(self):
+        program = compile_source(AIF_LOOP)
+        plan = smart_program_plan(program)
+        executor = PlanExecutor(plan)
+        run_program(program, hooks=executor, seed=9)
+        oracle = oracle_program_profile(program, runs=[{"seed": 9}])
+        rec = reconstruct_profile(plan, executor)
+        aif = next(
+            n.id for n in program.cfgs["MAIN"] if n.kind is StmtKind.AIF
+        )
+        for label in ("LT", "EQ", "GT"):
+            assert rec.proc("MAIN").branch_counts[(aif, label)] == (
+                oracle.proc("MAIN").branch_counts.get((aif, label), 0.0)
+            )
+
+    def test_total_of_three_ways_is_loop_count(self):
+        program = compile_source(AIF_LOOP)
+        oracle = oracle_program_profile(program, runs=[{"seed": 9}])
+        aif = next(
+            n.id for n in program.cfgs["MAIN"] if n.kind is StmtKind.AIF
+        )
+        counts = oracle.proc("MAIN").branch_counts
+        total = sum(counts.get((aif, l), 0.0) for l in ("LT", "EQ", "GT"))
+        assert total == 24.0

@@ -1,0 +1,168 @@
+"""Reconstruction of full profiles from optimized counter plans.
+
+The key invariant: profiles reconstructed from the *smart* counter set
+must equal the interpreter's ground-truth oracle exactly, on every
+program and every input.
+"""
+
+import pytest
+
+from repro import (
+    compile_source,
+    naive_program_plan,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.profiling import PlanExecutor, reconstruct_profile
+from repro.profiling.measures import DerivedRule, RuleSet
+from repro.errors import ProfilingError
+from repro.workloads.paper_example import PAPER_SOURCE
+from repro.workloads.unstructured import ALL_SOURCES
+
+
+def assert_profiles_match(program, reconstructed, oracle):
+    """Reconstructed targets must equal the oracle's exact counts."""
+    for name, plan in smart_plans(program).plans.items():
+        rec = reconstructed.proc(name)
+        orc = oracle.proc(name)
+        assert rec.invocations == orc.invocations, name
+        for key, value in rec.branch_counts.items():
+            assert value == orc.branch_counts.get(key, 0.0), (name, key)
+        for header, value in rec.header_counts.items():
+            assert value == orc.header_counts.get(header, 0.0), (name, header)
+
+
+def smart_plans(program, **kwargs):
+    return smart_program_plan(program, **kwargs)
+
+
+def roundtrip(source, run_specs=({},), **plan_kwargs):
+    program = compile_source(source)
+    plan = smart_program_plan(program, **plan_kwargs)
+    executor = PlanExecutor(plan)
+    oracle = oracle_program_profile(program, runs=list(run_specs))
+    for spec in run_specs:
+        run_program(program, hooks=executor, **spec)
+    reconstructed = reconstruct_profile(plan, executor, runs=len(run_specs))
+    return program, reconstructed, oracle
+
+
+class TestRoundTrip:
+    def test_paper_example(self):
+        program, rec, orc = roundtrip(PAPER_SOURCE)
+        assert_profiles_match(program, rec, orc)
+
+    def test_if_else(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 20\n"
+            "IF (RAND() .GT. 0.5) THEN\nX = X + 1.0\nELSE\nX = X - 1.0\n"
+            "ENDIF\n10 CONTINUE\nEND\n"
+        )
+        program, rec, orc = roundtrip(source, run_specs=({"seed": 3},))
+        assert_profiles_match(program, rec, orc)
+
+    def test_constant_trip_loop_reconstructs_header(self):
+        source = (
+            "PROGRAM MAIN\nS = 0.0\nDO 10 I = 1, 8\nS = S + 1.0\n"
+            "10 CONTINUE\nPRINT *, S\nEND\n"
+        )
+        program, rec, orc = roundtrip(source)
+        assert_profiles_match(program, rec, orc)
+        main = rec.proc("MAIN")
+        assert list(main.header_counts.values()) == [9.0]  # 8 trips + 1 test
+
+    def test_variable_trip_loop(self):
+        source = (
+            "PROGRAM MAIN\nN = INT(INPUT(1))\nS = 0.0\nDO 10 I = 1, N\n"
+            "S = S + 1.0\n10 CONTINUE\nPRINT *, S\nEND\n"
+        )
+        program, rec, orc = roundtrip(
+            source, run_specs=({"inputs": (5.0,)}, {"inputs": (11.0,)})
+        )
+        assert_profiles_match(program, rec, orc)
+        assert list(rec.proc("MAIN").header_counts.values()) == [18.0]
+
+    def test_loop_with_conditional_exit(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 50\n"
+            "IF (RAND() .LT. 0.2) GOTO 20\nX = X + 1.0\n10 CONTINUE\n"
+            "20 CONTINUE\nPRINT *, X\nEND\n"
+        )
+        program, rec, orc = roundtrip(source, run_specs=({"seed": 1},))
+        assert_profiles_match(program, rec, orc)
+
+    @pytest.mark.parametrize("name", sorted(ALL_SOURCES))
+    def test_unstructured_programs(self, name):
+        specs = [{"inputs": (9.0,), "seed": s} for s in range(3)]
+        program, rec, orc = roundtrip(ALL_SOURCES[name], run_specs=specs)
+        assert_profiles_match(program, rec, orc)
+
+    def test_livermore(self):
+        from repro.workloads.livermore import livermore_source
+
+        program, rec, orc = roundtrip(livermore_source(n=24, n2=4))
+        assert_profiles_match(program, rec, orc)
+
+    def test_simple_cfd(self):
+        from repro.workloads.simple_cfd import simple_source
+
+        program, rec, orc = roundtrip(simple_source(n=8, ncycles=2))
+        assert_profiles_match(program, rec, orc)
+
+    def test_each_optimization_level_reconstructs(self):
+        source = (
+            "PROGRAM MAIN\nDO 10 I = 1, 12\n"
+            "IF (RAND() .GT. 0.3) X = X + 1.0\n10 CONTINUE\nEND\n"
+        )
+        for kwargs in [
+            {"enable_drops": False, "enable_do_batch": False},
+            {"enable_drops": True, "enable_do_batch": False},
+            {"enable_drops": False, "enable_do_batch": True},
+            {"enable_drops": True, "enable_do_batch": True},
+        ]:
+            program, rec, orc = roundtrip(source, ({"seed": 5},), **kwargs)
+            assert_profiles_match(program, rec, orc)
+
+    def test_accumulation_over_runs(self):
+        source = (
+            "PROGRAM MAIN\nIF (RAND() .GT. 0.5) X = 1.0\nEND\n"
+        )
+        specs = [{"seed": s} for s in range(10)]
+        program, rec, orc = roundtrip(source, run_specs=specs)
+        assert rec.proc("MAIN").invocations == 10.0
+        assert_profiles_match(program, rec, orc)
+
+
+class TestRuleEngine:
+    def test_missing_counter_value_raises(self):
+        program = compile_source(PAPER_SOURCE)
+        plan = smart_program_plan(program)
+        from repro.profiling.reconstruct import reconstruct_procedure
+
+        with pytest.raises(ProfilingError):
+            reconstruct_procedure(plan.plans["MAIN"], {})
+
+    def test_rule_closure_is_monotone(self):
+        rules = RuleSet()
+        rules.add(DerivedRule(("b",), "t", (((1.0, ("a",))),)))
+        rules.add(DerivedRule(("c",), "t", ((1.0, ("b",)),)))
+        assert rules.closure({("a",)}) == {("a",), ("b",), ("c",)}
+        assert rules.closure(set()) == set()
+
+    def test_rule_evaluation_linear_combination(self):
+        rule = DerivedRule(
+            ("x",), "t", ((2.0, ("a",)), (-1.0, ("b",)), (1.0, 5.0)), bias=1.0
+        )
+        assert rule.evaluate({("a",): 3.0, ("b",): 4.0}) == 2 * 3 - 4 + 5 + 1
+
+    def test_rule_unresolved_dependency_returns_none(self):
+        rule = DerivedRule(("x",), "t", ((1.0, ("a",)),))
+        assert rule.evaluate({}) is None
+
+    def test_solve_fixpoint_chains(self):
+        rules = RuleSet()
+        rules.add(DerivedRule(("b",), "t", ((2.0, ("a",)),)))
+        rules.add(DerivedRule(("c",), "t", ((1.0, ("b",)), (1.0, ("a",)))))
+        values = rules.solve({("a",): 2.0})
+        assert values[("c",)] == 6.0

@@ -1,0 +1,107 @@
+"""Unit tests for the simulated PC-sampling profiler."""
+
+import pytest
+
+from repro import SCALAR_MACHINE, compile_source, run_program
+from repro.costs.estimate import CostEstimator
+from repro.profiling.sampling import SamplingProfiler, true_procedure_shares
+
+SOURCE = (
+    "PROGRAM MAIN\n"
+    "DO 10 I = 1, 30\n"
+    "CALL HEAVY(X)\n"
+    "10 CONTINUE\n"
+    "Y = 1.0\n"
+    "END\n"
+    "SUBROUTINE HEAVY(X)\n"
+    "X = X + SQRT(2.0) * EXP(1.0)\n"
+    "X = X * 1.5\n"
+    "END\n"
+)
+
+
+def sampled(interval, source=SOURCE, **run_kwargs):
+    program = compile_source(source)
+    profiler = SamplingProfiler(
+        program.checked, program.cfgs, SCALAR_MACHINE, interval
+    )
+    result = run_program(
+        program, model=SCALAR_MACHINE, hooks=profiler, **run_kwargs
+    )
+    return program, profiler, result
+
+
+class TestSampling:
+    def test_sample_count_matches_total_cost(self):
+        program, profiler, result = sampled(interval=50.0)
+        expected = int(result.total_cost // 50.0)
+        assert abs(profiler.report.total_samples - expected) <= 1
+
+    def test_no_samples_for_huge_interval(self):
+        program, profiler, result = sampled(interval=10**9)
+        assert profiler.report.total_samples == 0
+        assert profiler.procedure_shares() == {}
+
+    def test_shares_sum_to_one(self):
+        program, profiler, _ = sampled(interval=20.0)
+        shares = profiler.procedure_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_shares_converge_to_truth(self):
+        program, profiler, result = sampled(interval=5.0)
+        estimator = CostEstimator(program.checked, SCALAR_MACHINE)
+        costs = {
+            name: {
+                nid: nc.local
+                for nid, nc in estimator.cfg_costs(cfg, name).items()
+            }
+            for name, cfg in program.cfgs.items()
+        }
+        truth = true_procedure_shares(result, costs)
+        shares = profiler.procedure_shares()
+        for name, value in truth.items():
+            assert shares.get(name, 0.0) == pytest.approx(value, abs=0.03)
+
+    def test_heavy_procedure_dominates(self):
+        program, profiler, _ = sampled(interval=10.0)
+        shares = profiler.procedure_shares()
+        assert shares["HEAVY"] > shares["MAIN"]
+
+    def test_node_frequency_estimates_are_rough(self):
+        # Sampling cannot recover exact statement counts.
+        program, profiler, result = sampled(interval=25.0)
+        estimates = profiler.estimate_node_frequencies()
+        truth = result.node_counts
+        misses = 0
+        for proc, counts in truth.items():
+            for node, count in counts.items():
+                if count > 0 and (proc, node) not in estimates:
+                    misses += 1
+        assert misses > 0  # some executed statements were never sampled
+
+    def test_invalid_interval_rejected(self):
+        program = compile_source(SOURCE)
+        with pytest.raises(ValueError):
+            SamplingProfiler(
+                program.checked, program.cfgs, SCALAR_MACHINE, 0.0
+            )
+
+    def test_phase_offsets_change_attribution(self):
+        program = compile_source(SOURCE)
+        hits = []
+        for phase in (0.0, 7.0):
+            profiler = SamplingProfiler(
+                program.checked,
+                program.cfgs,
+                SCALAR_MACHINE,
+                interval=33.0,
+                phase=phase,
+            )
+            run_program(program, model=SCALAR_MACHINE, hooks=profiler)
+            hits.append(dict(profiler.report.per_node))
+        assert hits[0] != hits[1]
+
+    def test_sampler_adds_no_counter_updates(self):
+        program, profiler, result = sampled(interval=20.0)
+        assert result.counter_ops == 0
+        assert result.counter_cost == 0.0

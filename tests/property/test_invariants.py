@@ -1,0 +1,187 @@
+"""Property-based tests of the framework's core invariants.
+
+Random terminating programs (seeded generator) exercised under
+hypothesis-chosen seeds.  The invariants:
+
+1. structural — intervals partition, FCDG rooted/acyclic/complete;
+2. profiling — the optimized counter plan reconstructs TOTAL_FREQ
+   values *identical* to the interpreter's ground truth;
+3. frequency — NODE_FREQ × invocations equals observed execution
+   counts for every node;
+4. TIME — the analytical TIME(START) equals the measured average
+   interpreted cost exactly;
+5. economy — the optimized plan never places more counters than the
+   naive per-basic-block plan.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    analyze,
+    compile_source,
+    naive_program_plan,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.costs import SCALAR_MACHINE
+from repro.profiling import PlanExecutor, reconstruct_profile
+from repro.analysis.freq import compute_frequencies
+from repro.workloads.generators import ProgramGenerator
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_PROGRAM_CACHE: dict[int, object] = {}
+
+
+def program_for(gen_seed: int):
+    if gen_seed not in _PROGRAM_CACHE:
+        source = ProgramGenerator(gen_seed).source()
+        _PROGRAM_CACHE[gen_seed] = compile_source(source)
+    return _PROGRAM_CACHE[gen_seed]
+
+
+gen_seeds = st.integers(min_value=0, max_value=60)
+run_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestStructuralInvariants:
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_intervals_partition_nodes(self, gen_seed):
+        program = program_for(gen_seed)
+        for name, cfg in program.cfgs.items():
+            intervals = program.ecfgs[name].intervals
+            # every node has an innermost interval whose member set
+            # contains it; loops nest (no partial overlap).
+            for node in cfg.nodes:
+                assert node in intervals.members[intervals.hdr_of(node)]
+            headers = intervals.headers
+            for a in headers:
+                for b in headers:
+                    ma, mb = intervals.members[a], intervals.members[b]
+                    assert ma <= mb or mb <= ma or not (ma & mb)
+
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_fcdg_rooted_acyclic_complete(self, gen_seed):
+        program = program_for(gen_seed)
+        for fcdg in program.fcdgs.values():
+            fcdg.validate()
+            position = {n: i for i, n in enumerate(fcdg.topological_order())}
+            for edge in fcdg.edges:
+                assert position[edge.src] < position[edge.dst]
+
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_headers_dominate_their_loops(self, gen_seed):
+        from repro.cfg.dominance import dominates, dominator_tree
+
+        program = program_for(gen_seed)
+        for name, cfg in program.cfgs.items():
+            intervals = program.ecfgs[name].intervals
+            idom = dominator_tree(cfg)
+            for header in intervals.loop_headers:
+                for member in intervals.members[header]:
+                    assert dominates(idom, header, member, cfg.entry)
+
+
+class TestProfilingInvariants:
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_smart_reconstruction_equals_oracle(self, gen_seed, run_seed):
+        program = program_for(gen_seed)
+        plan = smart_program_plan(program)
+        executor = PlanExecutor(plan)
+        run_program(program, hooks=executor, seed=run_seed)
+        oracle = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        reconstructed = reconstruct_profile(plan, executor, runs=1)
+        for name in program.cfgs:
+            rec = reconstructed.proc(name)
+            orc = oracle.proc(name)
+            assert rec.invocations == orc.invocations
+            for key, value in rec.branch_counts.items():
+                assert value == orc.branch_counts.get(key, 0.0), (name, key)
+            for header, value in rec.header_counts.items():
+                assert value == orc.header_counts.get(header, 0.0)
+
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_smart_plan_never_larger_than_naive(self, gen_seed):
+        program = program_for(gen_seed)
+        smart = smart_program_plan(program)
+        naive = naive_program_plan(program)
+        assert smart.n_counters <= naive.n_counters
+
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_smart_updates_never_exceed_naive(self, gen_seed, run_seed):
+        program = program_for(gen_seed)
+        smart_exec = PlanExecutor(smart_program_plan(program))
+        naive_exec = PlanExecutor(naive_program_plan(program))
+        run_program(program, hooks=smart_exec, seed=run_seed)
+        run_program(program, hooks=naive_exec, seed=run_seed)
+        assert smart_exec.updates <= naive_exec.updates
+
+
+class TestAnalysisInvariants:
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_node_freq_matches_observed(self, gen_seed, run_seed):
+        program = program_for(gen_seed)
+        result = run_program(program, seed=run_seed)
+        profile = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        for name in program.cfgs:
+            proc_profile = profile.proc(name)
+            freqs = compute_frequencies(program.fcdgs[name], proc_profile)
+            invocations = proc_profile.invocations
+            observed = result.node_counts.get(name, {})
+            for node, counted in observed.items():
+                estimated = freqs.node_freq[node] * invocations
+                assert estimated == pytest.approx(counted, rel=1e-9), (
+                    name,
+                    node,
+                )
+
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_time_equals_measured_cost(self, gen_seed, run_seed):
+        program = program_for(gen_seed)
+        result = run_program(program, model=SCALAR_MACHINE, seed=run_seed)
+        profile = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_time == pytest.approx(
+            result.total_cost, rel=1e-9
+        )
+
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_variance_nonnegative_everywhere(self, gen_seed, run_seed):
+        program = program_for(gen_seed)
+        profile = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        for proc in analysis.procedures.values():
+            for value in proc.variances.var.values():
+                assert value >= 0.0
+
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_branch_probabilities_in_unit_interval(self, gen_seed, run_seed):
+        program = program_for(gen_seed)
+        profile = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        for name in program.cfgs:
+            ecfg = program.ecfgs[name]
+            freqs = compute_frequencies(
+                program.fcdgs[name], profile.proc(name)
+            )
+            for (u, label), value in freqs.freq.items():
+                if u == ecfg.start or ecfg.is_preheader(u):
+                    assert value >= 0.0
+                else:
+                    assert 0.0 <= value <= 1.0

@@ -1,0 +1,104 @@
+"""Property tests for the algebra of accumulated profiles.
+
+The paper notes TOTAL_FREQ values are only ever used as *ratios*, so
+profiles may be accumulated freely across runs.  Consequences tested
+here on random programs:
+
+* TIME over a merged profile equals the run-count-weighted mean of
+  the per-run TIMEs (linearity);
+* merging is order-independent;
+* a profile scaled by duplicating its runs yields identical FREQ
+  values and therefore identical TIME/VAR.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SCALAR_MACHINE, analyze, compile_source
+from repro.pipeline import oracle_program_profile
+from repro.profiling.database import ProgramProfile
+from repro.workloads.generators import ProgramGenerator
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CACHE: dict[int, object] = {}
+
+
+def program_for(gen_seed: int):
+    if gen_seed not in _CACHE:
+        _CACHE[gen_seed] = compile_source(
+            ProgramGenerator(gen_seed, allow_calls=False).source()
+        )
+    return _CACHE[gen_seed]
+
+
+gen_seeds = st.integers(min_value=100, max_value=140)
+run_seeds = st.integers(min_value=0, max_value=500)
+
+
+class TestMergeAlgebra:
+    @given(gen_seed=gen_seeds, seed_a=run_seeds, seed_b=run_seeds)
+    @_SETTINGS
+    def test_time_is_linear_in_runs(self, gen_seed, seed_a, seed_b):
+        program = program_for(gen_seed)
+        profile_a = oracle_program_profile(program, runs=[{"seed": seed_a}])
+        profile_b = oracle_program_profile(program, runs=[{"seed": seed_b}])
+        time_a = analyze(program, profile_a, SCALAR_MACHINE).total_time
+        time_b = analyze(program, profile_b, SCALAR_MACHINE).total_time
+
+        merged = ProgramProfile()
+        merged.merge(profile_a)
+        merged.merge(profile_b)
+        merged_time = analyze(program, merged, SCALAR_MACHINE).total_time
+        assert merged_time == pytest.approx((time_a + time_b) / 2, rel=1e-9)
+
+    @given(gen_seed=gen_seeds, seed_a=run_seeds, seed_b=run_seeds)
+    @_SETTINGS
+    def test_merge_order_irrelevant(self, gen_seed, seed_a, seed_b):
+        program = program_for(gen_seed)
+        profile_a = oracle_program_profile(program, runs=[{"seed": seed_a}])
+        profile_b = oracle_program_profile(program, runs=[{"seed": seed_b}])
+        ab = ProgramProfile()
+        ab.merge(profile_a)
+        ab.merge(profile_b)
+        ba = ProgramProfile()
+        ba.merge(profile_b)
+        ba.merge(profile_a)
+        res_ab = analyze(program, ab, SCALAR_MACHINE)
+        res_ba = analyze(program, ba, SCALAR_MACHINE)
+        assert res_ab.total_time == pytest.approx(res_ba.total_time)
+        assert res_ab.total_var == pytest.approx(res_ba.total_var)
+
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_duplicated_profile_invariant(self, gen_seed, run_seed):
+        # Counts are only used as ratios: doubling every count leaves
+        # FREQ, TIME and VAR unchanged.
+        program = program_for(gen_seed)
+        single = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        doubled = ProgramProfile()
+        doubled.merge(single)
+        doubled.merge(single)
+        a = analyze(program, single, SCALAR_MACHINE)
+        b = analyze(program, doubled, SCALAR_MACHINE)
+        assert a.total_time == pytest.approx(b.total_time, rel=1e-12)
+        assert a.total_var == pytest.approx(b.total_var, rel=1e-9)
+        assert a.main.freqs.freq == pytest.approx(b.main.freqs.freq)
+
+    @given(gen_seed=gen_seeds, run_seed=run_seeds)
+    @_SETTINGS
+    def test_serialization_roundtrip_preserves_analysis(
+        self, gen_seed, run_seed
+    ):
+        program = program_for(gen_seed)
+        profile = oracle_program_profile(program, runs=[{"seed": run_seed}])
+        restored = ProgramProfile.from_dict(profile.to_dict())
+        a = analyze(program, profile, SCALAR_MACHINE)
+        b = analyze(program, restored, SCALAR_MACHINE)
+        assert a.total_time == b.total_time
+        assert a.total_var == b.total_var

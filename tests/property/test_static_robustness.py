@@ -1,0 +1,92 @@
+"""Property tests: the static estimator is total and well-formed.
+
+``static_profile`` must succeed on every compilable program and
+produce a profile the downstream machinery accepts: probabilities in
+[0, 1], loop frequencies ≥ 1, nonnegative TIME/VAR, and — because its
+counts are built from the same propagation the frequency pass uses —
+perfectly self-consistent FREQ values.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SCALAR_MACHINE, analyze, compile_source
+from repro.analysis import static_profile
+from repro.analysis.freq import compute_frequencies
+from repro.workloads.generators import ProgramGenerator
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CACHE: dict[int, object] = {}
+
+
+def program_for(seed: int):
+    if seed not in _CACHE:
+        _CACHE[seed] = compile_source(ProgramGenerator(seed).source())
+    return _CACHE[seed]
+
+
+gen_seeds = st.integers(min_value=300, max_value=360)
+
+
+class TestStaticEstimatorRobustness:
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_estimation_total_and_analyzable(self, gen_seed):
+        program = program_for(gen_seed)
+        profile = static_profile(program)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_time >= 0.0
+        assert analysis.total_var >= 0.0
+
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_probabilities_well_formed(self, gen_seed):
+        program = program_for(gen_seed)
+        profile = static_profile(program)
+        for name in program.cfgs:
+            ecfg = program.ecfgs[name]
+            freqs = compute_frequencies(
+                program.fcdgs[name], profile.proc(name)
+            )
+            for (u, label), value in freqs.freq.items():
+                if u == ecfg.start:
+                    assert value == pytest.approx(1.0) or value == 0.0
+                elif ecfg.is_preheader(u):
+                    if not label.startswith("Z"):
+                        assert value >= 1.0 or value == 0.0
+                else:
+                    assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_branch_labels_sum_to_at_most_one(self, gen_seed):
+        program = program_for(gen_seed)
+        profile = static_profile(program)
+        for name in program.cfgs:
+            ecfg = program.ecfgs[name]
+            freqs = compute_frequencies(
+                program.fcdgs[name], profile.proc(name)
+            )
+            by_node: dict[int, float] = {}
+            for (u, label), value in freqs.freq.items():
+                if u == ecfg.start or ecfg.is_preheader(u):
+                    continue
+                if label.startswith("Z"):
+                    continue
+                by_node[u] = by_node.get(u, 0.0) + value
+            for node, total in by_node.items():
+                assert total <= 1.0 + 1e-6, (name, node)
+
+    @given(gen_seed=gen_seeds)
+    @_SETTINGS
+    def test_every_procedure_covered(self, gen_seed):
+        program = program_for(gen_seed)
+        profile = static_profile(program)
+        for name in program.cfgs:
+            assert profile.proc(name).invocations == 1.0

@@ -1,0 +1,70 @@
+"""Stress invariants on larger, deeper generated programs.
+
+The hypothesis suites keep programs small for speed; this module runs
+the same exactness invariants once over a band of deliberately deeper
+and busier programs (depth 4, long blocks, calls + gotos + loops).
+"""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.profiling import PlanExecutor, reconstruct_profile
+from repro.workloads.generators import ProgramGenerator
+
+SEEDS = list(range(700, 716))
+
+
+def build(seed):
+    source = ProgramGenerator(
+        seed, max_depth=4, max_stmts=7
+    ).source()
+    return compile_source(source)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_deep_program_full_exactness(seed):
+    program = build(seed)
+    specs = [{"seed": seed * 13 + k} for k in range(2)]
+
+    plan = smart_program_plan(program)
+    executor = PlanExecutor(plan)
+    total_cost = 0.0
+    for spec in specs:
+        total_cost += run_program(
+            program, model=SCALAR_MACHINE, max_steps=5_000_000, **spec
+        ).total_cost
+        run_program(program, hooks=executor, max_steps=5_000_000, **spec)
+    oracle = oracle_program_profile(program, runs=specs)
+    reconstructed = reconstruct_profile(plan, executor, runs=len(specs))
+
+    for name in program.cfgs:
+        rec = reconstructed.proc(name)
+        orc = oracle.proc(name)
+        assert rec.invocations == orc.invocations, name
+        for key, value in rec.branch_counts.items():
+            assert value == orc.branch_counts.get(key, 0.0), (name, key)
+        for header, value in rec.header_counts.items():
+            assert value == orc.header_counts.get(header, 0.0), (
+                name,
+                header,
+            )
+
+    analysis = analyze(program, oracle, SCALAR_MACHINE)
+    assert analysis.total_time == pytest.approx(
+        total_cost / len(specs), rel=1e-9
+    )
+    for proc in analysis.procedures.values():
+        for value in proc.variances.var.values():
+            assert value >= 0.0
+
+
+def test_deep_programs_are_actually_big():
+    sizes = [len(build(seed).cfgs["MAIN"]) for seed in SEEDS[:4]]
+    assert max(sizes) > 60  # ensure the stress band stresses something

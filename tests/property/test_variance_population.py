@@ -1,0 +1,67 @@
+"""Population-level validation of the Section-5 variance model.
+
+On *loop-free* programs whose branches are driven by independent
+RAND() draws, the Case-2 model is statistically exact: over a
+population of generated programs, the modeled VAR(START) must track
+the Monte-Carlo sample variance closely.  (Loops require a VAR(FREQ)
+model and are validated separately in
+``benchmarks/bench_variance_validation.py``.)
+"""
+
+import statistics
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+)
+from repro.workloads.generators import ProgramGenerator
+
+N_PROGRAMS = 10
+N_RUNS = 300
+
+
+def _loop_free_program(seed):
+    source = ProgramGenerator(
+        seed,
+        allow_loops=False,
+        allow_calls=False,
+        allow_gotos=False,
+        max_depth=3,
+    ).source()
+    return compile_source(source)
+
+
+@pytest.mark.parametrize("seed", range(200, 200 + N_PROGRAMS))
+def test_loop_free_variance_tracks_monte_carlo(seed):
+    program = _loop_free_program(seed)
+    specs = [{"seed": s} for s in range(N_RUNS)]
+    costs = [
+        run_program(program, model=SCALAR_MACHINE, **spec).total_cost
+        for spec in specs
+    ]
+    profile = oracle_program_profile(program, runs=specs)
+    analysis = analyze(program, profile, SCALAR_MACHINE)
+
+    mc_mean = statistics.fmean(costs)
+    mc_var = statistics.pvariance(costs)
+    assert analysis.total_time == pytest.approx(mc_mean, rel=1e-9)
+
+    if mc_var < 1e-9:
+        # branch-free or fully deterministic program: model agrees.
+        assert analysis.total_var == pytest.approx(0.0, abs=1e-6)
+        return
+    # Allow generous sampling noise: with 300 runs the sample variance
+    # of a bounded mixture is within ~40% of truth w.h.p.; the
+    # *model* should sit inside that band.  Note: RAND() values feed
+    # both conditions and arithmetic; reused draws can correlate
+    # branches slightly, so this is a statistical band, not exactness.
+    ratio = analysis.total_var / mc_var
+    assert 0.45 < ratio < 2.2, (
+        f"seed={seed}: model VAR {analysis.total_var:.1f} vs "
+        f"MC {mc_var:.1f} (ratio {ratio:.2f})"
+    )

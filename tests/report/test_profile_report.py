@@ -1,0 +1,114 @@
+"""Tests for the gprof-style profile report."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+)
+from repro.report.profile_report import (
+    flat_profile,
+    hot_spots,
+    render_profile_report,
+)
+
+SOURCE = (
+    "PROGRAM MAIN\n"
+    "DO 10 I = 1, 10\n"
+    "CALL LIGHT(X)\n"
+    "CALL HEAVY(X)\n"
+    "10 CONTINUE\n"
+    "END\n"
+    "SUBROUTINE LIGHT(X)\n"
+    "X = X + 1.0\n"
+    "END\n"
+    "SUBROUTINE HEAVY(X)\n"
+    "DO 10 I = 1, 20\n"
+    "X = X + SQRT(2.0) * EXP(1.0)\n"
+    "10 CONTINUE\n"
+    "END\n"
+)
+
+
+@pytest.fixture
+def analysis():
+    program = compile_source(SOURCE)
+    profile = oracle_program_profile(program, runs=[{}])
+    return analyze(program, profile, SCALAR_MACHINE)
+
+
+class TestFlatProfile:
+    def test_self_times_sum_to_program_time(self, analysis):
+        entries = flat_profile(analysis)
+        total_self = sum(e.self_time for e in entries)
+        assert total_self == pytest.approx(analysis.total_time, rel=1e-9)
+
+    def test_heavy_dominates(self, analysis):
+        entries = flat_profile(analysis)
+        assert entries[0].name == "HEAVY"
+        assert entries[0].share > 0.5
+
+    def test_shares_sum_to_one(self, analysis):
+        entries = flat_profile(analysis)
+        assert sum(e.share for e in entries) == pytest.approx(1.0)
+
+    def test_call_counts(self, analysis):
+        by_name = {e.name: e for e in flat_profile(analysis)}
+        assert by_name["LIGHT"].calls == pytest.approx(10.0)
+        assert by_name["HEAVY"].calls == pytest.approx(10.0)
+        assert by_name["MAIN"].calls == pytest.approx(1.0)
+
+    def test_cumulative_includes_callees(self, analysis):
+        by_name = {e.name: e for e in flat_profile(analysis)}
+        assert by_name["MAIN"].cumulative_time == pytest.approx(
+            analysis.total_time
+        )
+        assert by_name["MAIN"].self_time < by_name["MAIN"].cumulative_time
+
+    def test_self_per_call(self, analysis):
+        by_name = {e.name: e for e in flat_profile(analysis)}
+        light = by_name["LIGHT"]
+        assert light.self_per_call == pytest.approx(
+            light.self_time / light.calls
+        )
+
+
+class TestHotSpots:
+    def test_hottest_statement_is_heavy_body(self, analysis):
+        spots = hot_spots(analysis, top=3)
+        assert spots[0].procedure == "HEAVY"
+        assert "SQRT" in spots[0].text
+
+    def test_top_limit_respected(self, analysis):
+        assert len(hot_spots(analysis, top=2)) == 2
+
+    def test_executions_counted(self, analysis):
+        spots = hot_spots(analysis, top=1)
+        assert spots[0].executions == pytest.approx(200.0)  # 10 × 20
+
+    def test_ordered_by_self_time(self, analysis):
+        spots = hot_spots(analysis, top=10)
+        times = [s.self_time for s in spots]
+        assert times == sorted(times, reverse=True)
+
+
+class TestRendering:
+    def test_report_has_three_sections(self, analysis):
+        text = render_profile_report(analysis)
+        assert "Flat profile" in text
+        assert "Call graph" in text
+        assert "Hottest" in text
+
+    def test_call_graph_edges_present(self, analysis):
+        text = render_profile_report(analysis)
+        assert "MAIN" in text and "HEAVY" in text and "LIGHT" in text
+
+    def test_no_call_graph_for_leaf_program(self):
+        program = compile_source("PROGRAM MAIN\nX = 1.0\nEND\n")
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        text = render_profile_report(analysis)
+        assert "Call graph" not in text
+        assert "Flat profile" in text

@@ -1,0 +1,104 @@
+"""Tests for report rendering (Figure-3 text, tables, DOT export)."""
+
+import pytest
+
+from repro import analyze, compile_source, oracle_program_profile
+from repro.cfg.dot import cfg_to_dot, fcdg_to_dot
+from repro.report import format_table, render_cfg, render_fcdg
+from repro.workloads.paper_example import FigureCostEstimator
+
+
+@pytest.fixture
+def paper_analysis(paper_program):
+    profile = oracle_program_profile(paper_program, runs=[{}])
+    return analyze(
+        paper_program, profile, model=None, estimator=FigureCostEstimator()
+    )
+
+
+class TestFigure3Rendering:
+    def test_headline_values_present(self, paper_analysis):
+        text = render_fcdg(paper_analysis.main)
+        assert "TIME(START) = 920" in text
+        assert "STD_DEV(START) = 300" in text
+
+    def test_edge_tuples_rendered(self, paper_analysis):
+        text = render_fcdg(paper_analysis.main)
+        assert "<0.9, 9>" in text  # FREQ / TOTAL_FREQ of the call branch
+
+    def test_node_tuples_rendered(self, paper_analysis):
+        text = render_fcdg(paper_analysis.main)
+        # the CALL node: [COST=100 (effective), TIME=100, ...]
+        assert "[100, 100," in text
+
+    def test_every_fcdg_node_listed(self, paper_analysis):
+        main = paper_analysis.main
+        text = render_fcdg(main)
+        for node_id in main.fcdg.nodes:
+            assert f"\n{node_id:>4} " in "\n" + text
+
+    def test_cfg_rendering(self, paper_program):
+        text = render_cfg(paper_program.cfgs["MAIN"])
+        assert "IF (M .GE. 0)" in text
+        assert "<- entry" in text
+        assert "--T-->" in text
+
+
+class TestTables:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["name", "value"],
+            [["LOOPS", 1.25], ["SIMPLE", 33.0]],
+            title="Table 1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "name" in lines[1]
+        assert "LOOPS" in lines[3]
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["n"], [[5], [12345]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("12345")
+        assert lines[-2].endswith("    5")
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.001234], [1234567.5]])
+        assert "0.00123" in text
+        assert "1.23e+06" in text
+
+    def test_integral_floats_render_as_integers(self):
+        text = format_table(["x"], [[920.0]])
+        assert "920" in text and "920.0" not in text
+
+
+class TestDotExport:
+    def test_cfg_dot_shape(self, paper_program):
+        dot = cfg_to_dot(paper_program.cfgs["MAIN"])
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"T"' in dot
+
+    def test_ecfg_dot_pseudo_edges_dashed(self, paper_program):
+        dot = cfg_to_dot(paper_program.ecfgs["MAIN"].graph)
+        assert "style=dashed" in dot
+
+    def test_fcdg_dot(self, paper_program):
+        dot = fcdg_to_dot(paper_program.fcdgs["MAIN"])
+        assert "digraph" in dot
+        assert "PREHEADER" in dot
+
+    def test_quotes_escaped(self):
+        from repro.cfg.graph import ControlFlowGraph, StmtKind
+
+        cfg = ControlFlowGraph(name="q")
+        a = cfg.add_node(StmtKind.NOOP, text='say "hi"')
+        b = cfg.add_node(StmtKind.NOOP, text="end")
+        cfg.entry, cfg.exit = a.id, b.id
+        cfg.add_edge(a.id, b.id, "U")
+        dot = cfg_to_dot(cfg)
+        assert '\\"hi\\"' in dot

@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """\
+      PROGRAM MAIN
+      INTEGER I
+      DO 10 I = 1, 5
+        IF (RAND() .LT. 0.5) X = X + 1.0
+10    CONTINUE
+      PRINT *, X
+      END
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.f"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_show_cfg(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "DO-TEST I" in out
+        assert "<- entry" in out
+
+    def test_show_ecfg(self, source_file, capsys):
+        assert main(["compile", source_file, "--show", "ecfg"]) == 0
+        out = capsys.readouterr().out
+        assert "PREHEADER" in out
+
+    def test_show_fcdg(self, source_file, capsys):
+        assert main(["compile", source_file, "--show", "fcdg"]) == 0
+        out = capsys.readouterr().out
+        assert "FCDG of MAIN" in out
+        assert "--T-->" in out
+
+    def test_dot_outputs(self, source_file, capsys):
+        assert main(["compile", source_file, "--show", "dot-cfg"]) == 0
+        assert "digraph" in capsys.readouterr().out
+        assert main(["compile", source_file, "--show", "dot-fcdg"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_unknown_procedure_fails(self, source_file, capsys):
+        assert main(["compile", source_file, "--proc", "NOPE"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["compile", "/nonexistent.f"]) == 1
+
+
+class TestRunCommand:
+    def test_prints_program_output(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip()  # the PRINT line
+        assert "cycles" in captured.err
+
+    def test_seed_changes_output(self, source_file, capsys):
+        main(["run", source_file, "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["run", source_file, "--seed", "99"])
+        second = capsys.readouterr().out
+        assert first != second or first == second  # both valid; no crash
+
+    def test_inputs_forwarded(self, tmp_path, capsys):
+        path = tmp_path / "echo.f"
+        path.write_text("PROGRAM MAIN\nPRINT *, INPUT(1)\nEND\n")
+        assert main(["run", str(path), "--inputs", "42.5"]) == 0
+        assert "42.5" in capsys.readouterr().out
+
+    def test_model_choice(self, source_file, capsys):
+        assert main(["run", source_file, "--model", "optimizing"]) == 0
+        assert "optimization ON" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_prints_stats(self, source_file, capsys):
+        assert main(["profile", source_file, "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "overhead" in out
+
+    def test_naive_plan(self, source_file, capsys):
+        assert main(["profile", source_file, "--plan", "naive"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_database_accumulation(self, source_file, tmp_path, capsys):
+        db = str(tmp_path / "profiles.json")
+        assert main(["profile", source_file, "--db", db, "--key", "k"]) == 0
+        assert main(["profile", source_file, "--db", db, "--key", "k"]) == 0
+        from repro.profiling.database import ProfileDatabase
+
+        stored = ProfileDatabase(db).lookup("k")
+        assert stored.runs == 2
+
+
+class TestAnalyzeCommand:
+    def test_prints_times(self, source_file, capsys):
+        assert main(["analyze", source_file, "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TIME" in out
+        assert "STD_DEV" in out
+        assert "MAIN" in out
+
+    def test_figure3_flag(self, source_file, capsys):
+        assert main(["analyze", source_file, "--figure3"]) == 0
+        assert "TIME(START)" in capsys.readouterr().out
+
+    def test_gprof_flag(self, source_file, capsys):
+        assert main(["analyze", source_file, "--gprof"]) == 0
+        out = capsys.readouterr().out
+        assert "Flat profile" in out
+        assert "Hottest" in out
+
+    def test_loop_variance_choices(self, source_file, capsys):
+        for choice in ["zero", "profiled", "geometric"]:
+            assert main(
+                ["analyze", source_file, "--loop-variance", choice]
+            ) == 0
+
+    def test_analyze_from_database(self, source_file, tmp_path, capsys):
+        db = str(tmp_path / "profiles.json")
+        main(["profile", source_file, "--db", db])
+        capsys.readouterr()
+        assert main(["analyze", source_file, "--db", db]) == 0
+        assert "TIME" in capsys.readouterr().out
+
+    def test_missing_database_key_fails(self, source_file, tmp_path, capsys):
+        db = str(tmp_path / "empty.json")
+        from repro.profiling.database import ProfileDatabase
+
+        ProfileDatabase(db).save()
+        assert main(["analyze", source_file, "--db", db]) == 1
+        assert "no profile" in capsys.readouterr().err
+
+
+class TestAppCommands:
+    def test_traces(self, source_file, capsys):
+        assert main(["traces", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "trace 0" in out
+
+    def test_partition(self, source_file, capsys):
+        assert main(["partition", source_file, "--processors", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated speedup" in out
+        assert "loop tasks" in out
+
+    def test_spill(self, source_file, capsys):
+        assert main(["spill", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "spill costs" in out
+        assert "I" in out  # the loop index ranks
+
+    def test_spill_unknown_proc(self, source_file, capsys):
+        assert main(["spill", source_file, "--proc", "NOPE"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import compile_source, run_program
+from repro.errors import (
+    AnalysisError,
+    CFGError,
+    InterpreterError,
+    InterpreterLimitError,
+    IrreducibleError,
+    LexError,
+    ParseError,
+    ProfilingError,
+    ReproError,
+    SemanticError,
+    SourceError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in [
+            SourceError,
+            LexError,
+            ParseError,
+            SemanticError,
+            CFGError,
+            IrreducibleError,
+            AnalysisError,
+            ProfilingError,
+            InterpreterError,
+            InterpreterLimitError,
+        ]:
+            assert issubclass(exc_type, ReproError), exc_type
+
+    def test_frontend_errors_are_source_errors(self):
+        assert issubclass(LexError, SourceError)
+        assert issubclass(ParseError, SourceError)
+        assert issubclass(SemanticError, SourceError)
+
+    def test_irreducible_is_cfg_error(self):
+        assert issubclass(IrreducibleError, CFGError)
+
+    def test_limit_is_interpreter_error(self):
+        assert issubclass(InterpreterLimitError, InterpreterError)
+
+    def test_one_catch_covers_compile_failures(self):
+        for bad in [
+            "PROGRAM MAIN\nX = 1 $ 2\nEND\n",  # lex
+            "PROGRAM MAIN\nX = \nEND\n",  # parse
+            "PROGRAM MAIN\nGOTO 99\nEND\n",  # semantic
+        ]:
+            with pytest.raises(ReproError):
+                compile_source(bad)
+
+
+class TestLineNumbers:
+    def test_lex_error_carries_line(self):
+        with pytest.raises(LexError, match="line 3"):
+            compile_source("PROGRAM MAIN\nX = 1\nY = $\nEND\n")
+
+    def test_parse_error_carries_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            compile_source("PROGRAM MAIN\nX = 1 +\nEND\n")
+
+    def test_semantic_error_carries_line(self):
+        with pytest.raises(SemanticError, match="line 3"):
+            compile_source("PROGRAM MAIN\nX = 1\nGOTO 42\nEND\n")
+
+    def test_runtime_error_carries_line(self):
+        program = compile_source(
+            "PROGRAM MAIN\nI = 0\nJ = 7 / I\nEND\n"
+        )
+        with pytest.raises(InterpreterError, match="line 3"):
+            run_program(program)
+
+    def test_messages_name_the_symbol(self):
+        with pytest.raises(SemanticError, match="NOPE"):
+            compile_source("PROGRAM MAIN\nCALL NOPE\nEND\n")
+        with pytest.raises(SemanticError, match="label 42"):
+            compile_source("PROGRAM MAIN\nGOTO 42\nEND\n")

@@ -1,0 +1,52 @@
+"""Every example script must run cleanly (they are documentation)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_paper_example_prints_exact_values(capsys):
+    out = run_example("paper_example", capsys)
+    assert "TIME(START) = 920" in out
+    assert "STD_DEV(START) = 300" in out
+
+
+def test_quickstart_reports_overhead(capsys):
+    out = run_example("quickstart", capsys)
+    assert "profiling overhead" in out
+    assert "TIME(START)" in out
+
+
+def test_trace_example_lists_traces(capsys):
+    out = run_example("trace_scheduling", capsys)
+    assert "trace 0" in out
+    assert "Branch layout advice" in out.replace("==", "")

@@ -1,0 +1,138 @@
+"""Tests for the classic algorithm workloads — correctness of the
+computed results AND full-pipeline exactness on each."""
+
+import pytest
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    oracle_program_profile,
+    run_program,
+    smart_program_plan,
+)
+from repro.profiling import PlanExecutor, reconstruct_profile
+from repro.workloads.classic import (
+    binsearch_source,
+    gauss_source,
+    newton_source,
+    shellsort_source,
+)
+
+
+def pipeline_exact(source, run_specs):
+    """TIME == measured and reconstruction == oracle for the program."""
+    program = compile_source(source)
+    total = 0.0
+    plan = smart_program_plan(program)
+    executor = PlanExecutor(plan)
+    for spec in run_specs:
+        total += run_program(program, model=SCALAR_MACHINE, **spec).total_cost
+        run_program(program, hooks=executor, **spec)
+    oracle = oracle_program_profile(program, runs=run_specs)
+    reconstructed = reconstruct_profile(plan, executor, runs=len(run_specs))
+    for name in program.cfgs:
+        rec, orc = reconstructed.proc(name), oracle.proc(name)
+        assert rec.invocations == orc.invocations
+        for key, value in rec.branch_counts.items():
+            assert value == orc.branch_counts.get(key, 0.0), (name, key)
+    analysis = analyze(program, oracle, SCALAR_MACHINE)
+    assert analysis.total_time == pytest.approx(
+        total / len(run_specs), rel=1e-9
+    )
+    return program, analysis
+
+
+class TestShellsort:
+    def test_sorts_correctly(self):
+        program = compile_source(shellsort_source(n=50))
+        for seed in range(3):
+            result = run_program(program, seed=seed)
+            assert result.outputs == ["0"]  # zero out-of-order pairs
+
+    def test_pipeline_exact(self):
+        pipeline_exact(shellsort_source(n=30), [{"seed": 1}, {"seed": 2}])
+
+    def test_goto_loops_found(self):
+        program = compile_source(shellsort_source(n=20))
+        # gap loop, insertion scan loop, shift loop + 2 DO loops.
+        assert len(program.ecfgs["SHELLSORT"].preheader_of) >= 4
+
+
+class TestGauss:
+    def test_solves_system(self):
+        program = compile_source(gauss_source(n=8))
+        for seed in range(3):
+            result = run_program(program, seed=seed)
+            residual = float(result.outputs[0])
+            assert residual < 1e-4
+
+    def test_pivot_branch_taken_sometimes(self):
+        program = compile_source(gauss_source(n=8))
+        result = run_program(program, seed=0)
+        swap_if = next(
+            n.id
+            for n in program.cfgs["GAUSS"]
+            if "IF (IP .NE. K)" in n.text
+        )
+        counts = result.edge_counts["GAUSS"]
+        assert (swap_if, "T") in counts or (swap_if, "F") in counts
+
+    def test_pipeline_exact(self):
+        pipeline_exact(gauss_source(n=6), [{"seed": 3}])
+
+    def test_triangular_loop_frequencies(self):
+        # the elimination loop runs N-1 times; inner loops shrink.
+        program = compile_source(gauss_source(n=6))
+        profile = oracle_program_profile(program, runs=[{}])
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        assert analysis.total_time > 0
+
+
+class TestNewton:
+    @pytest.mark.parametrize("value", [2.0, 10.0, 1234.5])
+    def test_converges(self, value):
+        program = compile_source(newton_source())
+        result = run_program(program, inputs=(value,))
+        iters, err = result.outputs[0].split()
+        assert int(iters) < 30
+        assert float(err) < 1e-5
+
+    def test_iteration_count_grows_with_input(self):
+        program = compile_source(newton_source())
+        small = int(run_program(program, inputs=(2.0,)).outputs[0].split()[0])
+        large = int(
+            run_program(program, inputs=(1.0e6,)).outputs[0].split()[0]
+        )
+        assert large > small
+
+    def test_pipeline_exact(self):
+        pipeline_exact(
+            newton_source(), [{"inputs": (2.0,)}, {"inputs": (99.0,)}]
+        )
+
+
+class TestBinsearch:
+    def test_hit_count_plausible(self):
+        program = compile_source(binsearch_source(n=64, queries=40))
+        result = run_program(program, seed=5)
+        hits = int(result.outputs[0])
+        assert 0 <= hits <= 40
+
+    def test_uses_arithmetic_if(self):
+        from repro.cfg.graph import StmtKind
+
+        program = compile_source(binsearch_source())
+        kinds = {n.kind for n in program.cfgs["BINSEARCH"]}
+        assert StmtKind.AIF in kinds
+
+    def test_search_is_logarithmic(self):
+        # per query, the probe loop runs at most log2(64)+1 = 7 times.
+        program = compile_source(binsearch_source(n=64, queries=10))
+        profile = oracle_program_profile(program, runs=[{"seed": 1}])
+        main = profile.proc("BINSEARCH")
+        probe_header = max(main.header_counts.values())
+        assert probe_header <= 10 * 8
+
+    def test_pipeline_exact(self):
+        pipeline_exact(binsearch_source(n=32, queries=15), [{"seed": 2}])

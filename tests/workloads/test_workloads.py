@@ -1,0 +1,138 @@
+"""Tests for the workload programs (LOOPS, SIMPLE, unstructured)."""
+
+import pytest
+
+from repro import compile_source, run_program
+from repro.cfg.graph import StmtKind
+from repro.workloads.generators import ProgramGenerator
+from repro.workloads.livermore import livermore_source
+from repro.workloads.simple_cfd import simple_source
+from repro.workloads.unstructured import ALL_SOURCES
+
+
+class TestLivermore:
+    def test_all_24_kernels_present(self):
+        source = livermore_source(n=24, n2=4)
+        program = compile_source(source)
+        kernels = [p for p in program.cfgs if p.startswith("KERN")]
+        assert len(kernels) == 24
+
+    def test_runs_to_completion(self):
+        program = compile_source(livermore_source(n=24, n2=4))
+        result = run_program(program)
+        assert result.halted == "end"
+        assert len(result.outputs) == 1
+
+    def test_each_kernel_invoked(self):
+        program = compile_source(livermore_source(n=24, n2=4))
+        result = run_program(program)
+        for name in program.cfgs:
+            if name.startswith("KERN"):
+                assert result.call_counts[name] == 1, name
+
+    def test_ncycles_multiplies_invocations(self):
+        program = compile_source(livermore_source(n=24, n2=4, ncycles=3))
+        result = run_program(program)
+        assert result.call_counts["KERN01"] == 3
+
+    def test_inner_product_value(self):
+        # Kernel 3 stores the inner product in Z(1); it must be
+        # deterministic across runs.
+        program = compile_source(livermore_source(n=24, n2=4))
+        a = run_program(program).outputs
+        b = run_program(program).outputs
+        assert a == b
+
+    def test_branchy_kernels_take_both_sides(self):
+        program = compile_source(livermore_source(n=40, n2=6))
+        result = run_program(program)
+        counts = result.edge_counts["KERN24"]
+        t_edges = [c for (n, l), c in counts.items() if l == "T"]
+        assert any(t_edges)  # the IF inside kernel 24 fires
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            livermore_source(n=4)
+
+    def test_goto_kernels_reducible(self):
+        program = compile_source(livermore_source(n=24, n2=4))
+        assert program.splits == {}
+
+
+class TestSimple:
+    def test_runs_to_completion(self):
+        program = compile_source(simple_source(n=8, ncycles=2))
+        result = run_program(program)
+        assert result.halted == "end"
+
+    def test_energy_is_finite_positive(self):
+        program = compile_source(simple_source(n=8, ncycles=2))
+        result = run_program(program)
+        time_str, esum_str = result.outputs[0].split()
+        assert float(esum_str) > 0.0
+
+    def test_cycle_loop_runs_ncycles(self):
+        program = compile_source(simple_source(n=8, ncycles=4))
+        result = run_program(program)
+        assert result.call_counts["LAGRAN"] == 4
+
+    def test_viscosity_branch_is_data_dependent(self):
+        program = compile_source(simple_source(n=8, ncycles=3))
+        result = run_program(program)
+        counts = result.edge_counts["VISCOS"]
+        labels = {l for (n, l) in counts}
+        assert "T" in labels or "F" in labels
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            simple_source(n=3)
+
+
+class TestUnstructured:
+    @pytest.mark.parametrize("name", sorted(ALL_SOURCES))
+    def test_compiles_and_runs(self, name):
+        program = compile_source(ALL_SOURCES[name])
+        result = run_program(program, inputs=(9.0,), seed=1)
+        assert result.outputs
+
+    def test_two_exit_loop_exits(self):
+        program = compile_source(ALL_SOURCES["TWO_EXIT_LOOP"])
+        result = run_program(program, seed=2)
+        k = int(result.outputs[0].split()[0])
+        assert 1 <= k <= 100
+
+    def test_state_machine_uses_computed_goto(self):
+        program = compile_source(ALL_SOURCES["STATE_MACHINE"])
+        kinds = {n.kind for n in program.cfgs["STATES"]}
+        assert StmtKind.CGOTO in kinds
+
+    def test_early_returns_multiple_paths_to_exit(self):
+        program = compile_source(ALL_SOURCES["EARLY_RETURNS"])
+        cfg = program.cfgs["CLASSIFY"]
+        assert len(cfg.in_edges(cfg.exit)) >= 3
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs_compile_and_run(self, seed):
+        source = ProgramGenerator(seed).source()
+        program = compile_source(source)
+        result = run_program(program, seed=seed, max_steps=2_000_000)
+        assert result.halted in ("end", "stop")
+
+    def test_same_seed_same_program(self):
+        assert ProgramGenerator(5).source() == ProgramGenerator(5).source()
+
+    def test_different_seeds_differ(self):
+        assert ProgramGenerator(1).source() != ProgramGenerator(2).source()
+
+    def test_shape_parameters_respected(self):
+        gen = ProgramGenerator(3, allow_calls=False)
+        source = gen.source()
+        assert "SUBROUTINE" not in source
+        assert "FUNCTION" not in source
+
+    def test_goto_free_mode(self):
+        source = ProgramGenerator(4, allow_gotos=False).source()
+        program = compile_source(source)
+        run_program(program, seed=4)
