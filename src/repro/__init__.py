@@ -29,6 +29,7 @@ from repro.pipeline import (
     estimate,
     naive_program_plan,
     oracle_program_profile,
+    profile_batch,
     profile_program,
     run_program,
     smart_program_plan,
@@ -42,6 +43,7 @@ __all__ = [
     "compile_source",
     "run_program",
     "profile_program",
+    "profile_batch",
     "oracle_program_profile",
     "smart_program_plan",
     "naive_program_plan",

@@ -1,0 +1,39 @@
+"""Batch profiling: cached static analysis over a (program × run) matrix.
+
+The paper's point is that optimized counter placement makes profiling
+cheap enough to run routinely; this package makes *running it
+routinely* cheap too.  See :mod:`repro.batch.cache` for the
+content-hash artifact cache, :mod:`repro.batch.engine` for the
+serial/pooled execution engine and :mod:`repro.batch.aggregate` for
+the Definition-3 aggregation of merged profiles.
+
+The convenience entry point is :func:`repro.pipeline.profile_batch`;
+the CLI exposes the same engine as ``repro batch``.
+"""
+
+from repro.batch.aggregate import canonical_json, merge_profiles, summarize_item
+from repro.batch.cache import ArtifactCache, CachedArtifacts, CacheStats, source_key
+from repro.batch.engine import (
+    BatchError,
+    BatchItem,
+    BatchOptions,
+    BatchReport,
+    BatchResult,
+    run_batch,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CachedArtifacts",
+    "CacheStats",
+    "source_key",
+    "BatchError",
+    "BatchItem",
+    "BatchOptions",
+    "BatchReport",
+    "BatchResult",
+    "run_batch",
+    "canonical_json",
+    "merge_profiles",
+    "summarize_item",
+]

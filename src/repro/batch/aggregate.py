@@ -1,0 +1,81 @@
+"""Aggregation of per-run profiles into batch summaries.
+
+Per-run ``ProgramProfile``s accumulate by summing raw ``TOTAL_FREQ``
+material (the paper's recommendation: only ratios matter).  From the
+merged counts, one Definition-3 top-down pass per procedure yields the
+relative ``FREQ`` / ``NODE_FREQ`` values, and the TIME/VAR analysis
+turns them into average-time and variance summaries.
+
+Summaries are plain JSON-shaped dictionaries with a *canonical* byte
+encoding (:func:`canonical_json`): keys sorted, floats rendered by
+``repr``.  Serial and pooled batch execution must produce identical
+bytes — the batch tests and the throughput benchmark assert it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.interprocedural import LoopVarianceSpec
+from repro.costs.model import MachineModel, SCALAR_MACHINE
+from repro.pipeline import CompiledProgram, analyze
+from repro.profiling import ProgramProfile
+
+
+def merge_profiles(profiles: list[ProgramProfile]) -> ProgramProfile:
+    """Sum several runs' raw counts into one accumulated profile."""
+    total = ProgramProfile()
+    for profile in profiles:
+        total.merge(profile)
+    return total
+
+
+def summarize_item(
+    program: CompiledProgram,
+    profile: ProgramProfile,
+    model: MachineModel | None = None,
+    *,
+    loop_variance: LoopVarianceSpec = "zero",
+) -> dict:
+    """One program's aggregate frequency/variance summary.
+
+    Runs the Definition-3 top-down pass (inside ``analyze``) over the
+    merged profile and extracts, per procedure: invocations, TIME,
+    VAR, STD_DEV and the ``NODE_FREQ`` map (keyed by ECFG node id).
+    """
+    analysis = analyze(
+        program, profile, model or SCALAR_MACHINE, loop_variance=loop_variance
+    )
+    procedures = {}
+    for name in sorted(analysis.procedures):
+        proc = analysis.procedures[name]
+        procedures[name] = {
+            "invocations": proc.freqs.invocations,
+            "time": proc.time,
+            "var": proc.var,
+            "std_dev": proc.std_dev,
+            "node_freq": {
+                str(node): freq
+                for node, freq in sorted(proc.freqs.node_freq.items())
+            },
+            "total_freq": {
+                f"{node}:{label}": total
+                for (node, label), total in sorted(
+                    proc.freqs.total_freq.items()
+                )
+            },
+        }
+    return {
+        "runs": profile.runs,
+        "time": analysis.total_time,
+        "var": analysis.total_var,
+        "std_dev": analysis.total_std_dev,
+        "procedures": procedures,
+    }
+
+
+def canonical_json(payload: dict) -> str:
+    """A deterministic JSON encoding (stable across processes)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )

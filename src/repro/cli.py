@@ -7,7 +7,10 @@ Commands mirror the library pipeline:
 * ``profile``  — execute under the optimized counter plan; print stats
   and optionally accumulate into a profile database (PTRAN style);
 * ``analyze``  — profile (or load a database entry) and print TIME /
-  VAR / STD_DEV per procedure, optionally the annotated Figure-3 FCDG.
+  VAR / STD_DEV per procedure, optionally the annotated Figure-3 FCDG;
+* ``batch``    — profile many programs (files and/or generated
+  workloads) through the cached batch engine, serially or on a
+  process pool, with per-program error isolation.
 """
 
 from __future__ import annotations
@@ -300,6 +303,105 @@ def _cmd_spill(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.batch import BatchItem, run_batch
+    from repro.workloads.generators import ProgramGenerator
+
+    inputs = _parse_inputs(args.inputs)
+    run_specs = tuple(
+        {"seed": args.seed + i, "inputs": inputs} for i in range(args.runs)
+    )
+    items: list[BatchItem] = []
+    for path in args.files:
+        items.append(
+            BatchItem(id=path, source=Path(path).read_text(), runs=run_specs)
+        )
+    for i in range(args.generate):
+        gen_seed = args.gen_seed + i
+        items.append(
+            BatchItem(
+                id=f"gen-{gen_seed}",
+                source=ProgramGenerator(gen_seed).source(),
+                runs=run_specs,
+            )
+        )
+    if not items:
+        raise ReproError("batch: no programs (give files and/or --generate N)")
+
+    mode = {"auto": "auto", "serial": "serial", "pool": "process"}[args.mode]
+    report = run_batch(
+        items,
+        plan=args.plan,
+        model=_MODELS[args.model],
+        mode=mode,
+        jobs=args.jobs,
+        cache=args.cache,
+        max_steps=args.max_steps,
+    )
+
+    rows = []
+    for result in report.results:
+        if result.ok:
+            summary = result.summary or {}
+            rows.append(
+                [
+                    result.item_id,
+                    "ok",
+                    result.runs,
+                    result.counters,
+                    result.counter_updates,
+                    summary.get("time", float("nan")),
+                    summary.get("std_dev", float("nan")),
+                    result.cache_tier,
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    result.item_id,
+                    f"FAILED ({result.error.stage})",
+                    result.runs,
+                    0,
+                    0,
+                    float("nan"),
+                    float("nan"),
+                    result.cache_tier or "-",
+                ]
+            )
+    print(
+        format_table(
+            ["program", "status", "runs", "counters", "updates",
+             "TIME", "STD_DEV", "cache"],
+            rows,
+            title=(
+                f"batch profile of {len(report.results)} programs "
+                f"({report.mode}, {report.jobs} job(s), {args.plan} plan)"
+            ),
+        )
+    )
+    stats = report.cache_stats
+    print(
+        f"\ncache: {stats['memory_hits']} memory hits, "
+        f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
+        f"{stats['corrupt_entries']} corrupt; "
+        f"{len(report.ok)}/{len(report.results)} ok in {report.elapsed:.2f}s"
+    )
+    for result in report.failures:
+        print(
+            f"{result.item_id}: {result.error.stage} failed "
+            f"[{result.error.type}] {result.error.message}",
+            file=sys.stderr,
+        )
+    if args.json:
+        payload = report.aggregate_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"[aggregate JSON written to {args.json}]", file=sys.stderr)
+    return 0 if not report.failures else 1
+
+
 def _cmd_plan(args) -> int:
     from repro.profiling.describe import describe_plan
 
@@ -420,6 +522,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_spill.add_argument("--proc", help="procedure (default: MAIN)")
     p_spill.set_defaults(func=_cmd_spill)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="profile many programs with cached artifacts (serial or pooled)",
+    )
+    p_batch.add_argument("files", nargs="*", help="minifort source files")
+    p_batch.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="add N seeded generator programs to the batch",
+    )
+    p_batch.add_argument(
+        "--gen-seed", type=int, default=0,
+        help="first generator seed (default 0)",
+    )
+    p_batch.add_argument("--runs", type=int, default=1)
+    p_batch.add_argument("--inputs", help="comma-separated INPUT() vector")
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument(
+        "--plan", choices=["smart", "naive"], default="smart"
+    )
+    p_batch.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_batch.add_argument(
+        "--mode", choices=["auto", "serial", "pool"], default="auto"
+    )
+    p_batch.add_argument(
+        "--jobs", type=int, help="worker processes (default: CPU count)"
+    )
+    p_batch.add_argument(
+        "--cache", help="artifact cache directory (omit: in-memory only)"
+    )
+    p_batch.add_argument("--max-steps", type=int, default=10_000_000)
+    p_batch.add_argument(
+        "--json", metavar="PATH",
+        help="write the canonical aggregate JSON here ('-' for stdout)",
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_plan = sub.add_parser(
         "plan", help="show counter placement plans (smart vs naive)"

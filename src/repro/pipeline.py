@@ -205,6 +205,60 @@ def profile_program(
     return profile, stats
 
 
+def profile_batch(
+    items,
+    runs: list[dict] | int = 1,
+    *,
+    plan: str = "smart",
+    model: MachineModel | None = None,
+    mode: str = "auto",
+    jobs: int | None = None,
+    cache=None,
+    loop_variance: str = "zero",
+    max_steps: int = 10_000_000,
+):
+    """Profile many programs, with cached static analysis.
+
+    ``items`` may mix plain source strings, ``(id, source)`` pairs and
+    :class:`repro.batch.BatchItem` instances; ``runs`` (a count or a
+    list of run-spec dicts) applies to every non-``BatchItem`` entry.
+    ``cache`` is a directory path or :class:`repro.batch.ArtifactCache`
+    (``None`` keeps the cache in memory); ``mode`` is ``"serial"``,
+    ``"process"`` or ``"auto"``.  Returns a
+    :class:`repro.batch.BatchReport` with results in item order and
+    per-item error isolation.
+    """
+    from repro.batch import BatchItem, run_batch
+
+    if isinstance(runs, int):
+        run_specs = tuple({"seed": i} for i in range(runs))
+    else:
+        run_specs = tuple(dict(spec) for spec in runs)
+    normalized: list[BatchItem] = []
+    for i, item in enumerate(items):
+        if isinstance(item, BatchItem):
+            normalized.append(item)
+        elif isinstance(item, str):
+            normalized.append(
+                BatchItem(id=f"program-{i}", source=item, runs=run_specs)
+            )
+        else:
+            item_id, source = item
+            normalized.append(
+                BatchItem(id=str(item_id), source=source, runs=run_specs)
+            )
+    return run_batch(
+        normalized,
+        plan=plan,
+        model=model,
+        mode=mode,
+        jobs=jobs,
+        cache=cache,
+        loop_variance=loop_variance,
+        max_steps=max_steps,
+    )
+
+
 def oracle_program_profile(
     program: CompiledProgram,
     runs: list[dict] | int = 1,

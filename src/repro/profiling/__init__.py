@@ -28,7 +28,7 @@ from repro.profiling.placement import (
     smart_plan,
 )
 from repro.profiling.runtime import PlanExecutor
-from repro.profiling.reconstruct import reconstruct_profile
+from repro.profiling.reconstruct import expand_block_counts, reconstruct_profile
 from repro.profiling.oracle import oracle_profile
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "smart_plan",
     "PlanExecutor",
     "reconstruct_profile",
+    "expand_block_counts",
     "oracle_profile",
 ]

@@ -11,7 +11,10 @@ numbered its synthetic nodes:
   (``TOTAL_FREQ(START, U)``);
 * ``loop_sumsq[h]`` / ``loop_entries[h]`` — optional Σ(iterations²)
   and entry counts per loop, enabling the profile-based
-  ``VAR(FREQ(u,l))`` of Section 5 Case 1.
+  ``VAR(FREQ(u,l))`` of Section 5 Case 1;
+* ``block_counts[leader]`` — executions of the basic block led by
+  node ``leader`` (only produced by *naive* per-block plans; the
+  differential tests compare these against node-level ground truth).
 
 Profiles accumulate: the paper recommends summing ``TOTAL_FREQ`` over
 several program runs, since only ratios matter.  The
@@ -37,6 +40,7 @@ class ProcedureProfile:
     invocations: float = 0.0
     loop_sumsq: dict[int, float] = field(default_factory=dict)
     loop_entries: dict[int, float] = field(default_factory=dict)
+    block_counts: dict[int, float] = field(default_factory=dict)
 
     def merge(self, other: "ProcedureProfile") -> None:
         """Accumulate another profile of the same procedure into this one."""
@@ -53,6 +57,8 @@ class ProcedureProfile:
             self.loop_sumsq[key] = self.loop_sumsq.get(key, 0.0) + value
         for key, value in other.loop_entries.items():
             self.loop_entries[key] = self.loop_entries.get(key, 0.0) + value
+        for key, value in other.block_counts.items():
+            self.block_counts[key] = self.block_counts.get(key, 0.0) + value
 
     def loop_freq_second_moment(self, header: int) -> float | None:
         """E[F²] for the loop headed by ``header``, if recorded."""
@@ -96,6 +102,7 @@ class ProgramProfile:
                     "invocations": profile.invocations,
                     "loop_sumsq": sorted(profile.loop_sumsq.items()),
                     "loop_entries": sorted(profile.loop_entries.items()),
+                    "block_counts": sorted(profile.block_counts.items()),
                 }
                 for name, profile in sorted(self.procedures.items())
             },
@@ -119,6 +126,11 @@ class ProgramProfile:
             }
             proc.loop_entries = {
                 int(node): float(value) for node, value in raw["loop_entries"]
+            }
+            # Databases written before block counts existed lack the key.
+            proc.block_counts = {
+                int(node): float(value)
+                for node, value in raw.get("block_counts", [])
             }
         return profile
 

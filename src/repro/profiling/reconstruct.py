@@ -42,9 +42,11 @@ def reconstruct_procedure(
         elif target[0] == "header":
             profile.header_counts[target[1]] = value
         elif target[0] == "block":
-            # Naive plans measure blocks; they do not produce the
-            # condition-level profile the analysis needs.
-            continue
+            # Naive plans measure basic blocks; the condition-level
+            # material the analysis needs is absent, but the block
+            # counts themselves are a full node-execution profile
+            # (see :func:`expand_block_counts`).
+            profile.block_counts[target[1]] = value
     return profile
 
 
@@ -58,3 +60,23 @@ def reconstruct_profile(
             proc_plan, executor.counter_values(name)
         )
     return profile
+
+
+def expand_block_counts(
+    cfg, block_counts: dict[int, float]
+) -> dict[int, float]:
+    """Per-node execution counts from per-block counts.
+
+    Every member of a basic block executes exactly as often as its
+    leader, so a naive plan's block profile expands to the same
+    node-execution profile the interpreter observes — the differential
+    tests compare the two directly.
+    """
+    from repro.profiling.placement import basic_blocks
+
+    counts: dict[int, float] = {}
+    for leader, members in basic_blocks(cfg).items():
+        value = block_counts.get(leader, 0.0)
+        for member in members:
+            counts[member] = value
+    return counts

@@ -1,0 +1,80 @@
+"""The ``repro batch`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.generators import ProgramGenerator
+
+pytestmark = pytest.mark.batch
+
+
+@pytest.fixture
+def program_files(tmp_path):
+    paths = []
+    for seed in range(3):
+        path = tmp_path / f"prog{seed}.f"
+        path.write_text(ProgramGenerator(seed).source())
+        paths.append(str(path))
+    return paths
+
+
+def test_batch_over_files(program_files, capsys):
+    assert main(["batch", *program_files, "--runs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "batch profile of 3 programs" in out
+    for path in program_files:
+        assert path in out
+
+
+def test_batch_generated_workload(capsys):
+    assert main(["batch", "--generate", "4", "--mode", "serial"]) == 0
+    out = capsys.readouterr().out
+    assert "gen-0" in out and "gen-3" in out
+    assert "cache:" in out
+
+
+def test_batch_without_programs_errors(capsys):
+    assert main(["batch"]) == 1
+    assert "no programs" in capsys.readouterr().err
+
+
+def test_batch_serial_and_pool_json_byte_identical(
+    program_files, tmp_path, capsys
+):
+    json_serial = tmp_path / "serial.json"
+    json_pool = tmp_path / "pool.json"
+    assert main([
+        "batch", *program_files, "--runs", "2", "--mode", "serial",
+        "--cache", str(tmp_path / "cache"), "--json", str(json_serial),
+    ]) == 0
+    assert main([
+        "batch", *program_files, "--runs", "2", "--mode", "pool",
+        "--jobs", "2",
+        "--cache", str(tmp_path / "cache"), "--json", str(json_pool),
+    ]) == 0
+    capsys.readouterr()
+    assert json_serial.read_bytes() == json_pool.read_bytes()
+
+
+def test_batch_json_to_stdout(program_files, capsys):
+    assert main([
+        "batch", program_files[0], "--json", "-", "--mode", "serial",
+    ]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out.splitlines()[-1])
+    assert payload["totals"]["programs"] == 1
+    assert payload["items"][0]["ok"] is True
+
+
+def test_batch_failure_isolated_and_exit_code(tmp_path, capsys):
+    good = tmp_path / "good.f"
+    good.write_text(ProgramGenerator(0).source())
+    bad = tmp_path / "bad.f"
+    bad.write_text("THIS IS NOT A PROGRAM (")
+    assert main(["batch", str(good), str(bad), "--mode", "serial"]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED (compile)" in captured.out
+    assert "ok" in captured.out  # the good program still profiled
+    assert "bad.f" in captured.err

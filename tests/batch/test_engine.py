@@ -1,0 +1,174 @@
+"""The batch engine: ordering, serial/pool equivalence, error isolation."""
+
+import pytest
+
+from repro import profile_batch, profile_program
+from repro.batch import ArtifactCache, BatchItem, run_batch
+from repro.workloads.generators import ProgramGenerator
+
+pytestmark = pytest.mark.batch
+
+#: A loop that never terminates — the interpreter's step budget trips.
+RUNAWAY = """\
+      PROGRAM SPIN
+      K = 1
+      DO WHILE (K .GT. 0)
+        K = 1
+      ENDDO
+      END
+"""
+
+
+def _items(n, runs=2, first_seed=0):
+    return [
+        BatchItem(
+            id=f"gen-{seed}",
+            source=ProgramGenerator(seed).source(),
+            runs=tuple({"seed": r} for r in range(runs)),
+        )
+        for seed in range(first_seed, first_seed + n)
+    ]
+
+
+class TestSerialEngine:
+    def test_results_in_item_order(self):
+        report = run_batch(_items(5), mode="serial")
+        assert [r.index for r in report.results] == list(range(5))
+        assert [r.item_id for r in report.results] == [
+            f"gen-{i}" for i in range(5)
+        ]
+
+    def test_matches_single_program_pipeline(self):
+        items = _items(1, runs=3)
+        report = run_batch(items, mode="serial")
+        from repro import compile_source
+
+        program = compile_source(items[0].source)
+        profile, stats = profile_program(
+            program, runs=[dict(s) for s in items[0].runs]
+        )
+        result = report.results[0]
+        assert result.counters == stats.counters
+        assert result.counter_updates == stats.counter_updates
+        batch_main = result.profile.proc(program.main_name)
+        direct_main = profile.proc(program.main_name)
+        assert batch_main.invocations == direct_main.invocations
+        assert batch_main.branch_counts == direct_main.branch_counts
+
+    def test_repeated_source_hits_memory_cache(self):
+        source = ProgramGenerator(3).source()
+        items = [
+            BatchItem(id=f"copy-{i}", source=source, runs=({"seed": i},))
+            for i in range(4)
+        ]
+        cache = ArtifactCache(None)
+        report = run_batch(items, mode="serial", cache=cache)
+        assert [r.cache_tier for r in report.results] == [
+            "compiled", "memory", "memory", "memory",
+        ]
+        assert cache.stats.memory_hits == 3
+        assert cache.stats.misses == 1
+
+    def test_naive_plan_reports_block_counts(self):
+        report = run_batch(_items(2, runs=1), mode="serial", plan="naive")
+        assert all(r.ok for r in report.results)
+        for result in report.results:
+            for proc in result.summary["procedures"].values():
+                assert "block_counts" in proc
+
+
+class TestPoolVsSerial:
+    def test_pool_results_byte_identical_to_serial(self, tmp_path):
+        items = _items(6)
+        serial = run_batch(items, mode="serial", cache=tmp_path / "c1")
+        pooled = run_batch(
+            items, mode="process", jobs=2, cache=tmp_path / "c2"
+        )
+        assert serial.aggregate_json() == pooled.aggregate_json()
+
+    def test_pool_reuses_disk_cache_across_invocations(self, tmp_path):
+        items = _items(4, runs=1)
+        first = run_batch(items, mode="process", jobs=2, cache=tmp_path)
+        assert first.cache_stats["misses"] == 4
+        second = run_batch(items, mode="process", jobs=2, cache=tmp_path)
+        assert second.cache_stats["misses"] == 0
+        assert second.cache_stats["disk_hits"] == 4
+        assert first.aggregate_json() == second.aggregate_json()
+
+    def test_pool_isolates_failures_like_serial(self, tmp_path):
+        items = _items(2) + [
+            BatchItem(id="broken", source="GARBAGE (", runs=({"seed": 0},))
+        ]
+        serial = run_batch(items, mode="serial")
+        pooled = run_batch(items, mode="process", jobs=2, cache=tmp_path)
+        assert serial.aggregate_json() == pooled.aggregate_json()
+        assert [r.ok for r in pooled.results] == [True, True, False]
+
+    def test_auto_mode_serial_for_single_item(self):
+        report = run_batch(_items(1), mode="auto")
+        assert report.mode == "serial"
+
+
+class TestErrorIsolation:
+    def test_parse_failure_is_contained(self):
+        items = _items(2)
+        items.insert(1, BatchItem(id="bad", source="NOT ( FORTRAN", runs=()))
+        report = run_batch(items, mode="serial")
+        assert [r.ok for r in report.results] == [True, False, True]
+        failure = report.results[1]
+        assert failure.error.stage == "compile"
+        assert failure.error.type
+        assert failure.error.message
+
+    def test_runaway_program_fails_in_profile_stage(self):
+        items = [
+            BatchItem(id="spin", source=RUNAWAY, runs=({"seed": 0},)),
+        ] + _items(1)
+        report = run_batch(items, mode="serial", max_steps=5_000)
+        spin, good = report.results
+        assert not spin.ok and spin.error.stage == "profile"
+        assert spin.error.type == "InterpreterLimitError"
+        assert good.ok
+
+    def test_failures_surface_in_aggregate(self):
+        items = [BatchItem(id="bad", source="(", runs=())] + _items(1)
+        report = run_batch(items, mode="serial")
+        aggregate = report.aggregate()
+        assert aggregate["totals"]["failed"] == 1
+        assert aggregate["totals"]["ok"] == 1
+        assert aggregate["items"][0]["error"]["stage"] == "compile"
+
+    def test_empty_batch(self):
+        report = run_batch([], mode="serial")
+        assert report.results == []
+        assert report.aggregate()["totals"]["programs"] == 0
+
+
+class TestPipelineFacade:
+    def test_accepts_mixed_item_shapes(self):
+        source = ProgramGenerator(1).source()
+        report = profile_batch(
+            [
+                source,
+                ("named", source),
+                BatchItem(id="explicit", source=source, runs=({"seed": 9},)),
+            ],
+            runs=2,
+            mode="serial",
+        )
+        assert [r.item_id for r in report.results] == [
+            "program-0", "named", "explicit",
+        ]
+        assert [r.runs for r in report.results] == [2, 2, 1]
+        assert all(r.ok for r in report.results)
+
+    def test_run_spec_list_applies_to_all(self):
+        source = ProgramGenerator(2).source()
+        report = profile_batch(
+            [source], runs=[{"seed": 4}, {"seed": 5}], mode="serial"
+        )
+        assert report.results[0].runs == 2
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            profile_batch([ProgramGenerator(0).source()], mode="warp")

@@ -1,0 +1,95 @@
+"""Golden-file tests for the report renderers.
+
+The paper example's analysis is fully deterministic, so the exact
+bytes of ``format_table`` and the Figure-3 FCDG rendering are pinned
+under ``tests/report/golden/``.  A formatting regression (column
+widths, float formatting, edge annotations) fails these tests with a
+readable diff; an intentional change means regenerating the golden
+files (see ``_render_all`` — each test names its producer).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import analyze, oracle_program_profile
+from repro.report import format_table, render_cfg, render_fcdg
+from repro.workloads.paper_example import FigureCostEstimator
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def paper_analysis(request):
+    from repro.workloads.paper_example import paper_program
+
+    program = paper_program()
+    profile = oracle_program_profile(program, runs=[{}])
+    analysis = analyze(
+        program, profile, model=None, estimator=FigureCostEstimator()
+    )
+    return program, analysis
+
+
+def _assert_matches_golden(name: str, text: str):
+    expected = (GOLDEN / name).read_text()
+    assert text + "\n" == expected, (
+        f"{name} drifted; regenerate the golden file if intentional"
+    )
+
+
+def test_analysis_table_golden(paper_analysis):
+    _, analysis = paper_analysis
+    rows = [
+        [name, proc.freqs.invocations, proc.time, proc.var, proc.std_dev]
+        for name, proc in sorted(analysis.procedures.items())
+    ]
+    table = format_table(
+        ["procedure", "invocations", "TIME", "VAR", "STD_DEV"],
+        rows,
+        title="analysis of the paper example (Figure 3 costs)",
+    )
+    _assert_matches_golden("paper_analysis_table.txt", table)
+
+
+def test_figure3_rendering_golden(paper_analysis):
+    _, analysis = paper_analysis
+    _assert_matches_golden("paper_figure3.txt", render_fcdg(analysis.main))
+
+
+def test_cfg_rendering_golden(paper_analysis):
+    program, _ = paper_analysis
+    _assert_matches_golden("paper_main_cfg.txt", render_cfg(program.cfgs["MAIN"]))
+
+
+def test_figure3_golden_carries_paper_numbers():
+    """The pinned file itself asserts the paper's headline values."""
+    text = (GOLDEN / "paper_figure3.txt").read_text()
+    assert "TIME(START) = 920" in text
+    assert "STD_DEV(START) = 300" in text
+
+
+class TestFormatTableEdgeCases:
+    """Behavioral pins beyond the golden files."""
+
+    def test_non_finite_values(self):
+        table = format_table(
+            ["v"], [[float("nan")], [float("inf")], [float("-inf")]]
+        )
+        lines = table.splitlines()
+        assert lines[2].strip() == "n/a"
+        assert lines[3].strip() == "inf"
+        assert lines[4].strip() == "-inf"
+
+    def test_bool_cells_render_yes_no(self):
+        table = format_table(["ok"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_numeric_right_text_left(self):
+        table = format_table(
+            ["name", "n"], [["alpha", 1.0], ["b", 22.5]]
+        )
+        lines = table.splitlines()
+        assert lines[2].startswith("alpha")
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22.500")
