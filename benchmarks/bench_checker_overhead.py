@@ -1,0 +1,114 @@
+"""Verifier overhead: full artifact verification vs compilation.
+
+The cache re-verifies every disk hit and CI re-checks the whole
+corpus, so the verifier must stay cheap relative to the work it
+guards.  This benchmark times, over the Livermore corpus (the paper's
+LOOPS benchmark) plus a slice of generator programs:
+
+* ``compile``      — ``compile_source`` + both counter plans (the work
+  a cache miss performs and a disk hit avoids);
+* ``verify``       — structural checks + plan checks over those
+  artifacts (the work a verified disk hit adds);
+* ``lint``         — the REP3xx source lints (only ``repro check``
+  pays this).
+
+Acceptance: verification costs < 15 % of compile-and-plan time,
+averaged over the corpus.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import compile_source, naive_program_plan, smart_program_plan
+from repro.checker import lint_program, verify_program
+from repro.report import format_table
+from repro.workloads import builtin_sources
+from repro.workloads.generators import ProgramGenerator
+
+from conftest import publish
+
+N_GENERATED = 12
+REPEATS = 5
+_OVERHEAD_CEILING = 0.15
+
+
+def _corpus() -> list[tuple[str, str]]:
+    programs = [
+        (pid, source)
+        for pid, source in builtin_sources()
+        if pid in ("paper", "livermore", "simple", "shellsort", "gauss")
+    ]
+    programs += [
+        (f"gen-{seed}", ProgramGenerator(seed).source())
+        for seed in range(N_GENERATED)
+    ]
+    return programs
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_checker_overhead():
+    rows = []
+    total_compile = total_verify = total_lint = 0.0
+    for program_id, source in _corpus():
+        compile_s = _time(
+            lambda: (
+                lambda p: (smart_program_plan(p), naive_program_plan(p))
+            )(compile_source(source))
+        )
+        program = compile_source(source)
+        plans = {
+            "smart": smart_program_plan(program),
+            "naive": naive_program_plan(program),
+        }
+        verify_s = _time(lambda: verify_program(program, plans))
+        lint_s = _time(lambda: lint_program(program.checked, program.cfgs))
+        assert not verify_program(program, plans).diagnostics
+
+        total_compile += compile_s
+        total_verify += verify_s
+        total_lint += lint_s
+        rows.append(
+            [
+                program_id,
+                f"{1e3 * compile_s:.2f}",
+                f"{1e3 * verify_s:.2f}",
+                f"{1e3 * lint_s:.2f}",
+                f"{100 * verify_s / compile_s:.1f}%",
+            ]
+        )
+
+    overhead = total_verify / total_compile
+    rows.append(
+        [
+            "TOTAL",
+            f"{1e3 * total_compile:.2f}",
+            f"{1e3 * total_verify:.2f}",
+            f"{1e3 * total_lint:.2f}",
+            f"{100 * overhead:.1f}%",
+        ]
+    )
+    publish(
+        "checker_overhead",
+        format_table(
+            ["program", "compile+plans ms", "verify ms", "lint ms",
+             "verify/compile"],
+            rows,
+            title=(
+                "artifact verification overhead "
+                f"(best of {REPEATS}, ceiling {100 * _OVERHEAD_CEILING:.0f}%)"
+            ),
+        ),
+    )
+    assert overhead < _OVERHEAD_CEILING, (
+        f"verification costs {100 * overhead:.1f}% of compile time "
+        f"(ceiling {100 * _OVERHEAD_CEILING:.0f}%)"
+    )

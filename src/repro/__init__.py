@@ -9,7 +9,9 @@ Fortran-77-style mini language:
 * optimized counter-based execution profiling (Section 3);
 * average execution time computation (Section 4);
 * execution-time variance computation (Section 5);
-* the Kruskal-Weiss chunk-size application the paper motivates.
+* the Kruskal-Weiss chunk-size application the paper motivates;
+* an artifact verifier + minifort linter (:mod:`repro.checker`) that
+  re-checks every derived structure against the paper's invariants.
 
 Quick start::
 
@@ -33,6 +35,7 @@ from repro.pipeline import (
     profile_program,
     run_program,
     smart_program_plan,
+    verify_compiled,
 )
 
 __version__ = "1.0.0"
@@ -49,6 +52,7 @@ __all__ = [
     "naive_program_plan",
     "analyze",
     "estimate",
+    "verify_compiled",
     "MachineModel",
     "SCALAR_MACHINE",
     "OPTIMIZING_MACHINE",

@@ -17,7 +17,9 @@ processes:
 Cache keys mix in a format version and the package version, so stale
 entries from older layouts are simply misses.  A corrupted or
 unreadable disk entry is counted, deleted and recompiled — it can
-never poison a batch.
+never poison a batch.  Entries that *unpickle* but fail the artifact
+verifier (:mod:`repro.checker`) get the same treatment: a disk hit is
+only trusted after its structural and plan invariants re-check clean.
 """
 
 from __future__ import annotations
@@ -71,6 +73,8 @@ class CacheStats:
     stores: int = 0
     plan_builds: int = 0
     corrupt_entries: int = 0
+    #: Disk entries that unpickled but failed artifact verification.
+    invalid_entries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -84,6 +88,7 @@ class CacheStats:
             "stores": self.stores,
             "plan_builds": self.plan_builds,
             "corrupt_entries": self.corrupt_entries,
+            "invalid_entries": self.invalid_entries,
         }
 
 
@@ -93,6 +98,9 @@ class ArtifactCache:
     With ``path=None`` the cache is memory-only: still useful inside
     one process, invisible to others.  ``max_memory_entries`` bounds
     the in-memory tier (FIFO eviction); the disk tier is unbounded.
+    ``verify_loads`` (default on) runs the artifact verifier on every
+    disk hit; an entry with broken invariants is evicted and the
+    program recompiled, exactly like a corrupt pickle.
     """
 
     def __init__(
@@ -100,9 +108,11 @@ class ArtifactCache:
         path: str | Path | None = None,
         *,
         max_memory_entries: int = 256,
+        verify_loads: bool = True,
     ):
         self.path = Path(path) if path is not None else None
         self.max_memory_entries = max_memory_entries
+        self.verify_loads = verify_loads
         self.stats = CacheStats()
         self._memory: dict[str, CachedArtifacts] = {}
 
@@ -193,7 +203,21 @@ class ArtifactCache:
             except OSError:
                 pass
             return None
+        if self.verify_loads and not self._verify_entry(entry):
+            self.stats.invalid_entries += 1
+            try:
+                file.unlink()
+            except OSError:
+                pass
+            return None
         return entry
+
+    @staticmethod
+    def _verify_entry(entry: CachedArtifacts) -> bool:
+        """True when a re-hydrated entry's invariants all check out."""
+        from repro.checker import verify_program
+
+        return not verify_program(entry.program, entry.plans).errors
 
     def _store(self, key: str, entry: CachedArtifacts) -> None:
         if self.path is None:

@@ -54,13 +54,15 @@ class BatchOptions:
     model: MachineModel | None = None
     loop_variance: str = "zero"
     max_steps: int = 10_000_000
+    #: Run the artifact verifier on every item before profiling.
+    verify: bool = False
 
 
 @dataclass(frozen=True)
 class BatchError:
     """A structured per-item failure record."""
 
-    stage: str  # "compile" | "profile" | "analyze"
+    stage: str  # "compile" | "verify" | "profile" | "analyze"
     type: str  # exception class name
     message: str
 
@@ -163,6 +165,19 @@ def _profile_one(
         result.error = BatchError("compile", type(exc).__name__, str(exc))
         return result
     result.cache_tier = tier
+    if options.verify:
+        from repro.checker import verify_program
+
+        report = verify_program(program, plan, program_id=item.id)
+        if report.errors:
+            # Quarantine: the item fails with the verifier's verdict,
+            # the rest of the batch proceeds with trusted artifacts.
+            result.error = BatchError(
+                "verify",
+                "VerificationError",
+                "; ".join(d.render() for d in report.errors[:5]),
+            )
+            return result
     try:
         profile, stats = profile_program(
             program,
@@ -250,6 +265,7 @@ def run_batch(
     cache: ArtifactCache | str | os.PathLike | None = None,
     loop_variance: str = "zero",
     max_steps: int = 10_000_000,
+    verify: bool = False,
 ) -> BatchReport:
     """Profile every item; never let one bad program sink the batch.
 
@@ -265,7 +281,11 @@ def run_batch(
     else:
         cache_obj = ArtifactCache(cache)
     options = BatchOptions(
-        plan=plan, model=model, loop_variance=loop_variance, max_steps=max_steps
+        plan=plan,
+        model=model,
+        loop_variance=loop_variance,
+        max_steps=max_steps,
+        verify=verify,
     )
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs = max(1, jobs)

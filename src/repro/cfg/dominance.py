@@ -50,12 +50,15 @@ def _immediate_dominators(
     return idom
 
 
-def dominator_tree(cfg: ControlFlowGraph) -> dict[int, int]:
+def dominator_tree(cfg: ControlFlowGraph, dfs=None) -> dict[int, int]:
     """Immediate dominators keyed by node; the entry maps to itself.
 
-    Only nodes reachable from the entry appear in the result.
+    Only nodes reachable from the entry appear in the result.  Pass a
+    precomputed entry-rooted ``DFSResult`` as ``dfs`` to reuse its
+    traversal instead of running a fresh one.
     """
-    dfs = depth_first_search(cfg, cfg.entry)
+    if dfs is None:
+        dfs = depth_first_search(cfg, cfg.entry)
     order = dfs.reverse_postorder()
     rpo_index = {node: i for i, node in enumerate(order)}
     return _immediate_dominators(order, rpo_index, cfg.predecessors, cfg.entry)

@@ -197,7 +197,13 @@ class ControlFlowGraph:
 
     def out_labels(self, node_id: int) -> list[str]:
         """All labels on real (non-pseudo) out-edges of a node."""
-        return [e.label for e in self._succ[node_id] if not e.is_pseudo]
+        # ``e.label.startswith`` rather than the ``is_pseudo`` property:
+        # this is the hottest query in plan building and verification.
+        return [
+            e.label
+            for e in self._succ[node_id]
+            if not e.label.startswith(PSEUDO_PREFIX)
+        ]
 
     def edge_to(self, src: int, label: str) -> CFGEdge:
         """The unique out-edge of ``src`` with the given label."""
@@ -221,14 +227,16 @@ class ControlFlowGraph:
         """Node ids reachable from the entry node."""
         seen: set[int] = set()
         stack = [self.entry]
+        succ = self._succ
+        push = stack.append
         while stack:
             node = stack.pop()
             if node in seen:
                 continue
             seen.add(node)
-            stack.extend(
-                e.dst for e in self._succ[node] if e.dst not in seen
-            )
+            for edge in succ[node]:
+                if edge.dst not in seen:
+                    push(edge.dst)
         return seen
 
     def prune_unreachable(self) -> list[int]:

@@ -11,6 +11,7 @@ incoming edge, until the test passes.
 from __future__ import annotations
 
 from repro.errors import CFGError, IrreducibleError
+from repro.cfg.dfs import depth_first_search
 from repro.cfg.dominance import dominates, dominator_tree
 from repro.cfg.graph import CFGEdge, ControlFlowGraph
 
@@ -83,8 +84,27 @@ def _forward_successors(
 
 
 def is_reducible(cfg: ControlFlowGraph) -> bool:
-    """True when the CFG is reducible."""
-    return forward_cycle(cfg) is None
+    """True when the CFG is reducible.
+
+    When every node is reachable this uses the single-DFS test: the
+    graph is reducible iff every retreating edge's target dominates
+    its source.  (Removing the retreating edges of any DFS leaves a
+    DAG, so a forward cycle must contain a retreating non-back edge;
+    conversely such an edge plus its spanning-tree path *is* a forward
+    cycle, because tree edges are never back edges.)  With unreachable
+    nodes retreating edges are undefined, so fall back to the explicit
+    cycle search.
+    """
+    dfs = depth_first_search(cfg, cfg.entry)
+    if len(dfs.preorder) != len(cfg.nodes):
+        return forward_cycle(cfg) is None
+    if not dfs.back_edges:
+        return True
+    idom = dominator_tree(cfg, dfs=dfs)
+    return all(
+        dominates(idom, edge.dst, edge.src, cfg.entry)
+        for edge in dfs.back_edges
+    )
 
 
 def split_nodes(cfg: ControlFlowGraph, max_growth: int = _MAX_GROWTH) -> int:

@@ -1,0 +1,375 @@
+"""Dataflow lints over minifort sources (REP3xx).
+
+The linter runs on the checked AST and the statement-level CFGs, so
+its findings are path-aware where that matters:
+
+* **REP301** (hint) — a scalar read that no path from the procedure
+  entry can have defined.  Computed as a forward *may-be-defined*
+  union dataflow over the CFG; a read outside the may-defined set is
+  uninitialized on every path, so the finding has no path
+  false-positives.  Scalars passed to a CALL or FUNCTION are
+  conservatively treated as defined (Fortran passes by reference),
+  and arrays are not tracked.  A hint rather than a warning because
+  minifort (unlike Fortran 77) guarantees zero-initialization, so
+  relying on it is defined behavior — merely suspect;
+* **REP302** — an unlabelled statement directly following a statement
+  that never falls through (GOTO, STOP, RETURN, arithmetic IF) can
+  never execute;
+* **REP303** — an assignment to a DO loop's index variable (or a
+  nested DO reusing it) inside the loop body: Fortran-77 leaves the
+  result undefined, and the interval analysis assumes the hidden trip
+  counter is authoritative;
+* **REP304** (hint) — the main program has no STOP statement;
+* **REP305** (hint) — an exit-free DO loop whose trip count is not a
+  compile-time constant: the counter-free half of Opt 3 silently does
+  not apply, so the loop keeps a batched counter.
+
+Hints are only produced with ``hints=True``; they describe missed
+optimizations rather than likely bugs, and built-in workloads trip
+them by design.
+"""
+
+from __future__ import annotations
+
+from repro.checker.diagnostics import Diagnostic, diag
+from repro.lang import ast
+from repro.lang.symbols import CheckedProgram
+from repro.profiling.placement import _constant_trip
+
+
+def lint_program(
+    checked: CheckedProgram, cfgs, *, hints: bool = False
+) -> list[Diagnostic]:
+    """All REP3xx findings for a checked program."""
+    findings: list[Diagnostic] = []
+    for name, proc in sorted(checked.unit.procedures.items()):
+        findings.extend(_lint_unreachable(proc))
+        findings.extend(_lint_do_index_mutation(proc))
+        if hints:
+            cfg = cfgs.get(name)
+            if cfg is not None:
+                findings.extend(_lint_use_before_def(checked, proc, cfg))
+            findings.extend(_lint_missing_stop(proc))
+            findings.extend(_lint_nonconstant_trip(checked, proc))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP301 — use before any possible definition
+# ---------------------------------------------------------------------------
+
+
+def _scalar_reads(expr: ast.Expr, table) -> set[str]:
+    """Scalar variable names read by an expression.
+
+    Bare VarRef arguments of calls are *not* reads: a callee may
+    define them through the reference (see module docstring).
+    """
+    reads: set[str] = set()
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.VarRef):
+            info = table.lookup(node.name)
+            if info is None or not info.is_array:
+                reads.add(node.name)
+        elif isinstance(node, ast.Binary):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, ast.Unary):
+            visit(node.operand)
+        elif isinstance(node, ast.ArrayRef):
+            for index in node.indices:
+                visit(index)
+        elif isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                if isinstance(arg, ast.VarRef):
+                    continue  # by-reference: potential definition
+                visit(arg)
+
+    visit(expr)
+    return reads
+
+
+def _byref_defs(expr: ast.Expr, table) -> set[str]:
+    """Scalars a call inside ``expr`` may define through a reference."""
+    defs: set[str] = set()
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                if isinstance(arg, ast.VarRef):
+                    info = table.lookup(arg.name)
+                    if info is None or not info.is_array:
+                        defs.add(arg.name)
+                else:
+                    visit(arg)
+        elif isinstance(node, ast.Binary):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, ast.Unary):
+            visit(node.operand)
+        elif isinstance(node, ast.ArrayRef):
+            for index in node.indices:
+                visit(index)
+
+    visit(expr)
+    return defs
+
+
+def _node_uses_defs(node, table) -> tuple[set[str], set[str]]:
+    """(reads, definitions) of one CFG node, reads evaluated first."""
+    from repro.cfg.graph import StmtKind
+
+    uses: set[str] = set()
+    defs: set[str] = set()
+    stmt = node.stmt
+
+    def read(expr: ast.Expr | None) -> None:
+        if expr is not None:
+            uses.update(_scalar_reads(expr, table))
+            defs.update(_byref_defs(expr, table))
+
+    if node.kind is StmtKind.ASSIGN and isinstance(stmt, ast.Assign):
+        read(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.ArrayRef):
+            for index in target.indices:
+                read(index)
+        elif isinstance(target, ast.VarRef):
+            info = table.lookup(target.name)
+            if info is None or not info.is_array:
+                defs.add(target.name)
+    elif node.kind in (
+        StmtKind.IF,
+        StmtKind.WHILE_TEST,
+        StmtKind.AIF,
+        StmtKind.CGOTO,
+    ):
+        read(node.cond)
+    elif node.kind is StmtKind.DO_INIT and isinstance(stmt, ast.DoLoop):
+        read(stmt.start)
+        read(stmt.stop)
+        read(stmt.step)
+        defs.add(stmt.var)
+        if node.trip_var:
+            defs.add(node.trip_var)
+    elif node.kind is StmtKind.CALL and isinstance(stmt, ast.CallStmt):
+        for arg in stmt.args:
+            if isinstance(arg, ast.VarRef):
+                info = table.lookup(arg.name)
+                if info is None or not info.is_array:
+                    defs.add(arg.name)  # by reference
+            else:
+                read(arg)
+    elif node.kind is StmtKind.PRINT and isinstance(stmt, ast.PrintStmt):
+        for item in stmt.items:
+            read(item)
+    return uses, defs
+
+
+def _lint_use_before_def(
+    checked: CheckedProgram, proc: ast.Procedure, cfg
+) -> list[Diagnostic]:
+    table = checked.tables[proc.name]
+    initial: set[str] = set(proc.params)
+    initial.update(table.constants)
+    if proc.kind is ast.ProcKind.FUNCTION:
+        initial.add(proc.name)  # the return slot
+
+    uses_of: dict[int, set[str]] = {}
+    defs_of: dict[int, set[str]] = {}
+    for node in cfg:
+        uses_of[node.id], defs_of[node.id] = _node_uses_defs(node, table)
+
+    # Forward may-be-defined fixpoint (union over predecessors).
+    may_in: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    may_out: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    may_in[cfg.entry] = set(initial)
+    worklist = list(cfg.nodes)
+    while worklist:
+        node = worklist.pop()
+        incoming = set(may_in[node]) if node == cfg.entry else set()
+        for pred in cfg.predecessors(node):
+            incoming |= may_out[pred]
+        out = incoming | defs_of[node]
+        if incoming != may_in[node] or out != may_out[node]:
+            may_in[node] = incoming
+            may_out[node] = out
+            worklist.extend(cfg.successors(node))
+
+    findings: list[Diagnostic] = []
+    reported: set[str] = set()
+    for node_id in sorted(cfg.nodes):
+        undefined = uses_of[node_id] - may_in[node_id] - reported
+        for var in sorted(undefined):
+            reported.add(var)  # one finding per variable per procedure
+            findings.append(
+                diag(
+                    "REP301",
+                    f"{var} is read but defined on no path from entry",
+                    proc=proc.name,
+                    node=node_id,
+                    line=cfg.nodes[node_id].line,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP302 — unreachable statements
+# ---------------------------------------------------------------------------
+
+_TERMINAL = (ast.Goto, ast.StopStmt, ast.ReturnStmt, ast.ArithmeticIf)
+
+
+def _lint_unreachable(proc: ast.Procedure) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+
+    def scan(body: list[ast.Stmt]) -> None:
+        dead = False
+        for stmt in body:
+            if stmt.label is not None:
+                dead = False  # a label makes the statement a GOTO target
+            if dead:
+                findings.append(
+                    diag(
+                        "REP302",
+                        "statement can never execute (follows a jump "
+                        "with no label to reach it)",
+                        proc=proc.name,
+                        line=stmt.line,
+                    )
+                )
+                dead = False  # report the first dead statement of a run
+            if isinstance(stmt, _TERMINAL):
+                dead = True
+            if isinstance(stmt, ast.IfBlock):
+                for _, arm in stmt.arms:
+                    scan(arm)
+                scan(stmt.else_body)
+            elif isinstance(stmt, (ast.DoLoop, ast.DoWhile)):
+                scan(stmt.body)
+            elif isinstance(stmt, ast.LogicalIf):
+                pass  # the guarded statement is conditional, never dead
+
+    scan(proc.body)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP303 — DO index mutation
+# ---------------------------------------------------------------------------
+
+
+def _lint_do_index_mutation(proc: ast.Procedure) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+
+    def scan(body: list[ast.Stmt], active: tuple[str, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                target = stmt.target
+                if isinstance(target, ast.VarRef) and target.name in active:
+                    findings.append(
+                        diag(
+                            "REP303",
+                            f"DO index {target.name} is assigned inside "
+                            "its loop",
+                            proc=proc.name,
+                            line=stmt.line,
+                        )
+                    )
+            elif isinstance(stmt, ast.DoLoop):
+                if stmt.var in active:
+                    findings.append(
+                        diag(
+                            "REP303",
+                            f"nested DO reuses active index {stmt.var}",
+                            proc=proc.name,
+                            line=stmt.line,
+                        )
+                    )
+                scan(stmt.body, active + (stmt.var,))
+            elif isinstance(stmt, ast.DoWhile):
+                scan(stmt.body, active)
+            elif isinstance(stmt, ast.IfBlock):
+                for _, arm in stmt.arms:
+                    scan(arm, active)
+                scan(stmt.else_body, active)
+            elif isinstance(stmt, ast.LogicalIf):
+                scan([stmt.stmt], active)
+
+    scan(proc.body, ())
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP304 / REP305 — hints
+# ---------------------------------------------------------------------------
+
+
+def _lint_missing_stop(proc: ast.Procedure) -> list[Diagnostic]:
+    if proc.kind is not ast.ProcKind.PROGRAM:
+        return []
+    for stmt in proc.walk_statements():
+        if isinstance(stmt, ast.StopStmt):
+            return []
+        if isinstance(stmt, ast.LogicalIf) and isinstance(
+            stmt.stmt, ast.StopStmt
+        ):
+            return []
+    return [
+        diag(
+            "REP304",
+            "main program ends without a STOP statement",
+            proc=proc.name,
+            line=proc.line,
+        )
+    ]
+
+
+def _has_loop_exit(body: list[ast.Stmt]) -> bool:
+    """True when the body can leave the loop other than by completing."""
+    for stmt in body:
+        if isinstance(
+            stmt,
+            (ast.Goto, ast.ReturnStmt, ast.StopStmt, ast.ArithmeticIf,
+             ast.ComputedGoto),
+        ):
+            return True
+        if isinstance(stmt, ast.LogicalIf) and isinstance(
+            stmt.stmt,
+            (ast.Goto, ast.ReturnStmt, ast.StopStmt),
+        ):
+            return True
+        if isinstance(stmt, ast.IfBlock):
+            if any(_has_loop_exit(arm) for _, arm in stmt.arms):
+                return True
+            if _has_loop_exit(stmt.else_body):
+                return True
+        elif isinstance(stmt, (ast.DoLoop, ast.DoWhile)):
+            if _has_loop_exit(stmt.body):
+                return True
+    return False
+
+
+def _lint_nonconstant_trip(
+    checked: CheckedProgram, proc: ast.Procedure
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for stmt in proc.walk_statements():
+        if not isinstance(stmt, ast.DoLoop):
+            continue
+        if _has_loop_exit(stmt.body):
+            continue  # Opt 3 does not apply anyway
+        if _constant_trip(stmt, checked, proc.name) is None:
+            findings.append(
+                diag(
+                    "REP305",
+                    f"trip count of DO {stmt.var} is not a compile-time "
+                    "constant; the loop keeps a batched counter "
+                    "(counter-free Opt 3 disabled)",
+                    proc=proc.name,
+                    line=stmt.line,
+                )
+            )
+    return findings

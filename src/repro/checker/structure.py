@@ -1,0 +1,709 @@
+"""Structural verification of compiled artifacts (REP1xx).
+
+These checks re-establish, on a finished :class:`CompiledProgram`, the
+Section-2 claims every downstream pass silently relies on:
+
+* the CFG is well-formed and reducible (REP100/REP101);
+* intervals are properly nested and every back edge targets its own
+  header (REP102);
+* preheaders and headers are in bijection and interval entries all
+  route through the preheader (REP103);
+* every POSTEXIT splits exactly one interval-exit edge (REP104);
+* pseudo ``Z*`` edges exist exactly where the construction puts them —
+  preheader→postexit and START→STOP — and nowhere a run could take
+  them (REP105);
+* the FCDG is rooted at START, acyclic, connected, covers every ECFG
+  node except STOP, and its labels exist in the ECFG (REP106);
+* the extended header mapping ``ehdr`` is total and consistent with
+  the interval structure (REP107).
+
+Each check reports findings instead of raising, so one broken artifact
+yields a complete picture rather than the first exception.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFGError, NodeType, StmtKind
+from repro.cfg.reducibility import is_reducible
+from repro.checker.diagnostics import Diagnostic, diag
+
+
+def check_structure(program) -> list[Diagnostic]:
+    """All REP1xx findings for a :class:`CompiledProgram`."""
+    findings: list[Diagnostic] = []
+    for name in program.cfgs:
+        findings.extend(_check_procedure(program, name))
+    return findings
+
+
+def _check_procedure(program, name: str) -> list[Diagnostic]:
+    cfg = program.cfgs[name]
+    ecfg = program.ecfgs.get(name)
+    fcdg = program.fcdgs.get(name)
+    out: list[Diagnostic] = []
+
+    try:
+        cfg.validate()
+    except CFGError as exc:
+        out.append(diag("REP100", f"CFG invalid: {exc}", proc=name))
+        return out  # everything downstream assumes a sane CFG
+    out.extend(_check_edge_index(cfg, name))
+    if out:
+        return out
+
+    if not is_reducible(cfg):
+        out.append(
+            diag("REP101", "CFG is irreducible after compilation", proc=name)
+        )
+        return out
+
+    if ecfg is None:
+        out.append(diag("REP100", "no ECFG was built", proc=name))
+        return out
+    try:
+        ecfg.graph.validate()
+    except CFGError as exc:
+        out.append(diag("REP100", f"ECFG graph invalid: {exc}", proc=name))
+        return out
+
+    out.extend(_check_intervals(cfg, ecfg, name))
+    out.extend(_check_preheaders(ecfg, name))
+    out.extend(_check_postexits(ecfg, name))
+    out.extend(_check_pseudo_edges(cfg, ecfg, name))
+    out.extend(_check_ehdr(cfg, ecfg, name))
+    if fcdg is None:
+        out.append(diag("REP106", "no FCDG was built", proc=name))
+    else:
+        out.extend(_check_fcdg(ecfg, fcdg, name))
+    return out
+
+
+def _check_edge_index(cfg, name: str) -> list[Diagnostic]:
+    """REP100: the edge list and the adjacency indexes must agree.
+
+    ``validate()`` walks the indexes; a tampered (or badly re-hydrated)
+    artifact can carry an edge list the indexes never saw, and vice
+    versa.  Also catches edges whose endpoints are not nodes.
+    """
+    out: list[Diagnostic] = []
+    for edge in cfg.edges:
+        if edge.src not in cfg.nodes or edge.dst not in cfg.nodes:
+            out.append(
+                diag(
+                    "REP100",
+                    f"edge ({edge.src}, {edge.dst}, {edge.label!r}) "
+                    "references a nonexistent node",
+                    proc=name,
+                )
+            )
+    listed = {(e.src, e.dst, e.label) for e in cfg.edges}
+    indexed = {
+        (e.src, e.dst, e.label)
+        for node in cfg.nodes
+        for e in cfg.out_edges(node)
+    }
+    for triple in sorted(listed ^ indexed):
+        where = "edge list" if triple in listed else "adjacency index"
+        out.append(
+            diag(
+                "REP100",
+                f"edge {triple} appears only in the {where}",
+                proc=name,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# REP102 — interval nesting
+# ---------------------------------------------------------------------------
+
+
+def _check_intervals(cfg, ecfg, name: str) -> list[Diagnostic]:
+    intervals = ecfg.intervals
+    out: list[Diagnostic] = []
+    root = intervals.root
+
+    if root != cfg.entry:
+        out.append(
+            diag(
+                "REP102",
+                f"outermost interval rooted at {root}, not entry {cfg.entry}",
+                proc=name,
+            )
+        )
+        return out
+
+    headers = set(intervals.hdr_parent)
+    for node in cfg.nodes:
+        header = intervals.hdr.get(node)
+        if header is None or header not in headers:
+            out.append(
+                diag(
+                    "REP102",
+                    f"HDR({node}) = {header} is not an interval header",
+                    proc=name,
+                    node=node,
+                )
+            )
+
+    missing_root = set(cfg.nodes) - intervals.members.get(root, set())
+    if missing_root:
+        out.append(
+            diag(
+                "REP102",
+                "outermost interval misses nodes "
+                f"{sorted(missing_root)}",
+                proc=name,
+            )
+        )
+
+    for header in headers:
+        if header == root:
+            continue
+        body = intervals.members.get(header, set())
+        parent = intervals.hdr_parent.get(header)
+        if header not in body:
+            out.append(
+                diag(
+                    "REP102",
+                    f"interval {header} does not contain its own header",
+                    proc=name,
+                    node=header,
+                )
+            )
+        if parent not in headers:
+            out.append(
+                diag(
+                    "REP102",
+                    f"HDR_PARENT({header}) = {parent} is not a header",
+                    proc=name,
+                    node=header,
+                )
+            )
+            continue
+        parent_body = intervals.members.get(parent, set())
+        if not body <= parent_body:
+            out.append(
+                diag(
+                    "REP102",
+                    f"interval {header} is not nested inside its parent "
+                    f"{parent} (escaping nodes {sorted(body - parent_body)})",
+                    proc=name,
+                    node=header,
+                )
+            )
+        back = intervals.loop_back_edges.get(header, [])
+        if not back:
+            out.append(
+                diag(
+                    "REP102",
+                    f"loop header {header} has no back edge",
+                    proc=name,
+                    node=header,
+                )
+            )
+        for edge in back:
+            if edge.dst != header or edge.src not in body:
+                out.append(
+                    diag(
+                        "REP102",
+                        f"back edge ({edge.src}, {edge.dst}, {edge.label!r}) "
+                        f"does not close the loop of header {header}",
+                        proc=name,
+                        node=header,
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# REP103 — preheader/header bijection
+# ---------------------------------------------------------------------------
+
+
+def _check_preheaders(ecfg, name: str) -> list[Diagnostic]:
+    graph = ecfg.graph
+    intervals = ecfg.intervals
+    out: list[Diagnostic] = []
+
+    loop_headers = set(intervals.loop_headers)
+    mapped_headers = set(ecfg.preheader_of)
+    for header in loop_headers - mapped_headers:
+        out.append(
+            diag(
+                "REP103",
+                f"loop header {header} has no preheader",
+                proc=name,
+                node=header,
+            )
+        )
+    for header in mapped_headers - loop_headers:
+        out.append(
+            diag(
+                "REP103",
+                f"preheader mapped for non-loop-header {header}",
+                proc=name,
+                node=header,
+            )
+        )
+
+    for header, preheader in ecfg.preheader_of.items():
+        if ecfg.header_of.get(preheader) != header:
+            out.append(
+                diag(
+                    "REP103",
+                    f"preheader_of[{header}] = {preheader} but "
+                    f"header_of[{preheader}] = "
+                    f"{ecfg.header_of.get(preheader)}",
+                    proc=name,
+                    node=header,
+                )
+            )
+            continue
+        pre_node = graph.nodes.get(preheader)
+        if pre_node is None or pre_node.type is not NodeType.PREHEADER:
+            out.append(
+                diag(
+                    "REP103",
+                    f"preheader {preheader} missing or not typed PREHEADER",
+                    proc=name,
+                    node=preheader,
+                )
+            )
+            continue
+        real_out = [e for e in graph.out_edges(preheader) if not e.is_pseudo]
+        if len(real_out) != 1 or real_out[0].dst != header:
+            out.append(
+                diag(
+                    "REP103",
+                    f"preheader {preheader} must have exactly one real "
+                    f"out-edge to its header {header}",
+                    proc=name,
+                    node=preheader,
+                )
+            )
+        # Every other ECFG entry into the header must come from inside
+        # the interval (the construction routed outside entries through
+        # the preheader).
+        for edge in graph.in_edges(header):
+            if edge.src == preheader:
+                continue
+            if not _inside_interval(ecfg, edge.src, header):
+                out.append(
+                    diag(
+                        "REP103",
+                        f"interval entry ({edge.src} -> {header}) bypasses "
+                        f"preheader {preheader}",
+                        proc=name,
+                        node=header,
+                    )
+                )
+    for preheader, header in ecfg.header_of.items():
+        if ecfg.preheader_of.get(header) != preheader:
+            out.append(
+                diag(
+                    "REP103",
+                    f"header_of[{preheader}] = {header} but "
+                    f"preheader_of[{header}] = "
+                    f"{ecfg.preheader_of.get(header)}",
+                    proc=name,
+                    node=preheader,
+                )
+            )
+    return out
+
+
+def _inside_interval(ecfg, node: int, header: int) -> bool:
+    """True when an ECFG node sits (transitively) inside ``header``."""
+    cursor = ecfg.ehdr.get(node)
+    seen = set()
+    while cursor and cursor not in seen:
+        if cursor == header:
+            return True
+        seen.add(cursor)
+        cursor = ecfg.intervals.hdr_parent.get(cursor, 0)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# REP104 — postexits split exactly one exit edge
+# ---------------------------------------------------------------------------
+
+
+def _check_postexits(ecfg, name: str) -> list[Diagnostic]:
+    graph = ecfg.graph
+    intervals = ecfg.intervals
+    out: list[Diagnostic] = []
+
+    postexit_nodes = {
+        node.id for node in graph if node.type is NodeType.POSTEXIT
+    }
+    recorded = set(ecfg.postexit_source)
+    for node in postexit_nodes - recorded:
+        out.append(
+            diag(
+                "REP104",
+                f"POSTEXIT node {node} has no recorded source edge",
+                proc=name,
+                node=node,
+            )
+        )
+    for node in recorded - postexit_nodes:
+        out.append(
+            diag(
+                "REP104",
+                f"postexit_source entry {node} is not a POSTEXIT node",
+                proc=name,
+                node=node,
+            )
+        )
+
+    for postexit in postexit_nodes & recorded:
+        edge = ecfg.postexit_source[postexit]
+        if edge.src not in intervals.hdr or edge.dst not in intervals.hdr:
+            out.append(
+                diag(
+                    "REP104",
+                    f"postexit {postexit} records unknown edge "
+                    f"({edge.src}, {edge.dst}, {edge.label!r})",
+                    proc=name,
+                    node=postexit,
+                )
+            )
+            continue
+        src_hdr = intervals.hdr[edge.src]
+        dst_hdr = intervals.hdr[edge.dst]
+        if intervals.lca(src_hdr, dst_hdr) == src_hdr:
+            out.append(
+                diag(
+                    "REP104",
+                    f"postexit {postexit} records edge "
+                    f"({edge.src}, {edge.dst}, {edge.label!r}) which is "
+                    "not an interval exit",
+                    proc=name,
+                    node=postexit,
+                )
+            )
+        real_in = [e for e in graph.in_edges(postexit) if not e.is_pseudo]
+        pseudo_in = [e for e in graph.in_edges(postexit) if e.is_pseudo]
+        if (
+            len(real_in) != 1
+            or real_in[0].src != edge.src
+            or real_in[0].label != edge.label
+        ):
+            out.append(
+                diag(
+                    "REP104",
+                    f"postexit {postexit} must have exactly one real "
+                    f"in-edge, ({edge.src}, {edge.label!r})",
+                    proc=name,
+                    node=postexit,
+                )
+            )
+        if len(pseudo_in) != 1:
+            out.append(
+                diag(
+                    "REP104",
+                    f"postexit {postexit} must have exactly one pseudo "
+                    f"in-edge (found {len(pseudo_in)})",
+                    proc=name,
+                    node=postexit,
+                )
+            )
+        outs = graph.out_edges(postexit)
+        if len(outs) != 1 or outs[0].is_pseudo:
+            out.append(
+                diag(
+                    "REP104",
+                    f"postexit {postexit} must have exactly one real "
+                    "out-edge",
+                    proc=name,
+                    node=postexit,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# REP105 — pseudo edges exist exactly where the construction puts them
+# ---------------------------------------------------------------------------
+
+
+def _check_pseudo_edges(cfg, ecfg, name: str) -> list[Diagnostic]:
+    graph = ecfg.graph
+    out: list[Diagnostic] = []
+
+    for edge in cfg.edges:
+        if edge.is_pseudo:
+            out.append(
+                diag(
+                    "REP105",
+                    f"original CFG contains pseudo edge "
+                    f"({edge.src}, {edge.dst}, {edge.label!r})",
+                    proc=name,
+                    node=edge.src,
+                )
+            )
+
+    start_pseudo = 0
+    for edge in graph.edges:
+        if not edge.is_pseudo:
+            continue
+        if edge.src == ecfg.start:
+            start_pseudo += 1
+            if edge.dst != ecfg.stop:
+                out.append(
+                    diag(
+                        "REP105",
+                        f"START pseudo edge targets {edge.dst}, not STOP",
+                        proc=name,
+                        node=edge.src,
+                    )
+                )
+            continue
+        header = ecfg.header_of.get(edge.src)
+        if header is None:
+            out.append(
+                diag(
+                    "REP105",
+                    f"pseudo edge ({edge.src}, {edge.dst}, {edge.label!r}) "
+                    "originates at a non-preheader node",
+                    proc=name,
+                    node=edge.src,
+                )
+            )
+            continue
+        dst_node = graph.nodes.get(edge.dst)
+        if dst_node is None or dst_node.type is not NodeType.POSTEXIT:
+            out.append(
+                diag(
+                    "REP105",
+                    f"preheader pseudo edge ({edge.src}, {edge.dst}, "
+                    f"{edge.label!r}) does not target a POSTEXIT",
+                    proc=name,
+                    node=edge.src,
+                )
+            )
+            continue
+        source_edge = ecfg.postexit_source.get(edge.dst)
+        if source_edge is not None:
+            src_hdr = ecfg.intervals.hdr.get(source_edge.src)
+            if src_hdr != header:
+                out.append(
+                    diag(
+                        "REP105",
+                        f"pseudo edge links preheader of {header} to a "
+                        f"postexit of interval {src_hdr}",
+                        proc=name,
+                        node=edge.src,
+                    )
+                )
+    if start_pseudo != 1:
+        out.append(
+            diag(
+                "REP105",
+                "exactly one START->STOP pseudo edge required "
+                f"(found {start_pseudo})",
+                proc=name,
+                node=ecfg.start,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# REP106 — FCDG rootedness / acyclicity / connectivity
+# ---------------------------------------------------------------------------
+
+
+def _check_fcdg(ecfg, fcdg, name: str) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    graph = ecfg.graph
+    root = fcdg.root
+    expected = set(graph.nodes) - {ecfg.stop}
+
+    # One pass over the edge list feeds every check below: node
+    # coverage, index agreement, the degrees for Kahn, and label
+    # sanity (a control condition (u, l) must be a real out-label of
+    # u in the ECFG, or one of its pseudo labels).
+    present = {root}
+    from_edges: set[tuple[int, str, int]] = set()
+    successors: dict[int, list[int]] = {}
+    indegree: dict[int, int] = {}
+    label_cache: dict[int, set[str]] = {}
+    label_diags: list[Diagnostic] = []
+    for edge in fcdg.edges:
+        src, dst, label = edge.src, edge.dst, edge.label
+        present.add(src)
+        present.add(dst)
+        from_edges.add((src, label, dst))
+        successors.setdefault(src, []).append(dst)
+        indegree[dst] = indegree.get(dst, 0) + 1
+        if src in graph.nodes:  # unknown nodes get their own REP106
+            labels = label_cache.get(src)
+            if labels is None:
+                labels = {e.label for e in graph.out_edges(src)}
+                label_cache[src] = labels
+            if label not in labels:
+                label_diags.append(
+                    diag(
+                        "REP106",
+                        f"FCDG condition ({src}, {label!r}) is not "
+                        "an out-label of its node in the ECFG",
+                        proc=name,
+                        node=src,
+                    )
+                )
+    for node in present:
+        indegree.setdefault(node, 0)
+    missing = expected - present
+    extra = present - expected
+    if missing:
+        out.append(
+            diag(
+                "REP106",
+                f"FCDG misses ECFG nodes {sorted(missing)}",
+                proc=name,
+            )
+        )
+    if extra:
+        out.append(
+            diag(
+                "REP106",
+                f"FCDG contains unknown nodes {sorted(extra)}",
+                proc=name,
+            )
+        )
+
+    # The node list / child / parent tables must agree with the edges.
+    if set(fcdg.nodes) != present | {root}:
+        out.append(
+            diag(
+                "REP106",
+                "FCDG node index disagrees with its edge list",
+                proc=name,
+            )
+        )
+    # Walk the child index directly — the point is to compare the
+    # index itself against the edge list, and ``all_children`` copies.
+    from_children = {
+        (node, label, child)
+        for node, by_label in fcdg._children.items()
+        for label, kids in by_label.items()
+        for child in kids
+    }
+    if from_edges != from_children:
+        out.append(
+            diag(
+                "REP106",
+                "FCDG child index disagrees with its edge list",
+                proc=name,
+            )
+        )
+
+    if indegree.get(root, 0):
+        out.append(
+            diag(
+                "REP106",
+                f"FCDG root {root} has incoming edges",
+                proc=name,
+                node=root,
+            )
+        )
+    for node in sorted(expected & present):
+        if node != root and indegree.get(node, 0) == 0:
+            out.append(
+                diag(
+                    "REP106",
+                    f"FCDG node {node} is unrooted (no parents)",
+                    proc=name,
+                    node=node,
+                )
+            )
+
+    # Acyclicity (Kahn) and connectivity from the root.
+    ready = [n for n, deg in indegree.items() if deg == 0]
+    seen = 0
+    degrees = dict(indegree)
+    while ready:
+        node = ready.pop()
+        seen += 1
+        for child in successors.get(node, ()):
+            degrees[child] -= 1
+            if degrees[child] == 0:
+                ready.append(child)
+    if seen != len(indegree):
+        cyclic = sorted(n for n, d in degrees.items() if d > 0)
+        out.append(
+            diag(
+                "REP106",
+                f"FCDG contains a cycle through {cyclic}",
+                proc=name,
+            )
+        )
+
+    reachable = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(successors.get(node, ()))
+    unreachable = sorted((expected & present) - reachable)
+    if unreachable:
+        out.append(
+            diag(
+                "REP106",
+                f"FCDG nodes unreachable from START: {unreachable}",
+                proc=name,
+            )
+        )
+
+    out.extend(label_diags)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# REP107 — ehdr totality / consistency
+# ---------------------------------------------------------------------------
+
+
+def _check_ehdr(cfg, ecfg, name: str) -> list[Diagnostic]:
+    intervals = ecfg.intervals
+    out: list[Diagnostic] = []
+    headers = set(intervals.hdr_parent)
+    for node in ecfg.graph.nodes:
+        header = ecfg.ehdr.get(node)
+        if header is None:
+            out.append(
+                diag(
+                    "REP107",
+                    f"ECFG node {node} has no ehdr entry",
+                    proc=name,
+                    node=node,
+                )
+            )
+            continue
+        if header not in headers:
+            out.append(
+                diag(
+                    "REP107",
+                    f"ehdr[{node}] = {header} is not an interval header",
+                    proc=name,
+                    node=node,
+                )
+            )
+            continue
+        if node in cfg.nodes and intervals.hdr.get(node) != header:
+            out.append(
+                diag(
+                    "REP107",
+                    f"ehdr[{node}] = {header} disagrees with "
+                    f"HDR({node}) = {intervals.hdr.get(node)}",
+                    proc=name,
+                    node=node,
+                )
+            )
+    return out

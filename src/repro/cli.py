@@ -10,7 +10,10 @@ Commands mirror the library pipeline:
   VAR / STD_DEV per procedure, optionally the annotated Figure-3 FCDG;
 * ``batch``    — profile many programs (files and/or generated
   workloads) through the cached batch engine, serially or on a
-  process pool, with per-program error isolation.
+  process pool, with per-program error isolation;
+* ``check``    — run the artifact verifier and minifort linter over
+  files, built-in workloads and/or generated programs; exit non-zero
+  if anything at warning level or above is found.
 """
 
 from __future__ import annotations
@@ -337,6 +340,7 @@ def _cmd_batch(args) -> int:
         jobs=args.jobs,
         cache=args.cache,
         max_steps=args.max_steps,
+        verify=args.verify,
     )
 
     rows = []
@@ -383,7 +387,8 @@ def _cmd_batch(args) -> int:
     print(
         f"\ncache: {stats['memory_hits']} memory hits, "
         f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
-        f"{stats['corrupt_entries']} corrupt; "
+        f"{stats['corrupt_entries']} corrupt, "
+        f"{stats.get('invalid_entries', 0)} invalid; "
         f"{len(report.ok)}/{len(report.results)} ok in {report.elapsed:.2f}s"
     )
     for result in report.failures:
@@ -400,6 +405,65 @@ def _cmd_batch(args) -> int:
             Path(args.json).write_text(payload + "\n")
             print(f"[aggregate JSON written to {args.json}]", file=sys.stderr)
     return 0 if not report.failures else 1
+
+
+def _cmd_check(args) -> int:
+    import json
+
+    from repro.checker import check_source
+    from repro.workloads import builtin_sources
+    from repro.workloads.generators import ProgramGenerator
+
+    programs: list[tuple[str, str]] = []
+    for path in args.files:
+        programs.append((path, Path(path).read_text()))
+    if args.builtin:
+        programs.extend(builtin_sources())
+    for i in range(args.generate):
+        gen_seed = args.gen_seed + i
+        programs.append(
+            (f"gen-{gen_seed}", ProgramGenerator(gen_seed).source())
+        )
+    if not programs:
+        raise ReproError(
+            "check: no programs (give files, --builtin and/or --generate N)"
+        )
+
+    plan_kinds = {
+        "smart": ("smart",),
+        "naive": ("naive",),
+        "both": ("smart", "naive"),
+    }[args.plan]
+    reports = [
+        check_source(
+            source,
+            program_id=program_id,
+            plan_kinds=plan_kinds,
+            lint=not args.no_lint,
+            hints=args.hints,
+        )
+        for program_id, source in programs
+    ]
+
+    for report in reports:
+        print(report.render_text())
+    bad = [r for r in reports if not r.ok]
+    total = sum(len(r) for r in reports)
+    print(
+        f"\nchecked {len(reports)} program(s): "
+        f"{len(reports) - len(bad)} clean, {len(bad)} with findings "
+        f"({total} diagnostic(s) total)"
+    )
+    if args.json:
+        payload = json.dumps(
+            [r.as_dict() for r in reports], indent=2, sort_keys=True
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"[JSON written to {args.json}]", file=sys.stderr)
+    return 0 if not bad else 1
 
 
 def _cmd_plan(args) -> int:
@@ -554,10 +618,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--max-steps", type=int, default=10_000_000)
     p_batch.add_argument(
+        "--verify", action="store_true",
+        help="run the artifact verifier on every item before profiling",
+    )
+    p_batch.add_argument(
         "--json", metavar="PATH",
         help="write the canonical aggregate JSON here ('-' for stdout)",
     )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_check = sub.add_parser(
+        "check",
+        help="verify artifacts and lint sources (the repro check)",
+    )
+    p_check.add_argument("files", nargs="*", help="minifort source files")
+    p_check.add_argument(
+        "--builtin", action="store_true",
+        help="also check every built-in workload",
+    )
+    p_check.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="also check N seeded generator programs",
+    )
+    p_check.add_argument(
+        "--gen-seed", type=int, default=0,
+        help="first generator seed (default 0)",
+    )
+    p_check.add_argument(
+        "--plan", choices=["smart", "naive", "both"], default="both",
+        help="which counter plans to verify (default: both)",
+    )
+    p_check.add_argument(
+        "--no-lint", action="store_true", help="skip the REP3xx lints"
+    )
+    p_check.add_argument(
+        "--hints", action="store_true",
+        help="also emit hint-level findings (REP301/304/305)",
+    )
+    p_check.add_argument(
+        "--json", metavar="PATH",
+        help="write all reports as JSON here ('-' for stdout)",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_plan = sub.add_parser(
         "plan", help="show counter placement plans (smart vs naive)"

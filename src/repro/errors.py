@@ -50,6 +50,22 @@ class ProfilingError(ReproError):
     """Raised for invalid counter plans or unreconstructible profiles."""
 
 
+class VerificationError(ReproError):
+    """Raised when the artifact verifier finds broken invariants.
+
+    Carries the full :class:`repro.checker.DiagnosticReport` so callers
+    can inspect individual error codes.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        codes = ", ".join(sorted(report.codes())) or "no codes"
+        super().__init__(
+            f"artifact verification failed ({codes}): "
+            f"{report.summary()}"
+        )
+
+
 class InterpreterError(ReproError):
     """Raised for runtime errors during interpretation."""
 

@@ -59,11 +59,14 @@ class CompiledProgram:
         return {name: (self.ecfgs[name], self.fcdgs[name]) for name in self.cfgs}
 
 
-def compile_source(source: str) -> CompiledProgram:
+def compile_source(source: str, *, verify: bool = False) -> CompiledProgram:
     """Parse, check and build all graphs for a minifort program.
 
     Irreducible CFGs (the paper assumes reducibility) are made
-    reducible by node splitting, as the paper prescribes.
+    reducible by node splitting, as the paper prescribes.  With
+    ``verify=True`` the artifact verifier re-checks every Section-2
+    structural invariant on the result and raises
+    :class:`repro.errors.VerificationError` if any is broken.
     """
     checked = check_program(parse_program(source))
     cfgs = build_program_cfgs(checked)
@@ -73,7 +76,7 @@ def compile_source(source: str) -> CompiledProgram:
             splits[name] = split_nodes(cfg)
     ecfgs = {name: build_ecfg(cfg) for name, cfg in cfgs.items()}
     fcdgs = {name: build_fcdg(ecfg) for name, ecfg in ecfgs.items()}
-    return CompiledProgram(
+    program = CompiledProgram(
         source=source,
         checked=checked,
         cfgs=cfgs,
@@ -82,6 +85,19 @@ def compile_source(source: str) -> CompiledProgram:
         call_graph=build_call_graph(checked),
         splits=splits,
     )
+    if verify:
+        verify_compiled(program)
+    return program
+
+
+def verify_compiled(program: CompiledProgram, plan=None) -> None:
+    """Run the artifact verifier; raise on any invariant violation."""
+    from repro.checker import verify_program
+    from repro.errors import VerificationError
+
+    report = verify_program(program, plan)
+    if report.errors:
+        raise VerificationError(report)
 
 
 def run_program(
@@ -216,6 +232,7 @@ def profile_batch(
     cache=None,
     loop_variance: str = "zero",
     max_steps: int = 10_000_000,
+    verify: bool = False,
 ):
     """Profile many programs, with cached static analysis.
 
@@ -224,7 +241,9 @@ def profile_batch(
     list of run-spec dicts) applies to every non-``BatchItem`` entry.
     ``cache`` is a directory path or :class:`repro.batch.ArtifactCache`
     (``None`` keeps the cache in memory); ``mode`` is ``"serial"``,
-    ``"process"`` or ``"auto"``.  Returns a
+    ``"process"`` or ``"auto"``; ``verify=True`` runs the artifact
+    verifier on every item's artifacts before profiling (failures are
+    isolated per item, stage ``"verify"``).  Returns a
     :class:`repro.batch.BatchReport` with results in item order and
     per-item error isolation.
     """
@@ -256,6 +275,7 @@ def profile_batch(
         cache=cache,
         loop_variance=loop_variance,
         max_steps=max_steps,
+        verify=verify,
     )
 
 

@@ -20,7 +20,7 @@ others; the reconstruction engine evaluates rules to a fixpoint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import NamedTuple, Union
 
 Measure = tuple  # ("invoc",) | ("cond", u, l) | ("header", h) | ...
 
@@ -49,8 +49,7 @@ def block_measure(leader: int) -> Measure:
 Term = Union[Measure, float]
 
 
-@dataclass(frozen=True)
-class DerivedRule:
+class DerivedRule(NamedTuple):
     """target = bias + Σ (coefficient × term).
 
     All four of the paper's derivations are linear, so one rule shape
@@ -67,6 +66,11 @@ class DerivedRule:
 
     ``exec`` measures themselves are generated for every FCDG node as
     the sum of its parents' condition measures.
+
+    A NamedTuple rather than a frozen dataclass: plan building and
+    artifact verification construct and hash hundreds of rules per
+    procedure, and tuple construction/hashing is several times
+    cheaper than ``object.__setattr__``-based field init.
     """
 
     target: Measure

@@ -114,23 +114,20 @@ class ProgramPlan:
 # ---------------------------------------------------------------------------
 
 
-def _condition_measure(fcdg: FCDG, node: int, label: str) -> tuple[float, object]:
-    """The (coefficient, term) of one condition in an exec-sum rule."""
-    ecfg = fcdg.ecfg
-    if is_pseudo_label(label):
-        return (1.0, 0.0)  # pseudo conditions never fire
-    if node == ecfg.start:
-        return (1.0, invoc_measure())
-    if ecfg.is_preheader(node):
-        return (1.0, header_measure(ecfg.header_of[node]))
-    return (1.0, cond_measure(node, label))
-
-
 def _exec_rules(fcdg: FCDG, rules: RuleSet) -> None:
-    """exec(n) = Σ parent condition counts, for every FCDG node."""
+    """exec(n) = Σ parent condition counts, for every FCDG node.
+
+    ``_condition_measure`` is inlined into the loop: this runs once
+    per CD edge for every plan build *and* every artifact
+    verification, so the per-edge call overhead is measurable.
+    """
+    ecfg = fcdg.ecfg
+    start = ecfg.start
+    header_of = ecfg.header_of
+    add = rules.add
     for node in fcdg.nodes:
         if node == fcdg.root:
-            rules.add(
+            add(
                 DerivedRule(
                     target=exec_measure(node),
                     kind="exec",
@@ -138,11 +135,22 @@ def _exec_rules(fcdg: FCDG, rules: RuleSet) -> None:
                 )
             )
             continue
-        terms = tuple(
-            _condition_measure(fcdg, edge.src, edge.label)
-            for edge in fcdg.parents(node)
+        terms: list[tuple[float, object]] = []
+        for edge in fcdg.parents(node):
+            src = edge.src
+            if is_pseudo_label(edge.label):
+                terms.append((1.0, 0.0))  # pseudo conditions never fire
+            elif src == start:
+                terms.append((1.0, invoc_measure()))
+            elif src in header_of:
+                terms.append((1.0, header_measure(header_of[src])))
+            else:
+                terms.append((1.0, cond_measure(src, edge.label)))
+        add(
+            DerivedRule(
+                target=exec_measure(node), kind="exec", terms=tuple(terms)
+            )
         )
-        rules.add(DerivedRule(target=exec_measure(node), kind="exec", terms=terms))
 
 
 def _taken_term(fcdg: FCDG, src: int, label: str):

@@ -22,7 +22,31 @@ from repro.workloads.simple_cfd import simple_source
 from repro.workloads import classic, unstructured
 from repro.workloads.generators import ProgramGenerator
 
+
+def builtin_sources() -> list[tuple[str, str]]:
+    """Every built-in workload as stable ``(id, source)`` pairs.
+
+    The canonical corpus for the ``repro check`` CLI, the property
+    tests and the CI gate: all of these must verify and lint clean.
+    """
+    pairs = [
+        ("paper", PAPER_SOURCE),
+        ("livermore", livermore_source()),
+        ("simple", simple_source()),
+        ("shellsort", classic.shellsort_source()),
+        ("gauss", classic.gauss_source()),
+        ("newton", classic.newton_source()),
+        ("binsearch", classic.binsearch_source()),
+    ]
+    pairs.extend(
+        (name.lower(), source)
+        for name, source in sorted(unstructured.ALL_SOURCES.items())
+    )
+    return pairs
+
+
 __all__ = [
+    "builtin_sources",
     "PAPER_SOURCE",
     "FigureCostEstimator",
     "paper_program",

@@ -1,0 +1,141 @@
+"""Cache hardening: disk hits are verified, bad entries quarantined."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro import compile_source, profile_batch
+from repro.batch import ArtifactCache, BatchItem, run_batch
+from repro.batch.cache import source_key
+from repro.errors import VerificationError
+from repro.pipeline import verify_compiled
+from repro.workloads import PAPER_SOURCE
+
+pytestmark = pytest.mark.batch
+
+
+def poison_disk_entry(cache: ArtifactCache, source: str) -> None:
+    """Rewrite the stored pickle with a broken START→STOP invariant."""
+    path = cache._disk_path(source_key(source))
+    entry = pickle.loads(path.read_bytes())
+    ecfg = entry.program.ecfgs[entry.program.main_name]
+    ecfg.graph.edges = [
+        e for e in ecfg.graph.edges if not (e.src == ecfg.start and e.is_pseudo)
+    ]
+    path.write_bytes(pickle.dumps(entry))
+
+
+class TestDiskHitVerification:
+    def test_valid_entry_loads_as_disk_hit(self, tmp_path):
+        ArtifactCache(tmp_path).artifacts(PAPER_SOURCE)
+        fresh = ArtifactCache(tmp_path)
+        _, _, tier = fresh.artifacts(PAPER_SOURCE)
+        assert tier == "disk"
+        assert fresh.stats.invalid_entries == 0
+
+    def test_poisoned_entry_evicted_and_recompiled(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.artifacts(PAPER_SOURCE)
+        poison_disk_entry(cache, PAPER_SOURCE)
+
+        fresh = ArtifactCache(tmp_path)
+        program, plan, tier = fresh.artifacts(PAPER_SOURCE)
+        assert tier == "compiled"  # not trusted, rebuilt from source
+        assert fresh.stats.invalid_entries == 1
+        assert fresh.stats.disk_hits == 0
+        # The rebuilt artifacts are sound again.
+        verify_compiled(program, plan)
+
+    def test_recompile_replaces_the_bad_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.artifacts(PAPER_SOURCE)
+        poison_disk_entry(cache, PAPER_SOURCE)
+
+        first = ArtifactCache(tmp_path)
+        first.artifacts(PAPER_SOURCE)  # evicts + stores a clean entry
+        second = ArtifactCache(tmp_path)
+        _, _, tier = second.artifacts(PAPER_SOURCE)
+        assert tier == "disk"
+        assert second.stats.invalid_entries == 0
+
+    def test_verification_can_be_disabled(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.artifacts(PAPER_SOURCE)
+        poison_disk_entry(cache, PAPER_SOURCE)
+
+        trusting = ArtifactCache(tmp_path, verify_loads=False)
+        _, _, tier = trusting.artifacts(PAPER_SOURCE)
+        assert tier == "disk"  # loaded verbatim, caveat emptor
+        assert trusting.stats.invalid_entries == 0
+
+    def test_stats_dict_has_invalid_entries(self, tmp_path):
+        assert "invalid_entries" in ArtifactCache(tmp_path).stats.as_dict()
+
+
+class TestPipelineVerifyFlag:
+    def test_compile_source_verify_passes_on_valid_program(self):
+        program = compile_source(PAPER_SOURCE, verify=True)
+        assert program.main_name in program.cfgs
+
+    def test_verify_compiled_raises_with_report(self):
+        program = compile_source(PAPER_SOURCE)
+        broken = copy.deepcopy(program)
+        ecfg = broken.ecfgs[broken.main_name]
+        ecfg.graph.edges = [
+            e
+            for e in ecfg.graph.edges
+            if not (e.src == ecfg.start and e.is_pseudo)
+        ]
+        with pytest.raises(VerificationError) as excinfo:
+            verify_compiled(broken)
+        assert "REP105" in str(excinfo.value)
+        assert excinfo.value.report.has("REP105")
+
+
+class TestBatchVerifyStage:
+    def test_verified_batch_of_valid_programs_succeeds(self):
+        report = profile_batch(
+            [("paper", PAPER_SOURCE)], runs=1, mode="serial", verify=True
+        )
+        assert [r.ok for r in report.results] == [True]
+
+    def test_poisoned_cache_item_fails_in_verify_stage(self, tmp_path):
+        # Defeat load-time verification to prove the engine's own
+        # verify stage independently quarantines the item.
+        cache = ArtifactCache(tmp_path, verify_loads=False)
+        cache.artifacts(PAPER_SOURCE)
+        poison_disk_entry(cache, PAPER_SOURCE)
+        cache.clear_memory()
+
+        report = run_batch(
+            [BatchItem(id="bad", source=PAPER_SOURCE, runs=({"seed": 0},))],
+            mode="serial",
+            cache=cache,
+            verify=True,
+        )
+        (result,) = report.results
+        assert not result.ok
+        assert result.error.stage == "verify"
+        assert "REP105" in result.error.message
+
+    def test_quarantine_does_not_sink_the_batch(self, tmp_path):
+        cache = ArtifactCache(tmp_path, verify_loads=False)
+        cache.artifacts(PAPER_SOURCE)
+        poison_disk_entry(cache, PAPER_SOURCE)
+        cache.clear_memory()
+
+        other = "      PROGRAM MAIN\n      REAL X\n      X = 1.0\n" \
+                "      PRINT *, X\n      STOP\n      END\n"
+        report = run_batch(
+            [
+                BatchItem(id="bad", source=PAPER_SOURCE, runs=({"seed": 0},)),
+                BatchItem(id="good", source=other, runs=({"seed": 0},)),
+            ],
+            mode="serial",
+            cache=cache,
+            verify=True,
+        )
+        by_id = {r.item_id: r for r in report.results}
+        assert not by_id["bad"].ok and by_id["bad"].error.stage == "verify"
+        assert by_id["good"].ok

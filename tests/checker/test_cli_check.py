@@ -1,0 +1,113 @@
+"""The ``repro check`` CLI: exit codes, text output, JSON output."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.checker
+
+CLEAN = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL X
+      DO 10 I = 1, 5
+        X = X + 1.0
+10    CONTINUE
+      PRINT *, X
+      STOP
+      END
+"""
+
+DIRTY = """\
+      PROGRAM MAIN
+      INTEGER I, J
+      I = 1
+      GOTO 10
+      J = 2
+10    I = I + J
+      STOP
+      END
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.f"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.f"
+    path.write_text(DIRTY)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_file_exits_nonzero(self, dirty_file, capsys):
+        assert main(["check", dirty_file]) == 1
+        out = capsys.readouterr().out
+        assert "REP302" in out
+
+    def test_uncompilable_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.f"
+        bad.write_text("      GARBAGE\n")
+        assert main(["check", str(bad)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_no_programs_is_an_error(self, capsys):
+        assert main(["check"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_hints_do_not_fail_the_run(self, tmp_path, capsys):
+        # CLEAN minus its STOP: a hint-level finding only.
+        source = CLEAN.replace("      STOP\n", "")
+        path = tmp_path / "nostop.f"
+        path.write_text(source)
+        assert main(["check", str(path), "--hints"]) == 0
+        assert "REP304" in capsys.readouterr().out
+
+
+class TestCorpusModes:
+    def test_builtin_corpus_clean(self, capsys):
+        assert main(["check", "--builtin"]) == 0
+        out = capsys.readouterr().out
+        assert "paper: clean" in out
+        assert "0 with findings" in out
+
+    def test_generated_programs_clean(self, capsys):
+        assert main(["check", "--generate", "3", "--plan", "smart"]) == 0
+        out = capsys.readouterr().out
+        assert "gen-0: clean" in out and "gen-2: clean" in out
+
+    def test_mixed_clean_and_dirty(self, clean_file, dirty_file, capsys):
+        assert main(["check", clean_file, dirty_file]) == 1
+        out = capsys.readouterr().out
+        assert "1 clean, 1 with findings" in out
+
+
+class TestJsonOutput:
+    def test_json_to_stdout(self, dirty_file, capsys):
+        assert main(["check", dirty_file, "--json", "-"]) == 1
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("\n[\n") + 1 :])
+        assert payload[0]["ok"] is False
+        assert payload[0]["diagnostics"][0]["code"] == "REP302"
+
+    def test_json_to_file(self, clean_file, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(["check", clean_file, "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload[0]["ok"] is True
+        assert payload[0]["diagnostics"] == []
+
+    def test_no_lint_flag(self, dirty_file, capsys):
+        assert main(["check", dirty_file, "--no-lint"]) == 0
+        assert "clean" in capsys.readouterr().out

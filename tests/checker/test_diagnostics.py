@@ -1,0 +1,101 @@
+"""The diagnostics engine: codes, severities, reports, renderers."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checker import CODES, Diagnostic, DiagnosticReport, Severity, diag
+
+pytestmark = pytest.mark.checker
+
+
+class TestCatalogue:
+    def test_code_families(self):
+        for code in CODES:
+            assert code.startswith("REP") and len(code) == 6
+        assert all(CODES[c][0] is Severity.ERROR for c in CODES if c[3] in "012")
+
+    def test_lint_severities(self):
+        # REP301/304/305 are hints: minifort zero-initializes scalars
+        # and built-in workloads omit STOP / use runtime trips by design.
+        assert CODES["REP301"][0] is Severity.INFO
+        assert CODES["REP302"][0] is Severity.WARNING
+        assert CODES["REP303"][0] is Severity.WARNING
+        assert CODES["REP304"][0] is Severity.INFO
+        assert CODES["REP305"][0] is Severity.INFO
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            diag("REP999", "nope")
+
+    def test_severity_override(self):
+        finding = diag("REP301", "x", severity=Severity.ERROR)
+        assert finding.severity is Severity.ERROR
+
+    def test_every_code_documented(self):
+        """docs/checker.md must catalogue every code (and no ghosts)."""
+        docs = Path(__file__).resolve().parents[2] / "docs" / "checker.md"
+        text = docs.read_text()
+        for code in CODES:
+            assert code in text, f"{code} missing from docs/checker.md"
+
+
+class TestDiagnostic:
+    def test_render_with_span(self):
+        finding = diag("REP103", "broken", proc="MAIN", node=5, line=12)
+        text = finding.render()
+        assert "REP103" in text and "error" in text
+        assert "[MAIN]" in text and "node 5" in text and "line 12" in text
+
+    def test_as_dict_omits_missing_span(self):
+        record = diag("REP201", "m").as_dict()
+        assert record == {
+            "code": "REP201",
+            "severity": "error",
+            "message": "m",
+        }
+
+    def test_frozen(self):
+        finding = diag("REP100", "m")
+        with pytest.raises(Exception):
+            finding.code = "REP101"
+
+
+class TestReport:
+    def make(self) -> DiagnosticReport:
+        report = DiagnosticReport(program_id="demo")
+        report.add(diag("REP301", "hint one"))
+        report.add(diag("REP302", "warn one"))
+        report.add(diag("REP105", "err one"))
+        return report
+
+    def test_queries(self):
+        report = self.make()
+        assert len(report) == 3
+        assert [d.code for d in report.errors] == ["REP105"]
+        assert [d.code for d in report.warnings] == ["REP302"]
+        assert report.codes() == {"REP301", "REP302", "REP105"}
+        assert report.has("REP302") and not report.has("REP104")
+        assert not report.ok  # a warning is enough to fail
+
+    def test_ok_ignores_hints(self):
+        report = DiagnosticReport()
+        report.add(diag("REP304", "hint"))
+        assert report.ok
+
+    def test_render_text_errors_first(self):
+        lines = self.make().render_text().splitlines()
+        assert lines[0].startswith("demo:")
+        assert "REP105" in lines[1]
+        assert "REP302" in lines[2]
+        assert "REP301" in lines[3]
+
+    def test_render_clean(self):
+        assert DiagnosticReport(program_id="p").render_text() == "p: clean"
+
+    def test_json_roundtrip(self):
+        payload = json.loads(self.make().render_json())
+        assert payload["program"] == "demo"
+        assert payload["ok"] is False
+        assert len(payload["diagnostics"]) == 3

@@ -1,0 +1,135 @@
+"""The minifort linter (REP3xx): warnings, hints and non-findings."""
+
+import pytest
+
+from repro.checker import Severity, check_source
+
+pytestmark = pytest.mark.checker
+
+
+UNREACHABLE = """\
+      PROGRAM MAIN
+      INTEGER I, J
+      I = 1
+      GOTO 10
+      J = 2
+10    I = I + J
+      STOP
+      END
+"""
+
+INDEX_MUTATION = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL X
+      DO 10 I = 1, 5
+        I = I + 1
+        X = X + 1.0
+10    CONTINUE
+      STOP
+      END
+"""
+
+NESTED_INDEX_REUSE = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL X
+      DO 20 I = 1, 3
+        DO 10 I = 1, 2
+          X = X + 1.0
+10      CONTINUE
+20    CONTINUE
+      STOP
+      END
+"""
+
+HINTY = """\
+      PROGRAM MAIN
+      INTEGER I, N
+      REAL X, Y
+      N = 3
+      CALL SETUP(N)
+      DO 10 I = 1, N
+        Y = Y + X
+10    CONTINUE
+      PRINT *, Y
+      END
+      SUBROUTINE SETUP(K)
+      INTEGER K
+      K = K + 1
+      RETURN
+      END
+"""
+
+
+class TestWarnings:
+    def test_unreachable_statement_rep302(self):
+        report = check_source(UNREACHABLE)
+        assert report.codes() == {"REP302"}
+        (finding,) = report.diagnostics
+        assert finding.severity is Severity.WARNING
+        assert finding.line == 5  # the J = 2 after GOTO
+        assert not report.ok
+
+    def test_labelled_target_is_reachable(self):
+        # The statement at label 10 follows the GOTO textually but is
+        # its target: no finding for it.
+        report = check_source(UNREACHABLE)
+        assert all(d.line != 6 for d in report.diagnostics)
+
+    def test_do_index_assignment_rep303(self):
+        report = check_source(INDEX_MUTATION)
+        assert report.codes() == {"REP303"}
+        assert report.diagnostics[0].line == 5
+
+    def test_nested_do_index_reuse_rep303(self):
+        assert check_source(NESTED_INDEX_REUSE).codes() == {"REP303"}
+
+    def test_no_lint_suppresses_warnings(self):
+        report = check_source(UNREACHABLE, lint=False)
+        assert not report.diagnostics
+
+
+class TestHints:
+    def test_hints_off_by_default(self):
+        assert not check_source(HINTY).diagnostics
+
+    def test_all_three_hints(self):
+        report = check_source(HINTY, hints=True)
+        assert report.codes() == {"REP301", "REP304", "REP305"}
+        # Hints never fail a check run.
+        assert report.ok
+        assert all(d.severity is Severity.INFO for d in report.diagnostics)
+
+    def test_use_before_def_names_the_variable(self):
+        report = check_source(HINTY, hints=True)
+        (finding,) = [d for d in report.diagnostics if d.code == "REP301"]
+        assert "X" in finding.message
+        # Y is defined along the loop's back edge, N by assignment,
+        # K in SETUP by being a parameter: only X is flagged.
+        assert "Y" not in finding.message
+
+    def test_byref_call_counts_as_definition(self):
+        source = """\
+      PROGRAM MAIN
+      INTEGER N
+      CALL SETUP(N)
+      PRINT *, N
+      STOP
+      END
+      SUBROUTINE SETUP(K)
+      INTEGER K
+      K = 7
+      RETURN
+      END
+"""
+        report = check_source(source, hints=True)
+        assert not report.has("REP301")
+
+
+class TestFrontendFailure:
+    def test_unparsable_source_rep001(self):
+        report = check_source("      GARBAGE\n")
+        assert report.has("REP001")
+        assert report.errors
+        assert not report.ok

@@ -1,0 +1,202 @@
+"""The mutation-kill suite of the artifact verifier.
+
+Every test seeds one deliberate corruption into otherwise-valid
+compiled artifacts (or counter plans) and asserts that the verifier
+kills the mutant with the *expected stable error code* — not merely
+"some error".  A verifier that cannot kill these mutants would wave
+through exactly the corruptions the batch cache must catch on disk
+hits.
+
+The pristine program is compiled once per module; every test mutates
+a deep copy, and a paranoia check asserts the pristine artifacts stay
+clean afterwards.
+"""
+
+import copy
+
+import pytest
+
+from repro import compile_source, smart_program_plan
+from repro.cdg.control_deps import CDEdge
+from repro.cfg.graph import CFGEdge
+from repro.checker import verify_program
+from repro.profiling.measures import DerivedRule
+from repro.workloads import PAPER_SOURCE, livermore_source
+
+pytestmark = pytest.mark.checker
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    return compile_source(PAPER_SOURCE)
+
+
+@pytest.fixture
+def program(pristine):
+    return copy.deepcopy(pristine)
+
+
+def codes(program, plan=None) -> set[str]:
+    return verify_program(program, plan).codes()
+
+
+def errors(program, plan=None):
+    return verify_program(program, plan).errors
+
+
+class TestStructureMutations:
+    def test_pristine_is_clean(self, pristine):
+        assert not verify_program(pristine).diagnostics
+
+    def test_dangling_cfg_edge_rep100(self, program):
+        cfg = program.cfgs[program.main_name]
+        cfg.edges.append(CFGEdge(cfg.entry, 99_999, "T"))
+        assert "REP100" in codes(program)
+
+    def test_edge_index_drift_rep100(self, program):
+        """An edge present in the list but absent from the indexes."""
+        cfg = program.cfgs[program.main_name]
+        nodes = sorted(cfg.nodes)
+        cfg.edges.append(CFGEdge(nodes[1], nodes[2], "X"))
+        assert "REP100" in codes(program)
+
+    def test_broken_interval_nesting_rep102(self, program):
+        intervals = program.ecfgs[program.main_name].intervals
+        loop = next(h for h in intervals.hdr_parent if h != intervals.root)
+        member = next(iter(intervals.members[loop]))
+        intervals.members[intervals.hdr_parent[loop]].discard(member)
+        assert codes(program) == {"REP102"}
+
+    def test_missing_preheader_mapping_rep103(self, program):
+        ecfg = program.ecfgs[program.main_name]
+        header, preheader = next(iter(ecfg.preheader_of.items()))
+        del ecfg.preheader_of[header]
+        del ecfg.header_of[preheader]
+        assert "REP103" in codes(program)
+
+    def test_bogus_postexit_source_rep104(self, program):
+        ecfg = program.ecfgs[program.main_name]
+        postexit, edge = next(iter(ecfg.postexit_source.items()))
+        ecfg.postexit_source[postexit] = CFGEdge(
+            ecfg.start, edge.dst, edge.label
+        )
+        assert "REP104" in codes(program)
+
+    def test_dropped_start_stop_pseudo_edge_rep105(self, program):
+        ecfg = program.ecfgs[program.main_name]
+        ecfg.graph.edges = [
+            e
+            for e in ecfg.graph.edges
+            if not (e.src == ecfg.start and e.is_pseudo)
+        ]
+        assert codes(program) == {"REP105"}
+
+    def test_rogue_pseudo_edge_rep105(self, program):
+        ecfg = program.ecfgs[program.main_name]
+        ordinary = next(
+            n
+            for n in ecfg.graph.nodes
+            if n not in ecfg.header_of and n != ecfg.start
+        )
+        ecfg.graph.edges.append(CFGEdge(ordinary, ecfg.stop, "Z9"))
+        assert codes(program) == {"REP105"}
+
+    def test_orphaned_fcdg_node_rep106(self, program):
+        fcdg = program.fcdgs[program.main_name]
+        victim = next(n for n in fcdg.nodes if n != fcdg.root)
+        fcdg.edges = [e for e in fcdg.edges if e.dst != victim]
+        fcdg._parents[victim] = []
+        assert codes(program) == {"REP106"}
+
+    def test_fcdg_cycle_rep106(self, program):
+        fcdg = program.fcdgs[program.main_name]
+        child = next(n for n in fcdg.nodes if n != fcdg.root)
+        label = next(iter(fcdg.ecfg.graph.out_labels(child)))
+        back = CDEdge(child, fcdg.root, label)
+        fcdg.edges.append(back)
+        fcdg._children.setdefault(child, {}).setdefault(label, []).append(
+            fcdg.root
+        )
+        fcdg._parents.setdefault(fcdg.root, []).append(back)
+        assert codes(program) == {"REP106"}
+
+    def test_dropped_ehdr_entry_rep107(self, program):
+        ecfg = program.ecfgs[program.main_name]
+        victim = next(n for n in ecfg.ehdr if n != ecfg.start)
+        del ecfg.ehdr[victim]
+        assert "REP107" in codes(program)
+
+
+class TestPlanMutations:
+    def test_pristine_plan_is_clean(self, pristine):
+        assert not verify_program(
+            pristine, smart_program_plan(pristine)
+        ).diagnostics
+
+    def test_deleted_counter_rep201(self, program):
+        plan = smart_program_plan(program)
+        counter_plan = plan.plans[program.main_name]
+        cid = next(iter(counter_plan.counter_measures))
+        del counter_plan.counter_measures[cid]
+        for registry in (
+            counter_plan.node_counters,
+            counter_plan.edge_counters,
+        ):
+            for key, value in list(registry.items()):
+                if value == cid:
+                    del registry[key]
+        assert codes(program, plan) == {"REP201"}
+
+    def test_tampered_rule_rep202(self, program):
+        plan = smart_program_plan(program)
+        rules = plan.plans[program.main_name].rules.rules
+        rule = rules[0]
+        rules[0] = DerivedRule(rule.target, rule.kind, rule.terms,
+                               rule.bias + 3.0)
+        assert codes(program, plan) == {"REP202"}
+
+    def test_dropped_target_rep203(self, program):
+        plan = smart_program_plan(program)
+        counter_plan = plan.plans[program.main_name]
+        counter_plan.targets = counter_plan.targets[:-1]
+        assert codes(program, plan) == {"REP203"}
+
+    def test_misplaced_batch_counter_rep204(self):
+        # The paper fragment has no batched DO loops; Livermore does.
+        program = compile_source(livermore_source())
+        plan = smart_program_plan(program)
+        for name, counter_plan in plan.plans.items():
+            if counter_plan.batch_counters:
+                node, batched = next(iter(counter_plan.batch_counters.items()))
+                del counter_plan.batch_counters[node]
+                counter_plan.batch_counters[program.cfgs[name].entry] = batched
+                break
+        else:  # pragma: no cover - corpus regression
+            pytest.fail("no batch counters anywhere in Livermore")
+        assert "REP204" in codes(program, plan)
+
+    def test_duplicated_counter_id_rep205(self, program):
+        plan = smart_program_plan(program)
+        counter_plan = plan.plans[program.main_name]
+        edge_key = next(iter(counter_plan.edge_counters))
+        counter_plan.edge_counters[edge_key] = next(
+            iter(counter_plan.node_counters.values())
+        )
+        assert "REP205" in codes(program, plan)
+
+    def test_missing_procedure_plan_rep206(self, program):
+        plan = smart_program_plan(program)
+        del plan.plans[program.main_name]
+        assert codes(program, plan) == {"REP206"}
+
+
+class TestVerifierRobustness:
+    def test_hopelessly_corrupt_artifact_reports_not_raises(self, program):
+        program.ecfgs[program.main_name].intervals = None
+        report = verify_program(program)
+        assert report.errors  # wrapped as a finding, never an exception
+
+    def test_mutations_leave_pristine_untouched(self, pristine):
+        assert not verify_program(
+            pristine, smart_program_plan(pristine)
+        ).diagnostics

@@ -1,0 +1,66 @@
+"""Property: everything this repo builds verifies and lints clean.
+
+The checker's value depends on a zero-noise baseline — a verifier that
+cries wolf on valid artifacts cannot gate a cache or a CI run.  Every
+built-in workload and a 50-seed slice of the program generator must
+produce *zero* diagnostics (errors, warnings and hints alike are
+checked separately) under both counter plans.
+"""
+
+import pytest
+
+from repro import compile_source, naive_program_plan, smart_program_plan
+from repro.checker import check_source, verify_program
+from repro.workloads import builtin_sources
+from repro.workloads.generators import ProgramGenerator
+
+pytestmark = pytest.mark.checker
+
+BUILTINS = builtin_sources()
+GENERATOR_SEEDS = range(50)
+
+
+@pytest.mark.parametrize(
+    "program_id,source", BUILTINS, ids=[pid for pid, _ in BUILTINS]
+)
+def test_builtin_workload_fully_clean(program_id, source):
+    report = check_source(
+        source,
+        program_id=program_id,
+        plan_kinds=("smart", "naive"),
+        hints=False,
+    )
+    assert not report.diagnostics, report.render_text()
+
+
+@pytest.mark.parametrize(
+    "program_id,source", BUILTINS, ids=[pid for pid, _ in BUILTINS]
+)
+def test_builtin_workload_warning_free_with_hints(program_id, source):
+    # Hints (REP301/304/305) are allowed on the corpus; anything at
+    # warning level or above is not.
+    report = check_source(source, program_id=program_id, hints=True)
+    assert report.ok, report.render_text()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", GENERATOR_SEEDS)
+def test_generated_program_verifies_clean(seed):
+    source = ProgramGenerator(seed).source()
+    program = compile_source(source)
+    plans = {
+        "smart": smart_program_plan(program),
+        "naive": naive_program_plan(program),
+    }
+    report = verify_program(program, plans, program_id=f"gen-{seed}")
+    assert not report.diagnostics, report.render_text()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", GENERATOR_SEEDS)
+def test_generated_program_lints_warning_free(seed):
+    source = ProgramGenerator(seed).source()
+    report = check_source(
+        source, program_id=f"gen-{seed}", plan_kinds=(), hints=False
+    )
+    assert not report.diagnostics, report.render_text()
