@@ -97,7 +97,9 @@ class ArtifactCache:
 
     With ``path=None`` the cache is memory-only: still useful inside
     one process, invisible to others.  ``max_memory_entries`` bounds
-    the in-memory tier (FIFO eviction); the disk tier is unbounded.
+    the in-memory tier (least-recently-used eviction, so a long-lived
+    profiling service keeps its hot programs resident while cold ones
+    fall back to the disk tier); the disk tier is unbounded.
     ``verify_loads`` (default on) runs the artifact verifier on every
     disk hit; an entry with broken invariants is evicted and the
     program recompiled, exactly like a corrupt pickle.
@@ -162,8 +164,12 @@ class ArtifactCache:
     # -- tiers -----------------------------------------------------------
 
     def _lookup(self, key: str) -> tuple[CachedArtifacts | None, str]:
-        entry = self._memory.get(key)
+        entry = self._memory.pop(key, None)
         if entry is not None:
+            # Re-insert at the most-recently-used end: the insertion
+            # order of ``_memory`` is the LRU order ``_remember``
+            # evicts from.
+            self._memory[key] = entry
             self.stats.memory_hits += 1
             return entry, "memory"
         entry = self._load_disk(key)

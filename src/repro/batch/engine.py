@@ -62,7 +62,7 @@ class BatchOptions:
 class BatchError:
     """A structured per-item failure record."""
 
-    stage: str  # "compile" | "verify" | "profile" | "analyze"
+    stage: str  # "compile" | "verify" | "profile" | "analyze" | "cancelled"
     type: str  # exception class name
     message: str
 
@@ -255,6 +255,18 @@ def _worker_run(payload: tuple[int, BatchItem]):
 # ---------------------------------------------------------------------------
 
 
+def _cancelled(index: int, item: BatchItem) -> BatchResult:
+    return BatchResult(
+        index=index,
+        item_id=item.id,
+        ok=False,
+        runs=len(item.runs),
+        error=BatchError(
+            "cancelled", "BatchCancelled", "batch abandoned before this item"
+        ),
+    )
+
+
 def run_batch(
     items: list[BatchItem],
     *,
@@ -266,6 +278,7 @@ def run_batch(
     loop_variance: str = "zero",
     max_steps: int = 10_000_000,
     verify: bool = False,
+    should_stop=None,
 ) -> BatchReport:
     """Profile every item; never let one bad program sink the batch.
 
@@ -273,6 +286,11 @@ def run_batch(
     pool when more than one job is available and the batch has more
     than one item).  ``cache`` is an :class:`ArtifactCache`, a cache
     directory, or ``None`` for an ephemeral in-memory cache.
+    ``should_stop`` is an optional zero-argument callable polled
+    between items (serial mode only): once it returns true, every
+    not-yet-started item fails with stage ``"cancelled"`` instead of
+    running — how a draining profiling service abandons the tail of
+    an in-flight flush without losing finished results.
     """
     if mode not in ("auto", "serial", "process"):
         raise ValueError(f"unknown batch mode {mode!r}")
@@ -294,10 +312,12 @@ def run_batch(
 
     started = time.perf_counter()
     if mode == "serial":
-        results = [
-            _profile_one(index, item, cache_obj, options)
-            for index, item in enumerate(items)
-        ]
+        results = []
+        for index, item in enumerate(items):
+            if should_stop is not None and should_stop():
+                results.append(_cancelled(index, item))
+            else:
+                results.append(_profile_one(index, item, cache_obj, options))
         cache_stats = cache_obj.stats.as_dict()
     else:
         payloads = list(enumerate(items))

@@ -13,7 +13,13 @@ Commands mirror the library pipeline:
   process pool, with per-program error isolation;
 * ``check``    — run the artifact verifier and minifort linter over
   files, built-in workloads and/or generated programs; exit non-zero
-  if anything at warning level or above is found.
+  if anything at warning level or above is found;
+* ``serve``    — run the asyncio profiling service: micro-batched
+  compile/profile endpoints, a shared profile database accumulating
+  ``TOTAL_FREQ`` ingests, bounded-queue backpressure, graceful drain;
+* ``call``     — the client: health/metrics probes, remote compile
+  and profile, client-side profiling with delta ingest, and
+  Definition-3 frequency/variance queries.
 """
 
 from __future__ import annotations
@@ -466,6 +472,118 @@ def _cmd_check(args) -> int:
     return 0 if not bad else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        db=args.db,
+        cache=args.cache,
+        max_batch=args.max_batch,
+        linger=args.linger_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        max_steps_cap=args.max_steps_cap,
+        save_every=args.save_every,
+    )
+
+    def announce(service) -> None:
+        db = args.db or "(in-memory)"
+        print(
+            f"repro service on http://{args.host}:{service.port} "
+            f"[db={db} max_batch={args.max_batch} "
+            f"linger={args.linger_ms}ms queue={args.queue_limit}]",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    asyncio.run(serve(config, ready=announce))
+    print("repro service drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def _print_json(payload: dict) -> None:
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _cmd_call(args) -> int:
+    from repro.service import ServiceError
+
+    with _client(args) as client:
+        try:
+            if args.endpoint == "health":
+                _print_json(client.healthz())
+            elif args.endpoint == "metrics":
+                _print_json(client.metrics())
+            elif args.endpoint == "compile":
+                _print_json(
+                    client.compile(
+                        Path(args.file).read_text(),
+                        key=args.key,
+                        plan=args.plan,
+                        verify=args.verify,
+                    )
+                )
+            elif args.endpoint == "profile":
+                runs = [
+                    {"seed": args.seed + i, "inputs": _parse_inputs(args.inputs)}
+                    for i in range(args.runs)
+                ]
+                response = client.profile(
+                    Path(args.file).read_text(),
+                    runs=runs,
+                    plan=args.plan,
+                    verify=args.verify,
+                    loop_variance=args.loop_variance,
+                    ingest=args.ingest,
+                )
+                if not args.full:
+                    response.pop("profile", None)
+                _print_json(response)
+            elif args.endpoint == "ingest":
+                # Profile locally (the paper's deployment shape: counts
+                # are gathered where the program runs), ship the delta.
+                source = Path(args.file).read_text()
+                program = compile_source(source)
+                profile, _stats = profile_program(
+                    program,
+                    runs=_run_specs(args),
+                    record_loop_moments=True,
+                )
+                _print_json(
+                    client.ingest(args.key, profile, source=source)
+                )
+            elif args.endpoint == "query":
+                _print_json(
+                    client.query(
+                        args.key,
+                        loop_variance=args.loop_variance,
+                        model=args.model,
+                    )
+                )
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except ConnectionError as exc:
+            print(
+                f"error: cannot reach http://{args.host}:{args.port} ({exc})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_plan(args) -> int:
     from repro.profiling.describe import describe_plan
 
@@ -660,6 +778,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="write all reports as JSON here ('-' for stdout)",
     )
     p_check.set_defaults(func=_cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the profiling service (micro-batched asyncio server)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8437,
+        help="port to bind (0: pick an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--db", help="profile database JSON path (omit: in-memory)"
+    )
+    p_serve.add_argument(
+        "--cache", help="artifact cache directory (omit: memory tier only)"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="flush a micro-batch at this many pending requests",
+    )
+    p_serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="max time a request waits for its micro-batch to fill",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=128,
+        help="admission queue bound; beyond it requests get 429",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request budget in seconds (exceeded: 504)",
+    )
+    p_serve.add_argument(
+        "--max-steps-cap", type=int, default=10_000_000,
+        help="ceiling on client-requested interpreter steps",
+    )
+    p_serve.add_argument(
+        "--save-every", type=int, default=0,
+        help="persist the database every N ingests (0: only on drain)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_call = sub.add_parser(
+        "call", help="talk to a running profiling service"
+    )
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", type=int, default=8437)
+    p_call.add_argument("--timeout", type=float, default=60.0)
+    call_sub = p_call.add_subparsers(dest="endpoint", required=True)
+
+    call_sub.add_parser("health", help="GET /healthz")
+    call_sub.add_parser("metrics", help="GET /metrics")
+
+    c_compile = call_sub.add_parser(
+        "compile", help="compile a file on the service"
+    )
+    c_compile.add_argument("file")
+    c_compile.add_argument("--key", help="register the source under this key")
+    c_compile.add_argument(
+        "--plan", choices=["smart", "naive"], default="smart"
+    )
+    c_compile.add_argument(
+        "--verify", action="store_true",
+        help="run the artifact verifier server-side",
+    )
+
+    c_profile = call_sub.add_parser(
+        "profile", help="profile a file on the service"
+    )
+    c_profile.add_argument("file")
+    c_profile.add_argument("--runs", type=int, default=1)
+    c_profile.add_argument("--seed", type=int, default=0)
+    c_profile.add_argument("--inputs", help="comma-separated INPUT() vector")
+    c_profile.add_argument(
+        "--plan", choices=["smart", "naive"], default="smart"
+    )
+    c_profile.add_argument("--verify", action="store_true")
+    c_profile.add_argument(
+        "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
+    )
+    c_profile.add_argument(
+        "--ingest", metavar="KEY",
+        help="also accumulate the result into the service database",
+    )
+    c_profile.add_argument(
+        "--full", action="store_true",
+        help="include the raw TOTAL_FREQ profile in the output",
+    )
+
+    c_ingest = call_sub.add_parser(
+        "ingest",
+        help="profile a file locally and POST the raw delta to the service",
+    )
+    c_ingest.add_argument("key", help="profile database key")
+    c_ingest.add_argument("file")
+    c_ingest.add_argument("--runs", type=int, default=1)
+    c_ingest.add_argument("--seed", type=int, default=0)
+    c_ingest.add_argument("--inputs", help="comma-separated INPUT() vector")
+
+    c_query = call_sub.add_parser(
+        "query", help="Definition-3 frequencies + variance for a key"
+    )
+    c_query.add_argument("key")
+    c_query.add_argument(
+        "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
+    )
+    c_query.add_argument(
+        "--model", choices=sorted(_MODELS), default="scalar"
+    )
+    p_call.set_defaults(func=_cmd_call)
 
     p_plan = sub.add_parser(
         "plan", help="show counter placement plans (smart vs naive)"

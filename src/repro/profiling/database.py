@@ -24,6 +24,8 @@ several program runs, since only ratios matter.  The
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -140,25 +142,65 @@ class ProfileDatabase:
 
     Mirrors the role of PTRAN's program database: frequency counts are
     recorded at the end of each execution and summed across runs, per
-    program key.
+    program key.  With ``path=None`` the database lives purely in
+    memory (``save()`` is a no-op) — the profiling service uses this
+    when started without a ``--db``.
+
+    Saves are atomic (temp file + ``os.replace``), so a reader or a
+    crash mid-save never observes a truncated file.  A corrupt or
+    truncated database file is quarantined on load: the broken bytes
+    are preserved next to the database under a ``.corrupt`` suffix,
+    ``recovered_corrupt`` is set, and accumulation restarts empty
+    rather than refusing to start.
     """
 
-    def __init__(self, path: str | Path):
-        self.path = Path(path)
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path is not None else None
         self._data: dict[str, ProgramProfile] = {}
-        if self.path.exists():
+        #: Set when ``__init__`` found an unreadable database file.
+        self.recovered_corrupt = False
+        if self.path is not None and self.path.exists():
             self._load()
 
     def _load(self) -> None:
-        raw = json.loads(self.path.read_text())
-        self._data = {
-            key: ProgramProfile.from_dict(value) for key, value in raw.items()
-        }
+        assert self.path is not None
+        try:
+            raw = json.loads(self.path.read_text())
+            self._data = {
+                key: ProgramProfile.from_dict(value)
+                for key, value in raw.items()
+            }
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # Truncated write, foreign file, hand-edited JSON, ...:
+            # keep the evidence, restart empty.
+            self.recovered_corrupt = True
+            self._data = {}
+            backup = self.path.with_name(self.path.name + ".corrupt")
+            try:
+                os.replace(self.path, backup)
+            except OSError:
+                pass
 
     def save(self) -> None:
+        """Atomically persist every accumulated profile."""
+        if self.path is None:
+            return
         payload = {key: prof.to_dict() for key, prof in self._data.items()}
+        text = json.dumps(payload, indent=1, sort_keys=True)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=f".{self.path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def record(self, program_key: str, profile: ProgramProfile) -> None:
         """Accumulate one (or more) runs' worth of counts."""
@@ -166,8 +208,23 @@ class ProfileDatabase:
             self._data[program_key] = ProgramProfile()
         self._data[program_key].merge(profile)
 
+    def merge(self, other: "ProfileDatabase") -> None:
+        """Accumulate every entry of another database into this one.
+
+        The paper's Definition 3 only needs *ratios* of ``TOTAL_FREQ``
+        counts, so databases accumulated by independent collectors
+        (e.g. several profiling-service replicas) can simply be
+        summed key by key.
+        """
+        for key in other.keys():
+            self.record(key, other.lookup(key))
+
     def lookup(self, program_key: str) -> ProgramProfile | None:
         return self._data.get(program_key)
 
     def keys(self) -> list[str]:
         return sorted(self._data)
+
+    def total_runs(self) -> float:
+        """Accumulated run count over all keys (a service gauge)."""
+        return sum(profile.runs for profile in self._data.values())

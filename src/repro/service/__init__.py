@@ -1,0 +1,49 @@
+"""The profiling service: an asyncio compile/profile/ingest server.
+
+The serving layer over the rest of the framework.  Clients profile
+programs wherever they run and POST the raw ``TOTAL_FREQ`` deltas to
+one long-lived service, which accumulates them (the paper's
+recommendation: counts from many runs are summed, since Definition 3
+only needs ratios) and answers queries with normalized frequencies,
+TIME and Section-5 variance on demand.
+
+* :class:`ProfilingService` / :func:`serve` — the asyncio server
+  (``repro serve``);
+* :class:`ServiceClient` — the blocking client (``repro call``);
+* :class:`ServiceThread` — a service on a background thread, for
+  tests and benchmarks;
+* :class:`MicroBatcher` — request micro-batching with coalescing and
+  bounded-queue admission control.
+
+See ``docs/service.md`` for the wire protocol and operational knobs.
+"""
+
+from repro.service.batcher import (
+    BatchTask,
+    Draining,
+    MicroBatcher,
+    QueueFull,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError, Request
+from repro.service.server import (
+    ProfilingService,
+    ServiceConfig,
+    ServiceThread,
+    serve,
+)
+
+__all__ = [
+    "BatchTask",
+    "Draining",
+    "MicroBatcher",
+    "ProfilingService",
+    "ProtocolError",
+    "QueueFull",
+    "Request",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "serve",
+]

@@ -1,0 +1,214 @@
+"""Micro-batching with admission control for the profiling service.
+
+Concurrent compile/profile requests are not executed one at a time:
+they queue in a bounded admission buffer and a single flusher task
+drains them into the batch engine in *micro-batches* — a flush fires
+as soon as ``max_batch`` requests are pending, or after ``linger``
+seconds, whichever comes first.  Batching buys two things on the
+request path:
+
+* **amortization** — one executor round-trip, one engine invocation
+  and one cache-stats reconciliation per flush instead of per
+  request;
+* **coalescing** — requests with an identical work signature
+  (same source, plan, run specs, ...) are deduplicated into a single
+  batch item whose result fans out to every waiter, singleflight
+  style.  Profiling is deterministic per (source, run-spec), so this
+  is a pure win for repeat-heavy serving traffic.
+
+Backpressure is explicit: when the admission buffer is full,
+``submit`` raises :class:`QueueFull` and the server answers 429 —
+shedding load at the door instead of accumulating unbounded latency.
+Once :meth:`close` is called the batcher flushes whatever is pending
+(drain) and rejects new work with :class:`Draining`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+
+class QueueFull(Exception):
+    """The admission buffer is at capacity; shed this request."""
+
+
+class Draining(Exception):
+    """The service is shutting down; no new work is admitted."""
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One admitted unit of work.
+
+    ``signature`` keys coalescing: tasks with equal signatures are
+    executed once per flush.  ``payload`` carries the parsed request
+    for the flush function.
+    """
+
+    kind: str  # "compile" | "profile"
+    signature: str
+    payload: dict = field(compare=False, hash=False)
+
+
+@dataclass
+class BatcherStats:
+    """Monotonic counters plus gauges for ``/metrics``."""
+
+    submitted: int = 0
+    rejected_queue_full: int = 0
+    rejected_draining: int = 0
+    flushes: int = 0
+    flushed_tasks: int = 0
+    coalesced: int = 0
+    max_batch_observed: int = 0
+    queue_peak: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_draining": self.rejected_draining,
+            "flushes": self.flushes,
+            "flushed_tasks": self.flushed_tasks,
+            "coalesced": self.coalesced,
+            "max_batch_observed": self.max_batch_observed,
+            "queue_peak": self.queue_peak,
+        }
+
+
+class MicroBatcher:
+    """Admit, linger, flush.
+
+    ``flush_fn(tasks)`` is called *in a worker thread* with one task
+    per unique signature and must return ``{signature: result}``; the
+    result object is fanned out verbatim to every coalesced waiter.
+    Flushes are strictly sequential — at most one engine invocation
+    is in flight, so the admission buffer is the only queue and its
+    depth is an honest backlog gauge.
+    """
+
+    def __init__(
+        self,
+        flush_fn,
+        *,
+        max_batch: int = 16,
+        linger: float = 0.002,
+        queue_limit: int = 128,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush_fn = flush_fn
+        self.max_batch = max_batch
+        self.linger = linger
+        self.queue_limit = queue_limit
+        self.stats = BatcherStats()
+        self._pending: list[tuple[BatchTask, asyncio.Future]] = []
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self._task: asyncio.Task | None = None
+
+    # -- admission -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def submit(self, task: BatchTask) -> asyncio.Future:
+        """Admit one task; the future resolves to its flush result."""
+        if self._closed:
+            self.stats.rejected_draining += 1
+            raise Draining("service is draining")
+        if len(self._pending) >= self.queue_limit:
+            self.stats.rejected_queue_full += 1
+            raise QueueFull(
+                f"admission queue is full ({self.queue_limit} pending)"
+            )
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._flush_loop()
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((task, future))
+        self.stats.submitted += 1
+        self.stats.queue_peak = max(self.stats.queue_peak, len(self._pending))
+        self._wakeup.set()
+        return future
+
+    # -- the flusher -----------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        while True:
+            if not self._pending:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            if len(self._pending) < self.max_batch and not self._closed:
+                # Linger briefly: give concurrent requests a chance to
+                # join this flush.  A full batch wakes us early.
+                deadline = asyncio.get_running_loop().time() + self.linger
+                while (
+                    len(self._pending) < self.max_batch
+                    and not self._closed
+                ):
+                    remaining = deadline - asyncio.get_running_loop().time()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._wakeup.wait(), timeout=remaining
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        break
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            await self._run_flush(batch)
+
+    async def _run_flush(
+        self, batch: list[tuple[BatchTask, asyncio.Future]]
+    ) -> None:
+        unique: dict[str, BatchTask] = {}
+        for task, _future in batch:
+            unique.setdefault(task.signature, task)
+        self.stats.flushes += 1
+        self.stats.flushed_tasks += len(batch)
+        self.stats.coalesced += len(batch) - len(unique)
+        self.stats.max_batch_observed = max(
+            self.stats.max_batch_observed, len(batch)
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None, self._flush_fn, list(unique.values())
+            )
+        except Exception as exc:
+            for _task, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+                    # A waiter may have timed out already; make sure an
+                    # unobserved exception never warns at GC time.
+                    future.exception()
+            return
+        for task, future in batch:
+            if future.done():
+                continue  # the waiter timed out and went away
+            if task.signature in results:
+                future.set_result(results[task.signature])
+            else:
+                future.set_exception(
+                    RuntimeError(f"flush lost task {task.signature[:16]}...")
+                )
+                future.exception()
+
+    # -- shutdown --------------------------------------------------------
+
+    async def close(self) -> None:
+        """Drain: flush everything pending, then stop the flusher."""
+        self._closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None

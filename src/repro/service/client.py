@@ -1,0 +1,184 @@
+"""Blocking client for the profiling service.
+
+Speaks the JSON-over-HTTP protocol of :mod:`repro.service.server`
+using only ``http.client``.  One :class:`ServiceClient` holds one
+keep-alive connection and is **not** thread-safe — closed-loop load
+generators give each worker thread its own client, which is exactly
+what ``benchmarks/bench_service_throughput.py`` does.
+
+Non-2xx responses raise :class:`ServiceError` carrying the status
+code and the server's structured error body, so callers can tell
+backpressure (429), drain (503) and budget exhaustion (504) apart
+from their own bad requests (400/404/422).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import quote, urlencode
+
+from repro.errors import ReproError
+from repro.profiling.database import ProgramProfile
+
+
+class ServiceError(ReproError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, payload: dict):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message", "unknown service error")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """One keep-alive connection to a profiling service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8437,
+        *,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        """One request/response cycle; raises on non-2xx."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # A server-side close (drain, protocol error) poisons the
+            # kept-alive connection; retry once on a fresh one.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        if response.will_close:
+            self.close()
+        try:
+            parsed = json.loads(data) if data else {}
+        except ValueError as exc:
+            raise ServiceError(
+                response.status,
+                {"error": {"message": f"unparseable body: {exc}"}},
+            ) from exc
+        if response.status >= 400:
+            raise ServiceError(response.status, parsed)
+        return parsed
+
+    # -- endpoints -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def compile(
+        self,
+        source: str,
+        *,
+        key: str | None = None,
+        plan: str = "smart",
+        verify: bool = False,
+    ) -> dict:
+        payload: dict = {"source": source, "plan": plan, "verify": verify}
+        if key is not None:
+            payload["key"] = key
+        return self.request("POST", "/compile", payload)
+
+    def profile(
+        self,
+        source: str,
+        *,
+        runs: int | list[dict] = 1,
+        plan: str = "smart",
+        verify: bool = False,
+        loop_variance: str = "zero",
+        max_steps: int | None = None,
+        ingest: str | None = None,
+    ) -> dict:
+        payload: dict = {
+            "source": source,
+            "runs": runs,
+            "plan": plan,
+            "verify": verify,
+            "loop_variance": loop_variance,
+        }
+        if max_steps is not None:
+            payload["max_steps"] = max_steps
+        if ingest is not None:
+            payload["ingest"] = ingest
+        return self.request("POST", "/profile", payload)
+
+    def ingest(
+        self,
+        key: str,
+        profile: ProgramProfile | dict,
+        *,
+        source: str | None = None,
+    ) -> dict:
+        raw = (
+            profile.to_dict()
+            if isinstance(profile, ProgramProfile)
+            else profile
+        )
+        payload: dict = {"profile": raw}
+        if source is not None:
+            payload["source"] = source
+        return self.request(
+            "POST", f"/profiles/{quote(key, safe='')}/ingest", payload
+        )
+
+    def query(
+        self,
+        key: str,
+        *,
+        loop_variance: str = "zero",
+        model: str = "scalar",
+        raw: bool = False,
+    ) -> dict:
+        params = {"loop_variance": loop_variance, "model": model}
+        if raw:
+            params["raw"] = "1"
+        return self.request(
+            "GET",
+            f"/profiles/{quote(key, safe='')}?{urlencode(params)}",
+        )

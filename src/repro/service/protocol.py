@@ -1,0 +1,159 @@
+"""Minimal HTTP/1.1 plumbing for the profiling service.
+
+The service speaks plain JSON-over-HTTP so that any stdlib client
+(``http.client``, ``urllib``) or ``curl`` can talk to it, but it is
+*not* a general web server: it parses exactly the subset of HTTP/1.1
+the :mod:`repro.service.client` library emits — a request line,
+headers, an optional ``Content-Length`` body — and always answers
+with a ``Content-Length``-framed JSON body.  Keep-alive is supported
+(one request at a time per connection); chunked transfer encoding is
+not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+
+
+class ProtocolError(ReproError):
+    """A request the server cannot parse (answered with 400/413)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Default bound on request bodies (sources and profile deltas are
+#: small; anything bigger is a client bug or abuse).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_MAX_LINE = 16 * 1024
+_MAX_HEADERS = 100
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+
+async def read_request(
+    reader, *, max_body: int = MAX_BODY_BYTES
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise ProtocolError("truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request line too long") from exc
+    if len(line) > _MAX_LINE:
+        raise ProtocolError("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {line[:80]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    request = Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+    )
+
+    for _ in range(_MAX_HEADERS):
+        try:
+            line = await reader.readuntil(b"\n")
+        except Exception as exc:
+            raise ProtocolError("truncated headers") from exc
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {text[:80]!r}")
+        request.headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError("too many headers")
+
+    length_text = request.headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}") from exc
+    if length < 0:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}")
+    if length > max_body:
+        raise ProtocolError(
+            f"request body of {length} bytes exceeds the {max_body} limit",
+            status=413,
+        )
+    if length:
+        try:
+            request.body = await reader.readexactly(length)
+        except Exception as exc:
+            raise ProtocolError("truncated request body") from exc
+    return request
+
+
+def response_bytes(
+    status: int, payload: dict, *, keep_alive: bool = True
+) -> bytes:
+    """Serialize one JSON response, ``Content-Length``-framed."""
+    body = json.dumps(payload, sort_keys=True).encode()
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def error_payload(status: int, message: str, **extra) -> dict:
+    """The uniform error body every non-2xx response carries."""
+    return {"error": {"status": status, "message": message, **extra}}

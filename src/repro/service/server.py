@@ -1,0 +1,730 @@
+"""The asyncio compile/profile/ingest server.
+
+One long-lived :class:`ProfilingService` process owns three shared
+resources:
+
+* an :class:`~repro.batch.cache.ArtifactCache` — the LRU hot tier
+  keeps the programs the service is currently being asked about
+  resident; the optional disk tier survives restarts and is shared
+  with ``repro batch`` invocations;
+* a :class:`~repro.profiling.database.ProfileDatabase` — the paper's
+  accumulate-then-normalize store.  Clients POST raw ``TOTAL_FREQ``
+  deltas; the service sums them (Definition 3 needs only ratios) and
+  answers queries with freshly normalized frequencies, TIME and
+  Section-5 variance;
+* a :class:`~repro.service.batcher.MicroBatcher` — concurrent
+  compile/profile requests ride the batch engine together instead of
+  one engine invocation each.
+
+Endpoints (JSON over HTTP/1.1, see ``docs/service.md``)::
+
+    GET  /healthz                  liveness + drain state
+    GET  /metrics                  counters and gauges
+    POST /compile                  compile (micro-batched, cached)
+    POST /profile                  compile + profile (micro-batched)
+    POST /profiles/{key}/ingest    accumulate a raw TOTAL_FREQ delta
+    GET  /profiles/{key}           Definition-3 freqs + Section-5 VAR
+
+Degradation under load is explicit, never emergent: a full admission
+queue answers 429, a request that outlives its budget answers 504
+(the work is abandoned at the next engine item boundary), and
+SIGTERM/SIGINT triggers a drain — stop accepting, flush pending
+micro-batches, persist the profile database, exit.  An ingest that
+was answered 200 is therefore never lost by a graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.batch import run_batch
+from repro.batch.aggregate import canonical_json, summarize_item
+from repro.batch.cache import ArtifactCache
+from repro.batch.engine import BatchItem
+from repro.costs.model import OPTIMIZING_MACHINE, SCALAR_MACHINE
+from repro.profiling.database import ProfileDatabase, ProgramProfile
+from repro.service.batcher import BatchTask, Draining, MicroBatcher, QueueFull
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    error_payload,
+    read_request,
+    response_bytes,
+)
+
+_MODELS = {"scalar": SCALAR_MACHINE, "optimizing": OPTIMIZING_MACHINE}
+_PLANS = ("smart", "naive")
+_LOOP_VARIANCE = ("zero", "profiled", "poisson", "geometric", "uniform")
+
+
+@dataclass
+class ServiceConfig:
+    """Every server knob, with serving-friendly defaults."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: bind an ephemeral port (exposed as .port)
+    #: Profile database path (``None``: in-memory, lost on exit).
+    db: str | None = None
+    #: Artifact cache directory (``None``: memory tier only).
+    cache: str | None = None
+    #: Flush a micro-batch at this many pending requests ...
+    max_batch: int = 16
+    #: ... or after this many seconds, whichever comes first.
+    linger: float = 0.002
+    #: Admission-queue bound; beyond it requests are answered 429.
+    queue_limit: int = 128
+    #: Per-request budget in seconds; beyond it the answer is 504.
+    request_timeout: float = 30.0
+    #: Hard ceiling on client-supplied max_steps and runs-per-request.
+    max_steps_cap: int = 10_000_000
+    max_runs_per_request: int = 64
+    #: Persist the database every N ingests (0: only on drain).
+    save_every: int = 0
+    #: Give up on drain (abandoning unstarted batch items) after this.
+    drain_timeout: float = 30.0
+    max_body: int = MAX_BODY_BYTES
+
+
+class ProfilingService:
+    """The server object: ``await start()``, then ``serve_forever()``."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.database = ProfileDatabase(self.config.db)
+        self.cache = ArtifactCache(self.config.cache)
+        self.batcher = MicroBatcher(
+            self._flush,
+            max_batch=self.config.max_batch,
+            linger=self.config.linger,
+            queue_limit=self.config.queue_limit,
+        )
+        #: source text per profile-database key, for query-time analysis.
+        self.sources: dict[str, str] = {}
+        self.port: int | None = None
+        self.draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped = asyncio.Event()
+        self._started = time.monotonic()
+        self._in_flight = 0
+        self._abort_flush = threading.Event()
+        self._cache_lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._responses: dict[int, int] = {}
+        self._timeouts = 0
+        self._ingests = 0
+        self._ingested_runs = 0.0
+        self._db_saves = 0
+        self._protocol_errors = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until a drain (signal or :meth:`shutdown`) finishes."""
+        assert self._server is not None, "call start() first"
+        await self._stopped.wait()
+
+    def install_signal_handlers(
+        self, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(self.shutdown())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def shutdown(self) -> None:
+        """Graceful drain: finish accepted work, persist, stop."""
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(
+                self.batcher.close(), timeout=self.config.drain_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            # Too slow: abandon unstarted items at the next engine
+            # boundary (their waiters get stage="cancelled" -> 503).
+            self._abort_flush.set()
+            await self.batcher.close()
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._in_flight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._save_database
+        )
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    def _save_database(self) -> None:
+        self.database.save()
+        self._db_saves += 1
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body
+                    )
+                except ProtocolError as exc:
+                    self._protocol_errors += 1
+                    self._responses[exc.status] = (
+                        self._responses.get(exc.status, 0) + 1
+                    )
+                    writer.write(
+                        response_bytes(
+                            exc.status,
+                            error_payload(exc.status, str(exc)),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload = await self._dispatch(request)
+                self._responses[status] = self._responses.get(status, 0) + 1
+                keep_alive = request.keep_alive and not self.draining
+                writer.write(
+                    response_bytes(status, payload, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> tuple[int, dict]:
+        route, key = self._route(request.path)
+        self._requests[route or "unknown"] = (
+            self._requests.get(route or "unknown", 0) + 1
+        )
+        if route is None:
+            return 404, error_payload(404, f"no such path: {request.path}")
+        handler, method = {
+            "healthz": (self._handle_healthz, "GET"),
+            "metrics": (self._handle_metrics, "GET"),
+            "compile": (self._handle_compile, "POST"),
+            "profile": (self._handle_profile, "POST"),
+            "ingest": (self._handle_ingest, "POST"),
+            "query": (self._handle_query, "GET"),
+        }[route]
+        if request.method != method:
+            return 405, error_payload(
+                405, f"{request.path} only accepts {method}"
+            )
+        if self.draining and route not in ("healthz", "metrics"):
+            return 503, error_payload(503, "service is draining")
+        self._in_flight += 1
+        try:
+            try:
+                if key is None:
+                    return await handler(request)
+                return await handler(request, key)
+            except ProtocolError as exc:
+                return exc.status, error_payload(exc.status, str(exc))
+            except QueueFull as exc:
+                return 429, error_payload(
+                    429, str(exc), retry_after_ms=int(self.config.linger * 2e3)
+                )
+            except Draining:
+                return 503, error_payload(503, "service is draining")
+            except (asyncio.TimeoutError, TimeoutError):
+                self._timeouts += 1
+                return 504, error_payload(
+                    504,
+                    f"request exceeded its "
+                    f"{self.config.request_timeout:g}s budget",
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                return 500, error_payload(
+                    500, f"{type(exc).__name__}: {exc}"
+                )
+        finally:
+            self._in_flight -= 1
+
+    @staticmethod
+    def _route(path: str) -> tuple[str | None, str | None]:
+        if path == "/healthz":
+            return "healthz", None
+        if path == "/metrics":
+            return "metrics", None
+        if path == "/compile":
+            return "compile", None
+        if path == "/profile":
+            return "profile", None
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "profiles":
+            return "query", parts[1]
+        if (
+            len(parts) == 3
+            and parts[0] == "profiles"
+            and parts[2] == "ingest"
+        ):
+            return "ingest", parts[1]
+        return None, None
+
+    # -- trivial endpoints -----------------------------------------------
+
+    async def _handle_healthz(self, request: Request) -> tuple[int, dict]:
+        return 200, {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    async def _handle_metrics(self, request: Request) -> tuple[int, dict]:
+        return 200, {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "draining": self.draining,
+            "queue_depth": self.batcher.queue_depth,
+            "in_flight": self._in_flight,
+            "requests_total": dict(sorted(self._requests.items())),
+            "responses_by_status": {
+                str(status): count
+                for status, count in sorted(self._responses.items())
+            },
+            "protocol_errors": self._protocol_errors,
+            "timeouts": self._timeouts,
+            "batcher": self.batcher.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+            "database": {
+                "keys": len(self.database.keys()),
+                "runs": self.database.total_runs(),
+                "ingests": self._ingests,
+                "ingested_runs": self._ingested_runs,
+                "saves": self._db_saves,
+            },
+        }
+
+    # -- batched endpoints -----------------------------------------------
+
+    def _require_source(self, payload: dict) -> str:
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ProtocolError('"source" must be a non-empty string')
+        return source
+
+    def _normalize_options(self, payload: dict) -> dict:
+        plan = payload.get("plan", "smart")
+        if plan not in _PLANS:
+            raise ProtocolError(f'"plan" must be one of {list(_PLANS)}')
+        verify = bool(payload.get("verify", False))
+        loop_variance = payload.get("loop_variance", "zero")
+        if loop_variance not in _LOOP_VARIANCE:
+            raise ProtocolError(
+                f'"loop_variance" must be one of {list(_LOOP_VARIANCE)}'
+            )
+        max_steps = payload.get("max_steps", self.config.max_steps_cap)
+        if not isinstance(max_steps, int) or max_steps < 1:
+            raise ProtocolError('"max_steps" must be a positive integer')
+        return {
+            "plan": plan,
+            "verify": verify,
+            "loop_variance": loop_variance,
+            "max_steps": min(max_steps, self.config.max_steps_cap),
+        }
+
+    def _normalize_runs(self, payload: dict) -> list[dict]:
+        runs = payload.get("runs", 1)
+        if isinstance(runs, int):
+            if runs < 1:
+                raise ProtocolError('"runs" must be >= 1')
+            runs = [{"seed": seed} for seed in range(runs)]
+        if not isinstance(runs, list) or not runs:
+            raise ProtocolError(
+                '"runs" must be a count or a non-empty list of run specs'
+            )
+        if len(runs) > self.config.max_runs_per_request:
+            raise ProtocolError(
+                f'"runs" is capped at {self.config.max_runs_per_request} '
+                "per request"
+            )
+        specs = []
+        for spec in runs:
+            if not isinstance(spec, dict) or not set(spec) <= {
+                "seed",
+                "inputs",
+            }:
+                raise ProtocolError(
+                    'each run spec is {"seed": int, "inputs": [numbers]}'
+                )
+            out = {"seed": int(spec.get("seed", 0))}
+            if "inputs" in spec:
+                out["inputs"] = [float(x) for x in spec["inputs"]]
+            specs.append(out)
+        return specs
+
+    async def _submit_and_wait(self, task: BatchTask) -> dict:
+        future = self.batcher.submit(task)
+        try:
+            return await asyncio.wait_for(
+                future, timeout=self.config.request_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            # The flush may still resolve it later; detach quietly.
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            raise
+
+    async def _handle_compile(self, request: Request) -> tuple[int, dict]:
+        payload = request.json()
+        source = self._require_source(payload)
+        options = self._normalize_options(payload)
+        task = BatchTask(
+            kind="compile",
+            signature=canonical_json(
+                {
+                    "kind": "compile",
+                    "source": source,
+                    "plan": options["plan"],
+                    "verify": options["verify"],
+                }
+            ),
+            payload={"source": source, **options},
+        )
+        outcome = await self._submit_and_wait(task)
+        key = payload.get("key")
+        if outcome["status"] == 200 and isinstance(key, str) and key:
+            self.sources[key] = source
+            outcome["body"]["key"] = key
+        return outcome["status"], outcome["body"]
+
+    async def _handle_profile(self, request: Request) -> tuple[int, dict]:
+        payload = request.json()
+        source = self._require_source(payload)
+        options = self._normalize_options(payload)
+        runs = self._normalize_runs(payload)
+        ingest_key = payload.get("ingest")
+        if ingest_key is not None and (
+            not isinstance(ingest_key, str) or not ingest_key
+        ):
+            raise ProtocolError('"ingest" must be a non-empty key string')
+        task = BatchTask(
+            kind="profile",
+            signature=canonical_json(
+                {
+                    "kind": "profile",
+                    "source": source,
+                    "runs": runs,
+                    **options,
+                }
+            ),
+            payload={"source": source, "runs": runs, **options},
+        )
+        outcome = await self._submit_and_wait(task)
+        status, body = outcome["status"], outcome["body"]
+        if status == 200 and ingest_key:
+            profile = ProgramProfile.from_dict(body["profile"])
+            self._accumulate(ingest_key, profile, source)
+            body["ingested"] = {
+                "key": ingest_key,
+                "runs": self.database.lookup(ingest_key).runs,
+            }
+        return status, body
+
+    # -- the flush function (runs in a worker thread) --------------------
+
+    def _flush(self, tasks: list[BatchTask]) -> dict[str, dict]:
+        """Execute one micro-batch of unique tasks against the engine."""
+        results: dict[str, dict] = {}
+        compiles = [t for t in tasks if t.kind == "compile"]
+        profiles = [t for t in tasks if t.kind == "profile"]
+        with self._cache_lock:
+            for task in compiles:
+                results[task.signature] = self._flush_compile(task)
+            # One engine invocation per distinct option set: the
+            # engine's knobs (plan, verify, ...) are batch-wide.
+            groups: dict[tuple, list[BatchTask]] = {}
+            for task in profiles:
+                group_key = (
+                    task.payload["plan"],
+                    task.payload["verify"],
+                    task.payload["loop_variance"],
+                    task.payload["max_steps"],
+                )
+                groups.setdefault(group_key, []).append(task)
+            for (plan, verify, loop_variance, max_steps), group in sorted(
+                groups.items(), key=lambda pair: repr(pair[0])
+            ):
+                items = [
+                    BatchItem(
+                        id=task.signature,
+                        source=task.payload["source"],
+                        runs=tuple(dict(s) for s in task.payload["runs"]),
+                    )
+                    for task in group
+                ]
+                report = run_batch(
+                    items,
+                    plan=plan,
+                    mode="serial",
+                    cache=self.cache,
+                    verify=verify,
+                    loop_variance=loop_variance,
+                    max_steps=max_steps,
+                    should_stop=self._abort_flush.is_set,
+                )
+                for task, result in zip(group, report.results):
+                    if result.ok:
+                        results[task.signature] = {
+                            "status": 200,
+                            "body": {
+                                "ok": True,
+                                "runs": result.runs,
+                                "counters": result.counters,
+                                "counter_updates": result.counter_updates,
+                                "cache_tier": result.cache_tier,
+                                "summary": result.summary,
+                                "profile": result.profile.to_dict(),
+                            },
+                        }
+                    else:
+                        status = (
+                            503 if result.error.stage == "cancelled" else 422
+                        )
+                        results[task.signature] = {
+                            "status": status,
+                            "body": error_payload(
+                                status,
+                                result.error.message,
+                                stage=result.error.stage,
+                                type=result.error.type,
+                            ),
+                        }
+        return results
+
+    def _flush_compile(self, task: BatchTask) -> dict:
+        from repro.checker import verify_program
+
+        payload = task.payload
+        try:
+            program, plan, tier = self.cache.artifacts(
+                payload["source"], payload["plan"]
+            )
+        except Exception as exc:
+            return {
+                "status": 422,
+                "body": error_payload(
+                    422, str(exc), stage="compile", type=type(exc).__name__
+                ),
+            }
+        body = {
+            "ok": True,
+            "procedures": sorted(program.cfgs),
+            "main": program.main_name,
+            "splits": dict(program.splits),
+            "counters": plan.n_counters,
+            "cache_tier": tier,
+        }
+        if payload["verify"]:
+            report = verify_program(program, plan)
+            if report.errors:
+                return {
+                    "status": 422,
+                    "body": error_payload(
+                        422,
+                        "; ".join(d.render() for d in report.errors[:5]),
+                        stage="verify",
+                        type="VerificationError",
+                    ),
+                }
+            body["verified"] = True
+        return {"status": 200, "body": body}
+
+    # -- profile accumulation and queries --------------------------------
+
+    def _accumulate(
+        self, key: str, profile: ProgramProfile, source: str | None
+    ) -> None:
+        self.database.record(key, profile)
+        self._ingests += 1
+        self._ingested_runs += profile.runs
+        if source:
+            self.sources[key] = source
+        if (
+            self.config.save_every
+            and self._ingests % self.config.save_every == 0
+        ):
+            self._save_database()
+
+    async def _handle_ingest(
+        self, request: Request, key: str
+    ) -> tuple[int, dict]:
+        payload = request.json()
+        raw = payload.get("profile")
+        if not isinstance(raw, dict):
+            raise ProtocolError('"profile" must be a profile JSON object')
+        try:
+            profile = ProgramProfile.from_dict(raw)
+        except Exception as exc:
+            return 422, error_payload(
+                422,
+                f"not a valid TOTAL_FREQ delta: {type(exc).__name__}: {exc}",
+            )
+        source = payload.get("source")
+        if source is not None and not isinstance(source, str):
+            raise ProtocolError('"source" must be a string when given')
+        self._accumulate(key, profile, source)
+        return 200, {
+            "ok": True,
+            "key": key,
+            "accumulated_runs": profile.runs,
+            "runs": self.database.lookup(key).runs,
+        }
+
+    async def _handle_query(
+        self, request: Request, key: str
+    ) -> tuple[int, dict]:
+        profile = self.database.lookup(key)
+        if profile is None:
+            return 404, error_payload(404, f"no accumulated profile: {key}")
+        loop_variance = request.query.get("loop_variance", "zero")
+        if loop_variance not in _LOOP_VARIANCE:
+            raise ProtocolError(
+                f'"loop_variance" must be one of {list(_LOOP_VARIANCE)}'
+            )
+        model_name = request.query.get("model", "scalar")
+        if model_name not in _MODELS:
+            raise ProtocolError(f'"model" must be one of {sorted(_MODELS)}')
+        body: dict = {"key": key, "runs": profile.runs, "analysis": None}
+        if request.query.get("raw", "") in ("1", "true"):
+            body["raw"] = profile.to_dict()
+        source = self.sources.get(key)
+        if source is not None:
+            loop = asyncio.get_running_loop()
+            body["analysis"] = await asyncio.wait_for(
+                loop.run_in_executor(
+                    None, self._analyze_entry, source, profile,
+                    model_name, loop_variance,
+                ),
+                timeout=self.config.request_timeout,
+            )
+        else:
+            body["note"] = (
+                "no source registered for this key; POST the source with "
+                "an ingest or register it via /compile {key: ...} to get "
+                "Definition-3 frequencies and variance"
+            )
+            body["raw"] = profile.to_dict()
+        return 200, body
+
+    def _analyze_entry(
+        self,
+        source: str,
+        profile: ProgramProfile,
+        model_name: str,
+        loop_variance: str,
+    ) -> dict:
+        from repro.analysis.distributions import LoopDistribution
+
+        spec = {
+            "zero": "zero",
+            "profiled": "profiled",
+            "poisson": LoopDistribution.POISSON,
+            "geometric": LoopDistribution.GEOMETRIC,
+            "uniform": LoopDistribution.UNIFORM,
+        }[loop_variance]
+        with self._cache_lock:
+            program, _tier = self.cache.compiled(source)
+        return summarize_item(
+            program, profile, _MODELS[model_name], loop_variance=spec
+        )
+
+
+async def serve(config: ServiceConfig, *, ready=None) -> ProfilingService:
+    """Run a service until it is drained (the ``repro serve`` body)."""
+    service = ProfilingService(config)
+    await service.start()
+    service.install_signal_handlers(asyncio.get_running_loop())
+    if ready is not None:
+        ready(service)
+    await service.serve_forever()
+    return service
+
+
+class ServiceThread:
+    """A service on a background thread — tests, benchmarks, embedding.
+
+    ::
+
+        with ServiceThread(ServiceConfig()) as handle:
+            client = ServiceClient(port=handle.port)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the same
+    graceful drain a SIGTERM would.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.service: ProfilingService | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if self.port is None:
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self.service is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(), self._loop
+            )
+            future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        service = ProfilingService(self.config)
+        await service.start()
+        self.service = service
+        self.port = service.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await service.serve_forever()

@@ -144,3 +144,47 @@ class TestKeying:
         blob = pickle.dumps(CachedArtifacts(program, {"smart": plan}))
         entry = pickle.loads(blob)
         assert entry.program.main_name == program.main_name
+
+
+class TestLruHotTier:
+    """The memory tier is LRU: recently *used* entries stay resident."""
+
+    THIRD = ProgramGenerator(9).source()
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_memory_entries=2)
+        cache.artifacts(SOURCE)
+        cache.artifacts(OTHER)
+        # Touch SOURCE: it becomes the most recently used entry, so
+        # admitting a third program must evict OTHER, not SOURCE.
+        cache.artifacts(SOURCE)
+        cache.artifacts(self.THIRD)
+        _, _, tier = cache.artifacts(SOURCE)
+        assert tier == "memory"
+        _, _, tier = cache.artifacts(OTHER)
+        assert tier == "disk"  # evicted from memory, disk tier serves
+
+    def test_fifo_would_have_failed(self, tmp_path):
+        """Insertion order alone must not decide eviction."""
+        cache = ArtifactCache(tmp_path, max_memory_entries=2)
+        cache.artifacts(SOURCE)  # oldest insertion
+        cache.artifacts(OTHER)
+        cache.artifacts(SOURCE)  # ... but most recent use
+        cache.artifacts(self.THIRD)  # evicts exactly one entry
+        hits_before = cache.stats.memory_hits
+        cache.artifacts(SOURCE)
+        assert cache.stats.memory_hits == hits_before + 1
+
+    def test_memory_only_cache_evicts_lru(self):
+        cache = ArtifactCache(None, max_memory_entries=2)
+        cache.artifacts(SOURCE)
+        cache.artifacts(OTHER)
+        cache.artifacts(SOURCE)
+        cache.artifacts(self.THIRD)
+        # No disk tier: the evicted entry is recompiled on next use,
+        # and re-admitting it evicts the now-least-recent SOURCE.
+        misses_before = cache.stats.misses
+        cache.artifacts(OTHER)
+        assert cache.stats.misses == misses_before + 1
+        _, _, tier = cache.artifacts(self.THIRD)
+        assert tier == "memory"

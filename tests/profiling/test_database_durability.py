@@ -1,0 +1,160 @@
+"""Durability of the program database: atomic saves, corrupt loads,
+database-level merge, and the accumulate -> save -> load ->
+Definition-3 round trip the profiling service depends on."""
+
+import json
+import os
+
+import pytest
+
+from repro import analyze, compile_source, profile_program
+from repro.costs.model import SCALAR_MACHINE
+from repro.profiling.database import ProfileDatabase, ProgramProfile
+from repro.workloads.paper_example import PAPER_SOURCE
+
+from tests.profiling.test_database import make_profile
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        db = ProfileDatabase(tmp_path / "profiles.json")
+        db.record("p", make_profile())
+        db.save()
+        db.save()
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["profiles.json"]
+
+    def test_save_replaces_not_truncates(self, tmp_path):
+        """A concurrent reader never sees a half-written file."""
+        path = tmp_path / "profiles.json"
+        db = ProfileDatabase(path)
+        db.record("p", make_profile())
+        db.save()
+        inode_before = os.stat(path).st_ino
+        db.record("p", make_profile())
+        db.save()
+        # os.replace swaps a complete file in; the old inode is gone.
+        assert os.stat(path).st_ino != inode_before
+        assert ProfileDatabase(path).lookup("p").runs == 2
+
+    def test_in_memory_database_save_is_noop(self):
+        db = ProfileDatabase(None)
+        db.record("p", make_profile())
+        db.save()  # must not raise
+        assert db.lookup("p").runs == 1
+
+
+class TestCorruptLoad:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{truncated",
+            "",
+            "[1, 2, 3]",
+            '{"key": {"runs": "not-even-close"}}',
+            '{"key": 42}',
+        ],
+        ids=["truncated", "empty", "wrong-shape", "bad-runs", "non-dict"],
+    )
+    def test_corrupt_file_recovers_empty(self, tmp_path, payload):
+        path = tmp_path / "profiles.json"
+        path.write_text(payload)
+        db = ProfileDatabase(path)
+        assert db.recovered_corrupt
+        assert db.keys() == []
+        # Accumulation restarts and persists cleanly.
+        db.record("p", make_profile())
+        db.save()
+        assert not ProfileDatabase(path).recovered_corrupt
+
+    def test_corrupt_bytes_are_preserved(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        path.write_text("{evidence")
+        ProfileDatabase(path)
+        backup = tmp_path / "profiles.json.corrupt"
+        assert backup.read_text() == "{evidence"
+        assert not path.exists()
+
+    def test_healthy_file_sets_no_flag(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        db = ProfileDatabase(path)
+        db.record("p", make_profile())
+        db.save()
+        assert not ProfileDatabase(path).recovered_corrupt
+
+
+class TestDatabaseMerge:
+    def test_merge_sums_all_entries(self, tmp_path):
+        a = ProfileDatabase(tmp_path / "a.json")
+        b = ProfileDatabase(tmp_path / "b.json")
+        a.record("shared", make_profile())
+        b.record("shared", make_profile(invocations=2.0))
+        b.record("only-b", make_profile())
+        a.merge(b)
+        assert a.lookup("shared").proc("MAIN").invocations == 3.0
+        assert a.lookup("shared").runs == 2
+        assert a.lookup("only-b").runs == 1
+
+    def test_merge_is_accumulative_not_destructive(self, tmp_path):
+        a = ProfileDatabase(tmp_path / "a.json")
+        b = ProfileDatabase(tmp_path / "b.json")
+        b.record("k", make_profile())
+        a.merge(b)
+        assert b.lookup("k").runs == 1  # source untouched
+
+
+class TestDefinition3RoundTrip:
+    def test_accumulate_save_load_normalize(self, tmp_path):
+        """Counts summed across deltas, persisted, reloaded, and only
+        then normalized — the exact shape of the paper's
+        accumulate-then-apply-Definition-3 workflow."""
+        program = compile_source(PAPER_SOURCE)
+        path = tmp_path / "profiles.json"
+
+        db = ProfileDatabase(path)
+        for runs in (1, 2, 2):
+            delta, _ = profile_program(
+                program, runs=runs, record_loop_moments=True
+            )
+            db.record("paper", delta)
+        db.save()
+
+        restored = ProfileDatabase(path).lookup("paper")
+        assert restored.runs == 5
+
+        # One uninterrupted accumulation gives the same raw counts...
+        direct, _ = profile_program(
+            program, runs=5, record_loop_moments=True
+        )
+        assert restored.proc("MAIN").branch_counts == pytest.approx(
+            direct.proc("MAIN").branch_counts
+        )
+        assert restored.proc("MAIN").loop_sumsq == pytest.approx(
+            direct.proc("MAIN").loop_sumsq
+        )
+
+        # ... and therefore identical Definition-3 frequencies, TIME
+        # and Section-5 variance after normalization.
+        via_db = analyze(
+            program, restored, SCALAR_MACHINE, loop_variance="profiled"
+        )
+        via_direct = analyze(
+            program, direct, SCALAR_MACHINE, loop_variance="profiled"
+        )
+        assert via_db.total_time == pytest.approx(via_direct.total_time)
+        assert via_db.total_var == pytest.approx(via_direct.total_var)
+        main_db = via_db.procedures["MAIN"]
+        main_direct = via_direct.procedures["MAIN"]
+        assert main_db.freqs.node_freq == pytest.approx(
+            main_direct.freqs.node_freq
+        )
+
+    def test_reload_roundtrip_is_lossless(self, tmp_path):
+        program = compile_source(PAPER_SOURCE)
+        delta, _ = profile_program(program, runs=3)
+        path = tmp_path / "profiles.json"
+        db = ProfileDatabase(path)
+        db.record("paper", delta)
+        db.save()
+        raw = json.loads(path.read_text())
+        restored = ProgramProfile.from_dict(raw["paper"])
+        assert restored.to_dict() == delta.to_dict()

@@ -1,0 +1,154 @@
+"""End-to-end endpoint behavior against a live in-process service."""
+
+import threading
+
+import pytest
+
+from repro import analyze, compile_source, profile_program
+from repro.costs.model import SCALAR_MACHINE
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceThread(ServiceConfig(linger=0.001)) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(port=server.port) as c:
+        yield c
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+
+    def test_metrics_shape(self, client):
+        metrics = client.metrics()
+        assert metrics["draining"] is False
+        for section in ("batcher", "cache", "database", "requests_total"):
+            assert section in metrics
+
+
+class TestCompile:
+    def test_compile_roundtrip(self, client):
+        result = client.compile(PAPER_SOURCE, verify=True)
+        assert result["ok"] is True
+        assert result["procedures"] == ["FOO", "MAIN"]
+        assert result["main"] == "MAIN"
+        assert result["counters"] > 0
+        assert result["verified"] is True
+
+    def test_second_compile_hits_hot_tier(self, client):
+        client.compile(PAPER_SOURCE)
+        result = client.compile(PAPER_SOURCE)
+        assert result["cache_tier"] == "memory"
+
+    def test_parse_error_is_422(self, client):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.compile("      THIS IS NOT MINIFORT\n")
+        assert excinfo.value.status == 422
+        assert excinfo.value.payload["error"]["stage"] == "compile"
+
+
+class TestProfile:
+    def test_summary_matches_local_pipeline(self, client):
+        remote = client.profile(PAPER_SOURCE, runs=2)
+        program = compile_source(PAPER_SOURCE)
+        profile, _ = profile_program(program, runs=2)
+        local = analyze(program, profile, SCALAR_MACHINE)
+        assert remote["summary"]["time"] == pytest.approx(local.total_time)
+        assert remote["summary"]["std_dev"] == pytest.approx(
+            local.total_std_dev
+        )
+        assert remote["runs"] == 2
+
+    def test_raw_profile_is_returned(self, client):
+        result = client.profile(PAPER_SOURCE, runs=1)
+        assert result["profile"]["runs"] == 1
+        assert "MAIN" in result["profile"]["procedures"]
+
+    def test_naive_plan_reports_block_counts(self, client):
+        result = client.profile(PAPER_SOURCE, runs=1, plan="naive")
+        blocks = result["summary"]["procedures"]["MAIN"]["block_counts"]
+        assert blocks  # naive plans measure basic blocks
+
+
+class TestIngestAndQuery:
+    def test_accumulate_then_normalize(self, client):
+        program = compile_source(PAPER_SOURCE)
+        for batch in (2, 3):
+            profile, _ = profile_program(program, runs=batch)
+            client.ingest("acc", profile, source=PAPER_SOURCE)
+        result = client.query("acc")
+        assert result["runs"] == 5
+        # Definition 3 normalizes the summed counts: same frequencies
+        # and TIME as a local analysis over the same accumulation.
+        total, _ = profile_program(program, runs=2)
+        more, _ = profile_program(program, runs=3)
+        total.merge(more)
+        local = analyze(program, total, SCALAR_MACHINE)
+        remote = result["analysis"]
+        assert remote["time"] == pytest.approx(local.total_time)
+        main = remote["procedures"]["MAIN"]
+        assert main["invocations"] == pytest.approx(
+            local.procedures["MAIN"].freqs.invocations
+        )
+
+    def test_profile_with_server_side_ingest(self, client):
+        result = client.profile(PAPER_SOURCE, runs=2, ingest="server-side")
+        assert result["ingested"]["key"] == "server-side"
+        query = client.query("server-side")
+        assert query["runs"] == 2
+        assert query["analysis"] is not None
+
+    def test_query_unknown_key_is_404(self, client):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("never-ingested")
+        assert excinfo.value.status == 404
+
+    def test_query_without_source_returns_raw_only(self, client):
+        program = compile_source(PAPER_SOURCE)
+        profile, _ = profile_program(program, runs=1)
+        client.ingest("sourceless", profile)  # no source registered
+        result = client.query("sourceless")
+        assert result["analysis"] is None
+        assert result["raw"]["runs"] == 1
+        assert "note" in result
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_coalesce(self):
+        config = ServiceConfig(max_batch=16, linger=0.4)
+        with ServiceThread(config) as handle:
+            results = []
+
+            def call():
+                with ServiceClient(port=handle.port) as c:
+                    results.append(c.profile(PAPER_SOURCE, runs=1))
+
+            threads = [threading.Thread(target=call) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(port=handle.port) as c:
+                stats = c.metrics()["batcher"]
+        assert len(results) == 6
+        times = {r["summary"]["time"] for r in results}
+        assert len(times) == 1  # every waiter got the same result
+        # All six arrived within the linger window: one flush, one
+        # engine item, five coalesced away.
+        assert stats["coalesced"] >= 1
+        assert stats["flushes"] < 6

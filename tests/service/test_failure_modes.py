@@ -1,0 +1,256 @@
+"""Service failure modes: rejection, timeouts, bad input, drain.
+
+The degradation contract: a full admission queue answers 429 without
+touching the engine, a request that exceeds its budget answers 504, a
+body the server cannot parse answers 400, and a graceful shutdown
+flushes every *accepted* request — an ingest that was answered 200 is
+in the database file afterwards, always.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import compile_source, profile_program
+from repro.profiling.database import ProfileDatabase
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+)
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.service
+
+#: ~0.4s of interpreter work: enough to outlive a 0.1s budget.
+SLOW_SOURCE = """\
+      PROGRAM MAIN
+      INTEGER I, X
+      X = 0
+      DO 10 I = 1, 30000
+        X = X + 1
+10    CONTINUE
+      END
+"""
+
+
+def raw_post(port: int, path: str, body: bytes, content_type="application/json"):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": content_type}
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestBadRequests:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with ServiceThread(ServiceConfig(linger=0.001)) as handle:
+            yield handle
+
+    def test_malformed_json_body_is_400(self, server):
+        status, payload = raw_post(server.port, "/profile", b"{not json")
+        assert status == 400
+        assert "malformed JSON" in payload["error"]["message"]
+
+    def test_non_object_body_is_400(self, server):
+        status, _ = raw_post(server.port, "/compile", b"[1, 2]")
+        assert status == 400
+
+    def test_missing_source_is_400(self, server):
+        status, payload = raw_post(server.port, "/profile", b"{}")
+        assert status == 400
+        assert "source" in payload["error"]["message"]
+
+    def test_bad_plan_is_400(self, server):
+        status, _ = raw_post(
+            server.port,
+            "/profile",
+            json.dumps({"source": PAPER_SOURCE, "plan": "psychic"}).encode(),
+        )
+        assert status == 400
+
+    def test_unknown_route_is_404(self, server):
+        status, _ = raw_post(server.port, "/nope", b"{}")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("GET", "/compile")
+        assert excinfo.value.status == 405
+
+    def test_bad_ingest_profile_is_422(self, server):
+        status, payload = raw_post(
+            server.port,
+            "/profiles/k/ingest",
+            json.dumps({"profile": {"bogus": 1}}).encode(),
+        )
+        assert status == 422
+        assert "TOTAL_FREQ" in payload["error"]["message"]
+
+    def test_oversized_body_is_413(self):
+        config = ServiceConfig(linger=0.001, max_body=512)
+        with ServiceThread(config) as handle:
+            status, _ = raw_post(
+                handle.port,
+                "/compile",
+                json.dumps({"source": "X" * 4096}).encode(),
+            )
+        assert status == 413
+
+
+class TestQueueFullRejection:
+    def test_429_when_admission_queue_is_full(self):
+        # A long linger keeps the first two requests pending; with
+        # queue_limit=2 the third must be shed at the door.
+        config = ServiceConfig(queue_limit=2, max_batch=64, linger=8.0)
+        with ServiceThread(config) as handle:
+            outcomes: list = [None, None]
+
+            def call(i):
+                with ServiceClient(port=handle.port, timeout=60) as c:
+                    outcomes[i] = c.profile(PAPER_SOURCE, runs=1 + i)
+
+            threads = [
+                threading.Thread(target=call, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            deadline = time.time() + 5
+            with ServiceClient(port=handle.port) as probe:
+                while time.time() < deadline:
+                    if probe.healthz()["queue_depth"] >= 2:
+                        break
+                    time.sleep(0.01)
+                with pytest.raises(ServiceError) as excinfo:
+                    probe.profile(PAPER_SOURCE, runs=3)
+                assert excinfo.value.status == 429
+                assert "retry_after_ms" in excinfo.value.payload["error"]
+                stats = probe.metrics()["batcher"]
+                assert stats["rejected_queue_full"] == 1
+            # Drain releases the lingering flush: the two accepted
+            # requests still complete successfully.
+            for t in threads:
+                t.join(timeout=30)
+        assert all(r is not None and r["ok"] for r in outcomes)
+
+
+class TestRequestTimeout:
+    def test_504_when_budget_exceeded(self):
+        config = ServiceConfig(linger=0.001, request_timeout=0.1)
+        with ServiceThread(config) as handle:
+            with ServiceClient(port=handle.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.profile(SLOW_SOURCE, runs=1)
+                assert excinfo.value.status == 504
+                assert client.metrics()["timeouts"] == 1
+
+
+class TestGracefulShutdown:
+    def test_no_accepted_ingest_is_lost_mid_batch(self, tmp_path):
+        db_path = tmp_path / "profiles.json"
+        # A long linger guarantees the profile request is still
+        # sitting in the admission queue when shutdown starts.
+        config = ServiceConfig(db=str(db_path), linger=5.0, max_batch=64)
+        handle = ServiceThread(config).start()
+
+        program = compile_source(PAPER_SOURCE)
+        delta, _ = profile_program(program, runs=1)
+
+        pending_result: dict = {}
+
+        def lingering_profile():
+            with ServiceClient(port=handle.port, timeout=60) as c:
+                pending_result.update(
+                    c.profile(PAPER_SOURCE, runs=2, ingest="batched")
+                )
+
+        thread = threading.Thread(target=lingering_profile)
+        thread.start()
+        accepted = 0
+        with ServiceClient(port=handle.port) as client:
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if client.healthz()["queue_depth"] >= 1:
+                    break
+                time.sleep(0.01)
+            for _ in range(3):
+                response = client.ingest("direct", delta, source=PAPER_SOURCE)
+                assert response["ok"]
+                accepted += 1
+
+        # Shut down while the profile request is still mid-batch.
+        handle.stop()
+        thread.join(timeout=30)
+
+        # The lingering request was flushed by the drain, not dropped.
+        assert pending_result.get("ingested", {}).get("key") == "batched"
+
+        # Every accepted ingest survived into the database file.
+        reloaded = ProfileDatabase(db_path)
+        assert not reloaded.recovered_corrupt
+        assert reloaded.lookup("direct").runs == accepted
+        assert reloaded.lookup("batched").runs == 2
+
+    def test_new_work_rejected_while_draining(self):
+        import asyncio
+
+        config = ServiceConfig(linger=5.0, max_batch=64)
+        handle = ServiceThread(config).start()
+        # Drain closes the listener immediately, so observe the
+        # draining window over connections opened *before* shutdown —
+        # exactly what real in-flight keep-alive clients hold.
+        monitor = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=30
+        )
+        probe = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=30
+        )
+        for conn in (monitor, probe):
+            conn.request("GET", "/healthz")
+            conn.getresponse().read()
+
+        with ServiceClient(port=handle.port, timeout=60) as blocker_client:
+            # SLOW_SOURCE keeps the drain busy flushing for ~0.4s.
+            blocker = threading.Thread(
+                target=lambda: blocker_client.profile(SLOW_SOURCE, runs=1)
+            )
+            blocker.start()
+            time.sleep(0.05)  # let the blocker reach the admission queue
+            # Start the drain on the service loop without waiting.
+            asyncio.run_coroutine_threadsafe(
+                handle.service.shutdown(), handle._loop
+            )
+            deadline = time.time() + 5
+            status = None
+            while time.time() < deadline:
+                monitor.request("GET", "/healthz")
+                response = monitor.getresponse()
+                payload = json.loads(response.read())
+                status = payload["status"]
+                if status == "draining" or response.will_close:
+                    break
+                time.sleep(0.005)
+            assert status == "draining"
+            probe.request(
+                "POST",
+                "/profile",
+                body=json.dumps({"source": PAPER_SOURCE}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            rejected = probe.getresponse()
+            assert rejected.status == 503
+            rejected.read()
+            blocker.join(timeout=30)
+        monitor.close()
+        probe.close()
+        handle.stop()

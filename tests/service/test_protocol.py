@@ -1,0 +1,132 @@
+"""The HTTP subset parser: request framing, limits, error statuses."""
+
+import asyncio
+
+import pytest
+
+from repro.service.protocol import (
+    ProtocolError,
+    error_payload,
+    read_request,
+    response_bytes,
+)
+
+pytestmark = pytest.mark.service
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        request = parse(
+            b"GET /profiles/foo?loop_variance=profiled&model=scalar "
+            b"HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/profiles/foo"
+        assert request.query == {
+            "loop_variance": "profiled",
+            "model": "scalar",
+        }
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = b'{"source": "X"}'
+        raw = (
+            b"POST /compile HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"source": "X"}
+
+    def test_connection_close_header(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_two_requests_on_one_stream(self):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\n\r\n"
+            b"GET /metrics HTTP/1.1\r\n\r\n"
+        )
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            first = await read_request(reader)
+            second = await read_request(reader)
+            third = await read_request(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(go())
+        assert first.path == "/healthz"
+        assert second.path == "/metrics"
+        assert third is None
+
+
+class TestRejection:
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n" + b"x" * 1000
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw, max_body=100)
+        assert excinfo.value.status == 413
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+
+    def test_malformed_json_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n{not json"
+        request = parse(raw)
+        with pytest.raises(ProtocolError):
+            request.json()
+
+    def test_non_object_json_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 7\r\n\r\n[1,2,3]"
+        with pytest.raises(ProtocolError):
+            parse(raw).json()
+
+
+class TestResponses:
+    def test_response_roundtrip_shape(self):
+        raw = response_bytes(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b'"ok": true' in body
+
+    def test_close_header(self):
+        raw = response_bytes(503, {}, keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_error_payload_shape(self):
+        payload = error_payload(429, "full", retry_after_ms=4)
+        assert payload["error"]["status"] == 429
+        assert payload["error"]["message"] == "full"
+        assert payload["error"]["retry_after_ms"] == 4
