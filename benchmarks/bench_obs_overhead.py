@@ -1,0 +1,121 @@
+"""Observability overhead: the instrumentation must pay for itself.
+
+The paper's Table 1 argument is that measurement is only credible
+when its own cost is measured and bounded; PR 4 applies that to the
+reproduction's self-instrumentation.  Two regimes are gated:
+
+* **disabled** (the default) — ``span()`` returns a shared no-op
+  object.  We time the no-op path directly and require that the spans
+  a full pipeline pass would have opened cost well under 0.5% of that
+  pass, i.e. no measurable overhead when nobody is tracing;
+* **enabled** (a ring-buffer sink, what ``repro trace`` uses) — a
+  compile → plan → profile → analyze pass over the paper's program is
+  timed with tracing off and on, best-of-``REPEATS`` loops of
+  ``PASSES_PER_LOOP`` passes each.  Acceptance (ISSUE 4): enabled
+  tracing costs < 5% wall time on the compile path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import analyze, compile_source, profile_program, smart_program_plan
+from repro.obs import RingBufferSink, configure_tracing, disable_tracing, span
+from repro.report import format_table
+from repro.workloads.paper_example import PAPER_SOURCE
+
+from conftest import publish
+
+REPEATS = 5
+PASSES_PER_LOOP = 20
+NOOP_CALLS = 100_000
+#: Spans opened by one pipeline pass (compile 6, plan 1, check 0 here,
+#: profile 2 + per-run, analyze 1) — rounded up for headroom.
+SPANS_PER_PASS = 16
+ENABLED_CEILING = 0.05
+DISABLED_CEILING = 0.005
+
+
+def _pipeline_pass() -> None:
+    program = compile_source(PAPER_SOURCE)
+    plan = smart_program_plan(program)
+    profile, _stats = profile_program(program, runs=1, plan=plan)
+    analyze(program, profile)
+
+
+def _best_loop_seconds() -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(PASSES_PER_LOOP):
+            _pipeline_pass()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_observability_overhead():
+    # -- disabled: the no-op span itself -----------------------------
+    disable_tracing()
+    best_noop = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(NOOP_CALLS):
+            with span("bench.noop"):
+                pass
+        best_noop = min(best_noop, time.perf_counter() - started)
+    noop_per_call = best_noop / NOOP_CALLS
+
+    # -- disabled vs enabled pipeline passes -------------------------
+    disable_tracing()
+    disabled = _best_loop_seconds()
+    sink = RingBufferSink(capacity=SPANS_PER_PASS * PASSES_PER_LOOP * 2)
+    configure_tracing(sink)
+    try:
+        enabled = _best_loop_seconds()
+    finally:
+        disable_tracing()
+
+    per_pass_disabled = disabled / PASSES_PER_LOOP
+    per_pass_enabled = enabled / PASSES_PER_LOOP
+    enabled_overhead = max(0.0, enabled / disabled - 1.0)
+    disabled_overhead = (SPANS_PER_PASS * noop_per_call) / per_pass_disabled
+
+    publish(
+        "obs_overhead",
+        format_table(
+            ["regime", "per pass", "overhead", "ceiling"],
+            [
+                [
+                    "tracing disabled (no-op spans)",
+                    f"{1e3 * per_pass_disabled:.3f} ms",
+                    f"{100 * disabled_overhead:.3f}%",
+                    f"{100 * DISABLED_CEILING:.1f}%",
+                ],
+                [
+                    "tracing enabled (ring sink)",
+                    f"{1e3 * per_pass_enabled:.3f} ms",
+                    f"{100 * enabled_overhead:.2f}%",
+                    f"{100 * ENABLED_CEILING:.0f}%",
+                ],
+                [
+                    "no-op span call",
+                    f"{1e9 * noop_per_call:.0f} ns",
+                    "-",
+                    "-",
+                ],
+            ],
+            title=(
+                "self-instrumentation overhead "
+                f"(best of {REPEATS} loops x {PASSES_PER_LOOP} passes)"
+            ),
+        ),
+    )
+
+    assert disabled_overhead < DISABLED_CEILING, (
+        f"disabled spans would cost {100 * disabled_overhead:.3f}% of a "
+        f"pipeline pass (ceiling {100 * DISABLED_CEILING:.1f}%)"
+    )
+    assert enabled_overhead < ENABLED_CEILING, (
+        f"enabled tracing costs {100 * enabled_overhead:.2f}% wall time "
+        f"(ceiling {100 * ENABLED_CEILING:.0f}%)"
+    )

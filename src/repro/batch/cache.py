@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
+from repro.obs import metrics
 from repro.pipeline import (
     CompiledProgram,
     compile_source,
@@ -164,6 +165,11 @@ class ArtifactCache:
     # -- tiers -----------------------------------------------------------
 
     def _lookup(self, key: str) -> tuple[CachedArtifacts | None, str]:
+        lookups = metrics.counter(
+            "repro_cache_lookups_total",
+            "Artifact cache lookups by serving tier.",
+            labels=("tier",),
+        )
         entry = self._memory.pop(key, None)
         if entry is not None:
             # Re-insert at the most-recently-used end: the insertion
@@ -171,17 +177,24 @@ class ArtifactCache:
             # evicts from.
             self._memory[key] = entry
             self.stats.memory_hits += 1
+            lookups.inc(tier="memory")
             return entry, "memory"
         entry = self._load_disk(key)
         if entry is not None:
             self.stats.disk_hits += 1
+            lookups.inc(tier="disk")
             self._remember(key, entry)
             return entry, "disk"
+        lookups.inc(tier="miss")
         return None, "compiled"
 
     def _remember(self, key: str, entry: CachedArtifacts) -> None:
         while len(self._memory) >= self.max_memory_entries:
             self._memory.pop(next(iter(self._memory)))
+            metrics.counter(
+                "repro_cache_evictions_total",
+                "In-memory cache entries evicted (LRU).",
+            ).inc()
         self._memory[key] = entry
 
     def _disk_path(self, key: str) -> Path:
@@ -204,6 +217,11 @@ class ArtifactCache:
             # Truncated write, foreign file, stale class layout, ...:
             # recover by dropping the entry and recompiling.
             self.stats.corrupt_entries += 1
+            metrics.counter(
+                "repro_cache_bad_entries_total",
+                "Disk entries dropped as corrupt or invalid.",
+                labels=("reason",),
+            ).inc(reason="corrupt")
             try:
                 file.unlink()
             except OSError:
@@ -211,6 +229,11 @@ class ArtifactCache:
             return None
         if self.verify_loads and not self._verify_entry(entry):
             self.stats.invalid_entries += 1
+            metrics.counter(
+                "repro_cache_bad_entries_total",
+                "Disk entries dropped as corrupt or invalid.",
+                labels=("reason",),
+            ).inc(reason="invalid")
             try:
                 file.unlink()
             except OSError:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.batch.aggregate import canonical_json, summarize_item
 from repro.batch.cache import ArtifactCache
 from repro.costs.model import MachineModel
+from repro.obs import metrics, span
 from repro.pipeline import profile_program
 
 #: Run-spec keys accepted by :func:`repro.pipeline.run_program`.
@@ -156,6 +157,23 @@ class BatchReport:
 def _profile_one(
     index: int, item: BatchItem, cache: ArtifactCache, options: BatchOptions
 ) -> BatchResult:
+    with span("batch.item", attrs={"id": item.id}) as item_span:
+        result = _profile_one_inner(index, item, cache, options, item_span)
+    metrics.counter(
+        "repro_batch_items_total",
+        "Batch items processed, by outcome (ok or failing stage).",
+        labels=("status",),
+    ).inc(status="ok" if result.ok else result.error.stage)
+    return result
+
+
+def _profile_one_inner(
+    index: int,
+    item: BatchItem,
+    cache: ArtifactCache,
+    options: BatchOptions,
+    item_span,
+) -> BatchResult:
     result = BatchResult(
         index=index, item_id=item.id, ok=False, runs=len(item.runs)
     )
@@ -165,6 +183,7 @@ def _profile_one(
         result.error = BatchError("compile", type(exc).__name__, str(exc))
         return result
     result.cache_tier = tier
+    item_span.set_attr(cache_tier=tier)
     if options.verify:
         from repro.checker import verify_program
 
@@ -197,12 +216,13 @@ def _profile_one(
     result.counter_cost = stats.counter_cost
     try:
         if options.plan == "smart":
-            result.summary = summarize_item(
-                program,
-                profile,
-                options.model,
-                loop_variance=options.loop_variance,
-            )
+            with span("batch.analyze"):
+                result.summary = summarize_item(
+                    program,
+                    profile,
+                    options.model,
+                    loop_variance=options.loop_variance,
+                )
         else:
             # Naive plans measure basic blocks, not control conditions;
             # the Definition-3 pass does not apply.  Report raw block
@@ -311,29 +331,42 @@ def run_batch(
         mode = "process" if jobs > 1 and len(items) > 1 else "serial"
 
     started = time.perf_counter()
-    if mode == "serial":
-        results = []
-        for index, item in enumerate(items):
-            if should_stop is not None and should_stop():
-                results.append(_cancelled(index, item))
-            else:
-                results.append(_profile_one(index, item, cache_obj, options))
-        cache_stats = cache_obj.stats.as_dict()
-    else:
-        payloads = list(enumerate(items))
-        cache_stats = {key: 0 for key in cache_obj.stats.as_dict()}
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, max(1, len(items))),
-            initializer=_worker_init,
-            initargs=(cache_obj.path, options),
-        ) as pool:
+    with span("batch", attrs={"mode": mode, "items": len(items)}):
+        if mode == "serial":
             results = []
-            # ``map`` preserves submission order: deterministic results.
-            for result, delta in pool.map(_worker_run, payloads, chunksize=1):
-                results.append(result)
-                for key, value in delta.items():
-                    cache_stats[key] += value
+            for index, item in enumerate(items):
+                if should_stop is not None and should_stop():
+                    results.append(_cancelled(index, item))
+                else:
+                    results.append(
+                        _profile_one(index, item, cache_obj, options)
+                    )
+            cache_stats = cache_obj.stats.as_dict()
+        else:
+            payloads = list(enumerate(items))
+            cache_stats = {key: 0 for key in cache_obj.stats.as_dict()}
+            with span("batch.pool", attrs={"jobs": jobs}):
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, max(1, len(items))),
+                    initializer=_worker_init,
+                    initargs=(cache_obj.path, options),
+                ) as pool:
+                    results = []
+                    # ``map`` preserves submission order: deterministic
+                    # results.
+                    for result, delta in pool.map(
+                        _worker_run, payloads, chunksize=1
+                    ):
+                        results.append(result)
+                        for key, value in delta.items():
+                            cache_stats[key] += value
     elapsed = time.perf_counter() - started
+    metrics.counter(
+        "repro_batches_total", "Batch engine invocations.", labels=("mode",)
+    ).inc(mode=mode)
+    metrics.histogram(
+        "repro_batch_seconds", "run_batch wall time in seconds."
+    ).observe(elapsed)
     return BatchReport(
         results=results,
         mode=mode,

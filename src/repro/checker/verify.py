@@ -16,6 +16,7 @@ from repro.checker.diagnostics import DiagnosticReport, diag
 from repro.checker.lint import lint_program
 from repro.checker.plans import check_program_plan
 from repro.checker.structure import check_structure
+from repro.obs import metrics, span
 
 
 def verify_program(
@@ -29,20 +30,31 @@ def verify_program(
     report with errors.
     """
     report = DiagnosticReport(program_id=program_id)
-    try:
-        report.extend(check_structure(program))
-    except Exception as exc:  # a hopelessly corrupt artifact
-        report.add(
-            diag("REP100", f"structural verification crashed: {exc}")
-        )
-        return report
-    for plan in _iter_plans(plans):
+    with span("check.verify", attrs={"program": program_id or "?"}):
         try:
-            report.extend(check_program_plan(program, plan))
-        except Exception as exc:
+            with span("check.structure"):
+                report.extend(check_structure(program))
+        except Exception as exc:  # a hopelessly corrupt artifact
             report.add(
-                diag("REP205", f"plan verification crashed: {exc}")
+                diag("REP100", f"structural verification crashed: {exc}")
             )
+            return report
+        for plan in _iter_plans(plans):
+            try:
+                with span(
+                    "check.plan",
+                    attrs={"kind": getattr(plan, "kind", "?")},
+                ):
+                    report.extend(check_program_plan(program, plan))
+            except Exception as exc:
+                report.add(
+                    diag("REP205", f"plan verification crashed: {exc}")
+                )
+    metrics.counter(
+        "repro_checks_total",
+        "Artifact verifications run.",
+        labels=("outcome",),
+    ).inc(outcome="clean" if not report.errors else "errors")
     return report
 
 
@@ -62,35 +74,42 @@ def check_source(
     )
 
     report = DiagnosticReport(program_id=program_id)
-    try:
-        program = compile_source(source)
-    except ReproError as exc:
-        report.add(
-            diag(
-                "REP001",
-                f"compilation failed: {exc}",
-                line=getattr(exc, "line", None),
-            )
-        )
-        return report
-
-    report.extend(check_structure(program))
-    builders = {"smart": smart_program_plan, "naive": naive_program_plan}
-    for kind in plan_kinds:
-        if kind not in builders:
-            raise ValueError(f"unknown plan kind {kind!r}")
+    with span("check", attrs={"program": program_id or "?"}):
         try:
-            plan = builders[kind](program)
+            program = compile_source(source)
         except ReproError as exc:
             report.add(
-                diag("REP201", f"{kind} plan construction failed: {exc}")
+                diag(
+                    "REP001",
+                    f"compilation failed: {exc}",
+                    line=getattr(exc, "line", None),
+                )
             )
-            continue
-        report.extend(check_program_plan(program, plan))
-    if lint:
-        report.extend(
-            lint_program(program.checked, program.cfgs, hints=hints)
-        )
+            return report
+
+        with span("check.structure"):
+            report.extend(check_structure(program))
+        builders = {
+            "smart": smart_program_plan,
+            "naive": naive_program_plan,
+        }
+        for kind in plan_kinds:
+            if kind not in builders:
+                raise ValueError(f"unknown plan kind {kind!r}")
+            try:
+                plan = builders[kind](program)
+            except ReproError as exc:
+                report.add(
+                    diag("REP201", f"{kind} plan construction failed: {exc}")
+                )
+                continue
+            with span("check.plan", attrs={"kind": kind}):
+                report.extend(check_program_plan(program, plan))
+        if lint:
+            with span("check.lint"):
+                report.extend(
+                    lint_program(program.checked, program.cfgs, hints=hints)
+                )
     return report
 
 

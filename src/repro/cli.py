@@ -19,12 +19,16 @@ Commands mirror the library pipeline:
   ``TOTAL_FREQ`` ingests, bounded-queue backpressure, graceful drain;
 * ``call``     — the client: health/metrics probes, remote compile
   and profile, client-side profiling with delta ingest, and
-  Definition-3 frequency/variance queries.
+  Definition-3 frequency/variance queries;
+* ``trace``    — run one compile → check → profile → analyze pass
+  under the tracing subsystem and print a per-stage latency tree
+  (self and total times), optionally dumping raw spans as JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -312,6 +316,103 @@ def _cmd_spill(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _tracing_to(path: str | None):
+    """Enable span recording to a JSONL file for the enclosed work."""
+    if not path:
+        yield
+        return
+    from repro.obs import JsonlSink, configure_tracing, disable_tracing
+
+    sink = JsonlSink(path)
+    configure_tracing(sink)
+    try:
+        yield
+    finally:
+        disable_tracing()
+        sink.close()
+        print(f"[spans appended to {path}]", file=sys.stderr)
+
+
+def _resolve_program_source(target: str) -> tuple[str, str]:
+    """``(label, source)`` for a path or a built-in workload name.
+
+    ``repro trace examples/paper`` works even though no such file
+    exists: when ``target`` is not a readable path, its stem is looked
+    up among the built-in workloads.
+    """
+    from repro.workloads import builtin_sources
+
+    path = Path(target)
+    if path.is_file():
+        return target, path.read_text()
+    builtins = dict(builtin_sources())
+    stem = path.stem
+    if stem in builtins:
+        return f"builtin:{stem}", builtins[stem]
+    raise ReproError(
+        f"{target}: not a file, and no built-in workload named {stem!r} "
+        f"(built-ins: {', '.join(sorted(builtins))})"
+    )
+
+
+def _cmd_trace(args) -> int:
+    from repro.checker import verify_program
+    from repro.obs import (
+        JsonlSink,
+        RingBufferSink,
+        configure_tracing,
+        disable_tracing,
+        render_trace_tree,
+        span,
+    )
+
+    label, source = _resolve_program_source(args.file)
+    ring = RingBufferSink(capacity=8192)
+    sinks: list = [ring]
+    jsonl = None
+    if args.trace_out:
+        jsonl = JsonlSink(args.trace_out)
+        sinks.append(jsonl)
+    configure_tracing(*sinks)
+    try:
+        with span("trace", attrs={"target": label}):
+            program = compile_source(source)
+            plan = (
+                naive_program_plan(program)
+                if args.plan == "naive"
+                else smart_program_plan(program)
+            )
+            report = verify_program(program, plan, program_id=label)
+            profile, _stats = profile_program(
+                program,
+                runs=_run_specs(args),
+                plan=plan,
+                model=_MODELS[args.model],
+                record_loop_moments=args.loop_variance == "profiled",
+            )
+            analyze(
+                program,
+                profile,
+                _MODELS[args.model],
+                loop_variance=_LOOP_VARIANCE[args.loop_variance],
+            )
+    finally:
+        disable_tracing()
+        if jsonl is not None:
+            jsonl.close()
+    print(render_trace_tree(ring.drain()))
+    if report.errors:
+        print(
+            f"[verifier found {len(report.errors)} error(s); "
+            f"run `repro check` for details]",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        print(f"[spans appended to {args.trace_out}]", file=sys.stderr)
+    return 0
+
+
 def _cmd_batch(args) -> int:
     from repro.batch import BatchItem, run_batch
     from repro.workloads.generators import ProgramGenerator
@@ -338,16 +439,17 @@ def _cmd_batch(args) -> int:
         raise ReproError("batch: no programs (give files and/or --generate N)")
 
     mode = {"auto": "auto", "serial": "serial", "pool": "process"}[args.mode]
-    report = run_batch(
-        items,
-        plan=args.plan,
-        model=_MODELS[args.model],
-        mode=mode,
-        jobs=args.jobs,
-        cache=args.cache,
-        max_steps=args.max_steps,
-        verify=args.verify,
-    )
+    with _tracing_to(args.trace_out):
+        report = run_batch(
+            items,
+            plan=args.plan,
+            model=_MODELS[args.model],
+            mode=mode,
+            jobs=args.jobs,
+            cache=args.cache,
+            max_steps=args.max_steps,
+            verify=args.verify,
+        )
 
     rows = []
     for result in report.results:
@@ -500,7 +602,8 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
 
-    asyncio.run(serve(config, ready=announce))
+    with _tracing_to(args.trace_out):
+        asyncio.run(serve(config, ready=announce))
     print("repro service drained cleanly", file=sys.stderr)
     return 0
 
@@ -743,6 +846,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="write the canonical aggregate JSON here ('-' for stdout)",
     )
+    p_batch.add_argument(
+        "--trace-out", metavar="PATH",
+        help="append tracing spans as JSONL here while the batch runs",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     p_check = sub.add_parser(
@@ -818,6 +925,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-every", type=int, default=0,
         help="persist the database every N ingests (0: only on drain)",
     )
+    p_serve.add_argument(
+        "--trace-out", metavar="PATH",
+        help="append tracing spans as JSONL here while the service runs",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_call = sub.add_parser(
@@ -888,6 +999,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", choices=sorted(_MODELS), default="scalar"
     )
     p_call.set_defaults(func=_cmd_call)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="print a per-stage latency tree for one pipeline pass",
+    )
+    p_trace.add_argument(
+        "file", help="minifort source file or built-in workload name"
+    )
+    p_trace.add_argument("--runs", type=int, default=1)
+    p_trace.add_argument("--inputs", help="comma-separated INPUT() vector")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--plan", choices=["smart", "naive"], default="smart"
+    )
+    p_trace.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_trace.add_argument(
+        "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
+    )
+    p_trace.add_argument(
+        "--trace-out", metavar="PATH",
+        help="also append the raw spans as JSONL here",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_plan = sub.add_parser(
         "plan", help="show counter placement plans (smart vs naive)"

@@ -1,0 +1,61 @@
+"""Self-profiling instrumentation: tracing spans + metrics.
+
+The paper's discipline — measure where time goes, and measure what
+the measuring costs — applied to this reproduction itself.  Three
+stdlib-only pieces:
+
+* :mod:`repro.obs.trace` — nested spans over the compile pipeline,
+  batch engine, checker and service, with ring-buffer / JSONL sinks
+  and a near-zero-cost no-op path when disabled (the default);
+* :mod:`repro.obs.metrics` — a process-global (but injectable)
+  registry of counters, gauges and fixed-bucket histograms;
+* :mod:`repro.obs.prometheus` — the text exposition ``/metrics``
+  serves to Prometheus-compatible scrapers.
+
+Surfaces: ``repro trace <file>`` renders a per-stage latency tree,
+``repro batch --trace-out`` / ``repro serve --trace-out`` export
+spans as JSONL, and ``GET /metrics`` with ``Accept: text/plain``
+returns the Prometheus rendering.  ``benchmarks/bench_obs_overhead.py``
+enforces the Table-1-style overhead budget (< 5 % enabled, ~0 %
+disabled) on the compile path.
+"""
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.render import render_trace_tree
+from repro.obs.trace import (
+    JsonlSink,
+    RingBufferSink,
+    SpanRecord,
+    Tracer,
+    configure_tracing,
+    current_context,
+    disable_tracing,
+    format_traceparent,
+    parse_traceparent,
+    span,
+    traced,
+    tracer,
+)
+
+__all__ = [
+    "metrics",
+    "MetricsRegistry",
+    "set_registry",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "render_trace_tree",
+    "JsonlSink",
+    "RingBufferSink",
+    "SpanRecord",
+    "Tracer",
+    "configure_tracing",
+    "current_context",
+    "disable_tracing",
+    "format_traceparent",
+    "parse_traceparent",
+    "span",
+    "traced",
+    "tracer",
+]

@@ -1,0 +1,86 @@
+"""Prometheus text-exposition (version 0.0.4) rendering.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot as the
+plain-text format every Prometheus-compatible scraper understands::
+
+    # HELP repro_http_requests_total Requests by route and status.
+    # TYPE repro_http_requests_total counter
+    repro_http_requests_total{route="compile",status="200"} 12
+
+Histograms expose cumulative ``_bucket`` series with ``le`` labels
+plus ``_sum`` and ``_count``, exactly as the Prometheus client
+libraries do.  Output is deterministically ordered (metric name, then
+label values), so the rendering is golden-file testable.
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+from repro.obs.metrics import MetricsRegistry, registry as _global_registry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == inf:
+        return "+Inf"
+    if value == -inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in merged.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(reg: MetricsRegistry | None = None) -> str:
+    """The registry as Prometheus text exposition (one atomic snapshot)."""
+    snapshot = (reg or _global_registry()).snapshot()
+    lines: list[str] = []
+    for name, metric in snapshot.items():
+        if metric["help"]:
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        if metric["type"] == "histogram":
+            for series in metric["values"]:
+                for bound, count in series["buckets"].items():
+                    le = _labels_text(
+                        series["labels"], {"le": _format_value(bound)}
+                    )
+                    lines.append(f"{name}_bucket{le} {count}")
+                labels = _labels_text(series["labels"])
+                lines.append(
+                    f"{name}_sum{labels} {_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{labels} {series['count']}")
+        else:
+            for series in metric["values"]:
+                labels = _labels_text(series["labels"])
+                lines.append(
+                    f"{name}{labels} {_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

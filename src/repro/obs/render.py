@@ -1,0 +1,76 @@
+"""Rendering of collected spans as a per-stage latency tree.
+
+The ``repro trace`` CLI runs a pipeline under a
+:class:`~repro.obs.trace.RingBufferSink` and hands the spans here.
+Each node prints its *total* time (entry to exit) and its *self* time
+(total minus the totals of its direct children) so hot stages stand
+out even when deeply nested::
+
+    trace                               total 12.41ms  self 0.02ms
+    └─ compile                          total  4.18ms  self 0.31ms
+       ├─ compile.parse                 total  1.02ms  self 1.02ms
+       ...
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import SpanRecord
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{inner}]"
+
+
+def render_trace_tree(spans, *, max_width: int = 48) -> str:
+    """A self/total latency tree of the given spans.
+
+    Spans whose parent is not among ``spans`` become roots; children
+    are ordered by start time.  Returns a printable multi-line string.
+    """
+    records: list[SpanRecord] = sorted(spans, key=lambda s: s.start)
+    if not records:
+        return "(no spans recorded)"
+    by_id = {record.span_id: record for record in records}
+    children: dict[str | None, list[SpanRecord]] = {}
+    roots: list[SpanRecord] = []
+    for record in records:
+        if record.parent_id in by_id:
+            children.setdefault(record.parent_id, []).append(record)
+        else:
+            roots.append(record)
+
+    lines: list[str] = []
+
+    def emit(record: SpanRecord, prefix: str, tail: str) -> None:
+        kids = children.get(record.span_id, [])
+        self_time = record.duration - sum(k.duration for k in kids)
+        label = prefix + record.name
+        pad = max(1, max_width - len(label))
+        error = f"  !! {record.error}" if record.error else ""
+        lines.append(
+            f"{label}{' ' * pad}"
+            f"total {_format_ms(record.duration)}  "
+            f"self {_format_ms(max(0.0, self_time))}"
+            f"{_format_attrs(record.attrs)}{error}"
+        )
+        for i, kid in enumerate(kids):
+            last = i == len(kids) - 1
+            branch = "└─ " if last else "├─ "
+            cont = "   " if last else "│  "
+            emit(kid, tail + branch, tail + cont)
+
+    for root in roots:
+        emit(root, "", "")
+    total = sum(root.duration for root in roots)
+    lines.append(
+        f"\n{len(records)} span(s), {len(roots)} root(s), "
+        f"{total * 1e3:.2f}ms total"
+    )
+    return "\n".join(lines)

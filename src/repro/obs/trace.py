@@ -1,0 +1,322 @@
+"""Tracing spans: monotonic timings with parent/child nesting.
+
+A *span* measures one named stage of work.  Spans nest through a
+``contextvars`` context variable, so concurrently executing asyncio
+tasks and worker threads each see their own ancestry; every span
+carries a 128-bit trace id (shared by a whole request tree) and a
+64-bit span id, W3C-traceparent style, so service-side spans can be
+stitched to the client request that caused them.
+
+Instrumentation sites use the module-level :func:`span` context
+manager (or the :func:`traced` decorator)::
+
+    with span("compile.fcdg", attrs={"procedures": 3}):
+        ...
+
+The cost discipline mirrors the paper's Table 1: when no sink is
+configured (the default) :func:`span` returns a shared no-op object
+— one attribute load and one truthiness test, no allocation — so an
+uninstrumented-feeling fast path stays the default, and
+``benchmarks/bench_obs_overhead.py`` enforces it.  When enabled,
+finished spans are dispatched to pluggable sinks:
+
+* :class:`RingBufferSink` — a bounded in-memory buffer (what
+  ``repro trace`` renders);
+* :class:`JsonlSink`  — one JSON object per line, append-only (the
+  ``--trace-out`` flag of ``repro batch`` / ``repro serve``).
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import functools
+import json
+import os
+import random
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+#: (trace_id, span_id) of the innermost active span, per context.
+_CURRENT: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Span ids need uniqueness, not unpredictability: a PRNG seeded from
+#: the OS once is ~10x cheaper per id than an ``os.urandom`` syscall,
+#: which matters at one id per span on the compile path.
+_RNG = random.Random(os.urandom(16))
+
+
+def _new_trace_id() -> str:
+    return f"{_RNG.getrandbits(128):032x}"
+
+
+def _new_span_id() -> str:
+    return f"{_RNG.getrandbits(64) or 1:016x}"
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    #: ``time.perf_counter()`` at entry/exit — durations, not wall time.
+    start: float
+    end: float = 0.0
+    #: ``time.time()`` at entry, for cross-process correlation.
+    wall_start: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "wall_start": self.wall_start,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self.spans: collections.deque[SpanRecord] = collections.deque(
+            maxlen=capacity
+        )
+        self._lock = threading.Lock()
+
+    def on_end(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def drain(self) -> list[SpanRecord]:
+        """Pop and return everything collected so far."""
+        with self._lock:
+            spans = list(self.spans)
+            self.spans.clear()
+        return spans
+
+    def close(self) -> None:  # sink protocol symmetry
+        pass
+
+
+class JsonlSink:
+    """Append every finished span as one JSON line."""
+
+    def __init__(self, path):
+        self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.path = path
+
+    def on_end(self, record: SpanRecord) -> None:
+        line = json.dumps(record.as_dict(), sort_keys=True)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A live span: context manager that records and dispatches."""
+
+    __slots__ = ("_tracer", "record", "_token")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self.record = record
+        self._token = None
+
+    def set_attr(self, **attrs) -> None:
+        self.record.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._token = _CURRENT.set(
+            (self.record.trace_id, self.record.span_id)
+        )
+        self.record.wall_start = time.time()
+        self.record.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self.record.end = time.perf_counter()
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self.record.error = f"{exc_type.__name__}: {exc}"
+        for sink in self._tracer._sinks:
+            try:
+                sink.on_end(self.record)
+            except Exception:  # a broken sink must never fail the work
+                pass
+        return False
+
+
+class Tracer:
+    """Span factory with pluggable sinks; disabled (no-op) by default."""
+
+    def __init__(self):
+        self._sinks: tuple = ()
+        self.enabled = False
+
+    def configure(self, *sinks) -> None:
+        """Install sinks and enable span recording."""
+        self._sinks = tuple(sinks)
+        self.enabled = bool(sinks)
+
+    def disable(self) -> None:
+        """Back to the no-op fast path (sinks are not closed)."""
+        self._sinks = ()
+        self.enabled = False
+
+    def span(self, name: str, attrs: dict | None = None,
+             parent: tuple[str, str] | None = None):
+        """A context manager timing ``name``.
+
+        ``parent`` overrides the ambient context — how a worker
+        thread attaches engine spans to the request that queued the
+        work (see :func:`parse_traceparent`).
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        context = parent if parent is not None else _CURRENT.get()
+        if context is None:
+            trace_id, parent_id = _new_trace_id(), None
+        else:
+            trace_id, parent_id = context[0], context[1]
+        record = SpanRecord(
+            name=name,
+            trace_id=trace_id,
+            span_id=_new_span_id(),
+            parent_id=parent_id,
+            start=0.0,
+            attrs=dict(attrs) if attrs else {},
+        )
+        return _ActiveSpan(self, record)
+
+    def current(self) -> tuple[str, str] | None:
+        """(trace_id, span_id) of the innermost active span, if any."""
+        if not self.enabled:
+            return None
+        return _CURRENT.get()
+
+    @contextlib.contextmanager
+    def attach(self, context: tuple[str, str] | None):
+        """Adopt an explicit trace context in this thread/task."""
+        token = _CURRENT.set(context)
+        try:
+            yield
+        finally:
+            _CURRENT.reset(token)
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def span(name: str, attrs: dict | None = None,
+         parent: tuple[str, str] | None = None):
+    """``tracer().span(...)`` — the instrumentation-site spelling."""
+    return _TRACER.span(name, attrs, parent)
+
+
+def configure_tracing(*sinks) -> None:
+    _TRACER.configure(*sinks)
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+
+
+def current_context() -> tuple[str, str] | None:
+    return _TRACER.current()
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator form: time every call of the wrapped function."""
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(span_name, attrs=attrs or None):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# -- W3C-traceparent-style propagation ----------------------------------
+
+
+def format_traceparent(context: tuple[str, str]) -> str:
+    """``00-<trace-id>-<parent-span-id>-01`` for an HTTP header."""
+    trace_id, span_id = context
+    return f"00-{trace_id:0>32}-{span_id:0>16}-01"
+
+
+def parse_traceparent(header: str | None) -> tuple[str, str] | None:
+    """The (trace_id, span_id) of a traceparent header, or ``None``."""
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    _version, trace_id, span_id, _flags = parts
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id.lower(), span_id.lower()

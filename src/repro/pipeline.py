@@ -12,6 +12,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis import ProgramAnalysis, analyze_program
@@ -26,6 +27,7 @@ from repro.ecfg import ExtendedCFG, build_ecfg
 from repro.interp import ExecutionHooks, Interpreter, RunResult
 from repro.lang.parser import parse_program
 from repro.lang.symbols import CheckedProgram, check_program
+from repro.obs import metrics, span
 from repro.profiling import (
     PlanExecutor,
     ProgramPlan,
@@ -68,25 +70,40 @@ def compile_source(source: str, *, verify: bool = False) -> CompiledProgram:
     structural invariant on the result and raises
     :class:`repro.errors.VerificationError` if any is broken.
     """
-    checked = check_program(parse_program(source))
-    cfgs = build_program_cfgs(checked)
-    splits: dict[str, int] = {}
-    for name, cfg in cfgs.items():
-        if not is_reducible(cfg):
-            splits[name] = split_nodes(cfg)
-    ecfgs = {name: build_ecfg(cfg) for name, cfg in cfgs.items()}
-    fcdgs = {name: build_fcdg(ecfg) for name, ecfg in ecfgs.items()}
-    program = CompiledProgram(
-        source=source,
-        checked=checked,
-        cfgs=cfgs,
-        ecfgs=ecfgs,
-        fcdgs=fcdgs,
-        call_graph=build_call_graph(checked),
-        splits=splits,
-    )
-    if verify:
-        verify_compiled(program)
+    started = time.perf_counter()
+    with span("compile") as compile_span:
+        with span("compile.parse"):
+            checked = check_program(parse_program(source))
+        with span("compile.cfg"):
+            cfgs = build_program_cfgs(checked)
+            splits: dict[str, int] = {}
+            for name, cfg in cfgs.items():
+                if not is_reducible(cfg):
+                    splits[name] = split_nodes(cfg)
+        with span("compile.ecfg"):
+            ecfgs = {name: build_ecfg(cfg) for name, cfg in cfgs.items()}
+        with span("compile.fcdg"):
+            fcdgs = {name: build_fcdg(ecfg) for name, ecfg in ecfgs.items()}
+        with span("compile.callgraph"):
+            call_graph = build_call_graph(checked)
+        program = CompiledProgram(
+            source=source,
+            checked=checked,
+            cfgs=cfgs,
+            ecfgs=ecfgs,
+            fcdgs=fcdgs,
+            call_graph=call_graph,
+            splits=splits,
+        )
+        compile_span.set_attr(procedures=len(cfgs))
+        if verify:
+            verify_compiled(program)
+    metrics.counter(
+        "repro_compile_total", "Programs compiled end to end."
+    ).inc()
+    metrics.histogram(
+        "repro_compile_seconds", "compile_source latency in seconds."
+    ).observe(time.perf_counter() - started)
     return program
 
 
@@ -129,36 +146,46 @@ def smart_program_plan(
     enable_do_batch: bool = True,
 ) -> ProgramPlan:
     """The optimized counter plan for every procedure."""
-    return ProgramPlan(
-        kind="smart",
-        plans={
-            name: smart_plan(
-                program.checked,
-                program.cfgs[name],
-                program.fcdgs[name],
-                enable_drops=enable_drops,
-                enable_do_batch=enable_do_batch,
-            )
-            for name in program.cfgs
-        },
-    )
+    with span("plan.smart"):
+        plan = ProgramPlan(
+            kind="smart",
+            plans={
+                name: smart_plan(
+                    program.checked,
+                    program.cfgs[name],
+                    program.fcdgs[name],
+                    enable_drops=enable_drops,
+                    enable_do_batch=enable_do_batch,
+                )
+                for name in program.cfgs
+            },
+        )
+    metrics.counter(
+        "repro_plan_builds_total", "Counter plans built.", labels=("kind",)
+    ).inc(kind="smart")
+    return plan
 
 
 def naive_program_plan(
     program: CompiledProgram, *, straightline_do_opt: bool = True
 ) -> ProgramPlan:
     """The naive per-basic-block counter plan for every procedure."""
-    return ProgramPlan(
-        kind="naive",
-        plans={
-            name: naive_plan(
-                program.checked,
-                program.cfgs[name],
-                straightline_do_opt=straightline_do_opt,
-            )
-            for name in program.cfgs
-        },
-    )
+    with span("plan.naive"):
+        plan = ProgramPlan(
+            kind="naive",
+            plans={
+                name: naive_plan(
+                    program.checked,
+                    program.cfgs[name],
+                    straightline_do_opt=straightline_do_opt,
+                )
+                for name in program.cfgs
+            },
+        )
+    metrics.counter(
+        "repro_plan_builds_total", "Counter plans built.", labels=("kind",)
+    ).inc(kind="naive")
+    return plan
 
 
 @dataclass
@@ -204,15 +231,31 @@ def profile_program(
         hooks = HookChain(executor, recorder)
 
     stats = ProfileStats(runs=len(run_specs), counters=plan.n_counters)
-    for spec in run_specs:
-        result = run_program(
-            program, model=model, hooks=hooks, max_steps=max_steps, **spec
-        )
-        stats.base_cost += result.total_cost
-        stats.counter_cost += result.counter_cost
-    stats.counter_updates = executor.updates
+    started = time.perf_counter()
+    with span("profile", attrs={"runs": len(run_specs), "plan": plan.kind}):
+        for spec in run_specs:
+            with span("profile.run", attrs={"seed": spec.get("seed", 0)}):
+                result = run_program(
+                    program,
+                    model=model,
+                    hooks=hooks,
+                    max_steps=max_steps,
+                    **spec,
+                )
+            stats.base_cost += result.total_cost
+            stats.counter_cost += result.counter_cost
+        stats.counter_updates = executor.updates
 
-    profile = reconstruct_profile(plan, executor, runs=len(run_specs))
+        with span("profile.reconstruct"):
+            profile = reconstruct_profile(
+                plan, executor, runs=len(run_specs)
+            )
+    metrics.counter(
+        "repro_profile_runs_total", "Profiled program executions."
+    ).inc(len(run_specs))
+    metrics.histogram(
+        "repro_profile_seconds", "profile_program latency in seconds."
+    ).observe(time.perf_counter() - started)
     if recorder is not None:
         for name in program.cfgs:
             proc = profile.proc(name)
@@ -306,15 +349,16 @@ def analyze(
     estimator=None,
 ) -> ProgramAnalysis:
     """Run the TIME/VAR analysis against a profile."""
-    return analyze_program(
-        program.checked,
-        program.cfgs,
-        profile,
-        model,
-        loop_variance=loop_variance,
-        artifacts=program.artifacts(),
-        estimator=estimator,
-    )
+    with span("analyze"):
+        return analyze_program(
+            program.checked,
+            program.cfgs,
+            profile,
+            model,
+            loop_variance=loop_variance,
+            artifacts=program.artifacts(),
+            estimator=estimator,
+        )
 
 
 def estimate(

@@ -28,6 +28,9 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
+from repro.obs import metrics
+from repro.obs.metrics import SIZE_BUCKETS
+
 
 class QueueFull(Exception):
     """The admission buffer is at capacity; shed this request."""
@@ -103,10 +106,32 @@ class MicroBatcher:
         self.linger = linger
         self.queue_limit = queue_limit
         self.stats = BatcherStats()
-        self._pending: list[tuple[BatchTask, asyncio.Future]] = []
+        #: (task, waiter future, enqueue time) per admitted request.
+        self._pending: list[tuple[BatchTask, asyncio.Future, float]] = []
         self._wakeup = asyncio.Event()
         self._closed = False
         self._task: asyncio.Task | None = None
+        self._queue_gauge = metrics.gauge(
+            "repro_queue_depth", "Admission-queue backlog (requests)."
+        )
+        self._shed = metrics.counter(
+            "repro_shed_total",
+            "Requests shed at admission, by reason.",
+            labels=("reason",),
+        )
+        self._flush_size = metrics.histogram(
+            "repro_flush_size",
+            "Requests drained per micro-batch flush.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._flush_linger = metrics.histogram(
+            "repro_flush_linger_seconds",
+            "Oldest request's wait between admission and flush start.",
+            buckets=(0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1),
+        )
+        self._flush_seconds = metrics.histogram(
+            "repro_flush_seconds", "Engine time per micro-batch flush."
+        )
 
     # -- admission -------------------------------------------------------
 
@@ -118,20 +143,22 @@ class MicroBatcher:
         """Admit one task; the future resolves to its flush result."""
         if self._closed:
             self.stats.rejected_draining += 1
+            self._shed.inc(reason="draining")
             raise Draining("service is draining")
         if len(self._pending) >= self.queue_limit:
             self.stats.rejected_queue_full += 1
+            self._shed.inc(reason="queue_full")
             raise QueueFull(
                 f"admission queue is full ({self.queue_limit} pending)"
             )
+        loop = asyncio.get_running_loop()
         if self._task is None:
-            self._task = asyncio.get_running_loop().create_task(
-                self._flush_loop()
-            )
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((task, future))
+            self._task = loop.create_task(self._flush_loop())
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((task, future, loop.time()))
         self.stats.submitted += 1
         self.stats.queue_peak = max(self.stats.queue_peak, len(self._pending))
+        self._queue_gauge.set(len(self._pending))
         self._wakeup.set()
         return future
 
@@ -165,13 +192,14 @@ class MicroBatcher:
                         break
             batch = self._pending[: self.max_batch]
             del self._pending[: len(batch)]
+            self._queue_gauge.set(len(self._pending))
             await self._run_flush(batch)
 
     async def _run_flush(
-        self, batch: list[tuple[BatchTask, asyncio.Future]]
+        self, batch: list[tuple[BatchTask, asyncio.Future, float]]
     ) -> None:
         unique: dict[str, BatchTask] = {}
-        for task, _future in batch:
+        for task, _future, _enqueued in batch:
             unique.setdefault(task.signature, task)
         self.stats.flushes += 1
         self.stats.flushed_tasks += len(batch)
@@ -180,19 +208,26 @@ class MicroBatcher:
             self.stats.max_batch_observed, len(batch)
         )
         loop = asyncio.get_running_loop()
+        started = loop.time()
+        self._flush_size.observe(len(batch))
+        self._flush_linger.observe(
+            max(0.0, started - min(enq for _t, _f, enq in batch))
+        )
         try:
             results = await loop.run_in_executor(
                 None, self._flush_fn, list(unique.values())
             )
         except Exception as exc:
-            for _task, future in batch:
+            self._flush_seconds.observe(loop.time() - started)
+            for _task, future, _enqueued in batch:
                 if not future.done():
                     future.set_exception(exc)
                     # A waiter may have timed out already; make sure an
                     # unobserved exception never warns at GC time.
                     future.exception()
             return
-        for task, future in batch:
+        self._flush_seconds.observe(loop.time() - started)
+        for task, future, _enqueued in batch:
             if future.done():
                 continue  # the waiter timed out and went away
             if task.signature in results:

@@ -7,9 +7,14 @@ generators give each worker thread its own client, which is exactly
 what ``benchmarks/bench_service_throughput.py`` does.
 
 Non-2xx responses raise :class:`ServiceError` carrying the status
-code and the server's structured error body, so callers can tell
-backpressure (429), drain (503) and budget exhaustion (504) apart
-from their own bad requests (400/404/422).
+code, the server's structured error body and the ``X-Request-Id``
+the server stamped on the response, so callers can tell backpressure
+(429), drain (503) and budget exhaustion (504) apart from their own
+bad requests (400/404/422) *and* quote the exact request when
+correlating with server logs.  Every endpoint accepts an optional
+``request_id=`` which is sent as ``X-Request-Id`` and echoed back —
+give retries of one logical operation the same id and the server's
+per-request log lines line up.
 """
 
 from __future__ import annotations
@@ -25,12 +30,18 @@ from repro.profiling.database import ProgramProfile
 class ServiceError(ReproError):
     """A non-2xx service response."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(
+        self, status: int, payload: dict, request_id: str | None = None
+    ):
         error = payload.get("error", {}) if isinstance(payload, dict) else {}
         message = error.get("message", "unknown service error")
-        super().__init__(f"HTTP {status}: {message}")
+        suffix = f" [request {request_id}]" if request_id else ""
+        super().__init__(f"HTTP {status}: {message}{suffix}")
         self.status = status
         self.payload = payload
+        #: The ``X-Request-Id`` of the failing response (``None`` only
+        #: when the server predates the header).
+        self.request_id = request_id
 
 
 class ServiceClient:
@@ -46,6 +57,9 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: ``X-Request-Id`` of the most recent response (success or
+        #: failure) — the handle to quote when reporting a problem.
+        self.last_request_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing --------------------------------------------------------
@@ -68,15 +82,14 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request(
-        self, method: str, path: str, payload: dict | None = None
-    ) -> dict:
-        """One request/response cycle; raises on non-2xx."""
-        body = None
-        headers = {}
-        if payload is not None:
-            body = json.dumps(payload).encode()
-            headers["Content-Type"] = "application/json"
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+    ):
+        """One request/response over the kept-alive connection."""
         conn = self._connection()
         try:
             conn.request(method, path, body=body, headers=headers)
@@ -90,17 +103,40 @@ class ServiceClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             data = response.read()
+        self.last_request_id = response.getheader("X-Request-Id")
         if response.will_close:
             self.close()
+        return response, data
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> dict:
+        """One JSON request/response cycle; raises on non-2xx."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
+        response, data = self._exchange(method, path, body, headers)
         try:
             parsed = json.loads(data) if data else {}
         except ValueError as exc:
             raise ServiceError(
                 response.status,
                 {"error": {"message": f"unparseable body: {exc}"}},
+                request_id=self.last_request_id,
             ) from exc
         if response.status >= 400:
-            raise ServiceError(response.status, parsed)
+            raise ServiceError(
+                response.status, parsed, request_id=self.last_request_id
+            )
         return parsed
 
     # -- endpoints -------------------------------------------------------
@@ -111,6 +147,22 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
 
+    def metrics_text(self, *, request_id: str | None = None) -> str:
+        """``/metrics`` in Prometheus text-exposition form."""
+        headers = {"Accept": "text/plain"}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
+        response, data = self._exchange("GET", "/metrics", None, headers)
+        if response.status >= 400:
+            try:
+                parsed = json.loads(data) if data else {}
+            except ValueError:
+                parsed = {}
+            raise ServiceError(
+                response.status, parsed, request_id=self.last_request_id
+            )
+        return data.decode("utf-8")
+
     def compile(
         self,
         source: str,
@@ -118,11 +170,14 @@ class ServiceClient:
         key: str | None = None,
         plan: str = "smart",
         verify: bool = False,
+        request_id: str | None = None,
     ) -> dict:
         payload: dict = {"source": source, "plan": plan, "verify": verify}
         if key is not None:
             payload["key"] = key
-        return self.request("POST", "/compile", payload)
+        return self.request(
+            "POST", "/compile", payload, request_id=request_id
+        )
 
     def profile(
         self,
@@ -134,6 +189,7 @@ class ServiceClient:
         loop_variance: str = "zero",
         max_steps: int | None = None,
         ingest: str | None = None,
+        request_id: str | None = None,
     ) -> dict:
         payload: dict = {
             "source": source,
@@ -146,7 +202,9 @@ class ServiceClient:
             payload["max_steps"] = max_steps
         if ingest is not None:
             payload["ingest"] = ingest
-        return self.request("POST", "/profile", payload)
+        return self.request(
+            "POST", "/profile", payload, request_id=request_id
+        )
 
     def ingest(
         self,
@@ -154,6 +212,7 @@ class ServiceClient:
         profile: ProgramProfile | dict,
         *,
         source: str | None = None,
+        request_id: str | None = None,
     ) -> dict:
         raw = (
             profile.to_dict()
@@ -164,7 +223,10 @@ class ServiceClient:
         if source is not None:
             payload["source"] = source
         return self.request(
-            "POST", f"/profiles/{quote(key, safe='')}/ingest", payload
+            "POST",
+            f"/profiles/{quote(key, safe='')}/ingest",
+            payload,
+            request_id=request_id,
         )
 
     def query(
@@ -174,6 +236,7 @@ class ServiceClient:
         loop_variance: str = "zero",
         model: str = "scalar",
         raw: bool = False,
+        request_id: str | None = None,
     ) -> dict:
         params = {"loop_variance": loop_variance, "model": model}
         if raw:
@@ -181,4 +244,5 @@ class ServiceClient:
         return self.request(
             "GET",
             f"/profiles/{quote(key, safe='')}?{urlencode(params)}",
+            request_id=request_id,
         )

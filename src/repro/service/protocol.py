@@ -138,17 +138,48 @@ async def read_request(
     return request
 
 
+@dataclass(frozen=True)
+class RawBody:
+    """A non-JSON response body with its own content type.
+
+    ``/metrics`` answers ``Accept: text/plain`` scrapes with the
+    Prometheus text exposition wrapped in one of these; everything
+    else on the wire stays JSON.
+    """
+
+    content_type: str
+    data: bytes
+
+
 def response_bytes(
-    status: int, payload: dict, *, keep_alive: bool = True
+    status: int,
+    payload: "dict | RawBody",
+    *,
+    keep_alive: bool = True,
+    headers: dict[str, str] | None = None,
 ) -> bytes:
-    """Serialize one JSON response, ``Content-Length``-framed."""
-    body = json.dumps(payload, sort_keys=True).encode()
+    """Serialize one response, ``Content-Length``-framed.
+
+    ``payload`` is a JSON-able dict (the default) or a
+    :class:`RawBody`; ``headers`` adds extra response headers
+    (``X-Request-Id`` on every service response).
+    """
+    if isinstance(payload, RawBody):
+        body = payload.data
+        content_type = payload.content_type
+    else:
+        body = json.dumps(payload, sort_keys=True).encode()
+        content_type = "application/json"
     reason = REASONS.get(status, "Unknown")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         "\r\n"
     )
     return head.encode("latin-1") + body

@@ -36,21 +36,33 @@ was answered 200 is therefore never lost by a graceful shutdown.
 from __future__ import annotations
 
 import asyncio
+import os
+import platform
 import signal
 import threading
 import time
 from dataclasses import dataclass
 
+import repro
 from repro.batch import run_batch
 from repro.batch.aggregate import canonical_json, summarize_item
 from repro.batch.cache import ArtifactCache
 from repro.batch.engine import BatchItem
 from repro.costs.model import OPTIMIZING_MACHINE, SCALAR_MACHINE
+from repro.obs import (
+    current_context,
+    metrics,
+    parse_traceparent,
+    render_prometheus,
+    span,
+)
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.profiling.database import ProfileDatabase, ProgramProfile
 from repro.service.batcher import BatchTask, Draining, MicroBatcher, QueueFull
 from repro.service.protocol import (
     MAX_BODY_BYTES,
     ProtocolError,
+    RawBody,
     Request,
     error_payload,
     read_request,
@@ -60,6 +72,10 @@ from repro.service.protocol import (
 _MODELS = {"scalar": SCALAR_MACHINE, "optimizing": OPTIMIZING_MACHINE}
 _PLANS = ("smart", "naive")
 _LOOP_VARIANCE = ("zero", "profiled", "poisson", "geometric", "uniform")
+
+
+def _new_request_id() -> str:
+    return os.urandom(8).hex()
 
 
 @dataclass
@@ -120,6 +136,21 @@ class ProfilingService:
         self._ingested_runs = 0.0
         self._db_saves = 0
         self._protocol_errors = 0
+        #: Cache stats as of the last flush boundary.  The flush thread
+        #: replaces the whole dict under ``_cache_lock``; ``/metrics``
+        #: reads the reference without blocking behind an in-flight
+        #: flush, so the JSON snapshot is never torn mid-batch.
+        self._cache_snapshot: dict = self.cache.stats.as_dict()
+        self._http_seconds = metrics.histogram(
+            "repro_http_request_seconds",
+            "Service request latency by route.",
+            labels=("route",),
+        )
+        self._http_requests = metrics.counter(
+            "repro_http_requests_total",
+            "Service requests by route and status.",
+            labels=("route", "status"),
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -194,17 +225,28 @@ class ProfilingService:
                             exc.status,
                             error_payload(exc.status, str(exc)),
                             keep_alive=False,
+                            headers={"X-Request-Id": _new_request_id()},
                         )
                     )
                     await writer.drain()
                     return
                 if request is None:
                     return
+                # Echo the client's correlation id, or mint one: every
+                # response names the request it answers.
+                request_id = (
+                    request.headers.get("x-request-id") or _new_request_id()
+                )
                 status, payload = await self._dispatch(request)
                 self._responses[status] = self._responses.get(status, 0) + 1
                 keep_alive = request.keep_alive and not self.draining
                 writer.write(
-                    response_bytes(status, payload, keep_alive=keep_alive)
+                    response_bytes(
+                        status,
+                        payload,
+                        keep_alive=keep_alive,
+                        headers={"X-Request-Id": request_id},
+                    )
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -219,6 +261,28 @@ class ProfilingService:
                 pass
 
     async def _dispatch(self, request: Request) -> tuple[int, dict]:
+        """Route, handle and observe one request.
+
+        The handler runs inside an ``http.<route>`` span whose parent
+        is the client's ``traceparent`` header (if any), so client
+        traces continue through the batcher into the engine.
+        """
+        route, _key = self._route(request.path)
+        route_label = route or "unknown"
+        started = time.perf_counter()
+        with span(
+            f"http.{route_label}",
+            attrs={"method": request.method, "path": request.path},
+            parent=parse_traceparent(request.headers.get("traceparent")),
+        ) as request_span:
+            status, payload = await self._dispatch_inner(request)
+            request_span.set_attr(status=status)
+        elapsed = time.perf_counter() - started
+        self._http_seconds.observe(elapsed, route=route_label)
+        self._http_requests.inc(route=route_label, status=str(status))
+        return status, payload
+
+    async def _dispatch_inner(self, request: Request) -> tuple[int, dict]:
         route, key = self._route(request.path)
         self._requests[route or "unknown"] = (
             self._requests.get(route or "unknown", 0) + 1
@@ -255,6 +319,11 @@ class ProfilingService:
                 return 503, error_payload(503, "service is draining")
             except (asyncio.TimeoutError, TimeoutError):
                 self._timeouts += 1
+                metrics.counter(
+                    "repro_shed_total",
+                    "Requests shed at admission, by reason.",
+                    labels=("reason",),
+                ).inc(reason="timeout")
                 return 504, error_payload(
                     504,
                     f"request exceeded its "
@@ -298,8 +367,29 @@ class ProfilingService:
         }
 
     async def _handle_metrics(self, request: Request) -> tuple[int, dict]:
-        return 200, {
-            "uptime_s": round(time.monotonic() - self._started, 3),
+        if "text/plain" in request.headers.get("accept", ""):
+            self._sync_gauges()
+            text = render_prometheus()
+            return 200, RawBody(PROMETHEUS_CONTENT_TYPE, text.encode())
+        return 200, self._metrics_json()
+
+    def _metrics_json(self) -> dict:
+        """One atomic JSON snapshot of every counter.
+
+        Built synchronously on the event loop with no ``await`` in
+        between, so loop-side counters are mutually consistent; cache
+        counters come from ``_cache_snapshot``, the whole-dict copy
+        the flush thread publishes at each flush boundary — never a
+        half-updated view from the middle of a batch flush.
+        """
+        uptime = round(time.monotonic() - self._started, 3)
+        return {
+            "uptime_s": uptime,
+            "uptime_seconds": uptime,
+            "build": {
+                "version": repro.__version__,
+                "python": platform.python_version(),
+            },
             "draining": self.draining,
             "queue_depth": self.batcher.queue_depth,
             "in_flight": self._in_flight,
@@ -311,7 +401,7 @@ class ProfilingService:
             "protocol_errors": self._protocol_errors,
             "timeouts": self._timeouts,
             "batcher": self.batcher.stats.as_dict(),
-            "cache": self.cache.stats.as_dict(),
+            "cache": self._cache_snapshot,
             "database": {
                 "keys": len(self.database.keys()),
                 "runs": self.database.total_runs(),
@@ -320,6 +410,33 @@ class ProfilingService:
                 "saves": self._db_saves,
             },
         }
+
+    def _sync_gauges(self) -> None:
+        """Refresh point-in-time gauges before a Prometheus render."""
+        metrics.gauge(
+            "repro_uptime_seconds", "Service uptime in seconds."
+        ).set(time.monotonic() - self._started)
+        metrics.gauge(
+            "repro_build_info",
+            "Build metadata (always 1; the labels carry the info).",
+            labels=("version", "python"),
+        ).set(1, version=repro.__version__,
+              python=platform.python_version())
+        metrics.gauge(
+            "repro_queue_depth", "Admission-queue backlog (requests)."
+        ).set(self.batcher.queue_depth)
+        metrics.gauge(
+            "repro_in_flight", "Requests currently being handled."
+        ).set(self._in_flight)
+        metrics.gauge(
+            "repro_draining", "1 while the service is draining, else 0."
+        ).set(int(self.draining))
+        metrics.gauge(
+            "repro_db_keys", "Profile-database keys."
+        ).set(len(self.database.keys()))
+        metrics.gauge(
+            "repro_db_runs", "Accumulated runs across all database keys."
+        ).set(self.database.total_runs())
 
     # -- batched endpoints -----------------------------------------------
 
@@ -406,7 +523,7 @@ class ProfilingService:
                     "verify": options["verify"],
                 }
             ),
-            payload={"source": source, **options},
+            payload={"source": source, "trace": current_context(), **options},
         )
         outcome = await self._submit_and_wait(task)
         key = payload.get("key")
@@ -435,7 +552,12 @@ class ProfilingService:
                     **options,
                 }
             ),
-            payload={"source": source, "runs": runs, **options},
+            payload={
+                "source": source,
+                "runs": runs,
+                "trace": current_context(),
+                **options,
+            },
         )
         outcome = await self._submit_and_wait(task)
         status, body = outcome["status"], outcome["body"]
@@ -452,12 +574,25 @@ class ProfilingService:
 
     def _flush(self, tasks: list[BatchTask]) -> dict[str, dict]:
         """Execute one micro-batch of unique tasks against the engine."""
+        with span("service.flush", attrs={"tasks": len(tasks)}):
+            results = self._flush_inner(tasks)
+        return results
+
+    def _flush_inner(self, tasks: list[BatchTask]) -> dict[str, dict]:
         results: dict[str, dict] = {}
         compiles = [t for t in tasks if t.kind == "compile"]
         profiles = [t for t in tasks if t.kind == "profile"]
         with self._cache_lock:
             for task in compiles:
-                results[task.signature] = self._flush_compile(task)
+                # Continue the requesting client's trace: the task
+                # carries the http.<route> span context through the
+                # batcher, and the pipeline's compile spans nest here.
+                with span(
+                    "service.compile",
+                    attrs={"signature": task.signature[:16]},
+                    parent=task.payload.get("trace"),
+                ):
+                    results[task.signature] = self._flush_compile(task)
             # One engine invocation per distinct option set: the
             # engine's knobs (plan, verify, ...) are batch-wide.
             groups: dict[tuple, list[BatchTask]] = {}
@@ -480,16 +615,34 @@ class ProfilingService:
                     )
                     for task in group
                 ]
-                report = run_batch(
-                    items,
-                    plan=plan,
-                    mode="serial",
-                    cache=self.cache,
-                    verify=verify,
-                    loop_variance=loop_variance,
-                    max_steps=max_steps,
-                    should_stop=self._abort_flush.is_set,
+                # A single-request group keeps exact trace ancestry;
+                # a coalesced group parents to the flush span and
+                # records the member signatures instead.
+                parent = (
+                    group[0].payload.get("trace")
+                    if len(group) == 1
+                    else None
                 )
+                with span(
+                    "service.profile",
+                    attrs={
+                        "items": len(items),
+                        "signatures": ",".join(
+                            task.signature[:16] for task in group[:8]
+                        ),
+                    },
+                    parent=parent,
+                ):
+                    report = run_batch(
+                        items,
+                        plan=plan,
+                        mode="serial",
+                        cache=self.cache,
+                        verify=verify,
+                        loop_variance=loop_variance,
+                        max_steps=max_steps,
+                        should_stop=self._abort_flush.is_set,
+                    )
                 for task, result in zip(group, report.results):
                     if result.ok:
                         results[task.signature] = {
@@ -517,7 +670,16 @@ class ProfilingService:
                                 type=result.error.type,
                             ),
                         }
+            self._publish_cache_snapshot()
         return results
+
+    def _publish_cache_snapshot(self) -> None:
+        """Publish a consistent copy of the cache counters.
+
+        Called with ``_cache_lock`` held; ``/metrics`` reads the
+        reference atomically instead of racing the flush thread.
+        """
+        self._cache_snapshot = self.cache.stats.as_dict()
 
     def _flush_compile(self, task: BatchTask) -> dict:
         from repro.checker import verify_program
@@ -652,6 +814,7 @@ class ProfilingService:
         }[loop_variance]
         with self._cache_lock:
             program, _tier = self.cache.compiled(source)
+            self._publish_cache_snapshot()
         return summarize_item(
             program, profile, _MODELS[model_name], loop_variance=spec
         )

@@ -1,0 +1,31 @@
+"""Fixtures isolating the process-global tracer and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RingBufferSink,
+    configure_tracing,
+    disable_tracing,
+    set_registry,
+)
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an empty metrics registry for the duration of a test."""
+    registry = MetricsRegistry()
+    old = set_registry(registry)
+    yield registry
+    set_registry(old)
+
+
+@pytest.fixture
+def ring():
+    """Enable tracing into a fresh ring buffer; disable afterwards."""
+    sink = RingBufferSink()
+    configure_tracing(sink)
+    yield sink
+    disable_tracing()

@@ -1,0 +1,89 @@
+"""The ``repro trace`` command and the ``--trace-out`` flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "paper.mft"
+    path.write_text(PAPER_SOURCE)
+    return str(path)
+
+
+class TestTraceCommand:
+    def test_prints_nested_latency_tree(self, source_file, capsys):
+        assert main(["trace", source_file]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "compile.parse",
+            "compile.fcdg",
+            "plan.smart",
+            "check.verify",
+            "profile.run",
+            "analyze",
+        ):
+            assert stage in out
+        assert "└─" in out  # actual tree structure, not a flat list
+        assert "total" in out and "self" in out
+        assert "root(s)" in out
+
+    def test_builtin_name_fallback(self, capsys):
+        # examples/paper is not a file: resolves to the built-in
+        assert main(["trace", "examples/paper"]) == 0
+        out = capsys.readouterr().out
+        assert "target=builtin:paper" in out
+        assert "compile.parse" in out
+
+    def test_unknown_target_fails_cleanly(self, capsys):
+        assert main(["trace", "examples/nonexistent"]) == 1
+        err = capsys.readouterr().err
+        assert "no built-in workload" in err
+
+    def test_trace_out_writes_jsonl(self, source_file, tmp_path, capsys):
+        out_path = tmp_path / "spans.jsonl"
+        assert main(["trace", source_file, "--trace-out", str(out_path)]) == 0
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().strip().splitlines()
+        ]
+        names = {record["name"] for record in records}
+        assert "trace" in names
+        assert "compile" in names
+        roots = [r for r in records if r["parent_id"] is None]
+        assert len(roots) == 1
+        assert all(r["duration"] >= 0 for r in records)
+
+    def test_naive_plan_and_runs_flags(self, source_file, capsys):
+        assert main(["trace", source_file, "--plan", "naive",
+                     "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan.naive" in out
+
+    def test_tracing_disabled_after_command(self, source_file, capsys):
+        from repro.obs import tracer
+
+        assert main(["trace", source_file]) == 0
+        assert tracer().enabled is False
+
+
+class TestBatchTraceOut:
+    def test_batch_spans_jsonl(self, source_file, tmp_path, capsys):
+        out_path = tmp_path / "batch.jsonl"
+        assert main([
+            "batch", source_file, "--mode", "serial",
+            "--trace-out", str(out_path),
+        ]) == 0
+        names = {
+            json.loads(line)["name"]
+            for line in out_path.read_text().strip().splitlines()
+        }
+        assert "batch" in names
+        assert "batch.item" in names
+        assert "compile" in names

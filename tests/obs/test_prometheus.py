@@ -1,0 +1,109 @@
+"""Prometheus text-exposition rendering, pinned by a golden file."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
+from repro.obs.prometheus import _format_value
+
+pytestmark = pytest.mark.obs
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A fixed registry exercising every exposition feature.
+
+    Regenerate the golden file after an intentional format change with::
+
+        PYTHONPATH=src:tests python -c "
+        from obs.test_prometheus import build_reference_registry, GOLDEN
+        from repro.obs import render_prometheus
+        GOLDEN.write_text(render_prometheus(build_reference_registry()))"
+    """
+    reg = MetricsRegistry()
+    requests = reg.counter(
+        "repro_requests_total",
+        "Requests by route and status.",
+        labels=("route", "status"),
+    )
+    # insertion order differs from label-value sort order on purpose
+    requests.inc(3, route="/profile", status="200")
+    requests.inc(route="/compile", status="422")
+    requests.inc(12, route="/compile", status="200")
+
+    depth = reg.gauge("repro_queue_depth", "Admission-queue backlog.")
+    depth.set(7)
+    reg.gauge("repro_temperature")  # no help, no samples
+
+    ratio = reg.gauge("repro_hit_ratio", "Cache hit ratio.")
+    ratio.set(0.625)
+
+    weird = reg.counter(
+        "repro_escapes_total",
+        'Help with a backslash \\ and a\nnewline.',
+        labels=("path",),
+    )
+    weird.inc(path='C:\\temp\n"quoted"')
+
+    latency = reg.histogram(
+        "repro_request_seconds",
+        "Request latency.",
+        labels=("route",),
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.05, 0.5, 5.0):
+        latency.observe(value, route="/compile")
+    latency.observe(0.05, route="/profile")
+    return reg
+
+
+class TestGoldenFile:
+    def test_rendering_matches_golden(self):
+        assert render_prometheus(build_reference_registry()) == (
+            GOLDEN.read_text()
+        )
+
+    def test_golden_has_histogram_invariants(self):
+        text = GOLDEN.read_text()
+        assert '_bucket{route="/compile",le="+Inf"} 4' in text
+        assert 'repro_request_seconds_count{route="/compile"} 4' in text
+        assert "# TYPE repro_request_seconds histogram" in text
+
+
+class TestFormat:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_content_type_is_version_0_0_4(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+        assert CONTENT_TYPE.startswith("text/plain")
+
+    def test_value_formatting(self):
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.625) == "0.625"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+
+    def test_label_escaping_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("p",)).inc(p='a"b\\c\nd')
+        text = render_prometheus(reg)
+        assert 'm{p="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_help_line_omitted_when_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("no_help").inc()
+        text = render_prometheus(reg)
+        assert "# HELP" not in text
+        assert "# TYPE no_help counter" in text
+
+    def test_series_ordering_is_deterministic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", labels=("k",))
+        c.inc(k="zebra")
+        c.inc(k="apple")
+        text = render_prometheus(reg)
+        assert text.index('k="apple"') < text.index('k="zebra"')

@@ -1,0 +1,246 @@
+"""Span mechanics: nesting, ids, sinks, propagation, no-op path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    RingBufferSink,
+    configure_tracing,
+    current_context,
+    disable_tracing,
+    format_traceparent,
+    parse_traceparent,
+    span,
+    traced,
+    tracer,
+)
+from repro.obs.trace import _NULL_SPAN
+
+pytestmark = pytest.mark.obs
+
+
+class TestNesting:
+    def test_parent_child_ids(self, ring):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                pass
+        records = {r.name: r for r in ring.drain()}
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["inner"].trace_id == records["outer"].trace_id
+        assert records["outer"].parent_id is None
+        assert outer.record.span_id != inner.record.span_id
+
+    def test_siblings_share_parent(self, ring):
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        records = {r.name: r for r in ring.drain()}
+        assert records["a"].parent_id == records["root"].span_id
+        assert records["b"].parent_id == records["root"].span_id
+        assert records["a"].span_id != records["b"].span_id
+
+    def test_separate_roots_get_separate_traces(self, ring):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        first, second = ring.drain()
+        assert first.trace_id != second.trace_id
+
+    def test_durations_nest(self, ring):
+        with span("outer"):
+            with span("inner"):
+                pass
+        records = {r.name: r for r in ring.drain()}
+        assert records["outer"].duration >= records["inner"].duration >= 0
+
+    def test_explicit_parent_override(self, ring):
+        context = ("ab" * 16, "cd" * 8)
+        with span("adopted", parent=context):
+            pass
+        (record,) = ring.drain()
+        assert record.trace_id == context[0]
+        assert record.parent_id == context[1]
+
+    def test_attach_adopts_context_in_thread(self, ring):
+        with span("request"):
+            context = current_context()
+        results = []
+
+        def worker():
+            with tracer().attach(context):
+                with span("thread-work"):
+                    pass
+            results.append(True)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        records = {r.name: r for r in ring.drain()}
+        assert results == [True]
+        assert (
+            records["thread-work"].parent_id == records["request"].span_id
+        )
+
+
+class TestAttrsAndErrors:
+    def test_attrs_at_creation_and_set_attr(self, ring):
+        with span("work", attrs={"items": 3}) as sp:
+            sp.set_attr(tier="memory")
+        (record,) = ring.drain()
+        assert record.attrs == {"items": 3, "tier": "memory"}
+
+    def test_exception_is_recorded_and_propagates(self, ring):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        (record,) = ring.drain()
+        assert record.error == "ValueError: boom"
+        assert record.end >= record.start
+
+    def test_broken_sink_never_fails_the_work(self):
+        class BadSink:
+            def on_end(self, record):
+                raise RuntimeError("sink is broken")
+
+        good = RingBufferSink()
+        configure_tracing(BadSink(), good)
+        try:
+            with span("survives"):
+                pass
+        finally:
+            disable_tracing()
+        assert [r.name for r in good.drain()] == ["survives"]
+
+
+class TestDisabledFastPath:
+    def test_disabled_returns_shared_null_span(self):
+        disable_tracing()
+        assert span("anything") is _NULL_SPAN
+        assert span("other", attrs={"x": 1}) is _NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        disable_tracing()
+        with span("ignored") as sp:
+            sp.set_attr(whatever=1)
+        assert current_context() is None
+
+    def test_disable_drops_sinks(self, ring):
+        disable_tracing()
+        with span("after-disable"):
+            pass
+        assert ring.drain() == []
+
+
+class TestDecorator:
+    def test_traced_records_qualname_by_default(self, ring):
+        @traced()
+        def compute(x):
+            return x * 2
+
+        assert compute(21) == 42
+        (record,) = ring.drain()
+        assert record.name.endswith("compute")
+
+    def test_traced_with_name_and_attrs(self, ring):
+        @traced("custom.stage", kind="test")
+        def helper():
+            return "ok"
+
+        assert helper() == "ok"
+        (record,) = ring.drain()
+        assert record.name == "custom.stage"
+        assert record.attrs == {"kind": "test"}
+
+
+class TestSinks:
+    def test_ring_buffer_bounds_capacity(self):
+        sink = RingBufferSink(capacity=4)
+        configure_tracing(sink)
+        try:
+            for i in range(10):
+                with span(f"s{i}"):
+                    pass
+        finally:
+            disable_tracing()
+        names = [r.name for r in sink.drain()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert sink.drain() == []  # drain empties the buffer
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path)
+        configure_tracing(sink)
+        try:
+            with span("outer", attrs={"n": 1}):
+                with span("inner"):
+                    pass
+        finally:
+            disable_tracing()
+            sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert [rec["name"] for rec in lines] == ["inner", "outer"]
+        outer = lines[1]
+        assert outer["attrs"] == {"n": 1}
+        assert lines[0]["parent_id"] == outer["span_id"]
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        from repro.obs import SpanRecord
+
+        sink = JsonlSink(tmp_path / "spans.jsonl")
+        sink.close()
+        sink.close()
+        # writes after close are dropped, not an error
+        sink.on_end(
+            SpanRecord(
+                name="late",
+                trace_id="ab" * 16,
+                span_id="cd" * 8,
+                parent_id=None,
+                start=0.0,
+                end=1.0,
+            )
+        )
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = ("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+        header = format_traceparent(context)
+        assert header == (
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+        )
+        assert parse_traceparent(header) == context
+
+    def test_parse_rejects_garbage(self):
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+        assert parse_traceparent("not-a-header") is None
+        assert parse_traceparent("00-abc-def-01") is None  # wrong lengths
+        assert parse_traceparent("00-" + "z" * 32 + "-" + "a" * 16 + "-01") is None
+        assert (
+            parse_traceparent("00-" + "0" * 32 + "-" + "a" * 16 + "-01")
+            is None
+        )  # all-zero trace id
+        assert (
+            parse_traceparent("00-" + "a" * 32 + "-" + "0" * 16 + "-01")
+            is None
+        )  # all-zero span id
+
+    def test_parse_lowercases(self):
+        header = "00-" + "AB" * 16 + "-" + "CD" * 8 + "-01"
+        assert parse_traceparent(header) == ("ab" * 16, "cd" * 8)
+
+    def test_current_context_flows_into_header(self, ring):
+        with span("request"):
+            context = current_context()
+            header = format_traceparent(context)
+        assert parse_traceparent(header) == context

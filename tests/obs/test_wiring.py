@@ -1,0 +1,148 @@
+"""Instrumentation wiring: the pipeline, checker, cache and batch
+engine emit the documented spans and metrics."""
+
+import pytest
+
+from repro import (
+    analyze,
+    compile_source,
+    naive_program_plan,
+    profile_program,
+    smart_program_plan,
+)
+from repro.batch import BatchItem, run_batch
+from repro.batch.cache import ArtifactCache
+from repro.checker import check_source, verify_program
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.obs
+
+
+def span_names(ring):
+    return sorted({record.name for record in ring.drain()})
+
+
+class TestPipelineSpans:
+    def test_compile_emits_stage_spans(self, ring, fresh_registry):
+        compile_source(PAPER_SOURCE)
+        names = span_names(ring)
+        for expected in (
+            "compile",
+            "compile.parse",
+            "compile.cfg",
+            "compile.ecfg",
+            "compile.fcdg",
+            "compile.callgraph",
+        ):
+            assert expected in names
+        assert (
+            fresh_registry.get("repro_compile_total").value() == 1
+        )
+        assert fresh_registry.get("repro_compile_seconds").count() == 1
+
+    def test_stage_spans_nest_under_compile(self, ring, fresh_registry):
+        compile_source(PAPER_SOURCE)
+        records = {r.name: r for r in ring.drain()}
+        root = records["compile"]
+        assert records["compile.fcdg"].parent_id == root.span_id
+        assert records["compile.fcdg"].trace_id == root.trace_id
+
+    def test_plan_profile_analyze_spans(self, ring, fresh_registry):
+        program = compile_source(PAPER_SOURCE)
+        smart_program_plan(program)
+        naive_program_plan(program)
+        profile, _ = profile_program(program, runs=2)
+        analyze(program, profile)
+        names = span_names(ring)
+        for expected in (
+            "plan.smart",
+            "plan.naive",
+            "profile",
+            "profile.run",
+            "profile.reconstruct",
+            "analyze",
+        ):
+            assert expected in names
+        plans = fresh_registry.get("repro_plan_builds_total")
+        assert plans.value(kind="smart") == 2  # profile_program re-plans
+        assert plans.value(kind="naive") == 1
+        assert fresh_registry.get("repro_profile_runs_total").value() == 2
+
+
+class TestCheckerSpans:
+    def test_verify_program_spans_and_outcome(self, ring, fresh_registry):
+        program = compile_source(PAPER_SOURCE)
+        plan = smart_program_plan(program)
+        report = verify_program(program, plan, program_id="paper")
+        names = span_names(ring)
+        assert "check.verify" in names
+        assert "check.structure" in names
+        assert "check.plan" in names
+        assert not report.errors
+        checks = fresh_registry.get("repro_checks_total")
+        assert checks.value(outcome="clean") == 1
+        assert checks.value(outcome="errors") == 0
+
+    def test_check_source_includes_lint_span(self, ring, fresh_registry):
+        check_source(PAPER_SOURCE, program_id="paper")
+        names = span_names(ring)
+        assert "check" in names
+        assert "check.lint" in names
+
+
+class TestCacheMetrics:
+    def test_lookup_tiers_are_counted(self, fresh_registry):
+        cache = ArtifactCache(None)
+        cache.artifacts(PAPER_SOURCE, "smart")
+        cache.artifacts(PAPER_SOURCE, "smart")
+        lookups = fresh_registry.get("repro_cache_lookups_total")
+        assert lookups.value(tier="miss") == 1
+        assert lookups.value(tier="memory") == 1
+        assert lookups.value(tier="disk") == 0
+
+
+class TestBatchEngine:
+    def test_serial_batch_spans_and_counters(self, ring, fresh_registry):
+        items = [
+            BatchItem(id="a", source=PAPER_SOURCE),
+            BatchItem(id="broken", source="NOT MINIFORT\n"),
+        ]
+        report = run_batch(items, mode="serial")
+        names = span_names(ring)
+        assert "batch" in names
+        assert "batch.item" in names
+        assert "batch.analyze" in names
+        assert len(report.ok) == 1
+        outcomes = fresh_registry.get("repro_batch_items_total")
+        assert outcomes.value(status="ok") == 1
+        assert outcomes.value(status="compile") == 1
+        assert (
+            fresh_registry.get("repro_batches_total").value(mode="serial")
+            == 1
+        )
+        assert fresh_registry.get("repro_batch_seconds").count() == 1
+
+    def test_item_span_records_cache_tier(self, ring, fresh_registry):
+        run_batch(
+            [
+                BatchItem(id="x", source=PAPER_SOURCE),
+                BatchItem(id="y", source=PAPER_SOURCE),
+            ],
+            mode="serial",
+        )
+        tiers = [
+            record.attrs.get("cache_tier")
+            for record in ring.drain()
+            if record.name == "batch.item"
+        ]
+        assert sorted(tiers) == ["compiled", "memory"]
+
+
+class TestDisabledOverheadPath:
+    def test_pipeline_works_with_tracing_off(self, fresh_registry):
+        # no ring fixture: tracing stays disabled; metrics still count
+        program = compile_source(PAPER_SOURCE)
+        profile, _ = profile_program(program, runs=1)
+        analysis = analyze(program, profile)
+        assert analysis.total_time > 0
+        assert fresh_registry.get("repro_compile_total").value() == 1
