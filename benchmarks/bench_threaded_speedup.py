@@ -1,0 +1,151 @@
+"""Threaded-backend speedup over the reference interpreter.
+
+The tentpole claim of the threaded backend (ISSUE 5): compiling CFGs
+to specialized closures with flat counter arrays makes runs ≥3x faster
+than the tree-walking interpreter while producing bit-identical
+``RunResult`` counts.  This benchmark measures that ratio on the
+standard workloads — plain runs and smart-plan profiled runs — and
+emits both a human table and a machine-readable
+``benchmarks/results/BENCH_threaded.json`` so later PRs have a perf
+baseline to diff against.
+
+The gate is ``REPRO_SPEEDUP_GATE`` (default 3.0; CI uses 2.0 as a
+jitter margin) applied to the *minimum* speedup across workloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import SCALAR_MACHINE, smart_program_plan
+from repro.pipeline import run_program
+from repro.profiling import PlanExecutor
+from repro.report import format_table
+
+from conftest import RESULTS_DIR, publish
+
+REPS = 3
+
+#: Iterate tiny workloads inside one timing sample so a 61-step
+#: program is not measured against clock granularity and noise.
+TARGET_STEPS_PER_SAMPLE = 20_000
+
+
+def _time_run(program, backend: str, *, plan=None, seed: int = 0):
+    """Best-of-REPS per-run wall time and the last run's result."""
+    probe = run_program(program, seed=seed, backend=backend)
+    iterations = max(1, TARGET_STEPS_PER_SAMPLE // max(1, probe.steps))
+    best = float("inf")
+    result = None
+    for _ in range(REPS):
+        hooks = PlanExecutor(plan) if plan is not None else None
+        start = time.perf_counter()
+        for _ in range(iterations):
+            result = run_program(
+                program,
+                hooks=hooks,
+                model=SCALAR_MACHINE,
+                seed=seed,
+                backend=backend,
+            )
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best, result
+
+
+def _comparable(result):
+    return (
+        result.halted,
+        result.steps,
+        result.outputs,
+        result.total_cost,
+        result.counter_ops,
+        result.counter_cost,
+        result.node_counts,
+        result.edge_counts,
+        result.call_counts,
+    )
+
+
+def test_threaded_speedup(paper_program, loops_program, simple_program):
+    gate = float(os.environ.get("REPRO_SPEEDUP_GATE", "3.0"))
+    workloads = {
+        "paper": paper_program,
+        "livermore": loops_program,
+        "simple": simple_program,
+    }
+    rows = []
+    records = {}
+    for name, program in workloads.items():
+        plan = smart_program_plan(program)
+        record = {}
+        for mode, mode_plan in (("plain", None), ("profiled", plan)):
+            ref_time, ref_result = _time_run(
+                program, "reference", plan=mode_plan
+            )
+            thr_time, thr_result = _time_run(
+                program, "threaded", plan=mode_plan
+            )
+            # The speedup only counts if the answers are identical.
+            assert _comparable(thr_result) == _comparable(ref_result), (
+                name, mode,
+            )
+            speedup = ref_time / thr_time
+            record[mode] = {
+                "reference_seconds": ref_time,
+                "threaded_seconds": thr_time,
+                "speedup": speedup,
+                "steps": ref_result.steps,
+                "threaded_steps_per_second": ref_result.steps / thr_time,
+            }
+            rows.append(
+                [
+                    name,
+                    mode,
+                    ref_result.steps,
+                    f"{ref_time * 1e3:.1f}",
+                    f"{thr_time * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                    f"{ref_result.steps / thr_time:,.0f}",
+                ]
+            )
+        records[name] = record
+
+    table = format_table(
+        [
+            "workload",
+            "mode",
+            "steps",
+            "reference ms",
+            "threaded ms",
+            "speedup",
+            "threaded steps/s",
+        ],
+        rows,
+        title="threaded backend vs reference interpreter "
+        f"(best of {REPS}, scalar model)",
+    )
+    publish("threaded_speedup", table)
+
+    worst = min(
+        record[mode]["speedup"]
+        for record in records.values()
+        for mode in record
+    )
+    payload = {
+        "benchmark": "bench_threaded_speedup",
+        "reps": REPS,
+        "model": "scalar",
+        "gate": gate,
+        "min_speedup": worst,
+        "workloads": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_threaded.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    assert worst >= gate, (
+        f"threaded backend speedup {worst:.2f}x below the "
+        f"{gate:.1f}x gate"
+    )

@@ -25,6 +25,7 @@ Quick start::
 from repro import pipeline
 from repro.costs import OPTIMIZING_MACHINE, SCALAR_MACHINE, MachineModel
 from repro.pipeline import (
+    BACKENDS,
     CompiledProgram,
     analyze,
     compile_source,
@@ -42,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "pipeline",
+    "BACKENDS",
     "CompiledProgram",
     "compile_source",
     "run_program",

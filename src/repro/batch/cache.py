@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
+from repro.fastexec import backend_for
 from repro.obs import metrics
 from repro.pipeline import (
     CompiledProgram,
@@ -42,7 +43,8 @@ from repro.pipeline import (
 from repro.profiling import ProgramPlan
 
 #: Bump when the pickled artifact layout changes incompatibly.
-CACHE_FORMAT = 1
+#: 2: programs carry their threaded-backend shell (``_threaded``).
+CACHE_FORMAT = 2
 
 _PLAN_BUILDERS = {
     "smart": smart_program_plan,
@@ -62,6 +64,19 @@ class CachedArtifacts:
 
     program: CompiledProgram
     plans: dict[str, ProgramPlan] = field(default_factory=dict)
+
+
+def _compile_entry(source: str) -> CachedArtifacts:
+    """Compile a source and attach its threaded-backend shell.
+
+    The backend pickles as a thin shell sharing the program's checked
+    AST and CFGs via the pickle memo (closures re-lower lazily per
+    process), so cached entries serve the fast backend too: within a
+    process, memory-tier hits share the already-lowered closures.
+    """
+    program = compile_source(source)
+    backend_for(program)
+    return CachedArtifacts(program=program)
 
 
 @dataclass
@@ -136,7 +151,7 @@ class ArtifactCache:
         key = source_key(source)
         entry, tier = self._lookup(key)
         if entry is None:
-            entry = CachedArtifacts(program=compile_source(source))
+            entry = _compile_entry(source)
             tier = "compiled"
             self.stats.misses += 1
             self._remember(key, entry)
@@ -151,7 +166,7 @@ class ArtifactCache:
         key = source_key(source)
         entry, tier = self._lookup(key)
         if entry is None:
-            entry = CachedArtifacts(program=compile_source(source))
+            entry = _compile_entry(source)
             tier = "compiled"
             self.stats.misses += 1
             self._remember(key, entry)

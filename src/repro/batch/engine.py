@@ -57,6 +57,8 @@ class BatchOptions:
     max_steps: int = 10_000_000
     #: Run the artifact verifier on every item before profiling.
     verify: bool = False
+    #: Execution engine per ``run_program``: auto/threaded/reference.
+    backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -205,6 +207,7 @@ def _profile_one_inner(
             model=options.model,
             record_loop_moments=options.loop_variance == "profiled",
             max_steps=options.max_steps,
+            backend=options.backend,
         )
     except Exception as exc:
         result.error = BatchError("profile", type(exc).__name__, str(exc))
@@ -298,6 +301,7 @@ def run_batch(
     loop_variance: str = "zero",
     max_steps: int = 10_000_000,
     verify: bool = False,
+    backend: str = "auto",
     should_stop=None,
 ) -> BatchReport:
     """Profile every item; never let one bad program sink the batch.
@@ -324,6 +328,7 @@ def run_batch(
         loop_variance=loop_variance,
         max_steps=max_steps,
         verify=verify,
+        backend=backend,
     )
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs = max(1, jobs)

@@ -28,6 +28,7 @@ from repro.checker.diagnostics import (
 )
 from repro.checker.lint import lint_program
 from repro.checker.plans import check_program_plan
+from repro.checker.slots import check_slot_tables
 from repro.checker.structure import check_structure
 from repro.checker.verify import check_source, verify_program
 
@@ -38,6 +39,7 @@ __all__ = [
     "Severity",
     "diag",
     "check_program_plan",
+    "check_slot_tables",
     "check_source",
     "check_structure",
     "lint_program",

@@ -10,7 +10,9 @@ suite) can match on codes rather than message text:
   / FCDG);
 * ``REP2xx`` — counter-plan soundness (flow conservation, derivability,
   Opt-3 preconditions);
-* ``REP3xx`` — minifort source lints (dataflow findings and hints).
+* ``REP3xx`` — minifort source lints (dataflow findings and hints);
+* ``REP4xx`` — counter-slot tables (the threaded backend's lowered
+  update sites must map one-to-one onto the plan's measured counters).
 
 A :class:`Diagnostic` carries the code, a severity, a human-readable
 message and an optional source span (procedure, node, line).  A
@@ -64,6 +66,11 @@ CODES: dict[str, tuple[Severity, str]] = {
     "REP303": (Severity.WARNING, "DO index mutated inside loop"),
     "REP304": (Severity.INFO, "program has no STOP statement"),
     "REP305": (Severity.INFO, "non-constant trip disables Opt-3 elision"),
+    # REP4xx — counter-slot tables (threaded-backend lowering)
+    "REP401": (Severity.ERROR, "slot written but backs no measured counter"),
+    "REP402": (Severity.ERROR, "measured counter has no update site"),
+    "REP403": (Severity.ERROR, "slot written by multiple update sites"),
+    "REP404": (Severity.ERROR, "slot outside the dense counter id space"),
 }
 
 

@@ -49,7 +49,7 @@ from repro.profiling.placement import (
 
 
 def check_program_plan(program, plan) -> list[Diagnostic]:
-    """All REP2xx findings for one :class:`ProgramPlan`."""
+    """All plan findings (REP2xx + REP4xx) for one :class:`ProgramPlan`."""
     findings: list[Diagnostic] = []
     plan_procs = set(plan.plans)
     program_procs = set(program.cfgs)
@@ -67,6 +67,11 @@ def check_program_plan(program, plan) -> list[Diagnostic]:
         )
     for name in sorted(plan_procs & program_procs):
         findings.extend(_check_procedure_plan(program, name, plan.plans[name]))
+    # REP4xx: the dense slot tables the threaded backend lowers the
+    # plan to must stay one-to-one with the measured counter set.
+    from repro.checker.slots import check_slot_tables
+
+    findings.extend(check_slot_tables(plan))
     return findings
 
 

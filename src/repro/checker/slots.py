@@ -1,0 +1,37 @@
+"""REP4xx: counter-slot-table validation (threaded-backend lowering).
+
+The threaded backend lowers every counter plan to dense slot tables
+(:mod:`repro.fastexec.plans`); a table is sound when each measured
+counter is written by exactly one runtime site and every written slot
+backs a measured counter.  This module turns the lowering's
+:class:`~repro.fastexec.plans.SlotFault` records into stable checker
+diagnostics so broken tables are caught by the same gate (``repro
+check``, cache ``verify_loads``, batch ``--verify``) as every other
+artifact defect.
+"""
+
+from __future__ import annotations
+
+from repro.checker.diagnostics import Diagnostic, diag
+from repro.fastexec.plans import lower_counter_plan, validate_slot_table
+
+#: SlotFault.kind -> diagnostic code.
+_FAULT_CODES = {
+    "orphan": "REP401",
+    "unmapped": "REP402",
+    "duplicate": "REP403",
+    "range": "REP404",
+}
+
+
+def check_slot_tables(plan) -> list[Diagnostic]:
+    """All REP4xx findings for one :class:`ProgramPlan`."""
+    findings: list[Diagnostic] = []
+    for name in sorted(plan.plans):
+        proc_plan = plan.plans[name]
+        table = lower_counter_plan(proc_plan)
+        for fault in validate_slot_table(proc_plan, table):
+            findings.append(
+                diag(_FAULT_CODES[fault.kind], fault.detail, proc=name)
+            )
+    return findings

@@ -33,6 +33,7 @@ import sys
 from pathlib import Path
 
 from repro import (
+    BACKENDS,
     OPTIMIZING_MACHINE,
     SCALAR_MACHINE,
     analyze,
@@ -113,6 +114,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         model=_MODELS[args.model],
         max_steps=args.max_steps,
+        backend=args.backend,
     )
     for line in result.outputs:
         print(line)
@@ -144,6 +146,7 @@ def _cmd_profile(args) -> int:
         plan=plan,
         model=_MODELS[args.model],
         record_loop_moments=args.loop_moments,
+        backend=args.backend,
     )
     print(
         format_table(
@@ -449,6 +452,7 @@ def _cmd_batch(args) -> int:
             cache=args.cache,
             max_steps=args.max_steps,
             verify=args.verify,
+            backend=args.backend,
         )
 
     rows = []
@@ -732,6 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--model", choices=sorted(_MODELS), default="scalar")
     p_run.add_argument("--max-steps", type=int, default=10_000_000)
+    p_run.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto",
+        help="execution engine (default: auto — threaded with fallback)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_profile = sub.add_parser(
@@ -750,6 +758,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--loop-moments", action="store_true",
         help="record E[FREQ^2] per loop",
+    )
+    p_profile.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto",
+        help="execution engine (default: auto — threaded with fallback)",
     )
     p_profile.set_defaults(func=_cmd_profile)
 
@@ -841,6 +853,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--verify", action="store_true",
         help="run the artifact verifier on every item before profiling",
+    )
+    p_batch.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto",
+        help="execution engine (default: auto — threaded with fallback)",
     )
     p_batch.add_argument(
         "--json", metavar="PATH",

@@ -1,0 +1,35 @@
+"""Direct-threaded execution backend (see docs/threaded_backend.md).
+
+Compiles checked CFGs into arrays of specialized closures driven by an
+index trampoline, with counter plans fused in as flat-array bumps.
+Produces :class:`repro.interp.RunResult` objects bit-identical to the
+reference interpreter's, several times faster.
+"""
+
+from repro.fastexec.backend import (
+    ThreadedBackend,
+    UnsupportedHooksError,
+    backend_for,
+)
+from repro.fastexec.exprs import LoweringError
+from repro.fastexec.plans import (
+    ProcSlotTable,
+    SlotFault,
+    lower_counter_plan,
+    plan_fingerprint,
+    plan_slot_tables,
+    validate_slot_table,
+)
+
+__all__ = [
+    "LoweringError",
+    "ProcSlotTable",
+    "SlotFault",
+    "ThreadedBackend",
+    "UnsupportedHooksError",
+    "backend_for",
+    "lower_counter_plan",
+    "plan_fingerprint",
+    "plan_slot_tables",
+    "validate_slot_table",
+]

@@ -1,0 +1,366 @@
+"""The threaded execution backend: trampoline + compiled op tables.
+
+A :class:`ThreadedBackend` owns one program's lowered form.  Lowering
+happens once (lazily, under a ``compile.lower`` span); every
+subsequent run resets flat count arrays in place and drives the
+trampoline
+
+    while idx >= 0:
+        idx = ops[idx](env)
+
+over the compiled closures.  Per counter plan, a second op table is
+compiled (and cached by content fingerprint) with the plan's bumps
+fused into exactly the instrumented ops, so profiled runs pay a list
+index and an in-place add per counter event — nothing else.
+
+The backend produces :class:`RunResult` objects bit-identical to the
+reference interpreter's: same counts, same float accumulation order
+for ``total_cost``/``counter_cost``, same error messages from the same
+program states.  It is deliberately *not* reentrant (compiled closures
+write backend-owned boxes), matching the batch engine's and service's
+one-run-at-a-time execution model.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.costs.estimate import CostEstimator
+from repro.errors import InterpreterError, InterpreterLimitError
+from repro.fastexec.exprs import LoweringError
+from repro.fastexec.lower import (
+    ThreadedProc,
+    build_ops,
+    compile_procedure,
+    make_threaded_proc,
+)
+from repro.fastexec.plans import lower_counter_plan, plan_fingerprint
+from repro.interp.intrinsics import IntrinsicRuntime
+from repro.interp.machine import RunResult, _ProgramHalt
+from repro.interp.values import Cell, ElementRef, FortranArray
+from repro.obs import metrics, span
+from repro.profiling.runtime import PlanExecutor
+
+
+class UnsupportedHooksError(LoweringError):
+    """The hooks object needs the reference interpreter's event stream."""
+
+
+class _LoweredPlan:
+    """One counter plan's compiled form: flat counts + fused op tables."""
+
+    __slots__ = ("counts", "tables")
+
+    def __init__(self, counts, tables):
+        self.counts = counts
+        self.tables = tables
+
+
+class ThreadedBackend:
+    """Compiled execution engine for one checked program."""
+
+    def __init__(self, checked, cfgs):
+        self.checked = checked
+        self.cfgs = cfgs
+        self._reset_compiled()
+
+    def _reset_compiled(self) -> None:
+        self._procs: dict[str, ThreadedProc] | None = None
+        self._proc_list: list[ThreadedProc] = []
+        self._plan_tables: dict[tuple, _LoweredPlan] = {}
+        self._costs_cache: dict[int, tuple] = {}
+        self._lower_error: LoweringError | None = None
+        # Mutable run-state boxes, captured by the compiled closures.
+        self._steps = [0]
+        self._outputs: list[str] = []
+        self._intr = [None]
+        self._cost = [0.0]
+        self._ops_box = [0]
+        self._ccost_box = [0.0]
+        self._cupd_box = [0.0]
+        self._depth = 0
+        self._max_steps = 0
+        self._max_depth = 0
+
+    # -- pickling: ship the shell, re-lower on the other side ----------
+
+    def __getstate__(self):
+        # Closures don't pickle; the sources of truth (checked program
+        # + CFGs) do, and they are shared with the owning
+        # CompiledProgram via the pickle memo, so the artifact cache
+        # stores the backend almost for free.
+        return {"checked": self.checked, "cfgs": self.cfgs}
+
+    def __setstate__(self, state):
+        self.checked = state["checked"]
+        self.cfgs = state["cfgs"]
+        self._reset_compiled()
+
+    # -- lowering ------------------------------------------------------
+
+    def ensure_lowered(self) -> None:
+        """Compile the program if not done yet; raises LoweringError
+        (memoized) when the program cannot be lowered faithfully."""
+        if self._procs is not None:
+            return
+        if self._lower_error is not None:
+            raise self._lower_error
+        started = time.perf_counter()
+        try:
+            with span("compile.lower") as lower_span:
+                procs: dict[str, ThreadedProc] = {}
+                for index, (name, cfg) in enumerate(self.cfgs.items()):
+                    procs[name] = make_threaded_proc(
+                        self.checked, name, cfg, index
+                    )
+                # Layouts for every procedure must exist before any
+                # call site compiles, so this is a second pass.
+                self._procs = procs
+                self._proc_list = list(procs.values())
+                for tp in self._proc_list:
+                    compile_procedure(self, tp)
+                lower_span.set_attr(
+                    procedures=len(procs),
+                    nodes=sum(len(tp.node_ids) for tp in self._proc_list),
+                )
+        except LoweringError as exc:
+            self._procs = None
+            self._proc_list = []
+            self._lower_error = exc
+            metrics.counter(
+                "repro_backend_lowerings_total",
+                "Threaded-backend compile passes.",
+                labels=("outcome",),
+            ).inc(outcome="fallback")
+            raise
+        metrics.counter(
+            "repro_backend_lowerings_total",
+            "Threaded-backend compile passes.",
+            labels=("outcome",),
+        ).inc(outcome="ok")
+        metrics.histogram(
+            "repro_backend_lower_seconds",
+            "Threaded-backend lowering latency in seconds.",
+        ).observe(time.perf_counter() - started)
+
+    def _lowered_plan(self, plan) -> _LoweredPlan:
+        fingerprint = plan_fingerprint(plan)
+        lowered = self._plan_tables.get(fingerprint)
+        if lowered is None:
+            counts = {
+                name: [0.0] * p.id_space for name, p in plan.plans.items()
+            }
+            tables = {}
+            for name, tp in self._procs.items():
+                proc_plan = plan.plans.get(name)
+                if proc_plan is None:
+                    tables[name] = tp.plain_ops
+                else:
+                    tables[name] = build_ops(
+                        tp, self, lower_counter_plan(proc_plan), counts[name]
+                    )
+            lowered = _LoweredPlan(counts, tables)
+            self._plan_tables[fingerprint] = lowered
+        return lowered
+
+    def _costs_for(self, model):
+        entry = self._costs_cache.get(id(model))
+        # Keeping a strong reference to the model inside the cache
+        # entry keeps id(model) stable for its lifetime.
+        if entry is None or entry[0] is not model:
+            estimator = CostEstimator(self.checked, model)
+            costs = {}
+            for name, cfg in self.cfgs.items():
+                per_node = estimator.cfg_costs(cfg, name)
+                tp = self._procs[name]
+                costs[name] = [per_node[nid].local for nid in tp.node_ids]
+            entry = (model, costs)
+            self._costs_cache[id(model)] = entry
+        return entry[1]
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        *,
+        model=None,
+        hooks=None,
+        seed: int = 0,
+        inputs: tuple[float, ...] = (),
+        max_steps: int = 10_000_000,
+        max_depth: int = 200,
+        record_counts: bool = True,
+    ) -> RunResult:
+        """Execute the main PROGRAM unit once (reference-identical)."""
+        executor: PlanExecutor | None
+        if hooks is None:
+            executor = None
+        elif type(hooks) is PlanExecutor:
+            # Exact type: a subclass could override the hook methods,
+            # which fused counter bumps would silently not replicate.
+            executor = hooks
+        else:
+            raise UnsupportedHooksError(
+                f"threaded backend only supports PlanExecutor hooks, "
+                f"not {type(hooks).__name__}"
+            )
+        self.ensure_lowered()
+        lowered = self._lowered_plan(executor.plan) if executor else None
+        costs = self._costs_for(model) if model is not None else None
+
+        for tp in self._proc_list:
+            tp.active_ops = (
+                lowered.tables[tp.name] if lowered else tp.plain_ops
+            )
+            tp.active_costs = costs[tp.name] if costs else None
+            tp.call_box[0] = 0
+            tp.node_hits[:] = [0] * len(tp.node_hits)
+            tp.edge_hits[:] = [0] * len(tp.edge_hits)
+        if lowered:
+            for arr in lowered.counts.values():
+                arr[:] = [0.0] * len(arr)
+        self._steps[0] = 0
+        del self._outputs[:]
+        self._cost[0] = 0.0
+        self._ops_box[0] = 0
+        self._ccost_box[0] = 0.0
+        self._cupd_box[0] = model.counter_update if model is not None else 0.0
+        self._intr[0] = IntrinsicRuntime(seed=seed, inputs=inputs)
+        self._depth = 0
+        self._max_steps = max_steps
+        self._max_depth = max_depth
+
+        main_tp = self._procs[self.checked.unit.main.name]
+        env = self._make_main_env(main_tp)
+        halted = "end"
+        # Each compiled call frame costs a bounded number of Python
+        # frames; make sure our own max_depth limit fires first.
+        needed = max_depth * 40 + 200
+        old_limit = sys.getrecursionlimit()
+        if old_limit < needed:
+            sys.setrecursionlimit(needed)
+        try:
+            try:
+                self._exec(main_tp, env)
+            except _ProgramHalt:
+                halted = "stop"
+        finally:
+            if old_limit < needed:
+                sys.setrecursionlimit(old_limit)
+            # The reference updates executor counters live, so a run
+            # that raises must still leave the events recorded so far.
+            # Counts are exact small integers in float, so adding the
+            # per-run total equals the reference's per-event adds.
+            if executor is not None and lowered is not None:
+                for name, arr in lowered.counts.items():
+                    dest = executor.counters[name]
+                    for cid, value in enumerate(arr):
+                        if value:
+                            dest[cid] += value
+                executor.updates += self._ops_box[0]
+
+        result = RunResult()
+        result.halted = halted
+        result.steps = self._steps[0]
+        result.outputs = list(self._outputs)
+        result.total_cost = self._cost[0]
+        result.counter_ops = self._ops_box[0]
+        result.counter_cost = self._ccost_box[0]
+        for tp in self._proc_list:
+            if record_counts:
+                result.node_counts[tp.name] = {
+                    nid: hits
+                    for nid, hits in zip(tp.node_ids, tp.node_hits)
+                    if hits
+                }
+                result.edge_counts[tp.name] = {
+                    key: hits
+                    for key, hits in zip(tp.edge_keys, tp.edge_hits)
+                    if hits
+                }
+            else:
+                result.node_counts[tp.name] = {}
+                result.edge_counts[tp.name] = {}
+            result.call_counts[tp.name] = tp.call_box[0]
+        for vname in main_tp.names:
+            value = env[main_tp.layout[vname]]
+            if isinstance(value, (Cell, ElementRef)):
+                result.main_vars[vname] = value.value
+        return result
+
+    def _make_main_env(self, tp: ThreadedProc) -> list:
+        env: list = [None] * tp.env_size
+        for slot, type_ in tp.init_cells:
+            env[slot] = Cell(type_)
+        for slot, vname, type_, dims in tp.init_arrays:
+            env[slot] = FortranArray(vname, type_, dims)
+        return env
+
+    def _exec(self, tp: ThreadedProc, env: list) -> None:
+        tp.call_box[0] += 1
+        ops = tp.active_ops
+        hits = tp.node_hits
+        costs = tp.active_costs
+        steps = self._steps
+        max_steps = self._max_steps
+        idx = tp.entry_idx
+        if costs is None:
+            while idx >= 0:
+                n = steps[0] + 1
+                if n > max_steps:
+                    raise InterpreterLimitError(
+                        f"exceeded {max_steps} node executions"
+                    )
+                steps[0] = n
+                hits[idx] += 1
+                idx = ops[idx](env)
+        else:
+            cost = self._cost
+            while idx >= 0:
+                n = steps[0] + 1
+                if n > max_steps:
+                    raise InterpreterLimitError(
+                        f"exceeded {max_steps} node executions"
+                    )
+                steps[0] = n
+                hits[idx] += 1
+                cost[0] += costs[idx]
+                idx = ops[idx](env)
+
+    def _invoke(self, callee_index: int, binders: tuple, env: list):
+        """Run one compiled procedure call (closure-called, hot)."""
+        tp = self._proc_list[callee_index]
+        if self._depth >= self._max_depth:
+            raise InterpreterError(
+                f"call depth limit reached invoking {tp.name}"
+            )
+        callee_env: list = [None] * tp.env_size
+        for binder in binders:
+            binder(env, callee_env)
+        for slot, type_ in tp.init_cells:
+            callee_env[slot] = Cell(type_)
+        for slot, vname, type_, dims in tp.init_arrays:
+            callee_env[slot] = FortranArray(vname, type_, dims)
+        self._depth += 1
+        try:
+            self._exec(tp, callee_env)
+        finally:
+            self._depth -= 1
+        if tp.ret_slot is not None:
+            return callee_env[tp.ret_slot].value
+        return None
+
+
+def backend_for(program) -> ThreadedBackend:
+    """The (cached) threaded backend of a CompiledProgram.
+
+    The backend rides along as a ``_threaded`` attribute so the
+    content-hash artifact cache persists its shell with the program
+    (closures are rebuilt lazily per process; see ``__getstate__``).
+    """
+    backend = getattr(program, "_threaded", None)
+    if backend is None or backend.checked is not program.checked:
+        backend = ThreadedBackend(program.checked, program.cfgs)
+        program._threaded = backend
+    return backend

@@ -1,0 +1,315 @@
+"""Closure compilation of minifort expressions.
+
+Each AST expression lowers, once, to a Python closure ``f(env) ->
+value`` over the flat environment list of its procedure.  The closures
+replicate the reference interpreter's semantics *exactly* — evaluation
+order, type-check order, error messages, short-circuiting, truncating
+division and the Fortran power rules — so a threaded run is
+bit-identical to a reference run, just without the per-step
+``isinstance`` dispatch of the tree walker.
+
+Specializations applied at compile time (all semantics-preserving):
+
+* PARAMETER constants and literals fold to constant closures;
+* scalar reads become a single ``env[slot].value`` load;
+* binary operators whose operands are both simple (slot or constant)
+  collapse into one closure instead of three;
+* 1-D references to non-parameter arrays inline the bounds check and
+  the flat-list load (parameter arrays keep the generic path — their
+  runtime shape belongs to the caller);
+* intrinsics with no runtime state dispatch straight to their
+  implementation, skipping the name-matching chain.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InterpreterError
+from repro.lang import ast
+from repro.lang.symbols import INTRINSICS
+from repro.interp.intrinsics import _fortran_mod, _sign
+from repro.interp.machine import _fortran_pow, _trunc_div
+from repro.interp.values import FortranArray
+
+
+class LoweringError(Exception):
+    """The threaded backend cannot lower this program; fall back."""
+
+
+def compile_expr(expr: ast.Expr, ctx):
+    """Lower one expression to a closure over the procedure env."""
+    if isinstance(expr, (ast.IntLit, ast.RealLit, ast.LogicalLit, ast.StringLit)):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, ast.VarRef):
+        if expr.name in ctx.constants:
+            value = ctx.constants[expr.name]
+            return lambda env: value
+        slot = ctx.slot(expr.name)
+
+        def read(env, _s=slot):
+            return env[_s].value
+
+        return read
+    if isinstance(expr, ast.ArrayRef):
+        return compile_element_get(expr.name, expr.indices, expr.line, ctx)
+    if isinstance(expr, ast.FuncCall):
+        return _compile_call(expr, ctx)
+    if isinstance(expr, ast.Unary):
+        return _compile_unary(expr, ctx)
+    if isinstance(expr, ast.Binary):
+        return _compile_binary(expr, ctx)
+    raise LoweringError(f"cannot lower expression {expr!r}")
+
+
+def _operand_spec(expr: ast.Expr, ctx):
+    """("const", v) / ("slot", i) for trivially-readable operands."""
+    if isinstance(expr, (ast.IntLit, ast.RealLit)):
+        return ("const", expr.value)
+    if isinstance(expr, ast.VarRef):
+        if expr.name in ctx.constants:
+            return ("const", ctx.constants[expr.name])
+        info = ctx.table.lookup(expr.name)
+        if info is not None and not info.is_array:
+            return ("slot", ctx.slot(expr.name))
+    return None
+
+
+# Simple operators with no extra runtime checks: both operand orders
+# and types behave exactly like the reference's ``left <op> right``.
+def _mk_add(a, b):
+    return a + b
+
+
+def _mk_sub(a, b):
+    return a - b
+
+
+def _mk_mul(a, b):
+    return a * b
+
+
+def _mk_lt(a, b):
+    return a < b
+
+
+def _mk_le(a, b):
+    return a <= b
+
+
+def _mk_gt(a, b):
+    return a > b
+
+
+def _mk_ge(a, b):
+    return a >= b
+
+
+def _mk_eq(a, b):
+    return a == b
+
+
+def _mk_ne(a, b):
+    return a != b
+
+
+_SIMPLE_BINOPS = {
+    ast.BinOp.ADD: _mk_add,
+    ast.BinOp.SUB: _mk_sub,
+    ast.BinOp.MUL: _mk_mul,
+    ast.BinOp.LT: _mk_lt,
+    ast.BinOp.LE: _mk_le,
+    ast.BinOp.GT: _mk_gt,
+    ast.BinOp.GE: _mk_ge,
+    ast.BinOp.EQ: _mk_eq,
+    ast.BinOp.NE: _mk_ne,
+}
+
+
+def _compile_binary(expr: ast.Binary, ctx):
+    op = expr.op
+    line = expr.line
+    if op is ast.BinOp.AND:
+        left_f = compile_expr(expr.left, ctx)
+        right_f = compile_expr(expr.right, ctx)
+
+        def f_and(env, _l=left_f, _r=right_f, _line=line):
+            left = _l(env)
+            if not isinstance(left, bool):
+                raise InterpreterError(".AND. of non-LOGICAL", _line)
+            if not left:
+                return False
+            right = _r(env)
+            if not isinstance(right, bool):
+                raise InterpreterError(".AND. of non-LOGICAL", _line)
+            return right
+
+        return f_and
+    if op is ast.BinOp.OR:
+        left_f = compile_expr(expr.left, ctx)
+        right_f = compile_expr(expr.right, ctx)
+
+        def f_or(env, _l=left_f, _r=right_f, _line=line):
+            left = _l(env)
+            if not isinstance(left, bool):
+                raise InterpreterError(".OR. of non-LOGICAL", _line)
+            if left:
+                return True
+            right = _r(env)
+            if not isinstance(right, bool):
+                raise InterpreterError(".OR. of non-LOGICAL", _line)
+            return right
+
+        return f_or
+
+    fn = _SIMPLE_BINOPS.get(op)
+    if fn is not None:
+        lspec = _operand_spec(expr.left, ctx)
+        rspec = _operand_spec(expr.right, ctx)
+        if lspec is not None and rspec is not None:
+            lk, lv = lspec
+            rk, rv = rspec
+            if lk == "slot" and rk == "slot":
+                return lambda env, _f=fn, _i=lv, _j=rv: _f(
+                    env[_i].value, env[_j].value
+                )
+            if lk == "slot":
+                return lambda env, _f=fn, _i=lv, _c=rv: _f(env[_i].value, _c)
+            if rk == "slot":
+                return lambda env, _f=fn, _c=lv, _j=rv: _f(_c, env[_j].value)
+            # Two constants: fold; these operators never raise.
+            value = fn(lv, rv)
+            return lambda env, _v=value: _v
+        left_f = compile_expr(expr.left, ctx)
+        right_f = compile_expr(expr.right, ctx)
+        return lambda env, _f=fn, _l=left_f, _r=right_f: _f(_l(env), _r(env))
+
+    left_f = compile_expr(expr.left, ctx)
+    right_f = compile_expr(expr.right, ctx)
+    if op is ast.BinOp.DIV:
+
+        def f_div(env, _l=left_f, _r=right_f, _line=line):
+            left = _l(env)
+            right = _r(env)
+            if right == 0:
+                raise InterpreterError("division by zero", _line)
+            if isinstance(left, int) and isinstance(right, int):
+                return _trunc_div(left, right)
+            return left / right
+
+        return f_div
+    if op is ast.BinOp.POW:
+        return lambda env, _l=left_f, _r=right_f, _line=line: _fortran_pow(
+            _l(env), _r(env), _line
+        )
+    raise LoweringError(f"cannot lower operator {op}")
+
+
+def _compile_unary(expr: ast.Unary, ctx):
+    operand = compile_expr(expr.operand, ctx)
+    if expr.op is ast.UnOp.NEG:
+        return lambda env, _o=operand: -_o(env)
+    if expr.op is ast.UnOp.POS:
+        return operand
+    line = expr.line
+
+    def f_not(env, _o=operand, _line=line):
+        value = _o(env)
+        if not isinstance(value, bool):
+            raise InterpreterError(".NOT. of non-LOGICAL", _line)
+        return not value
+
+    return f_not
+
+
+def compile_element_get(name, index_exprs, line, ctx):
+    """Lower an array-element read (either AST spelling)."""
+    slot = ctx.slot(name)
+    info = ctx.table.lookup(name)
+    idx_fns = tuple(compile_expr(i, ctx) for i in index_exprs)
+    if (
+        info is not None
+        and info.is_array
+        and not info.is_param
+        and len(idx_fns) == len(info.dims) == 1
+    ):
+        # A non-parameter array's shape is static: inline the bounds
+        # check and the flat load.  Parameter arrays take the generic
+        # path — at run time they are whatever the caller passed.
+        dim = info.dims[0]
+        ix = idx_fns[0]
+
+        def get1(env, _s=slot, _ix=ix, _d=dim, _n=name, _line=line):
+            k = int(_ix(env))
+            if 1 <= k <= _d:
+                return env[_s].data[k - 1]
+            raise InterpreterError(
+                f"{_n}: subscript {k} out of bounds 1..{_d}", _line
+            )
+
+        return get1
+
+    def getn(env, _s=slot, _fns=idx_fns, _n=name, _line=line):
+        array = env[_s]
+        if not isinstance(array, FortranArray):
+            raise InterpreterError(f"{_n} is not an array", _line)
+        indices = tuple(int(f(env)) for f in _fns)
+        return array.get(indices, _line)
+
+    return getn
+
+
+def _compile_call(expr: ast.FuncCall, ctx):
+    # The checker rewrites declared-array ``A(I)`` into ArrayRef, but
+    # mirror the reference's runtime test (array beats intrinsic).
+    info = ctx.table.lookup(expr.name)
+    if info is not None and info.is_array:
+        return compile_element_get(expr.name, expr.args, expr.line, ctx)
+    if expr.name in INTRINSICS and expr.name not in ctx.procedures:
+        return _compile_intrinsic(expr, ctx)
+    return ctx.build_function_call(expr)
+
+
+def _compile_intrinsic(expr: ast.FuncCall, ctx):
+    name = expr.name
+    line = expr.line
+    fns = tuple(compile_expr(a, ctx) for a in expr.args)
+    if name == "MOD" and len(fns) == 2:
+        a, b = fns
+        return lambda env, _a=a, _b=b: _fortran_mod(_a(env), _b(env))
+    if name == "MIN":
+        return lambda env, _fns=fns: min([f(env) for f in _fns])
+    if name == "MAX":
+        return lambda env, _fns=fns: max([f(env) for f in _fns])
+    if name == "ABS" and len(fns) == 1:
+        a = fns[0]
+        return lambda env, _a=a: abs(_a(env))
+    if name == "SIGN" and len(fns) == 2:
+        a, b = fns
+        return lambda env, _a=a, _b=b: _sign(_a(env), _b(env))
+    if name == "SQRT" and len(fns) == 1:
+        a = fns[0]
+
+        def f_sqrt(env, _a=a, _line=line):
+            value = _a(env)
+            if value < 0:
+                raise InterpreterError("SQRT of negative value", _line)
+            return math.sqrt(value)
+
+        return f_sqrt
+    if name == "INT" and len(fns) == 1:
+        a = fns[0]
+        return lambda env, _a=a: int(_a(env))
+    if name in ("REAL", "FLOAT") and len(fns) == 1:
+        a = fns[0]
+        return lambda env, _a=a: float(_a(env))
+    # Stateful (IRAND/RAND/INPUT) and uncommon intrinsics go through
+    # the per-run IntrinsicRuntime, exactly like the reference.
+    box = ctx.intrinsics_box
+
+    def f_call(env, _box=box, _fns=fns, _n=name, _line=line):
+        args = [f(env) for f in _fns]
+        return _box[0].call(_n, args, _line)
+
+    return f_call

@@ -1,0 +1,887 @@
+"""Procedure lowering: checked CFGs to arrays of threaded closures.
+
+Each CFG node compiles, once, to an op closure ``op(env) -> int``
+returning the *dense index* of the successor node (or ``-1`` at the
+exit).  The trampoline in :mod:`repro.fastexec.backend` then runs
+
+    while idx >= 0:
+        idx = ops[idx](env)
+
+with step/hit/cost bookkeeping hoisted out of the ops.  Everything the
+reference interpreter resolves per step — statement kind, operand
+cells, successor edges, counter hooks — is resolved here, at compile
+time:
+
+* the environment is a flat list (parameters first, in declaration
+  order, then locals, then one hidden ``[trip, step]`` slot per DO
+  loop), so variable access is ``env[slot]``;
+* successor edges become dense indices baked into each op;
+* counter-plan updates become in-place ``counts[slot] += 1`` bumps
+  composed into exactly the ops whose node/edge the plan instruments.
+
+Event order matches the reference trampoline exactly: statement action
+(which may raise), then the node-counter bump, then the edge hit and
+edge-counter bump, then dispatch.  Anything this module cannot lower
+faithfully raises :class:`LoweringError`, and the pipeline falls back
+to the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import (
+    LABEL_FALSE,
+    LABEL_TRUE,
+    LABEL_UNCOND,
+    ControlFlowGraph,
+    StmtKind,
+    is_pseudo_label,
+)
+from repro.errors import InterpreterError
+from repro.fastexec.exprs import LoweringError, compile_expr
+from repro.interp.machine import _ProgramHalt, _format_value, _trunc_div
+from repro.interp.values import Cell, ElementRef, FortranArray, coerce
+from repro.lang import ast
+
+
+class ThreadedProc:
+    """One procedure's compiled form plus its per-run count arrays.
+
+    The count arrays (``node_hits``, ``edge_hits``, ``call_box``) are
+    owned by the backend and reset in place between runs; the compiled
+    ops never allocate on the hot path.
+    """
+
+    __slots__ = (
+        "name",
+        "index",
+        "proc",
+        "cfg",
+        "layout",
+        "names",
+        "trip_slots",
+        "env_size",
+        "init_cells",
+        "init_arrays",
+        "ret_slot",
+        "node_ids",
+        "dense",
+        "entry_idx",
+        "edge_keys",
+        "edge_index",
+        "node_hits",
+        "edge_hits",
+        "call_box",
+        "specs",
+        "plain_ops",
+        "active_ops",
+        "active_costs",
+    )
+
+
+class _NodeSpec:
+    """The plan-independent compiled pieces of one CFG node.
+
+    Op tables are built per counter plan (each plan composes different
+    bumps into the ops); the expensive parts — expression closures,
+    binders, successor resolution — live here and are shared.
+    """
+
+    __slots__ = ("kind", "act", "tslot", "nways", "succ", "line")
+
+
+class ProcContext:
+    """The compile-time context :mod:`exprs` closures are built in."""
+
+    def __init__(self, backend, tp: ThreadedProc):
+        self.backend = backend
+        self.table = backend.checked.tables[tp.name]
+        self.constants = self.table.constants
+        self.procedures = backend.checked.unit.procedures
+        self.intrinsics_box = backend._intr
+        self._tp = tp
+
+    def slot(self, name: str) -> int:
+        try:
+            return self._tp.layout[name]
+        except KeyError:
+            raise LoweringError(
+                f"{self._tp.name}: no static slot for variable {name}"
+            ) from None
+
+    def trip_slot(self, trip_var: str) -> int:
+        try:
+            return self._tp.trip_slots[trip_var]
+        except KeyError:
+            raise LoweringError(
+                f"{self._tp.name}: no slot for trip counter {trip_var}"
+            ) from None
+
+    def build_function_call(self, expr: ast.FuncCall):
+        ci, binders = build_binders(
+            self, expr.name, list(expr.args), expr.line
+        )
+        backend = self.backend
+
+        def call(env, _b=backend, _ci=ci, _binders=binders):
+            return _b._invoke(_ci, _binders, env)
+
+        return call
+
+
+# -- phase 1: environment layout ----------------------------------------
+
+
+def make_threaded_proc(checked, name: str, cfg: ControlFlowGraph, index: int):
+    """Build the layout shell of one procedure (no closures yet).
+
+    Layouts must exist for *every* procedure before any closure is
+    compiled: call sites resolve callee parameter slots at compile
+    time.
+    """
+    unit = checked.unit
+    proc = unit.procedures.get(name)
+    if proc is None:
+        if unit.main.name != name:
+            raise LoweringError(f"no procedure named {name}")
+        proc = unit.main
+    table = checked.tables[name]
+
+    tp = ThreadedProc()
+    tp.name = name
+    tp.index = index
+    tp.proc = proc
+    tp.cfg = cfg
+
+    # Parameters first (binding order), then the remaining symbol-table
+    # variables in declaration order — the same order the reference
+    # interpreter populates its env dict.
+    layout: dict[str, int] = {}
+    for param in proc.params:
+        if param not in layout:
+            layout[param] = len(layout)
+    for vname in table.variables:
+        if vname not in layout:
+            layout[vname] = len(layout)
+    tp.layout = layout
+    tp.names = list(layout)
+
+    trip_slots: dict[str, int] = {}
+    for node in cfg.nodes.values():
+        tv = node.trip_var
+        if tv is not None and tv not in trip_slots:
+            trip_slots[tv] = len(layout) + len(trip_slots)
+    tp.trip_slots = trip_slots
+    tp.env_size = len(layout) + len(trip_slots)
+
+    init_cells = []
+    init_arrays = []
+    for vname, info in table.variables.items():
+        if info.is_param:
+            continue
+        if info.is_array:
+            init_arrays.append((layout[vname], vname, info.type, info.dims))
+        else:
+            init_cells.append((layout[vname], info.type))
+    tp.init_cells = tuple(init_cells)
+    tp.init_arrays = tuple(init_arrays)
+
+    if proc.kind is ast.ProcKind.FUNCTION:
+        ret_slot = layout.get(proc.name)
+        if ret_slot is None:
+            raise LoweringError(
+                f"{name}: FUNCTION has no result variable slot"
+            )
+        tp.ret_slot = ret_slot
+    else:
+        tp.ret_slot = None
+
+    tp.node_ids = list(cfg.nodes)
+    tp.dense = {nid: i for i, nid in enumerate(tp.node_ids)}
+    if cfg.entry not in tp.dense:
+        raise LoweringError(f"{name}: entry node missing from CFG")
+    tp.entry_idx = tp.dense[cfg.entry]
+
+    tp.edge_keys = [
+        (edge.src, edge.label)
+        for edge in cfg.edges
+        if not is_pseudo_label(edge.label)
+    ]
+    tp.edge_index = {key: i for i, key in enumerate(tp.edge_keys)}
+
+    tp.node_hits = [0] * len(tp.node_ids)
+    tp.edge_hits = [0] * len(tp.edge_keys)
+    tp.call_box = [0]
+    tp.specs = None
+    tp.plain_ops = None
+    tp.active_ops = None
+    tp.active_costs = None
+    return tp
+
+
+# -- phase 2: node specs -------------------------------------------------
+
+
+def compile_procedure(backend, tp: ThreadedProc) -> None:
+    """Compile every node's plan-independent spec and the plain ops."""
+    ctx = ProcContext(backend, tp)
+    out_edges: dict[int, list] = {}
+    for edge in tp.cfg.edges:
+        if not is_pseudo_label(edge.label):
+            out_edges.setdefault(edge.src, []).append(edge)
+    specs = []
+    for nid in tp.node_ids:
+        node = tp.cfg.nodes[nid]
+        specs.append(_node_spec(node, out_edges.get(nid, ()), tp, ctx))
+    tp.specs = specs
+    tp.plain_ops = build_ops(tp, backend, None, None)
+
+
+def _node_spec(node, edges, tp: ThreadedProc, ctx: ProcContext) -> _NodeSpec:
+    spec = _NodeSpec()
+    spec.kind = node.kind
+    spec.line = node.line
+    spec.act = None
+    spec.tslot = None
+    spec.nways = 0
+    # Reference dispatch is a dict over cfg.edges, so a duplicated
+    # (src, label) resolves to the last edge there; dict insertion
+    # order reproduces that here.
+    spec.succ = {
+        edge.label: (tp.edge_index[(edge.src, edge.label)], tp.dense[edge.dst])
+        for edge in edges
+    }
+
+    kind = node.kind
+    if kind in (StmtKind.ENTRY, StmtKind.NOOP, StmtKind.EXIT, StmtKind.STOP):
+        pass
+    elif kind is StmtKind.ASSIGN:
+        spec.act = compile_assign(node.stmt, ctx)
+    elif kind in (StmtKind.IF, StmtKind.WHILE_TEST, StmtKind.AIF):
+        spec.act = compile_expr(node.cond, ctx)
+    elif kind is StmtKind.CGOTO:
+        spec.act = compile_expr(node.cond, ctx)
+        spec.nways = len(node.stmt.targets)
+    elif kind is StmtKind.CALL:
+        stmt = node.stmt
+        ci, binders = build_binders(ctx, stmt.name, list(stmt.args), node.line)
+        backend = ctx.backend
+
+        def call_act(env, _b=backend, _ci=ci, _binders=binders):
+            _b._invoke(_ci, _binders, env)
+
+        spec.act = call_act
+    elif kind is StmtKind.PRINT:
+        fns = tuple(compile_expr(item, ctx) for item in node.stmt.items)
+        outputs = ctx.backend._outputs
+
+        def print_act(env, _fns=fns, _out=outputs):
+            _out.append(" ".join(_format_value(f(env)) for f in _fns))
+
+        spec.act = print_act
+    elif kind is StmtKind.DO_INIT:
+        spec.act = _compile_do_init(node, ctx)
+    elif kind is StmtKind.DO_TEST:
+        spec.tslot = ctx.trip_slot(node.trip_var)
+    elif kind is StmtKind.DO_INCR:
+        spec.act = _compile_do_incr(node, ctx)
+    else:
+        raise LoweringError(f"cannot lower node kind {kind}")
+    return spec
+
+
+# -- statement actions ---------------------------------------------------
+
+
+def compile_assign(stmt: ast.Assign, ctx: ProcContext):
+    value_f = compile_expr(stmt.value, ctx)
+    line = stmt.line
+    target = stmt.target
+    if isinstance(target, ast.VarRef):
+        return _compile_scalar_assign(target.name, value_f, line, ctx)
+
+    name = target.name
+    slot = ctx.slot(name)
+    info = ctx.table.lookup(name)
+    idx_fns = tuple(compile_expr(i, ctx) for i in target.indices)
+    if (
+        info is not None
+        and info.is_array
+        and not info.is_param
+        and len(idx_fns) == len(info.dims) == 1
+    ):
+        dim = info.dims[0]
+        ix = idx_fns[0]
+        type_ = info.type
+
+        def store1(
+            env, _v=value_f, _ix=ix, _s=slot, _d=dim, _t=type_, _n=name, _l=line
+        ):
+            value = _v(env)
+            k = int(_ix(env))
+            if not 1 <= k <= _d:
+                raise InterpreterError(
+                    f"{_n}: subscript {k} out of bounds 1..{_d}", _l
+                )
+            env[_s].data[k - 1] = coerce(value, _t, _l)
+
+        return store1
+
+    def storen(env, _v=value_f, _s=slot, _fns=idx_fns, _n=name, _l=line):
+        value = _v(env)
+        array = env[_s]
+        if not isinstance(array, FortranArray):
+            raise InterpreterError(f"{_n} is not an array", _l)
+        indices = tuple(int(f(env)) for f in _fns)
+        array.set(indices, value, _l)
+
+    return storen
+
+
+def _compile_scalar_assign(name: str, value_f, line, ctx: ProcContext):
+    """``name = <value>``: inline the coercion for plain locals."""
+    slot = ctx.slot(name)
+    info = ctx.table.lookup(name)
+    if info is not None and not info.is_param and not info.is_array:
+        if info.type is ast.Type.INTEGER:
+
+            def store_i(env, _v=value_f, _s=slot, _l=line):
+                value = _v(env)
+                if isinstance(value, bool):
+                    raise InterpreterError(
+                        "cannot store LOGICAL in INTEGER", _l
+                    )
+                env[_s].value = int(value)
+
+            return store_i
+        if info.type is ast.Type.REAL:
+
+            def store_r(env, _v=value_f, _s=slot, _l=line):
+                value = _v(env)
+                if isinstance(value, bool):
+                    raise InterpreterError("cannot store LOGICAL in REAL", _l)
+                env[_s].value = float(value)
+
+            return store_r
+
+        def store_l(env, _v=value_f, _s=slot, _l=line):
+            value = _v(env)
+            if not isinstance(value, bool):
+                raise InterpreterError("cannot store number in LOGICAL", _l)
+            env[_s].value = value
+
+        return store_l
+
+    # Parameter: the cell (or ElementRef) coerces to the *caller's*
+    # runtime type, so keep the generic polymorphic store.
+    def store(env, _v=value_f, _s=slot, _l=line):
+        env[_s].set(_v(env), _l)
+
+    return store
+
+
+def _compile_scalar_setter(name: str, line, ctx: ProcContext):
+    """Like :func:`_compile_scalar_assign` but takes the value as an
+    argument (for DO-variable stores)."""
+    slot = ctx.slot(name)
+    info = ctx.table.lookup(name)
+    if info is not None and not info.is_param and not info.is_array:
+        type_ = info.type
+
+        def set_local(env, value, _s=slot, _t=type_, _l=line):
+            env[_s].value = coerce(value, _t, _l)
+
+        return set_local
+
+    def set_ref(env, value, _s=slot, _l=line):
+        env[_s].set(value, _l)
+
+    return set_ref
+
+
+def _compile_do_init(node, ctx: ProcContext):
+    stmt = node.stmt
+    start_f = compile_expr(stmt.start, ctx)
+    stop_f = compile_expr(stmt.stop, ctx)
+    step_f = compile_expr(stmt.step, ctx) if stmt.step is not None else None
+    tslot = ctx.trip_slot(node.trip_var)
+    line = node.line
+    setter = _compile_scalar_setter(stmt.var, line, ctx)
+    trunc_div = _trunc_div
+
+    if step_f is None:
+
+        def init1(env, _a=start_f, _b=stop_f, _set=setter, _ts=tslot):
+            start = _a(env)
+            stop = _b(env)
+            _set(env, start)
+            span = stop - start + 1
+            if isinstance(span, int):
+                trip = trunc_div(span, 1)
+            else:
+                trip = int(span)
+            if trip < 0:
+                trip = 0
+            env[_ts] = [trip, 1]
+            return trip
+
+        return init1
+
+    def init(env, _a=start_f, _b=stop_f, _c=step_f, _set=setter, _ts=tslot, _l=line):
+        start = _a(env)
+        stop = _b(env)
+        step = _c(env)
+        if step == 0:
+            raise InterpreterError("DO loop with zero step", _l)
+        _set(env, start)
+        span = stop - start + step
+        if isinstance(span, int) and isinstance(step, int):
+            trip = trunc_div(span, step)
+        else:
+            trip = int(span / step)
+        if trip < 0:
+            trip = 0
+        env[_ts] = [trip, step]
+        return trip
+
+    return init
+
+
+def _compile_do_incr(node, ctx: ProcContext):
+    tslot = ctx.trip_slot(node.trip_var)
+    name = node.stmt.var
+    line = node.line
+    vslot = ctx.slot(name)
+    info = ctx.table.lookup(name)
+    if info is not None and not info.is_param and not info.is_array:
+        type_ = info.type
+
+        def incr_local(env, _ts=tslot, _vs=vslot, _t=type_, _l=line):
+            state = env[_ts]
+            cell = env[_vs]
+            cell.value = coerce(cell.value + state[1], _t, _l)
+            state[0] -= 1
+
+        return incr_local
+
+    def incr(env, _ts=tslot, _vs=vslot, _l=line):
+        state = env[_ts]
+        cell = env[_vs]
+        cell.set(cell.value + state[1], _l)
+        state[0] -= 1
+
+    return incr
+
+
+# -- argument binders ----------------------------------------------------
+
+
+def build_binders(ctx: ProcContext, callee_name: str, arg_exprs, line):
+    """Compile the by-reference bindings of one call site.
+
+    Returns ``(callee_index, binders)`` where each binder is a closure
+    ``b(env, callee_env)`` replicating the reference interpreter's
+    ``_bind_argument`` for its (param, actual) pair.
+    """
+    backend = ctx.backend
+    if callee_name not in ctx.procedures:
+        raise LoweringError(f"call to unknown procedure {callee_name}")
+    callee_tp = backend._procs.get(callee_name)
+    if callee_tp is None:
+        raise LoweringError(f"no lowered body for procedure {callee_name}")
+    callee = ctx.procedures[callee_name]
+    callee_table = backend.checked.tables[callee_name]
+    if len(arg_exprs) != len(callee.params):
+        # The reference zip-truncates and lazily materializes missing
+        # params; the checker rejects such calls, so just fall back.
+        raise LoweringError(
+            f"arity mismatch calling {callee_name}: "
+            f"{len(arg_exprs)} args for {len(callee.params)} params"
+        )
+    binders = []
+    for param, actual in zip(callee.params, arg_exprs):
+        info = callee_table.lookup(param)
+        if info is None:
+            raise LoweringError(f"{callee_name}: unknown param {param}")
+        pslot = callee_tp.layout.get(param)
+        if pslot is None:
+            raise LoweringError(f"{callee_name}: no slot for param {param}")
+        binders.append(_build_binder(ctx, info, actual, callee_name, pslot))
+    return callee_tp.index, tuple(binders)
+
+
+def _raising_binder(message: str, line):
+    def binder(env, cenv, _m=message, _l=line):
+        raise InterpreterError(_m, _l)
+
+    return binder
+
+
+def _build_binder(ctx: ProcContext, info, actual, callee_name: str, pslot: int):
+    if isinstance(actual, ast.VarRef) and actual.name not in ctx.constants:
+        aslot = ctx.slot(actual.name)
+        a_info = ctx.table.lookup(actual.name)
+        actual_is_array = a_info is not None and a_info.is_array
+        if actual_is_array and not info.is_array:
+            return _raising_binder(
+                f"{callee_name}: array passed for scalar param {info.name}",
+                actual.line,
+            )
+        if not actual_is_array and info.is_array:
+            return _raising_binder(
+                f"{callee_name}: scalar passed for array param {info.name}",
+                actual.line,
+            )
+
+        def share(env, cenv, _a=aslot, _p=pslot):
+            cenv[_p] = env[_a]
+
+        return share
+    if info.is_array:
+        return _raising_binder(
+            f"{callee_name}: expression passed for array param {info.name}",
+            actual.line,
+        )
+    # `A(2)` parses as FuncCall when A is an array; both spellings of
+    # an element reference bind by reference.
+    element = None
+    if isinstance(actual, ast.ArrayRef):
+        element = (actual.name, actual.indices)
+    elif isinstance(actual, ast.FuncCall):
+        a_info = ctx.table.lookup(actual.name)
+        if a_info is not None and a_info.is_array:
+            element = (actual.name, actual.args)
+    if element is not None:
+        name, index_exprs = element
+        aslot = ctx.slot(name)
+        idx_fns = tuple(compile_expr(i, ctx) for i in index_exprs)
+        aline = actual.line
+
+        def bind_element(
+            env, cenv, _a=aslot, _fns=idx_fns, _p=pslot, _n=name, _l=aline
+        ):
+            array = env[_a]
+            if not isinstance(array, FortranArray):
+                raise InterpreterError(f"{_n} is not an array", _l)
+            indices = tuple(int(f(env)) for f in _fns)
+            array.get(indices, _l)  # bounds check now
+            cenv[_p] = ElementRef(array, indices)
+
+        return bind_element
+    value_f = compile_expr(actual, ctx)
+    type_ = info.type
+    aline = actual.line
+
+    def bind_value(env, cenv, _v=value_f, _t=type_, _p=pslot, _l=aline):
+        cell = Cell(_t)
+        cell.set(_v(env), _l)
+        cenv[_p] = cell
+
+    return bind_value
+
+
+# -- op tables -----------------------------------------------------------
+
+
+def build_ops(tp: ThreadedProc, backend, slots, counts):
+    """Build one op table: the plain one (``slots is None``) or one
+    with a counter plan's bumps composed in."""
+    ops = []
+    for node_id, spec in zip(tp.node_ids, tp.specs):
+        ops.append(_build_op(tp, backend, node_id, spec, slots, counts))
+    return ops
+
+
+def _node_bump(counts, cid, ops_box, ccost_box, cupd_box):
+    def bump(_c=counts, _i=cid, _o=ops_box, _cc=ccost_box, _cu=cupd_box):
+        _c[_i] += 1.0
+        _o[0] += 1
+        _cc[0] += _cu[0]
+
+    return bump
+
+
+def _do_bump(counts, ncid, batches, ops_box, ccost_box, cupd_box):
+    """The combined node-event bump of a DO_INIT: the optional node
+    counter plus every Opt-3 batched trip-count add, charged exactly
+    like the reference hook (``ops`` updates, ``ops * counter_update``
+    cycles, accumulated in one addition)."""
+    k = (0 if ncid is None else 1) + len(batches)
+    if k == 0:
+        return None
+    if ncid is None and len(batches) == 1:
+        ((cid, offset),) = batches
+
+        def bump1(trip, _c=counts, _i=cid, _off=offset, _o=ops_box,
+                  _cc=ccost_box, _cu=cupd_box):
+            _c[_i] += trip + _off
+            _o[0] += 1
+            _cc[0] += _cu[0]
+
+        return bump1
+
+    def bump(trip, _c=counts, _n=ncid, _b=batches, _k=k, _o=ops_box,
+             _cc=ccost_box, _cu=cupd_box):
+        if _n is not None:
+            _c[_n] += 1.0
+        for cid, offset in _b:
+            _c[cid] += trip + offset
+        _o[0] += _k
+        _cc[0] += _k * _cu[0]
+
+    return bump
+
+
+def _edge_rec(edge_hits, ehit, counts, ecid, ops_box, ccost_box, cupd_box):
+    if ecid is None:
+
+        def rec(_h=edge_hits, _e=ehit):
+            _h[_e] += 1
+
+        return rec
+
+    def rec_counted(_h=edge_hits, _e=ehit, _c=counts, _i=ecid, _o=ops_box,
+                    _cc=ccost_box, _cu=cupd_box):
+        _h[_e] += 1
+        _c[_i] += 1.0
+        _o[0] += 1
+        _cc[0] += _cu[0]
+
+    return rec_counted
+
+
+def _build_op(tp: ThreadedProc, backend, node_id, spec: _NodeSpec, slots, counts):
+    ops_box = backend._ops_box
+    ccost_box = backend._ccost_box
+    cupd_box = backend._cupd_box
+    if slots is not None:
+        ncid = slots.node_slots.get(node_id)
+        batches = slots.batch_slots.get(node_id, ())
+    else:
+        ncid = None
+        batches = ()
+    bump = (
+        _node_bump(counts, ncid, ops_box, ccost_box, cupd_box)
+        if ncid is not None and spec.kind is not StmtKind.DO_INIT
+        else None
+    )
+
+    def rec_for(label):
+        entry = spec.succ.get(label)
+        if entry is None:
+            raise LoweringError(
+                f"{tp.name}: node {node_id} has no {label!r} successor"
+            )
+        ehit, nxt = entry
+        ecid = (
+            slots.edge_slots.get((node_id, label))
+            if slots is not None
+            else None
+        )
+        return (
+            _edge_rec(
+                tp.edge_hits, ehit, counts, ecid, ops_box, ccost_box, cupd_box
+            ),
+            nxt,
+        )
+
+    kind = spec.kind
+    if kind is StmtKind.EXIT:
+        return _op_exit(bump)
+    if kind is StmtKind.STOP:
+        # The reference raises out of _exec_node before any hook runs,
+        # so a node counter on a STOP node never fires.
+        return _op_stop()
+    if kind in (StmtKind.IF, StmtKind.WHILE_TEST):
+        rec_t, j_t = rec_for(LABEL_TRUE)
+        rec_f, j_f = rec_for(LABEL_FALSE)
+        return _op_if(spec.act, bump, rec_t, j_t, rec_f, j_f, spec.line)
+    if kind is StmtKind.DO_TEST:
+        rec_t, j_t = rec_for(LABEL_TRUE)
+        rec_f, j_f = rec_for(LABEL_FALSE)
+        return _op_do_test(spec.tslot, bump, rec_t, j_t, rec_f, j_f)
+    if kind is StmtKind.AIF:
+        rec_lt, j_lt = rec_for("LT")
+        rec_eq, j_eq = rec_for("EQ")
+        rec_gt, j_gt = rec_for("GT")
+        return _op_aif(
+            spec.act, bump,
+            rec_lt, j_lt, rec_eq, j_eq, rec_gt, j_gt, spec.line,
+        )
+    if kind is StmtKind.CGOTO:
+        ways = [rec_for(f"C{k}") for k in range(1, spec.nways + 1)]
+        way_u = rec_for(LABEL_UNCOND)
+        return _op_cgoto(spec.act, bump, tuple(ways), way_u)
+    if kind is StmtKind.DO_INIT:
+        dbump = _do_bump(counts, ncid, batches, ops_box, ccost_box, cupd_box)
+        rec, nxt = rec_for(LABEL_UNCOND)
+        return _op_do_init(spec.act, dbump, rec, nxt)
+    # Straight-line kinds: ENTRY, NOOP, ASSIGN, CALL, PRINT, DO_INCR.
+    rec, nxt = rec_for(LABEL_UNCOND)
+    return _op_step(spec.act, bump, rec, nxt)
+
+
+def _op_exit(bump):
+    if bump is None:
+
+        def op(env):
+            return -1
+
+        return op
+
+    def op_b(env, _b=bump):
+        _b()
+        return -1
+
+    return op_b
+
+
+def _op_stop():
+    def op(env):
+        raise _ProgramHalt()
+
+    return op
+
+
+def _op_step(act, bump, rec, nxt):
+    if act is None:
+        if bump is None:
+
+            def op(env, _r=rec, _n=nxt):
+                _r()
+                return _n
+
+            return op
+
+        def op_b(env, _b=bump, _r=rec, _n=nxt):
+            _b()
+            _r()
+            return _n
+
+        return op_b
+    if bump is None:
+
+        def op_a(env, _a=act, _r=rec, _n=nxt):
+            _a(env)
+            _r()
+            return _n
+
+        return op_a
+
+    def op_ab(env, _a=act, _b=bump, _r=rec, _n=nxt):
+        _a(env)
+        _b()
+        _r()
+        return _n
+
+    return op_ab
+
+
+def _op_if(cond, bump, rec_t, j_t, rec_f, j_f, line):
+    # `is True` / `is False`: every LOGICAL value in the interpreter is
+    # a genuine bool, and anything else must raise exactly like the
+    # reference's isinstance check.
+    if bump is None:
+
+        def op(env, _c=cond, _rt=rec_t, _jt=j_t, _rf=rec_f, _jf=j_f, _l=line):
+            value = _c(env)
+            if value is True:
+                _rt()
+                return _jt
+            if value is False:
+                _rf()
+                return _jf
+            raise InterpreterError("IF condition is not LOGICAL", _l)
+
+        return op
+
+    def op_b(env, _c=cond, _b=bump, _rt=rec_t, _jt=j_t, _rf=rec_f, _jf=j_f,
+             _l=line):
+        value = _c(env)
+        if value is True:
+            _b()
+            _rt()
+            return _jt
+        if value is False:
+            _b()
+            _rf()
+            return _jf
+        raise InterpreterError("IF condition is not LOGICAL", _l)
+
+    return op_b
+
+
+def _op_do_test(tslot, bump, rec_t, j_t, rec_f, j_f):
+    if bump is None:
+
+        def op(env, _ts=tslot, _rt=rec_t, _jt=j_t, _rf=rec_f, _jf=j_f):
+            if env[_ts][0] > 0:
+                _rt()
+                return _jt
+            _rf()
+            return _jf
+
+        return op
+
+    def op_b(env, _ts=tslot, _b=bump, _rt=rec_t, _jt=j_t, _rf=rec_f, _jf=j_f):
+        _b()
+        if env[_ts][0] > 0:
+            _rt()
+            return _jt
+        _rf()
+        return _jf
+
+    return op_b
+
+
+def _op_aif(cond, bump, rec_lt, j_lt, rec_eq, j_eq, rec_gt, j_gt, line):
+    def op(env, _c=cond, _b=bump, _l=line):
+        value = _c(env)
+        if isinstance(value, bool):
+            raise InterpreterError("arithmetic IF on a LOGICAL value", _l)
+        if _b is not None:
+            _b()
+        if value < 0:
+            rec_lt()
+            return j_lt
+        if value == 0:
+            rec_eq()
+            return j_eq
+        rec_gt()
+        return j_gt
+
+    return op
+
+
+def _op_cgoto(selector, bump, ways, way_u):
+    n_ways = len(ways)
+
+    def op(env, _s=selector, _b=bump, _w=ways, _n=n_ways, _u=way_u):
+        k = int(_s(env))
+        if 1 <= k <= _n:
+            rec, nxt = _w[k - 1]
+        else:
+            rec, nxt = _u
+        if _b is not None:
+            _b()
+        rec()
+        return nxt
+
+    return op
+
+
+def _op_do_init(act, dbump, rec, nxt):
+    if dbump is None:
+
+        def op(env, _a=act, _r=rec, _n=nxt):
+            _a(env)
+            _r()
+            return _n
+
+        return op
+
+    def op_b(env, _a=act, _d=dbump, _r=rec, _n=nxt):
+        _d(_a(env))
+        _r()
+        return _n
+
+    return op_b

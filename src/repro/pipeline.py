@@ -12,6 +12,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -24,6 +25,7 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.reducibility import is_reducible, split_nodes
 from repro.costs.model import MachineModel, SCALAR_MACHINE
 from repro.ecfg import ExtendedCFG, build_ecfg
+from repro.fastexec import LoweringError, backend_for
 from repro.interp import ExecutionHooks, Interpreter, RunResult
 from repro.lang.parser import parse_program
 from repro.lang.symbols import CheckedProgram, check_program
@@ -117,6 +119,58 @@ def verify_compiled(program: CompiledProgram, plan=None) -> None:
         raise VerificationError(report)
 
 
+#: Valid ``backend=`` choices for :func:`run_program`.
+BACKENDS = ("auto", "threaded", "reference")
+
+
+def _select_backend(program, hooks, backend: str):
+    """The ThreadedBackend to run with, or None for the reference.
+
+    ``auto`` (the default) uses the threaded backend whenever the run
+    is expressible there — hooks either absent or a plain
+    :class:`PlanExecutor` — and silently falls back to the reference
+    interpreter otherwise (chained hooks, loop-moment recording, or a
+    program the lowering pass rejects).  ``threaded``/``reference``
+    force one side; the ``REPRO_BACKEND`` environment variable
+    overrides ``auto`` only.
+    """
+    if backend == "auto":
+        env_choice = os.environ.get("REPRO_BACKEND", "")
+        if env_choice in ("threaded", "reference"):
+            backend = env_choice
+    if backend == "reference":
+        return None
+    if backend not in ("auto", "threaded"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if hooks is not None and type(hooks) is not PlanExecutor:
+        if backend == "threaded":
+            raise LoweringError(
+                "threaded backend cannot drive "
+                f"{type(hooks).__name__} hooks; use backend='reference'"
+            )
+        metrics.counter(
+            "repro_backend_fallbacks_total",
+            "Runs that fell back to the reference interpreter.",
+            labels=("reason",),
+        ).inc(reason="hooks")
+        return None
+    threaded = backend_for(program)
+    try:
+        threaded.ensure_lowered()
+    except LoweringError:
+        if backend == "threaded":
+            raise
+        metrics.counter(
+            "repro_backend_fallbacks_total",
+            "Runs that fell back to the reference interpreter.",
+            labels=("reason",),
+        ).inc(reason="lowering")
+        return None
+    return threaded
+
+
 def run_program(
     program: CompiledProgram,
     *,
@@ -125,8 +179,29 @@ def run_program(
     model: MachineModel | None = None,
     hooks: ExecutionHooks | None = None,
     max_steps: int = 10_000_000,
+    backend: str = "auto",
 ) -> RunResult:
-    """Execute the program once."""
+    """Execute the program once.
+
+    ``backend`` selects the execution engine: ``"auto"`` (threaded
+    when possible, reference otherwise — see :func:`_select_backend`),
+    ``"threaded"`` or ``"reference"``.  Both engines produce
+    bit-identical results.
+    """
+    threaded = _select_backend(program, hooks, backend)
+    metrics.counter(
+        "repro_runs_total",
+        "Program executions by backend.",
+        labels=("backend",),
+    ).inc(backend="threaded" if threaded is not None else "reference")
+    if threaded is not None:
+        return threaded.run(
+            model=model,
+            hooks=hooks,
+            seed=seed,
+            inputs=inputs,
+            max_steps=max_steps,
+        )
     interpreter = Interpreter(
         program.checked,
         program.cfgs,
@@ -207,6 +282,7 @@ def profile_program(
     model: MachineModel | None = None,
     record_loop_moments: bool = False,
     max_steps: int = 10_000_000,
+    backend: str = "auto",
 ) -> tuple[ProgramProfile, ProfileStats]:
     """Profile the program over one or more runs.
 
@@ -214,7 +290,10 @@ def profile_program(
     (``inputs=...``, ``seed=...``).  With the default ``plan=None``
     the optimized plan is built and executed; the returned profile is
     *reconstructed from its counters* — exactly what a production
-    deployment of the paper's scheme would see.
+    deployment of the paper's scheme would see.  ``backend`` selects
+    the execution engine per :func:`run_program`; loop-moment
+    recording chains hooks, which only the reference interpreter
+    drives, so ``auto`` falls back for those runs.
     """
     if isinstance(runs, int):
         run_specs = [{"seed": i} for i in range(runs)]
@@ -240,6 +319,7 @@ def profile_program(
                     model=model,
                     hooks=hooks,
                     max_steps=max_steps,
+                    backend=backend,
                     **spec,
                 )
             stats.base_cost += result.total_cost
@@ -276,6 +356,7 @@ def profile_batch(
     loop_variance: str = "zero",
     max_steps: int = 10_000_000,
     verify: bool = False,
+    backend: str = "auto",
 ):
     """Profile many programs, with cached static analysis.
 
@@ -319,6 +400,7 @@ def profile_batch(
         loop_variance=loop_variance,
         max_steps=max_steps,
         verify=verify,
+        backend=backend,
     )
 
 

@@ -28,10 +28,17 @@ from repro.profiling.placement import (
     smart_plan,
 )
 from repro.profiling.runtime import PlanExecutor
-from repro.profiling.reconstruct import expand_block_counts, reconstruct_profile
+from repro.profiling.reconstruct import (
+    ReconstructionSchedule,
+    expand_block_counts,
+    reconstruct_profile,
+    reconstruction_schedule,
+)
 from repro.profiling.oracle import oracle_profile
 
 __all__ = [
+    "ReconstructionSchedule",
+    "reconstruction_schedule",
     "ProcedureProfile",
     "ProgramProfile",
     "ProfileDatabase",

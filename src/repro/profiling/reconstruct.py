@@ -4,15 +4,77 @@ Given final counter values and the plan that produced them, resolve
 every dropped measure via the plan's derivation rules (a linear
 fixpoint, guaranteed to complete because placement validated the rule
 closure symbolically) and assemble a :class:`ProcedureProfile`.
+
+Which rules fire, and in which order, depends only on *which* measures
+the counters provide — never on their numeric values — so the fixpoint
+search is done once per plan and cached as a
+:class:`ReconstructionSchedule`: the precomputed topological firing
+order of the rule-dependency DAG.  Replaying the schedule performs the
+same float additions in the same order as :meth:`RuleSet.solve`, so
+results are bit-identical, without the per-call fixpoint scan.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProfilingError
 from repro.profiling.database import ProcedureProfile, ProgramProfile
-from repro.profiling.measures import Measure
+from repro.profiling.measures import DerivedRule, Measure
 from repro.profiling.placement import CounterPlan, ProgramPlan
 from repro.profiling.runtime import PlanExecutor
+
+
+class ReconstructionSchedule:
+    """The precomputed firing order of one plan's derivation rules."""
+
+    __slots__ = ("order",)
+
+    def __init__(self, order: tuple[DerivedRule, ...]):
+        self.order = order
+
+    def replay(self, values: dict[Measure, float]) -> dict[Measure, float]:
+        """Resolve every derivable measure; bit-identical to ``solve``.
+
+        ``values`` must provide exactly the plan's counter measures —
+        the known set the schedule was computed against.
+        """
+        resolved = dict(values)
+        for rule in self.order:
+            total = rule.bias
+            for coefficient, term in rule.terms:
+                if isinstance(term, tuple):
+                    total += coefficient * resolved[term]
+                else:
+                    total += coefficient * term
+            resolved[rule.target] = total
+        return resolved
+
+
+def reconstruction_schedule(plan: CounterPlan) -> ReconstructionSchedule:
+    """The (cached) rule schedule of one procedure's plan.
+
+    Symbolically replays :meth:`RuleSet.solve`'s pass-ordered fixpoint
+    with the counter measures as the initially-known set, recording
+    the exact sequence in which rules first become evaluable.
+    """
+    cached = getattr(plan, "_cached_schedule", None)
+    if cached is not None:
+        return cached
+    resolved = set(plan.counter_measures.values())
+    order: list[DerivedRule] = []
+    rules = plan.rules.rules
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.target in resolved:
+                continue
+            if all(dep in resolved for dep in rule.dependencies()):
+                order.append(rule)
+                resolved.add(rule.target)
+                changed = True
+    schedule = ReconstructionSchedule(tuple(order))
+    plan._cached_schedule = schedule
+    return schedule
 
 
 def reconstruct_procedure(
@@ -26,7 +88,7 @@ def reconstruct_procedure(
                 f"{plan.proc}: missing value for counter {cid}"
             )
         values[measure] = counter_values[cid]
-    resolved = plan.rules.solve(values)
+    resolved = reconstruction_schedule(plan).replay(values)
 
     profile = ProcedureProfile(plan.proc)
     for target in plan.targets:

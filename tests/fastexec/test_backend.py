@@ -1,0 +1,185 @@
+"""Unit tests of the threaded backend's machinery.
+
+The differential suite (tests/property/test_differential_backends.py)
+establishes behavioral equivalence; these tests pin the machinery
+around it: backend selection and fallback, the pickle shell, plan
+op-table caching, slot-table validation, and the reconstruction
+schedule's equivalence with the rule solver.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro import compile_source, smart_program_plan
+from repro.fastexec import (
+    LoweringError,
+    ThreadedBackend,
+    backend_for,
+    lower_counter_plan,
+    plan_fingerprint,
+    plan_slot_tables,
+    validate_slot_table,
+)
+from repro.pipeline import _select_backend, run_program
+from repro.profiling import (
+    PlanExecutor,
+    reconstruction_schedule,
+)
+from repro.profiling.runtime import HookChain
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.threaded
+
+SRC = """      PROGRAM MAIN
+      INTEGER I, N, X
+      N = INPUT(1)
+      X = 0
+      DO 10 I = 1, N
+        X = X + I
+10    CONTINUE
+      PRINT *, X
+      END
+"""
+
+
+@pytest.fixture()
+def program():
+    return compile_source(SRC)
+
+
+class TestSelection:
+    def test_auto_uses_threaded(self, program):
+        backend = _select_backend(program, None, "auto")
+        assert isinstance(backend, ThreadedBackend)
+
+    def test_reference_opts_out(self, program):
+        assert _select_backend(program, None, "reference") is None
+
+    def test_unknown_backend_rejected(self, program):
+        with pytest.raises(ValueError):
+            run_program(program, backend="turbo")
+
+    def test_non_planexecutor_hooks_fall_back(self, program):
+        chain = HookChain([PlanExecutor(smart_program_plan(program))])
+        assert _select_backend(program, chain, "auto") is None
+
+    def test_forced_threaded_rejects_foreign_hooks(self, program):
+        chain = HookChain([PlanExecutor(smart_program_plan(program))])
+        with pytest.raises(LoweringError):
+            _select_backend(program, chain, "threaded")
+
+    def test_planexecutor_subclass_falls_back(self, program):
+        class Custom(PlanExecutor):
+            pass
+
+        hooks = Custom(smart_program_plan(program))
+        assert _select_backend(program, hooks, "auto") is None
+
+    def test_env_var_overrides_auto(self, program, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert _select_backend(program, None, "auto") is None
+        # An explicit argument beats the environment.
+        backend = _select_backend(program, None, "threaded")
+        assert isinstance(backend, ThreadedBackend)
+
+
+class TestBackendCache:
+    def test_backend_cached_per_program(self, program):
+        assert backend_for(program) is backend_for(program)
+
+    def test_plan_tables_cached_by_fingerprint(self, program):
+        backend = backend_for(program)
+        backend.ensure_lowered()
+        plan = smart_program_plan(program)
+        first = backend._lowered_plan(plan)
+        # A structurally identical but distinct plan hits the cache.
+        again = smart_program_plan(program)
+        assert plan_fingerprint(plan) == plan_fingerprint(again)
+        assert backend._lowered_plan(again) is first
+
+    def test_pickle_shell_round_trip(self, program):
+        backend = backend_for(program)
+        backend.ensure_lowered()
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone._procs is None  # closures are rebuilt lazily
+        result = clone.run(seed=5, inputs=(6.0,))
+        expected = run_program(
+            program, seed=5, inputs=(6.0,), backend="reference"
+        )
+        assert result.outputs == expected.outputs
+        assert result.node_counts == expected.node_counts
+
+
+class TestSlotTables:
+    def test_clean_plan_validates(self, program):
+        plan = smart_program_plan(program)
+        for name, table in plan_slot_tables(plan).items():
+            assert validate_slot_table(plan.plans[name], table) == []
+
+    def test_orphan_write_detected(self, program):
+        plan = smart_program_plan(program).plans["MAIN"]
+        table = lower_counter_plan(plan)
+        free = plan.id_space - 1
+        del plan.counter_measures[free]
+        kinds = {f.kind for f in validate_slot_table(plan, table)}
+        assert "orphan" in kinds
+
+    def test_unmapped_counter_detected(self, program):
+        plan = smart_program_plan(program).plans["MAIN"]
+        table = lower_counter_plan(plan)
+        table.node_slots.clear()
+        kinds = {f.kind for f in validate_slot_table(plan, table)}
+        assert "unmapped" in kinds
+
+    def test_duplicate_sites_detected(self, program):
+        proc = smart_program_plan(program).plans["MAIN"]
+        table = lower_counter_plan(proc)
+        node, slot = next(iter(table.node_slots.items()))
+        table.edge_slots[(node, "T")] = slot
+        kinds = {f.kind for f in validate_slot_table(proc, table)}
+        assert "duplicate" in kinds
+
+    def test_out_of_range_slot_detected(self, program):
+        proc = smart_program_plan(program).plans["MAIN"]
+        table = lower_counter_plan(proc)
+        node = next(iter(table.node_slots))
+        table.node_slots[node] = proc.id_space + 3
+        kinds = {f.kind for f in validate_slot_table(proc, table)}
+        assert "range" in kinds
+
+    def test_checker_reports_rep4xx(self, program):
+        from repro.checker import check_slot_tables
+
+        plan = smart_program_plan(program)
+        assert check_slot_tables(plan) == []
+        proc = plan.plans["MAIN"]
+        node = next(iter(proc.node_counters))
+        proc.node_counters[node] = proc.id_space + 7
+        codes = {d.code for d in check_slot_tables(plan)}
+        assert "REP404" in codes  # range fault
+        assert "REP402" in codes  # original slot now unwritten
+
+
+class TestReconstructionSchedule:
+    def test_replay_matches_solver(self):
+        program = compile_source(PAPER_SOURCE)
+        plan = smart_program_plan(program)
+        executor = PlanExecutor(plan)
+        run_program(program, hooks=executor, seed=0)
+        for name, proc_plan in plan.plans.items():
+            counter_values = executor.counter_values(name)
+            values = {
+                measure: counter_values[cid]
+                for cid, measure in proc_plan.counter_measures.items()
+            }
+            schedule = reconstruction_schedule(proc_plan)
+            assert schedule.replay(values) == proc_plan.rules.solve(values)
+
+    def test_schedule_is_cached(self):
+        program = compile_source(PAPER_SOURCE)
+        proc_plan = smart_program_plan(program).plans["MAIN"]
+        assert reconstruction_schedule(proc_plan) is reconstruction_schedule(
+            proc_plan
+        )

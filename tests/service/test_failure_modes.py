@@ -26,12 +26,13 @@ from repro.workloads.paper_example import PAPER_SOURCE
 
 pytestmark = pytest.mark.service
 
-#: ~0.4s of interpreter work: enough to outlive a 0.1s budget.
+#: ~0.4s of work even on the threaded backend: enough to outlive a
+#: 0.1s budget.
 SLOW_SOURCE = """\
       PROGRAM MAIN
       INTEGER I, X
       X = 0
-      DO 10 I = 1, 30000
+      DO 10 I = 1, 120000
         X = X + 1
 10    CONTINUE
       END
