@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
-from repro.fastexec import backend_for
+from repro.codegen import codegen_backend_for
+from repro.fastexec import LoweringError, backend_for
 from repro.obs import metrics
 from repro.pipeline import (
     CompiledProgram,
@@ -44,7 +45,9 @@ from repro.profiling import ProgramPlan
 
 #: Bump when the pickled artifact layout changes incompatibly.
 #: 2: programs carry their threaded-backend shell (``_threaded``).
-CACHE_FORMAT = 2
+#: 3: programs also carry their codegen-backend shell (``_codegen``),
+#:    including the emitted base source and its fingerprint.
+CACHE_FORMAT = 3
 
 _PLAN_BUILDERS = {
     "smart": smart_program_plan,
@@ -67,15 +70,22 @@ class CachedArtifacts:
 
 
 def _compile_entry(source: str) -> CachedArtifacts:
-    """Compile a source and attach its threaded-backend shell.
+    """Compile a source and attach both fast-backend shells.
 
-    The backend pickles as a thin shell sharing the program's checked
-    AST and CFGs via the pickle memo (closures re-lower lazily per
-    process), so cached entries serve the fast backend too: within a
-    process, memory-tier hits share the already-lowered closures.
+    The threaded backend pickles as a thin shell sharing the program's
+    checked AST and CFGs via the pickle memo (closures re-lower lazily
+    per process).  The codegen backend additionally ships its emitted
+    base source plus a fingerprint, so a disk hit in another process
+    skips straight to ``compile()`` of the cached text; a program the
+    emitter cannot lower simply caches without a pre-emitted source.
     """
     program = compile_source(source)
     backend_for(program)
+    codegen = codegen_backend_for(program)
+    try:
+        codegen.ensure_lowered()
+    except LoweringError:
+        pass  # auto-selection will step down to threaded/reference
     return CachedArtifacts(program=program)
 
 

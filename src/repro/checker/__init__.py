@@ -28,7 +28,11 @@ from repro.checker.diagnostics import (
 )
 from repro.checker.lint import lint_program
 from repro.checker.plans import check_program_plan
-from repro.checker.slots import check_slot_tables
+from repro.checker.slots import (
+    audit_bump_sites,
+    check_codegen_bumps,
+    check_slot_tables,
+)
 from repro.checker.structure import check_structure
 from repro.checker.verify import check_source, verify_program
 
@@ -38,6 +42,8 @@ __all__ = [
     "DiagnosticReport",
     "Severity",
     "diag",
+    "audit_bump_sites",
+    "check_codegen_bumps",
     "check_program_plan",
     "check_slot_tables",
     "check_source",

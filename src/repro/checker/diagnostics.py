@@ -71,6 +71,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "REP402": (Severity.ERROR, "measured counter has no update site"),
     "REP403": (Severity.ERROR, "slot written by multiple update sites"),
     "REP404": (Severity.ERROR, "slot outside the dense counter id space"),
+    "REP405": (Severity.ERROR, "codegen bump sites diverge from the plan"),
 }
 
 

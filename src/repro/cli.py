@@ -371,6 +371,25 @@ def _cmd_trace(args) -> int:
     )
 
     label, source = _resolve_program_source(args.file)
+    if args.dump_source:
+        from repro.codegen import LoweringError, codegen_backend_for
+
+        program = compile_source(source)
+        plan = (
+            naive_program_plan(program)
+            if args.plan == "naive"
+            else smart_program_plan(program)
+        )
+        try:
+            text = codegen_backend_for(program).emitted_source(
+                plan, _MODELS[args.model]
+            )
+        except LoweringError as exc:
+            raise ReproError(
+                f"{label}: codegen cannot lower this program ({exc})"
+            ) from exc
+        print(text)
+        return 0
     ring = RingBufferSink(capacity=8192)
     sinks: list = [ring]
     jsonl = None
@@ -653,6 +672,7 @@ def _cmd_call(args) -> int:
                     plan=args.plan,
                     verify=args.verify,
                     loop_variance=args.loop_variance,
+                    backend=args.backend,
                     ingest=args.ingest,
                 )
                 if not args.full:
@@ -986,6 +1006,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
     )
     c_profile.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto",
+    )
+    c_profile.add_argument(
         "--ingest", metavar="KEY",
         help="also accumulate the result into the service database",
     )
@@ -1036,6 +1059,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--trace-out", metavar="PATH",
         help="also append the raw spans as JSONL here",
+    )
+    p_trace.add_argument(
+        "--dump-source", action="store_true",
+        help="print the codegen backend's emitted Python source for "
+        "the chosen plan and model instead of tracing a run",
     )
     p_trace.set_defaults(func=_cmd_trace)
 

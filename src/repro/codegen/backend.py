@@ -1,0 +1,379 @@
+"""The codegen execution backend: CFGs lowered to Python source.
+
+A :class:`CodegenBackend` owns one program's emitted form.  Each
+*variant* — one machine model's cost constants and one counter plan's
+slot table folded into the text — is emitted once by
+:func:`repro.codegen.emit.emit_module`, compiled with :func:`compile`,
+``exec``'d into a namespace from
+:func:`repro.codegen.runtime.make_namespace`, and cached by
+``(plan fingerprint, model)``.
+
+Runs are bit-identical to the reference interpreter: same outputs,
+same error messages from the same program states, same float
+accumulation order for ``total_cost``/``counter_cost``, and identical
+counts/counter values.  Counter bumps write *directly* into the
+:class:`~repro.profiling.runtime.PlanExecutor`'s live arrays (the
+reference updates them per event too), so only ``updates`` needs a
+deferred flush.  Like the threaded backend, a CodegenBackend is not
+reentrant: emitted functions write backend-owned boxes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+
+from repro.costs.estimate import CostEstimator
+from repro.errors import InterpreterError
+from repro.fastexec.backend import UnsupportedHooksError
+from repro.fastexec.exprs import LoweringError
+from repro.fastexec.plans import lower_counter_plan, plan_fingerprint
+from repro.fastexec.shape import ProcShape, build_shape
+from repro.interp.intrinsics import IntrinsicRuntime
+from repro.interp.machine import RunResult, _ProgramHalt
+from repro.obs import metrics, span
+from repro.profiling.runtime import PlanExecutor
+
+from repro.codegen.emit import EmitMeta, emit_module
+from repro.codegen.runtime import make_namespace
+
+
+class _Variant:
+    """One emitted + compiled module."""
+
+    __slots__ = ("source", "meta", "main", "model")
+
+    def __init__(self, source, meta, main, model):
+        self.source = source
+        self.meta = meta
+        self.main = main
+        self.model = model
+
+
+class CodegenBackend:
+    """Source-emitting execution engine for one checked program."""
+
+    def __init__(self, checked, cfgs, *, mutation: str | None = None):
+        self.checked = checked
+        self.cfgs = cfgs
+        #: Test seam for the mutation-kill suite: every variant this
+        #: backend emits carries the named deliberate miscompile.
+        self.mutation = mutation
+        self._shipped_source: str | None = None
+        self._reset_compiled()
+
+    def _reset_compiled(self) -> None:
+        self._shapes: dict[str, ProcShape] | None = None
+        self._variants: dict[tuple, _Variant] = {}
+        self._lower_error: LoweringError | None = None
+        # Mutable run-state boxes, captured by the emitted modules'
+        # namespaces (identity must stay stable across variants).
+        self._steps = [0]
+        self._cost = [0.0]
+        self._ops_box = [0]
+        self._ccost_box = [0.0]
+        self._depth_box = [0]
+        self._max_depth_box = [0]
+        self._max_steps_box = [0]
+        self._intr = [None]
+        self._outputs: list[str] = []
+        self._main_vars_box: list[dict] = [{}]
+        self._slots_list: list = []
+        self._node_hits: dict[str, list[int]] = {}
+        self._edge_hits: dict[str, list[int]] = {}
+        self._call_boxes: dict[str, list[int]] = {}
+
+    def _dchk(self, name: str) -> None:
+        """The reference's call-depth check, before argument binding."""
+        if self._depth_box[0] >= self._max_depth_box[0]:
+            raise InterpreterError(
+                f"call depth limit reached invoking {name}"
+            )
+
+    # -- pickling: ship the shell + emitted base source ----------------
+
+    def __getstate__(self):
+        source = None
+        fingerprint = None
+        base = self._variants.get((None, None))
+        if base is not None:
+            source = base.source
+            fingerprint = _fingerprint(base.source)
+        return {
+            "checked": self.checked,
+            "cfgs": self.cfgs,
+            "source": source,
+            "fingerprint": fingerprint,
+        }
+
+    def __setstate__(self, state):
+        self.checked = state["checked"]
+        self.cfgs = state["cfgs"]
+        self.mutation = None
+        self._shipped_source = state.get("source")
+        shipped_fp = state.get("fingerprint")
+        if (
+            self._shipped_source is not None
+            and shipped_fp != _fingerprint(self._shipped_source)
+        ):
+            self._shipped_source = None  # stale or corrupt: re-emit
+        self._reset_compiled()
+
+    # -- lowering ------------------------------------------------------
+
+    def ensure_lowered(self) -> None:
+        """Emit and compile the base variant if not done yet; raises
+        LoweringError (memoized) when the program cannot be lowered."""
+        if self._shapes is not None:
+            return
+        if self._lower_error is not None:
+            raise self._lower_error
+        try:
+            shapes: dict[str, ProcShape] = {}
+            for index, (name, cfg) in enumerate(self.cfgs.items()):
+                shapes[name] = build_shape(self.checked, name, cfg, index)
+            self._node_hits = {
+                name: [0] * len(s.node_ids) for name, s in shapes.items()
+            }
+            self._edge_hits = {
+                name: [0] * len(s.edge_keys) for name, s in shapes.items()
+            }
+            self._call_boxes = {name: [0] for name in shapes}
+            self._slots_list[:] = [None] * len(shapes)
+            self._shapes = shapes
+            self._emit_variant(None, None)
+        except LoweringError as exc:
+            self._shapes = None
+            self._lower_error = exc
+            metrics.counter(
+                "repro_codegen_emits_total",
+                "Codegen-backend emission passes.",
+                labels=("outcome",),
+            ).inc(outcome="fallback")
+            raise
+
+    def _emit_variant(self, plan, model) -> _Variant:
+        started = time.perf_counter()
+        with span("compile.codegen") as codegen_span:
+            plan_tables = None
+            if plan is not None:
+                plan_tables = {
+                    name: lower_counter_plan(p)
+                    for name, p in plan.plans.items()
+                }
+            costs = None
+            cu = None
+            if model is not None:
+                estimator = CostEstimator(self.checked, model)
+                costs = {
+                    name: {
+                        nid: nc.local
+                        for nid, nc in estimator.cfg_costs(cfg, name).items()
+                    }
+                    for name, cfg in self.cfgs.items()
+                }
+                cu = model.counter_update
+            if (
+                plan is None
+                and model is None
+                and self.mutation is None
+                and self._shipped_source is not None
+            ):
+                # The artifact cache shipped the base source: skip
+                # re-emission, compile the cached text directly.
+                source = self._shipped_source
+                meta = None
+            else:
+                source, meta = emit_module(
+                    self.checked,
+                    self.cfgs,
+                    self._shapes,
+                    plan_tables=plan_tables,
+                    costs=costs,
+                    cu=cu,
+                    mutation=self.mutation,
+                )
+            fingerprint = _fingerprint(source)
+            code = compile(source, f"<codegen:{fingerprint[:12]}>", "exec")
+            ns = make_namespace(self)
+            exec(code, ns)
+            main = ns[f"P_{self.checked.unit.main.name}"]
+            codegen_span.set_attr(
+                procedures=len(self.cfgs),
+                lines=source.count("\n"),
+                profiled=plan is not None,
+                costed=model is not None,
+            )
+        variant = _Variant(source, meta, main, model)
+        key = (
+            plan_fingerprint(plan) if plan is not None else None,
+            id(model) if model is not None else None,
+        )
+        self._variants[key] = variant
+        metrics.counter(
+            "repro_codegen_emits_total",
+            "Codegen-backend emission passes.",
+            labels=("outcome",),
+        ).inc(outcome="ok")
+        metrics.histogram(
+            "repro_codegen_emit_seconds",
+            "Codegen-backend emission latency in seconds.",
+        ).observe(time.perf_counter() - started)
+        return variant
+
+    def _variant(self, plan, model) -> _Variant:
+        key = (
+            plan_fingerprint(plan) if plan is not None else None,
+            id(model) if model is not None else None,
+        )
+        variant = self._variants.get(key)
+        # The strong model reference inside the variant keeps
+        # id(model) stable for its lifetime.
+        if variant is not None and (model is None or variant.model is model):
+            return variant
+        return self._emit_variant(plan, model)
+
+    # -- introspection (tests, --dump-source, REP4xx audit) ------------
+
+    def emitted_source(self, plan=None, model=None) -> str:
+        self.ensure_lowered()
+        return self._variant(plan, model).source
+
+    def emit_meta(self, plan=None, model=None) -> EmitMeta:
+        self.ensure_lowered()
+        variant = self._variant(plan, model)
+        if variant.meta is None:
+            # Base variant compiled from cache-shipped source: emission
+            # is deterministic, so re-derive the metadata once.
+            _source, variant.meta = emit_module(
+                self.checked, self.cfgs, self._shapes
+            )
+        return variant.meta
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        *,
+        model=None,
+        hooks=None,
+        seed: int = 0,
+        inputs: tuple[float, ...] = (),
+        max_steps: int = 10_000_000,
+        max_depth: int = 200,
+        record_counts: bool = True,
+    ) -> RunResult:
+        """Execute the main PROGRAM unit once (reference-identical)."""
+        executor: PlanExecutor | None
+        if hooks is None:
+            executor = None
+        elif type(hooks) is PlanExecutor:
+            # Exact type: a subclass could override the hook methods,
+            # which emitted counter bumps would silently not replicate.
+            executor = hooks
+        else:
+            raise UnsupportedHooksError(
+                f"codegen backend only supports PlanExecutor hooks, "
+                f"not {type(hooks).__name__}"
+            )
+        self.ensure_lowered()
+        variant = self._variant(executor.plan if executor else None, model)
+
+        for name in self._shapes:
+            self._call_boxes[name][0] = 0
+            hits = self._node_hits[name]
+            hits[:] = [0] * len(hits)
+            hits = self._edge_hits[name]
+            hits[:] = [0] * len(hits)
+        slots = self._slots_list
+        for i in range(len(slots)):
+            slots[i] = None
+        if executor is not None:
+            for name, shape in self._shapes.items():
+                arr = executor.counters.get(name)
+                if arr is not None:
+                    slots[shape.index] = arr
+        self._steps[0] = 0
+        del self._outputs[:]
+        self._cost[0] = 0.0
+        self._ops_box[0] = 0
+        self._ccost_box[0] = 0.0
+        self._intr[0] = IntrinsicRuntime(seed=seed, inputs=inputs)
+        self._depth_box[0] = 0
+        self._max_steps_box[0] = max_steps
+        self._max_depth_box[0] = max_depth
+        self._main_vars_box[0] = {}
+
+        halted = "end"
+        # Each emitted call frame costs a bounded number of Python
+        # frames; make sure our own max_depth limit fires first.
+        needed = max_depth * 40 + 200
+        old_limit = sys.getrecursionlimit()
+        if old_limit < needed:
+            sys.setrecursionlimit(needed)
+        try:
+            try:
+                variant.main()
+            except _ProgramHalt:
+                halted = "stop"
+        finally:
+            if old_limit < needed:
+                sys.setrecursionlimit(old_limit)
+            # Counter arrays are the executor's own (live writes, like
+            # the reference); only the update tally needs a flush, and
+            # a run that raises must still record the events so far.
+            if executor is not None:
+                executor.updates += self._ops_box[0]
+
+        result = RunResult()
+        result.halted = halted
+        result.steps = self._steps[0]
+        result.outputs = list(self._outputs)
+        result.total_cost = self._cost[0]
+        result.counter_ops = self._ops_box[0]
+        result.counter_cost = self._ccost_box[0]
+        for name, shape in self._shapes.items():
+            calls = self._call_boxes[name][0]
+            # A procedure that was never entered has all-zero hit
+            # arrays; skip the filtering scans outright.
+            if record_counts and calls:
+                result.node_counts[name] = {
+                    nid: hits
+                    for nid, hits in zip(
+                        shape.node_ids, self._node_hits[name]
+                    )
+                    if hits
+                }
+                result.edge_counts[name] = {
+                    key: hits
+                    for key, hits in zip(
+                        shape.edge_keys, self._edge_hits[name]
+                    )
+                    if hits
+                }
+            else:
+                result.node_counts[name] = {}
+                result.edge_counts[name] = {}
+            result.call_counts[name] = calls
+        if halted in ("end", "stop"):
+            result.main_vars.update(self._main_vars_box[0])
+        return result
+
+
+def _fingerprint(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def codegen_backend_for(program) -> CodegenBackend:
+    """The (cached) codegen backend of a CompiledProgram.
+
+    The backend rides along as a ``_codegen`` attribute so the
+    content-hash artifact cache persists its shell — checked program,
+    CFGs and the emitted base source — with the program.
+    """
+    backend = getattr(program, "_codegen", None)
+    if backend is None or backend.checked is not program.checked:
+        backend = CodegenBackend(program.checked, program.cfgs)
+        program._codegen = backend
+    return backend

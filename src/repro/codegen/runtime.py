@@ -1,0 +1,229 @@
+"""The execution namespace of emitted codegen modules.
+
+Every variant a :class:`~repro.codegen.backend.CodegenBackend` emits is
+``exec``'d into a namespace built by :func:`make_namespace`.  The
+namespace carries two kinds of names: shared mutable *boxes* the
+backend resets per run (step counter, cost accumulators, output list,
+per-procedure hit arrays), and the small runtime *helpers* below, which
+replicate the reference interpreter's checked operations — same
+evaluation order, same error messages — for the cases the emitter does
+not inline.
+
+Helper names are underscore-prefixed so they can never collide with an
+emitted ``P_<proc>`` function or ``V_<var>`` local.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InterpreterError, InterpreterLimitError
+from repro.interp.intrinsics import _fortran_mod, _sign
+from repro.interp.machine import (
+    _ProgramHalt,
+    _format_value,
+    _fortran_pow,
+    _trunc_div,
+)
+from repro.interp.values import Cell, ElementRef, FortranArray, coerce
+from repro.lang import ast
+
+
+def _divc(a, b, line):
+    """Checked division, Fortran-truncating for int/int."""
+    if b == 0:
+        raise InterpreterError("division by zero", line)
+    if isinstance(a, int) and isinstance(b, int):
+        return _trunc_div(a, b)
+    return a / b
+
+
+def _sqrtc(value, line):
+    if value < 0:
+        raise InterpreterError("SQRT of negative value", line)
+    return math.sqrt(value)
+
+
+def _logc(value, line):
+    if value <= 0:
+        raise InterpreterError("LOG of non-positive value", line)
+    return math.log(value)
+
+
+def _notc(value, line):
+    if not isinstance(value, bool):
+        raise InterpreterError(".NOT. of non-LOGICAL", line)
+    return not value
+
+
+def _andchk(value, line):
+    if not isinstance(value, bool):
+        raise InterpreterError(".AND. of non-LOGICAL", line)
+    return value
+
+
+def _orchk(value, line):
+    if not isinstance(value, bool):
+        raise InterpreterError(".OR. of non-LOGICAL", line)
+    return value
+
+
+def _irand(intr, a, b, line):
+    lo, hi = int(a), int(b)
+    if lo > hi:
+        raise InterpreterError(f"IRAND({lo}, {hi}): empty range", line)
+    return intr.rng.randint(lo, hi)
+
+
+def _input(intr, a, line):
+    index = int(a)
+    if not 1 <= index <= len(intr.inputs):
+        raise InterpreterError(
+            f"INPUT({index}): run has {len(intr.inputs)} inputs", line
+        )
+    return intr.inputs[index - 1]
+
+
+def _cI(value, line):
+    if isinstance(value, bool):
+        raise InterpreterError("cannot store LOGICAL in INTEGER", line)
+    return int(value)
+
+
+def _cR(value, line):
+    if isinstance(value, bool):
+        raise InterpreterError("cannot store LOGICAL in REAL", line)
+    return float(value)
+
+
+def _cL(value, line):
+    if not isinstance(value, bool):
+        raise InterpreterError("cannot store number in LOGICAL", line)
+    return value
+
+
+def _get1(data, k, dim, name, line):
+    """Inlined-shape 1-D element load with the reference bounds check."""
+    if 1 <= k <= dim:
+        return data[k - 1]
+    raise InterpreterError(
+        f"{name}: subscript {k} out of bounds 1..{dim}", line
+    )
+
+
+def _getn(array, indices, name, line):
+    """Generic element load (parameter or multi-dim arrays)."""
+    if not isinstance(array, FortranArray):
+        raise InterpreterError(f"{name} is not an array", line)
+    return array.get(indices, line)
+
+
+def _setn(array, indices, value, name, line):
+    if not isinstance(array, FortranArray):
+        raise InterpreterError(f"{name} is not an array", line)
+    array.set(indices, value, line)
+
+
+def _eref(array, indices, line):
+    """Bind one array element by reference (bounds-checked now)."""
+    array.get(indices, line)
+    return ElementRef(array, indices)
+
+
+def _cellv(type_, value, line):
+    """Bind one by-value actual into a fresh Cell of the param type."""
+    cell = Cell(type_)
+    cell.set(value, line)
+    return cell
+
+
+def _trip(start, stop, step):
+    """The reference interpreter's DO trip count, clamped at zero."""
+    span = stop - start + step
+    if isinstance(span, int) and isinstance(step, int):
+        trip = _trunc_div(span, step)
+    else:
+        trip = int(span / step)
+    return max(0, trip)
+
+
+def make_namespace(backend) -> dict:
+    """The globals dict one emitted variant executes in.
+
+    Box objects are owned by ``backend`` and shared across variants, so
+    resetting them once per run covers every compiled module.
+    """
+    ns = {
+        "__builtins__": {},
+        # -- boxes (reset per run by the backend) ----------------------
+        "_s": backend._steps,
+        "_c": backend._cost,
+        "_o": backend._ops_box,
+        "_cc": backend._ccost_box,
+        "_dep": backend._depth_box,
+        "_mdb": backend._max_depth_box,
+        "_msb": backend._max_steps_box,
+        "_irb": backend._intr,
+        "_out": backend._outputs,
+        "_mvb": backend._main_vars_box,
+        "_K": backend._slots_list,
+        # -- classes / singletons --------------------------------------
+        "IE": InterpreterError,
+        "ILE": InterpreterLimitError,
+        "_HALT": _ProgramHalt,
+        "Cell": Cell,
+        "Array": FortranArray,
+        "ERef": ElementRef,
+        "_T_I": ast.Type.INTEGER,
+        "_T_R": ast.Type.REAL,
+        "_T_L": ast.Type.LOGICAL,
+        # -- checked helpers -------------------------------------------
+        "_fmt": _format_value,
+        "_pow": _fortran_pow,
+        "_tdiv": _trunc_div,
+        "_mod": _fortran_mod,
+        "_sign": _sign,
+        "_coerce": coerce,
+        "_divc": _divc,
+        "_sqrtc": _sqrtc,
+        "_logc": _logc,
+        "_notc": _notc,
+        "_andchk": _andchk,
+        "_orchk": _orchk,
+        "_irand": _irand,
+        "_input": _input,
+        "_cI": _cI,
+        "_cR": _cR,
+        "_cL": _cL,
+        "_get1": _get1,
+        "_getn": _getn,
+        "_setn": _setn,
+        "_eref": _eref,
+        "_cellv": _cellv,
+        "_trip": _trip,
+        # -- plain math ------------------------------------------------
+        "_mfmod": math.fmod,
+        "_msqrt": math.sqrt,
+        "_mexp": math.exp,
+        "_msin": math.sin,
+        "_mcos": math.cos,
+        "_matan": math.atan,
+        "_abs": abs,
+        "_min": min,
+        "_max": max,
+        "_int": int,
+        "_float": float,
+        "_round": round,
+        "_isinst": isinstance,
+        "_bool": bool,
+        "_dchk": backend._dchk,
+        "_tuple": tuple,
+        "_len": len,
+    }
+    for name, nh in backend._node_hits.items():
+        ns[f"_NH_{name}"] = nh
+    for name, eh in backend._edge_hits.items():
+        ns[f"_EH_{name}"] = eh
+    for name, cb in backend._call_boxes.items():
+        ns[f"_CB_{name}"] = cb
+    return ns

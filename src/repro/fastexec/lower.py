@@ -38,6 +38,7 @@ from repro.cfg.graph import (
 )
 from repro.errors import InterpreterError
 from repro.fastexec.exprs import LoweringError, compile_expr
+from repro.fastexec.shape import build_shape
 from repro.interp.machine import _ProgramHalt, _format_value, _trunc_div
 from repro.interp.values import Cell, ElementRef, FortranArray, coerce
 from repro.lang import ast
@@ -136,77 +137,29 @@ def make_threaded_proc(checked, name: str, cfg: ControlFlowGraph, index: int):
 
     Layouts must exist for *every* procedure before any closure is
     compiled: call sites resolve callee parameter slots at compile
-    time.
+    time.  The static layout itself is the backend-independent
+    :class:`~repro.fastexec.shape.ProcShape`, shared with the codegen
+    backend.
     """
-    unit = checked.unit
-    proc = unit.procedures.get(name)
-    if proc is None:
-        if unit.main.name != name:
-            raise LoweringError(f"no procedure named {name}")
-        proc = unit.main
-    table = checked.tables[name]
+    shape = build_shape(checked, name, cfg, index)
 
     tp = ThreadedProc()
     tp.name = name
     tp.index = index
-    tp.proc = proc
+    tp.proc = shape.proc
     tp.cfg = cfg
-
-    # Parameters first (binding order), then the remaining symbol-table
-    # variables in declaration order — the same order the reference
-    # interpreter populates its env dict.
-    layout: dict[str, int] = {}
-    for param in proc.params:
-        if param not in layout:
-            layout[param] = len(layout)
-    for vname in table.variables:
-        if vname not in layout:
-            layout[vname] = len(layout)
-    tp.layout = layout
-    tp.names = list(layout)
-
-    trip_slots: dict[str, int] = {}
-    for node in cfg.nodes.values():
-        tv = node.trip_var
-        if tv is not None and tv not in trip_slots:
-            trip_slots[tv] = len(layout) + len(trip_slots)
-    tp.trip_slots = trip_slots
-    tp.env_size = len(layout) + len(trip_slots)
-
-    init_cells = []
-    init_arrays = []
-    for vname, info in table.variables.items():
-        if info.is_param:
-            continue
-        if info.is_array:
-            init_arrays.append((layout[vname], vname, info.type, info.dims))
-        else:
-            init_cells.append((layout[vname], info.type))
-    tp.init_cells = tuple(init_cells)
-    tp.init_arrays = tuple(init_arrays)
-
-    if proc.kind is ast.ProcKind.FUNCTION:
-        ret_slot = layout.get(proc.name)
-        if ret_slot is None:
-            raise LoweringError(
-                f"{name}: FUNCTION has no result variable slot"
-            )
-        tp.ret_slot = ret_slot
-    else:
-        tp.ret_slot = None
-
-    tp.node_ids = list(cfg.nodes)
-    tp.dense = {nid: i for i, nid in enumerate(tp.node_ids)}
-    if cfg.entry not in tp.dense:
-        raise LoweringError(f"{name}: entry node missing from CFG")
-    tp.entry_idx = tp.dense[cfg.entry]
-
-    tp.edge_keys = [
-        (edge.src, edge.label)
-        for edge in cfg.edges
-        if not is_pseudo_label(edge.label)
-    ]
-    tp.edge_index = {key: i for i, key in enumerate(tp.edge_keys)}
+    tp.layout = shape.layout
+    tp.names = shape.names
+    tp.trip_slots = shape.trip_slots
+    tp.env_size = shape.env_size
+    tp.init_cells = shape.init_cells
+    tp.init_arrays = shape.init_arrays
+    tp.ret_slot = shape.ret_slot
+    tp.node_ids = shape.node_ids
+    tp.dense = shape.dense
+    tp.entry_idx = shape.entry_idx
+    tp.edge_keys = shape.edge_keys
+    tp.edge_index = shape.edge_index
 
     tp.node_hits = [0] * len(tp.node_ids)
     tp.edge_hits = [0] * len(tp.edge_keys)

@@ -151,7 +151,13 @@ def plan_fingerprint(plan: ProgramPlan) -> tuple:
     counter updates, so a backend may reuse one lowered op table for
     both (ablation builds can share a ``kind`` while differing in
     placement, hence content — not kind — is the key).
+
+    The fingerprint is memoized on the plan object — backends look it
+    up on every profiled run, and plans are immutable once built.
     """
+    cached = getattr(plan, "_fingerprint_cache", None)
+    if cached is not None:
+        return cached
     per_proc = []
     for name in sorted(plan.plans):
         p = plan.plans[name]
@@ -167,4 +173,9 @@ def plan_fingerprint(plan: ProgramPlan) -> tuple:
                 ),
             )
         )
-    return (plan.kind, tuple(per_proc))
+    fingerprint = (plan.kind, tuple(per_proc))
+    try:
+        plan._fingerprint_cache = fingerprint
+    except AttributeError:
+        pass  # slotted or frozen plan: recompute each call
+    return fingerprint

@@ -25,6 +25,7 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.reducibility import is_reducible, split_nodes
 from repro.costs.model import MachineModel, SCALAR_MACHINE
 from repro.ecfg import ExtendedCFG, build_ecfg
+from repro.codegen import codegen_backend_for
 from repro.fastexec import LoweringError, backend_for
 from repro.interp import ExecutionHooks, Interpreter, RunResult
 from repro.lang.parser import parse_program
@@ -120,55 +121,66 @@ def verify_compiled(program: CompiledProgram, plan=None) -> None:
 
 
 #: Valid ``backend=`` choices for :func:`run_program`.
-BACKENDS = ("auto", "threaded", "reference")
+BACKENDS = ("auto", "codegen", "threaded", "reference")
+
+
+def _fallback(reason: str) -> None:
+    metrics.counter(
+        "repro_backend_fallbacks_total",
+        "Runs that fell back to a slower backend.",
+        labels=("reason",),
+    ).inc(reason=reason)
 
 
 def _select_backend(program, hooks, backend: str):
-    """The ThreadedBackend to run with, or None for the reference.
+    """The engine to run with: ``(name, backend-or-None)``.
 
-    ``auto`` (the default) uses the threaded backend whenever the run
-    is expressible there — hooks either absent or a plain
-    :class:`PlanExecutor` — and silently falls back to the reference
-    interpreter otherwise (chained hooks, loop-moment recording, or a
-    program the lowering pass rejects).  ``threaded``/``reference``
-    force one side; the ``REPRO_BACKEND`` environment variable
-    overrides ``auto`` only.
+    ``auto`` (the default) prefers the codegen backend, then the
+    threaded backend, then the reference interpreter, stepping down
+    whenever the run is not expressible in the faster engine — hooks
+    other than a plain :class:`PlanExecutor` (chained hooks,
+    loop-moment recording) or a program the lowering pass rejects —
+    recording each step down in
+    ``repro_backend_fallbacks_total{reason}``.  Explicit names force
+    one engine; the ``REPRO_BACKEND`` environment variable overrides
+    ``auto`` only.
     """
     if backend == "auto":
         env_choice = os.environ.get("REPRO_BACKEND", "")
-        if env_choice in ("threaded", "reference"):
+        if env_choice in ("codegen", "threaded", "reference"):
             backend = env_choice
     if backend == "reference":
-        return None
-    if backend not in ("auto", "threaded"):
+        return "reference", None
+    if backend not in ("auto", "codegen", "threaded"):
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     if hooks is not None and type(hooks) is not PlanExecutor:
-        if backend == "threaded":
+        if backend != "auto":
             raise LoweringError(
-                "threaded backend cannot drive "
+                f"{backend} backend cannot drive "
                 f"{type(hooks).__name__} hooks; use backend='reference'"
             )
-        metrics.counter(
-            "repro_backend_fallbacks_total",
-            "Runs that fell back to the reference interpreter.",
-            labels=("reason",),
-        ).inc(reason="hooks")
-        return None
+        _fallback("hooks")
+        return "reference", None
+    if backend in ("auto", "codegen"):
+        engine = codegen_backend_for(program)
+        try:
+            engine.ensure_lowered()
+            return "codegen", engine
+        except LoweringError:
+            if backend == "codegen":
+                raise
+            _fallback("lowering")
     threaded = backend_for(program)
     try:
         threaded.ensure_lowered()
     except LoweringError:
         if backend == "threaded":
             raise
-        metrics.counter(
-            "repro_backend_fallbacks_total",
-            "Runs that fell back to the reference interpreter.",
-            labels=("reason",),
-        ).inc(reason="lowering")
-        return None
-    return threaded
+        _fallback("lowering")
+        return "reference", None
+    return "threaded", threaded
 
 
 def run_program(
@@ -183,19 +195,19 @@ def run_program(
 ) -> RunResult:
     """Execute the program once.
 
-    ``backend`` selects the execution engine: ``"auto"`` (threaded
-    when possible, reference otherwise — see :func:`_select_backend`),
-    ``"threaded"`` or ``"reference"``.  Both engines produce
-    bit-identical results.
+    ``backend`` selects the execution engine: ``"auto"`` (codegen when
+    possible, then threaded, then reference — see
+    :func:`_select_backend`), ``"codegen"``, ``"threaded"`` or
+    ``"reference"``.  All engines produce bit-identical results.
     """
-    threaded = _select_backend(program, hooks, backend)
+    chosen, engine = _select_backend(program, hooks, backend)
     metrics.counter(
         "repro_runs_total",
         "Program executions by backend.",
         labels=("backend",),
-    ).inc(backend="threaded" if threaded is not None else "reference")
-    if threaded is not None:
-        return threaded.run(
+    ).inc(backend=chosen)
+    if engine is not None:
+        return engine.run(
             model=model,
             hooks=hooks,
             seed=seed,

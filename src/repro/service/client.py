@@ -188,6 +188,7 @@ class ServiceClient:
         verify: bool = False,
         loop_variance: str = "zero",
         max_steps: int | None = None,
+        backend: str = "auto",
         ingest: str | None = None,
         request_id: str | None = None,
     ) -> dict:
@@ -197,6 +198,7 @@ class ServiceClient:
             "plan": plan,
             "verify": verify,
             "loop_variance": loop_variance,
+            "backend": backend,
         }
         if max_steps is not None:
             payload["max_steps"] = max_steps

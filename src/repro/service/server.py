@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import repro
 from repro.batch import run_batch
+from repro.pipeline import BACKENDS
 from repro.batch.aggregate import canonical_json, summarize_item
 from repro.batch.cache import ArtifactCache
 from repro.batch.engine import BatchItem
@@ -459,11 +460,15 @@ class ProfilingService:
         max_steps = payload.get("max_steps", self.config.max_steps_cap)
         if not isinstance(max_steps, int) or max_steps < 1:
             raise ProtocolError('"max_steps" must be a positive integer')
+        backend = payload.get("backend", "auto")
+        if backend not in BACKENDS:
+            raise ProtocolError(f'"backend" must be one of {list(BACKENDS)}')
         return {
             "plan": plan,
             "verify": verify,
             "loop_variance": loop_variance,
             "max_steps": min(max_steps, self.config.max_steps_cap),
+            "backend": backend,
         }
 
     def _normalize_runs(self, payload: dict) -> list[dict]:
@@ -602,9 +607,16 @@ class ProfilingService:
                     task.payload["verify"],
                     task.payload["loop_variance"],
                     task.payload["max_steps"],
+                    task.payload.get("backend", "auto"),
                 )
                 groups.setdefault(group_key, []).append(task)
-            for (plan, verify, loop_variance, max_steps), group in sorted(
+            for (
+                plan,
+                verify,
+                loop_variance,
+                max_steps,
+                backend,
+            ), group in sorted(
                 groups.items(), key=lambda pair: repr(pair[0])
             ):
                 items = [
@@ -641,6 +653,7 @@ class ProfilingService:
                         verify=verify,
                         loop_variance=loop_variance,
                         max_steps=max_steps,
+                        backend=backend,
                         should_stop=self._abort_flush.is_set,
                     )
                 for task, result in zip(group, report.results):

@@ -1,0 +1,1 @@
+"""Codegen-backend unit tests and the mutation-kill suite."""

@@ -1,0 +1,205 @@
+"""The shared cross-backend conformance harness.
+
+Every execution backend is only allowed to exist because it is
+*observationally identical* to the tree-walking reference
+interpreter: same outputs, same error type and message raised at the
+same step, same node/edge/call counts, float-bit-exact ``total_cost``
+and ``counter_cost``, same live counter values and update tallies,
+and therefore bit-identical reconstructed ``FREQ``/``NODE_FREQ``/
+``TOTAL_FREQ``.  This module turns that contract into two reusable
+functions:
+
+* :func:`observe` — one run's full observable behaviour as a plain
+  dict (errors included), with floats pinned by ``repr`` so ``-0.0``
+  vs ``0.0`` or a one-ulp drift cannot hide behind ``==``;
+* :func:`assert_conformance` — run one program through every backend,
+  plain and profiled, and assert the observations are identical.
+
+The conformance suite, the fuzz suite and the mutation-kill suite all
+drive these same helpers, so "conformant" means exactly one thing
+everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro import SCALAR_MACHINE, compile_source, smart_program_plan
+from repro.analysis.freq import compute_frequencies
+from repro.errors import ReproError
+from repro.pipeline import run_program
+from repro.profiling import PlanExecutor, reconstruct_profile
+from repro.workloads import builtin_sources
+from repro.workloads.generators import ProgramGenerator
+
+#: Every execution backend, reference first (it defines the truth).
+BACKENDS = ("reference", "threaded", "codegen")
+
+#: Enough INPUT() values for every builtin that reads them.
+INPUTS = (2.25, 9.0, 16.0)
+
+_CACHE: dict[object, object] = {}
+
+
+def builtin_program(name: str):
+    """Compile a builtin workload once per session."""
+    if name not in _CACHE:
+        source = dict(builtin_sources())[name]
+        _CACHE[name] = compile_source(source)
+    return _CACHE[name]
+
+
+def generated_program(gen_seed: int):
+    """Compile a generator-corpus program once per session."""
+    if gen_seed not in _CACHE:
+        _CACHE[gen_seed] = compile_source(ProgramGenerator(gen_seed).source())
+    return _CACHE[gen_seed]
+
+
+def _pin_float(value):
+    """A float compared by its repr: bit-identity, not mere equality."""
+    return (value, repr(value))
+
+
+def observe(program, backend: str, *, hooks=None, **kwargs) -> dict:
+    """One run's complete observable behaviour, errors included."""
+    try:
+        result = run_program(program, backend=backend, hooks=hooks, **kwargs)
+    except ReproError as exc:
+        return {"error": (type(exc).__name__, str(exc))}
+    return {
+        "halted": result.halted,
+        "steps": result.steps,
+        "outputs": result.outputs,
+        "total_cost": _pin_float(result.total_cost),
+        "counter_ops": result.counter_ops,
+        "counter_cost": _pin_float(result.counter_cost),
+        "node_counts": result.node_counts,
+        "edge_counts": result.edge_counts,
+        "call_counts": result.call_counts,
+        "main_vars": result.main_vars,
+    }
+
+
+def _diverge(backend: str, what: str, reference, candidate, context: str):
+    raise AssertionError(
+        f"{backend} backend diverges from reference on {what}{context}:\n"
+        f"  reference: {reference!r}\n"
+        f"  {backend}: {candidate!r}"
+    )
+
+
+def _compare_observations(reference: dict, candidates: dict, context: str):
+    for backend, observed in candidates.items():
+        if observed == reference:
+            continue
+        keys = set(reference) | set(observed)
+        for key in sorted(keys):
+            if reference.get(key) != observed.get(key):
+                _diverge(
+                    backend, key, reference.get(key), observed.get(key),
+                    context,
+                )
+        _diverge(backend, "observation", reference, observed, context)
+
+
+def _dump_emitted(program, plan, model) -> None:
+    """Save the codegen backend's emitted source for post-mortems.
+
+    Active only when ``REPRO_CONFORMANCE_DUMP`` names a directory (CI
+    sets it and uploads the directory as an artifact on failure); a
+    divergence report without the generated text it came from is
+    nearly impossible to act on.
+    """
+    out = os.environ.get("REPRO_CONFORMANCE_DUMP")
+    if not out:
+        return
+    try:
+        from repro.codegen import codegen_backend_for
+
+        source = codegen_backend_for(program).emitted_source(plan, model)
+    except Exception:
+        return  # not lowerable: the divergence is elsewhere
+    os.makedirs(out, exist_ok=True)
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+    with open(os.path.join(out, f"emitted-{digest}.py"), "w") as fh:
+        fh.write(source)
+
+
+def assert_conformance(
+    program,
+    *,
+    backends=BACKENDS,
+    model=SCALAR_MACHINE,
+    **kwargs,
+) -> None:
+    """Every backend, plain and profiled, must be indistinguishable.
+
+    ``backends`` must start with ``"reference"`` — it is the oracle the
+    others are judged against.
+    """
+    assert backends[0] == "reference"
+    others = backends[1:]
+
+    # 1. Plain runs (with a cost model: total_cost must match too).
+    plain = {b: observe(program, b, model=model, **kwargs) for b in backends}
+    try:
+        _compare_observations(
+            plain["reference"],
+            {b: plain[b] for b in others},
+            " (plain run)",
+        )
+    except AssertionError:
+        _dump_emitted(program, None, model)
+        raise
+
+    # 2. Profiled runs: RunResult, live counter state, update count.
+    plan = smart_program_plan(program)
+    executors = {}
+    profiled = {}
+    for backend in backends:
+        executors[backend] = PlanExecutor(plan)
+        profiled[backend] = observe(
+            program, backend, hooks=executors[backend], model=model, **kwargs
+        )
+    try:
+        _compare_observations(
+            profiled["reference"],
+            {b: profiled[b] for b in others},
+            " (profiled run)",
+        )
+    except AssertionError:
+        _dump_emitted(program, plan, model)
+        raise
+    for backend in others:
+        assert executors[backend].counters == executors["reference"].counters, (
+            f"{backend} live counter slots diverge"
+        )
+        assert executors[backend].updates == executors["reference"].updates, (
+            f"{backend} counter update tally diverges"
+        )
+
+    # 3. Reconstruction: identical FREQ / NODE_FREQ / TOTAL_FREQ.
+    if "error" in profiled["reference"]:
+        return  # all runs failed identically; nothing to reconstruct
+    profiles = {
+        backend: reconstruct_profile(plan, executor, runs=1)
+        for backend, executor in executors.items()
+    }
+    for name in program.cfgs:
+        fcdg = program.fcdgs[name]
+        freqs = {
+            backend: compute_frequencies(fcdg, profiles[backend].proc(name))
+            for backend in backends
+        }
+        for backend in others:
+            assert freqs[backend].total_freq == freqs["reference"].total_freq, (
+                f"{backend} TOTAL_FREQ diverges in {name}"
+            )
+            assert freqs[backend].freq == freqs["reference"].freq, (
+                f"{backend} FREQ diverges in {name}"
+            )
+            assert freqs[backend].node_freq == freqs["reference"].node_freq, (
+                f"{backend} NODE_FREQ diverges in {name}"
+            )

@@ -1,7 +1,7 @@
 """Unit tests of the threaded backend's machinery.
 
-The differential suite (tests/property/test_differential_backends.py)
-establishes behavioral equivalence; these tests pin the machinery
+The conformance suite (tests/conformance/) establishes behavioral
+equivalence across all backends; these tests pin the machinery
 around it: backend selection and fallback, the pickle shell, plan
 op-table caching, slot-table validation, and the reconstruction
 schedule's equivalence with the rule solver.
@@ -50,12 +50,20 @@ def program():
 
 
 class TestSelection:
-    def test_auto_uses_threaded(self, program):
-        backend = _select_backend(program, None, "auto")
-        assert isinstance(backend, ThreadedBackend)
+    def test_auto_uses_codegen_first(self, program):
+        name, engine = _select_backend(program, None, "auto")
+        assert name == "codegen" and engine is not None
+
+    def test_forced_threaded(self, program):
+        name, engine = _select_backend(program, None, "threaded")
+        assert name == "threaded"
+        assert isinstance(engine, ThreadedBackend)
 
     def test_reference_opts_out(self, program):
-        assert _select_backend(program, None, "reference") is None
+        assert _select_backend(program, None, "reference") == (
+            "reference",
+            None,
+        )
 
     def test_unknown_backend_rejected(self, program):
         with pytest.raises(ValueError):
@@ -63,7 +71,10 @@ class TestSelection:
 
     def test_non_planexecutor_hooks_fall_back(self, program):
         chain = HookChain([PlanExecutor(smart_program_plan(program))])
-        assert _select_backend(program, chain, "auto") is None
+        assert _select_backend(program, chain, "auto") == (
+            "reference",
+            None,
+        )
 
     def test_forced_threaded_rejects_foreign_hooks(self, program):
         chain = HookChain([PlanExecutor(smart_program_plan(program))])
@@ -75,14 +86,23 @@ class TestSelection:
             pass
 
         hooks = Custom(smart_program_plan(program))
-        assert _select_backend(program, hooks, "auto") is None
+        assert _select_backend(program, hooks, "auto") == (
+            "reference",
+            None,
+        )
 
     def test_env_var_overrides_auto(self, program, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "reference")
-        assert _select_backend(program, None, "auto") is None
+        assert _select_backend(program, None, "auto") == (
+            "reference",
+            None,
+        )
+        monkeypatch.setenv("REPRO_BACKEND", "threaded")
+        name, _engine = _select_backend(program, None, "auto")
+        assert name == "threaded"
         # An explicit argument beats the environment.
-        backend = _select_backend(program, None, "threaded")
-        assert isinstance(backend, ThreadedBackend)
+        name, engine = _select_backend(program, None, "codegen")
+        assert name == "codegen" and engine is not None
 
 
 class TestBackendCache:

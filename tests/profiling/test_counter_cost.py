@@ -3,21 +3,25 @@
 §3.3 charges profiling overhead per *counter update*: an Opt-3 batch
 counter adds the whole trip count in **one** update at the DO_INIT, so
 a thousand-iteration loop costs one `counter_update`, not a thousand.
-These tests pin `counter_ops`/`counter_cost` to exact values on both
-backends so a regression in either accounting (charging per iteration,
-or per batch entry instead of per add) cannot land silently.
+These tests pin `counter_ops`/`counter_cost` to exact values on every
+backend — reference, threaded and codegen — so a regression in any
+accounting (charging per iteration, or per batch entry instead of per
+add) cannot land silently.  For the codegen backend the *emitted
+source* is audited too: the number of distinct bump sites folded into
+the text must equal the plan's lowered site count.
 """
 
 import pytest
 
 from repro import SCALAR_MACHINE, compile_source, smart_program_plan
+from repro.fastexec.plans import lower_counter_plan
 from repro.pipeline import run_program
 from repro.profiling import PlanExecutor
 from repro.workloads.paper_example import PAPER_SOURCE
 
-pytestmark = pytest.mark.threaded
+pytestmark = [pytest.mark.threaded, pytest.mark.codegen]
 
-BACKENDS = ("threaded", "reference")
+BACKENDS = ("reference", "threaded", "codegen")
 
 #: An exit-free DO loop with a runtime-dependent trip count: Opt 3
 #: places a batch counter at the DO_INIT instead of eliding it.
@@ -56,7 +60,7 @@ def test_opt3_trip_add_is_one_update(backend):
 
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_figure3_counter_ops_pinned(backend):
-    """The paper's Figure-3 example: exact update count, both backends.
+    """The paper's Figure-3 example: exact update count, every backend.
 
     With seed 0 the run makes 20 counter updates under the smart plan
     (pinned from the reference interpreter); `counter_cost` is exactly
@@ -99,3 +103,41 @@ def test_counter_ops_identical_across_backends():
             executor.counters,
         )
     assert results["threaded"] == results["reference"]
+    assert results["codegen"] == results["reference"]
+
+
+@pytest.mark.parametrize(
+    "source,inputs", [(BATCHED_LOOP, (5.0,)), (PAPER_SOURCE, ())]
+)
+def test_codegen_emits_one_bump_site_per_planned_site(source, inputs):
+    """The emitted text carries exactly the plan's update sites.
+
+    `meta.bumps` records every `slots[i] += ...` line the emitter
+    wrote; deduplicated (a fused block's slow-path replay restates its
+    sites textually) the set must match the lowered slot tables
+    one-for-one — §3.3's "cost = number of planted counters" claim,
+    checked against the generated code itself.
+    """
+    from repro.codegen import codegen_backend_for
+
+    program = compile_source(source)
+    plan = smart_program_plan(program)
+    backend = codegen_backend_for(program)
+    backend.ensure_lowered()
+    meta = backend.emit_meta(plan)
+    for name, proc_plan in plan.plans.items():
+        table = lower_counter_plan(proc_plan)
+        planned = (
+            {(slot, "node", nid) for nid, slot in table.node_slots.items()}
+            | {
+                (slot, "edge", key)
+                for key, slot in table.edge_slots.items()
+            }
+            | {
+                (slot, "batch", nid)
+                for nid, pairs in table.batch_slots.items()
+                for slot, _offset in pairs
+            }
+        )
+        emitted = set(meta.bumps.get(name, ()))
+        assert emitted == planned, name

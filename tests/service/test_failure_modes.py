@@ -26,13 +26,13 @@ from repro.workloads.paper_example import PAPER_SOURCE
 
 pytestmark = pytest.mark.service
 
-#: ~0.4s of work even on the threaded backend: enough to outlive a
-#: 0.1s budget.
+#: ~0.4s of work even on the codegen backend (and under the 10M-step
+#: limit): enough to outlive a 0.1s budget.
 SLOW_SOURCE = """\
       PROGRAM MAIN
       INTEGER I, X
       X = 0
-      DO 10 I = 1, 120000
+      DO 10 I = 1, 2000000
         X = X + 1
 10    CONTINUE
       END
