@@ -121,6 +121,9 @@ class ControlFlowGraph:
     _succ: dict[int, list[CFGEdge]] = field(default_factory=dict, repr=False)
     _pred: dict[int, list[CFGEdge]] = field(default_factory=dict, repr=False)
     _next_id: int = 1
+    #: ``(line, text)`` of statements dropped by :meth:`prune_unreachable`
+    #: — kept so the checker can still report them (REP302).
+    pruned: list[tuple[int | None, str]] = field(default_factory=list)
 
     # -- construction --------------------------------------------------------
 
@@ -252,6 +255,9 @@ class ControlFlowGraph:
             if node_id not in reachable and node_id != self.exit
         ]
         for node_id in removed:
+            node = self.nodes[node_id]
+            if node.stmt is not None or node.cond is not None:
+                self.pruned.append((node.line, node.text))
             self.remove_node(node_id)
         return removed
 
@@ -275,6 +281,7 @@ class ControlFlowGraph:
         """A structural copy sharing node payloads (stmt/cond refs)."""
         clone = ControlFlowGraph(name=self.name, entry=self.entry, exit=self.exit)
         clone._next_id = self._next_id
+        clone.pruned = list(self.pruned)
         for node_id, node in self.nodes.items():
             clone.nodes[node_id] = CFGNode(
                 id=node.id,

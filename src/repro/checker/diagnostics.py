@@ -66,6 +66,9 @@ CODES: dict[str, tuple[Severity, str]] = {
     "REP303": (Severity.WARNING, "DO index mutated inside loop"),
     "REP304": (Severity.INFO, "program has no STOP statement"),
     "REP305": (Severity.INFO, "non-constant trip disables Opt-3 elision"),
+    "REP306": (Severity.INFO, "dead store: assigned value is never read"),
+    "REP307": (Severity.INFO, "branch condition is constant on all paths"),
+    "REP308": (Severity.WARNING, "loop has no feasible exit"),
     # REP4xx — counter-slot tables (threaded-backend lowering)
     "REP401": (Severity.ERROR, "slot written but backs no measured counter"),
     "REP402": (Severity.ERROR, "measured counter has no update site"),

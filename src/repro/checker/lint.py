@@ -1,20 +1,26 @@
 """Dataflow lints over minifort sources (REP3xx).
 
-The linter runs on the checked AST and the statement-level CFGs, so
-its findings are path-aware where that matters:
+The linter runs on the checked AST and the statement-level CFGs.  In
+the default ``lint_mode="dataflow"`` the path-sensitive findings come
+from the worklist analyses of :mod:`repro.dataflow` (reaching
+definitions, liveness, SCCP constants); ``lint_mode="syntactic"``
+keeps the historical purely-syntactic implementations for one release
+as an escape hatch.
 
 * **REP301** (hint) — a scalar read that no path from the procedure
-  entry can have defined.  Computed as a forward *may-be-defined*
-  union dataflow over the CFG; a read outside the may-defined set is
-  uninitialized on every path, so the finding has no path
-  false-positives.  Scalars passed to a CALL or FUNCTION are
-  conservatively treated as defined (Fortran passes by reference),
-  and arrays are not tracked.  A hint rather than a warning because
-  minifort (unlike Fortran 77) guarantees zero-initialization, so
-  relying on it is defined behavior — merely suspect;
-* **REP302** — an unlabelled statement directly following a statement
-  that never falls through (GOTO, STOP, RETURN, arithmetic IF) can
-  never execute;
+  entry can have defined.  The dataflow engine computes this from
+  reaching definitions restricted to SCCP-*feasible* edges, so a
+  definition under a constant-false guard no longer counts, and a
+  scalar passed to a CALL only counts as defined when the callee's
+  parameter summary says the position is writable (read-only callees
+  used to suppress genuine findings).  A hint rather than a warning
+  because minifort (unlike Fortran 77) guarantees
+  zero-initialization, so relying on it is defined behavior — merely
+  suspect;
+* **REP302** — a statement that can never execute.  The dataflow mode
+  reports every statement the CFG builder pruned as unreachable from
+  the procedure entry (the syntactic mode only catches an unlabelled
+  statement right after a jump);
 * **REP303** — an assignment to a DO loop's index variable (or a
   nested DO reusing it) inside the loop body: Fortran-77 leaves the
   result undefined, and the interval analysis assumes the hidden trip
@@ -22,7 +28,15 @@ its findings are path-aware where that matters:
 * **REP304** (hint) — the main program has no STOP statement;
 * **REP305** (hint) — an exit-free DO loop whose trip count is not a
   compile-time constant: the counter-free half of Opt 3 silently does
-  not apply, so the loop keeps a batched counter.
+  not apply, so the loop keeps a batched counter;
+* **REP306** (hint, dataflow mode) — a scalar store no feasible path
+  ever reads (liveness-dead) whose right-hand side provably cannot
+  raise; exactly the stores the ``optimize=True`` codegen drops;
+* **REP307** (hint, dataflow mode) — a branch whose condition SCCP
+  proves constant on every feasible path, naming the taken arm;
+  exactly the branches the ``optimize=True`` codegen folds;
+* **REP308** (dataflow mode) — a loop no feasible edge ever leaves:
+  once entered, the program can never terminate.
 
 Hints are only produced with ``hints=True``; they describe missed
 optimizations rather than likely bugs, and built-in workloads trip
@@ -36,11 +50,31 @@ from repro.lang import ast
 from repro.lang.symbols import CheckedProgram
 from repro.profiling.placement import _constant_trip
 
+#: Valid ``lint_mode=`` choices (``repro check --lint-mode``).
+LINT_MODES = ("dataflow", "syntactic")
+
 
 def lint_program(
-    checked: CheckedProgram, cfgs, *, hints: bool = False
+    checked: CheckedProgram,
+    cfgs,
+    *,
+    hints: bool = False,
+    lint_mode: str = "dataflow",
 ) -> list[Diagnostic]:
     """All REP3xx findings for a checked program."""
+    if lint_mode not in LINT_MODES:
+        raise ValueError(
+            f"unknown lint_mode {lint_mode!r}; expected one of {LINT_MODES}"
+        )
+    if lint_mode == "syntactic":
+        return _lint_syntactic(checked, cfgs, hints=hints)
+    return _lint_dataflow(checked, cfgs, hints=hints)
+
+
+def _lint_syntactic(
+    checked: CheckedProgram, cfgs, *, hints: bool = False
+) -> list[Diagnostic]:
+    """The historical syntactic lint battery (pre-dataflow)."""
     findings: list[Diagnostic] = []
     for name, proc in sorted(checked.unit.procedures.items()):
         findings.extend(_lint_unreachable(proc))
@@ -51,6 +85,228 @@ def lint_program(
                 findings.extend(_lint_use_before_def(checked, proc, cfg))
             findings.extend(_lint_missing_stop(proc))
             findings.extend(_lint_nonconstant_trip(checked, proc))
+    return findings
+
+
+def _lint_dataflow(
+    checked: CheckedProgram, cfgs, *, hints: bool = False
+) -> list[Diagnostic]:
+    """The dataflow-engine lint battery (REP301/302/306/307/308)."""
+    from repro.dataflow import analyze_procedure, param_summaries
+
+    summaries = param_summaries(checked)
+    findings: list[Diagnostic] = []
+    for name, proc in sorted(checked.unit.procedures.items()):
+        cfg = cfgs.get(name)
+        df = None
+        if cfg is not None:
+            df = analyze_procedure(checked, name, cfg, summaries=summaries)
+            findings.extend(_df_unreachable(proc, cfg))
+            findings.extend(_df_infinite_loops(proc, cfg, df))
+        else:
+            findings.extend(_lint_unreachable(proc))
+        findings.extend(_lint_do_index_mutation(proc))
+        if hints:
+            if df is not None:
+                findings.extend(_df_use_before_def(proc, cfg, df))
+                findings.extend(_df_constant_branches(proc, cfg, df))
+                findings.extend(_df_dead_stores(checked, proc, cfg, df))
+            findings.extend(_lint_missing_stop(proc))
+            findings.extend(_lint_nonconstant_trip(checked, proc))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Dataflow-engine implementations
+# ---------------------------------------------------------------------------
+
+
+def _df_use_before_def(proc: ast.Procedure, cfg, df) -> list[Diagnostic]:
+    """REP301 over reaching definitions on the feasible subgraph."""
+    findings: list[Diagnostic] = []
+    reported: set[str] = set()
+    for node_id in sorted(cfg.nodes):
+        state = df.reaching.in_of.get(node_id)
+        if state is None:
+            continue  # unreachable along feasible edges
+        facts = df.facts[node_id]
+        for var in sorted(facts.uses_rd):
+            if var in state or var in reported:
+                continue
+            reported.add(var)  # one finding per variable per procedure
+            findings.append(
+                diag(
+                    "REP301",
+                    f"{var} is read but defined on no feasible path "
+                    "from entry",
+                    proc=proc.name,
+                    node=node_id,
+                    line=cfg.nodes[node_id].line,
+                )
+            )
+    return findings
+
+
+def _df_unreachable(proc: ast.Procedure, cfg) -> list[Diagnostic]:
+    """REP302 from the CFG builder's pruned-statement record."""
+    findings: list[Diagnostic] = []
+    for line, text in getattr(cfg, "pruned", ()):
+        detail = f": {text}" if text else ""
+        findings.append(
+            diag(
+                "REP302",
+                "statement can never execute (unreachable in the "
+                f"control-flow graph){detail}",
+                proc=proc.name,
+                line=line,
+            )
+        )
+    return findings
+
+
+def _df_constant_branches(proc: ast.Procedure, cfg, df) -> list[Diagnostic]:
+    """REP307: SCCP proves the branch one-way; name the taken arm."""
+    findings: list[Diagnostic] = []
+    for node_id in sorted(df.constants.forced):
+        label = df.constants.forced[node_id]
+        node = cfg.nodes.get(node_id)
+        if node is None:
+            continue
+        findings.append(
+            diag(
+                "REP307",
+                "branch condition is constant on every feasible path; "
+                f"always takes the {label!r} arm",
+                proc=proc.name,
+                node=node_id,
+                line=node.line,
+            )
+        )
+    return findings
+
+
+def _df_dead_stores(
+    checked: CheckedProgram, proc: ast.Procedure, cfg, df
+) -> list[Diagnostic]:
+    """REP306: liveness-dead total stores (what codegen DCE drops)."""
+    from repro.dataflow.optimize import plan_proc_optimizations
+
+    opts = plan_proc_optimizations(checked, proc.name, cfg, df)
+    findings: list[Diagnostic] = []
+    for node_id in sorted(opts.dead_stores):
+        node = cfg.nodes[node_id]
+        target = node.stmt.target.name if node.stmt is not None else "?"
+        findings.append(
+            diag(
+                "REP306",
+                f"value stored to {target} is never read on any "
+                "feasible path (dead store)",
+                proc=proc.name,
+                node=node_id,
+                line=node.line,
+            )
+        )
+    return findings
+
+
+def _df_infinite_loops(proc: ast.Procedure, cfg, df) -> list[Diagnostic]:
+    """REP308: a cycle of executable nodes with no feasible way out.
+
+    Strongly connected components over the SCCP-feasible subgraph;
+    a non-trivial SCC (or feasible self-loop) that no feasible edge
+    leaves can never terminate once entered.  Structurally exit-free
+    loops never reach the linter (the FCDG construction rejects them
+    during compilation), so in practice every finding here is a loop
+    whose only exits SCCP proved infeasible.
+    """
+    feasible = df.constants.feasible_edges
+    executable = df.constants.executable
+    succ: dict[int, list[int]] = {n: [] for n in executable}
+    for edge in cfg.edges:
+        if (
+            edge.src in executable
+            and edge.dst in executable
+            and (edge.src, edge.label) in feasible
+        ):
+            succ[edge.src].append(edge.dst)
+
+    # Iterative Tarjan SCC over the feasible subgraph.
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = [0]
+
+    def strongconnect(root: int) -> None:
+        work = [(root, iter(succ[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for child in it:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(succ[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for node_id in sorted(succ):
+        if node_id not in index:
+            strongconnect(node_id)
+
+    findings: list[Diagnostic] = []
+    for component in sccs:
+        members = set(component)
+        cyclic = len(component) > 1 or any(
+            child in members for child in succ[component[0]]
+        )
+        if not cyclic:
+            continue
+        if any(
+            child not in members
+            for member in component
+            for child in succ[member]
+        ):
+            continue  # some feasible edge leaves the cycle
+        where = min(
+            (n for n in component if cfg.nodes[n].line is not None),
+            key=lambda n: cfg.nodes[n].line,
+            default=min(component),
+        )
+        findings.append(
+            diag(
+                "REP308",
+                "loop has no feasible exit: once entered, the program "
+                "can never terminate",
+                proc=proc.name,
+                node=where,
+                line=cfg.nodes[where].line,
+            )
+        )
     return findings
 
 

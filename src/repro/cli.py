@@ -115,6 +115,7 @@ def _cmd_run(args) -> int:
         model=_MODELS[args.model],
         max_steps=args.max_steps,
         backend=args.backend,
+        optimize=args.optimize,
     )
     for line in result.outputs:
         print(line)
@@ -147,6 +148,7 @@ def _cmd_profile(args) -> int:
         model=_MODELS[args.model],
         record_loop_moments=args.loop_moments,
         backend=args.backend,
+        optimize=args.optimize,
     )
     print(
         format_table(
@@ -198,19 +200,39 @@ def _cmd_analyze(args) -> int:
         _MODELS[args.model],
         loop_variance=_LOOP_VARIANCE[args.loop_variance],
     )
-    rows = [
-        [
+    bounds = None
+    if args.static_bounds:
+        from repro.dataflow import compute_static_bounds, format_endpoint
+
+        bounds = compute_static_bounds(
+            program.checked,
+            program.cfgs,
+            _MODELS[args.model],
+            artifacts=program.artifacts(),
+        )
+    headers = ["procedure", "invocations", "TIME", "VAR", "STD_DEV"]
+    if bounds is not None:
+        headers += ["TIME_LO", "TIME_HI", "VAR_HI"]
+    rows = []
+    for name, proc in sorted(analysis.procedures.items()):
+        row = [
             name,
             proc.freqs.invocations,
             proc.time,
             proc.var,
             proc.std_dev,
         ]
-        for name, proc in sorted(analysis.procedures.items())
-    ]
+        if bounds is not None:
+            pb = bounds.procedures[name]
+            row += [
+                format_endpoint(pb.time[0]),
+                format_endpoint(pb.time[1]),
+                format_endpoint(pb.var[1]),
+            ]
+        rows.append(row)
     print(
         format_table(
-            ["procedure", "invocations", "TIME", "VAR", "STD_DEV"],
+            headers,
             rows,
             title=(
                 f"analysis of {args.file} on the "
@@ -222,6 +244,13 @@ def _cmd_analyze(args) -> int:
         f"\nprogram: TIME = {analysis.total_time:.2f}, "
         f"STD_DEV = {analysis.total_std_dev:.2f}"
     )
+    if bounds is not None:
+        mb = bounds.main
+        print(
+            "static bounds (no profile needed): TIME ∈ "
+            f"[{format_endpoint(mb.time[0])}, {format_endpoint(mb.time[1])}]"
+            f", VAR ≤ {format_endpoint(mb.var[1])}"
+        )
     if args.figure3:
         print()
         print(render_fcdg(analysis.main))
@@ -572,6 +601,7 @@ def _cmd_check(args) -> int:
             plan_kinds=plan_kinds,
             lint=not args.no_lint,
             hints=args.hints,
+            lint_mode=args.lint_mode,
         )
         for program_id, source in programs
     ]
@@ -760,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=list(BACKENDS), default="auto",
         help="execution engine (default: auto — threaded with fallback)",
     )
+    p_run.add_argument(
+        "--optimize", action="store_true",
+        help="fold dataflow-constant branches and drop dead stores in "
+        "the codegen backend (results stay bit-identical)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_profile = sub.add_parser(
@@ -782,6 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--backend", choices=list(BACKENDS), default="auto",
         help="execution engine (default: auto — threaded with fallback)",
+    )
+    p_profile.add_argument(
+        "--optimize", action="store_true",
+        help="fold dataflow-constant branches and drop dead stores in "
+        "the codegen backend (counters stay bit-identical)",
     )
     p_profile.set_defaults(func=_cmd_profile)
 
@@ -807,6 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--gprof",
         action="store_true",
         help="print a gprof-style flat/call-graph/hot-spot report",
+    )
+    p_analyze.add_argument(
+        "--static-bounds",
+        action="store_true",
+        help="add profile-free [TIME_lo, TIME_hi] / VAR envelope columns "
+        "from value-range analysis of trip counts",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -914,7 +960,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--hints", action="store_true",
-        help="also emit hint-level findings (REP301/304/305)",
+        help="also emit hint-level findings "
+        "(REP301/304/305/306/307)",
+    )
+    p_check.add_argument(
+        "--lint-mode", choices=["dataflow", "syntactic"],
+        default="dataflow",
+        help="lint implementation: 'dataflow' (CFG dataflow framework, "
+        "default) or 'syntactic' (pre-dataflow behavior, kept for one "
+        "release)",
     )
     p_check.add_argument(
         "--json", metavar="PATH",

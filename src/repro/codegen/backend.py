@@ -54,12 +54,24 @@ class _Variant:
 class CodegenBackend:
     """Source-emitting execution engine for one checked program."""
 
-    def __init__(self, checked, cfgs, *, mutation: str | None = None):
+    def __init__(
+        self,
+        checked,
+        cfgs,
+        *,
+        mutation: str | None = None,
+        optimize=None,
+    ):
         self.checked = checked
         self.cfgs = cfgs
         #: Test seam for the mutation-kill suite: every variant this
         #: backend emits carries the named deliberate miscompile.
         self.mutation = mutation
+        #: Optional :class:`~repro.dataflow.optimize.OptimizationPlan`;
+        #: folds dataflow-proven constant branches and drops dead
+        #: stores at emission time (results stay bit-identical — the
+        #: pruned regions have static FREQ 0).
+        self.optimize = optimize
         self._shipped_source: str | None = None
         self._reset_compiled()
 
@@ -96,7 +108,13 @@ class CodegenBackend:
     def __getstate__(self):
         source = None
         fingerprint = None
-        base = self._variants.get((None, None))
+        # Optimized backends never ship source: the unpickled shell has
+        # no optimization plan, so the cached text would not match.
+        base = (
+            self._variants.get((None, None))
+            if self.optimize is None
+            else None
+        )
         if base is not None:
             source = base.source
             fingerprint = _fingerprint(base.source)
@@ -111,6 +129,7 @@ class CodegenBackend:
         self.checked = state["checked"]
         self.cfgs = state["cfgs"]
         self.mutation = None
+        self.optimize = None
         self._shipped_source = state.get("source")
         shipped_fp = state.get("fingerprint")
         if (
@@ -178,6 +197,7 @@ class CodegenBackend:
                 plan is None
                 and model is None
                 and self.mutation is None
+                and self.optimize is None
                 and self._shipped_source is not None
             ):
                 # The artifact cache shipped the base source: skip
@@ -193,6 +213,7 @@ class CodegenBackend:
                     costs=costs,
                     cu=cu,
                     mutation=self.mutation,
+                    optimize=self.optimize,
                 )
             fingerprint = _fingerprint(source)
             code = compile(source, f"<codegen:{fingerprint[:12]}>", "exec")
@@ -247,7 +268,10 @@ class CodegenBackend:
             # Base variant compiled from cache-shipped source: emission
             # is deterministic, so re-derive the metadata once.
             _source, variant.meta = emit_module(
-                self.checked, self.cfgs, self._shapes
+                self.checked,
+                self.cfgs,
+                self._shapes,
+                optimize=self.optimize,
             )
         return variant.meta
 
@@ -365,13 +389,28 @@ def _fingerprint(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
-def codegen_backend_for(program) -> CodegenBackend:
+def codegen_backend_for(program, *, optimize: bool = False) -> CodegenBackend:
     """The (cached) codegen backend of a CompiledProgram.
 
     The backend rides along as a ``_codegen`` attribute so the
     content-hash artifact cache persists its shell — checked program,
-    CFGs and the emitted base source — with the program.
+    CFGs and the emitted base source — with the program.  With
+    ``optimize=True`` a second backend (cached as ``_codegen_opt``)
+    is built around the program's dataflow
+    :func:`~repro.dataflow.optimize.plan_optimizations` plan; it is
+    never pickled with the program.
     """
+    if optimize:
+        backend = getattr(program, "_codegen_opt", None)
+        if backend is None or backend.checked is not program.checked:
+            from repro.dataflow.optimize import plan_optimizations
+
+            plan = plan_optimizations(program.checked, program.cfgs)
+            backend = CodegenBackend(
+                program.checked, program.cfgs, optimize=plan
+            )
+            program._codegen_opt = backend
+        return backend
     backend = getattr(program, "_codegen", None)
     if backend is None or backend.checked is not program.checked:
         backend = CodegenBackend(program.checked, program.cfgs)

@@ -1,0 +1,652 @@
+"""Static FREQ/TIME/VAR interval bounds (Definition 3, §4, §5).
+
+The paper derives TIME and VAR from FREQ; when no profile has been
+ingested, FREQ itself can still be *bounded* statically:
+
+* a branch label executes between 0 and 1 times per execution of its
+  node (Definition 3 normalizes by node executions) — and exactly
+  0 or 1 when SCCP proves the branch forced;
+* a DO loop whose trip count the value-range analysis bounds to
+  ``[lo, hi]`` executes its header between ``lo + 1`` and ``hi + 1``
+  times per entry, provided nothing can leave the loop early (the
+  upper bound alone needs no such caveat: the hidden trip counter
+  decrements monotonically);
+* everything else propagates through the FCDG exactly like the
+  frequency pass of Section 3, with interval arithmetic replacing
+  point values.
+
+``TIME ∈ [Σ COST·FREQ_lo, Σ COST·FREQ_hi]`` then brackets the
+profiled TIME of Section 4 for every run that completes (the same
+conditional-soundness contract as constant folding: a run that halts
+inside a callee or dies on a runtime error may fall below the lower
+bound), and Popoviciu's inequality turns the TIME interval into a
+variance envelope ``VAR ≤ ((hi − lo) / 2)²`` for Section 5.
+
+Endpoints are exact :class:`fractions.Fraction` values internally
+(``math.inf`` marks *unbounded*); the final conversion to float nudges
+outward so the reference float pipeline's accumulated rounding cannot
+fall outside the reported bracket.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.callgraph import build_call_graph
+from repro.cdg import build_fcdg
+from repro.cfg.graph import StmtKind, is_pseudo_label
+from repro.costs.estimate import CostEstimator
+from repro.dataflow.analyses import (
+    _FULL,
+    _hull,
+    ProcDataflow,
+    RangeEvaluator,
+    ValueRanges,
+    analyze_procedure,
+)
+from repro.dataflow.framework import solve
+from repro.dataflow.usedef import _is_user_call, param_summaries
+from repro.ecfg import build_ecfg
+from repro.lang import ast
+
+_INF = math.inf
+
+#: Exact nonnegative interval endpoints: Fraction, or math.inf.
+Bound = tuple  # (lo, hi)
+
+_ZERO: Bound = (Fraction(0), Fraction(0))
+_ONE: Bound = (Fraction(1), Fraction(1))
+_UNIT: Bound = (Fraction(0), Fraction(1))
+_NONNEG: Bound = (Fraction(0), _INF)
+
+
+def _is_inf(x) -> bool:
+    return isinstance(x, float) and math.isinf(x)
+
+
+def _point_add(x, y):
+    if _is_inf(x) or _is_inf(y):
+        return _INF
+    return x + y
+
+
+def _point_mul(x, y):
+    if x == 0 or y == 0:
+        return Fraction(0)  # a never-executed region costs nothing
+    if _is_inf(x) or _is_inf(y):
+        return _INF
+    return x * y
+
+
+def badd(a: Bound, b: Bound) -> Bound:
+    return (_point_add(a[0], b[0]), _point_add(a[1], b[1]))
+
+
+def bmul(a: Bound, b: Bound) -> Bound:
+    # All quantities here (frequencies, costs, times) are nonnegative,
+    # so endpoint-wise products are exact.
+    return (_point_mul(a[0], b[0]), _point_mul(a[1], b[1]))
+
+
+def _fraction(x) -> Fraction:
+    return x if isinstance(x, Fraction) else Fraction(x)
+
+
+def _nudge_out(lo: float, hi: float) -> tuple[float, float]:
+    """Widen a float bracket so reference-pipeline rounding stays inside.
+
+    The reference TIME pass accumulates in float64; our exact rational
+    endpoints convert with one rounding each, and the float pipeline
+    drifts by a few ulps per operation.  A relative 1e-12 margin (with
+    an absolute floor for values near zero) dominates both.
+    """
+    margin = 1e-12
+    floor = 1e-9
+    if not math.isinf(lo):
+        lo = min(lo - floor, lo - abs(lo) * margin)
+        lo = max(lo, 0.0)
+    if not math.isinf(hi):
+        hi = max(hi + floor, hi + abs(hi) * margin)
+    return lo, hi
+
+
+@dataclass
+class ProcStaticBounds:
+    """Static execution bounds for one procedure (per invocation)."""
+
+    name: str
+    #: [TIME_lo, TIME_hi] — math.inf marks *unbounded*.
+    time: tuple[float, float]
+    #: [VAR_lo, VAR_hi] — Popoviciu envelope from the TIME interval.
+    var: tuple[float, float]
+    #: Per-ECFG-node NODE_FREQ intervals (floats, outward-rounded).
+    node_freq: dict[int, tuple[float, float]] = field(default_factory=dict)
+    #: The rational bracket collapsed: control flow is statically fixed
+    #: (the float ``time`` endpoints still carry the rounding margin).
+    exact: bool = False
+
+    @property
+    def unbounded(self) -> bool:
+        return math.isinf(self.time[1])
+
+    def to_json(self) -> dict:
+        def num(x):
+            return None if math.isinf(x) else x
+
+        return {
+            "time_lo": num(self.time[0]),
+            "time_hi": num(self.time[1]),
+            "var_lo": num(self.var[0]),
+            "var_hi": num(self.var[1]),
+            "unbounded": self.unbounded,
+        }
+
+
+@dataclass
+class StaticBoundsAnalysis:
+    """Program-wide static bounds, keyed by procedure name."""
+
+    procedures: dict[str, ProcStaticBounds] = field(default_factory=dict)
+    main_name: str = ""
+
+    @property
+    def main(self) -> ProcStaticBounds:
+        return self.procedures[self.main_name]
+
+    def to_json(self) -> dict:
+        return {
+            name: bounds.to_json()
+            for name, bounds in sorted(self.procedures.items())
+        }
+
+
+def format_endpoint(x: float, spec: str = "{:.1f}") -> str:
+    """Render one bound endpoint; infinity prints as ``unbounded``."""
+    return "unbounded" if math.isinf(x) else spec.format(x)
+
+
+def _may_halt_procs(checked) -> set[str]:
+    """Procedures that can STOP the whole run, transitively."""
+    halts = set()
+    calls: dict[str, set[str]] = {}
+    for name, proc in checked.unit.procedures.items():
+        callees: set[str] = set()
+        for stmt in proc.walk_statements():
+            if isinstance(stmt, ast.StopStmt):
+                halts.add(name)
+            elif isinstance(stmt, ast.CallStmt):
+                callees.add(stmt.name)
+        calls[name] = callees
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            if name not in halts and callees & halts:
+                halts.add(name)
+                changed = True
+    return halts
+
+
+def _node_exprs(node) -> list:
+    """The expressions one statement-level CFG node evaluates."""
+    kind = node.kind
+    stmt = node.stmt
+    if kind is StmtKind.ASSIGN and isinstance(stmt, ast.Assign):
+        exprs = [stmt.value]
+        if isinstance(stmt.target, ast.ArrayRef):
+            exprs.extend(stmt.target.indices)
+        return exprs
+    if kind in (StmtKind.IF, StmtKind.WHILE_TEST, StmtKind.AIF, StmtKind.CGOTO):
+        return [node.cond]
+    if kind in (StmtKind.DO_INIT, StmtKind.DO_INCR) and isinstance(
+        stmt, ast.DoLoop
+    ):
+        if kind is StmtKind.DO_INCR:
+            return [stmt.step] if stmt.step is not None else []
+        return [e for e in (stmt.start, stmt.stop, stmt.step) if e is not None]
+    if kind is StmtKind.PRINT and isinstance(stmt, ast.PrintStmt):
+        return list(stmt.items)
+    return []
+
+
+def _user_calls(checked, proc_name: str, node) -> list[tuple[str, list]]:
+    """All ``(callee, args)`` invocations one CFG node performs."""
+    calls: list[tuple[str, list]] = []
+    if node.kind is StmtKind.CALL and isinstance(node.stmt, ast.CallStmt):
+        calls.append((node.stmt.name, node.stmt.args))
+
+    def walk(expr) -> None:
+        if isinstance(expr, ast.Binary):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, ast.Unary):
+            walk(expr.operand)
+        elif isinstance(expr, ast.ArrayRef):
+            for index in expr.indices:
+                walk(index)
+        elif isinstance(expr, ast.FuncCall):
+            role = _is_user_call(checked, expr, proc_name)
+            if role == "user":
+                calls.append((expr.name, expr.args))
+            for arg in expr.args:
+                walk(arg)
+
+    for expr in _node_exprs(node):
+        walk(expr)
+    return calls
+
+
+def _expr_reads(expr, out: set) -> None:
+    if isinstance(expr, ast.VarRef):
+        out.add(expr.name)
+    elif isinstance(expr, ast.Binary):
+        _expr_reads(expr.left, out)
+        _expr_reads(expr.right, out)
+    elif isinstance(expr, ast.Unary):
+        _expr_reads(expr.operand, out)
+    elif isinstance(expr, (ast.ArrayRef, ast.FuncCall)):
+        for sub in getattr(expr, "indices", None) or expr.args:
+            _expr_reads(sub, out)
+
+
+class _ProcBounds:
+    """Interval mirror of :class:`repro.analysis.static_freq.StaticEstimator`."""
+
+    def __init__(
+        self,
+        checked,
+        proc_name: str,
+        ecfg,
+        fcdg,
+        node_costs,
+        dataflow: ProcDataflow,
+        callee_times: dict[str, Bound],
+        may_halt: set[str],
+        ranges=None,
+    ):
+        self.checked = checked
+        self.proc_name = proc_name
+        self.ecfg = ecfg
+        self.fcdg = fcdg
+        self.node_costs = node_costs
+        self.df = dataflow
+        self.ranges = ranges if ranges is not None else dataflow.ranges
+        self.callee_times = callee_times
+        self.may_halt = may_halt
+        self._trips = self._trip_bounds()
+
+    # -- trip counts -----------------------------------------------------
+
+    def _trip_bounds(self) -> dict[str, Bound]:
+        """trip_var -> exact bound of the initial trip count.
+
+        Read from the value-range solution at each DO_INIT's out state
+        (the trip variable then decrements; its *initial* value is the
+        iteration count).  An unreachable DO_INIT contributes nothing —
+        its loop's frequency is zero anyway.
+        """
+        trips: dict[str, Bound] = {}
+        ranges = self.ranges
+        graph = self.ecfg.graph
+        for node_id in sorted(ranges.out_of):
+            node = graph.nodes.get(node_id)
+            if node is None or node.kind is not StmtKind.DO_INIT:
+                continue
+            if not node.trip_var:
+                continue
+            out = ranges.out_of[node_id]
+            if out is None:
+                continue
+            ivl = out.get(node.trip_var)
+            if ivl is None:
+                continue
+            lo = Fraction(0) if _is_inf(ivl[0]) else max(
+                Fraction(0), _fraction(ivl[0])
+            )
+            hi = _INF if _is_inf(ivl[1]) else max(Fraction(0), _fraction(ivl[1]))
+            trips[node.trip_var] = (lo, hi)
+        return trips
+
+    # -- loop structure --------------------------------------------------
+
+    def _feasible_exits(self, header: int):
+        """The loop's exit edges that SCCP left feasible."""
+        feasible = self.df.constants.feasible_edges
+        graph_nodes = set(self.df.facts)
+        exits = []
+        for edge in self.ecfg.intervals.exit_edges(header):
+            if edge.src in graph_nodes and (
+                edge.src,
+                edge.label,
+            ) not in feasible:
+                continue
+            exits.append(edge)
+        return exits
+
+    def _loop_is_clean(self, header: int) -> bool:
+        """True when the loop can only leave through its own DO_TEST.
+
+        Then (and only then) the trip count's *lower* bound applies:
+        no early GOTO/STOP exit, and no loop member calls a procedure
+        that may halt the run mid-iteration.
+        """
+        for edge in self.ecfg.intervals.exit_edges(header):
+            if edge.src != header:
+                return False
+        for member in self.ecfg.interval_members(header):
+            facts = self.df.facts.get(member)
+            if facts is None or not facts.has_call:
+                continue
+            node = self.ecfg.graph.nodes.get(member)
+            for callee in self._callees_of(node):
+                if callee in self.may_halt:
+                    return False
+        return True
+
+    def _callees_of(self, node) -> list[str]:
+        cost = self.node_costs.get(node.id) if node is not None else None
+        return cost.calls if cost is not None else []
+
+    def loop_factor(self, header: int) -> Bound:
+        """Header executions per loop entry — FREQ(preheader, U) bounds."""
+        if not self._feasible_exits(header):
+            # Statically infinite (REP308): entering never returns.
+            return (_INF, _INF)
+        node = self.ecfg.graph.nodes[header]
+        if node.kind is StmtKind.DO_TEST and node.trip_var in self._trips:
+            lo, hi = self._trips[node.trip_var]
+            upper = _INF if _is_inf(hi) else hi + 1
+            if self._loop_is_clean(header):
+                lower = Fraction(1) if _is_inf(lo) else lo + 1
+            else:
+                lower = Fraction(1)
+            return (lower, upper)
+        return (Fraction(1), _INF)
+
+    # -- branch frequencies ----------------------------------------------
+
+    def branch_freq(self, node_id: int, label: str) -> Bound:
+        """FREQ(u, l) bounds for a multi-way branch node."""
+        forced = self.df.constants.forced.get(node_id)
+        if forced is not None:
+            return _ONE if label == forced else _ZERO
+        if (
+            node_id in self.df.facts
+            and (node_id, label) not in self.df.constants.feasible_edges
+        ):
+            return _ZERO
+        node = self.ecfg.graph.nodes[node_id]
+        if (
+            node.kind is StmtKind.DO_TEST
+            and node.trip_var in self._trips
+            and self._header_is_clean(node_id)
+        ):
+            lo, hi = self._trips[node.trip_var]
+            if label == "T":
+                # n / (n + 1) is monotone increasing in n.
+                t_lo = Fraction(0) if _is_inf(lo) else lo / (lo + 1)
+                t_hi = Fraction(1) if _is_inf(hi) else hi / (hi + 1)
+                return (t_lo, t_hi)
+            if label == "F":
+                f_lo = Fraction(0) if _is_inf(hi) else 1 / (hi + 1)
+                f_hi = Fraction(1) if _is_inf(lo) else 1 / (lo + 1)
+                return (f_lo, f_hi)
+        return _UNIT
+
+    def _header_is_clean(self, node_id: int) -> bool:
+        return (
+            node_id in self.ecfg.intervals.loop_headers
+            and self._loop_is_clean(node_id)
+        )
+
+    # -- assembly ----------------------------------------------------------
+
+    def compute(self) -> ProcStaticBounds:
+        ecfg = self.ecfg
+        graph = ecfg.graph
+        executable = self.df.constants.executable
+        statement_nodes = set(self.df.facts)
+
+        node_freq: dict[int, Bound] = {n: _ZERO for n in self.fcdg.nodes}
+        node_freq[ecfg.start] = _ONE
+        for u in self.fcdg.topological_order():
+            for label in self.fcdg.labels(u):
+                if is_pseudo_label(label):
+                    freq = _ZERO
+                elif u == ecfg.start:
+                    freq = _ONE
+                elif ecfg.is_preheader(u):
+                    freq = self.loop_factor(ecfg.header_of[u])
+                elif len(graph.out_labels(u)) <= 1:
+                    freq = _ONE
+                else:
+                    freq = self.branch_freq(u, label)
+                for child in self.fcdg.children(u, label):
+                    node_freq[child] = badd(
+                        node_freq[child], bmul(node_freq[u], freq)
+                    )
+
+        # SCCP-proved-unreachable statements never execute, whatever
+        # the interval propagation said on the structural graph.
+        for node_id in statement_nodes - executable:
+            if node_id in node_freq:
+                node_freq[node_id] = _ZERO
+
+        time: Bound = _ZERO
+        for node_id, freq in node_freq.items():
+            cost = self.node_costs.get(node_id)
+            if cost is None:
+                continue
+            effective: Bound = (
+                _fraction(cost.local),
+                _fraction(cost.local),
+            )
+            for callee in cost.calls:
+                effective = badd(
+                    effective, self.callee_times.get(callee, _NONNEG)
+                )
+            time = badd(time, bmul(freq, effective))
+
+        return self._finish(time, node_freq)
+
+    def _finish(self, time: Bound, node_freq) -> ProcStaticBounds:
+        exact = time[0] == time[1] and not _is_inf(time[0])
+        lo = _INF if _is_inf(time[0]) else float(time[0])
+        hi = _INF if _is_inf(time[1]) else float(time[1])
+        flo, fhi = _nudge_out(lo, hi)
+        if exact:
+            # Deterministic control flow: the execution time is a
+            # point, so its variance is exactly zero (Popoviciu on the
+            # rational interval, not the float rounding margin).
+            var = (0.0, 0.0)
+        elif _is_inf(fhi):
+            var = (0.0, _INF)
+        else:
+            half = (Fraction(fhi) - Fraction(flo)) / 2
+            var = (0.0, float(half * half))
+        freqs = {}
+        for node_id, bound in node_freq.items():
+            f_lo = _INF if _is_inf(bound[0]) else float(bound[0])
+            f_hi = _INF if _is_inf(bound[1]) else float(bound[1])
+            freqs[node_id] = (f_lo, f_hi)
+        self._exact_time = time
+        return ProcStaticBounds(
+            name=self.proc_name,
+            time=(flo, fhi),
+            var=var,
+            node_freq=freqs,
+            exact=exact,
+        )
+
+
+def _seeded_ranges(checked, cfgs, call_graph, info) -> dict:
+    """Top-down interprocedural seeding of the value-range analysis.
+
+    A procedure's parameters are bound by reference to its call-site
+    arguments, so their *entry* intervals are bounded by the hull of
+    the argument intervals over every (feasible) call site.  Walking
+    the call graph callers-first lets each caller's already-seeded
+    solution feed its callees; this is what turns e.g. the Livermore
+    kernels' ``DO 1 K = 1, N`` with a PARAMETER-constant actual into a
+    finite trip bound.  Recursion keeps the unconstrained default, and
+    an argument whose expression reads a scalar the same node may
+    clobber (evaluation-order hazard) degrades to unconstrained.
+    """
+    recursive: set[str] = set()
+    for scc in call_graph.sccs:
+        if len(scc) > 1 or scc[0] in call_graph.calls.get(scc[0], {}):
+            recursive.update(scc)
+
+    sites: dict[str, list[tuple[str, int, list]]] = {}
+    for caller, cfg in cfgs.items():
+        for node in cfg:
+            for callee, args in _user_calls(checked, caller, node):
+                if callee in cfgs:
+                    sites.setdefault(callee, []).append(
+                        (caller, node.id, args)
+                    )
+
+    solutions: dict = {}
+    order = [name for scc in reversed(call_graph.sccs) for name in scc]
+    for name in order:
+        if name not in info:
+            continue
+        cfg, _ecfg, _fcdg, df = info[name]
+        proc = checked.unit.procedures[name]
+        table = checked.tables[name]
+        param_ranges = None
+        if proc.params and name not in recursive and sites.get(name):
+            eligible = {
+                p
+                for p in proc.params
+                if (i := table.variables.get(p)) is not None
+                and not i.is_array
+                and i.type is not ast.Type.LOGICAL
+            }
+            hulls: dict[str, tuple | None] = {p: None for p in eligible}
+            live_site = False
+            for caller, node_id, args in sites[name]:
+                caller_sol = solutions.get(caller)
+                caller_df = info[caller][3] if caller in info else None
+                if caller_sol is None or caller_df is None:
+                    hulls = {p: _FULL for p in eligible}
+                    live_site = True
+                    break
+                in_state = caller_sol.in_of.get(node_id)
+                if in_state is None:
+                    continue  # SCCP-dead call site
+                live_site = True
+                clobbers = caller_df.facts[node_id].clobbers
+                ev = RangeEvaluator(checked, caller, in_state)
+                for j, pname in enumerate(proc.params):
+                    if pname not in eligible or j >= len(args):
+                        continue
+                    reads: set[str] = set()
+                    _expr_reads(args[j], reads)
+                    if reads & clobbers:
+                        ivl = _FULL
+                    else:
+                        ivl = ev.eval(args[j])
+                    prev = hulls[pname]
+                    hulls[pname] = ivl if prev is None else _hull(prev, ivl)
+            if live_site:
+                param_ranges = {
+                    p: ivl for p, ivl in hulls.items() if ivl is not None
+                }
+        problem = ValueRanges(
+            checked,
+            name,
+            df.facts,
+            cfg,
+            feasible=df.constants.feasible_edges,
+            param_ranges=param_ranges,
+        )
+        solutions[name] = solve(cfg, problem)
+    return solutions
+
+
+def compute_static_bounds(
+    checked,
+    cfgs,
+    model,
+    *,
+    artifacts=None,
+    dataflow: dict[str, ProcDataflow] | None = None,
+) -> StaticBoundsAnalysis:
+    """Static [TIME_lo, TIME_hi] and VAR envelopes for a whole program.
+
+    Mirrors :func:`repro.analysis.interprocedural.analyze_program`
+    bottom-up over call-graph SCCs; a recursive SCC gets an unbounded
+    upper endpoint, with the lower endpoint refined by a few monotone
+    iterations from zero (any finite prefix of that ascent is sound).
+    """
+    call_graph = build_call_graph(checked)
+    estimator = CostEstimator(checked, model)
+    may_halt = _may_halt_procs(checked)
+    summaries = param_summaries(checked)
+
+    analysis = StaticBoundsAnalysis(main_name=checked.unit.main.name)
+    info: dict[str, tuple] = {}
+    for name, cfg in cfgs.items():
+        if artifacts is not None and name in artifacts:
+            ecfg, fcdg = artifacts[name]
+        else:
+            ecfg = build_ecfg(cfg)
+            fcdg = build_fcdg(ecfg)
+        df = (
+            dataflow[name]
+            if dataflow is not None and name in dataflow
+            else analyze_procedure(checked, name, cfg, summaries=summaries)
+        )
+        info[name] = (cfg, ecfg, fcdg, df)
+
+    range_solutions = _seeded_ranges(checked, cfgs, call_graph, info)
+
+    per_proc: dict[str, _ProcBounds] = {}
+    callee_times: dict[str, Bound] = {}
+    for name, (cfg, ecfg, fcdg, df) in info.items():
+        per_proc[name] = _ProcBounds(
+            checked,
+            name,
+            ecfg,
+            fcdg,
+            estimator.cfg_costs(cfg, name),
+            df,
+            callee_times,
+            may_halt,
+            ranges=range_solutions.get(name),
+        )
+
+    def solve(name: str) -> ProcStaticBounds:
+        bounds = per_proc[name].compute()
+        callee_times[name] = per_proc[name]._exact_time
+        return bounds
+
+    for scc in call_graph.sccs:
+        recursive = len(scc) > 1 or scc[0] in call_graph.calls.get(
+            scc[0], {}
+        )
+        if not recursive:
+            analysis.procedures[scc[0]] = solve(scc[0])
+            continue
+        # Recursive: the upper endpoint is unbounded; ascend the lower
+        # endpoint from zero for a few rounds (monotone, hence sound).
+        for name in scc:
+            callee_times[name] = (Fraction(0), _INF)
+        for _ in range(3):
+            for name in scc:
+                bounds = solve(name)
+                lo = per_proc[name]._exact_time[0]
+                callee_times[name] = (lo, _INF)
+                analysis.procedures[name] = bounds
+        for name in scc:
+            bounds = analysis.procedures[name]
+            analysis.procedures[name] = ProcStaticBounds(
+                name=name,
+                time=(bounds.time[0], _INF),
+                var=(0.0, _INF),
+                node_freq=bounds.node_freq,
+            )
+    return analysis

@@ -1,0 +1,451 @@
+"""A generic worklist dataflow solver over statement-level CFGs.
+
+Every flow-sensitive fact this repo derives — reaching definitions,
+liveness, conditional constants, value ranges — is an instance of the
+same fixpoint scheme: values drawn from a lattice of finite height,
+monotone transfer functions per CFG node, and a join (may = union,
+must = intersection) at control-flow merges.  This module provides
+that scheme once, so each analysis only describes its lattice and
+transfer function and inherits termination, determinism and the
+iteration bound from the solver.
+
+Contract (see ``docs/dataflow.md``):
+
+* a :class:`DataflowProblem` supplies ``direction`` ("forward" or
+  "backward"), a ``boundary`` value for the entry (forward) or exit
+  (backward) node, ``join`` over predecessor facts, and a monotone
+  ``transfer``;
+* the solver represents *unreachable* as ``None``: ``join`` never
+  sees it, and ``transfer`` is never called with it.  A forward
+  problem may refine facts per out-edge via ``transfer_edge`` (this is
+  how SCCP's branch-feasibility works) and any problem may declare
+  whole edges dead via ``edge_alive`` — the hook that lets reaching
+  definitions and liveness run on the SCCP-feasible subgraph;
+* monotonicity + the declared lattice ``height`` bound the number of
+  node visits; exceeding the bound raises :class:`FixpointDiverged`
+  instead of looping, so a broken transfer function is a loud failure.
+
+``solve`` accepts a ``corruption`` name from
+:data:`SOLVER_CORRUPTIONS` for the mutation-kill suite — each seeded
+defect (dropped back edge, stale worklist entry, wrong join
+direction, skipped boundary) must be pinned by a failing test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Any
+
+from repro.errors import AnalysisError
+
+
+class FixpointDiverged(AnalysisError):
+    """The worklist exceeded its monotone iteration bound."""
+
+
+#: Seeded solver defects for the mutation-kill suite.
+SOLVER_CORRUPTIONS = (
+    "drop-back-edge",   # join ignores facts flowing along back edges
+    "first-pred-only",  # join keeps only the first predecessor's fact
+    "stale-worklist",   # changed nodes never re-enqueue their successors
+    "skip-boundary",    # the entry/exit node loses its boundary value
+    "wrong-direction",  # forward problems solved backward and vice versa
+)
+
+
+class DataflowProblem:
+    """Base class describing one dataflow analysis.
+
+    Subclasses override the lattice hooks; the solver owns iteration
+    order, convergence detection and the divergence guard.
+    """
+
+    #: "forward" (facts flow entry -> exit) or "backward".
+    direction = "forward"
+
+    #: Apply :meth:`widen` to a node's input once it has been visited
+    #: this many times (``None`` disables widening).
+    widen_after: int | None = None
+
+    #: Node ids whose ``transfer`` is the identity.  The solver skips
+    #: the call for them; problems fill this from their use/def facts.
+    passthrough_nodes: frozenset[int] = frozenset()
+
+    # -- lattice hooks ---------------------------------------------------
+
+    def boundary(self, cfg) -> Any:
+        """The fact at the entry (forward) / exit (backward) node."""
+        raise NotImplementedError
+
+    def join(self, values: list[Any]) -> Any:
+        """Combine >= 1 reachable predecessor facts."""
+        raise NotImplementedError
+
+    def transfer(self, node, value: Any) -> Any:
+        """The fact after ``node`` given the fact before it."""
+        raise NotImplementedError
+
+    def transfer_edge(self, node, value: Any, label: str) -> Any:
+        """Refine ``node``'s output fact along one labelled out-edge.
+
+        Returning ``None`` marks the edge infeasible (forward only).
+        """
+        return value
+
+    def edge_alive(self, src: int, label: str) -> bool:
+        """False drops the edge entirely (both directions)."""
+        return True
+
+    def edge_transfer_nodes(self, cfg) -> set[int] | None:
+        """Node ids whose ``transfer_edge`` may differ from identity.
+
+        ``None`` (the default) means any node might, so the solver
+        keeps a fact per edge everywhere.  Problems that only refine
+        facts at branches (SCCP) return the branch-node set and every
+        other node takes the cheap one-fact-per-node path.
+        """
+        return None
+
+    def widen(self, old: Any, new: Any) -> Any:
+        """Accelerate convergence for infinite-height lattices."""
+        return new
+
+    # -- termination hints ----------------------------------------------
+
+    def height(self, cfg) -> int:
+        """Total ascending-chain height of one node's value."""
+        return 1
+
+    def max_visits(self, cfg) -> int:
+        """Monotone visit bound; exceeding it raises FixpointDiverged."""
+        n = len(cfg.nodes) + len(cfg.edges) + 2
+        return 4 * n * (self.height(cfg) + 2)
+
+
+@dataclass
+class Solution:
+    """A fixpoint: facts at each node's entry and exit in program order.
+
+    ``in_of[n]`` is the fact immediately before ``n`` executes and
+    ``out_of[n]`` immediately after, for both analysis directions
+    (for a backward problem ``in_of`` is e.g. live-*in*).  ``None``
+    means the solver proved the node unreachable.  ``visits``/``limit``
+    expose the convergence budget to the property tests.
+    """
+
+    in_of: dict[int, Any] = field(default_factory=dict)
+    out_of: dict[int, Any] = field(default_factory=dict)
+    visits: int = 0
+    limit: int = 0
+
+
+def _rpo_order(nodes, flow_out, root: int) -> dict[int, int]:
+    """Reverse-postorder ranks (iterative, deterministic).
+
+    ``flow_out`` maps node -> [(dst, label), ...]; traversal follows
+    the pairs in list order, so ranks are stable across runs.
+    """
+    seen: set[int] = {root}
+    post: list[int] = []
+    stack: list[tuple[int, Any]] = [(root, iter(flow_out[root]))]
+    while stack:
+        node, kids = stack[-1]
+        advanced = False
+        for dst, _label in kids:
+            if dst not in seen:
+                seen.add(dst)
+                stack.append((dst, iter(flow_out[dst])))
+                advanced = True
+                break
+        if not advanced:
+            post.append(node)
+            stack.pop()
+    order = {n: rank for rank, n in enumerate(reversed(post))}
+    # Nodes unreachable from the root still get a stable rank.
+    for node in sorted(nodes):
+        order.setdefault(node, len(order))
+    return order
+
+
+class OrientedGraph:
+    """The flow-oriented view of a CFG one `solve` iterates over.
+
+    Building it (edge filtering, reverse postorder, precomputed
+    edge-fact keys) costs about as much as a converged fixpoint on a
+    small lattice, so `analyze_procedure` builds each orientation once
+    and shares it between the analyses that agree on direction and
+    edge feasibility.
+    """
+
+    __slots__ = (
+        "forward",
+        "root",
+        "order",
+        "flow_in",
+        "flow_out",
+        "_in_keys",
+        "_out_keys",
+        "_in_srcs",
+        "_out_dsts",
+    )
+
+    def __init__(self, cfg, forward: bool, edge_alive=None) -> None:
+        # ``flow_in[n]`` are the labelled edges whose facts join at n;
+        # ``flow_out[n]`` the edges n's fact propagates to.
+        # ``edge_alive=None`` keeps every edge.
+        flow_in: dict[int, list[tuple[int, str]]] = {n: [] for n in cfg.nodes}
+        flow_out: dict[int, list[tuple[int, str]]] = {n: [] for n in cfg.nodes}
+        for edge in cfg.edges:
+            if edge_alive is not None and not edge_alive(edge.src, edge.label):
+                continue
+            if forward:
+                flow_in[edge.dst].append((edge.src, edge.label))
+                flow_out[edge.src].append((edge.dst, edge.label))
+            else:
+                flow_in[edge.src].append((edge.dst, edge.label))
+                flow_out[edge.dst].append((edge.src, edge.label))
+        self.forward = forward
+        self.root = cfg.entry if forward else cfg.exit
+        self.flow_in = flow_in
+        self.flow_out = flow_out
+        self.order = _rpo_order(cfg.nodes, flow_out, self.root)
+        self._in_keys = None
+        self._out_keys = None
+        self._in_srcs = None
+        self._out_dsts = None
+
+    def flipped(self, root: int) -> "OrientedGraph":
+        """The opposite orientation over the same live edge set.
+
+        Swapping the two flow maps reverses every edge; only the
+        reverse-postorder ranks need recomputing, so flipping a built
+        graph is much cheaper than re-filtering the CFG's edges.
+        """
+        g = object.__new__(OrientedGraph)
+        g.forward = not self.forward
+        g.root = root
+        g.flow_in = self.flow_out
+        g.flow_out = self.flow_in
+        g.order = _rpo_order(g.flow_out.keys(), g.flow_out, root)
+        g._in_keys = None
+        g._out_keys = None
+        g._in_srcs = None
+        g._out_dsts = None
+        return g
+
+    def keyed(self):
+        """Per-edge fact keys, precomputed so the hot loop allocates
+        no tuples.  Only problems with a real ``transfer_edge`` pay
+        for this."""
+        if self._in_keys is None:
+            self._in_keys = {
+                n: [(src, (src, n, label)) for src, label in pairs]
+                for n, pairs in self.flow_in.items()
+            }
+            self._out_keys = {
+                n: [(dst, label, (n, dst, label)) for dst, label in pairs]
+                for n, pairs in self.flow_out.items()
+            }
+        return self._in_keys, self._out_keys
+
+    def deduped(self):
+        """Label-free, deduplicated neighbour lists for problems whose
+        ``transfer_edge`` is the identity (every out-edge of a node
+        carries the same fact)."""
+        if self._in_srcs is None:
+            self._in_srcs = {
+                n: list(dict.fromkeys(src for src, _ in pairs))
+                for n, pairs in self.flow_in.items()
+            }
+            self._out_dsts = {
+                n: list(dict.fromkeys(dst for dst, _ in pairs))
+                for n, pairs in self.flow_out.items()
+            }
+        return self._in_srcs, self._out_dsts
+
+
+def oriented_graph(cfg, problem: DataflowProblem) -> OrientedGraph:
+    """Build the graph view ``solve`` would build for ``problem``.
+
+    Pass the result back via ``solve(..., graph=...)`` to share it
+    between problems with the same direction and ``edge_alive``.
+    """
+    return OrientedGraph(
+        cfg, problem.direction == "forward", problem.edge_alive
+    )
+
+
+def solve(
+    cfg,
+    problem: DataflowProblem,
+    *,
+    corruption: str | None = None,
+    graph: OrientedGraph | None = None,
+):
+    """Run ``problem`` to fixpoint over ``cfg`` and return a Solution."""
+    if corruption is not None and corruption not in SOLVER_CORRUPTIONS:
+        raise ValueError(f"unknown solver corruption {corruption!r}")
+
+    direction = problem.direction
+    if corruption == "wrong-direction":
+        direction = "backward" if direction == "forward" else "forward"
+    forward = direction == "forward"
+
+    if graph is None or graph.forward is not forward:
+        graph = OrientedGraph(cfg, forward, problem.edge_alive)
+    root = graph.root
+    order = graph.order
+
+    # Transfer functions are pure, so a per-edge hook that is the base
+    # class identity can be skipped instead of dispatched per edge.
+    transfer_edge = problem.transfer_edge
+    identity_edges = (
+        type(problem).transfer_edge is DataflowProblem.transfer_edge
+    )
+    if identity_edges:
+        in_srcs, out_dsts = graph.deduped()
+        in_keys = out_keys = None
+        keyed_nodes = None
+    else:
+        in_keys, out_keys = graph.keyed()
+        # Problems that only refine facts at branch nodes (SCCP) let
+        # every other node use the one-fact-per-node path.
+        keyed_nodes = problem.edge_transfer_nodes(cfg)
+        if keyed_nodes is not None:
+            in_srcs, out_dsts = graph.deduped()
+
+    # Facts in *flow* orientation: before[n] joins incoming edge facts,
+    # after[(n, label)] is the per-edge outgoing fact.
+    before: dict[int, Any] = {n: None for n in cfg.nodes}
+    after_of: dict[int, Any] = {n: None for n in cfg.nodes}
+    edge_fact: dict[tuple[int, int, str], Any] = {}
+    visit_count: dict[int, int] = {n: 0 for n in cfg.nodes}
+
+    limit = problem.max_visits(cfg)
+    visits = 0
+    # A min-heap keyed by reverse-postorder rank: re-enqueued nodes are
+    # processed in topological-ish order, which converges in far fewer
+    # visits than FIFO on loopy graphs.
+    worklist: list[tuple[int, int]] = sorted(
+        (order[n], n) for n in cfg.nodes
+    )
+    queued: set[int] = {n for _, n in worklist}
+    drop_back = corruption == "drop-back-edge"
+    first_pred = corruption == "first-pred-only"
+    use_boundary = corruption != "skip-boundary"
+    stale = corruption == "stale-worklist"
+    edge_get = edge_fact.get
+    join = problem.join
+    transfer = problem.transfer
+    passthrough = problem.passthrough_nodes
+    widen_after = problem.widen_after
+
+    while worklist:
+        node = heappop(worklist)[1]
+        queued.discard(node)
+        visits += 1
+        if visits > limit:
+            raise FixpointDiverged(
+                f"dataflow fixpoint exceeded {limit} visits on a "
+                f"{len(cfg.nodes)}-node CFG ({type(problem).__name__})"
+            )
+
+        incoming = []
+        if identity_edges:
+            # All of a node's out-edges carry one fact, so the join
+            # reads predecessors' ``after`` facts directly — no
+            # per-edge bookkeeping at all.
+            for src in in_srcs[node]:
+                if drop_back and order[src] >= order[node]:
+                    continue
+                fact = after_of[src]
+                if fact is not None:
+                    incoming.append(fact)
+        else:
+            for src, key in in_keys[node]:
+                if drop_back and order[src] >= order[node]:
+                    continue
+                if keyed_nodes is None or src in keyed_nodes:
+                    fact = edge_get(key)
+                else:
+                    fact = after_of[src]
+                if fact is not None:
+                    incoming.append(fact)
+        if first_pred and len(incoming) > 1:
+            incoming = incoming[:1]
+
+        if node == root and use_boundary:
+            boundary = problem.boundary(cfg)
+            value = join(incoming + [boundary]) if incoming else boundary
+        elif incoming:
+            value = join(incoming)
+        else:
+            value = None  # unreachable
+
+        count = visit_count[node] = visit_count[node] + 1
+        old = before[node]
+        if (
+            widen_after is not None
+            and count > widen_after
+            and value is not None
+            and old is not None
+            and value != old
+        ):
+            value = problem.widen(old, value)
+
+        # Pure transfer functions: an unchanged input on a revisit
+        # reproduces the previous outputs, so recomputing them (and
+        # re-comparing every edge fact) is wasted work.
+        if count > 1 and value == old:
+            continue
+        before[node] = value
+
+        if value is None:
+            after = None
+        elif node in passthrough:
+            after = value
+        else:
+            after = transfer(node, value)
+        if identity_edges or (
+            keyed_nodes is not None and node not in keyed_nodes
+        ):
+            # One output fact for every out-edge: one comparison
+            # decides whether any successor needs a revisit.
+            if after != after_of[node]:
+                after_of[node] = after
+                if not stale:
+                    for dst in out_dsts[node]:
+                        if dst not in queued:
+                            heappush(worklist, (order[dst], dst))
+                            queued.add(dst)
+            continue
+        after_of[node] = after
+        for dst, label, key in out_keys[node]:
+            fact = (
+                transfer_edge(node, after, label)
+                if after is not None
+                else None
+            )
+            # A missing entry reads as None above, so None facts for
+            # never-reached edges are not a change worth propagating.
+            if edge_get(key) != fact:
+                edge_fact[key] = fact
+                if not stale and dst not in queued:
+                    heappush(worklist, (order[dst], dst))
+                    queued.add(dst)
+
+    # Translate flow orientation back to program order.  ``after_of``
+    # is consistent with ``before`` (it was recomputed on every visit
+    # whose input changed), so no transfer reruns here.
+    solution = Solution(visits=visits, limit=limit)
+    for node in cfg.nodes:
+        value = before[node]
+        after = after_of[node]
+        if forward:
+            solution.in_of[node] = value
+            solution.out_of[node] = after
+        else:
+            solution.in_of[node] = after
+            solution.out_of[node] = value
+    return solution

@@ -1,0 +1,182 @@
+"""Dataflow-backed optimization planning for the codegen backend.
+
+The checker's REP307/REP306 diagnostics have an executable payoff:
+a branch whose condition is constant on every feasible path can be
+*folded* (emit only the taken arm), and a store no later feasible
+path observes can be *dropped*.  Both are safe under the paper's own
+accounting — every pruned region has static FREQ 0, so counter slot
+tables are preserved verbatim and pruned blocks simply keep their
+slots at 0.0 — and under the interpreter's error semantics:
+
+* a folded branch still *evaluates* its condition (constant folding
+  is conditionally sound: the claim is only "if evaluation completes,
+  this arm is taken"), it merely stops testing the result;
+* a dropped store must be provably total: its right-hand side is
+  restricted to arithmetic that cannot raise (no division, no
+  exponentiation, no calls, no array loads) and whose store coercion
+  cannot overflow (type-matched leaves; pure-INTEGER arithmetic).
+  The node's COST is still charged — the reference interpreter
+  executes the store, so the cycle accounting must match bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import StmtKind
+from repro.dataflow.analyses import ProcDataflow, analyze_procedure
+from repro.dataflow.usedef import param_summaries
+from repro.lang import ast
+
+
+@dataclass
+class ProcOptimizations:
+    """What the emitter may prune in one procedure."""
+
+    #: branch node id -> the single label it always takes.
+    forced: dict[int, str] = field(default_factory=dict)
+    #: ASSIGN node ids whose store (and RHS evaluation) may be skipped.
+    dead_stores: set[int] = field(default_factory=set)
+
+    @property
+    def empty(self) -> bool:
+        return not self.forced and not self.dead_stores
+
+
+@dataclass
+class OptimizationPlan:
+    """Per-procedure pruning decisions for one compiled program."""
+
+    procedures: dict[str, ProcOptimizations] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return all(p.empty for p in self.procedures.values())
+
+    def proc(self, name: str) -> ProcOptimizations:
+        return self.procedures.get(name) or ProcOptimizations()
+
+
+def _leaf_type(expr, table, checked, proc_name):
+    """The static type of a total leaf, or None if not a safe leaf."""
+    if isinstance(expr, ast.IntLit):
+        return ast.Type.INTEGER
+    if isinstance(expr, ast.RealLit):
+        return ast.Type.REAL
+    if isinstance(expr, ast.LogicalLit):
+        return ast.Type.LOGICAL
+    if isinstance(expr, ast.VarRef):
+        if expr.name in table.constants:
+            value = table.constants[expr.name]
+            return (
+                ast.Type.INTEGER if isinstance(value, int) else ast.Type.REAL
+            )
+        info = table.lookup(expr.name)
+        if info is None or info.is_array:
+            return None
+        return info.type
+    return None
+
+
+def _pure_integer(expr, table, checked, proc_name) -> bool:
+    """True when ``expr`` is arithmetic over INTEGER scalars only.
+
+    Python integers never overflow and ADD/SUB/MUL/NEG/POS never
+    raise, so evaluating (or not evaluating) such an expression is
+    observationally identical as long as its value goes unused.
+    """
+    if isinstance(expr, (ast.IntLit,)):
+        return True
+    if isinstance(expr, ast.VarRef):
+        return (
+            _leaf_type(expr, table, checked, proc_name) is ast.Type.INTEGER
+        )
+    if isinstance(expr, ast.Unary):
+        return expr.op in (ast.UnOp.NEG, ast.UnOp.POS) and _pure_integer(
+            expr.operand, table, checked, proc_name
+        )
+    if isinstance(expr, ast.Binary):
+        return expr.op in (
+            ast.BinOp.ADD,
+            ast.BinOp.SUB,
+            ast.BinOp.MUL,
+        ) and all(
+            _pure_integer(side, table, checked, proc_name)
+            for side in (expr.left, expr.right)
+        )
+    return False
+
+
+def _store_is_total(stmt: ast.Assign, table, checked, proc_name) -> bool:
+    """Can ``target = value`` provably never raise at runtime?"""
+    target = stmt.target
+    if not isinstance(target, ast.VarRef):
+        return False
+    info = table.lookup(target.name)
+    if info is None or info.is_array:
+        return False
+    ttype = info.type
+
+    # A single type-compatible leaf: literals coerce totally (their
+    # magnitude is fixed at compile time), variables only when no
+    # coercion happens at all (int(huge_int) and float(huge_int) can
+    # overflow, so REAL<-INTEGER and INTEGER<-REAL are out).
+    value = stmt.value
+    if isinstance(value, (ast.IntLit, ast.RealLit)):
+        return ttype in (ast.Type.INTEGER, ast.Type.REAL)
+    if isinstance(value, ast.LogicalLit):
+        return ttype is ast.Type.LOGICAL
+    leaf = _leaf_type(value, table, checked, proc_name)
+    if leaf is not None:
+        return leaf is ttype
+
+    # Pure-INTEGER arithmetic into an INTEGER target.
+    if ttype is ast.Type.INTEGER:
+        return _pure_integer(value, table, checked, proc_name)
+    return False
+
+
+def plan_proc_optimizations(
+    checked, proc_name: str, cfg, dataflow: ProcDataflow
+) -> ProcOptimizations:
+    """Derive the safe pruning set for one procedure."""
+    table = checked.tables[proc_name]
+    opts = ProcOptimizations(forced=dict(dataflow.constants.forced))
+    for node in cfg:
+        if node.kind is not StmtKind.ASSIGN:
+            continue
+        if not isinstance(node.stmt, ast.Assign):
+            continue
+        if node.id not in dataflow.constants.executable:
+            continue
+        target = node.stmt.target
+        if not isinstance(target, ast.VarRef):
+            continue
+        live_out = dataflow.liveness.out_of.get(node.id)
+        if live_out is None or target.name in live_out:
+            continue
+        if not _store_is_total(node.stmt, table, checked, proc_name):
+            continue
+        opts.dead_stores.add(node.id)
+    return opts
+
+
+def plan_optimizations(
+    checked,
+    cfgs,
+    *,
+    dataflow: dict[str, ProcDataflow] | None = None,
+) -> OptimizationPlan:
+    """Derive the pruning plan for a whole program."""
+    summaries = param_summaries(checked)
+    plan = OptimizationPlan()
+    for name, cfg in cfgs.items():
+        df = (
+            dataflow[name]
+            if dataflow is not None and name in dataflow
+            else analyze_procedure(checked, name, cfg, summaries=summaries)
+        )
+        plan.procedures[name] = plan_proc_optimizations(
+            checked, name, cfg, df
+        )
+    return plan

@@ -1,0 +1,356 @@
+"""Scalar use/def extraction for the dataflow analyses.
+
+Minifort passes every argument by reference, so a CALL (or a user
+FUNCTION inside an expression) can read or write any scalar variable
+it is handed.  The old syntactic linter treated *every* such argument
+as a definition, which both suppressed genuine use-before-def
+findings (a read-only callee "defines" nothing) and missed the read
+the callee actually performs.  This module computes interprocedural
+*parameter summaries* — for each procedure, which parameter positions
+it may read and which it may write, closed over by-reference
+forwarding through the call graph — and uses them to give every CFG
+node a precise :class:`NodeFacts`:
+
+* ``kills`` — scalars the node *definitely* overwrites (strong
+  update: direct assignment targets and DO index/trip bookkeeping);
+* ``clobbers`` — scalars the node *may* write through a reference
+  (call arguments whose callee summary says the position is
+  writable);
+* ``uses_live`` — scalars whose current value the node may observe
+  (expression reads plus by-reference arguments the callee may read);
+  the liveness base;
+* ``uses_rd`` — the stricter read set for the REP301 use-before-def
+  lint: a by-reference argument counts as a read only when the callee
+  is *read-only* in that position, so a write-then-read callee keeps
+  its historical benefit of the doubt.
+
+Arrays are not tracked (any array element write is invisible to the
+scalar lattice); array *index* expressions are ordinary reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import StmtKind
+from repro.lang import ast
+from repro.lang.symbols import INTRINSICS, CheckedProgram
+
+
+@dataclass
+class ProcSummary:
+    """Which parameter positions a procedure may read / may write."""
+
+    reads: set[int] = field(default_factory=set)
+    writes: set[int] = field(default_factory=set)
+
+
+def _is_scalar(table, name: str) -> bool:
+    info = table.lookup(name)
+    return info is None or not info.is_array
+
+
+def _is_array_name(checked: CheckedProgram, proc_name: str, name: str) -> bool:
+    info = checked.tables[proc_name].lookup(name)
+    return info is not None and info.is_array
+
+
+def _is_user_call(checked: CheckedProgram, expr: ast.FuncCall, proc: str):
+    """Classify a FuncCall: array indexing, intrinsic, or user callee."""
+    if _is_array_name(checked, proc, expr.name):
+        return "array"
+    if (
+        expr.name in INTRINSICS
+        and expr.name not in checked.unit.procedures
+    ):
+        return "intrinsic"
+    return "user"
+
+
+def param_summaries(checked: CheckedProgram) -> dict[str, ProcSummary]:
+    """Fixpoint of per-procedure parameter read/write summaries.
+
+    By-reference forwarding (proc A passes its own parameter straight
+    to proc B) makes this a monotone closure over the call graph;
+    positions only ever gain the ``reads``/``writes`` facts, so plain
+    iteration to a fixpoint terminates.  Unknown callees are treated
+    as reading and writing every argument.
+    """
+    summaries = {
+        name: ProcSummary() for name in checked.unit.procedures
+    }
+
+    def run_proc(name: str, proc: ast.Procedure) -> bool:
+        table = checked.tables[name]
+        positions = {p: i for i, p in enumerate(proc.params)}
+        summary = summaries[name]
+        before = (len(summary.reads), len(summary.writes))
+
+        def note_read(var: str) -> None:
+            if var in positions:
+                summary.reads.add(positions[var])
+
+        def note_write(var: str) -> None:
+            if var in positions:
+                summary.writes.add(positions[var])
+
+        def visit_args(callee: str, args: list[ast.Expr]) -> None:
+            callee_summary = summaries.get(callee)
+            for j, arg in enumerate(args):
+                if isinstance(arg, ast.VarRef):
+                    if callee_summary is None:  # unknown: assume both
+                        note_read(arg.name)
+                        note_write(arg.name)
+                    else:
+                        if j in callee_summary.reads:
+                            note_read(arg.name)
+                        if j in callee_summary.writes:
+                            note_write(arg.name)
+                elif isinstance(arg, ast.ArrayRef):
+                    # An element of a (possibly dummy) array: the callee
+                    # may read/write through it; indices are plain reads.
+                    if callee_summary is None or j in callee_summary.writes:
+                        note_write(arg.name)
+                    if callee_summary is None or j in callee_summary.reads:
+                        note_read(arg.name)
+                    for index in arg.indices:
+                        visit_expr(index)
+                else:
+                    visit_expr(arg)
+
+        def visit_expr(expr: ast.Expr | None) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ast.VarRef):
+                note_read(expr.name)
+            elif isinstance(expr, ast.Binary):
+                visit_expr(expr.left)
+                visit_expr(expr.right)
+            elif isinstance(expr, ast.Unary):
+                visit_expr(expr.operand)
+            elif isinstance(expr, ast.ArrayRef):
+                note_read(expr.name)
+                for index in expr.indices:
+                    visit_expr(index)
+            elif isinstance(expr, ast.FuncCall):
+                role = _is_user_call(checked, expr, name)
+                if role == "array":
+                    note_read(expr.name)
+                    for arg in expr.args:
+                        visit_expr(arg)
+                elif role == "intrinsic":
+                    for arg in expr.args:
+                        visit_expr(arg)
+                else:
+                    visit_args(expr.name, expr.args)
+
+        def visit_stmt(stmt: ast.Stmt) -> None:
+            if isinstance(stmt, ast.Assign):
+                visit_expr(stmt.value)
+                target = stmt.target
+                if isinstance(target, ast.VarRef):
+                    if _is_scalar(table, target.name):
+                        note_write(target.name)
+                    else:
+                        note_write(target.name)  # whole-array fill
+                elif isinstance(target, ast.ArrayRef):
+                    note_write(target.name)
+                    for index in target.indices:
+                        visit_expr(index)
+            elif isinstance(stmt, ast.CallStmt):
+                visit_args(stmt.name, stmt.args)
+            elif isinstance(stmt, ast.PrintStmt):
+                for item in stmt.items:
+                    visit_expr(item)
+            elif isinstance(stmt, ast.DoLoop):
+                visit_expr(stmt.start)
+                visit_expr(stmt.stop)
+                visit_expr(stmt.step)
+                note_write(stmt.var)
+                note_read(stmt.var)  # the increment reads it back
+            elif isinstance(stmt, ast.DoWhile):
+                visit_expr(stmt.cond)
+            elif isinstance(stmt, ast.LogicalIf):
+                visit_expr(stmt.cond)
+            elif isinstance(stmt, ast.ArithmeticIf):
+                visit_expr(stmt.expr)
+            elif isinstance(stmt, ast.IfBlock):
+                for cond, _ in stmt.arms:
+                    visit_expr(cond)
+            elif isinstance(stmt, ast.ComputedGoto):
+                visit_expr(stmt.selector)
+
+        for stmt in proc.walk_statements():
+            visit_stmt(stmt)
+        return (len(summary.reads), len(summary.writes)) != before
+
+    changed = True
+    while changed:
+        changed = False
+        for name, proc in sorted(checked.unit.procedures.items()):
+            if run_proc(name, proc):
+                changed = True
+    return summaries
+
+
+@dataclass(frozen=True)
+class NodeFacts:
+    """Scalar effects of one CFG node (see module docstring)."""
+
+    site: int = -2  # the CFG node id (a definition site)
+    uses_live: frozenset[str] = frozenset()
+    uses_rd: frozenset[str] = frozenset()
+    kills: frozenset[str] = frozenset()
+    clobbers: frozenset[str] = frozenset()
+    has_call: bool = False  # CALL statement or user FUNCTION reference
+
+    @property
+    def defs(self) -> frozenset[str]:
+        return self.kills | self.clobbers
+
+
+class _FactCollector:
+    def __init__(self, checked, proc_name, table, summaries):
+        self.checked = checked
+        self.proc_name = proc_name
+        self.table = table
+        self.summaries = summaries
+        self.uses_live: set[str] = set()
+        self.uses_rd: set[str] = set()
+        self.kills: set[str] = set()
+        self.clobbers: set[str] = set()
+        self.has_call = False
+
+    def read(self, expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.VarRef):
+            if _is_scalar(self.table, expr.name):
+                self.uses_live.add(expr.name)
+                self.uses_rd.add(expr.name)
+        elif isinstance(expr, ast.Binary):
+            self.read(expr.left)
+            self.read(expr.right)
+        elif isinstance(expr, ast.Unary):
+            self.read(expr.operand)
+        elif isinstance(expr, ast.ArrayRef):
+            for index in expr.indices:
+                self.read(index)
+        elif isinstance(expr, ast.FuncCall):
+            role = _is_user_call(self.checked, expr, self.proc_name)
+            if role in ("array", "intrinsic"):
+                for arg in expr.args:
+                    self.read(arg)
+            else:
+                self.call_args(expr.name, expr.args)
+
+    def call_args(self, callee: str, args: list[ast.Expr]) -> None:
+        self.has_call = True
+        summary = self.summaries.get(callee)
+        for j, arg in enumerate(args):
+            if isinstance(arg, ast.VarRef) and _is_scalar(
+                self.table, arg.name
+            ):
+                may_read = summary is None or j in summary.reads
+                may_write = summary is None or j in summary.writes
+                if may_write:
+                    self.clobbers.add(arg.name)
+                if may_read:
+                    self.uses_live.add(arg.name)
+                    if not may_write:
+                        # Read-only position: a genuine read for REP301
+                        # (a writable position keeps the historical
+                        # benefit of the doubt — the callee may define
+                        # the scalar before reading it).
+                        self.uses_rd.add(arg.name)
+            else:
+                self.read(arg)
+
+
+def node_facts(
+    node,
+    checked: CheckedProgram,
+    proc_name: str,
+    summaries: dict[str, ProcSummary],
+) -> NodeFacts:
+    """The scalar effects of one statement-level CFG node."""
+    table = checked.tables[proc_name]
+    c = _FactCollector(checked, proc_name, table, summaries)
+    stmt = node.stmt
+
+    if node.kind is StmtKind.ASSIGN and isinstance(stmt, ast.Assign):
+        c.read(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.ArrayRef):
+            for index in target.indices:
+                c.read(index)
+        elif isinstance(target, ast.VarRef) and _is_scalar(
+            table, target.name
+        ):
+            c.kills.add(target.name)
+    elif node.kind in (
+        StmtKind.IF,
+        StmtKind.WHILE_TEST,
+        StmtKind.AIF,
+        StmtKind.CGOTO,
+    ):
+        c.read(node.cond)
+    elif node.kind is StmtKind.DO_INIT and isinstance(stmt, ast.DoLoop):
+        c.read(stmt.start)
+        c.read(stmt.stop)
+        c.read(stmt.step)
+        c.kills.add(stmt.var)
+        if node.trip_var:
+            c.kills.add(node.trip_var)
+    elif node.kind is StmtKind.DO_INCR and isinstance(stmt, ast.DoLoop):
+        # var += step; trip -= 1 (the hidden counter bookkeeping).
+        c.read(stmt.step)
+        c.uses_live.add(stmt.var)
+        c.uses_rd.add(stmt.var)
+        c.kills.add(stmt.var)
+        if node.trip_var:
+            c.uses_live.add(node.trip_var)
+            c.uses_rd.add(node.trip_var)
+            c.kills.add(node.trip_var)
+    elif node.kind is StmtKind.DO_TEST:
+        if node.trip_var:
+            c.uses_live.add(node.trip_var)
+            c.uses_rd.add(node.trip_var)
+    elif node.kind is StmtKind.CALL and isinstance(stmt, ast.CallStmt):
+        c.call_args(stmt.name, stmt.args)
+    elif node.kind is StmtKind.PRINT and isinstance(stmt, ast.PrintStmt):
+        for item in stmt.items:
+            c.read(item)
+    return NodeFacts(
+        site=node.id,
+        uses_live=frozenset(c.uses_live),
+        uses_rd=frozenset(c.uses_rd),
+        kills=frozenset(c.kills - c.clobbers),
+        clobbers=frozenset(c.clobbers),
+        has_call=c.has_call,
+    )
+
+
+def all_node_facts(
+    cfg, checked: CheckedProgram, proc_name: str, summaries
+) -> dict[int, NodeFacts]:
+    return {
+        node.id: node_facts(node, checked, proc_name, summaries)
+        for node in cfg
+    }
+
+
+def referenced_names(facts: dict[int, NodeFacts]) -> frozenset[str]:
+    """Every scalar some node reads, writes or clobbers.
+
+    The analyses restrict their tracked state to this set: a scalar no
+    statement touches can never influence a lint, a pruning decision
+    or a bound, and every per-node fact operation is O(state size).
+    """
+    refs: set[str] = set()
+    for f in facts.values():
+        refs |= f.uses_live
+        refs |= f.uses_rd
+        refs |= f.kills
+        refs |= f.clobbers
+    return frozenset(refs)

@@ -132,7 +132,7 @@ def _fallback(reason: str) -> None:
     ).inc(reason=reason)
 
 
-def _select_backend(program, hooks, backend: str):
+def _select_backend(program, hooks, backend: str, *, optimize: bool = False):
     """The engine to run with: ``(name, backend-or-None)``.
 
     ``auto`` (the default) prefers the codegen backend, then the
@@ -144,6 +144,11 @@ def _select_backend(program, hooks, backend: str):
     ``repro_backend_fallbacks_total{reason}``.  Explicit names force
     one engine; the ``REPRO_BACKEND`` environment variable overrides
     ``auto`` only.
+
+    ``optimize=True`` asks the codegen backend to fold
+    dataflow-proven constant branches and drop dead stores before
+    emission.  Results are bit-identical either way, so engines that
+    cannot optimize (threaded, reference) are still valid fallbacks.
     """
     if backend == "auto":
         env_choice = os.environ.get("REPRO_BACKEND", "")
@@ -164,7 +169,7 @@ def _select_backend(program, hooks, backend: str):
         _fallback("hooks")
         return "reference", None
     if backend in ("auto", "codegen"):
-        engine = codegen_backend_for(program)
+        engine = codegen_backend_for(program, optimize=optimize)
         try:
             engine.ensure_lowered()
             return "codegen", engine
@@ -192,6 +197,7 @@ def run_program(
     hooks: ExecutionHooks | None = None,
     max_steps: int = 10_000_000,
     backend: str = "auto",
+    optimize: bool = False,
 ) -> RunResult:
     """Execute the program once.
 
@@ -199,8 +205,11 @@ def run_program(
     possible, then threaded, then reference — see
     :func:`_select_backend`), ``"codegen"``, ``"threaded"`` or
     ``"reference"``.  All engines produce bit-identical results.
+    ``optimize=True`` lets the codegen backend fold constant branches
+    and drop dead stores (still bit-identical; a no-op for the other
+    engines).
     """
-    chosen, engine = _select_backend(program, hooks, backend)
+    chosen, engine = _select_backend(program, hooks, backend, optimize=optimize)
     metrics.counter(
         "repro_runs_total",
         "Program executions by backend.",
@@ -295,6 +304,7 @@ def profile_program(
     record_loop_moments: bool = False,
     max_steps: int = 10_000_000,
     backend: str = "auto",
+    optimize: bool = False,
 ) -> tuple[ProgramProfile, ProfileStats]:
     """Profile the program over one or more runs.
 
@@ -332,6 +342,7 @@ def profile_program(
                     hooks=hooks,
                     max_steps=max_steps,
                     backend=backend,
+                    optimize=optimize,
                     **spec,
                 )
             stats.base_cost += result.total_cost

@@ -778,7 +778,37 @@ class ProfilingService:
     ) -> tuple[int, dict]:
         profile = self.database.lookup(key)
         if profile is None:
-            return 404, error_payload(404, f"no accumulated profile: {key}")
+            source = self.sources.get(key)
+            if source is None:
+                return 404, error_payload(
+                    404, f"no accumulated profile: {key}"
+                )
+            # No runs ingested yet, but the source is registered:
+            # serve the profile-free static TIME/VAR envelope instead
+            # of a 404, so consumers get a (coarse) answer immediately.
+            model_name = request.query.get("model", "scalar")
+            if model_name not in _MODELS:
+                raise ProtocolError(
+                    f'"model" must be one of {sorted(_MODELS)}'
+                )
+            loop = asyncio.get_running_loop()
+            static = await asyncio.wait_for(
+                loop.run_in_executor(
+                    None, self._static_bounds_entry, source, model_name
+                ),
+                timeout=self.config.request_timeout,
+            )
+            return 200, {
+                "key": key,
+                "runs": 0,
+                "analysis": None,
+                "static_bounds": static,
+                "note": (
+                    "no profile ingested for this key; static bounds "
+                    "are derived from value-range analysis of the "
+                    "registered source alone"
+                ),
+            }
         loop_variance = request.query.get("loop_variance", "zero")
         if loop_variance not in _LOOP_VARIANCE:
             raise ProtocolError(
@@ -831,6 +861,20 @@ class ProfilingService:
         return summarize_item(
             program, profile, _MODELS[model_name], loop_variance=spec
         )
+
+    def _static_bounds_entry(self, source: str, model_name: str) -> dict:
+        from repro.dataflow import compute_static_bounds
+
+        with self._cache_lock:
+            program, _tier = self.cache.compiled(source)
+            self._publish_cache_snapshot()
+        bounds = compute_static_bounds(
+            program.checked,
+            program.cfgs,
+            _MODELS[model_name],
+            artifacts=program.artifacts(),
+        )
+        return bounds.to_json()
 
 
 async def serve(config: ServiceConfig, *, ready=None) -> ProfilingService:

@@ -1,0 +1,232 @@
+"""The dataflow-engine lints: new codes and regression pins.
+
+Three kinds of pin:
+
+* programs where the historical syntactic lints were *imprecise* and
+  the dataflow engine now finds (or correctly drops) a diagnostic —
+  the PR's migration contract;
+* the new REP306/307/308 codes firing on purpose-built programs and
+  staying silent on the clean corpus;
+* ``--lint-mode=syntactic`` preserving the old behavior bit-for-bit
+  for one release.
+"""
+
+import pytest
+
+from repro.checker import LINT_MODES, Severity, check_source
+from repro.workloads import builtin_sources
+
+pytestmark = pytest.mark.checker
+
+
+def _codes(source, mode="dataflow", hints=True):
+    report = check_source(source, lint_mode=mode, hints=hints)
+    assert not report.has("REP001"), report.render_text()
+    return report
+
+
+#: (a) X is only defined under a guard SCCP proves false: the old
+#: syntactic lint saw "a def on some path" and stayed silent; the
+#: dataflow lint knows no *feasible* path defines X.
+DEF_UNDER_FALSE_GUARD = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X, Y
+      N = 3
+      IF (N .LT. 0) THEN
+        X = 1.0
+      ENDIF
+      Y = X + 1.0
+      PRINT *, Y
+      END
+"""
+
+#: (b) SHOW only *reads* its parameter, so CALL SHOW(X) defines
+#: nothing — the old lint counted every by-ref argument as a def and
+#: suppressed the genuine REP301.
+READ_ONLY_CALL = """\
+      PROGRAM MAIN
+      REAL X, Y
+      CALL SHOW(X)
+      Y = X + 1.0
+      PRINT *, Y
+      END
+      SUBROUTINE SHOW(A)
+      REAL A, B
+      B = A * 2.0
+      PRINT *, B
+      RETURN
+      END
+"""
+
+#: A callee that *does* write its parameter must keep suppressing
+#: REP301 (the satellite fix must not overshoot).
+WRITING_CALL = """\
+      PROGRAM MAIN
+      REAL X, Y
+      CALL SETV(X)
+      Y = X + 1.0
+      PRINT *, Y
+      END
+      SUBROUTINE SETV(A)
+      REAL A
+      A = 3.0
+      RETURN
+      END
+"""
+
+#: (c) `X = 1.0` is unreachable (both arms jump past it) but does not
+#: textually follow a GOTO, so the syntactic REP302 missed it; the
+#: CFG builder prunes it and the dataflow lint reports the pruning.
+PRUNED_NOT_AFTER_GOTO = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X
+      N = 1
+      IF (N .GT. 0) THEN
+        GOTO 20
+      ELSE
+        GOTO 20
+      ENDIF
+      X = 1.0
+20    CONTINUE
+      PRINT *, N
+      END
+"""
+
+#: (d) X is defined inside a *guaranteed-taken* branch: defined on
+#: every feasible path, so neither mode may warn (no-regression pin).
+DEF_UNDER_TAKEN_GUARD = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X, Y
+      N = 3
+      IF (N .GT. 0) THEN
+        X = 1.0
+      ENDIF
+      Y = X + 1.0
+      PRINT *, Y
+      END
+"""
+
+DEAD_STORE = """\
+      PROGRAM MAIN
+      REAL X, Y
+      X = 1.0
+      X = 2.0
+      Y = X + 1.0
+      PRINT *, Y
+      END
+"""
+
+CONSTANT_BRANCH = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X
+      N = 3
+      IF (N .GT. 0) THEN
+        X = 1.0
+      ELSE
+        X = 2.0
+      ENDIF
+      PRINT *, X
+      END
+"""
+
+#: The loop's only exit edge tests N, and SCCP proves N stays 1: the
+#: exit is structurally present but never feasible.
+INFINITE_FEASIBLE_LOOP = """\
+      PROGRAM MAIN
+      INTEGER N, I
+      N = 1
+      I = 0
+10    CONTINUE
+      I = I + 1
+      IF (N .GT. 0) GOTO 10
+      PRINT *, I
+      END
+"""
+
+
+class TestMigrationRegressionPins:
+    def test_def_under_false_guard_now_warns(self):
+        assert _codes(DEF_UNDER_FALSE_GUARD, "dataflow").has("REP301")
+        assert not _codes(DEF_UNDER_FALSE_GUARD, "syntactic").has("REP301")
+
+    def test_read_only_call_no_longer_suppresses(self):
+        assert _codes(READ_ONLY_CALL, "dataflow").has("REP301")
+        assert not _codes(READ_ONLY_CALL, "syntactic").has("REP301")
+
+    def test_writing_call_still_suppresses(self):
+        for mode in LINT_MODES:
+            assert not _codes(WRITING_CALL, mode).has("REP301")
+
+    def test_pruned_statement_now_reported(self):
+        report = _codes(PRUNED_NOT_AFTER_GOTO, "dataflow", hints=False)
+        assert report.has("REP302")
+        found = next(d for d in report.diagnostics if d.code == "REP302")
+        assert found.severity is Severity.WARNING
+        assert not _codes(
+            PRUNED_NOT_AFTER_GOTO, "syntactic", hints=False
+        ).has("REP302")
+
+    def test_taken_guard_def_stays_silent_in_both_modes(self):
+        for mode in LINT_MODES:
+            assert not _codes(DEF_UNDER_TAKEN_GUARD, mode).has("REP301")
+
+    def test_syntactic_mode_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            check_source(DEAD_STORE, lint_mode="nonsense")
+
+
+class TestNewCodes:
+    def test_dead_store_fires(self):
+        report = _codes(DEAD_STORE, "dataflow")
+        found = [d for d in report.diagnostics if d.code == "REP306"]
+        assert len(found) == 1
+        assert "X" in found[0].message
+        # Hints off: REP306 is an optimization hint, not a warning.
+        assert not _codes(DEAD_STORE, "dataflow", hints=False).has("REP306")
+
+    def test_constant_branch_names_the_taken_arm(self):
+        report = _codes(CONSTANT_BRANCH, "dataflow")
+        found = [d for d in report.diagnostics if d.code == "REP307"]
+        assert len(found) == 1
+        assert "'T'" in found[0].message
+
+    def test_infinite_feasible_loop_warns(self):
+        report = _codes(INFINITE_FEASIBLE_LOOP, "dataflow", hints=False)
+        found = [d for d in report.diagnostics if d.code == "REP308"]
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert not report.ok
+        # The syntactic mode has no equivalent check.
+        assert not _codes(
+            INFINITE_FEASIBLE_LOOP, "syntactic", hints=False
+        ).has("REP308")
+
+
+class TestCorpusStaysClean:
+    @pytest.mark.parametrize("name", [n for n, _ in builtin_sources()])
+    def test_no_new_findings_on_builtins(self, name):
+        source = dict(builtin_sources())[name]
+        report = check_source(source, plan_kinds=("smart",), hints=True)
+        assert report.ok, report.render_text()
+        # REP306 (dead store) and REP308 (infinite loop) must never
+        # fire on the corpus; REP307 may fire only as a hint.
+        assert not report.has("REP306")
+        assert not report.has("REP308")
+
+    @pytest.mark.parametrize("name", [n for n, _ in builtin_sources()])
+    def test_modes_agree_on_warnings(self, name):
+        """Warning-level findings are mode-independent on the corpus."""
+        source = dict(builtin_sources())[name]
+        by_mode = {}
+        for mode in LINT_MODES:
+            report = check_source(
+                source, plan_kinds=("smart",), lint_mode=mode
+            )
+            by_mode[mode] = sorted(
+                (d.code, d.proc) for d in report.warnings
+            )
+        assert by_mode["dataflow"] == by_mode["syntactic"]

@@ -1,0 +1,201 @@
+"""The four production analyses on purpose-built programs."""
+
+import math
+
+import pytest
+
+from repro import compile_source
+from repro.dataflow import (
+    ProcDataflow,
+    analyze_procedure,
+    param_summaries,
+    trip_interval,
+)
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.dataflow
+
+
+def _analyze(source, proc=None) -> tuple[object, ProcDataflow]:
+    program = compile_source(source)
+    name = proc or program.main_name
+    df = analyze_procedure(
+        program.checked, name, program.cfgs[name],
+        summaries=param_summaries(program.checked),
+    )
+    return program, df
+
+
+def _node_by_text(cfg, fragment):
+    hits = [
+        nid for nid, node in cfg.nodes.items()
+        if node.text and fragment in node.text
+    ]
+    assert len(hits) == 1, (fragment, hits)
+    return hits[0]
+
+
+class TestConstantPropagation:
+    def test_paper_main_branch_is_forced(self):
+        """The paper example's M stays 5, so `M .GE. 0` always takes T."""
+        program, df = _analyze(PAPER_SOURCE, "MAIN")
+        cfg = program.cfgs["MAIN"]
+        forced_texts = {
+            cfg.nodes[nid].text: label
+            for nid, label in df.constants.forced.items()
+        }
+        assert forced_texts == {"IF (M .GE. 0)": "T"}
+
+    def test_constants_meet_to_unknown(self):
+        """X is 1 or 2 depending on input: no constant, nothing forced."""
+        source = """\
+      PROGRAM MAIN
+      REAL V, X
+      V = INPUT(1)
+      IF (V .GT. 0.0) THEN
+        X = 1.0
+      ELSE
+        X = 2.0
+      ENDIF
+      IF (X .GT. 1.5) THEN
+        PRINT *, X
+      ENDIF
+      END
+"""
+        _program, df = _analyze(source)
+        assert df.constants.forced == {}
+
+    def test_infeasible_edges_excluded(self):
+        source = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X
+      N = 3
+      IF (N .LT. 0) THEN
+        X = 1.0
+      ENDIF
+      PRINT *, X
+      END
+"""
+        program, df = _analyze(source)
+        cfg = program.cfgs[program.main_name]
+        branch = _node_by_text(cfg, "IF (N .LT. 0)")
+        assert df.constants.forced[branch] == "F"
+        assert (branch, "T") not in df.constants.feasible_edges
+        assert (branch, "F") in df.constants.feasible_edges
+
+
+class TestReachingDefinitions:
+    def test_def_under_false_guard_does_not_reach(self):
+        source = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X, Y
+      N = 3
+      IF (N .LT. 0) THEN
+        X = 1.0
+      ENDIF
+      Y = X + 1.0
+      PRINT *, Y
+      END
+"""
+        program, df = _analyze(source)
+        cfg = program.cfgs[program.main_name]
+        read = _node_by_text(cfg, "Y = X + 1.0")
+        assert "X" not in df.reaching.in_of[read]
+
+    def test_defs_merge_across_live_branches(self):
+        source = """\
+      PROGRAM MAIN
+      REAL V, X, Y
+      V = INPUT(1)
+      IF (V .GT. 0.0) THEN
+        X = 1.0
+      ELSE
+        X = 2.0
+      ENDIF
+      Y = X + 1.0
+      PRINT *, Y
+      END
+"""
+        program, df = _analyze(source)
+        cfg = program.cfgs[program.main_name]
+        read = _node_by_text(cfg, "Y = X + 1.0")
+        sites = df.reaching.in_of[read]["X"]
+        assert len(sites) == 2  # both arms' stores reach the read
+
+
+class TestLiveness:
+    def test_dead_store_not_live(self):
+        source = """\
+      PROGRAM MAIN
+      REAL X, Y
+      X = 1.0
+      X = 2.0
+      Y = X + 1.0
+      PRINT *, Y
+      END
+"""
+        program, df = _analyze(source)
+        cfg = program.cfgs[program.main_name]
+        first = _node_by_text(cfg, "X = 1.0")
+        second = _node_by_text(cfg, "X = 2.0")
+        # After the first store X is immediately overwritten: dead.
+        assert "X" not in df.liveness.out_of[first]
+        assert "X" in df.liveness.out_of[second]
+
+    def test_rhs_use_keeps_variable_live(self):
+        source = """\
+      PROGRAM MAIN
+      REAL X
+      X = 1.0
+      X = X + 1.0
+      PRINT *, X
+      END
+"""
+        program, df = _analyze(source)
+        cfg = program.cfgs[program.main_name]
+        first = _node_by_text(cfg, "X = 1.0")
+        assert "X" in df.liveness.out_of[first]
+
+
+class TestValueRanges:
+    def test_constant_do_trip_count(self):
+        assert trip_interval((1, 1), (100, 100), (1, 1)) == (100, 100)
+
+    def test_zero_straddling_step_is_unbounded(self):
+        lo, hi = trip_interval((1, 1), (10, 10), (-1, 1))
+        assert lo == 0 and math.isinf(hi)
+
+    def test_negative_trip_clamps_to_zero(self):
+        assert trip_interval((10, 10), (1, 1), (1, 1)) == (0, 0)
+
+    def test_loop_index_interval(self):
+        source = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL S
+      S = 0.0
+      DO 10 I = 1, 100
+        S = S + 1.0
+10    CONTINUE
+      PRINT *, S
+      END
+"""
+        program, df = _analyze(source)
+        cfg = program.cfgs[program.main_name]
+        body = _node_by_text(cfg, "S = S + 1.0")
+        lo, hi = df.ranges.in_of[body]["I"]
+        # The lower bound is exact; the upper bound may be widened to
+        # infinity inside the loop (trip counts come from
+        # trip_interval over the DO bounds, not the body state).
+        assert lo == 1 and hi >= 100
+
+
+class TestAnalyzeProcedure:
+    def test_every_solution_shares_the_node_set(self):
+        program, df = _analyze(PAPER_SOURCE, "MAIN")
+        nodes = set(program.cfgs["MAIN"].nodes)
+        for solution in (df.reaching, df.liveness, df.ranges):
+            assert set(solution.in_of) == nodes
+            assert set(solution.out_of) == nodes

@@ -1,0 +1,111 @@
+"""Static [TIME_lo, TIME_hi] / VAR envelopes vs profiled ground truth."""
+
+import math
+
+import pytest
+
+from repro import compile_source, profile_program, analyze
+from repro.costs.model import SCALAR_MACHINE
+from repro.dataflow import compute_static_bounds, format_endpoint
+from repro.workloads import builtin_sources
+
+pytestmark = pytest.mark.dataflow
+
+INPUTS = (2.25, 9.0, 16.0)
+
+CONSTANT_TRIP = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL S
+      S = 0.0
+      DO 10 I = 1, 100
+        S = S + 1.5
+10    CONTINUE
+      PRINT *, S
+      END
+"""
+
+INPUT_TRIP = """\
+      PROGRAM MAIN
+      INTEGER I, N
+      REAL S
+      N = INT(INPUT(1))
+      S = 0.0
+      DO 10 I = 1, N
+        S = S + 1.5
+10    CONTINUE
+      PRINT *, S
+      END
+"""
+
+
+def _bounds(program, model=SCALAR_MACHINE):
+    return compute_static_bounds(
+        program.checked, program.cfgs, model, artifacts=program.artifacts()
+    )
+
+
+class TestConstantTrip:
+    def test_bracket_is_tight_and_exact(self):
+        program = compile_source(CONSTANT_TRIP)
+        bounds = _bounds(program)
+        main = bounds.main
+        assert main.exact
+        assert not main.unbounded
+        profile, _ = profile_program(program, runs=1)
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        time = analysis.procedures[program.main_name].time
+        assert main.time[0] <= time <= main.time[1]
+        # Control flow is static: the bracket is (numerically) a point.
+        assert main.time[1] - main.time[0] < 1e-6 * max(1.0, time)
+        assert main.var == (0.0, 0.0)
+
+
+class TestInputDependentTrip:
+    def test_unbounded_marker(self):
+        program = compile_source(INPUT_TRIP)
+        bounds = _bounds(program)
+        main = bounds.main
+        assert main.unbounded
+        assert math.isinf(main.time[1])
+        assert format_endpoint(main.time[1]) == "unbounded"
+        # The loop may run zero times: the lower endpoint stays finite
+        # and still brackets from below.
+        assert main.time[0] >= 0.0 and math.isfinite(main.time[0])
+
+
+class TestBuiltinsBracketProfiledTime:
+    @pytest.mark.parametrize("name", [n for n, _ in builtin_sources()])
+    def test_profiled_time_within_bounds(self, name):
+        source = dict(builtin_sources())[name]
+        program = compile_source(source)
+        bounds = _bounds(program)
+        profile, _ = profile_program(
+            program, runs=[{"inputs": INPUTS}], model=SCALAR_MACHINE
+        )
+        analysis = analyze(program, profile, SCALAR_MACHINE)
+        for proc_name, proc in analysis.procedures.items():
+            if profile.proc(proc_name).invocations == 0:
+                continue  # per-invocation TIME undefined: nothing to check
+            pb = bounds.procedures[proc_name]
+            lo, hi = pb.time
+            assert lo <= proc.time, (
+                f"{name}/{proc_name}: TIME {proc.time} below static lower "
+                f"bound {lo}"
+            )
+            assert proc.time <= hi, (
+                f"{name}/{proc_name}: TIME {proc.time} above static upper "
+                f"bound {format_endpoint(hi)}"
+            )
+
+
+class TestJsonShape:
+    def test_to_json_is_serializable(self):
+        import json
+
+        program = compile_source(INPUT_TRIP)
+        payload = _bounds(program).to_json()
+        text = json.dumps(payload)
+        assert "time_hi" in text
+        # Infinite endpoints must serialize as null, not inf.
+        assert payload[program.main_name]["time_hi"] is None

@@ -1,0 +1,125 @@
+"""The generic lattice/worklist solver: contract and guard rails."""
+
+import pytest
+
+from repro import compile_source
+from repro.dataflow import DataflowProblem, FixpointDiverged, solve
+
+pytestmark = pytest.mark.dataflow
+
+
+LOOP = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL S
+      S = 0.0
+      DO 10 I = 1, 5
+        S = S + 1.0
+10    CONTINUE
+      PRINT *, S
+      END
+"""
+
+DIAMOND = """\
+      PROGRAM MAIN
+      INTEGER N
+      REAL X
+      N = 1
+      IF (N .GT. 0) THEN
+        X = 1.0
+      ELSE
+        X = 2.0
+      ENDIF
+      PRINT *, X
+      END
+"""
+
+
+def _cfg(source):
+    program = compile_source(source)
+    return program.cfgs[program.main_name]
+
+
+class Reachability(DataflowProblem):
+    """The simplest forward may-analysis: can control reach a node?"""
+
+    direction = "forward"
+
+    def boundary(self, cfg):
+        return True
+
+    def join(self, values):
+        return any(values)
+
+    def transfer(self, node, value):
+        return value
+
+
+class TestSolve:
+    def test_forward_reachability_covers_all_nodes(self):
+        cfg = _cfg(LOOP)
+        solution = solve(cfg, Reachability())
+        # prune_unreachable already ran, so every remaining node is
+        # reachable and the entry boundary must flow everywhere.
+        assert all(solution.in_of[n] for n in cfg.nodes)
+        assert all(solution.out_of[n] for n in cfg.nodes)
+
+    def test_visits_within_budget(self):
+        cfg = _cfg(LOOP)
+        solution = solve(cfg, Reachability())
+        assert 0 < solution.visits <= solution.limit
+
+    def test_unknown_corruption_rejected(self):
+        cfg = _cfg(LOOP)
+        with pytest.raises(ValueError):
+            solve(cfg, Reachability(), corruption="no-such-defect")
+
+    def test_backward_direction_runs(self):
+        class ExitReachability(Reachability):
+            direction = "backward"
+
+        cfg = _cfg(DIAMOND)
+        solution = solve(cfg, ExitReachability())
+        assert all(solution.in_of[n] for n in cfg.nodes)
+
+
+class TestDivergenceGuard:
+    def test_non_monotone_transfer_is_caught(self):
+        class Oscillating(DataflowProblem):
+            """Alternates facts forever: must hit the visit bound."""
+
+            direction = "forward"
+
+            def boundary(self, cfg):
+                return 0
+
+            def join(self, values):
+                return max(values)
+
+            def transfer(self, node, value):
+                return value + 1  # strictly ascending without bound
+
+        cfg = _cfg(LOOP)
+        with pytest.raises(FixpointDiverged):
+            solve(cfg, Oscillating())
+
+    def test_widening_restores_convergence(self):
+        class Widened(DataflowProblem):
+            direction = "forward"
+            widen_after = 2
+
+            def boundary(self, cfg):
+                return 0
+
+            def join(self, values):
+                return max(values)
+
+            def transfer(self, node, value):
+                return value + 1 if value < 10**6 else value
+
+            def widen(self, old, new):
+                return 10**6  # jump straight to top
+
+        cfg = _cfg(LOOP)
+        solution = solve(cfg, Widened())
+        assert solution.visits <= solution.limit

@@ -1,0 +1,239 @@
+"""Mutation-kill suite for the dataflow solver and transfer functions.
+
+Mirrors the PR-2 (checker) / PR-6 (codegen) pattern: every corruption
+the framework can seed — wrong join, dropped back edge, stale
+worklist, disabled widening, … — must visibly change an analysis
+outcome on a purpose-built program.  A defect no test can observe is
+a defect the production lints and the codegen optimizer would silently
+inherit.
+"""
+
+import pytest
+
+from repro import compile_source
+from repro.dataflow import (
+    ANALYSIS_CORRUPTIONS,
+    SOLVER_CORRUPTIONS,
+    FixpointDiverged,
+    Liveness,
+    ReachingDefinitions,
+    ValueRanges,
+    param_summaries,
+    solve,
+    solve_constants,
+)
+from repro.dataflow.usedef import all_node_facts
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.dataflow
+
+
+#: A loop whose body defines X *after* reading it: the definition only
+#: reaches the read along the back edge, and later iterations depend
+#: on facts from earlier ones (kills drop-back-edge, stale-worklist,
+#: wrong-direction).
+LOOP_CARRIED = """\
+      PROGRAM MAIN
+      INTEGER I
+      REAL X, Y
+      DO 10 I = 1, 5
+        Y = X + 1.0
+        X = 1.0
+10    CONTINUE
+      PRINT *, Y
+      END
+"""
+
+#: Both arms of an input-dependent branch define X with *different*
+#: constants, and a second branch tests X after the merge (kills
+#: first-pred-only and sccp-const-meet).
+MERGE_THEN_BRANCH = """\
+      PROGRAM MAIN
+      REAL V, X
+      V = INPUT(1)
+      IF (V .GT. 0.0) THEN
+        X = 1.0
+      ELSE
+        X = 2.0
+      ENDIF
+      IF (X .GT. 1.5) THEN
+        PRINT *, X
+      ENDIF
+      END
+"""
+
+#: A subroutine whose parameter is defined at entry (kills
+#: skip-boundary: without the boundary fact, A looks undefined).
+PARAM_READ = """\
+      PROGRAM MAIN
+      REAL X
+      X = 1.0
+      CALL FOO(X)
+      PRINT *, X
+      END
+      SUBROUTINE FOO(A)
+      REAL A
+      A = A + 1.0
+      RETURN
+      END
+"""
+
+#: `X = X + 1.0` both uses and kills X (kills live-kill-use and
+#: rd-gen-drop).
+SELF_INCREMENT = """\
+      PROGRAM MAIN
+      REAL X
+      X = 1.0
+      X = X + 1.0
+      PRINT *, X
+      END
+"""
+
+
+def _setup(source, proc=None):
+    program = compile_source(source)
+    name = proc or program.main_name
+    cfg = program.cfgs[name]
+    facts = all_node_facts(
+        cfg, program.checked, name, param_summaries(program.checked)
+    )
+    return program, name, cfg, facts
+
+
+def _solutions_differ(a, b) -> bool:
+    return a.in_of != b.in_of or a.out_of != b.out_of
+
+
+class TestCatalogues:
+    def test_at_least_eight_corruptions(self):
+        assert len(SOLVER_CORRUPTIONS) + len(ANALYSIS_CORRUPTIONS) >= 8
+
+    def test_unknown_names_rejected(self):
+        program, name, cfg, facts = _setup(SELF_INCREMENT)
+        with pytest.raises(ValueError):
+            solve(
+                cfg,
+                ReachingDefinitions(program.checked, name, facts),
+                corruption="bogus",
+            )
+        with pytest.raises(ValueError):
+            ReachingDefinitions(
+                program.checked, name, facts, corruption="bogus"
+            )
+
+
+class TestSolverCorruptions:
+    """Each seeded solver defect changes a reaching-defs fixpoint."""
+
+    @pytest.mark.parametrize(
+        "corruption", ["drop-back-edge", "stale-worklist", "wrong-direction"]
+    )
+    def test_loop_carried_facts(self, corruption):
+        program, name, cfg, facts = _setup(LOOP_CARRIED)
+        problem = ReachingDefinitions(program.checked, name, facts)
+        clean = solve(cfg, problem)
+        corrupted = solve(cfg, problem, corruption=corruption)
+        assert _solutions_differ(clean, corrupted), corruption
+
+    def test_first_pred_only_loses_one_arm(self):
+        program, name, cfg, facts = _setup(MERGE_THEN_BRANCH)
+        problem = ReachingDefinitions(program.checked, name, facts)
+        clean = solve(cfg, problem)
+        corrupted = solve(cfg, problem, corruption="first-pred-only")
+        assert _solutions_differ(clean, corrupted)
+        # The defect is specifically a lost definition site: some node
+        # must see strictly fewer X-sites than the clean fixpoint.
+        lost = [
+            n
+            for n in cfg.nodes
+            if clean.in_of[n] is not None
+            and corrupted.in_of[n] is not None
+            and len(corrupted.in_of[n].get("X", ()))
+            < len(clean.in_of[n].get("X", ()))
+        ]
+        assert lost
+
+    def test_skip_boundary_forgets_parameters(self):
+        program, name, cfg, facts = _setup(PARAM_READ, "FOO")
+        problem = ReachingDefinitions(program.checked, name, facts)
+        clean = solve(cfg, problem)
+        corrupted = solve(cfg, problem, corruption="skip-boundary")
+        assert _solutions_differ(clean, corrupted)
+        entry_clean = clean.in_of[cfg.entry]
+        entry_corrupt = corrupted.in_of[cfg.entry]
+        assert "A" in entry_clean and "A" not in (entry_corrupt or {})
+
+
+class TestAnalysisCorruptions:
+    """Each seeded transfer-function defect is pinned to an outcome."""
+
+    def test_sccp_const_meet_forces_a_live_branch(self):
+        program, name, cfg, facts = _setup(MERGE_THEN_BRANCH)
+        clean = solve_constants(program.checked, name, cfg, facts)
+        corrupted = solve_constants(
+            program.checked, name, cfg, facts, corruption="sccp-const-meet"
+        )
+        assert clean.forced == {}
+        assert corrupted.forced  # a genuinely two-way branch got folded
+        assert clean.feasible_edges != corrupted.feasible_edges
+
+    def test_sccp_taken_flip_inverts_the_paper_branch(self):
+        program, name, cfg, facts = _setup(PAPER_SOURCE, "MAIN")
+        clean = solve_constants(program.checked, name, cfg, facts)
+        corrupted = solve_constants(
+            program.checked, name, cfg, facts, corruption="sccp-taken-flip"
+        )
+        assert set(clean.forced.values()) == {"T"}
+        assert set(corrupted.forced.values()) == {"F"}
+
+    def test_range_no_widen_diverges_on_a_loop(self):
+        program, name, cfg, facts = _setup(LOOP_CARRIED)
+        solve(cfg, ValueRanges(program.checked, name, facts, cfg))
+        with pytest.raises(FixpointDiverged):
+            solve(
+                cfg,
+                ValueRanges(
+                    program.checked,
+                    name,
+                    facts,
+                    cfg,
+                    corruption="range-no-widen",
+                ),
+            )
+
+    def test_live_kill_use_drops_the_rhs_read(self):
+        program, name, cfg, facts = _setup(SELF_INCREMENT)
+        clean = solve(cfg, Liveness(program.checked, name, facts, cfg))
+        corrupted = solve(
+            cfg,
+            Liveness(
+                program.checked, name, facts, cfg, corruption="live-kill-use"
+            ),
+        )
+        assert _solutions_differ(clean, corrupted)
+        inc = next(
+            n
+            for n, node in cfg.nodes.items()
+            if node.text and "X = X + 1.0" in node.text
+        )
+        assert "X" in clean.in_of[inc]
+        assert "X" not in corrupted.in_of[inc]
+
+    def test_rd_gen_drop_loses_the_killing_store(self):
+        program, name, cfg, facts = _setup(SELF_INCREMENT)
+        problem = ReachingDefinitions(program.checked, name, facts)
+        clean = solve(cfg, problem)
+        corrupted = solve(
+            cfg,
+            ReachingDefinitions(
+                program.checked, name, facts, corruption="rd-gen-drop"
+            ),
+        )
+        assert _solutions_differ(clean, corrupted)
+        print_node = next(
+            n
+            for n, node in cfg.nodes.items()
+            if node.text and "PRINT" in node.text
+        )
+        assert clean.in_of[print_node]["X"]  # the store reaches the print
+        assert not corrupted.in_of[print_node].get("X")

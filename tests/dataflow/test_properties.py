@@ -1,0 +1,69 @@
+"""Property tests: fixpoint convergence over the whole corpus.
+
+Satellite requirement: all four analyses must reach a fixpoint within
+the solver's monotone visit budget on every builtin workload and 50
+seeded generator programs.  ``Solution.visits``/``Solution.limit``
+expose the budget, so a lattice that stops being monotone (or a
+widening that stops widening) fails here rather than hanging CI.
+"""
+
+import pytest
+
+from repro import compile_source
+from repro.dataflow import analyze_procedure, param_summaries
+from repro.workloads import builtin_sources
+from repro.workloads.generators import ProgramGenerator
+
+pytestmark = pytest.mark.dataflow
+
+N_GENERATED = 50
+
+_CACHE: dict[object, object] = {}
+
+
+def _program(key, source):
+    if key not in _CACHE:
+        _CACHE[key] = compile_source(source)
+    return _CACHE[key]
+
+
+def _assert_fixpoints(program):
+    summaries = param_summaries(program.checked)
+    for name, cfg in program.cfgs.items():
+        df = analyze_procedure(
+            program.checked, name, cfg, summaries=summaries
+        )
+        for label, solution in (
+            ("reaching", df.reaching),
+            ("liveness", df.liveness),
+            ("ranges", df.ranges),
+        ):
+            assert solution.visits <= solution.limit, (
+                f"{name}: {label} used {solution.visits} visits "
+                f"(budget {solution.limit})"
+            )
+            # The fixpoint covers the whole (pruned) CFG.
+            assert set(solution.in_of) == set(cfg.nodes)
+        # SCCP feasibility must keep at least one live out-edge per
+        # executable branch: a totally infeasible branch is a solver
+        # bug, not a program property.
+        feasible = df.constants.feasible_edges
+        for nid in df.constants.executable:
+            labels = [e.label for e in cfg.edges if e.src == nid]
+            if labels:
+                assert any((nid, l) in feasible for l in labels), (
+                    f"{name}: node {nid} executable but no feasible "
+                    "out-edge"
+                )
+
+
+@pytest.mark.parametrize("name", [n for n, _ in builtin_sources()])
+def test_builtin_fixpoint(name):
+    source = dict(builtin_sources())[name]
+    _assert_fixpoints(_program(name, source))
+
+
+@pytest.mark.parametrize("gen_seed", range(N_GENERATED))
+def test_generated_fixpoint(gen_seed):
+    source = ProgramGenerator(gen_seed).source()
+    _assert_fixpoints(_program(gen_seed, source))

@@ -118,6 +118,38 @@ class TestIngestAndQuery:
             client.query("never-ingested")
         assert excinfo.value.status == 404
 
+    def test_query_registered_source_without_profile_serves_bounds(
+        self, client
+    ):
+        """A compiled-but-never-profiled key answers with static bounds."""
+        source = (
+            "      PROGRAM MAIN\n"
+            "      INTEGER I\n"
+            "      REAL S\n"
+            "      S = 0.0\n"
+            "      DO 10 I = 1, 100\n"
+            "        S = S + 1.5\n"
+            "10    CONTINUE\n"
+            "      END\n"
+        )
+        client.compile(source, key="bounds-only")
+        result = client.query("bounds-only")
+        assert result["runs"] == 0
+        assert result["analysis"] is None
+        assert "note" in result
+        main = result["static_bounds"]["MAIN"]
+        assert main["unbounded"] is False
+        assert 0 < main["time_lo"] <= main["time_hi"]
+        # Once a profile is ingested the normal analysis takes over.
+        program = compile_source(source)
+        profile, _ = profile_program(program, runs=1)
+        client.ingest("bounds-only", profile, source=source)
+        result = client.query("bounds-only")
+        assert result["runs"] == 1
+        assert result["analysis"] is not None
+        assert "static_bounds" not in result
+        assert main["time_lo"] <= result["analysis"]["time"] <= main["time_hi"]
+
     def test_query_without_source_returns_raw_only(self, client):
         program = compile_source(PAPER_SOURCE)
         profile, _ = profile_program(program, runs=1)
