@@ -1,0 +1,252 @@
+"""Path-register cost vs the Section 3 counter ladder.
+
+A Ball–Larus path register answers strictly more than edge counters —
+it records *which* acyclic paths ran, and Definition-3 frequencies
+reconstruct from the spectrum bit-for-bit — but it pays for that with
+a register update on every nonzero-increment edge plus a two-update
+flush per back edge.  This benchmark quantifies the price in the
+paper's own currency (dynamic counter-update operations, Section 3.3)
+against the full counter-placement ladder (naive, Opt 1, Opt 1+2,
+Opt 1+2+3) on the paper example, the Livermore kernel and a seeded
+generator-corpus composite, and measures the wall-clock overhead of
+path mode vs counter mode on every execution backend.
+
+Emits a human table plus machine-readable
+``benchmarks/results/BENCH_paths.json``.
+
+Gate: ``REPRO_PATHS_GATE`` (default 1.5) — on the codegen backend,
+aggregate path-profiled wall time must stay within that factor of
+aggregate counter-profiled (smart plan) wall time across the gated
+cells.  The fused lowering makes path mode a handful of ``r += k`` /
+``paths[r] += 1.0`` statements per iteration, so it should ride close
+to counter mode, not multiples of it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import (
+    SCALAR_MACHINE,
+    compile_source,
+    naive_program_plan,
+    run_program,
+    smart_program_plan,
+)
+from repro.paths import PathExecutor, path_program_plan
+from repro.profiling import PlanExecutor
+from repro.report import format_table
+from repro.workloads.generators import ProgramGenerator
+
+from conftest import RESULTS_DIR, publish
+
+REPS = 5
+
+#: Iterate tiny workloads inside one timing sample so a 61-step
+#: program is not measured against clock granularity and noise.
+TARGET_STEPS_PER_SAMPLE = 40_000
+
+N_GENERATORS = 15
+GEN_MAX_STEPS = 300_000
+
+BACKENDS = ("reference", "threaded", "codegen")
+
+#: The gate covers the throughput workloads; the dispatch-shaped
+#: `paper` fixture is reported but measures per-run latency.
+GATED_WORKLOADS = frozenset({"livermore", "generators"})
+
+#: The Section 3 ladder path registers are judged against.
+LADDER = (
+    ("naive", None),
+    ("opt1", {"enable_drops": False, "enable_do_batch": False}),
+    ("opt1+2", {"enable_drops": True, "enable_do_batch": False}),
+    ("opt1+2+3", {"enable_drops": True, "enable_do_batch": True}),
+)
+
+
+def _counter_plan(program, level_kwargs):
+    if level_kwargs is None:
+        return naive_program_plan(program)
+    return smart_program_plan(program, **level_kwargs)
+
+
+def _ladder_updates(items):
+    """Dynamic update ops per ladder level and for the path register.
+
+    ``items`` is ``[(program, run_kwargs), ...]``; each cell sums the
+    whole composite.  Also returns the static site counts (counters
+    placed vs path-register update sites emitted).
+    """
+    updates = {level: 0 for level, _ in LADDER}
+    updates["paths"] = 0
+    sites = {level: 0 for level, _ in LADDER}
+    sites["paths"] = 0
+    for program, kwargs in items:
+        for level, level_kwargs in LADDER:
+            plan = _counter_plan(program, level_kwargs)
+            executor = PlanExecutor(plan)
+            run_program(program, hooks=executor, **kwargs)
+            updates[level] += executor.updates
+            sites[level] += plan.n_counters
+        path_plan = path_program_plan(program)
+        path_executor = PathExecutor(path_plan)
+        run_program(program, hooks=path_executor, **kwargs)
+        path_executor.finalize_run()
+        updates["paths"] += path_executor.updates
+        sites["paths"] += path_plan.n_sites
+    return updates, sites
+
+
+def _time_cell(items, backend, mode):
+    """Best-of-REPS total wall time for one (workload, backend, mode).
+
+    One iteration runs the whole composite back to back; tiny cells
+    iterate enough times to amortize clock granularity.
+    """
+    plans = [
+        path_program_plan(program)
+        if mode == "paths"
+        else smart_program_plan(program)
+        for program, _kwargs in items
+    ]
+    cell_steps = sum(
+        run_program(program, backend=backend, **kwargs).steps
+        for program, kwargs in items
+    )
+    count = max(1, TARGET_STEPS_PER_SAMPLE // max(1, cell_steps))
+    best = float("inf")
+    for _ in range(REPS):
+        hooks = [
+            PathExecutor(plan) if mode == "paths" else PlanExecutor(plan)
+            for plan in plans
+        ]
+        start = time.perf_counter()
+        for index, (program, kwargs) in enumerate(items):
+            for _ in range(count):
+                run_program(
+                    program,
+                    hooks=hooks[index],
+                    model=SCALAR_MACHINE,
+                    backend=backend,
+                    **kwargs,
+                )
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def test_path_profiling_cost(paper_program, loops_program):
+    gate = float(os.environ.get("REPRO_PATHS_GATE", "1.5"))
+
+    generators = [
+        (
+            compile_source(ProgramGenerator(seed).source()),
+            {"seed": 7919 * (seed + 1), "max_steps": GEN_MAX_STEPS},
+        )
+        for seed in range(N_GENERATORS)
+    ]
+    workloads = {
+        "paper": [(paper_program, {})],
+        "livermore": [(loops_program, {})],
+        "generators": generators,
+    }
+
+    update_rows = []
+    wall_rows = []
+    records = {}
+    gated = {"counters": 0.0, "paths": 0.0}
+    for name, items in workloads.items():
+        updates, sites = _ladder_updates(items)
+        update_rows.append(
+            [name]
+            + [updates[level] for level, _ in LADDER]
+            + [updates["paths"]]
+            + [sites["opt1+2+3"], sites["paths"]]
+        )
+        seconds = {
+            mode: {
+                backend: _time_cell(items, backend, mode)
+                for backend in BACKENDS
+            }
+            for mode in ("counters", "paths")
+        }
+        overhead = {
+            backend: seconds["paths"][backend] / seconds["counters"][backend]
+            for backend in BACKENDS
+        }
+        if name in GATED_WORKLOADS:
+            for mode in ("counters", "paths"):
+                gated[mode] += seconds[mode]["codegen"]
+        wall_rows.append(
+            [name]
+            + [
+                f"{seconds[mode][backend] * 1e3:.1f}"
+                for backend in BACKENDS
+                for mode in ("counters", "paths")
+            ]
+            + [f"{overhead['codegen']:.2f}x"]
+        )
+        records[name] = {
+            "updates": dict(updates),
+            "static_sites": dict(sites),
+            "seconds": seconds,
+            "paths_vs_counters_overhead": overhead,
+        }
+
+    aggregate = gated["paths"] / gated["counters"]
+    update_table = format_table(
+        ["workload", "naive", "opt1", "opt1+2", "opt1+2+3", "paths",
+         "smart sites", "path sites"],
+        update_rows,
+        title="dynamic counter-update operations: "
+        "Section 3 ladder vs Ball–Larus path register",
+    )
+    wall_table = format_table(
+        ["workload"]
+        + [
+            f"{backend[:4]} {mode[:4]} ms"
+            for backend in BACKENDS
+            for mode in ("counters", "paths")
+        ]
+        + ["codegen ovh"],
+        wall_rows,
+        title=f"wall-clock per backend, counter vs path mode "
+        f"(best of {REPS}, scalar model); "
+        f"gated codegen aggregate {aggregate:.2f}x (gate {gate:.1f}x)",
+    )
+    publish("path_profiling_cost", update_table + "\n\n" + wall_table)
+
+    payload = {
+        "benchmark": "bench_path_profiling_cost",
+        "reps": REPS,
+        "model": "scalar",
+        "generators": N_GENERATORS,
+        "ladder": [level for level, _ in LADDER] + ["paths"],
+        "gated_workloads": sorted(GATED_WORKLOADS),
+        "gate": gate,
+        "codegen_paths_vs_counters_aggregate": aggregate,
+        "workloads": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_paths.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Shape: the fully optimized counter plan stays the cheapest way
+    # to measure Definition 3 — path registers pay extra updates for
+    # the extra information.  Structurally a path register costs about
+    # what the un-dropped per-condition placement (Opt 1) costs: its
+    # increments live on a subset of the condition edges and each back
+    # edge adds a two-update flush, so it must track that ladder rung
+    # closely rather than the per-block naive plan (which DO-dominated
+    # code makes artificially cheap: one bump covers a whole block).
+    for name in workloads:
+        updates = records[name]["updates"]
+        assert updates["opt1+2+3"] <= updates["paths"], (name, updates)
+        assert updates["paths"] <= 1.1 * updates["opt1"], (name, updates)
+    assert aggregate <= gate, (
+        f"codegen path-mode aggregate overhead {aggregate:.2f}x above "
+        f"the {gate:.1f}x gate vs counter mode"
+    )

@@ -1,0 +1,118 @@
+"""Observed hot paths vs frequency-guessed traces.
+
+Edge frequencies tell a trace scheduler which *edges* are hot;
+Fisher's mutual-most-likely heuristic then guesses a hot path by
+chaining them.  A Ball–Larus path spectrum (``mode="paths"``) removes
+the guesswork: it records which whole acyclic paths actually ran, per
+iteration.  This example profiles the same branchy kernel both ways
+and puts the two answers side by side — the heuristic's top trace and
+the spectrum's top observed paths, with the exact share of iterations
+each path took.
+
+Usage:  python examples/hot_paths.py
+"""
+
+from repro import (
+    SCALAR_MACHINE,
+    analyze,
+    compile_source,
+    profile_program,
+    run_program,
+)
+from repro.apps.traces import hot_paths, select_traces, trace_from_path
+from repro.paths import PathExecutor, path_program_plan
+from repro.report import format_table
+
+SOURCE = """\
+      PROGRAM HOTPATH
+      INTEGER I, NERR
+      REAL V, LIMIT
+      LIMIT = 0.95
+      NERR = 0
+      DO 10 I = 1, 200
+        V = RAND()
+        IF (V .GT. LIMIT) THEN
+          NERR = NERR + 1
+          CALL LOGERR(V)
+        ELSE
+          IF (V .GT. 0.5) THEN
+            X = X + V * 2.0
+          ELSE
+            X = X + V
+          ENDIF
+        ENDIF
+10    CONTINUE
+      PRINT *, NERR, X
+      END
+
+      SUBROUTINE LOGERR(V)
+      REAL V
+      Y = Y + V * V
+      END
+"""
+
+RUNS = 5
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    cfg = program.cfgs["HOTPATH"]
+
+    # -- the counter-mode consumer: frequency-guessed traces ----------
+    profile, _ = profile_program(program, runs=RUNS)
+    analysis = analyze(program, profile, SCALAR_MACHINE)
+    guessed = select_traces(analysis.main)[0]
+
+    # -- the path-mode consumer: record the spectrum ------------------
+    plan = path_program_plan(program)
+    executor = PathExecutor(plan)
+    for seed in range(RUNS):
+        run_program(program, seed=seed, hooks=executor)
+        executor.finalize_run()
+
+    top = hot_paths(plan, executor.path_counts, k=5)
+    print("== Top observed paths (Ball–Larus spectrum, 5 runs) ==")
+    rows = [
+        [
+            path.proc,
+            path.path_id,
+            f"{path.count:.0f}",
+            f"{100 * path.fraction:5.1f}%",
+            path.end,
+            " -> ".join(
+                cfg.nodes[n].text or str(n)
+                for n in trace_from_path(cfg, path).nodes
+            )
+            if path.proc == "HOTPATH"
+            else "(subroutine body)",
+        ]
+        for path in top
+    ]
+    print(
+        format_table(
+            ["proc", "id", "count", "share", "ends", "statements"], rows
+        )
+    )
+
+    hottest = next(p for p in top if p.proc == "HOTPATH")
+    observed = trace_from_path(cfg, hottest)
+    print("\n== Fisher trace vs hottest observed path (HOTPATH) ==")
+    print(
+        "guessed :",
+        " -> ".join(cfg.nodes[n].text or str(n) for n in guessed.nodes),
+    )
+    print(
+        "observed:",
+        " -> ".join(cfg.nodes[n].text or str(n) for n in observed.nodes),
+    )
+    shared = set(guessed.nodes) & set(observed.nodes)
+    print(
+        f"\nthe heuristic's trace shares {len(shared)} of "
+        f"{len(observed)} nodes with the hottest real path; the "
+        f"spectrum also shows that path took {100 * hottest.fraction:.1f}% "
+        "of all recorded paths — a number edge frequencies cannot give."
+    )
+
+
+if __name__ == "__main__":
+    main()

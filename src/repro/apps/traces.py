@@ -14,6 +14,15 @@ of execution-frequency information:
 Both consume the edge frequencies derived in
 :mod:`repro.analysis.edge_freq` — the same numbers the paper's
 framework produces, exercised the way a compiler back end would.
+
+Path mode (:mod:`repro.paths`) strengthens the first consumer:
+Fisher's heuristic *guesses* a hot path from edge frequencies, which
+can splice together branch arms that never co-occur, while a path
+spectrum records which whole acyclic paths actually ran.
+:func:`hot_paths` ranks the observed paths and :func:`trace_from_path`
+turns one into the same :class:`Trace` shape the heuristic produces,
+so a back end can schedule *observed* traces and fall back to
+frequency-guessed ones only where the spectrum is cold.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.analysis.edge_freq import edge_frequencies
 from repro.analysis.interprocedural import ProcedureAnalysis
-from repro.cfg.graph import CFGEdge, StmtKind
+from repro.cfg.graph import CFGEdge, ControlFlowGraph, StmtKind
 
 #: Node kinds excluded from traces (no machine code of their own).
 _SYNTHETIC = frozenset({StmtKind.ENTRY, StmtKind.EXIT, StmtKind.NOOP})
@@ -192,3 +201,85 @@ def branch_layout_advice(
         )
     advice.sort(key=lambda a: -a.saving)
     return advice
+
+
+# ---------------------------------------------------------------------------
+# Observed hot paths (Ball–Larus path spectra)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HotPath:
+    """One observed acyclic path, ranked by its executed count."""
+
+    proc: str
+    path_id: int
+    #: times this exact path ran, summed over the profiled runs.
+    count: float
+    #: this path's share of all recorded paths (program-wide).
+    fraction: float
+    #: real CFG nodes in execution order.
+    nodes: tuple[int, ...]
+    #: real CFG edges traversed, including a terminating back edge.
+    edges: tuple[tuple[int, str], ...]
+    #: "exit" | "backedge" | "stop" — how the path ended.
+    end: str
+
+
+def hot_paths(
+    plan,
+    path_counts: dict[str, dict[int, float]],
+    *,
+    k: int = 10,
+    min_count: float = 0.0,
+) -> list[HotPath]:
+    """The top-``k`` observed paths of a recorded spectrum.
+
+    ``plan`` is the :class:`repro.paths.ProgramPathPlan` the spectrum
+    was recorded against and ``path_counts`` the per-procedure
+    ``{path_id: count}`` tables (:attr:`PathExecutor.path_counts`, or
+    the service's accumulated spectrum).  Ties break deterministically
+    by procedure name, then path id.
+    """
+    flat = [
+        (count, proc, path_id)
+        for proc, table in path_counts.items()
+        for path_id, count in table.items()
+        if count > min_count
+    ]
+    total = sum(count for count, _, _ in flat)
+    flat.sort(key=lambda item: (-item[0], item[1], item[2]))
+    out: list[HotPath] = []
+    for count, proc, path_id in flat[:k]:
+        decoded = plan.plans[proc].decode(path_id)
+        out.append(
+            HotPath(
+                proc=proc,
+                path_id=path_id,
+                count=count,
+                fraction=count / total if total else 0.0,
+                nodes=decoded.nodes,
+                edges=decoded.edges,
+                end=decoded.end,
+            )
+        )
+    return out
+
+
+def trace_from_path(cfg: ControlFlowGraph, path: HotPath) -> Trace:
+    """An observed path in :class:`Trace` clothing.
+
+    Synthetic nodes are dropped exactly as :func:`select_traces` drops
+    them; every surviving node executed ``count`` times along this
+    path, so the trace weighs ``count × len(nodes)``.
+    """
+    nodes = [
+        node
+        for node in path.nodes
+        if cfg.nodes[node].kind not in _SYNTHETIC
+    ]
+    return Trace(
+        nodes=nodes,
+        seed_frequency=path.count,
+        weight=path.count * len(nodes),
+    )

@@ -35,6 +35,7 @@ import repro
 from repro.codegen import codegen_backend_for
 from repro.fastexec import LoweringError, backend_for
 from repro.obs import metrics
+from repro.paths import path_program_plan
 from repro.pipeline import (
     CompiledProgram,
     compile_source,
@@ -47,11 +48,13 @@ from repro.profiling import ProgramPlan
 #: 2: programs carry their threaded-backend shell (``_threaded``).
 #: 3: programs also carry their codegen-backend shell (``_codegen``),
 #:    including the emitted base source and its fingerprint.
-CACHE_FORMAT = 3
+#: 4: entries may carry Ball–Larus path plans (plan kind ``"paths"``).
+CACHE_FORMAT = 4
 
 _PLAN_BUILDERS = {
     "smart": smart_program_plan,
     "naive": naive_program_plan,
+    "paths": path_program_plan,
 }
 
 

@@ -59,6 +59,9 @@ class BatchOptions:
     verify: bool = False
     #: Execution engine per ``run_program``: auto/threaded/reference.
     backend: str = "auto"
+    #: ``"counters"`` (Definition-3 counter placement) or ``"paths"``
+    #: (Ball–Larus path profiling + reconstruction).
+    profile_mode: str = "counters"
 
 
 @dataclass(frozen=True)
@@ -179,8 +182,9 @@ def _profile_one_inner(
     result = BatchResult(
         index=index, item_id=item.id, ok=False, runs=len(item.runs)
     )
+    plan_kind = "paths" if options.profile_mode == "paths" else options.plan
     try:
-        program, plan, tier = cache.artifacts(item.source, options.plan)
+        program, plan, tier = cache.artifacts(item.source, plan_kind)
     except Exception as exc:
         result.error = BatchError("compile", type(exc).__name__, str(exc))
         return result
@@ -208,6 +212,7 @@ def _profile_one_inner(
             record_loop_moments=options.loop_variance == "profiled",
             max_steps=options.max_steps,
             backend=options.backend,
+            mode=options.profile_mode,
         )
     except Exception as exc:
         result.error = BatchError("profile", type(exc).__name__, str(exc))
@@ -302,6 +307,7 @@ def run_batch(
     max_steps: int = 10_000_000,
     verify: bool = False,
     backend: str = "auto",
+    profile_mode: str = "counters",
     should_stop=None,
 ) -> BatchReport:
     """Profile every item; never let one bad program sink the batch.
@@ -310,6 +316,9 @@ def run_batch(
     pool when more than one job is available and the batch has more
     than one item).  ``cache`` is an :class:`ArtifactCache`, a cache
     directory, or ``None`` for an ephemeral in-memory cache.
+    ``profile_mode`` selects counter (``"counters"``) or Ball–Larus
+    path (``"paths"``) profiling; path mode derives each item's path
+    plan through the same artifact cache under plan kind ``"paths"``.
     ``should_stop`` is an optional zero-argument callable polled
     between items (serial mode only): once it returns true, every
     not-yet-started item fails with stage ``"cancelled"`` instead of
@@ -318,6 +327,12 @@ def run_batch(
     """
     if mode not in ("auto", "serial", "process"):
         raise ValueError(f"unknown batch mode {mode!r}")
+    if profile_mode not in ("counters", "paths"):
+        raise ValueError(f"unknown profile mode {profile_mode!r}")
+    if profile_mode == "paths" and plan != "smart":
+        # Path reconstruction mirrors the smart plan's Definition-3
+        # targets; a naive block plan has nothing to reconstruct onto.
+        raise ValueError("profile_mode='paths' requires plan='smart'")
     if isinstance(cache, ArtifactCache):
         cache_obj = cache
     else:
@@ -329,6 +344,7 @@ def run_batch(
         max_steps=max_steps,
         verify=verify,
         backend=backend,
+        profile_mode=profile_mode,
     )
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs = max(1, jobs)

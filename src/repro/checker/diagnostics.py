@@ -12,7 +12,10 @@ suite) can match on codes rather than message text:
   Opt-3 preconditions);
 * ``REP3xx`` — minifort source lints (dataflow findings and hints);
 * ``REP4xx`` — counter-slot tables (the threaded backend's lowered
-  update sites must map one-to-one onto the plan's measured counters).
+  update sites must map one-to-one onto the plan's measured counters);
+* ``REP5xx`` — Ball–Larus path plans (the numbering must biject onto
+  ``[0, NumPaths)``, flushes must cover every back edge, and the
+  codegen backend's fused path sites must realize the plan exactly).
 
 A :class:`Diagnostic` carries the code, a severity, a human-readable
 message and an optional source span (procedure, node, line).  A
@@ -75,6 +78,10 @@ CODES: dict[str, tuple[Severity, str]] = {
     "REP403": (Severity.ERROR, "slot written by multiple update sites"),
     "REP404": (Severity.ERROR, "slot outside the dense counter id space"),
     "REP405": (Severity.ERROR, "codegen bump sites diverge from the plan"),
+    # REP5xx — Ball–Larus path plans (numbering + fused lowering)
+    "REP501": (Severity.ERROR, "path numbering is not a bijection"),
+    "REP502": (Severity.ERROR, "path flush coverage broken"),
+    "REP503": (Severity.ERROR, "codegen path sites diverge from the plan"),
 }
 
 

@@ -45,7 +45,7 @@ def verify_program(
                     "check.plan",
                     attrs={"kind": getattr(plan, "kind", "?")},
                 ):
-                    report.extend(check_program_plan(program, plan))
+                    report.extend(_check_plan(program, plan))
             except Exception as exc:
                 report.add(
                     diag("REP205", f"plan verification crashed: {exc}")
@@ -90,9 +90,12 @@ def check_source(
 
         with span("check.structure"):
             report.extend(check_structure(program))
+        from repro.paths import path_program_plan
+
         builders = {
             "smart": smart_program_plan,
             "naive": naive_program_plan,
+            "paths": path_program_plan,
         }
         for kind in plan_kinds:
             if kind not in builders:
@@ -105,7 +108,7 @@ def check_source(
                 )
                 continue
             with span("check.plan", attrs={"kind": kind}):
-                report.extend(check_program_plan(program, plan))
+                report.extend(_check_plan(program, plan))
         if lint:
             with span("check.lint"):
                 report.extend(
@@ -117,6 +120,16 @@ def check_source(
                     )
                 )
     return report
+
+
+def _check_plan(program, plan):
+    """Route a plan to its checker by kind: counter plans get the
+    REP2xx/REP4xx battery, path plans the REP5xx audit."""
+    if getattr(plan, "kind", None) == "paths":
+        from repro.checker.pathaudit import check_path_plan
+
+        return check_path_plan(program, plan)
+    return check_program_plan(program, plan)
 
 
 def _iter_plans(plans):

@@ -134,13 +134,22 @@ def _run_specs(args) -> list[dict]:
     ]
 
 
+def _profile_plan(program, args):
+    """The plan a profiling command should execute, honouring --mode."""
+    if getattr(args, "mode", "counters") == "paths":
+        if args.plan == "naive":
+            raise ReproError("--mode paths requires --plan smart")
+        from repro.paths import path_program_plan
+
+        return path_program_plan(program)
+    if args.plan == "naive":
+        return naive_program_plan(program)
+    return smart_program_plan(program)
+
+
 def _cmd_profile(args) -> int:
     program = _load(args.file)
-    plan = (
-        naive_program_plan(program)
-        if args.plan == "naive"
-        else smart_program_plan(program)
-    )
+    plan = _profile_plan(program, args)
     profile, stats = profile_program(
         program,
         runs=_run_specs(args),
@@ -149,14 +158,17 @@ def _cmd_profile(args) -> int:
         record_loop_moments=args.loop_moments,
         backend=args.backend,
         optimize=args.optimize,
+        mode=args.mode,
     )
     print(
         format_table(
             ["metric", "value"],
             [
-                ["plan", args.plan],
+                ["mode", args.mode],
+                ["plan", args.plan if args.mode == "counters" else "paths"],
                 ["runs", stats.runs],
-                ["counters", stats.counters],
+                ["counters" if args.mode == "counters" else "path sites",
+                 stats.counters],
                 ["counter updates", stats.counter_updates],
                 ["program cycles", stats.base_cost],
                 ["profiling cycles", stats.counter_cost],
@@ -404,11 +416,7 @@ def _cmd_trace(args) -> int:
         from repro.codegen import LoweringError, codegen_backend_for
 
         program = compile_source(source)
-        plan = (
-            naive_program_plan(program)
-            if args.plan == "naive"
-            else smart_program_plan(program)
-        )
+        plan = _profile_plan(program, args)
         try:
             text = codegen_backend_for(program).emitted_source(
                 plan, _MODELS[args.model]
@@ -429,11 +437,7 @@ def _cmd_trace(args) -> int:
     try:
         with span("trace", attrs={"target": label}):
             program = compile_source(source)
-            plan = (
-                naive_program_plan(program)
-                if args.plan == "naive"
-                else smart_program_plan(program)
-            )
+            plan = _profile_plan(program, args)
             report = verify_program(program, plan, program_id=label)
             profile, _stats = profile_program(
                 program,
@@ -441,6 +445,7 @@ def _cmd_trace(args) -> int:
                 plan=plan,
                 model=_MODELS[args.model],
                 record_loop_moments=args.loop_variance == "profiled",
+                mode=args.mode,
             )
             analyze(
                 program,
@@ -501,6 +506,7 @@ def _cmd_batch(args) -> int:
             max_steps=args.max_steps,
             verify=args.verify,
             backend=args.backend,
+            profile_mode=args.profile_mode,
         )
 
     rows = []
@@ -539,7 +545,9 @@ def _cmd_batch(args) -> int:
             rows,
             title=(
                 f"batch profile of {len(report.results)} programs "
-                f"({report.mode}, {report.jobs} job(s), {args.plan} plan)"
+                f"({report.mode}, {report.jobs} job(s), "
+                f"{'paths' if args.profile_mode == 'paths' else args.plan} "
+                "plan)"
             ),
         )
     )
@@ -592,7 +600,9 @@ def _cmd_check(args) -> int:
     plan_kinds = {
         "smart": ("smart",),
         "naive": ("naive",),
+        "paths": ("paths",),
         "both": ("smart", "naive"),
+        "all": ("smart", "naive", "paths"),
     }[args.plan]
     reports = [
         check_source(
@@ -808,6 +818,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan", choices=["smart", "naive"], default="smart"
     )
     p_profile.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_profile.add_argument(
+        "--mode", choices=["counters", "paths"], default="counters",
+        help="profiling instrumentation: Definition-3 counters or "
+        "Ball–Larus path registers (default: counters)",
+    )
     p_profile.add_argument("--db", help="profile database path (JSON)")
     p_profile.add_argument("--key", help="database key (default: file name)")
     p_profile.add_argument(
@@ -910,6 +925,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=["auto", "serial", "pool"], default="auto"
     )
     p_batch.add_argument(
+        "--profile-mode", choices=["counters", "paths"], default="counters",
+        help="profiling instrumentation: Definition-3 counters or "
+        "Ball–Larus path registers (default: counters)",
+    )
+    p_batch.add_argument(
         "--jobs", type=int, help="worker processes (default: CPU count)"
     )
     p_batch.add_argument(
@@ -952,8 +972,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="first generator seed (default 0)",
     )
     p_check.add_argument(
-        "--plan", choices=["smart", "naive", "both"], default="both",
-        help="which counter plans to verify (default: both)",
+        "--plan", choices=["smart", "naive", "paths", "both", "all"],
+        default="both",
+        help="which plans to verify: counter kinds, 'paths' "
+        "(REP5xx path-plan audit), 'both' counter kinds (default) or "
+        "'all' three",
     )
     p_check.add_argument(
         "--no-lint", action="store_true", help="skip the REP3xx lints"
@@ -1107,6 +1130,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan", choices=["smart", "naive"], default="smart"
     )
     p_trace.add_argument("--model", choices=sorted(_MODELS), default="scalar")
+    p_trace.add_argument(
+        "--mode", choices=["counters", "paths"], default="counters",
+        help="profiling instrumentation: Definition-3 counters or "
+        "Ball–Larus path registers (default: counters)",
+    )
     p_trace.add_argument(
         "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
     )

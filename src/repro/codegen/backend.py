@@ -33,6 +33,8 @@ from repro.fastexec.shape import ProcShape, build_shape
 from repro.interp.intrinsics import IntrinsicRuntime
 from repro.interp.machine import RunResult, _ProgramHalt
 from repro.obs import metrics, span
+from repro.paths.numbering import path_plan_fingerprint
+from repro.paths.runtime import PathExecutor
 from repro.profiling.runtime import PlanExecutor
 
 from repro.codegen.emit import EmitMeta, emit_module
@@ -92,6 +94,8 @@ class CodegenBackend:
         self._outputs: list[str] = []
         self._main_vars_box: list[dict] = [{}]
         self._slots_list: list = []
+        self._path_slots_list: list = []
+        self._partials_box: list = [None]
         self._node_hits: dict[str, list[int]] = {}
         self._edge_hits: dict[str, list[int]] = {}
         self._call_boxes: dict[str, list[int]] = {}
@@ -160,6 +164,7 @@ class CodegenBackend:
             }
             self._call_boxes = {name: [0] for name in shapes}
             self._slots_list[:] = [None] * len(shapes)
+            self._path_slots_list[:] = [None] * len(shapes)
             self._shapes = shapes
             self._emit_variant(None, None)
         except LoweringError as exc:
@@ -176,11 +181,15 @@ class CodegenBackend:
         started = time.perf_counter()
         with span("compile.codegen") as codegen_span:
             plan_tables = None
+            path_tables = None
             if plan is not None:
-                plan_tables = {
-                    name: lower_counter_plan(p)
-                    for name, p in plan.plans.items()
-                }
+                if getattr(plan, "kind", None) == "paths":
+                    path_tables = dict(plan.plans)
+                else:
+                    plan_tables = {
+                        name: lower_counter_plan(p)
+                        for name, p in plan.plans.items()
+                    }
             costs = None
             cu = None
             if model is not None:
@@ -210,6 +219,7 @@ class CodegenBackend:
                     self.cfgs,
                     self._shapes,
                     plan_tables=plan_tables,
+                    path_tables=path_tables,
                     costs=costs,
                     cu=cu,
                     mutation=self.mutation,
@@ -228,7 +238,7 @@ class CodegenBackend:
             )
         variant = _Variant(source, meta, main, model)
         key = (
-            plan_fingerprint(plan) if plan is not None else None,
+            _plan_key(plan),
             id(model) if model is not None else None,
         )
         self._variants[key] = variant
@@ -245,7 +255,7 @@ class CodegenBackend:
 
     def _variant(self, plan, model) -> _Variant:
         key = (
-            plan_fingerprint(plan) if plan is not None else None,
+            _plan_key(plan),
             id(model) if model is not None else None,
         )
         variant = self._variants.get(key)
@@ -290,19 +300,28 @@ class CodegenBackend:
     ) -> RunResult:
         """Execute the main PROGRAM unit once (reference-identical)."""
         executor: PlanExecutor | None
+        path_executor: PathExecutor | None = None
         if hooks is None:
             executor = None
         elif type(hooks) is PlanExecutor:
             # Exact type: a subclass could override the hook methods,
             # which emitted counter bumps would silently not replicate.
             executor = hooks
+        elif type(hooks) is PathExecutor:
+            executor = None
+            path_executor = hooks
         else:
             raise UnsupportedHooksError(
-                f"codegen backend only supports PlanExecutor hooks, "
-                f"not {type(hooks).__name__}"
+                f"codegen backend only supports PlanExecutor or "
+                f"PathExecutor hooks, not {type(hooks).__name__}"
             )
         self.ensure_lowered()
-        variant = self._variant(executor.plan if executor else None, model)
+        active_plan = None
+        if executor is not None:
+            active_plan = executor.plan
+        elif path_executor is not None:
+            active_plan = path_executor.plan
+        variant = self._variant(active_plan, model)
 
         for name in self._shapes:
             self._call_boxes[name][0] = 0
@@ -318,6 +337,19 @@ class CodegenBackend:
                 arr = executor.counters.get(name)
                 if arr is not None:
                     slots[shape.index] = arr
+        pslots = self._path_slots_list
+        for i in range(len(pslots)):
+            pslots[i] = None
+        self._partials_box[0] = None
+        if path_executor is not None:
+            # Emitted path bumps write the executor's live per-proc
+            # dicts (like the reference on_edge flushes); partials
+            # append straight onto its list as _HALT unwinds.
+            for name, shape in self._shapes.items():
+                counts = path_executor.path_counts.get(name)
+                if counts is not None:
+                    pslots[shape.index] = counts
+            self._partials_box[0] = path_executor.partials
         self._steps[0] = 0
         del self._outputs[:]
         self._cost[0] = 0.0
@@ -349,6 +381,9 @@ class CodegenBackend:
             # a run that raises must still record the events so far.
             if executor is not None:
                 executor.updates += self._ops_box[0]
+            if path_executor is not None:
+                path_executor.updates += self._ops_box[0]
+                self._partials_box[0] = None
 
         result = RunResult()
         result.halted = halted
@@ -383,6 +418,17 @@ class CodegenBackend:
         if halted in ("end", "stop"):
             result.main_vars.update(self._main_vars_box[0])
         return result
+
+
+def _plan_key(plan):
+    """A variant cache key fragment for a counter or path plan."""
+    if plan is None:
+        return None
+    if getattr(plan, "kind", None) == "paths":
+        # path_plan_fingerprint tuples start with "paths": no collision
+        # with counter-plan fingerprints in the variant cache.
+        return path_plan_fingerprint(plan)
+    return plan_fingerprint(plan)
 
 
 def _fingerprint(source: str) -> str:

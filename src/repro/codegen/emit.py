@@ -134,6 +134,12 @@ class EmitMeta:
     #: Their slots stay in the table but are provably never bumped
     #: (static FREQ 0); the REP405 audit excludes them.
     pruned_edges: dict[str, list[tuple]] = field(default_factory=dict)
+    #: proc -> [(kind, where, *constants)] in textual order, one entry
+    #: per emitted path-register site (path-mode variants only):
+    #: ``("inc", (nid, label), k)``, ``("flush", (nid, label), bump,
+    #: reset)``, ``("exit", nid)``, ``("stop", nid)``, ``("partial",
+    #: nid)``.  Duplicates possible, like ``bumps``.
+    path_sites: dict[str, list[tuple]] = field(default_factory=dict)
     lines: int = 0
     mutation_applied: bool = False
 
@@ -148,6 +154,7 @@ class ProcEmitter:
         shape: ProcShape,
         *,
         plan_table=None,
+        paths=None,
         costs: list | None = None,
         cu: float | None = None,
         mutation: str | None = None,
@@ -161,6 +168,10 @@ class ProcEmitter:
         self.constants = self.table.constants
         self.procedures = checked.unit.procedures
         self.plan = plan_table  # ProcSlotTable or None
+        self.paths = paths  # ProcPathPlan or None (exclusive with plan)
+        #: Original node id currently being emitted — the suspension
+        #: marker the path-mode call-site guards record in partials.
+        self.cur_nid = None
         self.costs = costs
         self.cu = cu
         self.mutation = mutation
@@ -815,6 +826,19 @@ class ProcEmitter:
         result = self.temp()
         if dead:
             self.line(f"{result} = None")
+        elif self.paths is not None:
+            # If the callee STOPs, this frame is suspended mid-path:
+            # record its partial prefix as _HALT unwinds (innermost
+            # frames append first, matching finalize_run's order).
+            self.line("try:")
+            self.line(f"    {result} = P_{name}({', '.join(args)})")
+            self.line("except _HALT:")
+            self.line(
+                f"    _PSB[0].append(({self.shape.name!r}, "
+                f"{self.cur_nid}, _pr))"
+            )
+            self.line("    raise")
+            self.line("_b = _ms - _s[0]")
         else:
             self.line(f"{result} = P_{name}({', '.join(args)})")
             self.line("_b = _ms - _s[0]")
@@ -1226,10 +1250,41 @@ class ProcEmitter:
             if self.cu is not None:
                 self.line(f"_cc[0] += {_lit(ops * self.cu)}")
 
+    def bk_path_edge(self, k: int, label: str) -> None:
+        """The on_edge path-register update: ``_pr += k`` on a non-zero
+        increment (1 op) or the back-edge flush ``paths[_pr + b] += 1;
+        _pr = reset`` (2 ops, one ``2*cu`` cycle add, matching the
+        reference's per-event charge)."""
+        if self.paths is None:
+            return
+        nid = self.shape.node_ids[k]
+        key = (nid, label)
+        flush = self.paths.flushes.get(key)
+        if flush is not None:
+            bump_add, reset = flush
+            self.line(f"_pk = _pr + {bump_add}" if bump_add else "_pk = _pr")
+            self.line("_pp[_pk] = _pp.get(_pk, 0.0) + 1.0")
+            self.line(f"_pr = {reset}")
+            self.line("_o_l += 2")
+            if self.cu is not None:
+                self.line(f"_cc[0] += {_lit(2 * self.cu)}")
+            self.meta.path_sites[self.shape.name].append(
+                ("flush", key, bump_add, reset)
+            )
+            return
+        inc = self.paths.increments.get(key, 0)
+        if inc:
+            self.line(f"_pr += {inc}")
+            self.line("_o_l += 1")
+            if self.cu is not None:
+                self.line(f"_cc[0] += {_lit(self.cu)}")
+            self.meta.path_sites[self.shape.name].append(("inc", key, inc))
+
     def bk_edge_slot(self, k: int, label: str) -> None:
         """The on_edge counter update alone — for edges interior to a
         fused block, whose traversal count comes from the block
         counter instead of a per-edge local."""
+        self.bk_path_edge(k, label)
         if self.plan is None:
             return
         nid = self.shape.node_ids[k]
@@ -1248,6 +1303,7 @@ class ProcEmitter:
         eidx = self.shape.edge_index[(nid, label)]
         self.line(f"_e{eidx} += 1")
         self.edges_used.add(eidx)
+        self.bk_path_edge(k, label)
         if self.plan is None:
             return
         cid = self.plan.edge_slots.get((nid, label))
@@ -1269,9 +1325,37 @@ class ProcEmitter:
         self.bk_node(k)
         if self.kind[k] is StmtKind.STOP:
             # The reference raises inside _exec_node: no hooks fire.
+            if self.paths is not None:
+                # Settling the halted frame costs 0 updates (the run is
+                # over): a sink STOP's register is a complete path id,
+                # the usual STOP leaves a partial-path prefix.  Outer
+                # suspended frames add theirs as _HALT unwinds through
+                # the call-site guards, innermost first.
+                nid = self.shape.node_ids[k]
+                if nid in self.paths.stop_sinks:
+                    self.line("_pp[_pr] = _pp.get(_pr, 0.0) + 1.0")
+                    self.meta.path_sites[self.shape.name].append(
+                        ("stop", nid)
+                    )
+                else:
+                    self.line(
+                        f"_PSB[0].append(({self.shape.name!r}, {nid}, _pr))"
+                    )
+                    self.meta.path_sites[self.shape.name].append(
+                        ("partial", nid)
+                    )
             self.line("raise _HALT()")
             return
         self.bump_node(k)
+        if self.paths is not None:
+            # The on_node EXIT flush: paths[_pr] += 1 (1 update).
+            self.line("_pp[_pr] = _pp.get(_pr, 0.0) + 1.0")
+            self.line("_o_l += 1")
+            if self.cu is not None:
+                self.line(f"_cc[0] += {_lit(self.cu)}")
+            self.meta.path_sites[self.shape.name].append(
+                ("exit", self.shape.node_ids[k])
+            )
         shape = self.shape
         if shape.ret_slot is not None:
             rname = shape.proc.name
@@ -1293,6 +1377,7 @@ class ProcEmitter:
     def emit_action_body(self, k: int) -> str | None:
         """The node's effect alone — no step charge, hit or cost
         bookkeeping (fused blocks emit those per block)."""
+        self.cur_nid = self.shape.node_ids[k]
         kind = self.kind[k]
         line = self.node_line[k]
         if kind in (StmtKind.ENTRY, StmtKind.NOOP):
@@ -1492,6 +1577,7 @@ class ProcEmitter:
     def emit(self) -> list[str]:
         """The complete function definition, as a list of lines."""
         self.meta.bumps.setdefault(self.shape.name, [])
+        self.meta.path_sites.setdefault(self.shape.name, [])
         n_nodes = len(self.shape.node_ids)
         flow = FlowInfo(
             {
@@ -1511,6 +1597,7 @@ class ProcEmitter:
         except (Unstructured, RecursionError):
             self.meta.mutation_applied = saved_mut
             self.meta.bumps[self.shape.name] = []
+            self.meta.path_sites[self.shape.name] = []
             body = self._attempt(flow, structured=False)
             mode = "dispatch"
         self.meta.mode[self.shape.name] = mode
@@ -1592,6 +1679,13 @@ class ProcEmitter:
             # can accumulate locally; the finally flush preserves the
             # events recorded so far even when the run raises.
             pro("_o_l = 0")
+        if self.paths is not None:
+            # The path register lives in the Python frame: call and
+            # return restore it for free, exactly the per-frame
+            # save/restore the reference executor performs.
+            pro(f"_pp = _PC[{shape.index}]")
+            pro("_pr = 0")
+            pro("_o_l = 0")
         for vname in shape.names:
             info = self.table.lookup(vname)
             if info is None or info.is_param:
@@ -1647,7 +1741,7 @@ class ProcEmitter:
         if not is_main:
             fin("_dep[0] -= 1")
         fin("_s[0] += _d")
-        if self.uses_slots:
+        if self.uses_slots or self.paths is not None:
             fin("_o[0] += _o_l")
         for k in sorted(self.hits_used):
             fin(f"_NH_{name}[{k}] += _h{k}")
@@ -1870,6 +1964,7 @@ def emit_module(
     shapes: dict[str, ProcShape],
     *,
     plan_tables: dict | None = None,
+    path_tables: dict | None = None,
     costs: dict | None = None,
     cu: float | None = None,
     mutation: str | None = None,
@@ -1879,6 +1974,9 @@ def emit_module(
 
     ``plan_tables`` maps procedure name to its
     :class:`~repro.fastexec.plans.ProcSlotTable` (profiled variants),
+    ``path_tables`` maps procedure name to its
+    :class:`~repro.paths.numbering.ProcPathPlan` (path-profiled
+    variants; mutually exclusive with ``plan_tables``),
     ``costs`` maps procedure name to a node-id -> cost dict and ``cu``
     is the machine model's counter-update cost (costed variants).
     ``optimize`` is an optional
@@ -1907,6 +2005,7 @@ def emit_module(
             shapes,
             shape,
             plan_table=table,
+            paths=path_tables.get(name) if path_tables else None,
             costs=dense_costs,
             cu=cu,
             mutation=mutation,

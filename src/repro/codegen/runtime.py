@@ -167,6 +167,8 @@ def make_namespace(backend) -> dict:
         "_out": backend._outputs,
         "_mvb": backend._main_vars_box,
         "_K": backend._slots_list,
+        "_PC": backend._path_slots_list,
+        "_PSB": backend._partials_box,
         # -- classes / singletons --------------------------------------
         "IE": InterpreterError,
         "ILE": InterpreterLimitError,

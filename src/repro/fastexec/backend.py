@@ -32,6 +32,7 @@ from repro.fastexec.exprs import LoweringError
 from repro.fastexec.lower import (
     ThreadedProc,
     build_ops,
+    build_path_ops,
     compile_procedure,
     make_threaded_proc,
 )
@@ -40,6 +41,8 @@ from repro.interp.intrinsics import IntrinsicRuntime
 from repro.interp.machine import RunResult, _ProgramHalt
 from repro.interp.values import Cell, ElementRef, FortranArray
 from repro.obs import metrics, span
+from repro.paths.numbering import path_plan_fingerprint
+from repro.paths.runtime import PathExecutor
 from repro.profiling.runtime import PlanExecutor
 
 
@@ -49,6 +52,16 @@ class UnsupportedHooksError(LoweringError):
 
 class _LoweredPlan:
     """One counter plan's compiled form: flat counts + fused op tables."""
+
+    __slots__ = ("counts", "tables")
+
+    def __init__(self, counts, tables):
+        self.counts = counts
+        self.tables = tables
+
+
+class _LoweredPathPlan:
+    """One path plan's compiled form: sparse count dicts + op tables."""
 
     __slots__ = ("counts", "tables")
 
@@ -69,6 +82,7 @@ class ThreadedBackend:
         self._procs: dict[str, ThreadedProc] | None = None
         self._proc_list: list[ThreadedProc] = []
         self._plan_tables: dict[tuple, _LoweredPlan] = {}
+        self._path_tables: dict[tuple, _LoweredPathPlan] = {}
         self._costs_cache: dict[int, tuple] = {}
         self._lower_error: LoweringError | None = None
         # Mutable run-state boxes, captured by the compiled closures.
@@ -79,6 +93,14 @@ class ThreadedBackend:
         self._ops_box = [0]
         self._ccost_box = [0.0]
         self._cupd_box = [0.0]
+        # Path-mode state: the Ball–Larus register of the *current*
+        # frame plus the marker of the last call-bearing node executed
+        # in it; _invoke saves/restores both around each call, so the
+        # save-stack entries are exactly the suspended frames.
+        self._preg_box = [0]
+        self._pmark_box: list = [None]
+        self._path_stack: list[tuple] = []
+        self._path_mode = False
         self._depth = 0
         self._max_steps = 0
         self._max_depth = 0
@@ -164,6 +186,24 @@ class ThreadedBackend:
             self._plan_tables[fingerprint] = lowered
         return lowered
 
+    def _lowered_path_plan(self, plan) -> _LoweredPathPlan:
+        fingerprint = path_plan_fingerprint(plan)
+        lowered = self._path_tables.get(fingerprint)
+        if lowered is None:
+            counts: dict[str, dict] = {name: {} for name in plan.plans}
+            tables = {}
+            for name, tp in self._procs.items():
+                proc_plan = plan.plans.get(name)
+                if proc_plan is None:
+                    tables[name] = tp.plain_ops
+                else:
+                    tables[name] = build_path_ops(
+                        tp, self, proc_plan, counts[name]
+                    )
+            lowered = _LoweredPathPlan(counts, tables)
+            self._path_tables[fingerprint] = lowered
+        return lowered
+
     def _costs_for(self, model):
         entry = self._costs_cache.get(id(model))
         # Keeping a strong reference to the model inside the cache
@@ -193,26 +233,37 @@ class ThreadedBackend:
         record_counts: bool = True,
     ) -> RunResult:
         """Execute the main PROGRAM unit once (reference-identical)."""
-        executor: PlanExecutor | None
+        executor: PlanExecutor | None = None
+        path_executor: PathExecutor | None = None
         if hooks is None:
-            executor = None
+            pass
         elif type(hooks) is PlanExecutor:
             # Exact type: a subclass could override the hook methods,
             # which fused counter bumps would silently not replicate.
             executor = hooks
+        elif type(hooks) is PathExecutor:
+            path_executor = hooks
         else:
             raise UnsupportedHooksError(
-                f"threaded backend only supports PlanExecutor hooks, "
-                f"not {type(hooks).__name__}"
+                f"threaded backend only supports PlanExecutor or "
+                f"PathExecutor hooks, not {type(hooks).__name__}"
             )
         self.ensure_lowered()
         lowered = self._lowered_plan(executor.plan) if executor else None
+        plowered = (
+            self._lowered_path_plan(path_executor.plan)
+            if path_executor
+            else None
+        )
         costs = self._costs_for(model) if model is not None else None
 
         for tp in self._proc_list:
-            tp.active_ops = (
-                lowered.tables[tp.name] if lowered else tp.plain_ops
-            )
+            if lowered:
+                tp.active_ops = lowered.tables[tp.name]
+            elif plowered:
+                tp.active_ops = plowered.tables[tp.name]
+            else:
+                tp.active_ops = tp.plain_ops
             tp.active_costs = costs[tp.name] if costs else None
             tp.call_box[0] = 0
             tp.node_hits[:] = [0] * len(tp.node_hits)
@@ -220,6 +271,13 @@ class ThreadedBackend:
         if lowered:
             for arr in lowered.counts.values():
                 arr[:] = [0.0] * len(arr)
+        if plowered:
+            for mapping in plowered.counts.values():
+                mapping.clear()
+        self._preg_box[0] = 0
+        self._pmark_box[0] = None
+        del self._path_stack[:]
+        self._path_mode = path_executor is not None
         self._steps[0] = 0
         del self._outputs[:]
         self._cost[0] = 0.0
@@ -245,6 +303,14 @@ class ThreadedBackend:
                 self._exec(main_tp, env)
             except _ProgramHalt:
                 halted = "stop"
+                if path_executor is not None:
+                    # Frames suspended in a call when STOP fired are on
+                    # the save-stack (outermost first); the innermost
+                    # frame's register was flushed by the STOP op.
+                    for mark, register in reversed(self._path_stack):
+                        path_executor.partials.append(
+                            (mark[0], mark[1], register)
+                        )
         finally:
             if old_limit < needed:
                 sys.setrecursionlimit(old_limit)
@@ -259,6 +325,14 @@ class ThreadedBackend:
                         if value:
                             dest[cid] += value
                 executor.updates += self._ops_box[0]
+            if path_executor is not None and plowered is not None:
+                for name, src in plowered.counts.items():
+                    dest = path_executor.path_counts[name]
+                    for pid, value in src.items():
+                        dest[pid] = dest.get(pid, 0.0) + value
+                path_executor.updates += self._ops_box[0]
+                del self._path_stack[:]
+                self._path_mode = False
 
         result = RunResult()
         result.halted = halted
@@ -342,11 +416,28 @@ class ThreadedBackend:
             callee_env[slot] = Cell(type_)
         for slot, vname, type_, dims in tp.init_arrays:
             callee_env[slot] = FortranArray(vname, type_, dims)
-        self._depth += 1
-        try:
-            self._exec(tp, callee_env)
-        finally:
-            self._depth -= 1
+        if self._path_mode:
+            # Suspend the caller's path state; entries left on the
+            # stack by a _ProgramHalt unwind are the STOP partials.
+            preg = self._preg_box
+            pmark = self._pmark_box
+            stack = self._path_stack
+            stack.append((pmark[0], preg[0]))
+            preg[0] = 0
+            self._depth += 1
+            try:
+                self._exec(tp, callee_env)
+            finally:
+                self._depth -= 1
+            mark, register = stack.pop()
+            pmark[0] = mark
+            preg[0] = register
+        else:
+            self._depth += 1
+            try:
+                self._exec(tp, callee_env)
+            finally:
+                self._depth -= 1
         if tp.ret_slot is not None:
             return callee_env[tp.ret_slot].value
         return None

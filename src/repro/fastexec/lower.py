@@ -838,3 +838,221 @@ def _op_do_init(act, dbump, rec, nxt):
         return _n
 
     return op_b
+
+
+# -- path-profiling op tables ---------------------------------------------
+#
+# Path mode fuses Ball–Larus register updates instead of counter bumps:
+# the register lives in a backend box (``_preg_box``), saved/restored
+# around ``_invoke`` so each live frame sees its own value, and path
+# counts go to a per-procedure sparse dict.  Event order and the
+# ops/cycles accounting match :class:`repro.paths.runtime.PathExecutor`
+# exactly: +k on an instrumented edge is 1 update, a back-edge flush is
+# 2 (one ``2 * cu`` addition), the EXIT flush is 1, a STOP flush is 0.
+
+
+def _expr_calls(expr, procedures) -> bool:
+    """Whether evaluating ``expr`` can invoke a user procedure.
+
+    After symbol checking, a ``FuncCall`` whose name is a declared
+    array has been rewritten to ``ArrayRef``, so a name match against
+    the procedure table is exact.
+    """
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in procedures:
+            return True
+        return any(_expr_calls(arg, procedures) for arg in expr.args)
+    if isinstance(expr, ast.Binary):
+        return _expr_calls(expr.left, procedures) or _expr_calls(
+            expr.right, procedures
+        )
+    if isinstance(expr, ast.Unary):
+        return _expr_calls(expr.operand, procedures)
+    if isinstance(expr, ast.ArrayRef):
+        return any(_expr_calls(i, procedures) for i in expr.indices)
+    return False
+
+
+def _node_may_call(node, procedures) -> bool:
+    """Whether executing ``node`` can suspend this frame in a call.
+
+    Such nodes publish a ``(proc, node)`` marker before their action so
+    a STOP unwinding through the call records the right partial-path
+    position.
+    """
+    kind = node.kind
+    if kind is StmtKind.CALL:
+        return True
+    if kind is StmtKind.ASSIGN:
+        stmt = node.stmt
+        if _expr_calls(stmt.value, procedures):
+            return True
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            return False
+        return any(_expr_calls(i, procedures) for i in target.indices)
+    if kind in (StmtKind.IF, StmtKind.WHILE_TEST, StmtKind.AIF,
+                StmtKind.CGOTO):
+        return _expr_calls(node.cond, procedures)
+    if kind is StmtKind.PRINT:
+        return any(_expr_calls(item, procedures) for item in node.stmt.items)
+    if kind is StmtKind.DO_INIT:
+        stmt = node.stmt
+        if stmt.step is not None and _expr_calls(stmt.step, procedures):
+            return True
+        return _expr_calls(stmt.start, procedures) or _expr_calls(
+            stmt.stop, procedures
+        )
+    return False
+
+
+def build_path_ops(tp: ThreadedProc, backend, pplan, counts):
+    """Build the op table with a path plan's register updates fused in.
+
+    ``pplan`` is the procedure's :class:`~repro.paths.numbering.
+    ProcPathPlan`; ``counts`` is the backend-owned sparse dict the
+    flushes write (merged into the executor after each run).
+    """
+    procedures = backend.checked.unit.procedures
+    ops = []
+    for node_id, spec in zip(tp.node_ids, tp.specs):
+        ops.append(
+            _build_path_op(
+                tp, backend, node_id, spec, pplan, counts, procedures
+            )
+        )
+    return ops
+
+
+def _path_edge_rec(tp, ehit, pplan, key, backend, counts):
+    edge_hits = tp.edge_hits
+    preg_box = backend._preg_box
+    ops_box = backend._ops_box
+    ccost_box = backend._ccost_box
+    cupd_box = backend._cupd_box
+    flush = pplan.flushes.get(key)
+    if flush is not None:
+        bump_add, reset = flush
+
+        def rec_flush(_h=edge_hits, _e=ehit, _c=counts, _p=preg_box,
+                      _b=bump_add, _r=reset, _o=ops_box, _cc=ccost_box,
+                      _cu=cupd_box):
+            _h[_e] += 1
+            k = _p[0] + _b
+            _c[k] = _c.get(k, 0.0) + 1.0
+            _p[0] = _r
+            _o[0] += 2
+            _cc[0] += 2 * _cu[0]
+
+        return rec_flush
+    inc = pplan.increments.get(key, 0)
+    if inc:
+
+        def rec_inc(_h=edge_hits, _e=ehit, _p=preg_box, _k=inc, _o=ops_box,
+                    _cc=ccost_box, _cu=cupd_box):
+            _h[_e] += 1
+            _p[0] += _k
+            _o[0] += 1
+            _cc[0] += _cu[0]
+
+        return rec_inc
+
+    def rec(_h=edge_hits, _e=ehit):
+        _h[_e] += 1
+
+    return rec
+
+
+def _op_path_exit(backend, counts):
+    def op(env, _c=counts, _p=backend._preg_box, _o=backend._ops_box,
+           _cc=backend._ccost_box, _cu=backend._cupd_box):
+        k = _p[0]
+        _c[k] = _c.get(k, 0.0) + 1.0
+        _o[0] += 1
+        _cc[0] += _cu[0]
+        return -1
+
+    return op
+
+
+def _op_path_stop(backend, counts, tp, node_id, pplan):
+    # Settling the halted frame costs 0 updates either way (the run is
+    # over — the reference settles it in finalize_run without charging
+    # the run).  A STOP node with no real out-edge is a DAG sink whose
+    # register is a complete path id; the usual STOP (with a pseudo-ish
+    # U edge to EXIT) leaves a partial-path prefix, pushed onto the
+    # call save-stack so it unwinds innermost-first with the suspended
+    # frames.
+    if node_id in pplan.stop_sinks:
+
+        def op_flush(env, _c=counts, _p=backend._preg_box):
+            k = _p[0]
+            _c[k] = _c.get(k, 0.0) + 1.0
+            raise _ProgramHalt()
+
+        return op_flush
+
+    mark = (tp.name, node_id)
+
+    def op(env, _s=backend._path_stack, _m=mark, _p=backend._preg_box):
+        _s.append((_m, _p[0]))
+        raise _ProgramHalt()
+
+    return op
+
+
+def _build_path_op(tp, backend, node_id, spec, pplan, counts, procedures):
+    def rec_for(label):
+        entry = spec.succ.get(label)
+        if entry is None:
+            raise LoweringError(
+                f"{tp.name}: node {node_id} has no {label!r} successor"
+            )
+        ehit, nxt = entry
+        return (
+            _path_edge_rec(
+                tp, ehit, pplan, (node_id, label), backend, counts
+            ),
+            nxt,
+        )
+
+    kind = spec.kind
+    if kind is StmtKind.EXIT:
+        return _op_path_exit(backend, counts)
+    if kind is StmtKind.STOP:
+        return _op_path_stop(backend, counts, tp, node_id, pplan)
+
+    act = spec.act
+    if act is not None and _node_may_call(tp.cfg.nodes[node_id], procedures):
+        mark = (tp.name, node_id)
+
+        def marked(env, _a=act, _m=mark, _bx=backend._pmark_box):
+            _bx[0] = _m
+            return _a(env)
+
+        act = marked
+
+    if kind in (StmtKind.IF, StmtKind.WHILE_TEST):
+        rec_t, j_t = rec_for(LABEL_TRUE)
+        rec_f, j_f = rec_for(LABEL_FALSE)
+        return _op_if(act, None, rec_t, j_t, rec_f, j_f, spec.line)
+    if kind is StmtKind.DO_TEST:
+        rec_t, j_t = rec_for(LABEL_TRUE)
+        rec_f, j_f = rec_for(LABEL_FALSE)
+        return _op_do_test(spec.tslot, None, rec_t, j_t, rec_f, j_f)
+    if kind is StmtKind.AIF:
+        rec_lt, j_lt = rec_for("LT")
+        rec_eq, j_eq = rec_for("EQ")
+        rec_gt, j_gt = rec_for("GT")
+        return _op_aif(
+            act, None, rec_lt, j_lt, rec_eq, j_eq, rec_gt, j_gt, spec.line
+        )
+    if kind is StmtKind.CGOTO:
+        ways = [rec_for(f"C{k}") for k in range(1, spec.nways + 1)]
+        way_u = rec_for(LABEL_UNCOND)
+        return _op_cgoto(act, None, tuple(ways), way_u)
+    if kind is StmtKind.DO_INIT:
+        rec, nxt = rec_for(LABEL_UNCOND)
+        return _op_do_init(act, None, rec, nxt)
+    rec, nxt = rec_for(LABEL_UNCOND)
+    return _op_step(act, None, rec, nxt)

@@ -1,0 +1,46 @@
+"""Ball–Larus path profiling: the second profiling mode.
+
+Where :mod:`repro.profiling` places *counters* on nodes and edges
+(Section 3's Opt-1/2/3), this package numbers the acyclic paths of
+each procedure's back-edge-split CFG and profiles *which paths ran*,
+reconstructing the same Definition-3 material (bit-for-bit) with
+strictly richer information — hot paths for trace scheduling, exact
+path spectra for coverage.
+
+Selected end-to-end as ``mode="paths"`` on
+:func:`repro.pipeline.profile_program`, ``repro profile --mode
+paths``, the batch engine and the service.  See
+``docs/path_profiling.md``.
+"""
+
+from repro.paths.numbering import (
+    DEFAULT_MAX_PATHS,
+    DecodedPath,
+    PathOverflowError,
+    ProcPathPlan,
+    ProgramPathPlan,
+    build_proc_path_plan,
+    path_plan_fingerprint,
+    path_program_plan,
+)
+from repro.paths.reconstruct import (
+    path_counts_to_totals,
+    reconstruct_path_procedure,
+    reconstruct_path_profile,
+)
+from repro.paths.runtime import PathExecutor
+
+__all__ = [
+    "DEFAULT_MAX_PATHS",
+    "DecodedPath",
+    "PathExecutor",
+    "PathOverflowError",
+    "ProcPathPlan",
+    "ProgramPathPlan",
+    "build_proc_path_plan",
+    "path_counts_to_totals",
+    "path_plan_fingerprint",
+    "path_program_plan",
+    "reconstruct_path_procedure",
+    "reconstruct_path_profile",
+]

@@ -1,0 +1,95 @@
+"""Reconstruction of Definition-3 profile material from path counts.
+
+Each executed path id decodes (sparsely — only observed ids are ever
+decoded) to its node/edge membership; summing memberships weighted by
+the path counts yields exact edge and node execution counts, from
+which the same ``ProcedureProfile`` targets a smart counter plan
+measures are assembled:
+
+* ``invocations``          — paths starting at the procedure entry;
+* ``branch_counts[(u,l)]`` — summed over paths containing edge (u,l);
+* ``header_counts[h]``     — summed over paths containing node h.
+
+The target *set* is derived from the FCDG exactly the way
+``smart_plan`` derives its measures, and every value is an integer
+carried in floats below 2**53, so the reconstructed profile — and the
+FREQ/NODE_FREQ/TOTAL_FREQ analysis computed from it — is bit-for-bit
+identical to the counter-based profile.  The conformance suite
+asserts this on the whole corpus.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import is_pseudo_label
+from repro.paths.numbering import ProgramPathPlan
+from repro.paths.runtime import PathExecutor
+from repro.profiling.database import ProcedureProfile, ProgramProfile
+
+
+def path_counts_to_totals(
+    plan, counts: dict[int, float], partials=()
+) -> tuple[dict[int, float], dict[tuple[int, str], float]]:
+    """Node and edge execution totals for one procedure.
+
+    ``counts`` maps executed path ids to accumulated counts;
+    ``partials`` holds ``(node, register)`` prefixes of frames unwound
+    by STOP while suspended in a call (each weighted 1).
+    """
+    node_counts: dict[int, float] = {}
+    edge_counts: dict[tuple[int, str], float] = {}
+
+    def accumulate(decoded, weight: float) -> None:
+        for node in decoded.nodes:
+            node_counts[node] = node_counts.get(node, 0.0) + weight
+        for edge in decoded.edges:
+            edge_counts[edge] = edge_counts.get(edge, 0.0) + weight
+
+    for path_id, count in counts.items():
+        if count:
+            accumulate(plan.decode(path_id), count)
+    for node, register in partials:
+        accumulate(plan.decode_partial(node, register), 1.0)
+    return node_counts, edge_counts
+
+
+def reconstruct_path_procedure(
+    program, name: str, plan, counts, partials=()
+) -> ProcedureProfile:
+    """Assemble one procedure's profile from its path counts."""
+    node_counts, edge_counts = path_counts_to_totals(plan, counts, partials)
+    ecfg = program.ecfgs[name]
+    fcdg = program.fcdgs[name]
+    profile = ProcedureProfile(name)
+    profile.invocations = node_counts.get(plan.entry, 0.0)
+    for node, label in fcdg.conditions():
+        if is_pseudo_label(label):
+            continue
+        if node == ecfg.start:
+            continue  # measured by the invocation count
+        if ecfg.is_preheader(node):
+            header = ecfg.header_of[node]
+            profile.header_counts[header] = node_counts.get(header, 0.0)
+        else:
+            profile.branch_counts[(node, label)] = edge_counts.get(
+                (node, label), 0.0
+            )
+    return profile
+
+
+def reconstruct_path_profile(
+    program, plan: ProgramPathPlan, executor: PathExecutor, runs: int = 1
+) -> ProgramProfile:
+    """Reconstruct a whole program's profile from executed path counts."""
+    partials_by_proc: dict[str, list[tuple[int, int]]] = {}
+    for proc, node, register in executor.partials:
+        partials_by_proc.setdefault(proc, []).append((node, register))
+    profile = ProgramProfile(runs=runs)
+    for name, proc_plan in plan.plans.items():
+        profile.procedures[name] = reconstruct_path_procedure(
+            program,
+            name,
+            proc_plan,
+            executor.path_counts.get(name, {}),
+            partials_by_proc.get(name, ()),
+        )
+    return profile

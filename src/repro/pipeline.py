@@ -31,6 +31,12 @@ from repro.interp import ExecutionHooks, Interpreter, RunResult
 from repro.lang.parser import parse_program
 from repro.lang.symbols import CheckedProgram, check_program
 from repro.obs import metrics, span
+from repro.paths import (
+    PathExecutor,
+    ProgramPathPlan,
+    path_program_plan as _build_path_plan,
+    reconstruct_path_profile,
+)
 from repro.profiling import (
     PlanExecutor,
     ProgramPlan,
@@ -160,7 +166,7 @@ def _select_backend(program, hooks, backend: str, *, optimize: bool = False):
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-    if hooks is not None and type(hooks) is not PlanExecutor:
+    if hooks is not None and type(hooks) not in (PlanExecutor, PathExecutor):
         if backend != "auto":
             raise LoweringError(
                 f"{backend} backend cannot drive "
@@ -284,9 +290,26 @@ def naive_program_plan(
     return plan
 
 
+def paths_program_plan(program: CompiledProgram) -> ProgramPathPlan:
+    """The Ball–Larus path plan for every procedure (``mode="paths"``)."""
+    with span("plan.paths", attrs={"procedures": len(program.cfgs)}):
+        plan = _build_path_plan(program)
+    metrics.counter(
+        "repro_plan_builds_total", "Counter plans built.", labels=("kind",)
+    ).inc(kind="paths")
+    return plan
+
+
 @dataclass
 class ProfileStats:
-    """What profiling cost, summed over the profiled runs."""
+    """What profiling cost, summed over the profiled runs.
+
+    ``counters`` is the number of counter slots in counter mode and
+    the number of static instrumentation sites (non-zero increments,
+    flush bumps/resets, EXIT flushes) in path mode;
+    ``counter_updates`` counts dynamic register/counter updates in
+    both modes, so the two are directly comparable (Section 3.3).
+    """
 
     runs: int = 0
     counters: int = 0
@@ -299,12 +322,13 @@ def profile_program(
     program: CompiledProgram,
     runs: list[dict] | int = 1,
     *,
-    plan: ProgramPlan | None = None,
+    plan: ProgramPlan | ProgramPathPlan | None = None,
     model: MachineModel | None = None,
     record_loop_moments: bool = False,
     max_steps: int = 10_000_000,
     backend: str = "auto",
     optimize: bool = False,
+    mode: str = "counters",
 ) -> tuple[ProgramProfile, ProfileStats]:
     """Profile the program over one or more runs.
 
@@ -316,14 +340,40 @@ def profile_program(
     the execution engine per :func:`run_program`; loop-moment
     recording chains hooks, which only the reference interpreter
     drives, so ``auto`` falls back for those runs.
+
+    ``mode="paths"`` profiles with Ball–Larus path registers instead
+    of counters (``plan`` must then be a
+    :class:`repro.paths.ProgramPathPlan`, or ``None`` to build one);
+    the profile is reconstructed from the recorded path counts and is
+    bit-for-bit identical to the counter-based one on runs that
+    terminate normally.
     """
+    if mode not in ("counters", "paths"):
+        raise ValueError(
+            f"unknown profiling mode {mode!r}; expected 'counters' or 'paths'"
+        )
     if isinstance(runs, int):
         run_specs = [{"seed": i} for i in range(runs)]
     else:
         run_specs = runs
-    if plan is None:
-        plan = smart_program_plan(program)
-    executor = PlanExecutor(plan)
+    executor: PlanExecutor | PathExecutor
+    if mode == "paths":
+        if plan is None:
+            plan = paths_program_plan(program)
+        elif getattr(plan, "kind", None) != "paths":
+            raise ValueError(
+                "mode='paths' requires a path plan; got "
+                f"{getattr(plan, 'kind', type(plan).__name__)!r}"
+            )
+        executor = PathExecutor(plan)
+        n_static = plan.n_sites
+    else:
+        if plan is None:
+            plan = smart_program_plan(program)
+        elif getattr(plan, "kind", None) == "paths":
+            raise ValueError("mode='counters' cannot execute a path plan")
+        executor = PlanExecutor(plan)
+        n_static = plan.n_counters
     recorder = (
         LoopMomentRecorder(program.ecfgs) if record_loop_moments else None
     )
@@ -331,9 +381,12 @@ def profile_program(
     if recorder is not None:
         hooks = HookChain(executor, recorder)
 
-    stats = ProfileStats(runs=len(run_specs), counters=plan.n_counters)
+    stats = ProfileStats(runs=len(run_specs), counters=n_static)
     started = time.perf_counter()
-    with span("profile", attrs={"runs": len(run_specs), "plan": plan.kind}):
+    with span(
+        "profile",
+        attrs={"runs": len(run_specs), "plan": plan.kind, "mode": mode},
+    ):
         for spec in run_specs:
             with span("profile.run", attrs={"seed": spec.get("seed", 0)}):
                 result = run_program(
@@ -345,17 +398,33 @@ def profile_program(
                     optimize=optimize,
                     **spec,
                 )
+            if mode == "paths":
+                # Settle frames a STOP halt left live.  The fused
+                # backends settle their own state, leaving this a
+                # no-op on their runs.
+                executor.finalize_run()
             stats.base_cost += result.total_cost
             stats.counter_cost += result.counter_cost
         stats.counter_updates = executor.updates
 
-        with span("profile.reconstruct"):
-            profile = reconstruct_profile(
-                plan, executor, runs=len(run_specs)
-            )
+        if mode == "paths":
+            with span("profile.paths.reconstruct"):
+                profile = reconstruct_path_profile(
+                    program, plan, executor, runs=len(run_specs)
+                )
+        else:
+            with span("profile.reconstruct"):
+                profile = reconstruct_profile(
+                    plan, executor, runs=len(run_specs)
+                )
     metrics.counter(
         "repro_profile_runs_total", "Profiled program executions."
     ).inc(len(run_specs))
+    if mode == "paths":
+        metrics.counter(
+            "repro_path_profile_runs_total",
+            "Path-mode profiled program executions.",
+        ).inc(len(run_specs))
     metrics.histogram(
         "repro_profile_seconds", "profile_program latency in seconds."
     ).observe(time.perf_counter() - started)
@@ -380,6 +449,7 @@ def profile_batch(
     max_steps: int = 10_000_000,
     verify: bool = False,
     backend: str = "auto",
+    profile_mode: str = "counters",
 ):
     """Profile many programs, with cached static analysis.
 
@@ -390,7 +460,9 @@ def profile_batch(
     (``None`` keeps the cache in memory); ``mode`` is ``"serial"``,
     ``"process"`` or ``"auto"``; ``verify=True`` runs the artifact
     verifier on every item's artifacts before profiling (failures are
-    isolated per item, stage ``"verify"``).  Returns a
+    isolated per item, stage ``"verify"``).  ``profile_mode`` selects
+    counter or Ball–Larus path profiling per
+    :func:`profile_program`.  Returns a
     :class:`repro.batch.BatchReport` with results in item order and
     per-item error isolation.
     """
@@ -424,6 +496,7 @@ def profile_batch(
         max_steps=max_steps,
         verify=verify,
         backend=backend,
+        profile_mode=profile_mode,
     )
 
 

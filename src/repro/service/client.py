@@ -185,6 +185,7 @@ class ServiceClient:
         *,
         runs: int | list[dict] = 1,
         plan: str = "smart",
+        mode: str = "counters",
         verify: bool = False,
         loop_variance: str = "zero",
         max_steps: int | None = None,
@@ -196,6 +197,7 @@ class ServiceClient:
             "source": source,
             "runs": runs,
             "plan": plan,
+            "mode": mode,
             "verify": verify,
             "loop_variance": loop_variance,
             "backend": backend,
@@ -228,6 +230,51 @@ class ServiceClient:
             "POST",
             f"/profiles/{quote(key, safe='')}/ingest",
             payload,
+            request_id=request_id,
+        )
+
+    def ingest_paths(
+        self,
+        key: str,
+        paths: dict,
+        *,
+        partials: list | None = None,
+        runs: int = 1,
+        source: str | None = None,
+        request_id: str | None = None,
+    ) -> dict:
+        """POST a Ball–Larus path-count delta.
+
+        ``paths`` maps procedure names to ``{path_id: count}`` tables
+        (ids may be ints or their string forms — JSON object keys are
+        strings either way); ``partials`` lists
+        ``[procedure, node, register]`` prefixes of frames a STOP
+        unwound mid-call.  The server validates every id against the
+        program's path plan and answers 422 on the first invalid entry.
+        """
+        payload: dict = {"paths": paths, "runs": runs}
+        if partials is not None:
+            payload["partials"] = partials
+        if source is not None:
+            payload["source"] = source
+        return self.request(
+            "POST",
+            f"/profiles/{quote(key, safe='')}/ingest",
+            payload,
+            request_id=request_id,
+        )
+
+    def hot_paths(
+        self,
+        key: str,
+        *,
+        k: int = 10,
+        request_id: str | None = None,
+    ) -> dict:
+        """Top-``k`` hot paths of the key's accumulated path spectrum."""
+        return self.request(
+            "GET",
+            f"/profiles/{quote(key, safe='')}/paths?{urlencode({'k': k})}",
             request_id=request_id,
         )
 

@@ -22,8 +22,10 @@ Endpoints (JSON over HTTP/1.1, see ``docs/service.md``)::
     GET  /metrics                  counters and gauges
     POST /compile                  compile (micro-batched, cached)
     POST /profile                  compile + profile (micro-batched)
-    POST /profiles/{key}/ingest    accumulate a raw TOTAL_FREQ delta
+    POST /profiles/{key}/ingest    accumulate a raw TOTAL_FREQ delta,
+                                   or a Ball–Larus path-count delta
     GET  /profiles/{key}           Definition-3 freqs + Section-5 VAR
+    GET  /profiles/{key}/paths     top-K hot paths of the key's spectrum
 
 Degradation under load is explicit, never emergent: a full admission
 queue answers 429, a request that outlives its budget answers 504
@@ -58,6 +60,7 @@ from repro.obs import (
     span,
 )
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.paths import reconstruct_path_procedure
 from repro.profiling.database import ProfileDatabase, ProgramProfile
 from repro.service.batcher import BatchTask, Draining, MicroBatcher, QueueFull
 from repro.service.protocol import (
@@ -72,11 +75,18 @@ from repro.service.protocol import (
 
 _MODELS = {"scalar": SCALAR_MACHINE, "optimizing": OPTIMIZING_MACHINE}
 _PLANS = ("smart", "naive")
+_MODES = ("counters", "paths")
 _LOOP_VARIANCE = ("zero", "profiled", "poisson", "geometric", "uniform")
+#: Hard ceiling on ``?k=`` for the hot-path query.
+_MAX_HOT_PATHS = 1000
 
 
 def _new_request_id() -> str:
     return os.urandom(8).hex()
+
+
+class PathDeltaError(Exception):
+    """A path-count delta failed validation against the path plan."""
 
 
 @dataclass
@@ -122,6 +132,11 @@ class ProfilingService:
         )
         #: source text per profile-database key, for query-time analysis.
         self.sources: dict[str, str] = {}
+        #: accumulated Ball–Larus path spectra per key:
+        #: key -> procedure -> path id -> count.  Complete paths only;
+        #: STOP partials fold into the reconstructed profile but are
+        #: prefixes, not members of the numbered path space.
+        self.path_spectra: dict[str, dict[str, dict[int, float]]] = {}
         self.port: int | None = None
         self.draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -135,6 +150,7 @@ class ProfilingService:
         self._timeouts = 0
         self._ingests = 0
         self._ingested_runs = 0.0
+        self._path_ingests = 0
         self._db_saves = 0
         self._protocol_errors = 0
         #: Cache stats as of the last flush boundary.  The flush thread
@@ -151,6 +167,11 @@ class ProfilingService:
             "repro_http_requests_total",
             "Service requests by route and status.",
             labels=("route", "status"),
+        )
+        self._path_ingest_metric = metrics.counter(
+            "repro_path_ingests_total",
+            "Path-count ingest deltas by outcome.",
+            labels=("outcome",),
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -297,6 +318,7 @@ class ProfilingService:
             "profile": (self._handle_profile, "POST"),
             "ingest": (self._handle_ingest, "POST"),
             "query": (self._handle_query, "GET"),
+            "hot_paths": (self._handle_hot_paths, "GET"),
         }[route]
         if request.method != method:
             return 405, error_payload(
@@ -356,6 +378,12 @@ class ProfilingService:
             and parts[2] == "ingest"
         ):
             return "ingest", parts[1]
+        if (
+            len(parts) == 3
+            and parts[0] == "profiles"
+            and parts[2] == "paths"
+        ):
+            return "hot_paths", parts[1]
         return None, None
 
     # -- trivial endpoints -----------------------------------------------
@@ -409,6 +437,8 @@ class ProfilingService:
                 "ingests": self._ingests,
                 "ingested_runs": self._ingested_runs,
                 "saves": self._db_saves,
+                "path_keys": len(self.path_spectra),
+                "path_ingests": self._path_ingests,
             },
         }
 
@@ -451,6 +481,13 @@ class ProfilingService:
         plan = payload.get("plan", "smart")
         if plan not in _PLANS:
             raise ProtocolError(f'"plan" must be one of {list(_PLANS)}')
+        mode = payload.get("mode", "counters")
+        if mode not in _MODES:
+            raise ProtocolError(f'"mode" must be one of {list(_MODES)}')
+        if mode == "paths" and plan != "smart":
+            # Path reconstruction rebuilds the smart plan's
+            # Definition-3 targets; a naive plan has nothing to mirror.
+            raise ProtocolError('"mode": "paths" requires "plan": "smart"')
         verify = bool(payload.get("verify", False))
         loop_variance = payload.get("loop_variance", "zero")
         if loop_variance not in _LOOP_VARIANCE:
@@ -465,6 +502,7 @@ class ProfilingService:
             raise ProtocolError(f'"backend" must be one of {list(BACKENDS)}')
         return {
             "plan": plan,
+            "mode": mode,
             "verify": verify,
             "loop_variance": loop_variance,
             "max_steps": min(max_steps, self.config.max_steps_cap),
@@ -604,6 +642,7 @@ class ProfilingService:
             for task in profiles:
                 group_key = (
                     task.payload["plan"],
+                    task.payload.get("mode", "counters"),
                     task.payload["verify"],
                     task.payload["loop_variance"],
                     task.payload["max_steps"],
@@ -612,6 +651,7 @@ class ProfilingService:
                 groups.setdefault(group_key, []).append(task)
             for (
                 plan,
+                mode,
                 verify,
                 loop_variance,
                 max_steps,
@@ -639,6 +679,7 @@ class ProfilingService:
                     "service.profile",
                     attrs={
                         "items": len(items),
+                        "mode": mode,
                         "signatures": ",".join(
                             task.signature[:16] for task in group[:8]
                         ),
@@ -654,6 +695,7 @@ class ProfilingService:
                         loop_variance=loop_variance,
                         max_steps=max_steps,
                         backend=backend,
+                        profile_mode=mode,
                         should_stop=self._abort_flush.is_set,
                     )
                 for task, result in zip(group, report.results):
@@ -662,6 +704,7 @@ class ProfilingService:
                             "status": 200,
                             "body": {
                                 "ok": True,
+                                "mode": mode,
                                 "runs": result.runs,
                                 "counters": result.counters,
                                 "counter_updates": result.counter_updates,
@@ -752,9 +795,14 @@ class ProfilingService:
         self, request: Request, key: str
     ) -> tuple[int, dict]:
         payload = request.json()
+        if "paths" in payload:
+            return await self._handle_path_ingest(key, payload)
         raw = payload.get("profile")
         if not isinstance(raw, dict):
-            raise ProtocolError('"profile" must be a profile JSON object')
+            raise ProtocolError(
+                '"profile" must be a profile JSON object '
+                '(or POST a "paths" delta instead)'
+            )
         try:
             profile = ProgramProfile.from_dict(raw)
         except Exception as exc:
@@ -772,6 +820,276 @@ class ProfilingService:
             "accumulated_runs": profile.runs,
             "runs": self.database.lookup(key).runs,
         }
+
+    # -- path spectra: ingest and hot-path queries -----------------------
+
+    async def _handle_path_ingest(
+        self, key: str, payload: dict
+    ) -> tuple[int, dict]:
+        """Accumulate a Ball–Larus path-count delta.
+
+        The delta is validated against the key's path plan *before*
+        anything is accumulated — an unknown procedure, an id outside
+        ``[0, NumPaths)``, a negative count or a non-decoding partial
+        answers 422 and leaves both the spectrum and the profile
+        database untouched.  A valid delta lands twice: the raw counts
+        join the key's path spectrum (the hot-path surface) and their
+        Definition-3 reconstruction joins the profile database, so
+        ``GET /profiles/{key}`` answers from path deltas exactly as it
+        does from counter deltas.
+        """
+        raw_paths = payload.get("paths")
+        if not isinstance(raw_paths, dict):
+            raise ProtocolError(
+                '"paths" must map procedures to {path_id: count} objects'
+            )
+        raw_partials = payload.get("partials", [])
+        if not isinstance(raw_partials, list):
+            raise ProtocolError(
+                '"partials" must be a list of [procedure, node, register]'
+            )
+        runs = payload.get("runs", 1)
+        if not isinstance(runs, int) or runs < 1:
+            raise ProtocolError('"runs" must be a positive integer')
+        source = payload.get("source")
+        if source is not None and not isinstance(source, str):
+            raise ProtocolError('"source" must be a string when given')
+        source = source or self.sources.get(key)
+        if source is None:
+            self._path_ingest_metric.inc(outcome="invalid")
+            return 422, error_payload(
+                422,
+                "no source registered for this key, so path ids cannot "
+                'be validated; include "source" in the delta or register '
+                "it via /compile {key: ...}",
+            )
+        loop = asyncio.get_running_loop()
+        with span(
+            "profile.paths.ingest",
+            attrs={"key": key, "procedures": len(raw_paths)},
+        ):
+            try:
+                counts, profile = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        None,
+                        self._path_ingest_entry,
+                        source,
+                        raw_paths,
+                        raw_partials,
+                        runs,
+                    ),
+                    timeout=self.config.request_timeout,
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                raise
+            except PathDeltaError as exc:
+                self._path_ingest_metric.inc(outcome="invalid")
+                return 422, error_payload(
+                    422, f"not a valid path-count delta: {exc}"
+                )
+            except Exception as exc:  # compile/plan failure
+                self._path_ingest_metric.inc(outcome="invalid")
+                return 422, error_payload(
+                    422,
+                    f"not a valid path-count delta: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+        spectrum = self.path_spectra.setdefault(key, {})
+        ingested_ids = 0
+        for proc, table in counts.items():
+            bucket = spectrum.setdefault(proc, {})
+            for path_id, count in table.items():
+                bucket[path_id] = bucket.get(path_id, 0.0) + count
+                ingested_ids += 1
+        self._accumulate(key, profile, source)
+        self._path_ingests += 1
+        self._path_ingest_metric.inc(outcome="ok")
+        return 200, {
+            "ok": True,
+            "key": key,
+            "mode": "paths",
+            "accumulated_runs": runs,
+            "path_ids": ingested_ids,
+            "partials": len(raw_partials),
+            "runs": self.database.lookup(key).runs,
+        }
+
+    def _path_ingest_entry(
+        self, source: str, raw_paths: dict, raw_partials: list, runs: int
+    ):
+        """Validate a delta and reconstruct its Definition-3 profile.
+
+        Runs on a worker thread: compiles/fetches the path plan through
+        the artifact cache, walks every id and partial against it, and
+        returns ``(counts, profile)``.  Raises :class:`PathDeltaError`
+        on the first invalid entry.
+        """
+        with self._cache_lock:
+            program, plan, _tier = self.cache.artifacts(source, "paths")
+            self._publish_cache_snapshot()
+        counts: dict[str, dict[int, float]] = {}
+        for proc, table in raw_paths.items():
+            proc_plan = plan.plans.get(proc)
+            if proc_plan is None:
+                raise PathDeltaError(f"unknown procedure {proc!r}")
+            if not isinstance(table, dict):
+                raise PathDeltaError(
+                    f'"paths"[{proc!r}] must map path ids to counts'
+                )
+            bucket: dict[int, float] = {}
+            for raw_id, raw_count in table.items():
+                try:
+                    path_id = int(raw_id)
+                except (TypeError, ValueError):
+                    raise PathDeltaError(
+                        f"{proc}: path id {raw_id!r} is not an integer"
+                    ) from None
+                if not 0 <= path_id < proc_plan.num_paths:
+                    raise PathDeltaError(
+                        f"{proc}: path id {path_id} outside "
+                        f"[0, {proc_plan.num_paths})"
+                    )
+                try:
+                    count = float(raw_count)
+                except (TypeError, ValueError):
+                    raise PathDeltaError(
+                        f"{proc}: count for path {path_id} is not a number"
+                    ) from None
+                if count < 0:
+                    raise PathDeltaError(
+                        f"{proc}: negative count {count:g} for "
+                        f"path {path_id}"
+                    )
+                if count:
+                    bucket[path_id] = bucket.get(path_id, 0.0) + count
+            counts[proc] = bucket
+        partials_by_proc: dict[str, list[tuple[int, int]]] = {}
+        for item in raw_partials:
+            if not isinstance(item, (list, tuple)) or len(item) != 3:
+                raise PathDeltaError(
+                    "each partial is [procedure, node, register]"
+                )
+            proc, node, register = item
+            proc_plan = plan.plans.get(proc)
+            if proc_plan is None:
+                raise PathDeltaError(
+                    f"partial names unknown procedure {proc!r}"
+                )
+            try:
+                node = int(node)
+                register = int(register)
+            except (TypeError, ValueError):
+                raise PathDeltaError(
+                    "partial node/register must be integers"
+                ) from None
+            try:
+                proc_plan.decode_partial(node, register)
+            except Exception as exc:
+                raise PathDeltaError(
+                    f"{proc}: partial (node {node}, register {register}) "
+                    f"does not decode: {exc}"
+                ) from None
+            partials_by_proc.setdefault(proc, []).append((node, register))
+        profile = ProgramProfile(runs=runs)
+        for name, proc_plan in plan.plans.items():
+            profile.procedures[name] = reconstruct_path_procedure(
+                program,
+                name,
+                proc_plan,
+                counts.get(name, {}),
+                partials_by_proc.get(name, ()),
+            )
+        return counts, profile
+
+    async def _handle_hot_paths(
+        self, request: Request, key: str
+    ) -> tuple[int, dict]:
+        """Top-K hot paths of the key's accumulated spectrum, decoded."""
+        spectrum = self.path_spectra.get(key)
+        if not spectrum:
+            return 404, error_payload(
+                404, f"no path spectrum accumulated: {key}"
+            )
+        raw_k = request.query.get("k", "10")
+        try:
+            k = int(raw_k)
+        except ValueError:
+            raise ProtocolError('"k" must be an integer') from None
+        if not 1 <= k <= _MAX_HOT_PATHS:
+            raise ProtocolError(
+                f'"k" must be between 1 and {_MAX_HOT_PATHS}'
+            )
+        flat = [
+            (count, proc, path_id)
+            for proc, table in spectrum.items()
+            for path_id, count in table.items()
+        ]
+        total = sum(count for count, _, _ in flat)
+        flat.sort(key=lambda item: (-item[0], item[1], item[2]))
+        top = flat[:k]
+        body: dict = {
+            "key": key,
+            "k": k,
+            "distinct_paths": len(flat),
+            "total_count": total,
+        }
+        source = self.sources.get(key)
+        if source is not None:
+            loop = asyncio.get_running_loop()
+            with span("profile.paths.hot", attrs={"key": key, "k": k}):
+                decoded = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        None,
+                        self._decode_hot_entry,
+                        source,
+                        [(proc, pid) for _, proc, pid in top],
+                    ),
+                    timeout=self.config.request_timeout,
+                )
+        else:
+            decoded = [None] * len(top)
+            body["note"] = (
+                "no source registered for this key; "
+                "ids are reported undecoded"
+            )
+        body["paths"] = []
+        for (count, proc, path_id), shape in zip(top, decoded):
+            entry: dict = {
+                "proc": proc,
+                "path_id": path_id,
+                "count": count,
+                "fraction": count / total if total else 0.0,
+            }
+            if shape is not None:
+                entry.update(shape)
+            body["paths"].append(entry)
+        return 200, body
+
+    def _decode_hot_entry(
+        self, source: str, ids: list[tuple[str, int]]
+    ) -> list[dict | None]:
+        """Decode ``(proc, path_id)`` pairs against the key's plan."""
+        with self._cache_lock:
+            _program, plan, _tier = self.cache.artifacts(source, "paths")
+            self._publish_cache_snapshot()
+        shapes: list[dict | None] = []
+        for proc, path_id in ids:
+            proc_plan = plan.plans.get(proc)
+            if proc_plan is None or not 0 <= path_id < proc_plan.num_paths:
+                # The spectrum predates a re-registered source; report
+                # the raw id rather than failing the whole query.
+                shapes.append(None)
+                continue
+            decoded = proc_plan.decode(path_id)
+            shapes.append(
+                {
+                    "start": decoded.start,
+                    "nodes": list(decoded.nodes),
+                    "edges": [[src, label] for src, label in decoded.edges],
+                    "end": decoded.end,
+                }
+            )
+        return shapes
 
     async def _handle_query(
         self, request: Request, key: str

@@ -28,6 +28,11 @@ import os
 from repro import SCALAR_MACHINE, compile_source, smart_program_plan
 from repro.analysis.freq import compute_frequencies
 from repro.errors import ReproError
+from repro.paths import (
+    PathExecutor,
+    path_program_plan,
+    reconstruct_path_profile,
+)
 from repro.pipeline import run_program
 from repro.profiling import PlanExecutor, reconstruct_profile
 from repro.workloads import builtin_sources
@@ -203,3 +208,102 @@ def assert_conformance(
             assert freqs[backend].node_freq == freqs["reference"].node_freq, (
                 f"{backend} NODE_FREQ diverges in {name}"
             )
+
+
+def observe_paths(program, backend: str, plan, **kwargs):
+    """One path-profiled run's observable behaviour + path state.
+
+    Returns ``(observation, executor)``.  The fused backends settle
+    STOP-halted frames themselves; the reference interpreter leaves
+    them live on the hook object, so only it needs ``finalize_run``.
+    """
+    executor = PathExecutor(plan)
+    try:
+        result = run_program(program, backend=backend, hooks=executor, **kwargs)
+    except ReproError as exc:
+        observation = {"error": (type(exc).__name__, str(exc))}
+    else:
+        if backend == "reference":
+            executor.finalize_run()
+        observation = {
+            "halted": result.halted,
+            "steps": result.steps,
+            "outputs": result.outputs,
+            "total_cost": _pin_float(result.total_cost),
+            "counter_ops": result.counter_ops,
+            "counter_cost": _pin_float(result.counter_cost),
+            "node_counts": result.node_counts,
+            "edge_counts": result.edge_counts,
+            "call_counts": result.call_counts,
+            "main_vars": result.main_vars,
+        }
+    observation["path_counts"] = {
+        name: {
+            path_id: _pin_float(count)
+            for path_id, count in sorted(counts.items())
+        }
+        for name, counts in executor.path_counts.items()
+    }
+    observation["partials"] = tuple(executor.partials)
+    observation["updates"] = executor.updates
+    return observation, executor
+
+
+def assert_path_conformance(
+    program,
+    *,
+    backends=BACKENDS,
+    model=SCALAR_MACHINE,
+    **kwargs,
+) -> None:
+    """Path mode: every backend must record the identical spectrum.
+
+    Beyond the counter-mode contract, every backend must agree on the
+    path-count tables, STOP partials (order included) and register
+    update tally — and the reference spectrum must reconstruct the
+    counter-measured Definition-3 frequencies bit-for-bit.
+    """
+    assert backends[0] == "reference"
+    others = backends[1:]
+    plan = path_program_plan(program)
+
+    observations = {}
+    executors = {}
+    for backend in backends:
+        observations[backend], executors[backend] = observe_paths(
+            program, backend, plan, model=model, **kwargs
+        )
+    try:
+        _compare_observations(
+            observations["reference"],
+            {b: observations[b] for b in others},
+            " (path-profiled run)",
+        )
+    except AssertionError:
+        _dump_emitted(program, plan, model)
+        raise
+
+    if "error" in observations["reference"]:
+        return  # identically-failing runs; no spectrum to reconstruct
+
+    # Cross-mode: the spectrum regenerates the counter-based profile.
+    counter_plan = smart_program_plan(program)
+    counter_executor = PlanExecutor(counter_plan)
+    run_program(program, hooks=counter_executor, model=model, **kwargs)
+    counter_profile = reconstruct_profile(counter_plan, counter_executor, runs=1)
+    path_profile = reconstruct_path_profile(
+        program, plan, executors["reference"], runs=1
+    )
+    for name in program.cfgs:
+        fcdg = program.fcdgs[name]
+        want = compute_frequencies(fcdg, counter_profile.proc(name))
+        got = compute_frequencies(fcdg, path_profile.proc(name))
+        assert got.total_freq == want.total_freq, (
+            f"path-reconstructed TOTAL_FREQ diverges in {name}"
+        )
+        assert got.freq == want.freq, (
+            f"path-reconstructed FREQ diverges in {name}"
+        )
+        assert got.node_freq == want.node_freq, (
+            f"path-reconstructed NODE_FREQ diverges in {name}"
+        )

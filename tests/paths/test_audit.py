@@ -1,0 +1,166 @@
+"""Mutation-kill tests for the REP5xx path-plan audit.
+
+Mirrors ``tests/checker/test_mutations.py``: seed one deliberate
+corruption per test into a valid path plan (or into the codegen
+backend's emitted-site metadata) and assert the checker kills the
+mutant with the expected code.  A clean plan must stay noise-free on
+the whole builtin corpus — that property gates the artifact cache's
+``verify_loads`` re-check of unpickled path plans.
+
+Plan-table corruptions surface as REP501/REP502 (both the emitter and
+the site audit faithfully follow the corrupted tables, so REP503
+stays silent — exactly like REP405, which catches *miscompiles*, not
+plan corruption).  REP503 is exercised by corrupting the emission
+metadata directly.
+"""
+
+import copy
+
+import pytest
+
+from repro.checker import verify_program
+from repro.checker.pathaudit import (
+    audit_path_sites,
+    check_codegen_path_sites,
+    check_path_plan,
+)
+from repro.checker.verify import check_source
+from repro.codegen import codegen_backend_for
+from repro.paths import path_program_plan
+from repro.pipeline import compile_source
+from repro.workloads import builtin_sources
+from repro.workloads.paper_example import PAPER_SOURCE, paper_program
+
+pytestmark = [pytest.mark.paths, pytest.mark.checker]
+
+
+@pytest.fixture()
+def program():
+    return paper_program()
+
+
+@pytest.fixture()
+def plan(program):
+    # Deep-copied per test: every test mutates its own plan.
+    return copy.deepcopy(path_program_plan(program))
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+# -- the baseline is noise-free ---------------------------------------
+
+
+@pytest.mark.parametrize("name", [n for n, _ in builtin_sources()])
+def test_builtin_path_plans_clean(name):
+    program = compile_source(dict(builtin_sources())[name])
+    assert check_path_plan(program, path_program_plan(program)) == []
+
+
+def test_verify_program_routes_path_plans(program):
+    report = verify_program(program, path_program_plan(program))
+    assert not report.errors
+
+
+def test_check_source_paths_kind():
+    report = check_source(PAPER_SOURCE, plan_kinds=("paths",), lint=False)
+    assert not report.errors
+
+
+# -- REP501: numbering bijection ---------------------------------------
+
+
+def test_tampered_increment_is_killed(program, plan):
+    plan.plans["MAIN"].increments[(4, "F")] += 1
+    assert codes(check_path_plan(program, plan)) == {"REP501"}
+
+
+def test_tampered_num_paths_is_killed(program, plan):
+    plan.plans["MAIN"].num_paths = 9
+    assert codes(check_path_plan(program, plan)) == {"REP501"}
+
+
+def test_dropped_increment_is_killed(program, plan):
+    del plan.plans["MAIN"].increments[(5, "T")]
+    assert codes(check_path_plan(program, plan)) == {"REP501"}
+
+
+# -- REP502: flush coverage --------------------------------------------
+
+
+def test_dropped_flush_is_killed(program, plan):
+    plan.plans["MAIN"].flushes.clear()
+    assert codes(check_path_plan(program, plan)) == {"REP502"}
+
+
+def test_phantom_flush_is_killed(program, plan):
+    plan.plans["MAIN"].flushes[(5, "F")] = (0, 0)
+    assert codes(check_path_plan(program, plan)) == {"REP502"}
+
+
+def test_tampered_bump_add_is_killed(program, plan):
+    plan.plans["MAIN"].flushes[(7, "U")] = (3, 4)
+    assert codes(check_path_plan(program, plan)) == {"REP502"}
+
+
+def test_tampered_reset_is_killed(program, plan):
+    plan.plans["MAIN"].flushes[(7, "U")] = (0, 2)
+    assert codes(check_path_plan(program, plan)) == {"REP502"}
+
+
+def test_tampered_stop_sinks_is_killed(program, plan):
+    plan.plans["MAIN"].stop_sinks = frozenset({5})
+    assert codes(check_path_plan(program, plan)) == {"REP502"}
+
+
+def test_proc_set_mismatch_is_killed(program, plan):
+    del plan.plans["FOO"]
+    assert codes(check_path_plan(program, plan)) == {"REP206"}
+
+
+# -- REP503: emitted sites vs plan -------------------------------------
+
+
+def emitted_meta(program, plan):
+    backend = codegen_backend_for(program)
+    backend.ensure_lowered()
+    return backend.emit_meta(plan)
+
+
+def test_clean_emission_has_no_rep503(program):
+    plan = path_program_plan(program)
+    assert check_codegen_path_sites(program, plan) == []
+
+
+def test_dropped_site_is_killed(program):
+    plan = path_program_plan(program)
+    meta = copy.deepcopy(emitted_meta(program, plan))
+    sites = meta.path_sites["MAIN"]
+    victim = next(s for s in sites if s[0] == "inc")
+    sites.remove(victim)
+    findings = audit_path_sites(program, plan, meta)
+    assert codes(findings) == {"REP503"}
+    assert any("has no emitted update" in f.message for f in findings)
+
+
+def test_phantom_site_is_killed(program):
+    plan = path_program_plan(program)
+    meta = copy.deepcopy(emitted_meta(program, plan))
+    meta.path_sites["MAIN"].append(("inc", (999, "U"), 7))
+    findings = audit_path_sites(program, plan, meta)
+    assert codes(findings) == {"REP503"}
+    assert any("matches no planned site" in f.message for f in findings)
+
+
+def test_tampered_flush_site_is_killed(program):
+    plan = path_program_plan(program)
+    meta = copy.deepcopy(emitted_meta(program, plan))
+    sites = meta.path_sites["MAIN"]
+    victim = next(s for s in sites if s[0] == "flush")
+    sites.remove(victim)
+    sites.append(("flush", victim[1], victim[2] + 1, victim[3]))
+    findings = audit_path_sites(program, plan, meta)
+    # Both directions: the phantom site and the missing planned one.
+    assert codes(findings) == {"REP503"}
+    assert len(findings) == 2

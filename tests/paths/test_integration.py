@@ -1,0 +1,119 @@
+"""Path mode through batch, cache and CLI — the integration seams.
+
+Unit behaviour lives in the sibling test files; these tests pin the
+plumbing: the batch engine accepts ``profile_mode="paths"`` and
+aggregates byte-identically to counter mode, path plans round-trip
+the artifact cache's disk tier (re-audited on load), and the CLI
+exposes the mode end-to-end.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import run_batch
+from repro.batch.cache import ArtifactCache
+from repro.batch.engine import BatchItem
+from repro.cli import main
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = [pytest.mark.paths, pytest.mark.batch]
+
+LOOPY_SOURCE = """\
+      PROGRAM LOOPY
+      INTEGER I
+      DO 10 I = 1, 20
+        IF (RAND() .LT. 0.5) X = X + 1.0
+10    CONTINUE
+      PRINT *, X
+      END
+"""
+
+ITEMS = [
+    BatchItem(id="paper", source=PAPER_SOURCE, runs=({"seed": 1},)),
+    BatchItem(id="loopy", source=LOOPY_SOURCE, runs=({"seed": 2},)),
+]
+
+
+class TestBatchPathsMode:
+    def test_aggregate_matches_counters(self):
+        by_mode = {}
+        for mode in ("counters", "paths"):
+            report = run_batch(ITEMS, profile_mode=mode, mode="serial")
+            assert all(r.ok for r in report.results)
+            by_mode[mode] = {
+                r.item_id: (r.profile.to_dict(), r.summary)
+                for r in report.results
+            }
+        assert by_mode["paths"] == by_mode["counters"]
+
+    def test_paths_requires_smart_plan(self):
+        with pytest.raises(ValueError, match="requires plan='smart'"):
+            run_batch(ITEMS, profile_mode="paths", plan="naive")
+        with pytest.raises(ValueError, match="unknown profile mode"):
+            run_batch(ITEMS, profile_mode="spectra")
+
+    def test_path_plan_rides_the_disk_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        report = run_batch(
+            ITEMS, profile_mode="paths", mode="serial", cache=cache_dir
+        )
+        assert all(r.ok for r in report.results)
+        # A fresh cache instance must hit disk and re-audit the
+        # unpickled path plan (verify_loads is on by default).
+        cache = ArtifactCache(cache_dir)
+        program, plan, tier = cache.artifacts(PAPER_SOURCE, "paths")
+        assert tier == "disk"
+        assert plan.kind == "paths"
+        assert plan.plans["MAIN"].num_paths == 8
+        rerun = run_batch(
+            ITEMS, profile_mode="paths", mode="serial", cache=cache
+        )
+        assert all(r.ok for r in rerun.results)
+        assert [r.profile.to_dict() for r in rerun.results] == [
+            r.profile.to_dict() for r in report.results
+        ]
+
+
+class TestCliPathsMode:
+    @pytest.fixture
+    def source_file(self, tmp_path):
+        path = tmp_path / "paper.f"
+        path.write_text(PAPER_SOURCE)
+        return str(path)
+
+    def test_profile_mode_paths(self, source_file, capsys):
+        assert main(["profile", source_file, "--mode", "paths"]) == 0
+        out = capsys.readouterr().out
+        assert "paths" in out
+        assert "path sites" in out
+
+    def test_profile_paths_rejects_naive_plan(self, source_file, capsys):
+        assert (
+            main(["profile", source_file, "--mode", "paths",
+                  "--plan", "naive"]) == 1
+        )
+        assert "requires --plan smart" in capsys.readouterr().err
+
+    def test_trace_dump_source_mode_paths(self, source_file, capsys):
+        assert (
+            main(["trace", source_file, "--mode", "paths",
+                  "--dump-source"]) == 0
+        )
+        out = capsys.readouterr().out
+        # The fused path variant carries register and table updates.
+        assert "_pr" in out and "_pp" in out
+
+    def test_check_plan_paths(self, source_file, capsys):
+        assert main(["check", source_file, "--plan", "paths"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_batch_profile_mode_paths(self, source_file, tmp_path, capsys):
+        out_path = tmp_path / "agg.json"
+        assert (
+            main(["batch", source_file, "--profile-mode", "paths",
+                  "--json", str(out_path)]) == 0
+        )
+        aggregate = json.loads(out_path.read_text())
+        assert aggregate["items"][0]["ok"]
+        assert "TIME" in capsys.readouterr().out

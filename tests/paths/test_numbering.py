@@ -1,0 +1,155 @@
+"""Path numbering on the paper's running example, hand-computed.
+
+The Figure 1-3 program has exactly the CFG the Ball–Larus recurrence
+is easiest to verify by hand: a single loop whose body is an
+if/else-of-ifs diamond.  Splitting the back edge ``CALL FOO -> IF``
+leaves a DAG with four acyclic continuations from the loop header and
+four from the procedure entry, so MAIN numbers 8 paths and FOO
+(straight-line) exactly 1.  Every constant asserted below was derived
+on paper from the NumPaths recurrence, not copied from the
+implementation's output.
+"""
+
+import pytest
+
+from repro.paths import (
+    DEFAULT_MAX_PATHS,
+    PathExecutor,
+    PathOverflowError,
+    path_plan_fingerprint,
+    path_program_plan,
+)
+from repro.pipeline import compile_source, run_program
+from repro.workloads.paper_example import paper_program
+
+pytestmark = pytest.mark.paths
+
+
+@pytest.fixture(scope="module")
+def program():
+    return paper_program()
+
+
+@pytest.fixture(scope="module")
+def plan(program):
+    return path_program_plan(program)
+
+
+def test_paper_example_num_paths(plan):
+    # NumPaths(EXIT)=1; the two inner IFs each see 1 (loop path via
+    # the split back edge) + 1 (exit path) = 2; the outer IF sums its
+    # arms to 4; the entry chain carries 4 and the dummy ENTRY->header
+    # edge another 4.
+    assert plan.plans["MAIN"].num_paths == 8
+    assert plan.plans["FOO"].num_paths == 1
+
+
+def test_paper_example_increments(plan):
+    main = plan.plans["MAIN"]
+    # Nodes: 4 = IF (M.GE.0), 5 = IF (N.LT.0), 6 = IF (N.GE.0),
+    # 7 = CALL FOO.  Prefix sums of successor NumPaths:
+    #   at node 4: T arm first (prefix 0), F arm after 2 paths;
+    #   at nodes 5/6: F arm first (prefix 0), T arm after 1.
+    nonzero = {k: v for k, v in main.increments.items() if v}
+    assert nonzero == {(4, "F"): 2, (5, "T"): 1, (6, "T"): 1}
+    # Straight-line FOO: every edge increments by zero.
+    assert not any(plan.plans["FOO"].increments.values())
+
+
+def test_paper_example_flushes(plan):
+    main = plan.plans["MAIN"]
+    # One back edge (CALL FOO -> loop header).  Its dummy u->EXIT
+    # edge is numbered after node 7's zero real successors (prefix 0)
+    # and the header's dummy ENTRY->h edge after the 4 entry paths.
+    assert main.flushes == {(7, "U"): (0, 4)}
+    assert plan.plans["FOO"].flushes == {}
+    # No STOP anywhere: the only DAG sinks are the EXIT nodes.
+    assert main.stop_sinks == frozenset()
+    assert plan.plans["FOO"].stop_sinks == frozenset()
+
+
+def test_paper_example_decode_table(plan):
+    main = plan.plans["MAIN"]
+    ends = {pid: main.decode(pid).end for pid in range(8)}
+    # Even ids iterate (end on the back edge), odd ids leave the loop.
+    assert ends == {
+        0: "backedge", 1: "exit", 2: "backedge", 3: "exit",
+        4: "backedge", 5: "exit", 6: "backedge", 7: "exit",
+    }
+    # ids 0-3 start at the procedure entry, 4-7 at the loop header.
+    assert {pid: main.decode(pid).start for pid in range(8)} == {
+        0: 1, 1: 1, 2: 1, 3: 1, 4: 4, 5: 4, 6: 4, 7: 4,
+    }
+    # The distinct-path property: no two ids share a node/edge shape.
+    shapes = {
+        (d.start, d.nodes, d.edges, d.end)
+        for d in (main.decode(pid) for pid in range(8))
+    }
+    assert len(shapes) == 8
+
+
+def test_paper_example_spectrum(program, plan):
+    """Figure 3's run: header executes 10 times, FOO 9 times.
+
+    Path ids: 0 = entry -> M>=0 -> N>=0 -> CALL (first iteration),
+    4 = header -> M>=0 -> N>=0 -> CALL (iterations 2-9), 5 = header
+    -> M>=0 -> N<0 -> CONTINUE -> EXIT (the escape).
+    """
+    executor = PathExecutor(plan)
+    for _ in range(3):
+        run_program(program, hooks=executor)
+        executor.finalize_run()
+    assert executor.path_counts["MAIN"] == {0: 3.0, 4: 24.0, 5: 3.0}
+    assert executor.path_counts["FOO"] == {0: 27.0}
+    assert executor.partials == []
+    # Per run: 9 back-edge flushes (2 updates each) + 1 increment on
+    # (5, 'T') + MAIN's EXIT flush + 9 FOO EXIT flushes = 29.
+    assert executor.updates == 3 * 29
+
+
+def test_enumerate_matches_decode(plan):
+    main = plan.plans["MAIN"]
+    enumerated = list(main.enumerate_paths())
+    assert [d.path_id for d in enumerated] == list(range(8))
+    assert all(
+        d.nodes == main.decode(d.path_id).nodes for d in enumerated
+    )
+
+
+def test_decode_partial_prefix_property(plan):
+    """A partial decodes to a prefix of every full path it could
+    still become — asserted on the register value after the first
+    iteration's increments."""
+    main = plan.plans["MAIN"]
+    partial = main.decode_partial(7, 0)  # suspended in CALL FOO, r=0
+    full = main.decode(0)
+    assert partial.nodes == full.nodes[: len(partial.nodes)]
+    assert partial.nodes[-1] == 7
+
+
+def test_overflow_guard():
+    """~40 chained IFs double the path count past DEFAULT_MAX_PATHS."""
+    body = "".join(
+        f"      IF (X .GT. {i}.5) THEN\n"
+        f"        X = X + 1.0\n"
+        f"      ENDIF\n"
+        for i in range(40)
+    )
+    source = (
+        "      PROGRAM WIDE\n"
+        "      X = 0.0\n" + body + "      END\n"
+    )
+    program = compile_source(source)
+    with pytest.raises(PathOverflowError) as excinfo:
+        path_program_plan(program)
+    assert "WIDE" in str(excinfo.value)
+    # A raised ceiling admits the same program.
+    wide = path_program_plan(program, max_paths=1 << 64)
+    assert wide.plans["WIDE"].num_paths == 2**40
+    assert wide.plans["WIDE"].num_paths > DEFAULT_MAX_PATHS
+
+
+def test_fingerprint_stable_and_distinct(program, plan):
+    again = path_program_plan(program)
+    assert path_plan_fingerprint(plan) == path_plan_fingerprint(again)
+    assert path_plan_fingerprint(plan)[0] == "paths"
