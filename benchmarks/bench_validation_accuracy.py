@@ -1,0 +1,100 @@
+"""Calibrated-prediction accuracy against measured wall clock.
+
+The validation observatory's acceptance gate (ISSUE 9): calibrating
+the abstract cost model on a corpus of real executions must bring the
+paper's TIME predictions within 25% median relative error of the
+measured per-run wall-clock mean.  This benchmark runs the full loop
+— measure the corpus, fit the calibration, score every program — and
+emits a human table plus machine-readable
+``benchmarks/results/BENCH_validation.json`` so later PRs can diff
+prediction accuracy.
+
+The gate is ``REPRO_VALIDATION_GATE`` (default 0.25) applied to the
+**median** TIME relative error across the corpus; per-program errors
+and CI coverage are recorded but not gated (a single noisy trial on a
+shared CI box must not flake the build).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.report import format_table
+from repro.validate import AccuracyScorer, median_relative_error
+from repro.validate.corpus import corpus_sources, run_calibration
+
+from conftest import RESULTS_DIR, publish
+
+TRIALS = 5
+WARMUP = 2
+
+
+def test_calibrated_time_accuracy():
+    gate = float(os.environ.get("REPRO_VALIDATION_GATE", "0.25"))
+    sources = corpus_sources(builtins=True, generated=4, gen_seed=1000)
+    calibration, measured = run_calibration(
+        sources, trials=TRIALS, warmup=WARMUP
+    )
+    scores = AccuracyScorer(calibration).score_corpus(measured)
+    median = median_relative_error(scores)
+
+    rows = []
+    records = {}
+    for score in scores:
+        rows.append(
+            [
+                score.label,
+                f"{score.measured_mean_ns / 1e3:.1f}",
+                f"{score.predicted_time_ns / 1e3:.1f}",
+                f"{100 * score.time_relative_error:.1f}%",
+                f"{score.time_z_score:+.2f}",
+                "yes" if score.time_in_ci else "no",
+                "yes" if score.var_in_ci else "no",
+            ]
+        )
+        records[score.label] = score.as_dict()
+
+    table = format_table(
+        [
+            "program",
+            "measured µs",
+            "predicted µs",
+            "rel err",
+            "z",
+            "TIME in CI",
+            "VAR in CI",
+        ],
+        rows,
+        title=(
+            f"calibrated TIME vs wall clock ({TRIALS} trials, "
+            f"R² = {calibration.r_squared:.4f}, "
+            f"median rel err {100 * median:.1f}%)"
+        ),
+    )
+    publish("validation_accuracy", table)
+
+    in_ci = sum(1 for s in scores if s.time_in_ci)
+    payload = {
+        "benchmark": "bench_validation_accuracy",
+        "trials": TRIALS,
+        "warmup": WARMUP,
+        "gate": gate,
+        "median_relative_error": median,
+        "time_in_ci": in_ci,
+        "programs": len(scores),
+        "r_squared": calibration.r_squared,
+        "intercept_ns": calibration.intercept_ns,
+        "coefficients_ns": calibration.coefficients_ns,
+        "fingerprint": calibration.fingerprint,
+        "scores": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_validation.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert median <= gate, (
+        f"median TIME relative error {100 * median:.1f}% exceeds the "
+        f"{100 * gate:.0f}% gate"
+    )

@@ -99,6 +99,59 @@ def loop_iteration_stats(
     return mean, variance
 
 
+def chunk_advice(
+    analysis,
+    *,
+    n_processors: int = 8,
+    overhead: float = 10.0,
+) -> list[dict]:
+    """Chunk-size advice for every profiled loop of an analysis.
+
+    Walks each procedure's loops (every header with a preheader in
+    the ECFG), extracts per-iteration mean/variance via
+    :func:`loop_iteration_stats`, and answers the Kruskal-Weiss
+    question — what chunk size, and what does it buy over naive
+    N/P chunking.  Loops the profile never entered are skipped (their
+    statistics are undefined).  The iteration count is the loop's
+    average trip count from the profile, rounded to at least 1.
+    """
+    advice = []
+    for name in sorted(analysis.procedures):
+        proc = analysis.procedures[name]
+        for header, preheader in sorted(proc.ecfg.preheader_of.items()):
+            try:
+                mean, variance = loop_iteration_stats(proc, header)
+            except AnalysisError:
+                continue
+            trips = proc.freqs.loop_frequency(preheader)
+            n_iterations = max(1, round(trips))
+            std_dev = math.sqrt(max(0.0, variance))
+            best = optimal_chunk_size(
+                n_iterations, n_processors, mean, std_dev, overhead
+            )
+            naive = max(1, math.ceil(n_iterations / n_processors))
+            advice.append(
+                {
+                    "proc": name,
+                    "header": header,
+                    "iterations": n_iterations,
+                    "iteration_mean": mean,
+                    "iteration_std_dev": std_dev,
+                    "chunk": best,
+                    "makespan": estimate_makespan(
+                        n_iterations, n_processors, mean, std_dev,
+                        overhead, best,
+                    ),
+                    "naive_chunk": naive,
+                    "naive_makespan": estimate_makespan(
+                        n_iterations, n_processors, mean, std_dev,
+                        overhead, naive,
+                    ),
+                }
+            )
+    return advice
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one simulated chunked execution."""

@@ -22,7 +22,13 @@ Commands mirror the library pipeline:
   Definition-3 frequency/variance queries;
 * ``trace``    — run one compile → check → profile → analyze pass
   under the tracing subsystem and print a per-stage latency tree
-  (self and total times), optionally dumping raw spans as JSONL.
+  (self and total times), optionally dumping raw spans as JSONL or
+  as a Chrome trace-event file (``--chrome-trace``) for Perfetto;
+* ``validate`` — the wall-clock observatory: measure programs (or an
+  arbitrary external command) under ``perf_counter_ns``, fit the
+  cost model against the measurements (``--calibrate``), and score
+  calibrated TIME/VAR predictions against measured means and
+  confidence intervals (``--calibration``).
 """
 
 from __future__ import annotations
@@ -206,10 +212,20 @@ def _cmd_analyze(args) -> int:
             runs=_run_specs(args),
             record_loop_moments=args.loop_variance == "profiled",
         )
+    calibration = None
+    if args.calibration:
+        from repro.validate import CalibrationProfile
+
+        calibration = CalibrationProfile.load(args.calibration)
+    model = (
+        calibration.machine_model()
+        if calibration is not None
+        else _MODELS[args.model]
+    )
     analysis = analyze(
         program,
         profile,
-        _MODELS[args.model],
+        model,
         loop_variance=_LOOP_VARIANCE[args.loop_variance],
     )
     bounds = None
@@ -219,7 +235,7 @@ def _cmd_analyze(args) -> int:
         bounds = compute_static_bounds(
             program.checked,
             program.cfgs,
-            _MODELS[args.model],
+            model,
             artifacts=program.artifacts(),
         )
     headers = ["procedure", "invocations", "TIME", "VAR", "STD_DEV"]
@@ -248,14 +264,22 @@ def _cmd_analyze(args) -> int:
             rows,
             title=(
                 f"analysis of {args.file} on the "
-                f"{_MODELS[args.model].name} machine"
+                f"{model.name} machine"
             ),
         )
     )
+    units = " ns" if calibration is not None else ""
     print(
-        f"\nprogram: TIME = {analysis.total_time:.2f}, "
-        f"STD_DEV = {analysis.total_std_dev:.2f}"
+        f"\nprogram: TIME = {analysis.total_time:.2f}{units}, "
+        f"STD_DEV = {analysis.total_std_dev:.2f}{units}"
     )
+    if calibration is not None:
+        print(
+            "calibrated wall clock: "
+            f"{analysis.total_time + calibration.intercept_ns:.0f} ns/run "
+            f"(incl. {calibration.intercept_ns:.0f} ns harness overhead; "
+            f"fit R² = {calibration.r_squared:.4f})"
+        )
     if bounds is not None:
         mb = bounds.main
         print(
@@ -457,7 +481,8 @@ def _cmd_trace(args) -> int:
         disable_tracing()
         if jsonl is not None:
             jsonl.close()
-    print(render_trace_tree(ring.drain()))
+    spans = ring.drain()
+    print(render_trace_tree(spans))
     if report.errors:
         print(
             f"[verifier found {len(report.errors)} error(s); "
@@ -466,7 +491,277 @@ def _cmd_trace(args) -> int:
         )
     if args.trace_out:
         print(f"[spans appended to {args.trace_out}]", file=sys.stderr)
+    if args.chrome_trace:
+        from repro.obs import write_chrome_trace
+
+        count = write_chrome_trace(spans, args.chrome_trace)
+        print(
+            f"[{count} Chrome trace events written to {args.chrome_trace}; "
+            "load in Perfetto or chrome://tracing]",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _format_ns(value: float) -> str:
+    """Human-scaled nanoseconds for the validate tables."""
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    if value >= 1e9:
+        return f"{sign}{value / 1e9:.3f}s"
+    if value >= 1e6:
+        return f"{sign}{value / 1e6:.3f}ms"
+    if value >= 1e3:
+        return f"{sign}{value / 1e3:.1f}µs"
+    return f"{sign}{value:.0f}ns"
+
+
+def _validate_subjects(args) -> list[tuple[str, str]]:
+    """``(label, source)`` pairs the validate command should measure."""
+    from repro.workloads.generators import ProgramGenerator
+
+    sources: list[tuple[str, str]] = []
+    for target in args.files:
+        sources.append(_resolve_program_source(target))
+    if args.builtin:
+        from repro.validate.corpus import corpus_sources
+
+        only = (
+            tuple(part for part in args.only.split(",") if part)
+            if args.only
+            else None
+        )
+        sources.extend(corpus_sources(builtins=True, generated=0, only=only))
+    for i in range(args.generate):
+        gen_seed = args.gen_seed + i
+        sources.append((f"gen-{gen_seed}", ProgramGenerator(gen_seed).source()))
+    return sources
+
+
+def _cmd_validate(args) -> int:
+    import random
+
+    from repro.validate import (
+        AccuracyScorer,
+        CalibrationProfile,
+        CalibrationSample,
+        feature_counts,
+        fit_calibration,
+        measure_command,
+        measure_program,
+        median_relative_error,
+        sample_inputs,
+    )
+    from repro.validate.corpus import DEFAULT_INPUTS
+
+    if args.command_argv and args.command_argv[0] == "--":
+        args.command_argv = args.command_argv[1:]
+    if args.command_argv:
+        if args.files or args.builtin or args.generate:
+            raise ReproError(
+                "validate: --command measures the external command alone; "
+                "drop the program arguments"
+            )
+        if args.calibrate or args.calibration:
+            raise ReproError(
+                "validate: an external command has no operation counts, so "
+                "it cannot be calibrated or scored"
+            )
+        with _tracing_to(args.trace_out):
+            measurement = measure_command(
+                args.command_argv, trials=args.trials, warmup=args.warmup
+            )
+        lo, hi = (
+            measurement.mean_ci()
+            if measurement.trials >= 2
+            else (float("nan"), float("nan"))
+        )
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["trials", measurement.trials],
+                    ["warmup", measurement.warmup],
+                    ["mean", _format_ns(measurement.mean_ns)],
+                    ["std dev", _format_ns(measurement.std_ns)],
+                    [
+                        "mean 95% CI",
+                        f"[{_format_ns(lo)}, {_format_ns(hi)}]"
+                        if measurement.trials >= 2
+                        else "n/a",
+                    ],
+                ],
+                title=f"wall clock of `{measurement.label}`",
+            )
+        )
+        if args.json:
+            _write_json_report(args.json, {"command": measurement.as_dict()})
+        return 0
+
+    sources = _validate_subjects(args)
+    if not sources:
+        raise ReproError(
+            "validate: no subjects (give files, --builtin, --generate N "
+            "or --command ...)"
+        )
+    if (args.calibrate or args.calibration) and args.trials < 2:
+        raise ReproError(
+            "validate: scoring and calibration need --trials >= 2 "
+            "(confidence intervals are undefined for one sample)"
+        )
+
+    explicit_inputs = _parse_inputs(args.inputs)
+    input_sampler = None
+    if args.input_dist:
+
+        def input_sampler(seed: int) -> tuple[float, ...]:
+            return sample_inputs(
+                args.input_dist,
+                args.input_mean,
+                args.input_count,
+                random.Random(seed),
+            )
+
+    measured = []
+    with _tracing_to(args.trace_out):
+        for label, source in sources:
+            program = compile_source(source)
+            inputs = explicit_inputs or DEFAULT_INPUTS.get(
+                label.removeprefix("builtin:"), ()
+            )
+            item = measure_program(
+                program,
+                trials=args.trials,
+                warmup=args.warmup,
+                backend=args.backend,
+                seed=args.seed,
+                inputs=inputs,
+                input_sampler=input_sampler,
+                max_steps=args.max_steps,
+                label=label,
+            )
+            print(
+                f"[measured {label}: mean "
+                f"{_format_ns(item.measurement.mean_ns)} over "
+                f"{args.trials} trial(s)]",
+                file=sys.stderr,
+            )
+            measured.append((label, program, item))
+
+        calibration = None
+        if args.calibrate:
+            samples = [
+                CalibrationSample(
+                    label=label,
+                    features=feature_counts(program, item.profile),
+                    measured_mean_ns=item.measurement.mean_ns,
+                    measured_var_ns2=item.measurement.var_ns2,
+                    trials=item.measurement.trials,
+                )
+                for label, program, item in measured
+            ]
+            calibration = fit_calibration(
+                samples,
+                ridge=args.ridge,
+                backend=args.backend,
+                trials=args.trials,
+                warmup=args.warmup,
+            )
+            calibration.save(args.calibrate)
+        elif args.calibration:
+            calibration = CalibrationProfile.load(args.calibration)
+
+        scores = None
+        if calibration is not None:
+            scorer = AccuracyScorer(calibration)
+            scores = scorer.score_corpus(measured)
+
+    rows = [
+        [
+            label,
+            item.measurement.trials,
+            _format_ns(item.measurement.mean_ns),
+            _format_ns(item.measurement.std_ns),
+            f"[{_format_ns(item.measurement.mean_ci()[0])}, "
+            f"{_format_ns(item.measurement.mean_ci()[1])}]"
+            if item.measurement.trials >= 2
+            else "n/a",
+        ]
+        for label, _program, item in measured
+    ]
+    print(
+        format_table(
+            ["program", "trials", "mean", "std dev", "mean 95% CI"],
+            rows,
+            title=f"measured wall clock ({args.backend} backend)",
+        )
+    )
+
+    if calibration is not None:
+        print(
+            "\ncalibration: R² = "
+            f"{calibration.r_squared:.4f}, intercept = "
+            f"{_format_ns(calibration.intercept_ns)}/run"
+        )
+        for group in sorted(calibration.coefficients_ns):
+            print(
+                f"  {group:<12} {calibration.coefficients_ns[group]:8.2f} ns/op"
+            )
+        if args.calibrate:
+            print(f"[calibration artifact written to {args.calibrate}]",
+                  file=sys.stderr)
+    if scores is not None:
+        score_rows = [
+            [
+                score.label,
+                _format_ns(score.measured_mean_ns),
+                _format_ns(score.predicted_time_ns),
+                f"{100 * score.time_relative_error:.1f}%",
+                f"{score.time_z_score:+.2f}",
+                "yes" if score.time_in_ci else "no",
+                "yes" if score.var_in_ci else "no",
+            ]
+            for score in scores
+        ]
+        print()
+        print(
+            format_table(
+                ["program", "measured", "predicted", "rel err", "z",
+                 "TIME in CI", "VAR in CI"],
+                score_rows,
+                title="calibrated TIME/VAR vs measured wall clock",
+            )
+        )
+        print(
+            "\nmedian TIME relative error: "
+            f"{100 * median_relative_error(scores):.1f}%"
+        )
+
+    if args.json:
+        payload: dict = {
+            "backend": args.backend,
+            "trials": args.trials,
+            "warmup": args.warmup,
+            "subjects": [item.as_dict() for _label, _p, item in measured],
+        }
+        if calibration is not None:
+            payload["calibration"] = calibration.to_dict()
+        if scores is not None:
+            payload["scores"] = [score.as_dict() for score in scores]
+            payload["median_relative_error"] = median_relative_error(scores)
+        _write_json_report(args.json, payload)
+    return 0
+
+
+def _write_json_report(path: str, payload: dict) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        Path(path).write_text(text + "\n", encoding="utf-8")
+        print(f"[JSON written to {path}]", file=sys.stderr)
 
 
 def _cmd_batch(args) -> int:
@@ -653,6 +948,7 @@ def _cmd_serve(args) -> int:
         request_timeout=args.timeout,
         max_steps_cap=args.max_steps_cap,
         save_every=args.save_every,
+        calibration=args.calibration,
     )
 
     def announce(service) -> None:
@@ -737,6 +1033,18 @@ def _cmd_call(args) -> int:
                         args.key,
                         loop_variance=args.loop_variance,
                         model=args.model,
+                    )
+                )
+            elif args.endpoint == "calibration":
+                _print_json(client.calibration())
+            elif args.endpoint == "chunks":
+                _print_json(
+                    client.chunks(
+                        args.key,
+                        processors=args.processors,
+                        overhead=args.overhead,
+                        model=args.model,
+                        loop_variance=args.loop_variance,
                     )
                 )
         except ServiceError as exc:
@@ -868,6 +1176,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="add profile-free [TIME_lo, TIME_hi] / VAR envelope columns "
         "from value-range analysis of trip counts",
+    )
+    p_analyze.add_argument(
+        "--calibration", metavar="PATH",
+        help="price operations with this calibration artifact instead of "
+        "--model: TIME comes out in nanoseconds, VAR in ns²",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -1042,6 +1355,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="append tracing spans as JSONL here while the service runs",
     )
+    p_serve.add_argument(
+        "--calibration", metavar="PATH",
+        help="load this calibration artifact: enables model=calibrated "
+        "queries (ns units) and GET /calibration",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_call = sub.add_parser(
@@ -1112,7 +1430,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
     )
     c_query.add_argument(
-        "--model", choices=sorted(_MODELS), default="scalar"
+        "--model", choices=[*sorted(_MODELS), "calibrated"], default="scalar"
+    )
+
+    call_sub.add_parser(
+        "calibration",
+        help="GET /calibration — the service's loaded calibration artifact",
+    )
+
+    c_chunks = call_sub.add_parser(
+        "chunks",
+        help="Kruskal-Weiss chunk-size advice for a key's profiled loops",
+    )
+    c_chunks.add_argument("key")
+    c_chunks.add_argument("--processors", type=int, default=8)
+    c_chunks.add_argument("--overhead", type=float, default=10.0)
+    c_chunks.add_argument(
+        "--model", choices=[*sorted(_MODELS), "calibrated"], default="scalar"
+    )
+    c_chunks.add_argument(
+        "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="profiled"
     )
     p_call.set_defaults(func=_cmd_call)
 
@@ -1143,11 +1480,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append the raw spans as JSONL here",
     )
     p_trace.add_argument(
+        "--chrome-trace", metavar="PATH",
+        help="also write the spans as a Chrome trace-event JSON file "
+        "(load in Perfetto or chrome://tracing)",
+    )
+    p_trace.add_argument(
         "--dump-source", action="store_true",
         help="print the codegen backend's emitted Python source for "
         "the chosen plan and model instead of tracing a run",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="measure wall clock, calibrate the cost model, score "
+        "TIME/VAR predictions",
+    )
+    p_validate.add_argument(
+        "files", nargs="*",
+        help="minifort source files or built-in workload names",
+    )
+    p_validate.add_argument(
+        "--builtin", action="store_true",
+        help="measure every built-in workload",
+    )
+    p_validate.add_argument(
+        "--only", metavar="NAMES",
+        help="with --builtin: comma-separated subset of builtins",
+    )
+    p_validate.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="also measure N seeded generator programs",
+    )
+    p_validate.add_argument(
+        "--gen-seed", type=int, default=1000,
+        help="first generator seed (default 1000)",
+    )
+    p_validate.add_argument(
+        "--command", dest="command_argv", nargs=argparse.REMAINDER,
+        metavar="ARGV",
+        help="measure an arbitrary external command instead of programs "
+        "(everything after --command is the argv)",
+    )
+    p_validate.add_argument(
+        "--trials", type=int, default=5,
+        help="timed runs per subject (default 5)",
+    )
+    p_validate.add_argument(
+        "--warmup", type=int, default=2,
+        help="discarded warmup runs per subject (default 2)",
+    )
+    p_validate.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto",
+        help="execution engine for the timed runs (default: auto)",
+    )
+    p_validate.add_argument("--seed", type=int, default=0)
+    p_validate.add_argument(
+        "--inputs", help="fixed comma-separated INPUT() vector"
+    )
+    p_validate.add_argument(
+        "--input-dist",
+        choices=["constant", "poisson", "geometric", "uniform"],
+        help="draw per-trial INPUT() vectors from this Section-5 "
+        "trip-count distribution instead of fixed --inputs",
+    )
+    p_validate.add_argument(
+        "--input-mean", type=float, default=8.0,
+        help="mean of the --input-dist draws (default 8)",
+    )
+    p_validate.add_argument(
+        "--input-count", type=int, default=1,
+        help="entries per drawn INPUT() vector (default 1)",
+    )
+    p_validate.add_argument("--max-steps", type=int, default=10_000_000)
+    p_validate.add_argument(
+        "--calibrate", metavar="OUT",
+        help="fit the cost model against the measurements and save the "
+        "calibration artifact here (needs >= 9 subjects)",
+    )
+    p_validate.add_argument(
+        "--calibration", metavar="PATH",
+        help="load this calibration artifact and score its TIME/VAR "
+        "predictions against the measurements",
+    )
+    p_validate.add_argument(
+        "--ridge", type=float, default=1e-9,
+        help="ridge damping for the calibration fit",
+    )
+    p_validate.add_argument(
+        "--json", metavar="PATH",
+        help="write measurements/calibration/scores as JSON "
+        "('-' for stdout)",
+    )
+    p_validate.add_argument(
+        "--trace-out", metavar="PATH",
+        help="append validate.* tracing spans as JSONL here",
+    )
+    p_validate.set_defaults(func=_cmd_validate)
 
     p_plan = sub.add_parser(
         "plan", help="show counter placement plans (smart vs naive)"

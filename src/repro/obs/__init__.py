@@ -21,7 +21,17 @@ disabled) on the compile path.
 """
 
 from repro.obs import metrics
-from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.chrome import (
+    chrome_trace_events,
+    render_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    SUBMILLI_BUCKETS,
+    set_registry,
+)
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.obs.render import render_trace_tree
 from repro.obs.trace import (
@@ -43,6 +53,11 @@ __all__ = [
     "metrics",
     "MetricsRegistry",
     "set_registry",
+    "DEFAULT_BUCKETS",
+    "SUBMILLI_BUCKETS",
+    "chrome_trace_events",
+    "render_chrome_trace",
+    "write_chrome_trace",
     "CONTENT_TYPE",
     "render_prometheus",
     "render_trace_tree",

@@ -1,0 +1,74 @@
+"""Chrome trace-event export for collected spans.
+
+``chrome://tracing`` and Perfetto load a JSON object with a
+``traceEvents`` array; each finished span becomes one complete
+("ph": "X") event with microsecond timestamps.  Spans already carry
+everything required — the only mapping decisions are the time base
+(timestamps are rebased to the earliest span so traces start at 0)
+and the lane assignment (each trace id gets its own ``tid``, so
+concurrent request trees render as separate rows instead of
+overlapping in one).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import SpanRecord
+
+
+def chrome_trace_events(spans: list[SpanRecord]) -> list[dict]:
+    """Map finished spans to Chrome complete events, oldest first."""
+    if not spans:
+        return []
+    ordered = sorted(spans, key=lambda r: r.start)
+    base = ordered[0].start
+    lanes: dict[str, int] = {}
+    events = []
+    for record in ordered:
+        lane = lanes.setdefault(record.trace_id, len(lanes) + 1)
+        args = {
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+        }
+        if record.parent_id:
+            args["parent_id"] = record.parent_id
+        if record.attrs:
+            args.update(record.attrs)
+        if record.error is not None:
+            args["error"] = record.error
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.name.split(".")[0],
+                "ph": "X",
+                "ts": (record.start - base) * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": 1,
+                "tid": lane,
+                "args": args,
+            }
+        )
+    return events
+
+
+def render_chrome_trace(spans: list[SpanRecord]) -> str:
+    """The full JSON document Perfetto/chrome://tracing loads."""
+    return json.dumps(
+        {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"},
+        sort_keys=True,
+    )
+
+
+def write_chrome_trace(spans: list[SpanRecord], path: str | Path) -> int:
+    """Write the trace document; returns the number of events."""
+    events = chrome_trace_events(spans)
+    Path(path).write_text(
+        json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return len(events)

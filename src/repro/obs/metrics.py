@@ -43,6 +43,14 @@ DEFAULT_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Sub-millisecond latency buckets (seconds) for operations that
+#: finish in microseconds — codegen-backend runs land entirely in the
+#: first bucket of :data:`DEFAULT_BUCKETS`, which tells you nothing.
+SUBMILLI_BUCKETS = (
+    0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.025,
+)
+
 #: Buckets for micro-batch sizes (requests per flush).
 SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
@@ -189,11 +197,17 @@ class MetricsRegistry:
 
     One process-global instance backs the module-level helpers; tests
     create their own and swap it in with :func:`set_registry`.
+
+    ``default_buckets`` is what histograms created without an explicit
+    ``buckets=`` get — a deployment timing microsecond-scale codegen
+    runs can build its registry with :data:`SUBMILLI_BUCKETS` and
+    every implicit histogram follows.
     """
 
-    def __init__(self):
+    def __init__(self, default_buckets: tuple[float, ...] = DEFAULT_BUCKETS):
         self._lock = threading.RLock()
         self._metrics: dict[str, _Metric] = {}
+        self.default_buckets = tuple(default_buckets)
 
     def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Metric:
         with self._lock:
@@ -223,9 +237,10 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   labels: tuple[str, ...] = (),
-                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
         return self._get_or_create(
-            Histogram, name, help, labels, buckets=buckets
+            Histogram, name, help, labels,
+            buckets=self.default_buckets if buckets is None else buckets,
         )
 
     def get(self, name: str) -> _Metric | None:
@@ -278,5 +293,5 @@ def gauge(name: str, help: str = "", labels: tuple[str, ...] = ()) -> Gauge:
 
 
 def histogram(name: str, help: str = "", labels: tuple[str, ...] = (),
-              buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+              buckets: tuple[float, ...] | None = None) -> Histogram:
     return registry().histogram(name, help, labels, buckets)

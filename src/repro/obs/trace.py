@@ -28,6 +28,7 @@ finished spans are dispatched to pluggable sinks:
 
 from __future__ import annotations
 
+import atexit
 import collections
 import contextlib
 import functools
@@ -120,12 +121,22 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Append every finished span as one JSON line."""
+    """Append every finished span as one JSON line.
+
+    Writes are record-atomic on abnormal exit: the file is opened
+    line-buffered, so each span record (always one line, written in a
+    single call) is pushed to the OS whole at its trailing newline —
+    an exception or SIGTERM mid-batch leaves complete lines only,
+    never a record truncated partway.  An ``atexit`` hook closes the
+    handle when the interpreter dies with the sink still configured
+    (an unhandled exception unwinding past the owner).
+    """
 
     def __init__(self, path):
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = open(path, "a", buffering=1, encoding="utf-8")
         self._lock = threading.Lock()
         self.path = path
+        atexit.register(self.close)
 
     def on_end(self, record: SpanRecord) -> None:
         line = json.dumps(record.as_dict(), sort_keys=True)
@@ -139,6 +150,7 @@ class JsonlSink:
             if not self._handle.closed:
                 self._handle.flush()
                 self._handle.close()
+        atexit.unregister(self.close)
 
 
 class _NullSpan:

@@ -295,3 +295,30 @@ class ServiceClient:
             f"/profiles/{quote(key, safe='')}?{urlencode(params)}",
             request_id=request_id,
         )
+
+    def calibration(self, *, request_id: str | None = None) -> dict:
+        """The service's loaded wall-clock calibration artifact."""
+        return self.request("GET", "/calibration", request_id=request_id)
+
+    def chunks(
+        self,
+        key: str,
+        *,
+        processors: int = 8,
+        overhead: float = 10.0,
+        model: str = "scalar",
+        loop_variance: str = "profiled",
+        request_id: str | None = None,
+    ) -> dict:
+        """Kruskal-Weiss chunk-size advice from the key's profile."""
+        params = {
+            "processors": processors,
+            "overhead": overhead,
+            "model": model,
+            "loop_variance": loop_variance,
+        }
+        return self.request(
+            "GET",
+            f"/profiles/{quote(key, safe='')}/chunks?{urlencode(params)}",
+            request_id=request_id,
+        )

@@ -25,7 +25,10 @@ Endpoints (JSON over HTTP/1.1, see ``docs/service.md``)::
     POST /profiles/{key}/ingest    accumulate a raw TOTAL_FREQ delta,
                                    or a Ball–Larus path-count delta
     GET  /profiles/{key}           Definition-3 freqs + Section-5 VAR
+                                   (+ predicted-vs-ingested drift)
     GET  /profiles/{key}/paths     top-K hot paths of the key's spectrum
+    GET  /profiles/{key}/chunks    Kruskal-Weiss chunk-size advice
+    GET  /calibration              the loaded wall-clock calibration
 
 Degradation under load is explicit, never emergent: a full admission
 queue answers 429, a request that outlives its budget answers 504
@@ -115,6 +118,10 @@ class ServiceConfig:
     #: Give up on drain (abandoning unstarted batch items) after this.
     drain_timeout: float = 30.0
     max_body: int = MAX_BODY_BYTES
+    #: Path to a :class:`repro.validate.CalibrationProfile` artifact.
+    #: When set, ``GET /calibration`` serves it and queries accept
+    #: ``model=calibrated`` (TIME in ns, VAR in ns²).
+    calibration: str | None = None
 
 
 class ProfilingService:
@@ -137,6 +144,17 @@ class ProfilingService:
         #: STOP partials fold into the reconstructed profile but are
         #: prefixes, not members of the numbered path space.
         self.path_spectra: dict[str, dict[str, dict[int, float]]] = {}
+        #: optional wall-clock calibration artifact (``/calibration``).
+        self.calibration = None
+        if self.config.calibration:
+            from repro.validate.calibrate import CalibrationProfile
+
+            self.calibration = CalibrationProfile.load(
+                self.config.calibration
+            )
+        #: last served analysis per key, for predicted-vs-ingested
+        #: drift on repeat queries: key -> {runs, time, var, params}.
+        self._analysis_snapshots: dict[str, dict] = {}
         self.port: int | None = None
         self.draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -319,6 +337,8 @@ class ProfilingService:
             "ingest": (self._handle_ingest, "POST"),
             "query": (self._handle_query, "GET"),
             "hot_paths": (self._handle_hot_paths, "GET"),
+            "calibration": (self._handle_calibration, "GET"),
+            "chunks": (self._handle_chunks, "GET"),
         }[route]
         if request.method != method:
             return 405, error_payload(
@@ -369,6 +389,8 @@ class ProfilingService:
             return "compile", None
         if path == "/profile":
             return "profile", None
+        if path == "/calibration":
+            return "calibration", None
         parts = [part for part in path.split("/") if part]
         if len(parts) == 2 and parts[0] == "profiles":
             return "query", parts[1]
@@ -384,6 +406,12 @@ class ProfilingService:
             and parts[2] == "paths"
         ):
             return "hot_paths", parts[1]
+        if (
+            len(parts) == 3
+            and parts[0] == "profiles"
+            and parts[2] == "chunks"
+        ):
+            return "chunks", parts[1]
         return None, None
 
     # -- trivial endpoints -----------------------------------------------
@@ -1091,6 +1119,32 @@ class ProfilingService:
             )
         return shapes
 
+    def _model_names(self) -> list[str]:
+        names = sorted(_MODELS)
+        if self.calibration is not None:
+            names.append("calibrated")
+        return names
+
+    def _resolve_model(self, model_name: str):
+        """The machine model a query named, or a 400 on bad names.
+
+        ``calibrated`` is accepted only when the service was started
+        with a calibration artifact: the returned model prices
+        operations in nanoseconds, so TIME/VAR come back in ns/ns².
+        """
+        if model_name == "calibrated":
+            if self.calibration is None:
+                raise ProtocolError(
+                    '"model": "calibrated" needs the service started '
+                    "with --calibration"
+                )
+            return self.calibration.machine_model()
+        if model_name not in _MODELS:
+            raise ProtocolError(
+                f'"model" must be one of {self._model_names()}'
+            )
+        return _MODELS[model_name]
+
     async def _handle_query(
         self, request: Request, key: str
     ) -> tuple[int, dict]:
@@ -1104,15 +1158,11 @@ class ProfilingService:
             # No runs ingested yet, but the source is registered:
             # serve the profile-free static TIME/VAR envelope instead
             # of a 404, so consumers get a (coarse) answer immediately.
-            model_name = request.query.get("model", "scalar")
-            if model_name not in _MODELS:
-                raise ProtocolError(
-                    f'"model" must be one of {sorted(_MODELS)}'
-                )
+            model = self._resolve_model(request.query.get("model", "scalar"))
             loop = asyncio.get_running_loop()
             static = await asyncio.wait_for(
                 loop.run_in_executor(
-                    None, self._static_bounds_entry, source, model_name
+                    None, self._static_bounds_entry, source, model
                 ),
                 timeout=self.config.request_timeout,
             )
@@ -1133,8 +1183,7 @@ class ProfilingService:
                 f'"loop_variance" must be one of {list(_LOOP_VARIANCE)}'
             )
         model_name = request.query.get("model", "scalar")
-        if model_name not in _MODELS:
-            raise ProtocolError(f'"model" must be one of {sorted(_MODELS)}')
+        model = self._resolve_model(model_name)
         body: dict = {"key": key, "runs": profile.runs, "analysis": None}
         if request.query.get("raw", "") in ("1", "true"):
             body["raw"] = profile.to_dict()
@@ -1144,9 +1193,19 @@ class ProfilingService:
             body["analysis"] = await asyncio.wait_for(
                 loop.run_in_executor(
                     None, self._analyze_entry, source, profile,
-                    model_name, loop_variance,
+                    model, loop_variance,
                 ),
                 timeout=self.config.request_timeout,
+            )
+            if model_name == "calibrated":
+                body["calibration"] = {
+                    "units": "ns",
+                    "intercept_ns": self.calibration.intercept_ns,
+                    "r_squared": self.calibration.r_squared,
+                }
+            body["drift"] = self._record_drift(
+                key, profile.runs, body["analysis"],
+                params=(model_name, loop_variance),
             )
         else:
             body["note"] = (
@@ -1157,11 +1216,60 @@ class ProfilingService:
             body["raw"] = profile.to_dict()
         return 200, body
 
+    def _record_drift(
+        self, key: str, runs: float, analysis: dict, *, params: tuple
+    ) -> dict:
+        """Predicted-vs-ingested drift: how much the key's TIME/VAR
+        moved since the previous query as new runs were accumulated.
+
+        Relative change of the analysis answers between consecutive
+        queries with the same model/loop-variance parameters (a
+        parameter change resets the baseline — the delta would
+        measure the parameters, not the ingested data).  Exposed both
+        in the response body and as ``repro_validation_*_drift``
+        gauges, so Prometheus watches prediction stability per key.
+        """
+        snapshot = {
+            "runs": runs,
+            "time": analysis["time"],
+            "var": analysis["var"],
+            "params": params,
+        }
+        previous = self._analysis_snapshots.get(key)
+        self._analysis_snapshots[key] = snapshot
+        drift: dict = {
+            "runs": runs,
+            "previous_runs": None,
+            "time_drift": None,
+            "var_drift": None,
+        }
+        if previous is not None and previous["params"] == params:
+            drift["previous_runs"] = previous["runs"]
+            if previous["time"]:
+                drift["time_drift"] = (
+                    snapshot["time"] - previous["time"]
+                ) / abs(previous["time"])
+            if previous["var"]:
+                drift["var_drift"] = (
+                    snapshot["var"] - previous["var"]
+                ) / abs(previous["var"])
+        metrics.gauge(
+            "repro_validation_time_drift",
+            "Relative TIME change between consecutive queries of a key.",
+            labels=("key",),
+        ).set(drift["time_drift"] or 0.0, key=key)
+        metrics.gauge(
+            "repro_validation_var_drift",
+            "Relative VAR change between consecutive queries of a key.",
+            labels=("key",),
+        ).set(drift["var_drift"] or 0.0, key=key)
+        return drift
+
     def _analyze_entry(
         self,
         source: str,
         profile: ProgramProfile,
-        model_name: str,
+        model,
         loop_variance: str,
     ) -> dict:
         from repro.analysis.distributions import LoopDistribution
@@ -1177,10 +1285,10 @@ class ProfilingService:
             program, _tier = self.cache.compiled(source)
             self._publish_cache_snapshot()
         return summarize_item(
-            program, profile, _MODELS[model_name], loop_variance=spec
+            program, profile, model, loop_variance=spec
         )
 
-    def _static_bounds_entry(self, source: str, model_name: str) -> dict:
+    def _static_bounds_entry(self, source: str, model) -> dict:
         from repro.dataflow import compute_static_bounds
 
         with self._cache_lock:
@@ -1189,10 +1297,105 @@ class ProfilingService:
         bounds = compute_static_bounds(
             program.checked,
             program.cfgs,
-            _MODELS[model_name],
+            model,
             artifacts=program.artifacts(),
         )
         return bounds.to_json()
+
+    # -- calibration and chunk advice ------------------------------------
+
+    async def _handle_calibration(
+        self, request: Request
+    ) -> tuple[int, dict]:
+        """The loaded wall-clock calibration artifact, if any."""
+        if self.calibration is None:
+            return 404, error_payload(
+                404,
+                "no calibration loaded; start the service with "
+                "--calibration <artifact.json> (see `repro validate "
+                "--calibrate`)",
+            )
+        return 200, {"ok": True, "calibration": self.calibration.to_dict()}
+
+    async def _handle_chunks(
+        self, request: Request, key: str
+    ) -> tuple[int, dict]:
+        """Kruskal-Weiss chunk-size advice from the key's live profile."""
+        profile = self.database.lookup(key)
+        if profile is None:
+            return 404, error_payload(404, f"no accumulated profile: {key}")
+        source = self.sources.get(key)
+        if source is None:
+            return 404, error_payload(
+                404,
+                "no source registered for this key; register it via "
+                "/compile {key: ...} or an ingest with source",
+            )
+        model_name = request.query.get("model", "scalar")
+        model = self._resolve_model(model_name)
+        loop_variance = request.query.get("loop_variance", "profiled")
+        if loop_variance not in _LOOP_VARIANCE:
+            raise ProtocolError(
+                f'"loop_variance" must be one of {list(_LOOP_VARIANCE)}'
+            )
+        try:
+            n_processors = int(request.query.get("processors", "8"))
+            overhead = float(request.query.get("overhead", "10"))
+        except ValueError:
+            raise ProtocolError(
+                '"processors" must be an integer and "overhead" a number'
+            ) from None
+        if not 1 <= n_processors <= 4096:
+            raise ProtocolError('"processors" must be between 1 and 4096')
+        if overhead < 0:
+            raise ProtocolError('"overhead" must be >= 0')
+        loop = asyncio.get_running_loop()
+        with span("service.chunks", attrs={"key": key}):
+            advice = await asyncio.wait_for(
+                loop.run_in_executor(
+                    None, self._chunks_entry, source, profile, model,
+                    loop_variance, n_processors, overhead,
+                ),
+                timeout=self.config.request_timeout,
+            )
+        return 200, {
+            "key": key,
+            "runs": profile.runs,
+            "model": model_name,
+            "loop_variance": loop_variance,
+            "processors": n_processors,
+            "overhead": overhead,
+            "units": "ns" if model_name == "calibrated" else "cycles",
+            "loops": advice,
+        }
+
+    def _chunks_entry(
+        self,
+        source: str,
+        profile: ProgramProfile,
+        model,
+        loop_variance: str,
+        n_processors: int,
+        overhead: float,
+    ) -> list[dict]:
+        from repro.analysis.distributions import LoopDistribution
+        from repro.apps.chunking import chunk_advice
+        from repro.pipeline import analyze
+
+        spec = {
+            "zero": "zero",
+            "profiled": "profiled",
+            "poisson": LoopDistribution.POISSON,
+            "geometric": LoopDistribution.GEOMETRIC,
+            "uniform": LoopDistribution.UNIFORM,
+        }[loop_variance]
+        with self._cache_lock:
+            program, _tier = self.cache.compiled(source)
+            self._publish_cache_snapshot()
+        analysis = analyze(program, profile, model, loop_variance=spec)
+        return chunk_advice(
+            analysis, n_processors=n_processors, overhead=overhead
+        )
 
 
 async def serve(config: ServiceConfig, *, ready=None) -> ProfilingService:

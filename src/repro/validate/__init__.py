@@ -1,0 +1,80 @@
+"""The validation observatory: measure, calibrate, score.
+
+The rest of the repo *predicts* average execution time and variance
+in abstract cost units; this package closes the loop against reality:
+
+* :mod:`repro.validate.measure` — wall-clock measurement harness
+  (warmup + trials under ``perf_counter_ns``, programs on any
+  backend or arbitrary external commands, §5 input sampling);
+* :mod:`repro.validate.stats` — small-sample statistics from first
+  principles (Student-t / chi-square intervals, z-scores);
+* :mod:`repro.validate.calibrate` — least-squares fit of the
+  abstract op-cost vector to measured nanoseconds, persisted as a
+  versioned :class:`CalibrationProfile`;
+* :mod:`repro.validate.corpus` — the calibration corpus (builtins +
+  generated programs) and the end-to-end driver;
+* :mod:`repro.validate.scorer` — continuous accuracy scoring
+  exported as ``repro_validation_*`` metrics and ``validate.*`` spans.
+"""
+
+from repro.validate.calibrate import (
+    CALIBRATION_VERSION,
+    CalibrationError,
+    CalibrationProfile,
+    CalibrationSample,
+    FEATURE_GROUPS,
+    feature_counts,
+    fit_calibration,
+    machine_fingerprint,
+    one_hot_model,
+)
+from repro.validate.corpus import (
+    DEFAULT_INPUTS,
+    corpus_sources,
+    measure_corpus,
+    run_calibration,
+)
+from repro.validate.measure import (
+    INPUT_DISTRIBUTIONS,
+    Measurement,
+    MeasurementError,
+    ProgramMeasurement,
+    measure_callable,
+    measure_command,
+    measure_program,
+    sample_inputs,
+)
+from repro.validate.scorer import (
+    AccuracyScore,
+    AccuracyScorer,
+    ERROR_BUCKETS,
+    median_relative_error,
+)
+
+__all__ = [
+    "CALIBRATION_VERSION",
+    "CalibrationError",
+    "CalibrationProfile",
+    "CalibrationSample",
+    "FEATURE_GROUPS",
+    "feature_counts",
+    "fit_calibration",
+    "machine_fingerprint",
+    "one_hot_model",
+    "DEFAULT_INPUTS",
+    "corpus_sources",
+    "measure_corpus",
+    "run_calibration",
+    "INPUT_DISTRIBUTIONS",
+    "Measurement",
+    "MeasurementError",
+    "ProgramMeasurement",
+    "measure_callable",
+    "measure_command",
+    "measure_program",
+    "sample_inputs",
+    "AccuracyScore",
+    "AccuracyScorer",
+    "ERROR_BUCKETS",
+    "median_relative_error",
+]

@@ -1,0 +1,404 @@
+"""Least-squares calibration of the abstract cost model.
+
+The machine models in :mod:`repro.costs.model` price operations in
+abstract cycles; the paper's TIME/VAR come out in the same abstract
+unit.  Calibration fits those prices against *measured* wall-clock so
+predictions come out in nanoseconds on the machine that ran the
+measurement.
+
+The trick that makes this cheap: TIME is **linear in the cost
+vector**, so running :func:`repro.pipeline.analyze` under a one-hot
+machine model (one cost-field group set to 1.0, everything else 0)
+yields the expected per-run *count* of that operation group.  Those
+counts form the rows of a design matrix; ordinary least squares
+(ridge-damped for conditioning, with active-set clamping so no price
+goes negative) against the measured per-run mean gives ns-per-group
+prices plus a constant per-run harness overhead ("run_overhead", the
+intercept — process/driver costs no operation count explains).
+
+Cost fields are fitted in :data:`FEATURE_GROUPS` rather than
+individually: with ~a dozen corpus programs, 17 free prices would
+interpolate the data exactly and mean nothing, while 8 grouped prices
+plus the intercept leave real residuals and an honest R².
+
+The result is a versioned :class:`CalibrationProfile` artifact
+(machine fingerprint, per-program residuals, R²) that
+``analysis/time.py``/``analysis/variance.py`` consume transparently:
+:meth:`CalibrationProfile.machine_model` is an ordinary
+:class:`MachineModel` whose "cycles" are nanoseconds, so TIME is ns
+and VAR is ns² with no analysis changes at all.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.costs.model import MachineModel
+from repro.errors import ReproError
+from repro.obs import span
+
+#: Bump when the artifact schema changes; loaders reject newer majors.
+CALIBRATION_VERSION = 1
+
+#: Cost-model fields fitted together, one price per group.  The
+#: ``counter_update`` field is deliberately absent: calibration times
+#: *uninstrumented* runs, which execute no counter updates, so its
+#: price is unidentifiable here and stays 0 in the calibrated model.
+FEATURE_GROUPS: dict[str, tuple[str, ...]] = {
+    "mem": ("load", "store", "array_index"),
+    "int_alu": ("const", "int_add", "compare", "logical", "branch"),
+    "int_muldiv": ("int_mul", "int_div"),
+    "fp_add": ("fp_add",),
+    "fp_muldiv": ("fp_mul", "fp_div", "power"),
+    "call": ("call_overhead",),
+    "intrinsic": ("intrinsic_default",),
+    "print": ("print_item",),
+}
+
+#: The intercept pseudo-feature: 1.0 per run, prices fixed per-run
+#: harness overhead that no operation count explains.
+INTERCEPT = "run_overhead"
+
+_ALL_COST_FIELDS = (
+    "load", "store", "const", "int_add", "int_mul", "int_div",
+    "fp_add", "fp_mul", "fp_div", "power", "compare", "logical",
+    "branch", "call_overhead", "array_index", "print_item",
+    "intrinsic_default", "counter_update",
+)
+
+
+class CalibrationError(ReproError):
+    """A calibration could not be fitted or a profile not loaded."""
+
+
+def one_hot_model(group: str) -> MachineModel:
+    """A machine model that counts one feature group instead of costing it.
+
+    Every cost field is zero except the group's fields, which are 1.0
+    (``intrinsic_costs`` stays empty so every intrinsic falls through
+    to ``intrinsic_default``).  ``analyze(...).total_time`` under this
+    model is the expected per-run execution count of the group.
+    """
+    if group not in FEATURE_GROUPS:
+        raise CalibrationError(f"unknown feature group {group!r}")
+    zeros = {name: 0.0 for name in _ALL_COST_FIELDS}
+    for name in FEATURE_GROUPS[group]:
+        zeros[name] = 1.0
+    return MachineModel(name=f"one-hot:{group}", intrinsic_costs={}, **zeros)
+
+
+def feature_counts(program, profile) -> dict[str, float]:
+    """Expected per-run operation counts by feature group.
+
+    One TIME analysis per group under the matching one-hot model;
+    the intercept feature is always 1.0.
+    """
+    from repro.pipeline import analyze
+
+    counts = {INTERCEPT: 1.0}
+    for group in FEATURE_GROUPS:
+        counts[group] = analyze(program, profile, one_hot_model(group)).total_time
+    return counts
+
+
+@dataclass
+class CalibrationSample:
+    """One corpus program's features and measured wall clock."""
+
+    label: str
+    features: dict[str, float]
+    measured_mean_ns: float
+    measured_var_ns2: float = 0.0
+    trials: int = 0
+
+
+def machine_fingerprint() -> dict:
+    """Where a calibration was taken — prices are machine-specific."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _solve(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Solve a small dense linear system by Gaussian elimination."""
+    n = len(rhs)
+    aug = [list(row) + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot][col]) < 1e-30:
+            raise CalibrationError("singular normal equations in fit")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = 1.0 / aug[col][col]
+        for r in range(n):
+            if r == col:
+                continue
+            factor = aug[r][col] * inv
+            if factor == 0.0:
+                continue
+            for c in range(col, n + 1):
+                aug[r][c] -= factor * aug[col][c]
+    return [aug[i][n] / aug[i][i] for i in range(n)]
+
+
+def _least_squares(
+    design: list[list[float]],
+    y: list[float],
+    names: list[str],
+    ridge: float,
+) -> dict[str, float]:
+    """Ridge-damped nonnegative least squares over named columns.
+
+    Nonnegativity by active-set clamping: solve, drop any column whose
+    price came out negative (a price below zero is physically
+    meaningless — it means the column is collinear with others on this
+    corpus), re-solve on the survivors until all prices are >= 0.
+    """
+    active = list(range(len(names)))
+    coeffs = {name: 0.0 for name in names}
+    while active:
+        k = len(active)
+        xtx = [[0.0] * k for _ in range(k)]
+        xty = [0.0] * k
+        for row, target in zip(design, y):
+            for i, ci in enumerate(active):
+                xty[i] += row[ci] * target
+                for j, cj in enumerate(active):
+                    xtx[i][j] += row[ci] * row[cj]
+        # Equilibrate to unit diagonal before damping: columns differ
+        # by many orders of magnitude (the intercept column is tiny
+        # under relative weighting), and a shared absolute ridge would
+        # bias the small columns hard.  On the scaled system the same
+        # ridge is relative for every column.
+        d = [
+            1.0 / math.sqrt(xtx[i][i]) if xtx[i][i] > 0.0 else 1.0
+            for i in range(k)
+        ]
+        scaled = [
+            [xtx[i][j] * d[i] * d[j] for j in range(k)] for i in range(k)
+        ]
+        for i in range(k):
+            scaled[i][i] += ridge
+        solution = _solve(scaled, [xty[i] * d[i] for i in range(k)])
+        solution = [z * d[i] for i, z in enumerate(solution)]
+        negatives = [i for i, value in enumerate(solution) if value < 0.0]
+        if not negatives:
+            for i, ci in enumerate(active):
+                coeffs[names[ci]] = solution[i]
+            return coeffs
+        drop = {active[i] for i in negatives}
+        active = [ci for ci in active if ci not in drop]
+    return coeffs
+
+
+@dataclass
+class CalibrationProfile:
+    """A fitted, versioned price vector: abstract ops -> nanoseconds.
+
+    ``coefficients_ns`` maps each :data:`FEATURE_GROUPS` group to its
+    fitted ns price; ``intercept_ns`` is the per-run harness overhead.
+    ``residuals`` keeps the per-program fit quality that produced
+    ``r_squared`` so a loaded artifact is auditable.
+    """
+
+    coefficients_ns: dict[str, float]
+    intercept_ns: float = 0.0
+    r_squared: float = 0.0
+    residuals: list[dict] = field(default_factory=list)
+    fingerprint: dict = field(default_factory=machine_fingerprint)
+    backend: str = "auto"
+    trials: int = 0
+    warmup: int = 0
+    created_at: float = field(default_factory=time.time)
+    version: int = CALIBRATION_VERSION
+
+    def predict(self, features: dict[str, float]) -> float:
+        """Predicted per-run nanoseconds for a feature-count vector."""
+        total = self.intercept_ns * features.get(INTERCEPT, 1.0)
+        for group, price in self.coefficients_ns.items():
+            total += price * features.get(group, 0.0)
+        return total
+
+    def machine_model(self) -> MachineModel:
+        """An ordinary :class:`MachineModel` priced in nanoseconds.
+
+        Feeding it to :func:`repro.pipeline.analyze` makes TIME come
+        out in ns and VAR in ns² with no analysis changes.  The
+        model's TIME excludes :attr:`intercept_ns` (fixed per-run
+        harness overhead is not an operation); use
+        :meth:`predicted_time_ns` when comparing against wall clock.
+        ``counter_update`` stays 0: uninstrumented timing cannot
+        price it.
+        """
+        costs = {name: 0.0 for name in _ALL_COST_FIELDS}
+        for group, fields in FEATURE_GROUPS.items():
+            price = self.coefficients_ns.get(group, 0.0)
+            for name in fields:
+                costs[name] = price
+        return MachineModel(
+            name=f"calibrated ({self.fingerprint.get('machine', '?')}, ns)",
+            intrinsic_costs={},
+            **costs,
+        )
+
+    def analyze(self, program, profile, *, loop_variance="profiled"):
+        """TIME/VAR analysis in calibrated units (TIME ns, VAR ns²)."""
+        from repro.pipeline import analyze
+
+        return analyze(
+            program, profile, self.machine_model(), loop_variance=loop_variance
+        )
+
+    def predicted_time_ns(self, program, profile) -> float:
+        """Calibrated mean per-run wall clock, intercept included."""
+        analysis = self.analyze(program, profile, loop_variance="zero")
+        return analysis.total_time + self.intercept_ns
+
+    def predicted_var_ns2(
+        self, program, profile, *, loop_variance="profiled"
+    ) -> float:
+        """Calibrated per-run VAR in ns² (intercept is constant: no VAR)."""
+        return self.analyze(
+            program, profile, loop_variance=loop_variance
+        ).total_var
+
+    # -- persistence ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "created_at": self.created_at,
+            "fingerprint": dict(self.fingerprint),
+            "backend": self.backend,
+            "trials": self.trials,
+            "warmup": self.warmup,
+            "coefficients_ns": dict(self.coefficients_ns),
+            "intercept_ns": self.intercept_ns,
+            "r_squared": self.r_squared,
+            "residuals": [dict(r) for r in self.residuals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationProfile":
+        version = int(data.get("version", 0))
+        if version > CALIBRATION_VERSION:
+            raise CalibrationError(
+                f"calibration artifact is version {version}; this build "
+                f"reads up to {CALIBRATION_VERSION}"
+            )
+        if "coefficients_ns" not in data:
+            raise CalibrationError("calibration artifact lacks coefficients_ns")
+        return cls(
+            coefficients_ns={
+                str(k): float(v) for k, v in data["coefficients_ns"].items()
+            },
+            intercept_ns=float(data.get("intercept_ns", 0.0)),
+            r_squared=float(data.get("r_squared", 0.0)),
+            residuals=list(data.get("residuals", [])),
+            fingerprint=dict(data.get("fingerprint", {})),
+            backend=str(data.get("backend", "auto")),
+            trials=int(data.get("trials", 0)),
+            warmup=int(data.get("warmup", 0)),
+            created_at=float(data.get("created_at", 0.0)),
+            version=version or CALIBRATION_VERSION,
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CalibrationProfile":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CalibrationError(f"no calibration artifact at {path}")
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(f"calibration artifact {path} is not JSON: {exc}")
+        return cls.from_dict(data)
+
+
+def fit_calibration(
+    samples: list[CalibrationSample],
+    *,
+    ridge: float = 1e-9,
+    weighting: str = "relative",
+    backend: str = "auto",
+    trials: int = 0,
+    warmup: int = 0,
+) -> CalibrationProfile:
+    """Fit group prices to measured wall clock over a corpus.
+
+    ``weighting="relative"`` (the default) scales every equation by
+    1/measured, minimizing *relative* rather than absolute error —
+    otherwise the corpus's longest programs dominate the fit and the
+    intercept absorbs overhead the short programs never pay.
+    ``weighting="none"`` is plain least squares.
+    """
+    if weighting not in ("relative", "none"):
+        raise CalibrationError(
+            f"unknown weighting {weighting!r}; expected 'relative' or 'none'"
+        )
+    names = [INTERCEPT] + list(FEATURE_GROUPS)
+    if len(samples) < len(names):
+        raise CalibrationError(
+            f"calibration needs at least {len(names)} corpus programs "
+            f"for {len(names)} prices; got {len(samples)}"
+        )
+    with span("validate.fit", attrs={"samples": len(samples)}):
+        design, y = [], []
+        for sample in samples:
+            weight = (
+                1.0 / abs(sample.measured_mean_ns)
+                if weighting == "relative" and sample.measured_mean_ns
+                else 1.0
+            )
+            design.append(
+                [weight * sample.features.get(name, 0.0) for name in names]
+            )
+            y.append(weight * sample.measured_mean_ns)
+        coeffs = _least_squares(design, y, names, ridge)
+
+        profile = CalibrationProfile(
+            coefficients_ns={g: coeffs[g] for g in FEATURE_GROUPS},
+            intercept_ns=coeffs[INTERCEPT],
+            backend=backend,
+            trials=trials,
+            warmup=warmup,
+        )
+        measured = [sample.measured_mean_ns for sample in samples]
+        mean_y = sum(measured) / len(measured)
+        ss_tot = sum((v - mean_y) ** 2 for v in measured)
+        ss_res = 0.0
+        for sample in samples:
+            predicted = profile.predict(sample.features)
+            ss_res += (predicted - sample.measured_mean_ns) ** 2
+            error = (
+                abs(predicted - sample.measured_mean_ns)
+                / abs(sample.measured_mean_ns)
+                if sample.measured_mean_ns
+                else 0.0
+            )
+            profile.residuals.append(
+                {
+                    "label": sample.label,
+                    "measured_ns": sample.measured_mean_ns,
+                    "predicted_ns": predicted,
+                    "relative_error": error,
+                }
+            )
+        profile.r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return profile

@@ -1,0 +1,139 @@
+"""The calibration corpus and the end-to-end calibration driver.
+
+A least-squares fit of 9 prices needs a corpus whose operation mixes
+span the feature space: the builtins contribute real kernels
+(Livermore loops, CFD, sorting, root finding, GOTO-heavy control
+flow) and the seeded :class:`ProgramGenerator` fills in as many more
+shapes as requested.  :func:`run_calibration` measures every corpus
+program with the harness, extracts feature counts from the matching
+instrumented profiles, and fits a :class:`CalibrationProfile`.
+"""
+
+from __future__ import annotations
+
+from repro.obs import span
+from repro.validate.calibrate import (
+    CalibrationProfile,
+    CalibrationSample,
+    feature_counts,
+    fit_calibration,
+)
+from repro.validate.measure import ProgramMeasurement, measure_program
+
+#: INPUT() vectors for builtins that read inputs; everything else
+#: runs with an empty input vector.
+DEFAULT_INPUTS: dict[str, tuple[float, ...]] = {
+    "newton": (9.0,),
+    "irreducible": (7.0,),
+}
+
+
+def corpus_sources(
+    *,
+    builtins: bool = True,
+    generated: int = 6,
+    gen_seed: int = 1000,
+    only: tuple[str, ...] | None = None,
+) -> list[tuple[str, str]]:
+    """``(label, source)`` pairs for the calibration corpus.
+
+    ``only`` restricts the builtins to named ones (the CI smoke job
+    calibrates on 3); generated programs are appended after the
+    builtins with labels ``gen-<seed>``.
+    """
+    from repro.workloads import builtin_sources
+    from repro.workloads.generators import ProgramGenerator
+
+    pairs: list[tuple[str, str]] = []
+    if builtins:
+        for label, source in builtin_sources():
+            if only is not None and label not in only:
+                continue
+            pairs.append((label, source))
+    for i in range(generated):
+        seed = gen_seed + i
+        pairs.append((f"gen-{seed}", ProgramGenerator(seed).source()))
+    return pairs
+
+
+def measure_corpus(
+    sources: list[tuple[str, str]],
+    *,
+    trials: int = 5,
+    warmup: int = 2,
+    backend: str = "auto",
+    seed: int = 0,
+    max_steps: int = 10_000_000,
+    loop_moments: bool = True,
+    progress=None,
+) -> list[tuple[str, object, ProgramMeasurement]]:
+    """Compile and measure every corpus program.
+
+    Returns ``(label, CompiledProgram, ProgramMeasurement)`` triples;
+    ``progress(label, measurement)`` is called after each program so
+    the CLI can narrate long corpus runs.
+    """
+    from repro.pipeline import compile_source
+
+    results = []
+    with span("validate.corpus", attrs={"programs": len(sources)}):
+        for label, source in sources:
+            program = compile_source(source)
+            measured = measure_program(
+                program,
+                trials=trials,
+                warmup=warmup,
+                backend=backend,
+                seed=seed,
+                inputs=DEFAULT_INPUTS.get(label, ()),
+                max_steps=max_steps,
+                label=label,
+                loop_moments=loop_moments,
+            )
+            if progress is not None:
+                progress(label, measured)
+            results.append((label, program, measured))
+    return results
+
+
+def run_calibration(
+    sources: list[tuple[str, str]] | None = None,
+    *,
+    trials: int = 5,
+    warmup: int = 2,
+    backend: str = "auto",
+    seed: int = 0,
+    max_steps: int = 10_000_000,
+    ridge: float = 1e-9,
+    progress=None,
+) -> tuple[CalibrationProfile, list[tuple[str, object, ProgramMeasurement]]]:
+    """Measure a corpus and fit the cost model against it.
+
+    Returns the fitted profile plus the raw per-program measurements
+    (so callers can score accuracy without re-measuring).
+    """
+    if sources is None:
+        sources = corpus_sources()
+    measured = measure_corpus(
+        sources,
+        trials=trials,
+        warmup=warmup,
+        backend=backend,
+        seed=seed,
+        max_steps=max_steps,
+        progress=progress,
+    )
+    samples = [
+        CalibrationSample(
+            label=label,
+            features=feature_counts(program, item.profile),
+            measured_mean_ns=item.measurement.mean_ns,
+            measured_var_ns2=item.measurement.var_ns2,
+            trials=item.measurement.trials,
+        )
+        for label, program, item in measured
+    ]
+    profile = fit_calibration(
+        samples, ridge=ridge, backend=backend, trials=trials, warmup=warmup
+    )
+    return profile, measured

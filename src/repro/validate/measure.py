@@ -1,0 +1,315 @@
+"""The wall-clock measurement harness.
+
+The paper *predicts* TIME and VAR; this module *measures* them.  A
+measurement runs a subject N times — warmup runs first (they pay
+one-time costs: backend lowering, OS caches) and are discarded, then
+``trials`` timed runs under ``time.perf_counter_ns`` — and fits the
+empirical mean and variance with confidence intervals
+(:mod:`repro.validate.stats`).
+
+Three kinds of subject:
+
+* :func:`measure_program` — a compiled minifort program on any
+  execution backend, one seed per trial.  Alongside the *plain* timed
+  runs it takes one instrumented profiling pass over the same run
+  specs (smart counter plan, loop second moments recorded), so the
+  measured trip-count distributions can feed the Section-5 VAR(FREQ)
+  machinery and the calibration fit knows exactly which operations
+  the timed runs executed;
+* :func:`measure_command` — an arbitrary external command,
+  subprocess-style (the shape of the SNIPPETS exemplars: time a real
+  executable over repeated runs, report mean/std);
+* :func:`measure_callable` — any nullary/indexed callable, the
+  primitive the other two are built on.
+
+``sample_inputs`` draws INPUT() vectors from the Section-5 trip-count
+distributions (Poisson / geometric / uniform), so a measurement can
+exercise the same input randomness the VAR(FREQ) models assume.
+"""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.distributions import LoopDistribution
+from repro.errors import ReproError
+from repro.obs import span
+from repro.validate import stats
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be taken (bad config, failing command)."""
+
+
+@dataclass
+class Measurement:
+    """Empirical wall-clock distribution of one measured subject.
+
+    ``samples_ns`` holds one wall-clock duration (nanoseconds) per
+    timed trial, in trial order; warmup runs are not included.
+    """
+
+    label: str
+    samples_ns: list[float] = field(default_factory=list)
+    warmup: int = 0
+
+    @property
+    def trials(self) -> int:
+        return len(self.samples_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return stats.sample_mean(self.samples_ns)
+
+    @property
+    def var_ns2(self) -> float:
+        """Unbiased sample variance, in ns²."""
+        return stats.sample_variance(self.samples_ns)
+
+    @property
+    def std_ns(self) -> float:
+        return math.sqrt(self.var_ns2)
+
+    def mean_ci(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Student-t confidence interval for the true mean (ns)."""
+        return stats.mean_interval(self.samples_ns, confidence)
+
+    def var_ci(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Chi-square confidence interval for the true variance (ns²)."""
+        return stats.variance_interval(self.samples_ns, confidence)
+
+    def as_dict(self) -> dict:
+        out: dict = {
+            "label": self.label,
+            "trials": self.trials,
+            "warmup": self.warmup,
+            "mean_ns": self.mean_ns,
+            "var_ns2": self.var_ns2,
+            "std_ns": self.std_ns,
+            "samples_ns": list(self.samples_ns),
+        }
+        if self.trials >= 2:
+            out["mean_ci95_ns"] = list(self.mean_ci())
+            out["var_ci95_ns2"] = list(self.var_ci())
+        return out
+
+
+def measure_callable(
+    fn: Callable[[int], object],
+    *,
+    trials: int,
+    warmup: int = 0,
+    label: str = "callable",
+    clock: Callable[[], int] = time.perf_counter_ns,
+) -> Measurement:
+    """Time ``fn(trial_index)`` over warmup + timed trials.
+
+    Warmup calls receive negative indices (−warmup … −1) so subjects
+    that vary behavior by trial can tell the phases apart.
+    """
+    if trials < 1:
+        raise MeasurementError("a measurement needs at least 1 trial")
+    if warmup < 0:
+        raise MeasurementError("warmup cannot be negative")
+    measurement = Measurement(label=label, warmup=warmup)
+    with span("validate.measure", attrs={"label": label, "trials": trials}):
+        for i in range(-warmup, trials):
+            started = clock()
+            fn(i)
+            elapsed = clock() - started
+            if i >= 0:
+                measurement.samples_ns.append(float(elapsed))
+    return measurement
+
+
+# -- INPUT() sampling from the Section-5 distributions -------------------
+
+#: Accepted ``--input-dist`` spellings.
+INPUT_DISTRIBUTIONS = ("constant", "poisson", "geometric", "uniform")
+
+
+def sample_inputs(
+    distribution: str | LoopDistribution,
+    mean: float,
+    count: int,
+    rng,
+) -> tuple[float, ...]:
+    """Draw an INPUT() vector from a Section-5 trip-count distribution.
+
+    Each of the ``count`` entries is an independent draw with the given
+    mean: Poisson(mean), the geometric iterate-again law with mean
+    iterations ``mean`` (Section 5's ``VAR = m(m-1)`` model), or
+    uniform over ``{0, …, 2·mean}``.  ``constant`` rounds the mean.
+    """
+    if isinstance(distribution, LoopDistribution):
+        distribution = distribution.value
+    if distribution not in INPUT_DISTRIBUTIONS:
+        raise MeasurementError(
+            f"unknown input distribution {distribution!r}; "
+            f"expected one of {list(INPUT_DISTRIBUTIONS)}"
+        )
+    if mean < 0:
+        raise MeasurementError("input mean must be >= 0")
+
+    def draw() -> float:
+        if distribution == "constant":
+            return float(round(mean))
+        if distribution == "poisson":
+            # Knuth's product-of-uniforms method.
+            limit = math.exp(-mean)
+            k, product = 0, rng.random()
+            while product > limit:
+                k += 1
+                product *= rng.random()
+            return float(k)
+        if distribution == "geometric":
+            # Iterations of an iterate-again loop with mean ``mean``:
+            # continue with probability p = 1 - 1/m (Section 5).
+            if mean <= 1.0:
+                return 1.0
+            p = 1.0 - 1.0 / mean
+            k = 1
+            while rng.random() < p:
+                k += 1
+            return float(k)
+        return float(rng.randint(0, int(round(2 * mean))))
+
+    return tuple(draw() for _ in range(count))
+
+
+# -- measuring compiled programs ----------------------------------------
+
+
+@dataclass
+class ProgramMeasurement:
+    """A program's timed runs plus the matching instrumented profile.
+
+    ``measurement`` times *uninstrumented* executions; ``profile`` is
+    accumulated over the **same run specs** by a separate instrumented
+    pass, so Definition-3 frequencies (and, with ``loop_moments``, the
+    E[FREQ²] second moments behind profiled VAR(FREQ)) describe
+    exactly the operation mix of the timed runs.
+    """
+
+    label: str
+    measurement: Measurement
+    run_specs: list[dict]
+    backend: str
+    profile: object | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "backend": self.backend,
+            "runs": len(self.run_specs),
+            "measurement": self.measurement.as_dict(),
+        }
+
+
+def measure_program(
+    program,
+    *,
+    trials: int,
+    warmup: int = 2,
+    backend: str = "auto",
+    seed: int = 0,
+    inputs: tuple[float, ...] = (),
+    input_sampler: Callable[[int], tuple[float, ...]] | None = None,
+    max_steps: int = 10_000_000,
+    label: str = "program",
+    with_profile: bool = True,
+    loop_moments: bool = True,
+    clock: Callable[[], int] = time.perf_counter_ns,
+) -> ProgramMeasurement:
+    """Measure a :class:`~repro.pipeline.CompiledProgram`'s wall clock.
+
+    Trial ``i`` runs with seed ``seed + i`` and inputs from
+    ``input_sampler(seed + i)`` when a sampler is given (see
+    :func:`sample_inputs`), otherwise the fixed ``inputs`` vector —
+    so programs that branch on RAND() or INPUT() are measured over the
+    same run distribution the paper's TIME/VAR averages describe.
+    """
+    from repro.pipeline import profile_program, run_program
+
+    specs = []
+    for i in range(trials):
+        spec: dict = {"seed": seed + i}
+        spec["inputs"] = (
+            input_sampler(seed + i) if input_sampler is not None else inputs
+        )
+        specs.append(spec)
+
+    def run_once(index: int) -> None:
+        # Warmup runs re-use the first trial's spec: they exist to pay
+        # lowering/caching costs, not to widen the run distribution.
+        spec = specs[max(index, 0)]
+        run_program(
+            program,
+            seed=spec["seed"],
+            inputs=tuple(spec["inputs"]),
+            backend=backend,
+            max_steps=max_steps,
+        )
+
+    measurement = measure_callable(
+        run_once, trials=trials, warmup=warmup, label=label, clock=clock
+    )
+    profile = None
+    if with_profile:
+        with span("validate.profile", attrs={"label": label}):
+            profile, _stats = profile_program(
+                program,
+                runs=[dict(spec) for spec in specs],
+                record_loop_moments=loop_moments,
+                max_steps=max_steps,
+                backend=backend if not loop_moments else "auto",
+            )
+    return ProgramMeasurement(
+        label=label,
+        measurement=measurement,
+        run_specs=specs,
+        backend=backend,
+        profile=profile,
+    )
+
+
+def measure_command(
+    argv: Sequence[str],
+    *,
+    trials: int,
+    warmup: int = 1,
+    label: str | None = None,
+    clock: Callable[[], int] = time.perf_counter_ns,
+) -> Measurement:
+    """Measure an arbitrary external command, subprocess-style.
+
+    Each trial is one ``subprocess.run`` of ``argv`` with stdout and
+    stderr swallowed; a non-zero exit status fails the measurement
+    (a crashing subject would otherwise report nonsense timings).
+    """
+    argv = list(argv)
+    if not argv:
+        raise MeasurementError("measure_command needs a non-empty argv")
+
+    def run_once(_index: int) -> None:
+        result = subprocess.run(
+            argv,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        if result.returncode != 0:
+            raise MeasurementError(
+                f"command {argv!r} exited with {result.returncode}"
+            )
+
+    return measure_callable(
+        run_once,
+        trials=trials,
+        warmup=warmup,
+        label=label or " ".join(argv),
+        clock=clock,
+    )

@@ -1,0 +1,210 @@
+"""Continuous accuracy scoring of TIME/VAR predictions.
+
+The :class:`AccuracyScorer` closes the paper's loop: for each program
+it takes the calibrated predictions (TIME in ns, VAR in ns²) and the
+measured wall-clock distribution, and computes
+
+* **relative error** of predicted TIME vs the measured mean, and of
+  predicted VAR vs the measured sample variance;
+* the **z-score** of the TIME prediction — how many standard errors
+  it sits from the measured mean;
+* **CI coverage** — whether TIME lands in the Student-t interval for
+  the mean and VAR in the chi-square interval for the variance.
+
+Every score is exported through the process metrics registry as
+``repro_validation_*`` series (per-program gauges plus one pooled
+relative-error histogram) and recorded under ``validate.score``
+spans, so a dashboard scraping ``/metrics`` watches prediction
+accuracy drift in real time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs import metrics, span
+from repro.validate import stats
+from repro.validate.calibrate import CalibrationProfile
+from repro.validate.measure import ProgramMeasurement
+
+#: Relative-error histogram buckets: 1% to "off by 4x".
+ERROR_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.15, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass
+class AccuracyScore:
+    """How one program's predictions compare to its measurement."""
+
+    label: str
+    trials: int
+    measured_mean_ns: float
+    measured_var_ns2: float
+    predicted_time_ns: float
+    predicted_var_ns2: float
+    time_relative_error: float
+    var_relative_error: float
+    time_z_score: float
+    time_in_ci: bool
+    var_in_ci: bool
+    mean_ci_ns: tuple[float, float]
+    var_ci_ns2: tuple[float, float]
+    confidence: float = 0.95
+
+    def as_dict(self) -> dict:
+        def _json_safe(value: float) -> float | None:
+            return None if math.isinf(value) or math.isnan(value) else value
+
+        return {
+            "label": self.label,
+            "trials": self.trials,
+            "confidence": self.confidence,
+            "measured_mean_ns": self.measured_mean_ns,
+            "measured_var_ns2": self.measured_var_ns2,
+            "predicted_time_ns": self.predicted_time_ns,
+            "predicted_var_ns2": self.predicted_var_ns2,
+            "time_relative_error": _json_safe(self.time_relative_error),
+            "var_relative_error": _json_safe(self.var_relative_error),
+            "time_z_score": _json_safe(self.time_z_score),
+            "time_in_ci": self.time_in_ci,
+            "var_in_ci": self.var_in_ci,
+            "mean_ci_ns": list(self.mean_ci_ns),
+            "var_ci_ns2": list(self.var_ci_ns2),
+        }
+
+
+class AccuracyScorer:
+    """Scores calibrated predictions and exports the results.
+
+    Bind a scorer to a :class:`CalibrationProfile`; each
+    :meth:`score` computes one program's accuracy and publishes it to
+    the current metrics registry.
+    """
+
+    def __init__(
+        self,
+        calibration: CalibrationProfile,
+        *,
+        confidence: float = 0.95,
+        loop_variance="profiled",
+    ):
+        self.calibration = calibration
+        self.confidence = confidence
+        self.loop_variance = loop_variance
+
+    # -- metric handles (get-or-create against the current registry) ----
+
+    @staticmethod
+    def _gauges():
+        return {
+            "time_rel": metrics.gauge(
+                "repro_validation_time_relative_error",
+                "Relative error of calibrated TIME vs measured mean.",
+                labels=("program",),
+            ),
+            "var_rel": metrics.gauge(
+                "repro_validation_var_relative_error",
+                "Relative error of calibrated VAR vs sample variance.",
+                labels=("program",),
+            ),
+            "time_z": metrics.gauge(
+                "repro_validation_time_z_score",
+                "Standard errors between calibrated TIME and measured mean.",
+                labels=("program",),
+            ),
+            "time_in_ci": metrics.gauge(
+                "repro_validation_time_in_ci",
+                "1 when calibrated TIME lies in the measured mean CI.",
+                labels=("program",),
+            ),
+            "var_in_ci": metrics.gauge(
+                "repro_validation_var_in_ci",
+                "1 when calibrated VAR lies in the measured variance CI.",
+                labels=("program",),
+            ),
+        }
+
+    def score(
+        self, label: str, program, measured: ProgramMeasurement
+    ) -> AccuracyScore:
+        """Score one measured program against its calibrated prediction."""
+        if measured.profile is None:
+            raise ValueError(
+                f"measurement {label!r} has no instrumented profile; "
+                "measure with with_profile=True"
+            )
+        samples = measured.measurement.samples_ns
+        if len(samples) < 2:
+            raise ValueError(f"scoring {label!r} needs at least 2 trials")
+        with span("validate.score", attrs={"program": label}):
+            predicted_time = self.calibration.predicted_time_ns(
+                program, measured.profile
+            )
+            predicted_var = self.calibration.predicted_var_ns2(
+                program, measured.profile, loop_variance=self.loop_variance
+            )
+            mean_ci = stats.mean_interval(samples, self.confidence)
+            var_ci = stats.variance_interval(samples, self.confidence)
+            score = AccuracyScore(
+                label=label,
+                trials=len(samples),
+                measured_mean_ns=stats.sample_mean(samples),
+                measured_var_ns2=stats.sample_variance(samples),
+                predicted_time_ns=predicted_time,
+                predicted_var_ns2=predicted_var,
+                time_relative_error=stats.relative_error(
+                    predicted_time, stats.sample_mean(samples)
+                ),
+                var_relative_error=stats.relative_error(
+                    predicted_var, stats.sample_variance(samples)
+                ),
+                time_z_score=stats.z_score(predicted_time, samples),
+                time_in_ci=stats.covers(mean_ci, predicted_time),
+                var_in_ci=stats.covers(var_ci, predicted_var),
+                mean_ci_ns=mean_ci,
+                var_ci_ns2=var_ci,
+                confidence=self.confidence,
+            )
+            self._publish(score)
+        return score
+
+    def score_corpus(
+        self, measured: list[tuple[str, object, ProgramMeasurement]]
+    ) -> list[AccuracyScore]:
+        """Score every ``(label, program, measurement)`` triple."""
+        return [
+            self.score(label, program, item) for label, program, item in measured
+        ]
+
+    def _publish(self, score: AccuracyScore) -> None:
+        gauges = self._gauges()
+        label = score.label
+        if math.isfinite(score.time_relative_error):
+            gauges["time_rel"].set(score.time_relative_error, program=label)
+            metrics.histogram(
+                "repro_validation_relative_error",
+                "Pooled TIME relative error across scored programs.",
+                buckets=ERROR_BUCKETS,
+            ).observe(score.time_relative_error)
+        if math.isfinite(score.var_relative_error):
+            gauges["var_rel"].set(score.var_relative_error, program=label)
+        if math.isfinite(score.time_z_score):
+            gauges["time_z"].set(score.time_z_score, program=label)
+        gauges["time_in_ci"].set(1.0 if score.time_in_ci else 0.0, program=label)
+        gauges["var_in_ci"].set(1.0 if score.var_in_ci else 0.0, program=label)
+        metrics.counter(
+            "repro_validation_scores_total",
+            "Accuracy scores computed since process start.",
+        ).inc()
+
+
+def median_relative_error(scores: list[AccuracyScore]) -> float:
+    """Median TIME relative error — the headline accuracy number."""
+    if not scores:
+        raise ValueError("no scores to summarize")
+    errors = sorted(score.time_relative_error for score in scores)
+    n = len(errors)
+    middle = n // 2
+    if n % 2:
+        return errors[middle]
+    return 0.5 * (errors[middle - 1] + errors[middle])

@@ -1,0 +1,275 @@
+"""Small-sample statistics for the validation observatory.
+
+The measurement harness times a program N times and needs interval
+estimates, not just point estimates:
+
+* the **mean** gets a Student-t confidence interval
+  ``x̄ ± t_{1-α/2, n-1} · s/√n``;
+* the **variance** gets the chi-square interval
+  ``[(n-1)s²/χ²_{1-α/2, n-1}, (n-1)s²/χ²_{α/2, n-1}]``.
+
+Both quantile functions are computed from first principles (regularized
+incomplete beta/gamma via Lentz continued fractions, inverted by
+bisection) because the toolchain is stdlib-only — no scipy.  Accuracy
+is pinned against published table values in
+``tests/validate/test_stats.py``.
+
+The scoring side lives here too: relative error, z-scores and
+CI-coverage predicates used by :class:`repro.validate.scorer`.
+"""
+
+from __future__ import annotations
+
+import math
+
+_EPS = 3e-14
+_FPMIN = 1e-300
+_MAX_ITER = 500
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's method)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return h
+    return h  # pragma: no cover - converges long before _MAX_ITER
+
+
+def incomplete_beta(a: float, b: float, x: float) -> float:
+    """The regularized incomplete beta function I_x(a, b)."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    if x == 0.0 or x == 1.0:
+        return x
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _gamma_p(a: float, x: float) -> float:
+    """The regularized lower incomplete gamma P(a, x)."""
+    if x < 0.0 or a <= 0.0:
+        raise ValueError(f"need x >= 0 and a > 0, got x={x}, a={a}")
+    if x == 0.0:
+        return 0.0
+    if x < a + 1.0:
+        # Series representation.
+        term = 1.0 / a
+        total = term
+        ap = a
+        for _ in range(_MAX_ITER):
+            ap += 1.0
+            term *= x / ap
+            total += term
+            if abs(term) < abs(total) * _EPS:
+                break
+        return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+    # Continued fraction for Q(a, x) = 1 - P(a, x).
+    b = x + 1.0 - a
+    c = 1.0 / _FPMIN
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITER + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = b + an / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    q = math.exp(-x + a * math.log(x) - math.lgamma(a)) * h
+    return 1.0 - q
+
+
+# -- CDFs ---------------------------------------------------------------
+
+
+def t_cdf(t: float, df: float) -> float:
+    """CDF of Student's t distribution with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be > 0, got {df}")
+    x = df / (df + t * t)
+    tail = 0.5 * incomplete_beta(df / 2.0, 0.5, x)
+    return 1.0 - tail if t >= 0 else tail
+
+
+def chi2_cdf(x: float, df: float) -> float:
+    """CDF of the chi-square distribution with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be > 0, got {df}")
+    if x <= 0.0:
+        return 0.0
+    return _gamma_p(df / 2.0, x / 2.0)
+
+
+def _invert(cdf, p: float, lo: float, hi: float) -> float:
+    """Bisection inverse of a monotone CDF on a bracketing interval."""
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def t_quantile(p: float, df: float) -> float:
+    """The p-quantile of Student's t with ``df`` degrees of freedom."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if p == 0.5:
+        return 0.0
+    if p < 0.5:
+        return -t_quantile(1.0 - p, df)
+    hi = 2.0
+    while t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - defensive
+            break
+    return _invert(lambda t: t_cdf(t, df), p, 0.0, hi)
+
+
+def chi2_quantile(p: float, df: float) -> float:
+    """The p-quantile of chi-square with ``df`` degrees of freedom."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    hi = max(4.0 * df, 16.0)
+    while chi2_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e15:  # pragma: no cover - defensive
+            break
+    return _invert(lambda x: chi2_cdf(x, df), p, 0.0, hi)
+
+
+# -- sample moments and intervals ---------------------------------------
+
+
+def sample_mean(samples: list[float]) -> float:
+    if not samples:
+        raise ValueError("need at least one sample")
+    return math.fsum(samples) / len(samples)
+
+
+def sample_variance(samples: list[float]) -> float:
+    """Unbiased (n-1) sample variance; 0.0 for a single sample."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if n == 1:
+        return 0.0
+    mean = sample_mean(samples)
+    return math.fsum((x - mean) ** 2 for x in samples) / (n - 1)
+
+
+def mean_interval(
+    samples: list[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Student-t confidence interval for the population mean."""
+    n = len(samples)
+    if n < 2:
+        raise ValueError("a mean interval needs at least 2 samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = sample_mean(samples)
+    std_err = math.sqrt(sample_variance(samples) / n)
+    t = t_quantile(0.5 + confidence / 2.0, n - 1)
+    return mean - t * std_err, mean + t * std_err
+
+
+def variance_interval(
+    samples: list[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Chi-square confidence interval for the population variance."""
+    n = len(samples)
+    if n < 2:
+        raise ValueError("a variance interval needs at least 2 samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    s2 = sample_variance(samples)
+    alpha = 1.0 - confidence
+    scale = (n - 1) * s2
+    return (
+        scale / chi2_quantile(1.0 - alpha / 2.0, n - 1),
+        scale / chi2_quantile(alpha / 2.0, n - 1),
+    )
+
+
+# -- scoring ------------------------------------------------------------
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """|predicted − measured| / |measured| (inf when measured is 0)."""
+    if measured == 0.0:
+        return 0.0 if predicted == 0.0 else math.inf
+    return abs(predicted - measured) / abs(measured)
+
+
+def z_score(predicted: float, samples: list[float]) -> float:
+    """Standardized distance of a prediction from the sample mean.
+
+    ``(predicted − x̄) / (s/√n)`` — how many standard errors the
+    prediction sits from the measured mean.  Returns 0.0 when the
+    sample shows no variance and the prediction matches the mean
+    exactly; ±inf when it does not.
+    """
+    n = len(samples)
+    if n < 2:
+        raise ValueError("a z-score needs at least 2 samples")
+    mean = sample_mean(samples)
+    std_err = math.sqrt(sample_variance(samples) / n)
+    if std_err == 0.0:
+        if predicted == mean:
+            return 0.0
+        return math.copysign(math.inf, predicted - mean)
+    return (predicted - mean) / std_err
+
+
+def covers(interval: tuple[float, float], value: float) -> bool:
+    """Whether a (lo, hi) confidence interval contains ``value``."""
+    lo, hi = interval
+    return lo <= value <= hi

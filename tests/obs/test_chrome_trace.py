@@ -1,0 +1,136 @@
+"""Chrome trace-event export of collected spans."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    chrome_trace_events,
+    render_chrome_trace,
+    span,
+    write_chrome_trace,
+)
+from repro.obs.trace import SpanRecord
+
+pytestmark = pytest.mark.obs
+
+
+def record(name, trace_id, span_id, start, duration, **kwargs):
+    return SpanRecord(
+        name=name,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=kwargs.get("parent_id", ""),
+        start=start,
+        end=start + duration,
+        attrs=kwargs.get("attrs", {}),
+        error=kwargs.get("error"),
+    )
+
+
+class TestEventMapping:
+    def test_empty_input(self):
+        assert chrome_trace_events([]) == []
+
+    def test_complete_events_with_rebased_microseconds(self):
+        events = chrome_trace_events(
+            [
+                record("compile.parse", "t1", "b", 10.0005, 0.0002),
+                record("compile", "t1", "a", 10.0, 0.001),
+            ]
+        )
+        # Sorted by start, timestamps rebased to the earliest span.
+        assert [e["name"] for e in events] == ["compile", "compile.parse"]
+        assert events[0]["ph"] == "X"
+        assert events[0]["ts"] == pytest.approx(0.0)
+        assert events[0]["dur"] == pytest.approx(1000.0)  # 1 ms in µs
+        assert events[1]["ts"] == pytest.approx(500.0)
+        assert events[1]["dur"] == pytest.approx(200.0)
+
+    def test_category_is_the_name_prefix(self):
+        (event,) = chrome_trace_events(
+            [record("validate.measure", "t1", "a", 0.0, 0.1)]
+        )
+        assert event["cat"] == "validate"
+
+    def test_each_trace_gets_its_own_lane(self):
+        events = chrome_trace_events(
+            [
+                record("a", "trace-1", "s1", 0.0, 0.1),
+                record("b", "trace-2", "s2", 0.05, 0.1),
+                record("c", "trace-1", "s3", 0.2, 0.1),
+            ]
+        )
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["a"] == tids["c"]
+        assert tids["a"] != tids["b"]
+
+    def test_args_carry_ids_attrs_and_errors(self):
+        (event,) = chrome_trace_events(
+            [
+                record(
+                    "profile.run",
+                    "t1",
+                    "child",
+                    0.0,
+                    0.1,
+                    parent_id="root",
+                    attrs={"runs": 3},
+                    error="BOOM",
+                )
+            ]
+        )
+        assert event["args"]["trace_id"] == "t1"
+        assert event["args"]["span_id"] == "child"
+        assert event["args"]["parent_id"] == "root"
+        assert event["args"]["runs"] == 3
+        assert event["args"]["error"] == "BOOM"
+
+
+class TestRenderAndWrite:
+    def test_render_is_loadable_json(self):
+        text = render_chrome_trace(
+            [record("a", "t", "s", 0.0, 0.5)]
+        )
+        doc = json.loads(text)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 1
+
+    def test_write_returns_event_count(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(
+            [
+                record("a", "t", "s1", 0.0, 0.5),
+                record("b", "t", "s2", 0.5, 0.5),
+            ],
+            path,
+        )
+        assert n == 2
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+    def test_real_spans_roundtrip(self, ring, tmp_path):
+        with span("outer", attrs={"k": "v"}):
+            with span("outer.inner"):
+                pass
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(ring.drain(), path)
+        assert n == 2
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert names == {"outer", "outer.inner"}
+
+
+class TestCli:
+    def test_trace_chrome_trace_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "paper", "--chrome-trace", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"], "expected at least one event"
+        assert any(
+            e["name"] == "trace" for e in doc["traceEvents"]
+        )

@@ -1,0 +1,42 @@
+"""Registry-level default histogram buckets and the sub-ms preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, SUBMILLI_BUCKETS
+
+pytestmark = pytest.mark.obs
+
+
+class TestRegistryDefaults:
+    def test_registry_default_is_the_module_default(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_custom_default_buckets_apply_when_unspecified(self):
+        reg = MetricsRegistry(default_buckets=SUBMILLI_BUCKETS)
+        h = reg.histogram("latency")
+        assert h.buckets == tuple(sorted(SUBMILLI_BUCKETS))
+
+    def test_explicit_buckets_beat_the_registry_default(self):
+        reg = MetricsRegistry(default_buckets=SUBMILLI_BUCKETS)
+        h = reg.histogram("latency", buckets=(1.0, 2.0))
+        assert h.buckets == (1.0, 2.0)
+
+    def test_submilli_preset_shape(self):
+        assert SUBMILLI_BUCKETS == tuple(sorted(SUBMILLI_BUCKETS))
+        assert SUBMILLI_BUCKETS[0] == pytest.approx(1e-6)
+        assert SUBMILLI_BUCKETS[-1] <= 0.025
+        # The preset resolves microsecond-scale spans the default
+        # request buckets lump into their first bucket.
+        assert sum(1 for b in SUBMILLI_BUCKETS if b < 0.001) >= 8
+
+    def test_observations_land_in_submilli_buckets(self):
+        reg = MetricsRegistry(default_buckets=SUBMILLI_BUCKETS)
+        h = reg.histogram("span_seconds")
+        h.observe(0.00003)  # 30 µs
+        h.observe(0.002)  # 2 ms (overflow bucket of the sub-ms preset)
+        assert h.count() == 2
+        assert h.sum() == pytest.approx(0.00203)

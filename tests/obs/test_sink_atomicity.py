@@ -1,0 +1,107 @@
+"""JSONL span sink atomicity on abnormal exit.
+
+The sink is line-buffered and registers an atexit close, so a process
+dying mid-batch — unhandled exception or SIGTERM — must leave a file
+of complete JSON records only, never one truncated partway through.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import JsonlSink, configure_tracing, disable_tracing, span
+
+pytestmark = pytest.mark.obs
+
+#: A child process that emits spans and then dies the requested way.
+CRASH_SCRIPT = """
+import os, signal, sys
+from repro.obs import JsonlSink, configure_tracing, span
+
+path, mode = sys.argv[1], sys.argv[2]
+sink = JsonlSink(path)
+configure_tracing(sink)
+for i in range(200):
+    with span("crashy.work", attrs={"i": i, "pad": "x" * 256}):
+        pass
+    if i == 150:
+        if mode == "sigterm":
+            os.kill(os.getpid(), signal.SIGTERM)
+        elif mode == "exception":
+            raise RuntimeError("mid-batch failure")
+"""
+
+
+def assert_all_lines_complete(path: Path, at_least: int) -> list[dict]:
+    text = path.read_text()
+    assert text.endswith("\n"), "file must end at a record boundary"
+    records = [json.loads(line) for line in text.splitlines()]
+    assert len(records) >= at_least
+    assert all(r["name"] == "crashy.work" for r in records)
+    return records
+
+
+def run_crasher(path: Path, mode: str) -> subprocess.CompletedProcess:
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", CRASH_SCRIPT, str(path), mode],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=env,
+    )
+
+
+class TestAbnormalExit:
+    def test_sigterm_mid_batch_leaves_complete_records(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        result = run_crasher(path, "sigterm")
+        assert result.returncode != 0  # killed
+        assert_all_lines_complete(path, at_least=150)
+
+    def test_unhandled_exception_leaves_complete_records(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        result = run_crasher(path, "exception")
+        assert result.returncode == 1
+        assert "mid-batch failure" in result.stderr
+        records = assert_all_lines_complete(path, at_least=151)
+        # Every span emitted before the crash made it to disk.
+        assert [r["attrs"]["i"] for r in records] == list(range(len(records)))
+
+    def test_clean_run_flushes_everything(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        result = run_crasher(path, "none")
+        assert result.returncode == 0
+        assert_all_lines_complete(path, at_least=200)
+
+
+class TestInProcessSemantics:
+    def test_write_after_close_is_a_noop(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path)
+        configure_tracing(sink)
+        try:
+            with span("one"):
+                pass
+            sink.close()
+            with span("two"):
+                pass  # dropped, not an error
+        finally:
+            disable_tracing()
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["one"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "spans.jsonl")
+        sink.close()
+        sink.close()

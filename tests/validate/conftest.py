@@ -1,0 +1,31 @@
+"""Fixtures for the validation-observatory tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an empty metrics registry for the duration of a test."""
+    registry = MetricsRegistry()
+    old = set_registry(registry)
+    yield registry
+    set_registry(old)
+
+
+@pytest.fixture
+def fake_clock():
+    """A deterministic perf_counter_ns stand-in: +1000 ns per call."""
+
+    class Clock:
+        def __init__(self):
+            self.now = 0
+
+        def __call__(self) -> int:
+            self.now += 1000
+            return self.now
+
+    return Clock()

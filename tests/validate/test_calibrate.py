@@ -1,0 +1,187 @@
+"""Calibration: one-hot feature extraction and the least-squares fit."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import compile_source
+from repro.validate import (
+    CALIBRATION_VERSION,
+    CalibrationError,
+    CalibrationProfile,
+    CalibrationSample,
+    FEATURE_GROUPS,
+    feature_counts,
+    fit_calibration,
+    one_hot_model,
+)
+from repro.validate.calibrate import INTERCEPT
+
+pytestmark = pytest.mark.validate
+
+TINY = """\
+      PROGRAM TINY
+      X = 1.0 + 2.0
+      PRINT *, X
+      END
+"""
+
+
+def synthetic_samples(true_prices, intercept, n=14, seed=7):
+    """Noise-free samples whose measured time is exactly linear."""
+    rng = random.Random(seed)
+    samples = []
+    for i in range(n):
+        features = {INTERCEPT: 1.0}
+        for group in FEATURE_GROUPS:
+            features[group] = float(rng.randint(0, 500))
+        measured = intercept + sum(
+            true_prices[g] * features[g] for g in FEATURE_GROUPS
+        )
+        samples.append(
+            CalibrationSample(
+                label=f"s{i}", features=features, measured_mean_ns=measured
+            )
+        )
+    return samples
+
+
+class TestOneHotFeatures:
+    def test_one_hot_model_prices_only_its_group(self):
+        model = one_hot_model("fp_muldiv")
+        assert model.fp_mul == 1.0 and model.fp_div == 1.0
+        assert model.fp_add == 0.0 and model.load == 0.0
+        assert model.counter_update == 0.0
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(CalibrationError):
+            one_hot_model("vector")
+
+    def test_feature_counts_are_operation_counts(self):
+        from repro import profile_program
+
+        program = compile_source(TINY)
+        profile, _ = profile_program(program, runs=[{"seed": 0}])
+        counts = feature_counts(program, profile)
+        assert counts[INTERCEPT] == 1.0
+        # One PRINT of one item and one fp addition per run.
+        assert counts["print"] == pytest.approx(1.0)
+        assert counts["fp_add"] == pytest.approx(1.0)
+        assert counts["int_muldiv"] == 0.0
+
+
+class TestFit:
+    TRUE = {
+        "mem": 4.0,
+        "int_alu": 1.5,
+        "int_muldiv": 12.0,
+        "fp_add": 3.0,
+        "fp_muldiv": 9.0,
+        "call": 40.0,
+        "intrinsic": 25.0,
+        "print": 300.0,
+    }
+
+    def test_recovers_exact_linear_prices(self):
+        profile = fit_calibration(
+            synthetic_samples(self.TRUE, intercept=5000.0)
+        )
+        assert profile.intercept_ns == pytest.approx(5000.0, rel=1e-6)
+        for group, price in self.TRUE.items():
+            assert profile.coefficients_ns[group] == pytest.approx(
+                price, rel=1e-5
+            ), group
+        assert profile.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert all(
+            r["relative_error"] < 1e-6 for r in profile.residuals
+        )
+
+    def test_prices_never_negative(self):
+        # A group anti-correlated with the measured time would get a
+        # negative (meaningless) price; the active-set clamp drops it.
+        rng = random.Random(3)
+        samples = []
+        for i in range(12):
+            x = float(rng.randint(1, 100))
+            features = {INTERCEPT: 1.0, "mem": x}
+            for group in FEATURE_GROUPS:
+                features.setdefault(group, 0.0)
+            samples.append(
+                CalibrationSample(
+                    label=f"s{i}",
+                    features=features,
+                    measured_mean_ns=10_000.0 - 5.0 * x,
+                )
+            )
+        profile = fit_calibration(samples)
+        assert profile.coefficients_ns["mem"] == 0.0
+        assert all(v >= 0.0 for v in profile.coefficients_ns.values())
+        assert profile.intercept_ns >= 0.0
+
+    def test_needs_enough_samples(self):
+        samples = synthetic_samples(self.TRUE, intercept=0.0)[:5]
+        with pytest.raises(CalibrationError, match="at least"):
+            fit_calibration(samples)
+
+    def test_unknown_weighting_rejected(self):
+        samples = synthetic_samples(self.TRUE, intercept=0.0)
+        with pytest.raises(CalibrationError):
+            fit_calibration(samples, weighting="robust")
+
+
+class TestProfileArtifact:
+    def make(self) -> CalibrationProfile:
+        return fit_calibration(
+            synthetic_samples(TestFit.TRUE, intercept=1234.0)
+        )
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        profile = self.make()
+        path = tmp_path / "cal.json"
+        profile.save(path)
+        loaded = CalibrationProfile.load(path)
+        assert loaded.coefficients_ns == profile.coefficients_ns
+        assert loaded.intercept_ns == profile.intercept_ns
+        assert loaded.r_squared == profile.r_squared
+        assert loaded.version == CALIBRATION_VERSION
+        assert loaded.fingerprint == profile.fingerprint
+
+    def test_newer_version_rejected(self, tmp_path):
+        data = self.make().to_dict()
+        data["version"] = CALIBRATION_VERSION + 1
+        path = tmp_path / "cal.json"
+        import json
+
+        path.write_text(json.dumps(data))
+        with pytest.raises(CalibrationError, match="version"):
+            CalibrationProfile.load(path)
+
+    def test_missing_artifact_and_bad_json(self, tmp_path):
+        with pytest.raises(CalibrationError, match="no calibration"):
+            CalibrationProfile.load(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        with pytest.raises(CalibrationError, match="not JSON"):
+            CalibrationProfile.load(bad)
+
+    def test_machine_model_prices_groups_in_ns(self):
+        profile = self.make()
+        model = profile.machine_model()
+        for group, fields in FEATURE_GROUPS.items():
+            for name in fields:
+                assert getattr(model, name) == pytest.approx(
+                    profile.coefficients_ns[group]
+                )
+        assert model.counter_update == 0.0
+
+    def test_predict_is_linear(self):
+        profile = self.make()
+        features = {INTERCEPT: 1.0, "mem": 10.0, "print": 2.0}
+        expected = (
+            profile.intercept_ns
+            + 10.0 * profile.coefficients_ns["mem"]
+            + 2.0 * profile.coefficients_ns["print"]
+        )
+        assert profile.predict(features) == pytest.approx(expected)

@@ -1,0 +1,79 @@
+"""End-to-end pin: calibrate on real wall clock, score a builtin.
+
+This is the one test that times real executions, so its assertions
+are deliberately tolerant: the pin is that a calibration fitted on a
+fast-builtin corpus predicts a held-in builtin's TIME either inside
+the measured 95% confidence interval or within 25% relative error
+(the PR's corpus-median acceptance gate, applied here to a single
+well-behaved program).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate import AccuracyScorer, median_relative_error
+from repro.validate.corpus import corpus_sources, run_calibration
+
+pytestmark = [pytest.mark.validate, pytest.mark.slow]
+
+#: Fast builtins only (livermore/simple run milliseconds per trial);
+#: 10 programs > 9 prices leaves a residual degree of freedom, so the
+#: fit cannot trivially interpolate.
+FAST_BUILTINS = (
+    "paper",
+    "shellsort",
+    "gauss",
+    "newton",
+    "binsearch",
+    "early_returns",
+    "irreducible",
+    "multi_level_exit",
+    "state_machine",
+    "two_exit_loop",
+)
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    sources = corpus_sources(builtins=True, generated=0, only=FAST_BUILTINS)
+    assert len(sources) == len(FAST_BUILTINS)
+    profile, measured = run_calibration(sources, trials=3, warmup=1, seed=42)
+    return profile, measured
+
+
+class TestEndToEnd:
+    def test_fit_explains_the_corpus(self, calibrated):
+        profile, measured = calibrated
+        assert len(profile.residuals) == len(FAST_BUILTINS)
+        assert profile.r_squared > 0.5
+        assert profile.intercept_ns >= 0.0
+        assert all(v >= 0.0 for v in profile.coefficients_ns.values())
+
+    def test_calibrated_time_lands_near_measured(self, calibrated):
+        profile, measured = calibrated
+        scorer = AccuracyScorer(profile)
+        by_label = {label: (prog, item) for label, prog, item in measured}
+        program, item = by_label["gauss"]
+        score = scorer.score("gauss", program, item)
+        assert score.predicted_time_ns > 0.0
+        assert score.time_in_ci or score.time_relative_error < 0.25, (
+            f"calibrated TIME {score.predicted_time_ns:.0f} ns is outside "
+            f"the measured CI {score.mean_ci_ns} and off by "
+            f"{100 * score.time_relative_error:.1f}%"
+        )
+
+    def test_median_error_is_sane_in_sample(self, calibrated):
+        profile, measured = calibrated
+        scores = AccuracyScorer(profile).score_corpus(measured)
+        # In-sample median error well under the out-of-sample gate.
+        assert median_relative_error(scores) < 0.25
+
+    def test_artifact_roundtrips_with_fingerprint(self, calibrated, tmp_path):
+        from repro.validate import CalibrationProfile, machine_fingerprint
+
+        profile, _ = calibrated
+        profile.save(tmp_path / "cal.json")
+        loaded = CalibrationProfile.load(tmp_path / "cal.json")
+        assert loaded.fingerprint == machine_fingerprint()
+        assert loaded.trials == 3 and loaded.warmup == 1

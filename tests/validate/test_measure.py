@@ -1,0 +1,159 @@
+"""The measurement harness: callables, programs, commands, inputs."""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro import compile_source
+from repro.validate import (
+    MeasurementError,
+    measure_callable,
+    measure_command,
+    measure_program,
+    sample_inputs,
+)
+
+pytestmark = pytest.mark.validate
+
+TINY = """\
+      PROGRAM TINY
+      X = 1.0 + 2.0
+      PRINT *, X
+      END
+"""
+
+
+class TestMeasureCallable:
+    def test_deterministic_samples_with_fake_clock(self, fake_clock):
+        m = measure_callable(
+            lambda i: None, trials=4, warmup=0, clock=fake_clock
+        )
+        # Each trial brackets the call with two clock reads 1000 ns apart.
+        assert m.samples_ns == [1000.0, 1000.0, 1000.0, 1000.0]
+        assert m.trials == 4
+        assert m.mean_ns == 1000.0
+        assert m.var_ns2 == 0.0
+
+    def test_warmup_runs_are_discarded(self, fake_clock):
+        calls = []
+        m = measure_callable(
+            calls.append, trials=2, warmup=3, clock=fake_clock
+        )
+        # Warmup indices are negative, timed indices start at 0.
+        assert calls == [-3, -2, -1, 0, 1]
+        assert m.trials == 2
+        assert m.warmup == 3
+
+    def test_needs_a_trial(self):
+        with pytest.raises(MeasurementError):
+            measure_callable(lambda i: None, trials=0)
+        with pytest.raises(MeasurementError):
+            measure_callable(lambda i: None, trials=1, warmup=-1)
+
+    def test_as_dict_includes_cis_with_two_trials(self, fake_clock):
+        m = measure_callable(lambda i: None, trials=2, clock=fake_clock)
+        d = m.as_dict()
+        assert d["trials"] == 2
+        assert "mean_ci95_ns" in d and "var_ci95_ns2" in d
+        single = measure_callable(lambda i: None, trials=1, clock=fake_clock)
+        assert "mean_ci95_ns" not in single.as_dict()
+
+
+class TestSampleInputs:
+    def test_constant(self):
+        rng = random.Random(0)
+        assert sample_inputs("constant", 7.4, 3, rng) == (7.0, 7.0, 7.0)
+
+    def test_poisson_mean(self):
+        rng = random.Random(1)
+        draws = sample_inputs("poisson", 6.0, 4000, rng)
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(6.0, rel=0.1)
+        assert all(d >= 0 and d == int(d) for d in draws)
+
+    def test_geometric_mean_and_support(self):
+        rng = random.Random(2)
+        draws = sample_inputs("geometric", 5.0, 4000, rng)
+        assert min(draws) >= 1.0
+        assert sum(draws) / len(draws) == pytest.approx(5.0, rel=0.1)
+        # Degenerate mean <= 1 collapses to the constant 1.
+        assert sample_inputs("geometric", 0.5, 3, rng) == (1.0, 1.0, 1.0)
+
+    def test_uniform_range(self):
+        rng = random.Random(3)
+        draws = sample_inputs("uniform", 4.0, 2000, rng)
+        assert min(draws) >= 0.0 and max(draws) <= 8.0
+        assert sum(draws) / len(draws) == pytest.approx(4.0, rel=0.15)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(MeasurementError):
+            sample_inputs("cauchy", 1.0, 1, random.Random(0))
+        with pytest.raises(MeasurementError):
+            sample_inputs("poisson", -1.0, 1, random.Random(0))
+
+
+class TestMeasureProgram:
+    def test_measurement_and_matching_profile(self):
+        program = compile_source(TINY)
+        item = measure_program(
+            program, trials=3, warmup=1, label="tiny", backend="reference"
+        )
+        assert item.measurement.trials == 3
+        assert all(s > 0 for s in item.measurement.samples_ns)
+        # The instrumented pass covers the same specs as the timed runs.
+        assert item.profile is not None
+        assert item.profile.runs == 3
+        assert [spec["seed"] for spec in item.run_specs] == [0, 1, 2]
+
+    def test_input_sampler_feeds_each_trial(self):
+        source = (
+            "      PROGRAM ECHO\n"
+            "      X = INPUT(1)\n"
+            "      PRINT *, X\n"
+            "      END\n"
+        )
+        program = compile_source(source)
+        seen = []
+
+        def sampler(seed: int):
+            seen.append(seed)
+            return (float(seed),)
+
+        item = measure_program(
+            program, trials=3, warmup=0, seed=10, input_sampler=sampler
+        )
+        assert seen == [10, 11, 12]
+        assert [spec["inputs"] for spec in item.run_specs] == [
+            (10.0,), (11.0,), (12.0,)
+        ]
+
+    def test_without_profile(self):
+        program = compile_source(TINY)
+        item = measure_program(
+            program, trials=1, warmup=0, with_profile=False
+        )
+        assert item.profile is None
+
+
+class TestMeasureCommand:
+    def test_times_a_real_command(self):
+        m = measure_command(
+            [sys.executable, "-c", "pass"], trials=2, warmup=0
+        )
+        assert m.trials == 2
+        assert all(s > 0 for s in m.samples_ns)
+
+    def test_failing_command_raises(self):
+        with pytest.raises(MeasurementError, match="exited with"):
+            measure_command(
+                [sys.executable, "-c", "raise SystemExit(3)"],
+                trials=1,
+                warmup=0,
+            )
+
+    def test_empty_argv_rejected(self):
+        with pytest.raises(MeasurementError):
+            measure_command([], trials=1)

@@ -1,0 +1,159 @@
+"""Accuracy scoring: deterministic pins and the end-to-end loop."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import compile_source
+from repro.validate import (
+    AccuracyScorer,
+    CalibrationProfile,
+    measure_program,
+    median_relative_error,
+)
+from repro.validate import stats
+
+pytestmark = pytest.mark.validate
+
+TINY = """\
+      PROGRAM TINY
+      X = 1.0 + 2.0
+      PRINT *, X
+      END
+"""
+
+#: Wall-clock samples the fake clock will report, in ns.
+SAMPLES = [900.0, 1000.0, 1100.0, 1200.0]
+
+
+def make_clock(samples):
+    """A perf_counter_ns double replaying exactly these durations."""
+    ticks = []
+    t = 0
+    for sample in samples:
+        ticks.append(t)
+        t += int(sample)
+        ticks.append(t)
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+@pytest.fixture
+def measured_tiny():
+    program = compile_source(TINY)
+    item = measure_program(
+        program,
+        trials=len(SAMPLES),
+        warmup=0,
+        label="tiny",
+        clock=make_clock(SAMPLES),
+    )
+    return program, item
+
+
+def zero_op_calibration(intercept: float) -> CalibrationProfile:
+    """All op prices 0: predicted TIME is exactly the intercept."""
+    return CalibrationProfile(
+        coefficients_ns={}, intercept_ns=intercept, r_squared=1.0
+    )
+
+
+class TestScorePins:
+    def test_perfect_prediction(self, measured_tiny, fresh_registry):
+        program, item = measured_tiny
+        mean = stats.sample_mean(SAMPLES)  # 1050
+        score = AccuracyScorer(zero_op_calibration(mean)).score(
+            "tiny", program, item
+        )
+        assert score.measured_mean_ns == pytest.approx(1050.0)
+        assert score.measured_var_ns2 == pytest.approx(50000.0 / 3.0)
+        assert score.predicted_time_ns == pytest.approx(1050.0)
+        assert score.time_relative_error == pytest.approx(0.0)
+        assert score.time_z_score == pytest.approx(0.0)
+        assert score.time_in_ci
+        # A zero-op model predicts VAR 0, which a jittery measurement's
+        # chi-square interval never covers.
+        assert score.predicted_var_ns2 == 0.0
+        assert score.var_relative_error == pytest.approx(1.0)
+        assert not score.var_in_ci
+
+    def test_off_prediction_pins(self, measured_tiny, fresh_registry):
+        program, item = measured_tiny
+        score = AccuracyScorer(zero_op_calibration(2000.0)).score(
+            "tiny", program, item
+        )
+        assert score.time_relative_error == pytest.approx(
+            (2000.0 - 1050.0) / 1050.0
+        )
+        # z = (2000 - 1050) / (s / sqrt(4)), s^2 = 50000/3.
+        std_err = math.sqrt((50000.0 / 3.0) / 4.0)
+        assert score.time_z_score == pytest.approx(950.0 / std_err)
+        assert not score.time_in_ci
+
+    def test_score_requires_profile_and_trials(self, measured_tiny):
+        program, item = measured_tiny
+        scorer = AccuracyScorer(zero_op_calibration(1.0))
+        item_no_profile = type(item)(
+            label="x",
+            measurement=item.measurement,
+            run_specs=item.run_specs,
+            backend=item.backend,
+            profile=None,
+        )
+        with pytest.raises(ValueError, match="no instrumented profile"):
+            scorer.score("x", program, item_no_profile)
+
+    def test_as_dict_is_json_safe(self, measured_tiny, fresh_registry):
+        import json
+
+        program, item = measured_tiny
+        score = AccuracyScorer(zero_op_calibration(1050.0)).score(
+            "tiny", program, item
+        )
+        payload = json.dumps(score.as_dict())
+        assert "Infinity" not in payload and "NaN" not in payload
+
+
+class TestMetricsExport:
+    def test_scores_publish_gauges_and_histogram(
+        self, measured_tiny, fresh_registry
+    ):
+        program, item = measured_tiny
+        AccuracyScorer(zero_op_calibration(1050.0)).score(
+            "tiny", program, item
+        )
+        snap = fresh_registry.snapshot()
+        for name in (
+            "repro_validation_time_relative_error",
+            "repro_validation_var_relative_error",
+            "repro_validation_time_z_score",
+            "repro_validation_time_in_ci",
+            "repro_validation_var_in_ci",
+            "repro_validation_scores_total",
+            "repro_validation_relative_error",
+        ):
+            assert name in snap, name
+        in_ci = snap["repro_validation_time_in_ci"]["values"]
+        assert in_ci == [{"labels": {"program": "tiny"}, "value": 1.0}]
+
+
+class TestMedian:
+    def _score(self, err: float):
+        class Dummy:
+            time_relative_error = err
+
+        return Dummy()
+
+    def test_odd_and_even(self):
+        assert median_relative_error(
+            [self._score(e) for e in (0.3, 0.1, 0.2)]
+        ) == pytest.approx(0.2)
+        assert median_relative_error(
+            [self._score(e) for e in (0.4, 0.1, 0.2, 0.3)]
+        ) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_relative_error([])

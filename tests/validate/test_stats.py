@@ -1,0 +1,133 @@
+"""Hand-computed pins for the small-sample statistics.
+
+Quantile pins come from standard t / chi-square tables (the values
+every statistics text prints), so a regression in the incomplete
+beta/gamma implementations cannot hide behind "close enough".
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.validate import stats
+
+pytestmark = pytest.mark.validate
+
+
+class TestQuantilePins:
+    def test_t_quantile_table_values(self):
+        # t_{0.975, df} from the standard table.
+        assert stats.t_quantile(0.975, 9) == pytest.approx(2.2622, abs=2e-4)
+        assert stats.t_quantile(0.975, 4) == pytest.approx(2.7764, abs=2e-4)
+        assert stats.t_quantile(0.975, 1) == pytest.approx(12.706, abs=2e-2)
+        # Large df approaches the normal quantile 1.95996.
+        assert stats.t_quantile(0.975, 1000) == pytest.approx(1.962, abs=2e-3)
+
+    def test_t_quantile_symmetry(self):
+        assert stats.t_quantile(0.025, 9) == pytest.approx(
+            -stats.t_quantile(0.975, 9), abs=1e-9
+        )
+        assert stats.t_quantile(0.5, 7) == pytest.approx(0.0, abs=1e-9)
+
+    def test_chi2_quantile_table_values(self):
+        # chi^2_{p, 10} from the standard table.
+        assert stats.chi2_quantile(0.975, 10) == pytest.approx(
+            20.483, abs=2e-3
+        )
+        assert stats.chi2_quantile(0.025, 10) == pytest.approx(
+            3.247, abs=2e-3
+        )
+        assert stats.chi2_quantile(0.95, 2) == pytest.approx(5.991, abs=2e-3)
+
+    def test_cdf_quantile_roundtrip(self):
+        for p in (0.05, 0.5, 0.9, 0.975):
+            assert stats.t_cdf(stats.t_quantile(p, 6), 6) == pytest.approx(
+                p, abs=1e-6
+            )
+            assert stats.chi2_cdf(
+                stats.chi2_quantile(p, 6), 6
+            ) == pytest.approx(p, abs=1e-6)
+
+
+class TestSampleMoments:
+    def test_mean_and_unbiased_variance(self):
+        samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert stats.sample_mean(samples) == pytest.approx(5.0)
+        # Sum of squared deviations is 32; n-1 = 7.
+        assert stats.sample_variance(samples) == pytest.approx(32.0 / 7.0)
+
+    def test_single_sample_variance_is_zero(self):
+        assert stats.sample_variance([42.0]) == 0.0
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError):
+            stats.sample_mean([])
+        with pytest.raises(ValueError):
+            stats.sample_variance([])
+
+
+class TestIntervals:
+    #: n=10, mean 10, sample std 2 -> std_err = 2/sqrt(10).
+    SAMPLES = [7.0, 8.0, 9.0, 9.0, 10.0, 10.0, 11.0, 11.0, 12.0, 13.0]
+
+    def test_mean_interval_hand_computed(self):
+        mean = stats.sample_mean(self.SAMPLES)
+        s2 = stats.sample_variance(self.SAMPLES)
+        half = 2.2622 * math.sqrt(s2 / 10)  # t_{0.975,9} * std_err
+        lo, hi = stats.mean_interval(self.SAMPLES, 0.95)
+        assert lo == pytest.approx(mean - half, rel=1e-4)
+        assert hi == pytest.approx(mean + half, rel=1e-4)
+
+    def test_variance_interval_hand_computed(self):
+        s2 = stats.sample_variance(self.SAMPLES)
+        lo, hi = stats.variance_interval(self.SAMPLES, 0.95)
+        # (n-1)s^2 / chi2_{0.975,9} .. (n-1)s^2 / chi2_{0.025,9}
+        assert lo == pytest.approx(9 * s2 / 19.023, rel=1e-3)
+        assert hi == pytest.approx(9 * s2 / 2.700, rel=1e-3)
+        assert lo < s2 < hi
+
+    def test_intervals_need_two_samples(self):
+        with pytest.raises(ValueError):
+            stats.mean_interval([1.0])
+        with pytest.raises(ValueError):
+            stats.variance_interval([1.0])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            stats.mean_interval(self.SAMPLES, 1.0)
+        with pytest.raises(ValueError):
+            stats.variance_interval(self.SAMPLES, 0.0)
+
+    def test_wider_confidence_wider_interval(self):
+        lo95, hi95 = stats.mean_interval(self.SAMPLES, 0.95)
+        lo99, hi99 = stats.mean_interval(self.SAMPLES, 0.99)
+        assert lo99 < lo95 and hi99 > hi95
+
+
+class TestScoringPrimitives:
+    def test_relative_error(self):
+        assert stats.relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert stats.relative_error(90.0, 100.0) == pytest.approx(0.1)
+        assert stats.relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(stats.relative_error(1.0, 0.0))
+
+    def test_z_score_hand_computed(self):
+        samples = [9.0, 10.0, 11.0]  # mean 10, s = 1, std_err = 1/sqrt(3)
+        assert stats.z_score(12.0, samples) == pytest.approx(
+            2.0 * math.sqrt(3.0)
+        )
+        assert stats.z_score(10.0, samples) == pytest.approx(0.0)
+
+    def test_z_score_degenerate_samples(self):
+        assert stats.z_score(5.0, [5.0, 5.0]) == 0.0
+        assert math.isinf(stats.z_score(6.0, [5.0, 5.0]))
+        with pytest.raises(ValueError):
+            stats.z_score(1.0, [1.0])
+
+    def test_covers(self):
+        assert stats.covers((1.0, 3.0), 2.0)
+        assert stats.covers((1.0, 3.0), 1.0)
+        assert stats.covers((1.0, 3.0), 3.0)
+        assert not stats.covers((1.0, 3.0), 3.5)
