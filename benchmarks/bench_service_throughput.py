@@ -27,10 +27,14 @@ it *accepted* survives.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 
 from repro.service import (
+    FrontDoorConfig,
+    FrontDoorThread,
     ServiceClient,
     ServiceConfig,
     ServiceError,
@@ -40,7 +44,7 @@ from repro.report import format_table
 from repro.workloads.generators import ProgramGenerator
 from repro.workloads.paper_example import PAPER_SOURCE
 
-from conftest import publish
+from conftest import RESULTS_DIR, publish
 
 #: Hot working set: fewer distinct (program, run-config) signatures
 #: than concurrent clients, so in-flight duplication is the norm.
@@ -185,6 +189,126 @@ def test_micro_batching_beats_request_per_batch():
         f"micro-batched server is only {speedup:.2f}x the "
         f"one-request-per-batch baseline at concurrency "
         f"{ACCEPTANCE_CONCURRENCY}"
+    )
+
+
+#: The multi-worker scaling scenario (ISSUE 10).  Unlike the
+#: micro-batching workload above, this one is *distinct-key-heavy*:
+#: every request profiles a different (program, seed) signature, so
+#: coalescing cannot help and the only way to go faster is to put
+#: more cores to work.  One process is GIL-bound on CPU-heavy
+#: profiling; N worker processes behind the consistent-hash front
+#: door should approach N-fold throughput on an N-core box.
+SHARD_WORKERS = 4
+SHARD_CONCURRENCY = 64
+SHARD_PROGRAMS = 16
+SHARD_REQUESTS = 192
+SHARD_GATE = float(os.environ.get("REPRO_SHARD_GATE", "2.5"))
+
+
+def _sharded_workload() -> list[tuple[str, list[dict]]]:
+    sources = [
+        ProgramGenerator(seed, max_depth=2, max_stmts=4).source()
+        for seed in range(SHARD_PROGRAMS)
+    ]
+    return [
+        (sources[i % SHARD_PROGRAMS], [{"seed": i // SHARD_PROGRAMS}])
+        for i in range(SHARD_REQUESTS)
+    ]
+
+
+def test_sharded_workers_scale_throughput(tmp_path):
+    """``--workers 4`` vs one worker on a distinct-key-heavy load.
+
+    Always measures and records honest numbers (including the core
+    count) into ``BENCH_service_sharding.json``; the >=GATE assertion
+    only arms when the box actually has enough cores for four workers
+    to run in parallel — on fewer cores the measurement is still
+    recorded, with ``gated: false``.
+    """
+    cores = os.cpu_count() or 1
+    tasks = _sharded_workload()
+    worker_config = ServiceConfig(linger=0.001, request_timeout=120.0)
+
+    outcomes = {}
+    with ServiceThread(worker_config) as single:
+        outcomes[1] = _run_closed_loop(
+            single.port, SHARD_CONCURRENCY, tasks
+        )
+    door_config = FrontDoorConfig(
+        workers=SHARD_WORKERS,
+        worker=ServiceConfig(
+            db=str(tmp_path / "profiles.json"),
+            linger=0.001,
+            request_timeout=120.0,
+        ),
+    )
+    with FrontDoorThread(door_config) as door:
+        outcomes[SHARD_WORKERS] = _run_closed_loop(
+            door.port, SHARD_CONCURRENCY, tasks
+        )
+        with ServiceClient(port=door.port) as probe:
+            health = probe.healthz()
+            assert health["healthy_workers"] == SHARD_WORKERS
+
+    speedup = outcomes[SHARD_WORKERS]["rps"] / outcomes[1]["rps"]
+    gated = cores >= SHARD_WORKERS
+    rows = [
+        [
+            f"{workers} worker{'s' if workers > 1 else ''}",
+            SHARD_CONCURRENCY,
+            outcome["requests"],
+            f"{outcome['rps']:.1f}",
+            f"{outcome['p50_ms']:.1f}",
+            f"{outcome['p95_ms']:.1f}",
+        ]
+        for workers, outcome in sorted(outcomes.items())
+    ]
+    rows.append(["scaling", "", "", f"{speedup:.2f}x", "", ""])
+    publish(
+        "service_sharding",
+        format_table(
+            ["configuration", "conc", "reqs", "req/s", "p50 ms", "p95 ms"],
+            rows,
+            title=(
+                f"sharded service scaling: {SHARD_PROGRAMS} distinct "
+                f"programs, {SHARD_REQUESTS} reqs, {cores} cores "
+                f"(gate {SHARD_GATE:g}x {'armed' if gated else 'skipped'})"
+            ),
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "scenario": "service_sharding",
+        "cores": cores,
+        "workers": SHARD_WORKERS,
+        "concurrency": SHARD_CONCURRENCY,
+        "distinct_programs": SHARD_PROGRAMS,
+        "requests": SHARD_REQUESTS,
+        "rps": {
+            str(workers): round(outcome["rps"], 2)
+            for workers, outcome in outcomes.items()
+        },
+        "p95_ms": {
+            str(workers): round(outcome["p95_ms"], 2)
+            for workers, outcome in outcomes.items()
+        },
+        "speedup": round(speedup, 3),
+        "gate": SHARD_GATE,
+        "gated": gated,
+    }
+    (RESULTS_DIR / "BENCH_service_sharding.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    if not gated:
+        print(
+            f"\n[gate skipped: {cores} cores cannot parallelize "
+            f"{SHARD_WORKERS} workers — recorded {speedup:.2f}x honestly]"
+        )
+        return
+    assert speedup >= SHARD_GATE, (
+        f"{SHARD_WORKERS} workers are only {speedup:.2f}x one worker "
+        f"at concurrency {SHARD_CONCURRENCY} (gate {SHARD_GATE:g}x)"
     )
 
 

@@ -951,6 +951,32 @@ def _cmd_serve(args) -> int:
         calibration=args.calibration,
     )
 
+    if args.workers > 1:
+        from repro.service import FrontDoorConfig, serve_sharded
+
+        door_config = FrontDoorConfig(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            worker=config,
+        )
+
+        def announce_door(door) -> None:
+            db = args.db or "(in-memory)"
+            print(
+                f"repro service on http://{args.host}:{door.port} "
+                f"[workers={args.workers} db={db} "
+                f"max_batch={args.max_batch} "
+                f"linger={args.linger_ms}ms queue={args.queue_limit}]",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        with _tracing_to(args.trace_out):
+            asyncio.run(serve_sharded(door_config, ready=announce_door))
+        print("repro service drained cleanly", file=sys.stderr)
+        return 0
+
     def announce(service) -> None:
         db = args.db or "(in-memory)"
         print(
@@ -970,7 +996,13 @@ def _cmd_serve(args) -> int:
 def _client(args):
     from repro.service import ServiceClient
 
-    return ServiceClient(args.host, args.port, timeout=args.timeout)
+    return ServiceClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+    )
 
 
 def _print_json(payload: dict) -> None:
@@ -1031,6 +1063,15 @@ def _cmd_call(args) -> int:
                 _print_json(
                     client.query(
                         args.key,
+                        loop_variance=args.loop_variance,
+                        model=args.model,
+                    )
+                )
+            elif args.endpoint == "profiles":
+                _print_json(
+                    client.profiles(
+                        analyze=args.analyze,
+                        raw=args.raw,
                         loop_variance=args.loop_variance,
                         model=args.model,
                     )
@@ -1352,6 +1393,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the database every N ingests (0: only on drain)",
     )
     p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 boots a consistent-hash routing "
+        "front door over N database shards",
+    )
+    p_serve.add_argument(
         "--trace-out", metavar="PATH",
         help="append tracing spans as JSONL here while the service runs",
     )
@@ -1368,6 +1414,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--host", default="127.0.0.1")
     p_call.add_argument("--port", type=int, default=8437)
     p_call.add_argument("--timeout", type=float, default=60.0)
+    p_call.add_argument(
+        "--retries", type=int, default=0,
+        help="retry 429/503 responses this many times, honoring the "
+        "server's retry_after_ms hint",
+    )
+    p_call.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base retry sleep in seconds (doubles per attempt)",
+    )
     call_sub = p_call.add_subparsers(dest="endpoint", required=True)
 
     call_sub.add_parser("health", help="GET /healthz")
@@ -1430,6 +1485,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
     )
     c_query.add_argument(
+        "--model", choices=[*sorted(_MODELS), "calibrated"], default="scalar"
+    )
+
+    c_profiles = call_sub.add_parser(
+        "profiles",
+        help="GET /profiles — every key (sharded services merge all "
+        "workers' slices)",
+    )
+    c_profiles.add_argument(
+        "--analyze", action="store_true",
+        help="include per-key Definition-3 analysis",
+    )
+    c_profiles.add_argument(
+        "--raw", action="store_true",
+        help="include each key's raw TOTAL_FREQ profile",
+    )
+    c_profiles.add_argument(
+        "--loop-variance", choices=sorted(_LOOP_VARIANCE), default="zero"
+    )
+    c_profiles.add_argument(
         "--model", choices=[*sorted(_MODELS), "calibrated"], default="scalar"
     )
 

@@ -152,15 +152,52 @@ class ProfileDatabase:
     are preserved next to the database under a ``.corrupt`` suffix,
     ``recovered_corrupt`` is set, and accumulation restarts empty
     rather than refusing to start.
+
+    ``absorb_shards=True`` additionally scans the database directory
+    for per-shard siblings a multi-worker service left behind
+    (``profiles.json`` owns ``profiles.shard0.json``,
+    ``profiles.shard1.json``, ...; see :func:`shard_path`) and merges
+    them in — ``TOTAL_FREQ`` sums are additive, so absorbing a shard
+    is exact.  Absorbed files are deleted only after the *next
+    successful* :meth:`save`, so a crash between load and save leaves
+    every count on disk somewhere.
     """
 
-    def __init__(self, path: str | Path | None):
+    def __init__(
+        self, path: str | Path | None, *, absorb_shards: bool = False
+    ):
         self.path = Path(path) if path is not None else None
         self._data: dict[str, ProgramProfile] = {}
         #: Set when ``__init__`` found an unreadable database file.
         self.recovered_corrupt = False
+        #: Shard files merged at load time, deleted after the next save.
+        self.absorbed_shards: list[Path] = []
         if self.path is not None and self.path.exists():
             self._load()
+        if absorb_shards and self.path is not None:
+            self._absorb_shards()
+
+    @staticmethod
+    def shard_path(path: str | Path, shard: int) -> Path:
+        """Where shard ``shard`` of a sharded service persists its slice."""
+        base = Path(path)
+        return base.with_name(f"{base.stem}.shard{shard}{base.suffix}")
+
+    def _absorb_shards(self) -> None:
+        assert self.path is not None
+        pattern = f"{self.path.stem}.shard*{self.path.suffix or ''}"
+        for shard_file in sorted(self.path.parent.glob(pattern)):
+            # `profiles.shard3.json`, not `profiles.shard3.corrupt` etc.
+            middle = shard_file.name[len(self.path.stem) + 1 :]
+            if self.path.suffix:
+                middle = middle[: -len(self.path.suffix)]
+            if not middle.startswith("shard") or not middle[5:].isdigit():
+                continue
+            shard_db = ProfileDatabase(shard_file)
+            if shard_db.recovered_corrupt:
+                continue  # quarantined by the nested load; skip it
+            self.merge(shard_db)
+            self.absorbed_shards.append(shard_file)
 
     def _load(self) -> None:
         assert self.path is not None
@@ -201,6 +238,14 @@ class ProfileDatabase:
             except OSError:
                 pass
             raise
+        # The absorbed counts are now durable in the main file; the
+        # leftover shard slices would double-count on the next boot.
+        for shard_file in self.absorbed_shards:
+            try:
+                os.unlink(shard_file)
+            except OSError:
+                pass
+        self.absorbed_shards = []
 
     def record(self, program_key: str, profile: ProgramProfile) -> None:
         """Accumulate one (or more) runs' worth of counts."""

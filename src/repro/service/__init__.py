@@ -13,7 +13,11 @@ TIME and Section-5 variance on demand.
 * :class:`ServiceThread` — a service on a background thread, for
   tests and benchmarks;
 * :class:`MicroBatcher` — request micro-batching with coalescing and
-  bounded-queue admission control.
+  bounded-queue admission control;
+* :class:`FrontDoor` / :func:`serve_sharded` — the multi-process
+  deployment (``repro serve --workers N``): a consistent-hash routing
+  front door over ``N`` supervised worker processes, each owning a
+  shard of the database and cache.
 
 See ``docs/service.md`` for the wire protocol and operational knobs.
 """
@@ -25,6 +29,12 @@ from repro.service.batcher import (
     QueueFull,
 )
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.frontdoor import (
+    FrontDoor,
+    FrontDoorConfig,
+    FrontDoorThread,
+    serve_sharded,
+)
 from repro.service.protocol import ProtocolError, Request
 from repro.service.server import (
     ProfilingService,
@@ -32,10 +42,16 @@ from repro.service.server import (
     ServiceThread,
     serve,
 )
+from repro.service.sharding import HashRing, routing_key
+from repro.service.supervisor import ShardSupervisor
 
 __all__ = [
     "BatchTask",
     "Draining",
+    "FrontDoor",
+    "FrontDoorConfig",
+    "FrontDoorThread",
+    "HashRing",
     "MicroBatcher",
     "ProfilingService",
     "ProtocolError",
@@ -45,5 +61,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceThread",
+    "ShardSupervisor",
+    "routing_key",
     "serve",
+    "serve_sharded",
 ]

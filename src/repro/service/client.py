@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from urllib.parse import quote, urlencode
 
 from repro.errors import ReproError
@@ -47,16 +48,27 @@ class ServiceError(ReproError):
 class ServiceClient:
     """One keep-alive connection to a profiling service."""
 
+    #: Statuses worth retrying: backpressure (429) and a sharded
+    #: deployment's "owning worker is restarting" answer (503).
+    RETRYABLE = frozenset({429, 503})
+
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8437,
         *,
         timeout: float = 60.0,
+        retries: int = 0,
+        backoff: float = 0.05,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Extra attempts after a retryable response (0 = fail fast).
+        self.retries = retries
+        #: Base sleep between attempts; doubles per attempt, and the
+        #: server's ``retry_after_ms`` hint overrides it when larger.
+        self.backoff = backoff
         #: ``X-Request-Id`` of the most recent response (success or
         #: failure) — the handle to quote when reporting a problem.
         self.last_request_id: str | None = None
@@ -116,7 +128,17 @@ class ServiceClient:
         *,
         request_id: str | None = None,
     ) -> dict:
-        """One JSON request/response cycle; raises on non-2xx."""
+        """One JSON request/response cycle; raises on non-2xx.
+
+        With ``retries > 0``, a 429 (queue full) or 503 (drain, or a
+        sharded deployment restarting the owning worker) is retried up
+        to ``retries`` extra times with bounded exponential backoff.
+        The server's ``retry_after_ms`` hint stretches a too-short
+        backoff; retries reuse the same ``X-Request-Id``, so server
+        logs show one logical operation.  Every attempt re-sends the
+        identical request — safe because ingest deltas are only
+        accumulated on a 200, never on a shed request.
+        """
         body = None
         headers = {}
         if payload is not None:
@@ -124,20 +146,36 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if request_id is not None:
             headers["X-Request-Id"] = request_id
-        response, data = self._exchange(method, path, body, headers)
-        try:
-            parsed = json.loads(data) if data else {}
-        except ValueError as exc:
-            raise ServiceError(
-                response.status,
-                {"error": {"message": f"unparseable body: {exc}"}},
-                request_id=self.last_request_id,
-            ) from exc
-        if response.status >= 400:
-            raise ServiceError(
+        for attempt in range(self.retries + 1):
+            response, data = self._exchange(method, path, body, headers)
+            try:
+                parsed = json.loads(data) if data else {}
+            except ValueError as exc:
+                raise ServiceError(
+                    response.status,
+                    {"error": {"message": f"unparseable body: {exc}"}},
+                    request_id=self.last_request_id,
+                ) from exc
+            if response.status < 400:
+                return parsed
+            error = ServiceError(
                 response.status, parsed, request_id=self.last_request_id
             )
-        return parsed
+            if (
+                response.status not in self.RETRYABLE
+                or attempt == self.retries
+            ):
+                raise error
+            if request_id is None and self.last_request_id:
+                # Keep the id the server minted for attempt one.
+                headers["X-Request-Id"] = self.last_request_id
+            hint_ms = 0
+            if isinstance(parsed, dict):
+                hint_ms = parsed.get("error", {}).get("retry_after_ms", 0)
+            time.sleep(
+                max(hint_ms / 1000.0, self.backoff * (2**attempt))
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- endpoints -------------------------------------------------------
 
@@ -295,6 +333,33 @@ class ServiceClient:
             f"/profiles/{quote(key, safe='')}?{urlencode(params)}",
             request_id=request_id,
         )
+
+    def profiles(
+        self,
+        *,
+        analyze: bool = False,
+        raw: bool = False,
+        loop_variance: str = "zero",
+        model: str = "scalar",
+        request_id: str | None = None,
+    ) -> dict:
+        """Every accumulated profile (``GET /profiles``).
+
+        Against a sharded deployment the front door fans this out to
+        all workers and merges the slices, so the answer covers the
+        whole key space either way.
+        """
+        params: dict = {}
+        if analyze:
+            params["analyze"] = "1"
+            params["loop_variance"] = loop_variance
+            params["model"] = model
+        if raw:
+            params["raw"] = "1"
+        path = "/profiles"
+        if params:
+            path += "?" + urlencode(params)
+        return self.request("GET", path, request_id=request_id)
 
     def calibration(self, *, request_id: str | None = None) -> dict:
         """The service's loaded wall-clock calibration artifact."""

@@ -1,0 +1,727 @@
+"""The consistent-hash routing front door of ``repro serve --workers N``.
+
+One listener process accepts every client connection and places each
+request on the shard that owns its key (:mod:`repro.service.sharding`),
+so the fleet behaves like one service:
+
+* **sticky routes** — ``/compile``, ``/profile``,
+  ``/profiles/{key}`` and its ``/ingest``, ``/paths``, ``/chunks``
+  sub-resources forward to the owning worker over a pooled keep-alive
+  connection.  All of a key's ``TOTAL_FREQ`` deltas therefore
+  accumulate in one shard's database — §3 accumulation stays exact,
+  Definition 3 normalizes at query time on the owner.
+* **fan-out** — keyless ``GET /profiles`` queries every shard and
+  merges the slices with :meth:`ProfileDatabase.merge` (raw counts
+  are additive), so the merged view is bit-identical to what a
+  single-worker service would have accumulated.
+* **aggregation** — ``/healthz`` and ``/metrics`` collect per-shard
+  status next to the front door's own routing counters
+  (``repro_shard_*`` series, labelled by shard).
+
+Failure policy: a request for a crashed shard's key range answers
+``503`` with a ``retry_after_ms`` hint while the supervisor respawns
+the worker — nothing is replayed or rerouted (rerouting would split a
+key's accumulation across shards).  Request ids and ``traceparent``
+headers propagate through to workers, so one client trace crosses the
+process boundary intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+
+from dataclasses import dataclass
+
+import repro
+from repro.obs import (
+    current_context,
+    format_traceparent,
+    metrics,
+    parse_traceparent,
+    render_prometheus,
+    span,
+)
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.profiling.database import ProfileDatabase, ProgramProfile
+from repro.service.protocol import (
+    ProtocolError,
+    RawBody,
+    Request,
+    Response,
+    error_payload,
+    read_request,
+    read_response,
+    response_bytes,
+)
+from repro.service.server import ProfilingService, ServiceConfig
+from repro.service.sharding import HashRing, DEFAULT_REPLICAS, routing_key
+from repro.service.supervisor import ShardSupervisor
+
+#: Routes the front door answers itself instead of forwarding.
+_LOCAL_ROUTES = ("healthz", "metrics", "profiles_index")
+
+
+def _new_request_id() -> str:
+    return os.urandom(8).hex()
+
+
+class ShardDown(Exception):
+    """The owning worker is (re)starting; the client should retry."""
+
+
+@dataclass
+class FrontDoorConfig:
+    """Knobs of the sharded deployment.
+
+    ``worker`` is the template every shard inherits — its ``db`` and
+    ``cache`` are the *base* paths that :mod:`sharding` slices per
+    worker (``db.shard3.json``, ``cache/shard3``).
+    """
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    worker: ServiceConfig = None  # type: ignore[assignment]
+    #: Virtual nodes per shard on the hash ring.
+    replicas: int = DEFAULT_REPLICAS
+    #: Retry hint attached to 503s while a shard is down.
+    retry_after_ms: int = 250
+    #: Budget for the whole drain (front-door quiesce + worker drains).
+    drain_timeout: float = 30.0
+    #: How long one worker may take to boot and report its port.
+    spawn_timeout: float = 60.0
+    #: Per-proxied-request budget (covers the worker round trip).
+    proxy_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.worker is None:
+            self.worker = ServiceConfig()
+
+
+class FrontDoor:
+    """The routing listener: ``await start()``, then ``serve_forever()``."""
+
+    def __init__(self, config: FrontDoorConfig | None = None):
+        self.config = config or FrontDoorConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.ring = HashRing(
+            self.config.workers, replicas=self.config.replicas
+        )
+        self.supervisor = ShardSupervisor(
+            self.config.worker,
+            self.config.workers,
+            spawn_timeout=self.config.spawn_timeout,
+            on_state_change=self._on_shard_state,
+        )
+        self.port: int | None = None
+        self.draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped = asyncio.Event()
+        self._started = time.monotonic()
+        self._in_flight = 0
+        self._responses: dict[int, int] = {}
+        self._protocol_errors = 0
+        #: Keep-alive connections to workers: shard -> [(port, r, w)].
+        #: Entries are validated against the shard's *current* port at
+        #: acquire time, so connections to a crashed worker's old port
+        #: die with it instead of poisoning the pool.
+        self._pools: dict[int, list[tuple[int, object, object]]] = {}
+        self._shard_up_gauge = metrics.gauge(
+            "repro_shard_up",
+            "1 while the shard's worker process is serving, else 0.",
+            labels=("shard",),
+        )
+        self._shard_requests = metrics.counter(
+            "repro_shard_requests_total",
+            "Requests routed to each shard, by route.",
+            labels=("shard", "route"),
+        )
+        self._shard_unavailable = metrics.counter(
+            "repro_shard_unavailable_total",
+            "Requests answered 503 because the owning shard was down.",
+            labels=("shard",),
+        )
+        self._fanouts = metrics.counter(
+            "repro_frontdoor_fanouts_total",
+            "Cross-shard fan-out queries served by the front door.",
+        )
+        self._http_seconds = metrics.histogram(
+            "repro_http_request_seconds",
+            "Front-door request latency by route.",
+            labels=("route",),
+        )
+        self._http_requests = metrics.counter(
+            "repro_http_requests_total",
+            "Front-door requests by route and status.",
+            labels=("route", "status"),
+        )
+
+    def _on_shard_state(self, index: int, up: bool) -> None:
+        self._shard_up_gauge.set(1 if up else 0, shard=str(index))
+        if not up:
+            # Connections to the dead process are useless; drop them.
+            for port, _reader, writer in self._pools.pop(index, []):
+                del port
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._stopped.wait()
+
+    def install_signal_handlers(
+        self, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        import signal
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(self.shutdown())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def shutdown(self) -> None:
+        """Ordered drain: quiesce the door, then drain every shard.
+
+        1. stop accepting connections and answer new work with 503;
+        2. wait for in-flight proxied requests to finish — their
+           workers are still up, so anything already answered 200 by a
+           worker will be flushed and saved by that worker's drain;
+        3. SIGTERM the fleet and wait (stragglers are killed after the
+           timeout; every shard save is atomic regardless).
+        """
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._in_flight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        await self.supervisor.drain(
+            max(1.0, deadline - time.monotonic())
+        )
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    self._protocol_errors += 1
+                    self._responses[exc.status] = (
+                        self._responses.get(exc.status, 0) + 1
+                    )
+                    writer.write(
+                        response_bytes(
+                            exc.status,
+                            error_payload(exc.status, str(exc)),
+                            keep_alive=False,
+                            headers={"X-Request-Id": _new_request_id()},
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                request_id = (
+                    request.headers.get("x-request-id") or _new_request_id()
+                )
+                status, payload = await self._dispatch(request, request_id)
+                self._responses[status] = self._responses.get(status, 0) + 1
+                keep_alive = request.keep_alive and not self.draining
+                writer.write(
+                    response_bytes(
+                        status,
+                        payload,
+                        keep_alive=keep_alive,
+                        headers={"X-Request-Id": request_id},
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: Request, request_id: str
+    ) -> tuple[int, "dict | RawBody"]:
+        route, _key = ProfilingService._route(request.path)
+        route_label = route or "unknown"
+        started = time.perf_counter()
+        with span(
+            f"frontdoor.{route_label}",
+            attrs={"method": request.method, "path": request.path},
+            parent=parse_traceparent(request.headers.get("traceparent")),
+        ) as request_span:
+            self._in_flight += 1
+            try:
+                status, payload = await self._dispatch_inner(
+                    request, route, request_id
+                )
+            except ProtocolError as exc:
+                status, payload = exc.status, error_payload(
+                    exc.status, str(exc)
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                status, payload = 504, error_payload(
+                    504,
+                    f"request exceeded its "
+                    f"{self.config.proxy_timeout:g}s budget",
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, error_payload(
+                    500, f"{type(exc).__name__}: {exc}"
+                )
+            finally:
+                self._in_flight -= 1
+            request_span.set_attr(status=status)
+        self._http_seconds.observe(
+            time.perf_counter() - started, route=route_label
+        )
+        self._http_requests.inc(route=route_label, status=str(status))
+        return status, payload
+
+    async def _dispatch_inner(
+        self, request: Request, route: str | None, request_id: str
+    ) -> tuple[int, "dict | RawBody"]:
+        if route is None:
+            return 404, error_payload(404, f"no such path: {request.path}")
+        if route == "healthz":
+            return await self._handle_healthz(request)
+        if route == "metrics":
+            return await self._handle_metrics(request)
+        if self.draining:
+            return 503, error_payload(503, "service is draining")
+        if route == "profiles_index":
+            if request.method != "GET":
+                return 405, error_payload(
+                    405, f"{request.path} only accepts GET"
+                )
+            return await self._handle_profiles_fanout(request, request_id)
+        _route, key = ProfilingService._route(request.path)
+        payload = request.json() if request.method == "POST" else {}
+        target = routing_key(route, key, payload)
+        if target is None:
+            return 404, error_payload(404, f"no such path: {request.path}")
+        shard = self.ring.shard_for(target)
+        self._shard_requests.inc(shard=str(shard), route=route)
+        try:
+            upstream = await self._forward(shard, request, request_id)
+        except ShardDown:
+            self._shard_unavailable.inc(shard=str(shard))
+            return 503, error_payload(
+                503,
+                f"shard {shard} (owner of this key range) is "
+                "restarting; retry shortly",
+                retry_after_ms=self.config.retry_after_ms,
+                shard=shard,
+            )
+        return upstream.status, RawBody(
+            upstream.headers.get("content-type", "application/json"),
+            upstream.body,
+        )
+
+    # -- proxying --------------------------------------------------------
+
+    def _request_bytes(self, request: Request, request_id: str) -> bytes:
+        """Re-serialize a parsed request for the owning worker."""
+        query = ""
+        if request.query:
+            from urllib.parse import urlencode
+
+            query = "?" + urlencode(request.query)
+        headers = {
+            "Host": "worker",
+            "Content-Length": str(len(request.body)),
+            "Connection": "keep-alive",
+            "X-Request-Id": request_id,
+        }
+        for passthrough in ("content-type", "accept"):
+            if passthrough in request.headers:
+                headers[passthrough] = request.headers[passthrough]
+        # Continue *our* span (which itself continues the client's
+        # traceparent), so worker-side spans nest under the routing
+        # span in one distributed trace.
+        context = current_context()
+        if context is not None:
+            headers["traceparent"] = format_traceparent(context)
+        elif "traceparent" in request.headers:
+            headers["traceparent"] = request.headers["traceparent"]
+        head = f"{request.method} {request.path}{query} HTTP/1.1\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        head += "\r\n"
+        return head.encode("latin-1") + request.body
+
+    async def _acquire(self, shard: int):
+        """A live (port, reader, writer) for ``shard``; opens if needed."""
+        handle = self.supervisor.handles[shard]
+        if not handle.up or handle.port is None or self.supervisor.draining:
+            raise ShardDown(shard)
+        port = handle.port
+        pool = self._pools.setdefault(shard, [])
+        while pool:
+            pooled_port, reader, writer = pool.pop()
+            if pooled_port == port and not reader.at_eof():
+                return port, reader, writer
+            try:
+                writer.close()
+            except Exception:
+                pass
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection("127.0.0.1", port), timeout=5.0
+            )
+        except (OSError, asyncio.TimeoutError, TimeoutError) as exc:
+            raise ShardDown(shard) from exc
+        return port, reader, writer
+
+    def _release(self, shard: int, port: int, reader, writer) -> None:
+        handle = self.supervisor.handles[shard]
+        if handle.up and handle.port == port:
+            self._pools.setdefault(shard, []).append((port, reader, writer))
+        else:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _forward(
+        self, shard: int, request: Request, request_id: str
+    ) -> Response:
+        """One request/response round trip to the owning worker.
+
+        A stale pooled connection (worker restarted, keep-alive timed
+        out) gets one retry on a fresh connection; a fresh-connection
+        failure means the worker really is gone -> :class:`ShardDown`.
+        """
+        payload = self._request_bytes(request, request_id)
+        for attempt in (0, 1):
+            port, reader, writer = await self._acquire(shard)
+            try:
+                writer.write(payload)
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    read_response(reader), timeout=self.config.proxy_timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                raise
+            except (ProtocolError, ConnectionError, OSError) as exc:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                if attempt == 1:
+                    raise ShardDown(shard) from exc
+                continue
+            if response.keep_alive:
+                self._release(shard, port, reader, writer)
+            else:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+            return response
+        raise ShardDown(shard)  # pragma: no cover - loop always returns
+
+    # -- fan-out and aggregation -----------------------------------------
+
+    async def _fanout(
+        self, path: str, request_id: str, *, accept_json: bool = True
+    ) -> list[Response | None]:
+        """One GET to every shard, concurrently; ``None`` for a dead one."""
+
+        async def one(shard: int) -> Response | None:
+            probe = Request(method="GET", path=path)
+            qmark = path.find("?")
+            if qmark >= 0:
+                from urllib.parse import parse_qsl
+
+                probe.path, query = path[:qmark], path[qmark + 1 :]
+                probe.query = dict(parse_qsl(query))
+            try:
+                return await self._forward(shard, probe, request_id)
+            except (ShardDown, asyncio.TimeoutError, TimeoutError):
+                return None
+
+        return list(
+            await asyncio.gather(
+                *(one(shard) for shard in range(self.config.workers))
+            )
+        )
+
+    async def _handle_profiles_fanout(
+        self, request: Request, request_id: str
+    ) -> tuple[int, dict]:
+        """Merge every shard's ``GET /profiles`` slice into one view."""
+        import json
+        from urllib.parse import urlencode
+
+        self._fanouts.inc()
+        want_raw = request.query.get("raw", "") in ("1", "true")
+        # Always fetch raw slices: the merge runs on raw TOTAL_FREQ
+        # counts (the only thing that *is* additive); analysis bodies
+        # pass through from the shard that owns each key.
+        query = dict(request.query)
+        query["raw"] = "1"
+        with span("frontdoor.fanout", attrs={"shards": self.config.workers}):
+            answers = await self._fanout(
+                "/profiles?" + urlencode(query), request_id
+            )
+        merged = ProfileDatabase(None)
+        profiles: dict[str, dict] = {}
+        shard_summaries: list[dict] = []
+        for shard, answer in enumerate(answers):
+            if answer is None or answer.status != 200:
+                self._shard_unavailable.inc(shard=str(shard))
+                return 503, error_payload(
+                    503,
+                    f"shard {shard} is unavailable; the merged profile "
+                    "view would be incomplete — retry shortly",
+                    retry_after_ms=self.config.retry_after_ms,
+                    shard=shard,
+                )
+            body = json.loads(answer.body)
+            shard_summaries.append(
+                {
+                    "shard": body.get("shard", shard),
+                    "keys": body["keys"],
+                    "runs": body["runs"],
+                }
+            )
+            for key, entry in body["profiles"].items():
+                merged.record(key, ProgramProfile.from_dict(entry["raw"]))
+                target = profiles.setdefault(key, {})
+                owner = self.ring.shard_for(key) == shard
+                if owner or "runs" not in target:
+                    for field_name in ("analysis",):
+                        if field_name in entry:
+                            target[field_name] = entry[field_name]
+        for key, entry in profiles.items():
+            profile = merged.lookup(key)
+            entry["runs"] = profile.runs
+            if want_raw:
+                entry["raw"] = profile.to_dict()
+            profiles[key] = dict(sorted(entry.items()))
+        return 200, {
+            "keys": merged.keys(),
+            "runs": merged.total_runs(),
+            "profiles": profiles,
+            "shards": shard_summaries,
+        }
+
+    async def _handle_healthz(self, request: Request) -> tuple[int, dict]:
+        """Aggregate liveness: the door plus every shard's own answer."""
+        import json
+
+        answers = await self._fanout("/healthz", _new_request_id())
+        shards = []
+        healthy = 0
+        for shard, answer in enumerate(answers):
+            handle = self.supervisor.handles[shard]
+            entry: dict = {
+                "shard": shard,
+                "port": handle.port,
+                "pid": handle.pid,
+                "restarts": handle.restarts,
+            }
+            if answer is not None and answer.status == 200:
+                body = json.loads(answer.body)
+                entry["status"] = body.get("status", "ok")
+                entry["queue_depth"] = body.get("queue_depth")
+                entry["uptime_s"] = body.get("uptime_s")
+                if entry["status"] == "ok":
+                    healthy += 1
+            else:
+                entry["status"] = "down"
+            shards.append(entry)
+        if self.draining:
+            status = "draining"
+        elif healthy == len(shards):
+            status = "ok"
+        else:
+            status = "degraded"
+        return 200, {
+            "status": status,
+            "workers": self.config.workers,
+            "healthy_workers": healthy,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "shards": shards,
+        }
+
+    async def _handle_metrics(self, request: Request) -> tuple[int, dict]:
+        if "text/plain" in request.headers.get("accept", ""):
+            self._sync_gauges()
+            text = render_prometheus()
+            return 200, RawBody(PROMETHEUS_CONTENT_TYPE, text.encode())
+        import json
+        import platform
+
+        answers = await self._fanout("/metrics", _new_request_id())
+        shards: list[dict] = []
+        totals = {"keys": 0, "runs": 0.0, "ingests": 0, "requests": 0}
+        for shard, answer in enumerate(answers):
+            if answer is None or answer.status != 200:
+                shards.append({"shard": shard, "up": False})
+                continue
+            body = json.loads(answer.body)
+            body["up"] = True
+            shards.append(body)
+            database = body.get("database", {})
+            totals["keys"] += database.get("keys", 0)
+            totals["runs"] += database.get("runs", 0.0)
+            totals["ingests"] += database.get("ingests", 0)
+            totals["requests"] += sum(
+                body.get("requests_total", {}).values()
+            )
+        uptime = round(time.monotonic() - self._started, 3)
+        return 200, {
+            "uptime_s": uptime,
+            "uptime_seconds": uptime,
+            "build": {
+                "version": repro.__version__,
+                "python": platform.python_version(),
+            },
+            "frontdoor": {
+                "workers": self.config.workers,
+                "draining": self.draining,
+                "in_flight": self._in_flight,
+                "responses_by_status": {
+                    str(status): count
+                    for status, count in sorted(self._responses.items())
+                },
+                "protocol_errors": self._protocol_errors,
+                "restarts": {
+                    str(handle.index): handle.restarts
+                    for handle in self.supervisor.handles
+                },
+            },
+            "aggregate": totals,
+            "shards": shards,
+        }
+
+    def _sync_gauges(self) -> None:
+        metrics.gauge(
+            "repro_uptime_seconds", "Front-door uptime in seconds."
+        ).set(time.monotonic() - self._started)
+        metrics.gauge(
+            "repro_draining", "1 while the service is draining, else 0."
+        ).set(int(self.draining))
+        restarts = metrics.gauge(
+            "repro_shard_restarts",
+            "Times the supervisor has respawned each shard's worker.",
+            labels=("shard",),
+        )
+        for handle in self.supervisor.handles:
+            self._shard_up_gauge.set(
+                1 if handle.up else 0, shard=str(handle.index)
+            )
+            restarts.set(handle.restarts, shard=str(handle.index))
+
+
+async def serve_sharded(
+    config: FrontDoorConfig, *, ready=None
+) -> FrontDoor:
+    """Run a sharded deployment until drained (``repro serve --workers``)."""
+    door = FrontDoor(config)
+    await door.start()
+    door.install_signal_handlers(asyncio.get_running_loop())
+    if ready is not None:
+        ready(door)
+    await door.serve_forever()
+    return door
+
+
+class FrontDoorThread:
+    """A sharded deployment on a background thread — tests, benchmarks.
+
+    ::
+
+        with FrontDoorThread(FrontDoorConfig(workers=4)) as handle:
+            client = ServiceClient(port=handle.port)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) runs the same ordered
+    drain a SIGTERM would: quiesce the door, then drain every worker.
+    """
+
+    def __init__(self, config: FrontDoorConfig | None = None):
+        self.config = config or FrontDoorConfig()
+        self.door: FrontDoor | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def start(self) -> "FrontDoorThread":
+        self._thread.start()
+        self._ready.wait(timeout=120)
+        if self._error is not None:
+            raise self._error
+        if self.port is None:
+            raise RuntimeError("front door failed to start within 120s")
+        return self
+
+    def stop(self, timeout: float = 120.0) -> None:
+        if self._loop is not None and self.door is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.door.shutdown(), self._loop
+            )
+            future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "FrontDoorThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        door = FrontDoor(self.config)
+        await door.start()
+        self.door = door
+        self.port = door.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await door.serve_forever()

@@ -138,6 +138,71 @@ async def read_request(
     return request
 
 
+@dataclass
+class Response:
+    """One parsed HTTP response off an upstream (worker) connection."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_response(
+    reader, *, max_body: int = MAX_BODY_BYTES * 8
+) -> Response:
+    """Parse one ``Content-Length``-framed response off the stream.
+
+    The front door uses this to read worker answers; workers always
+    frame with ``Content-Length`` (see :func:`response_bytes`), so
+    chunked decoding is deliberately unsupported.  The body ceiling is
+    looser than the request ceiling: a fan-out ``GET /profiles`` dump
+    of a big shard is legitimately larger than any single request.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+        raise ProtocolError("truncated response status line") from exc
+    parts = line.decode("latin-1").strip().split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed status line: {line[:80]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise ProtocolError(f"malformed status line: {line[:80]!r}") from exc
+    response = Response(status=status)
+    for _ in range(_MAX_HEADERS):
+        try:
+            line = await reader.readuntil(b"\n")
+        except Exception as exc:
+            raise ProtocolError("truncated response headers") from exc
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {text[:80]!r}")
+        response.headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError("too many headers")
+    length_text = response.headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}") from exc
+    if not 0 <= length <= max_body:
+        raise ProtocolError(f"unreasonable Content-Length: {length}")
+    if length:
+        try:
+            response.body = await reader.readexactly(length)
+        except Exception as exc:
+            raise ProtocolError("truncated response body") from exc
+    return response
+
+
 @dataclass(frozen=True)
 class RawBody:
     """A non-JSON response body with its own content type.

@@ -122,6 +122,12 @@ class ServiceConfig:
     #: When set, ``GET /calibration`` serves it and queries accept
     #: ``model=calibrated`` (TIME in ns, VAR in ns²).
     calibration: str | None = None
+    #: Which shard of a multi-worker deployment this process is
+    #: (``None``: standalone).  A standalone service with a ``db``
+    #: absorbs leftover ``db.shardN.json`` slices at boot; a shard
+    #: never does, and labels its health/metrics with its index.
+    shard_index: int | None = None
+    shard_count: int = 1
 
 
 class ProfilingService:
@@ -129,7 +135,10 @@ class ProfilingService:
 
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
-        self.database = ProfileDatabase(self.config.db)
+        self.database = ProfileDatabase(
+            self.config.db,
+            absorb_shards=self.config.shard_index is None,
+        )
         self.cache = ArtifactCache(self.config.cache)
         self.batcher = MicroBatcher(
             self._flush,
@@ -339,6 +348,7 @@ class ProfilingService:
             "hot_paths": (self._handle_hot_paths, "GET"),
             "calibration": (self._handle_calibration, "GET"),
             "chunks": (self._handle_chunks, "GET"),
+            "profiles_index": (self._handle_profiles_index, "GET"),
         }[route]
         if request.method != method:
             return 405, error_payload(
@@ -391,6 +401,8 @@ class ProfilingService:
             return "profile", None
         if path == "/calibration":
             return "calibration", None
+        if path == "/profiles":
+            return "profiles_index", None
         parts = [part for part in path.split("/") if part]
         if len(parts) == 2 and parts[0] == "profiles":
             return "query", parts[1]
@@ -417,11 +429,15 @@ class ProfilingService:
     # -- trivial endpoints -----------------------------------------------
 
     async def _handle_healthz(self, request: Request) -> tuple[int, dict]:
-        return 200, {
+        body = {
             "status": "draining" if self.draining else "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
             "queue_depth": self.batcher.queue_depth,
         }
+        if self.config.shard_index is not None:
+            body["shard"] = self.config.shard_index
+            body["shard_count"] = self.config.shard_count
+        return 200, body
 
     async def _handle_metrics(self, request: Request) -> tuple[int, dict]:
         if "text/plain" in request.headers.get("accept", ""):
@@ -440,6 +456,14 @@ class ProfilingService:
         half-updated view from the middle of a batch flush.
         """
         uptime = round(time.monotonic() - self._started, 3)
+        shard = (
+            {
+                "index": self.config.shard_index,
+                "count": self.config.shard_count,
+            }
+            if self.config.shard_index is not None
+            else None
+        )
         return {
             "uptime_s": uptime,
             "uptime_seconds": uptime,
@@ -447,6 +471,7 @@ class ProfilingService:
                 "version": repro.__version__,
                 "python": platform.python_version(),
             },
+            "shard": shard,
             "draining": self.draining,
             "queue_depth": self.batcher.queue_depth,
             "in_flight": self._in_flight,
@@ -496,6 +521,17 @@ class ProfilingService:
         metrics.gauge(
             "repro_db_runs", "Accumulated runs across all database keys."
         ).set(self.database.total_runs())
+        if self.config.shard_index is not None:
+            metrics.gauge(
+                "repro_shard_info",
+                "Shard identity of this worker (always 1; the labels "
+                "carry the info).",
+                labels=("shard", "count"),
+            ).set(
+                1,
+                shard=str(self.config.shard_index),
+                count=str(self.config.shard_count),
+            )
 
     # -- batched endpoints -----------------------------------------------
 
@@ -1214,6 +1250,65 @@ class ProfilingService:
                 "Definition-3 frequencies and variance"
             )
             body["raw"] = profile.to_dict()
+        return 200, body
+
+    async def _handle_profiles_index(
+        self, request: Request
+    ) -> tuple[int, dict]:
+        """Every accumulated profile this process owns, in one body.
+
+        Standalone, that is the whole database; in a sharded
+        deployment it is this worker's slice, and the front door fans
+        the request out to every shard and merges the answers via
+        :meth:`ProfileDatabase.merge`.  ``?raw=1`` includes each key's
+        raw ``TOTAL_FREQ`` dump (what the front-door merge consumes);
+        ``?analyze=1`` adds the Definition-3 analysis per key —
+        normalization happens here, *after* all of the key's deltas
+        have been accumulated, which is what makes shard-local sums
+        exact.  Unlike single-key queries, listing does not record
+        drift snapshots: an index sweep must not reset the
+        predicted-vs-ingested baselines operators alert on.
+        """
+        analyze = request.query.get("analyze", "") in ("1", "true")
+        raw = request.query.get("raw", "") in ("1", "true")
+        loop_variance = request.query.get("loop_variance", "zero")
+        if loop_variance not in _LOOP_VARIANCE:
+            raise ProtocolError(
+                f'"loop_variance" must be one of {list(_LOOP_VARIANCE)}'
+            )
+        model = (
+            self._resolve_model(request.query.get("model", "scalar"))
+            if analyze
+            else None
+        )
+        loop = asyncio.get_running_loop()
+        profiles: dict[str, dict] = {}
+        for key in self.database.keys():
+            profile = self.database.lookup(key)
+            entry: dict = {"runs": profile.runs}
+            if raw:
+                entry["raw"] = profile.to_dict()
+            if analyze:
+                source = self.sources.get(key)
+                entry["analysis"] = (
+                    await asyncio.wait_for(
+                        loop.run_in_executor(
+                            None, self._analyze_entry, source, profile,
+                            model, loop_variance,
+                        ),
+                        timeout=self.config.request_timeout,
+                    )
+                    if source is not None
+                    else None
+                )
+            profiles[key] = entry
+        body: dict = {
+            "keys": self.database.keys(),
+            "runs": self.database.total_runs(),
+            "profiles": profiles,
+        }
+        if self.config.shard_index is not None:
+            body["shard"] = self.config.shard_index
         return 200, body
 
     def _record_drift(

@@ -1,0 +1,135 @@
+"""Key routing for the multi-worker profiling service.
+
+The sharded service is a front door plus ``N`` worker processes, each
+owning a disjoint slice of the profile database and the artifact
+cache.  Placement is decided here and nowhere else:
+
+* :class:`HashRing` — a consistent-hash ring with virtual nodes.
+  Every shard contributes ``replicas`` points; a key maps to the
+  first point clockwise of its own hash.  Consistency is the point:
+  when the worker count changes between boots, only ~``1/N`` of the
+  key space moves, so a persistent shard database mostly keeps its
+  keys (stragglers are absorbed on the next single-worker boot, see
+  :class:`~repro.profiling.database.ProfileDatabase`).
+* :func:`routing_key` — which string routes a request.  Keyed
+  endpoints (``/profiles/{key}/...``) route by the profile key so
+  every delta for a key accumulates on exactly one shard (shard-local
+  §3 ``TOTAL_FREQ`` sums followed by a front-door merge are then
+  *exact* — Definition 3 normalizes only at query time).  Keyless
+  compile/profile requests route by a source digest, so a program's
+  compiled artifacts stay hot in one worker's cache.
+* :func:`shard_db_path` / :func:`shard_cache_dir` — where shard ``i``
+  keeps its slice of the configured database path / cache directory
+  (``profiles.json`` -> ``profiles.shard3.json``).
+
+Hashing is BLAKE2b, seeded only by shard index and key bytes — the
+ring is identical across processes and boots by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from pathlib import Path
+
+#: Virtual nodes per shard.  64 points per shard keeps the expected
+#: imbalance of the key space under ~10% for small shard counts.
+DEFAULT_REPLICAS = 64
+
+
+def _point(data: bytes) -> int:
+    """A stable 64-bit ring coordinate for ``data``."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of profile keys onto ``n_shards`` shards."""
+
+    def __init__(self, n_shards: int, *, replicas: int = DEFAULT_REPLICAS):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append(
+                    (_point(b"shard:%d:vnode:%d" % (shard, replica)), shard)
+                )
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        if self.n_shards == 1:
+            return 0
+        where = bisect_right(self._points, _point(key.encode()))
+        if where == len(self._points):
+            where = 0  # wrap past the top of the ring
+        return self._shards[where]
+
+
+def source_routing_key(source: str) -> str:
+    """The routing key of a keyless compile/profile request.
+
+    A digest of the source text: identical programs always land on
+    the same worker, so its artifact-cache slice serves all repeats.
+    """
+    return "src:" + hashlib.blake2b(
+        source.encode(), digest_size=16
+    ).hexdigest()
+
+
+def routing_key(route: str, key: str | None, payload: dict) -> str | None:
+    """The string that places one request on the ring.
+
+    ``None`` means the request is not shardable (the front door
+    answers it itself or fans it out to every worker).
+    """
+    if key is not None:
+        # /profiles/{key}, /profiles/{key}/ingest|paths|chunks: sticky
+        # to the owner so the key's whole accumulation lives together.
+        return key
+    if route == "compile":
+        target = payload.get("key")
+        if isinstance(target, str) and target:
+            return target
+        source = payload.get("source")
+        return source_routing_key(source) if isinstance(source, str) else ""
+    if route == "profile":
+        ingest = payload.get("ingest")
+        if isinstance(ingest, str) and ingest:
+            return ingest
+        source = payload.get("source")
+        return source_routing_key(source) if isinstance(source, str) else ""
+    if route == "calibration":
+        # Every worker loads the same artifact; any shard can answer.
+        return "calibration"
+    return None
+
+
+def shard_db_path(path: str | Path | None, shard: int) -> str | None:
+    """Shard ``i``'s slice of the configured database path.
+
+    ``profiles.json`` -> ``profiles.shard3.json`` (the naming
+    :meth:`ProfileDatabase.shard_path` owns, so a later single-worker
+    boot with ``absorb_shards=True`` finds the slices).  ``None``
+    stays ``None`` — in-memory databases have nothing to split.
+    """
+    if path is None:
+        return None
+    from repro.profiling.database import ProfileDatabase
+
+    return str(ProfileDatabase.shard_path(path, shard))
+
+
+def shard_cache_dir(path: str | None, shard: int) -> str | None:
+    """Shard ``i``'s slice of the artifact-cache directory."""
+    if path is None:
+        return None
+    return str(Path(path) / f"shard{shard}")

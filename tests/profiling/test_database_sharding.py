@@ -1,0 +1,106 @@
+"""Regression tests for per-shard database files and absorb-on-boot.
+
+A multi-worker service persists each shard's slice next to the
+configured path (``profiles.json`` owns ``profiles.shard0.json``,
+``profiles.shard1.json``, ...).  A later single-worker boot with
+``absorb_shards=True`` must fold every slice back into the main file
+exactly (``TOTAL_FREQ`` sums are additive) and must not double-count
+across crashes: absorbed files are deleted only after the next
+successful atomic save.
+"""
+
+import json
+
+from repro.profiling.database import ProfileDatabase, ProgramProfile
+
+from tests.profiling.test_database import make_profile
+
+
+def write_shard(base, shard, runs, invocations):
+    db = ProfileDatabase(ProfileDatabase.shard_path(base, shard))
+    profile = make_profile(invocations=invocations)
+    profile.runs = runs
+    db.record("acc", profile)
+    db.save()
+    return db.path
+
+
+class TestShardPath:
+    def test_naming(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        assert (
+            ProfileDatabase.shard_path(base, 7).name == "profiles.shard7.json"
+        )
+
+    def test_suffixless_paths_work(self, tmp_path):
+        base = tmp_path / "profilesdb"
+        assert ProfileDatabase.shard_path(base, 2).name == "profilesdb.shard2"
+
+
+class TestAbsorb:
+    def test_absorbs_every_shard_slice(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        write_shard(base, 0, runs=2, invocations=2.0)
+        write_shard(base, 1, runs=3, invocations=3.0)
+        db = ProfileDatabase(base, absorb_shards=True)
+        assert db.total_runs() == 5
+        assert db.lookup("acc").procedures["MAIN"].invocations == 5.0
+        assert len(db.absorbed_shards) == 2
+
+    def test_absorb_merges_with_the_main_file(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        main = ProfileDatabase(base)
+        main.record("acc", make_profile())
+        main.save()
+        write_shard(base, 0, runs=4, invocations=4.0)
+        db = ProfileDatabase(base, absorb_shards=True)
+        assert db.total_runs() == 5
+
+    def test_shard_files_survive_until_the_next_save(self, tmp_path):
+        """A crash between absorb and save must not lose counts."""
+        base = tmp_path / "profiles.json"
+        shard_file = write_shard(base, 0, runs=2, invocations=2.0)
+        db = ProfileDatabase(base, absorb_shards=True)
+        assert shard_file.exists()  # not yet durable in the main file
+        db.save()
+        assert not shard_file.exists()
+        assert db.absorbed_shards == []
+        # Re-absorbing now finds nothing: no double counting.
+        again = ProfileDatabase(base, absorb_shards=True)
+        assert again.total_runs() == 2
+
+    def test_corrupt_shard_is_quarantined_not_absorbed(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        write_shard(base, 0, runs=2, invocations=2.0)
+        bad = ProfileDatabase.shard_path(base, 1)
+        bad.write_text("{ truncated")
+        db = ProfileDatabase(base, absorb_shards=True)
+        assert db.total_runs() == 2
+        assert not bad.exists()  # moved aside as evidence
+        assert bad.with_name(bad.name + ".corrupt").exists()
+
+    def test_foreign_sidecar_files_are_ignored(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        write_shard(base, 0, runs=1, invocations=1.0)
+        sidecar = tmp_path / "profiles.shardX.json"
+        sidecar.write_text(json.dumps({}))
+        db = ProfileDatabase(base, absorb_shards=True)
+        assert db.total_runs() == 1
+        assert sidecar.exists()
+
+    def test_plain_boot_does_not_absorb(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        write_shard(base, 0, runs=2, invocations=2.0)
+        assert ProfileDatabase(base).total_runs() == 0
+
+    def test_absorbed_state_round_trips(self, tmp_path):
+        """Absorb -> save -> reload equals the shard-side accumulation."""
+        base = tmp_path / "profiles.json"
+        write_shard(base, 0, runs=2, invocations=2.0)
+        write_shard(base, 1, runs=3, invocations=3.0)
+        db = ProfileDatabase(base, absorb_shards=True)
+        db.save()
+        reloaded = ProfileDatabase(base)
+        assert reloaded.total_runs() == 5
+        want = db.lookup("acc").to_dict()
+        assert reloaded.lookup("acc").to_dict() == want

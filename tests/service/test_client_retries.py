@@ -1,0 +1,156 @@
+"""Retry behavior of :class:`ServiceClient` against a scripted server.
+
+A tiny in-process HTTP server answers a fixed sequence of statuses,
+so the tests can pin down exactly which responses are retried, how
+the ``retry_after_ms`` hint stretches the backoff, and that one
+logical operation keeps one ``X-Request-Id`` across attempts.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+pytestmark = pytest.mark.service
+
+
+class ScriptedServer:
+    """Answers each request with the next scripted (status, body)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests: list[dict] = []
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _serve(self):
+                outer.requests.append(
+                    {
+                        "path": self.path,
+                        "request_id": self.headers.get("X-Request-Id"),
+                    }
+                )
+                status, payload = (
+                    outer.script.pop(0) if outer.script else (200, {})
+                )
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.send_header(
+                    "X-Request-Id",
+                    self.headers.get("X-Request-Id") or "minted-by-server",
+                )
+                self.end_headers()
+                self.wfile.write(body)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *args):
+                pass
+
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self.httpd.server_address[1]
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=10)
+
+
+def shed(status, retry_after_ms=None):
+    error = {"status": status, "message": "scripted"}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    return status, {"error": error}
+
+
+class TestRetries:
+    def test_429_then_success(self):
+        with ScriptedServer([shed(429), (200, {"ok": True})]) as server:
+            with ServiceClient(
+                port=server.port, retries=2, backoff=0.01
+            ) as client:
+                assert client.request("GET", "/healthz") == {"ok": True}
+            assert len(server.requests) == 2
+
+    def test_503_then_success(self):
+        with ScriptedServer(
+            [shed(503, retry_after_ms=5), (200, {"ok": True})]
+        ) as server:
+            with ServiceClient(
+                port=server.port, retries=1, backoff=0.001
+            ) as client:
+                assert client.request("GET", "/healthz") == {"ok": True}
+
+    def test_retries_exhausted_raises_the_last_error(self):
+        with ScriptedServer([shed(429)] * 3) as server:
+            with ServiceClient(
+                port=server.port, retries=2, backoff=0.001
+            ) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.request("GET", "/healthz")
+            assert excinfo.value.status == 429
+            assert len(server.requests) == 3
+
+    def test_zero_retries_fails_fast(self):
+        with ScriptedServer([shed(429), (200, {})]) as server:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceError):
+                    client.request("GET", "/healthz")
+            assert len(server.requests) == 1
+
+    def test_non_retryable_statuses_are_not_retried(self):
+        for status in (400, 404, 422, 500):
+            with ScriptedServer([shed(status), (200, {})]) as server:
+                with ServiceClient(
+                    port=server.port, retries=3, backoff=0.001
+                ) as client:
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.request("GET", "/healthz")
+                assert excinfo.value.status == status
+                assert len(server.requests) == 1
+
+    def test_retry_after_hint_stretches_the_backoff(self):
+        with ScriptedServer(
+            [shed(429, retry_after_ms=150), (200, {})]
+        ) as server:
+            with ServiceClient(
+                port=server.port, retries=1, backoff=0.001
+            ) as client:
+                started = time.monotonic()
+                client.request("GET", "/healthz")
+                elapsed = time.monotonic() - started
+        assert elapsed >= 0.15
+
+    def test_attempts_share_one_request_id(self):
+        with ScriptedServer([shed(429), shed(429), (200, {})]) as server:
+            with ServiceClient(
+                port=server.port, retries=2, backoff=0.001
+            ) as client:
+                client.request("GET", "/healthz", request_id="op-77")
+        assert [r["request_id"] for r in server.requests] == ["op-77"] * 3
+
+    def test_minted_id_is_reused_on_retry(self):
+        """Attempt one gets a server-minted id; retries carry it on."""
+        with ScriptedServer([shed(503), (200, {})]) as server:
+            with ServiceClient(
+                port=server.port, retries=1, backoff=0.001
+            ) as client:
+                client.request("GET", "/healthz")
+        first, second = server.requests
+        assert first["request_id"] is None
+        assert second["request_id"] == "minted-by-server"

@@ -1,0 +1,133 @@
+"""Property test: sharded accumulation merges back bit-identically.
+
+The sharded service works because §3 ``TOTAL_FREQ`` accumulation is a
+plain sum and Definition 3 normalizes only at query time: splitting a
+corpus of ingests across N shard-local databases (by the same
+consistent-hash ring the front door uses) and merging the slices must
+reproduce the single-database accumulation *bit for bit* — raw
+counts, Definition-3 frequencies, TIME and the §5 variance.  No
+tolerance: every assertion here is ``==`` on floats.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import analyze, compile_source, profile_program
+from repro.costs.model import SCALAR_MACHINE
+from repro.profiling.database import ProfileDatabase
+from repro.service.sharding import HashRing
+from repro.workloads.paper_example import PAPER_SOURCE
+
+pytestmark = pytest.mark.service
+
+LOOP_SOURCE = """\
+      PROGRAM MAIN
+      INTEGER I, J, S
+      S = 0
+      DO 10 I = 1, 20
+        DO 20 J = 1, I
+          S = S + J
+20      CONTINUE
+10    CONTINUE
+      END
+"""
+
+KEYS = ["paper", "loops", "paper-alt", "loops-alt"]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Per-key compiled programs and a pool of reusable raw deltas."""
+    programs = {
+        "paper": compile_source(PAPER_SOURCE),
+        "loops": compile_source(LOOP_SOURCE),
+    }
+    programs["paper-alt"] = programs["paper"]
+    programs["loops-alt"] = programs["loops"]
+    deltas = {}
+    for key, program in programs.items():
+        deltas[key] = [
+            profile_program(
+                program, runs=runs, record_loop_moments=True
+            )[0]
+            for runs in (1, 2, 3)
+        ]
+    return programs, deltas
+
+
+def accumulate(events, deltas, ring=None, shards=1):
+    """Replay ``events`` into one database or ``shards`` ring-routed ones."""
+    dbs = [ProfileDatabase(None) for _ in range(shards)]
+    for key, which in events:
+        shard = ring.shard_for(key) if ring is not None else 0
+        dbs[shard].record(key, deltas[key][which])
+    return dbs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.sampled_from(KEYS), st.integers(0, 2)),
+        min_size=1,
+        max_size=12,
+    ),
+    shards=st.integers(2, 5),
+)
+def test_merged_shards_equal_single_database(corpus, events, shards):
+    programs, deltas = corpus
+    ring = HashRing(shards)
+    (single,) = accumulate(events, deltas)
+    sharded = accumulate(events, deltas, ring=ring, shards=shards)
+
+    merged = ProfileDatabase(None)
+    for db in sharded:
+        merged.merge(db)
+
+    assert merged.keys() == single.keys()
+    assert merged.total_runs() == single.total_runs()
+    for key in single.keys():
+        want = single.lookup(key)
+        got = merged.lookup(key)
+        # Raw TOTAL_FREQ material: bit-identical, not approximately.
+        assert got.to_dict() == want.to_dict()
+        program = programs[key]
+        for loop_variance in ("zero", "profiled"):
+            a = analyze(
+                program, want, SCALAR_MACHINE, loop_variance=loop_variance
+            )
+            b = analyze(
+                program, got, SCALAR_MACHINE, loop_variance=loop_variance
+            )
+            assert b.total_time == a.total_time
+            assert b.total_std_dev == a.total_std_dev
+            for name in a.procedures:
+                assert (
+                    b.procedures[name].freqs.invocations
+                    == a.procedures[name].freqs.invocations
+                )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.sampled_from(KEYS), st.integers(0, 2)),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_merge_is_shard_order_independent(corpus, events):
+    """The fan-out may reach shards in any order; the answer may not move."""
+    _, deltas = corpus
+    ring = HashRing(3)
+    sharded = accumulate(events, deltas, ring=ring, shards=3)
+    forward, backward = ProfileDatabase(None), ProfileDatabase(None)
+    for db in sharded:
+        forward.merge(db)
+    for db in reversed(sharded):
+        backward.merge(db)
+    assert forward.keys() == backward.keys()
+    for key in forward.keys():
+        assert (
+            forward.lookup(key).to_dict() == backward.lookup(key).to_dict()
+        )

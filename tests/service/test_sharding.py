@@ -1,0 +1,110 @@
+"""Unit tests for the consistent-hash routing layer.
+
+No processes are spawned here: these pin down the placement function
+itself — determinism across instances (the front door and any future
+tooling must agree), balance (no shard starves), consistency (growing
+the fleet moves only a fraction of the key space) and the per-route
+routing keys.
+"""
+
+import pytest
+
+from repro.profiling.database import ProfileDatabase
+from repro.service.sharding import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    routing_key,
+    shard_cache_dir,
+    shard_db_path,
+    source_routing_key,
+)
+
+pytestmark = pytest.mark.service
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.shard_for(k) for k in keys] == [
+            b.shard_for(k) for k in keys
+        ]
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(f"k{i}") for i in range(50)} == {0}
+
+    def test_every_shard_gets_a_reasonable_slice(self):
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        for i in range(2000):
+            counts[ring.shard_for(f"program-{i}")] += 1
+        # With 64 vnodes/shard the expected slice is 25% each; assert
+        # a loose floor so the test pins balance, not the exact hash.
+        assert min(counts) > 2000 * 0.10
+
+    def test_growth_moves_only_part_of_the_keyspace(self):
+        before, after = HashRing(4), HashRing(5)
+        keys = [f"program-{i}" for i in range(2000)]
+        moved = sum(
+            1 for k in keys if before.shard_for(k) != after.shard_for(k)
+        )
+        # Consistent hashing: ~1/5 of keys move to the new shard; a
+        # modulo scheme would reshuffle ~80%.
+        assert moved / len(keys) < 0.40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+        assert HashRing(2).replicas == DEFAULT_REPLICAS
+
+
+class TestRoutingKey:
+    def test_keyed_routes_are_sticky_to_the_profile_key(self):
+        for route in ("query", "ingest", "hot_paths", "chunks"):
+            assert routing_key(route, "alpha", {}) == "alpha"
+
+    def test_compile_routes_by_registration_key_first(self):
+        assert routing_key("compile", None, {"key": "k1"}) == "k1"
+
+    def test_compile_falls_back_to_source_digest(self):
+        payload = {"source": "      PROGRAM MAIN\n      END\n"}
+        got = routing_key("compile", None, payload)
+        assert got == source_routing_key(payload["source"])
+        # Identical sources land on the same worker's artifact cache.
+        assert got == routing_key("compile", None, dict(payload))
+
+    def test_profile_routes_by_ingest_key_first(self):
+        payload = {"source": "X", "ingest": "acc"}
+        assert routing_key("profile", None, payload) == "acc"
+        assert routing_key(
+            "profile", None, {"source": "X"}
+        ) == source_routing_key("X")
+
+    def test_calibration_is_a_constant(self):
+        assert routing_key("calibration", None, {}) == "calibration"
+
+    def test_unroutable_routes_return_none(self):
+        assert routing_key("healthz", None, {}) is None
+        assert routing_key("profiles_index", None, {}) is None
+
+
+class TestShardPaths:
+    def test_db_naming_matches_the_absorb_scan(self, tmp_path):
+        base = tmp_path / "profiles.json"
+        assert shard_db_path(base, 3) == str(
+            ProfileDatabase.shard_path(base, 3)
+        )
+        assert shard_db_path(base, 3).endswith("profiles.shard3.json")
+
+    def test_cache_dirs_are_disjoint_subdirectories(self, tmp_path):
+        assert shard_cache_dir(str(tmp_path), 0) != shard_cache_dir(
+            str(tmp_path), 1
+        )
+        assert shard_cache_dir(str(tmp_path), 2).endswith("shard2")
+
+    def test_in_memory_stays_in_memory(self):
+        assert shard_db_path(None, 0) is None
+        assert shard_cache_dir(None, 0) is None
